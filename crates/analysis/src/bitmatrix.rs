@@ -1,0 +1,147 @@
+//! A triangular bit matrix for symmetric relations.
+//!
+//! Chaitin-style interference graphs store the symmetric "interferes with"
+//! relation in exactly this shape: one bit per unordered pair, `n·(n-1)/2`
+//! bits total (`n²/2` in the paper's prose). The paper's Briggs\*
+//! improvement (Section 4.1) is entirely about how many rows `n` this
+//! matrix is built with, so the type reports its allocation size exactly.
+
+/// A symmetric boolean relation over `0..n`, stored as a strictly lower
+/// triangular bit matrix. The diagonal is not stored: `relates(i, i)` is
+/// always `false`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TriangularBitMatrix {
+    words: Vec<u64>,
+    n: usize,
+}
+
+#[inline]
+fn pair_index(i: usize, j: usize) -> usize {
+    // Requires i > j: index into the packed strict lower triangle.
+    i * (i - 1) / 2 + j
+}
+
+impl TriangularBitMatrix {
+    /// Create an empty relation over `0..n`.
+    pub fn new(n: usize) -> Self {
+        let bits = n * n.saturating_sub(1) / 2;
+        TriangularBitMatrix { words: vec![0; bits.div_ceil(64)], n }
+    }
+
+    /// The number of rows/columns.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Mark `i` and `j` as related. Diagonal requests are ignored.
+    /// Returns `true` if the pair was newly added.
+    ///
+    /// # Panics
+    /// Panics if `i` or `j` is out of range.
+    pub fn add(&mut self, i: usize, j: usize) -> bool {
+        assert!(i < self.n && j < self.n, "pair ({i},{j}) out of range {}", self.n);
+        if i == j {
+            return false;
+        }
+        let (hi, lo) = if i > j { (i, j) } else { (j, i) };
+        let idx = pair_index(hi, lo);
+        let w = &mut self.words[idx / 64];
+        let mask = 1u64 << (idx % 64);
+        let fresh = *w & mask == 0;
+        *w |= mask;
+        fresh
+    }
+
+    /// Whether `i` and `j` are related. The diagonal reads `false`.
+    pub fn relates(&self, i: usize, j: usize) -> bool {
+        if i == j || i >= self.n || j >= self.n {
+            return false;
+        }
+        let (hi, lo) = if i > j { (i, j) } else { (j, i) };
+        let idx = pair_index(hi, lo);
+        self.words[idx / 64] & (1u64 << (idx % 64)) != 0
+    }
+
+    /// Clear the relation (keeping the allocation). This is the `n²/2`-bit
+    /// clearing cost that Cooper et al. identify as a significant fraction
+    /// of a graph-colouring allocator's runtime.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of related pairs.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Heap bytes used by the bit storage — the paper's Table 1 metric.
+    pub fn bytes(&self) -> usize {
+        self.words.capacity() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_and_irreflexive() {
+        let mut m = TriangularBitMatrix::new(5);
+        assert!(m.add(1, 3));
+        assert!(m.relates(1, 3));
+        assert!(m.relates(3, 1), "relation is symmetric");
+        assert!(!m.add(3, 1), "same pair is not fresh");
+        assert!(!m.add(2, 2));
+        assert!(!m.relates(2, 2));
+        assert_eq!(m.count(), 1);
+    }
+
+    #[test]
+    fn all_pairs_distinct_slots() {
+        let n = 40;
+        let mut m = TriangularBitMatrix::new(n);
+        for i in 0..n {
+            for j in 0..i {
+                assert!(m.add(i, j), "({i},{j}) collided with an earlier pair");
+            }
+        }
+        assert_eq!(m.count(), n * (n - 1) / 2);
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(m.relates(i, j), i != j);
+            }
+        }
+    }
+
+    #[test]
+    fn clear_keeps_dim() {
+        let mut m = TriangularBitMatrix::new(10);
+        m.add(9, 0);
+        m.clear();
+        assert_eq!(m.count(), 0);
+        assert_eq!(m.dim(), 10);
+        assert!(!m.relates(9, 0));
+    }
+
+    #[test]
+    fn zero_and_one_dim() {
+        let m0 = TriangularBitMatrix::new(0);
+        assert_eq!(m0.bytes(), 0);
+        let m1 = TriangularBitMatrix::new(1);
+        assert!(!m1.relates(0, 0));
+    }
+
+    #[test]
+    fn bytes_grow_quadratically() {
+        let small = TriangularBitMatrix::new(100).bytes();
+        let big = TriangularBitMatrix::new(1000).bytes();
+        // 10x rows => ~100x bits.
+        assert!(big > small * 50, "small={small} big={big}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_add_panics() {
+        TriangularBitMatrix::new(3).add(3, 0);
+    }
+}

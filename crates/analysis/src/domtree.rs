@@ -1,0 +1,398 @@
+//! Dominator tree, dominance frontiers, and O(1) dominance queries.
+//!
+//! Immediate dominators are computed with the Cooper–Harvey–Kennedy
+//! iterative algorithm ("A Simple, Fast Dominance Algorithm") — fittingly,
+//! by the same research group as the paper being reproduced. On top of the
+//! tree we compute:
+//!
+//! * **preorder / max-preorder numbering** — a depth-first numbering where
+//!   each node also records the largest preorder number among its
+//!   descendants. `a` dominates `b` iff
+//!   `preorder(a) <= preorder(b) <= maxpreorder(a)`, a constant-time test
+//!   the paper attributes to Tarjan and uses both for interference checks
+//!   and for dominance-forest construction (Figure 1);
+//! * **dominance frontiers** — for φ placement during SSA construction.
+
+use fcc_ir::{Block, ControlFlowGraph, Function, SecondaryMap};
+
+/// Dominator tree plus preorder numbering for one function.
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    idom: SecondaryMap<Block, Option<Block>>,
+    children: SecondaryMap<Block, Vec<Block>>,
+    preorder: SecondaryMap<Block, u32>,
+    maxpreorder: SecondaryMap<Block, u32>,
+    /// Blocks in dominator-tree preorder.
+    preorder_seq: Vec<Block>,
+    entry: Block,
+}
+
+impl DomTree {
+    /// Compute the dominator tree of `func` using `cfg`.
+    pub fn compute(func: &Function, cfg: &ControlFlowGraph) -> Self {
+        let entry = func.entry();
+        let postorder = cfg.postorder();
+        // Map each block to its postorder index.
+        let mut po_idx: SecondaryMap<Block, u32> = SecondaryMap::new();
+        for (i, &b) in postorder.iter().enumerate() {
+            po_idx[b] = i as u32;
+        }
+
+        let mut idom: SecondaryMap<Block, Option<Block>> = SecondaryMap::new();
+        idom[entry] = Some(entry);
+
+        // Iterate to fixpoint in reverse postorder.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in postorder.iter().rev() {
+                if b == entry {
+                    continue;
+                }
+                // Pick the first processed predecessor as the seed.
+                let mut new_idom: Option<Block> = None;
+                for &p in cfg.preds(b) {
+                    if idom[p].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(p, cur, &idom, &po_idx),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b] != Some(ni) {
+                        idom[b] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        // Children lists (entry's self-loop excluded).
+        let mut children: SecondaryMap<Block, Vec<Block>> = SecondaryMap::new();
+        for &b in postorder {
+            if b == entry {
+                continue;
+            }
+            if let Some(p) = idom[b] {
+                children[p].push(b);
+            }
+        }
+        // Deterministic child order: by block index.
+        for &b in postorder {
+            children[b].sort_unstable();
+        }
+
+        // Depth-first preorder numbering with max-descendant numbers
+        // (computed "on the way up", exactly as in the paper's Figure 1
+        // preamble).
+        let mut preorder: SecondaryMap<Block, u32> = SecondaryMap::new();
+        let mut maxpreorder: SecondaryMap<Block, u32> = SecondaryMap::new();
+        let mut preorder_seq = Vec::with_capacity(postorder.len());
+        let mut counter = 0u32;
+        let mut stack: Vec<(Block, usize)> = vec![(entry, 0)];
+        preorder[entry] = 0;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            if *next == 0 {
+                preorder[b] = counter;
+                preorder_seq.push(b);
+                counter += 1;
+            }
+            if *next < children[b].len() {
+                let c = children[b][*next];
+                *next += 1;
+                stack.push((c, 0));
+            } else {
+                maxpreorder[b] = counter - 1;
+                stack.pop();
+            }
+        }
+
+        DomTree { idom, children, preorder, maxpreorder, preorder_seq, entry }
+    }
+
+    /// The immediate dominator of `b`, or `None` for the entry block and
+    /// unreachable blocks.
+    pub fn idom(&self, b: Block) -> Option<Block> {
+        if b == self.entry {
+            None
+        } else {
+            self.idom[b]
+        }
+    }
+
+    /// Whether `b` is reachable (and thus in the tree).
+    pub fn is_reachable(&self, b: Block) -> bool {
+        b == self.entry || self.idom[b].is_some()
+    }
+
+    /// The children of `b` in the dominator tree, in block order.
+    pub fn children(&self, b: Block) -> &[Block] {
+        &self.children[b]
+    }
+
+    /// `a` dominates `b` (reflexively), in O(1) via preorder numbering.
+    pub fn dominates(&self, a: Block, b: Block) -> bool {
+        if !self.is_reachable(a) || !self.is_reachable(b) {
+            return false;
+        }
+        let pa = self.preorder[a];
+        let pb = self.preorder[b];
+        pa <= pb && pb <= self.maxpreorder[a]
+    }
+
+    /// `a` strictly dominates `b`, in O(1).
+    pub fn strictly_dominates(&self, a: Block, b: Block) -> bool {
+        a != b && self.dominates(a, b)
+    }
+
+    /// The depth-first preorder number of `b` in the dominator tree.
+    pub fn preorder(&self, b: Block) -> u32 {
+        self.preorder[b]
+    }
+
+    /// The largest preorder number among `b` and its dominator-tree
+    /// descendants.
+    pub fn max_preorder(&self, b: Block) -> u32 {
+        self.maxpreorder[b]
+    }
+
+    /// Blocks in dominator-tree preorder (entry first).
+    pub fn preorder_seq(&self) -> &[Block] {
+        &self.preorder_seq
+    }
+
+    /// Heap bytes used.
+    pub fn bytes(&self) -> usize {
+        self.idom.bytes()
+            + self.children.bytes()
+            + self.preorder.bytes()
+            + self.maxpreorder.bytes()
+            + self.preorder_seq.capacity() * std::mem::size_of::<Block>()
+    }
+}
+
+fn intersect(
+    mut a: Block,
+    mut b: Block,
+    idom: &SecondaryMap<Block, Option<Block>>,
+    po_idx: &SecondaryMap<Block, u32>,
+) -> Block {
+    while a != b {
+        while po_idx[a] < po_idx[b] {
+            a = idom[a].expect("processed block has idom");
+        }
+        while po_idx[b] < po_idx[a] {
+            b = idom[b].expect("processed block has idom");
+        }
+    }
+    a
+}
+
+/// Dominance frontiers: `df(b)` is the set of blocks where `b`'s dominance
+/// ends — exactly where SSA construction must place φ-nodes for
+/// definitions in `b` (Cytron et al.).
+#[derive(Clone, Debug)]
+pub struct DominanceFrontiers {
+    df: SecondaryMap<Block, Vec<Block>>,
+}
+
+impl DominanceFrontiers {
+    /// Compute dominance frontiers with the Cooper–Harvey–Kennedy
+    /// join-node walk: for each block with ≥2 predecessors, walk each
+    /// predecessor's idom chain up to the block's idom.
+    pub fn compute(cfg: &ControlFlowGraph, dt: &DomTree) -> Self {
+        let mut df: SecondaryMap<Block, Vec<Block>> = SecondaryMap::new();
+        let entry = cfg.postorder().last().copied();
+        for &b in cfg.postorder() {
+            let preds = cfg.preds(b);
+            // Join nodes, plus the entry whenever it has any predecessor
+            // at all: a loop back to the entry makes `entry ∈ DF(entry)`
+            // (nothing strictly dominates the entry), a case the usual
+            // two-predecessor shortcut misses.
+            if preds.len() < 2 && !(Some(b) == entry && !preds.is_empty()) {
+                continue;
+            }
+            // The entry block can itself be a join (a loop back to the
+            // start): it has no idom, so the runners walk all the way to
+            // the root, entry included — matching the definition, under
+            // which nothing strictly dominates the entry.
+            let stop = dt.idom(b);
+            let mut seen_pred = Vec::new();
+            for &p in preds {
+                if seen_pred.contains(&p) {
+                    continue; // duplicate edge
+                }
+                seen_pred.push(p);
+                let mut runner = Some(p);
+                while let Some(r) = runner {
+                    if Some(r) == stop {
+                        break;
+                    }
+                    if !df[r].contains(&b) {
+                        df[r].push(b);
+                    }
+                    runner = dt.idom(r);
+                }
+            }
+        }
+        DominanceFrontiers { df }
+    }
+
+    /// The dominance frontier of `b`.
+    pub fn frontier(&self, b: Block) -> &[Block] {
+        &self.df[b]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcc_ir::parse::parse_function;
+
+    fn analyse(text: &str) -> (Function, ControlFlowGraph, DomTree) {
+        let f = parse_function(text).unwrap();
+        let cfg = ControlFlowGraph::compute(&f);
+        let dt = DomTree::compute(&f, &cfg);
+        (f, cfg, dt)
+    }
+
+    // The classic CHK paper example is a 5-node graph; we use the shape
+    // from Figure 2 of "A Simple, Fast Dominance Algorithm".
+    const DIAMOND_LOOP: &str = "
+        function @g(0) {
+        b0:
+            v0 = const 1
+            branch v0, b1, b2
+        b1:
+            jump b3
+        b2:
+            jump b3
+        b3:
+            branch v0, b1, b4
+        b4:
+            return
+        }";
+
+    #[test]
+    fn idoms_of_diamond_with_backedge() {
+        let (_, _, dt) = analyse(DIAMOND_LOOP);
+        let b = |i| Block::new(i);
+        assert_eq!(dt.idom(b(0)), None);
+        assert_eq!(dt.idom(b(1)), Some(b(0)));
+        assert_eq!(dt.idom(b(2)), Some(b(0)));
+        assert_eq!(dt.idom(b(3)), Some(b(0)));
+        assert_eq!(dt.idom(b(4)), Some(b(3)));
+    }
+
+    #[test]
+    fn dominates_matches_idom_chains() {
+        let (_, _, dt) = analyse(DIAMOND_LOOP);
+        let b = |i| Block::new(i);
+        assert!(dt.dominates(b(0), b(4)));
+        assert!(dt.dominates(b(3), b(4)));
+        assert!(!dt.dominates(b(1), b(3)));
+        assert!(!dt.dominates(b(4), b(3)));
+        assert!(dt.dominates(b(2), b(2)));
+        assert!(!dt.strictly_dominates(b(2), b(2)));
+        assert!(dt.strictly_dominates(b(0), b(1)));
+    }
+
+    #[test]
+    fn preorder_brackets_descendants() {
+        let (f, _, dt) = analyse(DIAMOND_LOOP);
+        // Cross-check the O(1) test against the naive idom-chain walk for
+        // every pair.
+        for a in f.blocks() {
+            for b in f.blocks() {
+                let mut cur = Some(b);
+                let mut naive = false;
+                while let Some(c) = cur {
+                    if c == a {
+                        naive = true;
+                        break;
+                    }
+                    cur = dt.idom(c);
+                }
+                assert_eq!(dt.dominates(a, b), naive, "dominates({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn preorder_seq_starts_at_entry_and_is_dense() {
+        let (f, _, dt) = analyse(DIAMOND_LOOP);
+        let seq = dt.preorder_seq();
+        assert_eq!(seq[0], f.entry());
+        let mut nums: Vec<u32> = seq.iter().map(|&b| dt.preorder(b)).collect();
+        nums.sort_unstable();
+        assert_eq!(nums, (0..seq.len() as u32).collect::<Vec<_>>());
+        for &b in seq {
+            assert!(dt.max_preorder(b) >= dt.preorder(b));
+        }
+    }
+
+    #[test]
+    fn linear_chain_dominators() {
+        let (_, _, dt) = analyse(
+            "function @lin(0) {
+             b0:
+                 jump b1
+             b1:
+                 jump b2
+             b2:
+                 return
+             }",
+        );
+        let b = |i| Block::new(i);
+        assert_eq!(dt.idom(b(2)), Some(b(1)));
+        assert_eq!(dt.idom(b(1)), Some(b(0)));
+        assert!(dt.dominates(b(0), b(2)));
+        assert_eq!(dt.children(b(0)), &[b(1)]);
+    }
+
+    #[test]
+    fn unreachable_block_not_in_tree() {
+        let (_, _, dt) = analyse(
+            "function @u(0) {
+             b0:
+                 return
+             b1:
+                 jump b0
+             }",
+        );
+        assert!(!dt.is_reachable(Block::new(1)));
+        assert!(!dt.dominates(Block::new(0), Block::new(1)));
+    }
+
+    #[test]
+    fn diamond_frontiers() {
+        let (_, cfg, dt) = analyse(DIAMOND_LOOP);
+        let dfs = DominanceFrontiers::compute(&cfg, &dt);
+        let b = |i| Block::new(i);
+        // b1 and b2 meet at b3; b3's backedge to b1 puts b1 in DF(b3) and,
+        // via the walk to idom(b1)=b0, also in DF(b3)'s chain.
+        assert_eq!(dfs.frontier(b(1)), &[b(3)]);
+        assert_eq!(dfs.frontier(b(2)), &[b(3)]);
+        assert!(dfs.frontier(b(3)).contains(&b(1)));
+        assert!(dfs.frontier(b(0)).is_empty());
+    }
+
+    #[test]
+    fn self_loop_frontier_contains_itself() {
+        let (_, cfg, dt) = analyse(
+            "function @s(0) {
+             b0:
+                 v0 = const 1
+                 jump b1
+             b1:
+                 branch v0, b1, b2
+             b2:
+                 return
+             }",
+        );
+        let dfs = DominanceFrontiers::compute(&cfg, &dt);
+        assert!(dfs.frontier(Block::new(1)).contains(&Block::new(1)));
+    }
+}

@@ -1,0 +1,53 @@
+//! # fcc-analysis — program analyses and core data structures
+//!
+//! Everything the coalescing algorithms consume:
+//!
+//! * [`bitset::BitSet`] — dense sets for liveness and interference rows;
+//! * [`bitmatrix::TriangularBitMatrix`] — the `n²/2`-bit symmetric relation
+//!   underlying Chaitin-style interference graphs;
+//! * [`unionfind::UnionFind`] — `O(n·α(n))` disjoint sets for φ-webs and
+//!   live-range identification;
+//! * [`domtree::DomTree`] — Cooper–Harvey–Kennedy dominators, with the
+//!   preorder / max-preorder numbering (Tarjan) that gives the O(1)
+//!   dominance test used throughout the paper;
+//! * [`domtree::DominanceFrontiers`] — for SSA φ placement;
+//! * [`liveness::Liveness`] — φ-aware backward dataflow: φ arguments are
+//!   live-out of their predecessor, never live-in at the φ's block;
+//! * [`loops::LoopNesting`] — natural-loop depths for the Briggs
+//!   "innermost loops first" coalescing heuristic.
+//!
+//! ## Example
+//!
+//! ```
+//! use fcc_ir::{parse::parse_function, ControlFlowGraph};
+//! use fcc_analysis::{domtree::DomTree, liveness::Liveness};
+//!
+//! let f = parse_function(
+//!     "function @f(0) {
+//!      b0:
+//!          v0 = const 1
+//!          jump b1
+//!      b1:
+//!          return v0
+//!      }",
+//! ).unwrap();
+//! let cfg = ControlFlowGraph::compute(&f);
+//! let dt = DomTree::compute(&f, &cfg);
+//! let live = Liveness::compute(&f, &cfg);
+//! assert!(dt.dominates(f.entry(), fcc_ir::Block::new(1)));
+//! assert!(live.is_live_out(fcc_ir::Value::new(0), f.entry()));
+//! ```
+
+pub mod bitmatrix;
+pub mod bitset;
+pub mod domtree;
+pub mod liveness;
+pub mod loops;
+pub mod unionfind;
+
+pub use bitmatrix::TriangularBitMatrix;
+pub use bitset::BitSet;
+pub use domtree::{DomTree, DominanceFrontiers};
+pub use liveness::Liveness;
+pub use loops::LoopNesting;
+pub use unionfind::UnionFind;

@@ -1,0 +1,183 @@
+//! Natural-loop detection and per-block loop-nesting depth.
+//!
+//! The Chaitin/Briggs coalescer in `fcc-regalloc` orders copies by loop
+//! depth ("tries to remove copies out of innermost loops first", Section
+//! 4.3), so it needs to know how deeply nested each block is. Loops are
+//! the classical *natural loops* of back edges `n → h` where `h`
+//! dominates `n`; the loop body is everything that reaches `n` without
+//! passing through `h`.
+
+use crate::domtree::DomTree;
+use fcc_ir::{Block, ControlFlowGraph, SecondaryMap};
+
+/// Loop nesting information for one function.
+#[derive(Clone, Debug)]
+pub struct LoopNesting {
+    depth: SecondaryMap<Block, u32>,
+    headers: Vec<Block>,
+}
+
+impl LoopNesting {
+    /// Detect natural loops and compute nesting depths.
+    pub fn compute(cfg: &ControlFlowGraph, dt: &DomTree) -> Self {
+        let mut depth: SecondaryMap<Block, u32> = SecondaryMap::new();
+        let mut headers: Vec<Block> = Vec::new();
+        // Bodies per header, merged across multiple back edges to the same
+        // header.
+        let mut body_of: std::collections::HashMap<Block, Vec<Block>> =
+            std::collections::HashMap::new();
+
+        for &n in cfg.postorder() {
+            for &h in cfg.succs(n) {
+                if !dt.dominates(h, n) {
+                    continue; // not a back edge
+                }
+                let body = body_of.entry(h).or_default();
+                if !headers.contains(&h) {
+                    headers.push(h);
+                }
+                // Walk predecessors backward from n, stopping at h.
+                let mut stack = vec![n];
+                let in_body = |b: Block, body: &mut Vec<Block>| {
+                    if b != h && !body.contains(&b) {
+                        body.push(b);
+                        true
+                    } else {
+                        false
+                    }
+                };
+                if in_body(n, body) {
+                    while let Some(m) = stack.pop() {
+                        for &p in cfg.preds(m) {
+                            if p != h && !body.contains(&p) {
+                                body.push(p);
+                                stack.push(p);
+                            }
+                        }
+                    }
+                } else if n == h {
+                    // Self loop: body is just the header.
+                }
+            }
+        }
+
+        // Depth = number of distinct loops containing the block (headers
+        // count as members of their own loop).
+        for (h, body) in &body_of {
+            depth[*h] += 1;
+            for &b in body {
+                depth[b] += 1;
+            }
+        }
+
+        headers.sort_unstable();
+        LoopNesting { depth, headers }
+    }
+
+    /// The loop-nesting depth of `block` (0 = not in any loop).
+    pub fn depth(&self, block: Block) -> u32 {
+        self.depth[block]
+    }
+
+    /// Loop header blocks, in block order.
+    pub fn headers(&self) -> &[Block] {
+        &self.headers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcc_ir::parse::parse_function;
+
+    fn nesting(text: &str) -> LoopNesting {
+        let f = parse_function(text).unwrap();
+        let cfg = ControlFlowGraph::compute(&f);
+        let dt = DomTree::compute(&f, &cfg);
+        LoopNesting::compute(&cfg, &dt)
+    }
+
+    #[test]
+    fn straightline_has_depth_zero() {
+        let n = nesting(
+            "function @s(0) {
+             b0:
+                 jump b1
+             b1:
+                 return
+             }",
+        );
+        assert_eq!(n.depth(Block::new(0)), 0);
+        assert_eq!(n.depth(Block::new(1)), 0);
+        assert!(n.headers().is_empty());
+    }
+
+    #[test]
+    fn single_loop_depth_one() {
+        let n = nesting(
+            "function @l(0) {
+             b0:
+                 v0 = const 1
+                 jump b1
+             b1:
+                 branch v0, b1, b2
+             b2:
+                 return
+             }",
+        );
+        assert_eq!(n.depth(Block::new(0)), 0);
+        assert_eq!(n.depth(Block::new(1)), 1);
+        assert_eq!(n.depth(Block::new(2)), 0);
+        assert_eq!(n.headers(), &[Block::new(1)]);
+    }
+
+    #[test]
+    fn nested_loops_depth_two() {
+        // b1 is the outer header; b2/b3 form the inner loop.
+        let n = nesting(
+            "function @n(0) {
+             b0:
+                 v0 = const 1
+                 jump b1
+             b1:
+                 jump b2
+             b2:
+                 branch v0, b2, b3
+             b3:
+                 branch v0, b1, b4
+             b4:
+                 return
+             }",
+        );
+        assert_eq!(n.depth(Block::new(0)), 0);
+        assert_eq!(n.depth(Block::new(1)), 1);
+        assert_eq!(n.depth(Block::new(2)), 2, "inner loop body is depth 2");
+        assert_eq!(n.depth(Block::new(3)), 1);
+        assert_eq!(n.depth(Block::new(4)), 0);
+        assert_eq!(n.headers().len(), 2);
+    }
+
+    #[test]
+    fn two_backedges_one_header_count_once() {
+        let n = nesting(
+            "function @t(0) {
+             b0:
+                 v0 = const 1
+                 jump b1
+             b1:
+                 branch v0, b2, b3
+             b2:
+                 jump b1
+             b3:
+                 branch v0, b1, b4
+             b4:
+                 return
+             }",
+        );
+        // One loop (header b1) even though it has two back edges.
+        assert_eq!(n.headers(), &[Block::new(1)]);
+        assert_eq!(n.depth(Block::new(1)), 1);
+        assert_eq!(n.depth(Block::new(2)), 1);
+        assert_eq!(n.depth(Block::new(3)), 1);
+    }
+}

@@ -1,0 +1,385 @@
+//! Property-based tests: every analysis checked against an independent,
+//! naive model on randomly generated structures and CFGs.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+use fcc_analysis::{BitSet, DomTree, DominanceFrontiers, Liveness, TriangularBitMatrix, UnionFind};
+use fcc_ir::{Block, ControlFlowGraph, Function, InstKind, Value};
+
+// ---------- BitSet vs HashSet ----------
+
+#[derive(Clone, Debug)]
+enum SetOp {
+    Insert(usize),
+    Remove(usize),
+    Clear,
+}
+
+fn set_op() -> impl Strategy<Value = SetOp> {
+    prop_oneof![
+        (0usize..200).prop_map(SetOp::Insert),
+        (0usize..200).prop_map(SetOp::Remove),
+        Just(SetOp::Clear),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn bitset_behaves_like_hashset(ops in proptest::collection::vec(set_op(), 0..120)) {
+        let mut bs = BitSet::new(200);
+        let mut hs: HashSet<usize> = HashSet::new();
+        for op in ops {
+            match op {
+                SetOp::Insert(i) => {
+                    let fresh = bs.insert(i);
+                    prop_assert_eq!(fresh, hs.insert(i));
+                }
+                SetOp::Remove(i) => {
+                    let present = bs.remove(i);
+                    prop_assert_eq!(present, hs.remove(&i));
+                }
+                SetOp::Clear => {
+                    bs.clear();
+                    hs.clear();
+                }
+            }
+            prop_assert_eq!(bs.count(), hs.len());
+        }
+        let got: HashSet<usize> = bs.iter().collect();
+        prop_assert_eq!(got, hs);
+    }
+
+    #[test]
+    fn bitset_algebra_matches_sets(
+        a in proptest::collection::hash_set(0usize..128, 0..40),
+        b in proptest::collection::hash_set(0usize..128, 0..40),
+    ) {
+        let mk = |s: &HashSet<usize>| {
+            let mut x = BitSet::new(128);
+            for &e in s {
+                x.insert(e);
+            }
+            x
+        };
+        let (ba, bb) = (mk(&a), mk(&b));
+
+        let mut u = ba.clone();
+        u.union_with(&bb);
+        prop_assert_eq!(
+            u.iter().collect::<HashSet<_>>(),
+            a.union(&b).copied().collect::<HashSet<_>>()
+        );
+
+        let mut i = ba.clone();
+        i.intersect_with(&bb);
+        prop_assert_eq!(
+            i.iter().collect::<HashSet<_>>(),
+            a.intersection(&b).copied().collect::<HashSet<_>>()
+        );
+
+        let mut d = ba.clone();
+        d.difference_with(&bb);
+        prop_assert_eq!(
+            d.iter().collect::<HashSet<_>>(),
+            a.difference(&b).copied().collect::<HashSet<_>>()
+        );
+
+        prop_assert_eq!(ba.intersects(&bb), !a.is_disjoint(&b));
+    }
+
+    // ---------- UnionFind vs naive partition ----------
+
+    #[test]
+    fn unionfind_matches_naive_partition(
+        unions in proptest::collection::vec((0usize..60, 0usize..60), 0..80)
+    ) {
+        let n = 60;
+        let mut uf = UnionFind::new(n);
+        // Naive model: partition id per element, merged by relabelling.
+        let mut label: Vec<usize> = (0..n).collect();
+        for (a, b) in unions {
+            uf.union(a, b);
+            let (la, lb) = (label[a], label[b]);
+            if la != lb {
+                for l in label.iter_mut() {
+                    if *l == lb {
+                        *l = la;
+                    }
+                }
+            }
+        }
+        for x in 0..n {
+            for y in 0..n {
+                prop_assert_eq!(uf.same(x, y), label[x] == label[y], "{} {}", x, y);
+            }
+        }
+    }
+
+    // ---------- Triangular matrix vs HashSet of pairs ----------
+
+    #[test]
+    fn bitmatrix_matches_pair_set(
+        pairs in proptest::collection::vec((0usize..40, 0usize..40), 0..120)
+    ) {
+        let mut m = TriangularBitMatrix::new(40);
+        let mut model: HashSet<(usize, usize)> = HashSet::new();
+        for (a, b) in pairs {
+            m.add(a, b);
+            if a != b {
+                model.insert((a.min(b), a.max(b)));
+            }
+        }
+        prop_assert_eq!(m.count(), model.len());
+        for a in 0..40 {
+            for b in 0..40 {
+                prop_assert_eq!(m.relates(a, b), model.contains(&(a.min(b), a.max(b))));
+            }
+        }
+    }
+}
+
+// ---------- Random CFGs for dominator / liveness checks ----------
+
+/// Build a random function: `n` blocks, each defining a couple of values
+/// and ending in a random terminator. Every value definition/use index is
+/// valid; structure is otherwise arbitrary (unreachable blocks, self
+/// loops, shared targets all occur).
+fn random_function(seed: u64, n_blocks: usize, n_vals: usize) -> Function {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut f = Function::new(format!("r{seed}"));
+    let blocks: Vec<Block> = (0..n_blocks).map(|_| f.add_block()).collect();
+    for _ in 0..n_vals {
+        f.new_value();
+    }
+    for (bi, &b) in blocks.iter().enumerate() {
+        // A few defs and uses.
+        for _ in 0..rng.gen_range(0..3) {
+            let dst = Value::new(rng.gen_range(0..n_vals));
+            match rng.gen_range(0..3) {
+                0 => {
+                    f.append_inst(b, InstKind::Const { imm: rng.gen_range(-5..5) }, Some(dst));
+                }
+                1 => {
+                    let src = Value::new(rng.gen_range(0..n_vals));
+                    f.append_inst(b, InstKind::Copy { src }, Some(dst));
+                }
+                _ => {
+                    let a = Value::new(rng.gen_range(0..n_vals));
+                    let c = Value::new(rng.gen_range(0..n_vals));
+                    f.append_inst(
+                        b,
+                        InstKind::Binary { op: fcc_ir::BinOp::Add, a, b: c },
+                        Some(dst),
+                    );
+                }
+            }
+        }
+        let term = if bi + 1 == n_blocks { 2 } else { rng.gen_range(0..3) };
+        match term {
+            0 => {
+                let dst = blocks[rng.gen_range(0..n_blocks)];
+                f.append_inst(b, InstKind::Jump { dst }, None);
+            }
+            1 => {
+                let cond = Value::new(rng.gen_range(0..n_vals));
+                let t = blocks[rng.gen_range(0..n_blocks)];
+                let e = blocks[rng.gen_range(0..n_blocks)];
+                f.append_inst(b, InstKind::Branch { cond, then_dst: t, else_dst: e }, None);
+            }
+            _ => {
+                let v = Value::new(rng.gen_range(0..n_vals));
+                f.append_inst(b, InstKind::Return { val: Some(v) }, None);
+            }
+        }
+    }
+    f
+}
+
+/// Naive dominance: `a` dominates `b` iff removing `a` disconnects `b`
+/// from the entry (checked by DFS avoiding `a`).
+fn naive_dominates(cfg: &ControlFlowGraph, entry: Block, a: Block, b: Block) -> bool {
+    if !cfg.is_reachable(b) || !cfg.is_reachable(a) {
+        return false;
+    }
+    if a == b {
+        return true;
+    }
+    if b == entry {
+        return false; // only the entry dominates the entry
+    }
+    // DFS from entry avoiding a; if b reached, a does not dominate b.
+    let mut seen = HashSet::new();
+    let mut stack = vec![entry];
+    if entry == a {
+        return true; // entry dominates everything reachable
+    }
+    seen.insert(entry);
+    while let Some(x) = stack.pop() {
+        for &s in cfg.succs(x) {
+            if s == a || seen.contains(&s) {
+                continue;
+            }
+            if s == b {
+                return false;
+            }
+            seen.insert(s);
+            stack.push(s);
+        }
+    }
+    true
+}
+
+#[test]
+fn dominators_match_naive_on_random_cfgs() {
+    for seed in 0..120u64 {
+        let f = random_function(seed, 3 + (seed as usize % 8), 6);
+        let cfg = ControlFlowGraph::compute(&f);
+        let dt = DomTree::compute(&f, &cfg);
+        let blocks: Vec<Block> = f.blocks().collect();
+        for &a in &blocks {
+            for &b in &blocks {
+                if !cfg.is_reachable(a) || !cfg.is_reachable(b) {
+                    assert!(!dt.dominates(a, b), "seed {seed}: unreachable {a}->{b}");
+                    continue;
+                }
+                let expect = naive_dominates(&cfg, f.entry(), a, b);
+                assert_eq!(dt.dominates(a, b), expect, "seed {seed}: dominates({a},{b})");
+            }
+        }
+    }
+}
+
+#[test]
+fn dominance_frontiers_match_definition() {
+    // b' ∈ DF(b) iff b dominates a predecessor of b' but not strictly b'.
+    for seed in 0..120u64 {
+        let f = random_function(seed, 3 + (seed as usize % 8), 6);
+        let cfg = ControlFlowGraph::compute(&f);
+        let dt = DomTree::compute(&f, &cfg);
+        let dfs = DominanceFrontiers::compute(&cfg, &dt);
+        let blocks: Vec<Block> = f.blocks().filter(|&b| cfg.is_reachable(b)).collect();
+        for &b in &blocks {
+            let frontier: HashSet<Block> = dfs.frontier(b).iter().copied().collect();
+            for &j in &blocks {
+                let in_df = cfg.preds(j).iter().any(|&p| dt.dominates(b, p))
+                    && !dt.strictly_dominates(b, j);
+                assert_eq!(frontier.contains(&j), in_df, "seed {seed}: DF({b}) vs {j}");
+            }
+        }
+    }
+}
+
+/// Naive liveness for a single value: `v` is live-in at `b` iff some path
+/// from the start of `b` reaches a (φ-excluded) use of `v` with no
+/// intervening definition. Computed by backward BFS over blocks.
+fn naive_live_in(f: &Function, cfg: &ControlFlowGraph, v: Value, b: Block) -> bool {
+    // Within b itself: scan forward.
+    for &inst in f.block_insts(b) {
+        let data = f.inst(inst);
+        let mut used = false;
+        if !data.kind.is_phi() {
+            data.kind.for_each_use(|u| used |= u == v);
+        }
+        if used {
+            return true;
+        }
+        if data.dst == Some(v) {
+            return false;
+        }
+    }
+    // Otherwise: v live-out of b along some successor path.
+    let mut seen = HashSet::new();
+    let mut stack: Vec<Block> = cfg.succs(b).to_vec();
+    // φ uses on the edge b -> s count as live-out of b.
+    for &s in cfg.succs(b) {
+        for phi in f.block_phis(s) {
+            if let InstKind::Phi { args } = &f.inst(phi).kind {
+                if args.iter().any(|a| a.pred == b && a.value == v) {
+                    return true;
+                }
+            }
+        }
+    }
+    while let Some(s) = stack.pop() {
+        if !seen.insert(s) {
+            continue;
+        }
+        let mut killed = false;
+        let mut used = false;
+        for &inst in f.block_insts(s) {
+            let data = f.inst(inst);
+            if !data.kind.is_phi() {
+                data.kind.for_each_use(|u| used |= u == v);
+            }
+            if used {
+                break;
+            }
+            if data.dst == Some(v) {
+                killed = true;
+                break;
+            }
+        }
+        if used {
+            return true;
+        }
+        if killed {
+            continue;
+        }
+        for &t in cfg.succs(s) {
+            for phi in f.block_phis(t) {
+                if let InstKind::Phi { args } = &f.inst(phi).kind {
+                    if args.iter().any(|a| a.pred == s && a.value == v) {
+                        return true;
+                    }
+                }
+            }
+            stack.push(t);
+        }
+    }
+    false
+}
+
+#[test]
+fn liveness_matches_naive_path_search() {
+    for seed in 200..280u64 {
+        let f = random_function(seed, 3 + (seed as usize % 6), 5);
+        let cfg = ControlFlowGraph::compute(&f);
+        let live = Liveness::compute(&f, &cfg);
+        for b in f.blocks() {
+            if !cfg.is_reachable(b) {
+                continue;
+            }
+            for vi in 0..f.num_values() {
+                let v = Value::new(vi);
+                assert_eq!(
+                    live.is_live_in(v, b),
+                    naive_live_in(&f, &cfg, v, b),
+                    "seed {seed}: live_in({v}, {b})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn preorder_brackets_are_consistent_on_random_cfgs() {
+    for seed in 300..360u64 {
+        let f = random_function(seed, 4 + (seed as usize % 10), 4);
+        let cfg = ControlFlowGraph::compute(&f);
+        let dt = DomTree::compute(&f, &cfg);
+        for b in f.blocks() {
+            if !dt.is_reachable(b) {
+                continue;
+            }
+            // max_preorder brackets must nest: child's bracket inside
+            // parent's.
+            for &c in dt.children(b) {
+                assert!(dt.preorder(c) > dt.preorder(b), "seed {seed}");
+                assert!(dt.max_preorder(c) <= dt.max_preorder(b), "seed {seed}");
+            }
+        }
+    }
+}

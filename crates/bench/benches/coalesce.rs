@@ -1,0 +1,31 @@
+//! Criterion micro-benchmarks: the three SSA-destruction pipelines on
+//! representative kernels, backing Tables 2–3 with statistically robust
+//! timings.
+//!
+//! Run: `cargo bench -p fcc-bench --bench coalesce`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use fcc_bench::{run_pipeline, Pipeline};
+use fcc_workloads::{compile_kernel, kernel};
+
+fn bench_pipelines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ssa-destruction");
+    for name in ["saxpy", "tomcatv", "twldrv", "parmvrx", "fpppp"] {
+        let k = kernel(name).expect("kernel exists");
+        let base = compile_kernel(k);
+        for p in [Pipeline::Standard, Pipeline::New, Pipeline::Briggs, Pipeline::BriggsStar] {
+            group.bench_with_input(
+                BenchmarkId::new(p.label(), name),
+                &base,
+                |b, base| {
+                    b.iter(|| run_pipeline(p, base.clone()));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipelines);
+criterion_main!(benches);

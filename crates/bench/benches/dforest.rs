@@ -1,0 +1,71 @@
+//! Criterion micro-benchmark: dominance-forest construction (Figure 1)
+//! against a naive O(n²) pairwise construction, over growing member-set
+//! sizes on a deep dominator tree.
+//!
+//! Run: `cargo bench -p fcc-bench --bench dforest`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use fcc_analysis::DomTree;
+use fcc_core::DominanceForest;
+use fcc_ir::{Block, ControlFlowGraph, Function, InstKind, Value};
+
+/// A long dominator chain with side branches: block 2i dominates 2i+2.
+fn chain_function(n: usize) -> Function {
+    let mut f = Function::new("chain");
+    let blocks: Vec<Block> = (0..n).map(|_| f.add_block()).collect();
+    let v = f.new_value();
+    f.append_inst(blocks[0], InstKind::Const { imm: 1 }, Some(v));
+    for i in 0..n - 1 {
+        f.append_inst(blocks[i], InstKind::Jump { dst: blocks[i + 1] }, None);
+    }
+    f.append_inst(blocks[n - 1], InstKind::Return { val: None }, None);
+    f
+}
+
+/// Naive O(m²) reference construction: for each member, scan all others
+/// for the nearest dominating definition.
+fn naive_parents(
+    members: &[(Value, Block, u32)],
+    dt: &DomTree,
+) -> Vec<Option<Value>> {
+    members
+        .iter()
+        .enumerate()
+        .map(|(i, &(_, bi, _))| {
+            let mut best: Option<(Value, u32)> = None;
+            for (j, &(vj, bj, _)) in members.iter().enumerate() {
+                if i == j || !dt.strictly_dominates(bj, bi) {
+                    continue;
+                }
+                let key = dt.preorder(bj);
+                if best.map_or(true, |(_, bk)| key > bk) {
+                    best = Some((vj, key));
+                }
+            }
+            best.map(|(v, _)| v)
+        })
+        .collect()
+}
+
+fn bench_dforest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dominance-forest");
+    for &m in &[64usize, 256, 1024] {
+        let f = chain_function(m + 1);
+        let cfg = ControlFlowGraph::compute(&f);
+        let dt = DomTree::compute(&f, &cfg);
+        // One member per block (worst case: the whole chain).
+        let members: Vec<(Value, Block, u32)> =
+            (0..m).map(|i| (Value::new(i + 1), Block::new(i), 0)).collect();
+        group.bench_with_input(BenchmarkId::new("figure1", m), &members, |b, ms| {
+            b.iter(|| DominanceForest::build(ms, &dt));
+        });
+        group.bench_with_input(BenchmarkId::new("naive-n2", m), &members, |b, ms| {
+            b.iter(|| naive_parents(ms, &dt));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dforest);
+criterion_main!(benches);

@@ -1,0 +1,274 @@
+//! # fcc-bench — the experiment harness
+//!
+//! One binary per table of the paper's evaluation (run with
+//! `cargo run --release -p fcc-bench --bin tableN`), plus a `scaling`
+//! binary for the §3.7 complexity claim and Criterion micro-benchmarks.
+//!
+//! This library crate holds the shared machinery: the three measured
+//! pipelines, timing/memory bookkeeping, and fixed-width table printing.
+//!
+//! ## The measured pipelines
+//!
+//! Timing follows the paper (§4.2): "the timer was started immediately
+//! before building SSA form, and its value is recorded immediately after
+//! the code is rewritten".
+//!
+//! * **Standard** — pruned SSA *with* copy folding, then naive Briggs et
+//!   al. φ instantiation (no coalescing attempt).
+//! * **New** — pruned SSA *with* copy folding, then the paper's
+//!   dominance-forest coalescer (`fcc_core::coalesce_ssa`).
+//! * **Briggs / Briggs\*** — pruned SSA *without* folding, φ-web live
+//!   ranges, then the iterated interference-graph coalescer with the
+//!   full / restricted graph.
+
+use std::time::{Duration, Instant};
+
+use fcc_core::{coalesce_ssa, CoalesceStats};
+use fcc_ir::Function;
+use fcc_regalloc::{coalesce_copies, destruct_via_webs, BriggsOptions, BriggsStats, GraphMode};
+use fcc_ssa::{build_ssa, destruct_standard, SsaFlavor};
+use fcc_workloads::{compile_kernel, reference_run, Kernel};
+
+/// A measured pipeline run on one kernel.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Kernel name.
+    pub name: String,
+    /// SSA-build → rewrite wall-clock time (best of `repeats`).
+    pub time: Duration,
+    /// Peak bytes of the algorithm's data structures.
+    pub peak_bytes: usize,
+    /// Copy instructions left in the rewritten code (Table 5).
+    pub static_copies: usize,
+    /// Copy instructions executed on the standard inputs (Table 4).
+    pub dynamic_copies: u64,
+}
+
+/// Which pipeline to measure.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Pipeline {
+    /// Naive φ instantiation (no coalescing).
+    Standard,
+    /// The paper's dominance-forest coalescer.
+    New,
+    /// Iterated interference-graph coalescer, full graph.
+    Briggs,
+    /// Iterated interference-graph coalescer, copy-related names only.
+    BriggsStar,
+}
+
+impl Pipeline {
+    /// Display name matching the paper's nomenclature.
+    pub fn label(self) -> &'static str {
+        match self {
+            Pipeline::Standard => "Standard",
+            Pipeline::New => "New",
+            Pipeline::Briggs => "Briggs",
+            Pipeline::BriggsStar => "Briggs*",
+        }
+    }
+}
+
+/// Run `pipeline` on the pre-SSA `func`, returning the rewritten function
+/// and the peak data-structure bytes. Time it yourself around this call.
+pub fn run_pipeline(pipeline: Pipeline, mut func: Function) -> (Function, usize) {
+    match pipeline {
+        Pipeline::Standard => {
+            build_ssa(&mut func, SsaFlavor::Pruned, true);
+            destruct_standard(&mut func);
+            let bytes = func.bytes();
+            (func, bytes)
+        }
+        Pipeline::New => {
+            build_ssa(&mut func, SsaFlavor::Pruned, true);
+            let stats: CoalesceStats = coalesce_ssa(&mut func);
+            let bytes = stats.peak_bytes + func.bytes();
+            (func, bytes)
+        }
+        Pipeline::Briggs | Pipeline::BriggsStar => {
+            build_ssa(&mut func, SsaFlavor::Pruned, false);
+            destruct_via_webs(&mut func);
+            let mode = if pipeline == Pipeline::Briggs {
+                GraphMode::Full
+            } else {
+                GraphMode::Restricted
+            };
+            let stats: BriggsStats =
+                coalesce_copies(&mut func, &BriggsOptions { mode, ..Default::default() });
+            let bytes = stats.peak_bytes + func.bytes();
+            (func, bytes)
+        }
+    }
+}
+
+/// Measure `pipeline` on `kernel`: best-of-`repeats` wall time, peak
+/// bytes, and the static/dynamic copy counts of the final code.
+///
+/// # Panics
+/// Panics if the rewritten kernel fails to execute — that would be a
+/// miscompile, which the test suite rules out.
+pub fn measure(pipeline: Pipeline, kernel: &Kernel, repeats: usize) -> Measurement {
+    let base = compile_kernel(kernel);
+    let mut best = Duration::MAX;
+    let mut result: Option<(Function, usize)> = None;
+    for _ in 0..repeats.max(1) {
+        let func = base.clone();
+        let t0 = Instant::now();
+        let out = run_pipeline(pipeline, func);
+        let dt = t0.elapsed();
+        if dt < best {
+            best = dt;
+        }
+        result = Some(out);
+    }
+    let (func, peak_bytes) = result.expect("at least one repeat");
+    let run = reference_run(&func, kernel)
+        .unwrap_or_else(|e| panic!("{} under {}: {e}", kernel.name, pipeline.label()));
+    Measurement {
+        name: kernel.name.to_string(),
+        time: best,
+        peak_bytes,
+        static_copies: func.static_copy_count(),
+        dynamic_copies: run.dynamic_copies,
+    }
+}
+
+/// Verify (against the interpreter) that every pipeline preserves the
+/// kernel's behaviour, then return the per-pipeline measurements.
+pub fn measure_all(kernel: &Kernel, repeats: usize) -> Vec<(Pipeline, Measurement)> {
+    let base = compile_kernel(kernel);
+    let reference = reference_run(&base, kernel).expect("kernel runs");
+    [Pipeline::Standard, Pipeline::New, Pipeline::Briggs, Pipeline::BriggsStar]
+        .into_iter()
+        .map(|p| {
+            let m = measure(p, kernel, repeats);
+            let (func, _) = run_pipeline(p, base.clone());
+            let out = reference_run(&func, kernel).expect("pipeline output runs");
+            assert_eq!(
+                reference.behavior(),
+                out.behavior(),
+                "{} miscompiled by {}",
+                kernel.name,
+                p.label()
+            );
+            (p, m)
+        })
+        .collect()
+}
+
+/// Fixed-width table printer.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render with padded columns: first column left-aligned, the rest
+    /// right-aligned.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut width = vec![0usize; ncols];
+        for (i, h) in self.headers.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], width: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i == 0 {
+                    line.push_str(&format!("{:<w$}", c, w = width[i]));
+                } else {
+                    line.push_str(&format!("  {:>w$}", c, w = width[i]));
+                }
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &width));
+        let total: usize = width.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &width));
+        }
+        out
+    }
+}
+
+/// Format a duration in microseconds with 1 decimal.
+pub fn us(d: Duration) -> String {
+    format!("{:.1}", d.as_secs_f64() * 1e6)
+}
+
+/// Format a ratio with 2 decimals; `inf` guarded.
+pub fn ratio(a: f64, b: f64) -> String {
+    if b == 0.0 {
+        "-".to_string()
+    } else {
+        format!("{:.2}", a / b)
+    }
+}
+
+/// Geometric-mean helper for the AVERAGE rows.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let s: f64 = xs.iter().filter(|&&x| x > 0.0).map(|x| x.ln()).sum();
+    let n = xs.iter().filter(|&&x| x > 0.0).count().max(1);
+    (s / n as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcc_workloads::kernel;
+
+    #[test]
+    fn all_pipelines_preserve_saxpy() {
+        let k = kernel("saxpy").unwrap();
+        let ms = measure_all(k, 1);
+        assert_eq!(ms.len(), 4);
+        // Standard inserts the most copies; New must beat it.
+        let by = |p: Pipeline| ms.iter().find(|(q, _)| *q == p).unwrap().1.clone();
+        assert!(by(Pipeline::New).static_copies <= by(Pipeline::Standard).static_copies);
+        assert_eq!(by(Pipeline::Briggs).static_copies, by(Pipeline::BriggsStar).static_copies);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["File", "A", "B"]);
+        t.row(vec!["x".into(), "1".into(), "22".into()]);
+        t.row(vec!["longer".into(), "333".into(), "4".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[1].chars().all(|c| c == '-'), true);
+        assert!(lines[2].starts_with("x     "));
+    }
+
+    #[test]
+    fn helpers_format() {
+        assert_eq!(us(Duration::from_micros(1500)), "1500.0");
+        assert_eq!(ratio(3.0, 2.0), "1.50");
+        assert_eq!(ratio(3.0, 0.0), "-");
+        let g = geomean(&[2.0, 8.0]);
+        assert!((g - 4.0).abs() < 1e-9);
+    }
+}

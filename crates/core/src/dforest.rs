@@ -1,0 +1,341 @@
+//! The dominance forest (Definition 3.1, Figure 1).
+//!
+//! Given a set `S` of SSA values, the dominance forest collapses the
+//! dominator-tree paths between their definition blocks: there is an edge
+//! `u → v` iff `u`'s block strictly dominates `v`'s with no other member
+//! in between. Lemma 3.1 then licenses checking interference along forest
+//! edges *only*: if a parent does not interfere with its child, it cannot
+//! interfere with anything below that child. This replaces the quadratic
+//! pairwise comparison inside a candidate congruence class with a linear
+//! scan.
+//!
+//! Construction is exactly the paper's Figure 1: number the dominator
+//! tree in depth-first preorder, record each node's maximum descendant
+//! preorder (Tarjan's O(1) ancestry trick, computed once per function by
+//! [`fcc_analysis::DomTree`]), sort the members by preorder (the paper
+//! uses a radix sort; so do we), and sweep once with a stack rooted at a
+//! virtual root.
+//!
+//! One extension: the coalescer may hold several members defined in the
+//! *same* block (classes merge transitively across φs, so Definition
+//! 3.1's distinct-blocks premise can be violated). Members of one block
+//! are chained parent→child in definition order, which is precisely the
+//! shape the Figure 2 walk expects for its "same defining block" case.
+
+use fcc_analysis::DomTree;
+use fcc_ir::{Block, Value};
+
+/// One member of a dominance forest.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DfNode {
+    /// The SSA value this node stands for.
+    pub value: Value,
+    /// The block containing the value's definition.
+    pub block: Block,
+    /// Position of the definition within its block (instruction index).
+    pub def_pos: u32,
+    /// Index of the parent node within the forest, if any.
+    pub parent: Option<usize>,
+    /// Indices of child nodes.
+    pub children: Vec<usize>,
+}
+
+/// A dominance forest over one candidate congruence class.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct DominanceForest {
+    nodes: Vec<DfNode>,
+}
+
+impl DominanceForest {
+    /// Build the dominance forest of `members`, each given as
+    /// `(value, defining block, definition position)`.
+    ///
+    /// Members must have reachable defining blocks. The order of `members`
+    /// is irrelevant; nodes come out in (preorder, position) order, which
+    /// is also a valid top-down traversal order.
+    pub fn build(members: &[(Value, Block, u32)], dt: &DomTree) -> Self {
+        // Sort by (preorder of def block, def position). The paper radix
+        // sorts by preorder; we radix sort the combined 64-bit key.
+        let mut keyed: Vec<(u64, usize)> = members
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, b, pos))| (((dt.preorder(b) as u64) << 32) | pos as u64, i))
+            .collect();
+        radix_sort_by_key(&mut keyed);
+
+        let mut nodes: Vec<DfNode> = Vec::with_capacity(members.len());
+        // Stack of open ancestors, as indices into `nodes`; the virtual
+        // root is represented by an empty-slot sentinel handled below.
+        let mut stack: Vec<usize> = Vec::new();
+
+        for &(_, mi) in &keyed {
+            let (value, block, def_pos) = members[mi];
+            let pre = dt.preorder(block);
+            // Pop ancestors that cannot dominate this member: the member's
+            // preorder lies outside their descendant bracket. Same-block
+            // entries share a preorder and therefore never pop each other,
+            // which chains them in definition order.
+            while let Some(&top) = stack.last() {
+                let tb = nodes[top].block;
+                if pre > dt.max_preorder(tb) {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            let parent = stack.last().copied();
+            let idx = nodes.len();
+            nodes.push(DfNode { value, block, def_pos, parent, children: Vec::new() });
+            if let Some(p) = parent {
+                nodes[p].children.push(idx);
+            }
+            stack.push(idx);
+        }
+
+        DominanceForest { nodes }
+    }
+
+    /// The nodes in (preorder, definition-position) order.
+    pub fn nodes(&self) -> &[DfNode] {
+        &self.nodes
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the forest is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Indices of the root nodes.
+    pub fn roots(&self) -> impl Iterator<Item = usize> + '_ {
+        self.nodes.iter().enumerate().filter(|(_, n)| n.parent.is_none()).map(|(i, _)| i)
+    }
+
+    /// Approximate heap bytes used.
+    pub fn bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<DfNode>()
+            + self.nodes.iter().map(|n| n.children.capacity() * 8).sum::<usize>()
+    }
+}
+
+/// LSD radix sort of `(key, payload)` pairs by key, 16 bits per pass.
+///
+/// The paper notes the member sort is a radix sort to keep forest
+/// construction linear; keys here are `(preorder << 32) | position`, so
+/// four passes suffice.
+pub fn radix_sort_by_key(items: &mut Vec<(u64, usize)>) {
+    if items.len() <= 1 {
+        return;
+    }
+    // 8-bit digits: the bucket arrays are tiny, so sorting the many small
+    // member sets a real function produces stays cheap (a 16-bit radix
+    // would zero 64 KiB of counters per pass — measurably dominant).
+    const BITS: u32 = 8;
+    const BUCKETS: usize = 1 << BITS;
+    let mut scratch: Vec<(u64, usize)> = vec![(0, 0); items.len()];
+    let max_key = items.iter().map(|&(k, _)| k).max().unwrap_or(0);
+    let passes = ((64 - max_key.leading_zeros()).div_ceil(BITS)).max(1);
+    for pass in 0..passes {
+        let shift = pass * BITS;
+        let mut starts = [0usize; BUCKETS + 1];
+        for &(k, _) in items.iter() {
+            starts[(((k >> shift) as usize) & (BUCKETS - 1)) + 1] += 1;
+        }
+        for i in 1..=BUCKETS {
+            starts[i] += starts[i - 1];
+        }
+        for &(k, p) in items.iter() {
+            let b = ((k >> shift) as usize) & (BUCKETS - 1);
+            scratch[starts[b]] = (k, p);
+            starts[b] += 1;
+        }
+        std::mem::swap(items, &mut scratch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcc_ir::parse::parse_function;
+    use fcc_ir::ControlFlowGraph;
+
+    /// A dominator tree shaped like:
+    /// b0 → {b1, b4}; b1 → {b2, b3}
+    const TREE: &str = "
+        function @t(0) {
+        b0:
+            v0 = const 1
+            branch v0, b1, b4
+        b1:
+            branch v0, b2, b3
+        b2:
+            jump b4
+        b3:
+            jump b4
+        b4:
+            return
+        }";
+
+    fn dt_for(text: &str) -> (fcc_ir::Function, DomTree) {
+        let f = parse_function(text).unwrap();
+        let cfg = ControlFlowGraph::compute(&f);
+        let dt = DomTree::compute(&f, &cfg);
+        (f, dt)
+    }
+
+    fn forest(members: &[(usize, usize, u32)], dt: &DomTree) -> DominanceForest {
+        let ms: Vec<(Value, Block, u32)> = members
+            .iter()
+            .map(|&(v, b, p)| (Value::new(v), Block::new(b), p))
+            .collect();
+        DominanceForest::build(&ms, dt)
+    }
+
+    /// Naive O(n²) reference: parent of v = the member whose block is the
+    /// *nearest* strict dominator (or earlier same-block definition).
+    fn naive_parent(
+        members: &[(Value, Block, u32)],
+        i: usize,
+        dt: &DomTree,
+    ) -> Option<Value> {
+        let (_, bi, pi) = members[i];
+        let mut best: Option<(usize, u32, u32)> = None; // (idx, preorder, pos)
+        for (j, &(_, bj, pj)) in members.iter().enumerate() {
+            if j == i {
+                continue;
+            }
+            let dominates = if bj == bi { pj < pi } else { dt.strictly_dominates(bj, bi) };
+            if !dominates {
+                continue;
+            }
+            let key = (dt.preorder(bj), pj);
+            if best.map_or(true, |(_, bp, bpos)| key > (bp, bpos)) {
+                best = Some((j, key.0, key.1));
+            }
+        }
+        best.map(|(j, _, _)| members[j].0)
+    }
+
+    fn check_against_naive(members: &[(usize, usize, u32)], dt: &DomTree) {
+        let ms: Vec<(Value, Block, u32)> = members
+            .iter()
+            .map(|&(v, b, p)| (Value::new(v), Block::new(b), p))
+            .collect();
+        let df = DominanceForest::build(&ms, dt);
+        assert_eq!(df.len(), ms.len());
+        for node in df.nodes() {
+            let i = ms.iter().position(|&(v, _, _)| v == node.value).unwrap();
+            let expect = naive_parent(&ms, i, dt);
+            let got = node.parent.map(|p| df.nodes()[p].value);
+            assert_eq!(got, expect, "parent of {} in {members:?}", node.value);
+        }
+    }
+
+    #[test]
+    fn chain_collapses_to_path() {
+        let (_, dt) = dt_for(TREE);
+        // Members in b0, b1, b2: a dominator-tree path.
+        check_against_naive(&[(0, 0, 0), (1, 1, 0), (2, 2, 0)], &dt);
+    }
+
+    #[test]
+    fn siblings_share_parent() {
+        let (_, dt) = dt_for(TREE);
+        // b2 and b3 are siblings under b1.
+        let df = forest(&[(1, 1, 0), (2, 2, 0), (3, 3, 0)], &dt);
+        let root: Vec<usize> = df.roots().collect();
+        assert_eq!(root.len(), 1);
+        assert_eq!(df.nodes()[root[0]].children.len(), 2);
+        check_against_naive(&[(1, 1, 0), (2, 2, 0), (3, 3, 0)], &dt);
+    }
+
+    #[test]
+    fn unrelated_blocks_make_roots() {
+        let (_, dt) = dt_for(TREE);
+        // b2 and b3 don't dominate each other: two roots.
+        let df = forest(&[(2, 2, 0), (3, 3, 0)], &dt);
+        assert_eq!(df.roots().count(), 2);
+    }
+
+    #[test]
+    fn skipping_intermediate_blocks() {
+        let (_, dt) = dt_for(TREE);
+        // Members in b0 and b2 (b1 not a member): edge collapses b1.
+        let df = forest(&[(0, 0, 0), (2, 2, 0)], &dt);
+        let nodes = df.nodes();
+        assert_eq!(nodes[0].value, Value::new(0));
+        assert_eq!(nodes[1].parent, Some(0));
+        check_against_naive(&[(0, 0, 0), (2, 2, 0)], &dt);
+    }
+
+    #[test]
+    fn join_block_member_not_under_branch_members() {
+        let (_, dt) = dt_for(TREE);
+        // b4 is dominated only by b0 (join point), so with members in
+        // b1, b2, b4 the b4 node must be a root (b1 doesn't dominate b4).
+        check_against_naive(&[(1, 1, 0), (2, 2, 0), (4, 4, 0)], &dt);
+    }
+
+    #[test]
+    fn same_block_members_chain_in_def_order() {
+        let (_, dt) = dt_for(TREE);
+        let df = forest(&[(10, 1, 5), (11, 1, 2), (12, 1, 8)], &dt);
+        let nodes = df.nodes();
+        // Sorted by position: 11 (pos 2) -> 10 (pos 5) -> 12 (pos 8).
+        assert_eq!(nodes[0].value, Value::new(11));
+        assert_eq!(nodes[1].value, Value::new(10));
+        assert_eq!(nodes[2].value, Value::new(12));
+        assert_eq!(nodes[1].parent, Some(0));
+        assert_eq!(nodes[2].parent, Some(1));
+    }
+
+    #[test]
+    fn mixed_same_block_and_dominance() {
+        let (_, dt) = dt_for(TREE);
+        check_against_naive(&[(0, 0, 0), (1, 1, 1), (2, 1, 4), (3, 2, 0), (4, 4, 0)], &dt);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let (_, dt) = dt_for(TREE);
+        let df = forest(&[], &dt);
+        assert!(df.is_empty());
+        let df1 = forest(&[(7, 3, 0)], &dt);
+        assert_eq!(df1.len(), 1);
+        assert_eq!(df1.roots().count(), 1);
+    }
+
+    #[test]
+    fn radix_sort_sorts() {
+        let mut v: Vec<(u64, usize)> =
+            vec![(5, 0), (1, 1), (1 << 40, 2), (0, 3), (u32::MAX as u64, 4), (5, 5)];
+        radix_sort_by_key(&mut v);
+        let keys: Vec<u64> = v.iter().map(|&(k, _)| k).collect();
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        assert_eq!(keys, expect);
+        // Stability: equal keys keep input order.
+        let fives: Vec<usize> = v.iter().filter(|&&(k, _)| k == 5).map(|&(_, p)| p).collect();
+        assert_eq!(fives, vec![0, 5]);
+    }
+
+    #[test]
+    fn radix_sort_random_cross_check() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..20 {
+            let n = rng.gen_range(0..200);
+            let mut v: Vec<(u64, usize)> =
+                (0..n).map(|i| (rng.gen::<u64>() >> rng.gen_range(0..64), i)).collect();
+            let mut expect = v.clone();
+            expect.sort_by_key(|&(k, _)| k);
+            radix_sort_by_key(&mut v);
+            assert_eq!(v.iter().map(|p| p.0).collect::<Vec<_>>(),
+                       expect.iter().map(|p| p.0).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! A small s–t min-cut (Edmonds–Karp max-flow) over weighted undirected
+//! graphs.
+//!
+//! Used by the coalescer's *edge-cut* split strategy (an extension in the
+//! spirit of the paper's "several heuristics to improve the precision"
+//! future work): when two members of a candidate congruence class
+//! interfere, the class's φ-connection graph is cut between them so that
+//! the fewest (loop-depth-weighted) copies materialise. Classes are
+//! small, so a simple O(V·E²) max-flow is more than fast enough.
+
+use std::collections::VecDeque;
+
+/// Compute a minimum s–t cut of an undirected graph.
+///
+/// `edges` are `(u, v, weight)` with nodes in `0..n`; parallel edges add
+/// up. Returns the cut weight and, for every node, whether it lies on the
+/// **source side** of the cut.
+///
+/// # Panics
+/// Panics if `s == t` or any endpoint is out of range.
+pub fn min_cut(n: usize, edges: &[(usize, usize, u64)], s: usize, t: usize) -> (u64, Vec<bool>) {
+    assert!(s < n && t < n && s != t, "bad cut endpoints");
+    // Dense capacity matrix: classes are small (the caller bounds n).
+    let mut cap = vec![0u64; n * n];
+    for &(u, v, w) in edges {
+        assert!(u < n && v < n, "edge endpoint out of range");
+        if u == v {
+            continue;
+        }
+        cap[u * n + v] += w;
+        cap[v * n + u] += w;
+    }
+
+    let mut flow = 0u64;
+    loop {
+        // BFS for an augmenting path in the residual graph.
+        let mut parent = vec![usize::MAX; n];
+        parent[s] = s;
+        let mut queue = VecDeque::from([s]);
+        while let Some(u) = queue.pop_front() {
+            for v in 0..n {
+                if parent[v] == usize::MAX && cap[u * n + v] > 0 {
+                    parent[v] = u;
+                    queue.push_back(v);
+                }
+            }
+        }
+        if parent[t] == usize::MAX {
+            break;
+        }
+        // Bottleneck along the path.
+        let mut bottleneck = u64::MAX;
+        let mut v = t;
+        while v != s {
+            let u = parent[v];
+            bottleneck = bottleneck.min(cap[u * n + v]);
+            v = u;
+        }
+        let mut v = t;
+        while v != s {
+            let u = parent[v];
+            cap[u * n + v] -= bottleneck;
+            cap[v * n + u] += bottleneck;
+            v = u;
+        }
+        flow += bottleneck;
+    }
+
+    // Source side = residual-reachable from s.
+    let mut side = vec![false; n];
+    side[s] = true;
+    let mut queue = VecDeque::from([s]);
+    while let Some(u) = queue.pop_front() {
+        for v in 0..n {
+            if !side[v] && cap[u * n + v] > 0 {
+                side[v] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    (flow, side)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_edge_cut() {
+        let (w, side) = min_cut(2, &[(0, 1, 7)], 0, 1);
+        assert_eq!(w, 7);
+        assert!(side[0] && !side[1]);
+    }
+
+    #[test]
+    fn path_cuts_at_lightest_edge() {
+        // 0 -5- 1 -2- 2 -9- 3: min cut 0..3 is the weight-2 edge.
+        let (w, side) = min_cut(4, &[(0, 1, 5), (1, 2, 2), (2, 3, 9)], 0, 3);
+        assert_eq!(w, 2);
+        assert_eq!(side, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn parallel_edges_add_up() {
+        let (w, _) = min_cut(2, &[(0, 1, 3), (0, 1, 4)], 0, 1);
+        assert_eq!(w, 7);
+    }
+
+    #[test]
+    fn triangle_with_heavy_detour() {
+        // 0-1 weight 1, but also 0-2-1 with weight 10 each: cut = 1 + 10.
+        let (w, _) = min_cut(3, &[(0, 1, 1), (0, 2, 10), (2, 1, 10)], 0, 1);
+        assert_eq!(w, 11);
+    }
+
+    #[test]
+    fn star_separates_leaf() {
+        // Center 0 with leaves 1..4; cutting leaf 3 off costs its spoke.
+        let edges = [(0, 1, 5), (0, 2, 5), (0, 3, 2), (0, 4, 5)];
+        let (w, side) = min_cut(5, &edges, 0, 3);
+        assert_eq!(w, 2);
+        assert!(side[0] && side[1] && side[2] && !side[3] && side[4]);
+    }
+
+    #[test]
+    fn disconnected_nodes_cut_for_free() {
+        let (w, side) = min_cut(3, &[(0, 1, 4)], 0, 2);
+        assert_eq!(w, 0);
+        assert!(side[0] && side[1] && !side[2]);
+    }
+
+    #[test]
+    fn cut_weight_matches_crossing_edges() {
+        // Cross-check: sum of edges crossing the reported partition must
+        // equal the reported flow.
+        let edges = [
+            (0usize, 1usize, 3u64),
+            (0, 2, 1),
+            (1, 2, 1),
+            (1, 3, 2),
+            (2, 3, 4),
+            (2, 4, 2),
+            (3, 4, 1),
+        ];
+        let (w, side) = min_cut(5, &edges, 0, 4);
+        let crossing: u64 =
+            edges.iter().filter(|&&(u, v, _)| side[u] != side[v]).map(|&(_, _, w)| w).sum();
+        assert_eq!(w, crossing);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad cut endpoints")]
+    fn same_endpoints_panic() {
+        min_cut(2, &[], 1, 1);
+    }
+}

@@ -1,0 +1,108 @@
+//! Abstract syntax of MiniLang.
+//!
+//! MiniLang is a deliberately small imperative language — roughly the
+//! Fortran-77 subset the paper's test suite (Forsythe et al. + Spec
+//! kernels) is written in: scalar integer variables, one flat array
+//! (`mem[...]`), structured control flow, and a single function per
+//! program. Its whole purpose is to *generate realistic pre-SSA IR*:
+//! every assignment to a named variable lowers to a `copy` or an
+//! in-place arithmetic def, giving the coalescers real work.
+
+/// A complete MiniLang program: one function.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Program {
+    /// Function name.
+    pub name: String,
+    /// Parameter names, in order.
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Stmt {
+    /// `let x = e;` — declare (or redeclare) and assign.
+    Let { name: String, value: Expr },
+    /// `x = e;` — assign to an existing variable.
+    Assign { name: String, value: Expr },
+    /// `mem[a] = e;` — store to the flat memory.
+    Store { addr: Expr, value: Expr },
+    /// `if e { .. } else { .. }`.
+    If { cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt> },
+    /// `while e { .. }`.
+    While { cond: Expr, body: Vec<Stmt> },
+    /// `for i = a to b { .. }` — iterates `i` from `a` while `i < b`,
+    /// incrementing by one. Unlike Fortran DO loops, the bound `b` is
+    /// **re-evaluated every iteration** (it lowers to a `while`); a body
+    /// that reassigns variables used in `b` changes the trip count.
+    For { var: String, from: Expr, to: Expr, body: Vec<Stmt> },
+    /// `return e;` or `return;`.
+    Return { value: Option<Expr> },
+}
+
+/// An expression.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Expr {
+    /// Integer literal.
+    Num(i64),
+    /// Variable reference.
+    Var(String),
+    /// `mem[e]` — load from the flat memory.
+    Load(Box<Expr>),
+    /// Unary operation.
+    Unary { op: UnOp, expr: Box<Expr> },
+    /// Binary operation.
+    Binary { op: Op, lhs: Box<Expr>, rhs: Box<Expr> },
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UnOp {
+    /// Arithmetic negation `-e`.
+    Neg,
+    /// Logical not `!e` (1 if `e == 0`, else 0).
+    Not,
+}
+
+/// Binary operators. `AndAnd`/`OrOr` are *logical* (operands normalised
+/// to 0/1) but not short-circuiting.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Op {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (total: x/0 = 0)
+    Div,
+    /// `%` (total: x%0 = 0)
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `&&` (logical, non-short-circuit)
+    AndAnd,
+    /// `||` (logical, non-short-circuit)
+    OrOr,
+}

@@ -1,0 +1,160 @@
+//! Lexer for MiniLang, the small imperative source language used to write
+//! the benchmark kernels.
+
+use std::fmt;
+
+/// A lexical token with its 1-based source line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Token {
+    /// The token's kind and payload.
+    pub kind: TokenKind,
+    /// 1-based line number, for error reporting.
+    pub line: usize,
+}
+
+/// Token kinds.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `let`, `if`, `else`, `while`,
+    /// `for`, `to`, `return`, `mem`).
+    Ident(String),
+    /// An integer literal.
+    Num(i64),
+    /// A punctuation or operator token, e.g. `(`, `+`, `<=`, `&&`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::Num(n) => write!(f, "`{n}`"),
+            TokenKind::Punct(p) => write!(f, "`{p}`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A lexical error.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LexError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Multi-character operators, longest first so maximal munch works.
+const PUNCTS: &[&str] = &[
+    "<=", ">=", "==", "!=", "&&", "||", "<<", ">>", "(", ")", "{", "}", "[", "]", ";", ",", "=",
+    "+", "-", "*", "/", "%", "<", ">", "!", "&", "|", "^",
+];
+
+/// Tokenise `src`. Comments run from `//` or `#` to end of line.
+///
+/// # Errors
+/// Returns a [`LexError`] on any character that cannot start a token.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut toks = Vec::new();
+    let mut line = 1usize;
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_whitespace() {
+            i += 1;
+        } else if c == '#' || (c == '/' && bytes.get(i + 1) == Some(&b'/')) {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+        } else if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            toks.push(Token { kind: TokenKind::Ident(src[start..i].to_string()), line });
+        } else if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            let n: i64 = src[start..i]
+                .parse()
+                .map_err(|e| LexError { line, message: format!("bad number: {e}") })?;
+            toks.push(Token { kind: TokenKind::Num(n), line });
+        } else if let Some(&p) = PUNCTS.iter().find(|&&p| src[i..].starts_with(p)) {
+            toks.push(Token { kind: TokenKind::Punct(p), line });
+            i += p.len();
+        } else {
+            return Err(LexError { line, message: format!("unexpected character {c:?}") });
+        }
+    }
+    toks.push(Token { kind: TokenKind::Eof, line });
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_identifiers_numbers_puncts() {
+        let k = kinds("fn f(x) { x = x + 42; }");
+        assert_eq!(k[0], TokenKind::Ident("fn".into()));
+        assert_eq!(k[1], TokenKind::Ident("f".into()));
+        assert!(k.contains(&TokenKind::Num(42)));
+        assert!(k.contains(&TokenKind::Punct("+")));
+        assert_eq!(*k.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn maximal_munch_for_two_char_ops() {
+        let k = kinds("a <= b == c && d");
+        assert!(k.contains(&TokenKind::Punct("<=")));
+        assert!(k.contains(&TokenKind::Punct("==")));
+        assert!(k.contains(&TokenKind::Punct("&&")));
+        assert!(!k.contains(&TokenKind::Punct("=")));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let k = kinds("x // whole line\n# another\ny");
+        assert_eq!(
+            k,
+            vec![TokenKind::Ident("x".into()), TokenKind::Ident("y".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let toks = lex("a\nb\n  c").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn rejects_bad_character() {
+        let e = lex("a $ b").unwrap_err();
+        assert!(e.to_string().contains("unexpected character"));
+    }
+}

@@ -1,0 +1,38 @@
+//! # fcc-frontend — the MiniLang source language
+//!
+//! A small Fortran-77-flavoured imperative language (scalars, one flat
+//! array `mem[...]`, `if`/`while`/`for`, one function) with a lexer,
+//! recursive-descent parser, and a naive lowering to the `fcc-ir` CFG.
+//!
+//! Its purpose in this reproduction: produce *realistic copy-rich input*
+//! for the coalescing pipelines. The paper's test suite is Fortran
+//! numerical kernels compiled by a simple front end; MiniLang plays that
+//! role here — every assignment and parameter homing materialises a
+//! `copy` (see [`lower::LowerOptions`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use fcc_frontend::compile;
+//!
+//! let f = compile("fn triple(x) { let y = x * 3; return y; }").unwrap();
+//! assert_eq!(fcc_interp::run(&f, &[14]).unwrap().ret, Some(42));
+//! ```
+
+pub mod ast;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+
+pub use ast::{Expr, Op, Program, Stmt, UnOp};
+pub use lower::{lower_program, lower_program_with, LowerError, LowerOptions};
+pub use parser::{parse_program, ParseError};
+
+/// Parse and lower MiniLang source into an IR function in one step.
+///
+/// # Errors
+/// Returns the parse or lowering error message.
+pub fn compile(src: &str) -> Result<fcc_ir::Function, String> {
+    let prog = parse_program(src).map_err(|e| e.to_string())?;
+    lower_program(&prog).map_err(|e| e.to_string())
+}

@@ -1,0 +1,402 @@
+//! Recursive-descent parser for MiniLang.
+
+use std::fmt;
+
+use crate::ast::{Expr, Op, Program, Stmt, UnOp};
+use crate::lexer::{lex, LexError, Token, TokenKind};
+
+/// A parse failure with its 1-based source line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of what went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { line: e.line, message: e.message }
+    }
+}
+
+/// Parse a MiniLang program.
+///
+/// # Errors
+/// Returns a [`ParseError`] pointing at the first malformed construct.
+///
+/// # Examples
+/// ```
+/// let p = fcc_frontend::parse_program("fn f(x) { return x + 1; }")?;
+/// assert_eq!(p.name, "f");
+/// assert_eq!(p.params, vec!["x"]);
+/// # Ok::<(), fcc_frontend::ParseError>(())
+/// ```
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let prog = p.program()?;
+    p.expect_eof()?;
+    Ok(prog)
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.toks[self.pos.min(self.toks.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { line: self.peek().line, message: message.into() })
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if self.check_punct(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn check_punct(&self, p: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Punct(q) if *q == p)
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        if self.check_punct(p) {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected `{p}`, found {}", self.peek().kind))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) if s == kw => {
+                self.bump();
+                Ok(())
+            }
+            other => self.err(format!("expected `{kw}`, found {other}")),
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(s) if s == kw)
+    }
+
+    fn expect_eof(&self) -> Result<(), ParseError> {
+        if self.peek().kind == TokenKind::Eof {
+            Ok(())
+        } else {
+            self.err(format!("trailing input: {}", self.peek().kind))
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        self.keyword("fn")?;
+        let name = self.ident()?;
+        self.expect_punct("(")?;
+        let mut params = Vec::new();
+        if !self.check_punct(")") {
+            loop {
+                params.push(self.ident()?);
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+        }
+        self.expect_punct(")")?;
+        let body = self.block()?;
+        Ok(Program { name, params, body })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.check_punct("}") {
+            if self.peek().kind == TokenKind::Eof {
+                return self.err("unterminated block");
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.expect_punct("}")?;
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        if self.at_keyword("let") {
+            self.bump();
+            let name = self.ident()?;
+            self.expect_punct("=")?;
+            let value = self.expr()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Let { name, value });
+        }
+        if self.at_keyword("if") {
+            self.bump();
+            let cond = self.expr()?;
+            let then_body = self.block()?;
+            let else_body = if self.at_keyword("else") {
+                self.bump();
+                if self.at_keyword("if") {
+                    vec![self.stmt()?]
+                } else {
+                    self.block()?
+                }
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::If { cond, then_body, else_body });
+        }
+        if self.at_keyword("while") {
+            self.bump();
+            let cond = self.expr()?;
+            let body = self.block()?;
+            return Ok(Stmt::While { cond, body });
+        }
+        if self.at_keyword("for") {
+            self.bump();
+            let var = self.ident()?;
+            self.expect_punct("=")?;
+            let from = self.expr()?;
+            self.keyword("to")?;
+            let to = self.expr()?;
+            let body = self.block()?;
+            return Ok(Stmt::For { var, from, to, body });
+        }
+        if self.at_keyword("return") {
+            self.bump();
+            let value = if self.check_punct(";") { None } else { Some(self.expr()?) };
+            self.expect_punct(";")?;
+            return Ok(Stmt::Return { value });
+        }
+        if self.at_keyword("mem") {
+            self.bump();
+            self.expect_punct("[")?;
+            let addr = self.expr()?;
+            self.expect_punct("]")?;
+            self.expect_punct("=")?;
+            let value = self.expr()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Store { addr, value });
+        }
+        // Plain assignment.
+        let name = self.ident()?;
+        self.expect_punct("=")?;
+        let value = self.expr()?;
+        self.expect_punct(";")?;
+        Ok(Stmt::Assign { name, value })
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.binary_expr(0)
+    }
+
+    /// Precedence-climbing over the binary operator table.
+    fn binary_expr(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let Some((op, prec)) = self.peek_binop() else { break };
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.binary_expr(prec + 1)?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn peek_binop(&self) -> Option<(Op, u8)> {
+        let TokenKind::Punct(p) = &self.peek().kind else { return None };
+        Some(match *p {
+            "||" => (Op::OrOr, 1),
+            "&&" => (Op::AndAnd, 2),
+            "|" => (Op::BitOr, 3),
+            "^" => (Op::BitXor, 4),
+            "&" => (Op::BitAnd, 5),
+            "==" => (Op::Eq, 6),
+            "!=" => (Op::Ne, 6),
+            "<" => (Op::Lt, 7),
+            "<=" => (Op::Le, 7),
+            ">" => (Op::Gt, 7),
+            ">=" => (Op::Ge, 7),
+            "<<" => (Op::Shl, 8),
+            ">>" => (Op::Shr, 8),
+            "+" => (Op::Add, 9),
+            "-" => (Op::Sub, 9),
+            "*" => (Op::Mul, 10),
+            "/" => (Op::Div, 10),
+            "%" => (Op::Rem, 10),
+            _ => return None,
+        })
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_punct("-") {
+            let e = self.unary_expr()?;
+            return Ok(Expr::Unary { op: UnOp::Neg, expr: Box::new(e) });
+        }
+        if self.eat_punct("!") {
+            let e = self.unary_expr()?;
+            return Ok(Expr::Unary { op: UnOp::Not, expr: Box::new(e) });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().kind.clone() {
+            TokenKind::Num(n) => {
+                self.bump();
+                Ok(Expr::Num(n))
+            }
+            TokenKind::Punct("(") => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) if name == "mem" => {
+                self.bump();
+                self.expect_punct("[")?;
+                let e = self.expr()?;
+                self.expect_punct("]")?;
+                Ok(Expr::Load(Box::new(e)))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(Expr::Var(name))
+            }
+            other => self.err(format!("expected expression, found {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_function() {
+        let p = parse_program("fn main() { return 0; }").unwrap();
+        assert_eq!(p.name, "main");
+        assert!(p.params.is_empty());
+        assert_eq!(p.body.len(), 1);
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p = parse_program("fn f() { let x = 1 + 2 * 3; return x; }").unwrap();
+        match &p.body[0] {
+            Stmt::Let { value: Expr::Binary { op: Op::Add, rhs, .. }, .. } => {
+                assert!(matches!(**rhs, Expr::Binary { op: Op::Mul, .. }));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_cmp_over_logic() {
+        let p = parse_program("fn f(a, b) { return a < b && b < 10; }").unwrap();
+        match &p.body[0] {
+            Stmt::Return { value: Some(Expr::Binary { op: Op::AndAnd, lhs, rhs }) } => {
+                assert!(matches!(**lhs, Expr::Binary { op: Op::Lt, .. }));
+                assert!(matches!(**rhs, Expr::Binary { op: Op::Lt, .. }));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let p = parse_program(
+            "fn f(n) {
+                let s = 0;
+                for i = 0 to n {
+                    if i % 2 == 0 { s = s + i; } else { s = s - 1; }
+                }
+                while s > 100 { s = s / 2; }
+                return s;
+            }",
+        )
+        .unwrap();
+        assert_eq!(p.body.len(), 4);
+        assert!(matches!(p.body[1], Stmt::For { .. }));
+        assert!(matches!(p.body[2], Stmt::While { .. }));
+    }
+
+    #[test]
+    fn parses_else_if_chain() {
+        let p = parse_program(
+            "fn f(x) {
+                if x == 0 { return 1; } else if x == 1 { return 2; } else { return 3; }
+            }",
+        )
+        .unwrap();
+        match &p.body[0] {
+            Stmt::If { else_body, .. } => {
+                assert_eq!(else_body.len(), 1);
+                assert!(matches!(else_body[0], Stmt::If { .. }));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_memory_ops() {
+        let p = parse_program("fn f(i) { mem[i] = mem[i + 1] * 2; return mem[0]; }").unwrap();
+        assert!(matches!(p.body[0], Stmt::Store { .. }));
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let e = parse_program("fn f() {\n let x = ;\n}").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("expected expression"));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let e = parse_program("fn f() { return 0; } extra").unwrap_err();
+        assert!(e.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn unary_operators_nest() {
+        let p = parse_program("fn f(x) { return - - x + !x; }").unwrap();
+        assert!(matches!(p.body[0], Stmt::Return { .. }));
+    }
+}

@@ -1,0 +1,427 @@
+//! # fcc-interp — a reference interpreter for the IR
+//!
+//! Two jobs:
+//!
+//! 1. **Correctness oracle.** The interpreter executes φ-nodes with proper
+//!    parallel edge semantics, so a function can be run *in SSA form* to
+//!    produce reference behaviour. Every SSA-destruction algorithm in this
+//!    workspace (Standard, the paper's New algorithm, Briggs, Briggs\*)
+//!    must produce a φ-free program with identical observable behaviour —
+//!    the integration and property tests check exactly that.
+//! 2. **Dynamic-copy accounting.** Table 4 of the paper counts the copy
+//!    instructions *executed* by each algorithm's output; the interpreter
+//!    counts them during execution.
+//!
+//! Semantics: all values are `i64`; division is total (x/0 = 0); memory is
+//! a caller-provided flat array (out-of-range loads read 0, out-of-range
+//! stores are dropped). Execution is bounded by a fuel budget so that a
+//! miscompiled loop cannot hang the test suite.
+
+use std::fmt;
+
+use fcc_ir::{Block, Function, InstKind, Value};
+
+/// Why execution stopped without returning.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ExecError {
+    /// The fuel budget was exhausted — the program ran too long (or a
+    /// miscompile produced an infinite loop).
+    OutOfFuel,
+    /// Control reached a block without a terminator.
+    MissingTerminator(Block),
+    /// A φ had no argument for the edge actually taken.
+    PhiMissingEdge(Block, Block),
+    /// `param i` requested an argument that was not supplied.
+    MissingArgument(usize),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::OutOfFuel => write!(f, "fuel exhausted"),
+            ExecError::MissingTerminator(b) => write!(f, "block {b} has no terminator"),
+            ExecError::PhiMissingEdge(p, b) => {
+                write!(f, "phi in {b} has no argument for edge from {p}")
+            }
+            ExecError::MissingArgument(i) => write!(f, "missing argument {i}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// The observable result of a run: what the correctness oracle compares.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Outcome {
+    /// The returned value (`None` for a bare `return`).
+    pub ret: Option<i64>,
+    /// Final memory image.
+    pub memory: Vec<i64>,
+    /// Copy instructions executed — the paper's *dynamic copies* metric.
+    pub dynamic_copies: u64,
+    /// Total instructions executed (φs count once per evaluation).
+    pub executed: u64,
+}
+
+impl Outcome {
+    /// Observable behaviour only (return value + memory), ignoring the
+    /// instruction counters: two correct translations of one program must
+    /// agree on this even though their copy counts differ.
+    pub fn behavior(&self) -> (Option<i64>, &[i64]) {
+        (self.ret, &self.memory)
+    }
+}
+
+/// Execution parameters.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Words of flat memory available to `load`/`store`.
+    pub memory_words: usize,
+    /// Maximum instructions to execute before giving up.
+    pub fuel: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig { memory_words: 4096, fuel: 10_000_000 }
+    }
+}
+
+/// Run `func` on `args` with the default configuration.
+///
+/// # Errors
+/// See [`ExecError`].
+pub fn run(func: &Function, args: &[i64]) -> Result<Outcome, ExecError> {
+    run_with(func, args, &RunConfig::default())
+}
+
+/// Run `func` on `args` with an explicit configuration. Initial memory is
+/// zeroed; use [`run_with_memory`] to seed it.
+///
+/// # Errors
+/// See [`ExecError`].
+pub fn run_with(func: &Function, args: &[i64], cfg: &RunConfig) -> Result<Outcome, ExecError> {
+    run_with_memory(func, args, vec![0; cfg.memory_words], cfg.fuel)
+}
+
+/// Run `func` on `args` with caller-provided initial memory and fuel.
+///
+/// # Errors
+/// See [`ExecError`].
+pub fn run_with_memory(
+    func: &Function,
+    args: &[i64],
+    mut memory: Vec<i64>,
+    fuel: u64,
+) -> Result<Outcome, ExecError> {
+    let mut regs: Vec<i64> = vec![0; func.num_values()];
+    let mut dynamic_copies = 0u64;
+    let mut executed = 0u64;
+    let mut remaining = fuel;
+
+    fn read(regs: &[i64], v: Value) -> i64 {
+        regs[v.index()]
+    }
+
+    let mut block = func.entry();
+    let mut prev: Option<Block> = None;
+
+    'blocks: loop {
+        // Evaluate the φs at the head of the block as one parallel
+        // assignment reading the *pre-entry* register state.
+        let mut phi_writes: Vec<(Value, i64)> = Vec::new();
+        let insts = func.block_insts(block);
+        let mut idx = 0;
+        while idx < insts.len() {
+            let data = func.inst(insts[idx]);
+            let args_list = match &data.kind {
+                InstKind::Phi { args } => args,
+                _ => break,
+            };
+            let p = prev.expect("phi in entry block");
+            let arg = args_list
+                .iter()
+                .find(|a| a.pred == p)
+                .ok_or(ExecError::PhiMissingEdge(p, block))?;
+            phi_writes.push((data.dst.expect("phi defines"), read(&regs, arg.value)));
+            executed += 1;
+            remaining = remaining.checked_sub(1).ok_or(ExecError::OutOfFuel)?;
+            idx += 1;
+        }
+        for (dst, v) in phi_writes {
+            regs[dst.index()] = v;
+        }
+
+        // Straight-line execution of the rest of the block.
+        while idx < insts.len() {
+            let data = func.inst(insts[idx]);
+            executed += 1;
+            remaining = remaining.checked_sub(1).ok_or(ExecError::OutOfFuel)?;
+            match &data.kind {
+                InstKind::Phi { .. } => unreachable!("phi after body"),
+                InstKind::Param { index } => {
+                    let v = *args.get(*index).ok_or(ExecError::MissingArgument(*index))?;
+                    regs[data.dst.unwrap().index()] = v;
+                }
+                InstKind::Const { imm } => regs[data.dst.unwrap().index()] = *imm,
+                InstKind::Copy { src } => {
+                    dynamic_copies += 1;
+                    regs[data.dst.unwrap().index()] = read(&regs, *src);
+                }
+                InstKind::Unary { op, a } => {
+                    regs[data.dst.unwrap().index()] = op.eval(read(&regs, *a));
+                }
+                InstKind::Binary { op, a, b } => {
+                    regs[data.dst.unwrap().index()] =
+                        op.eval(read(&regs, *a), read(&regs, *b));
+                }
+                InstKind::Load { addr } => {
+                    let a = read(&regs, *addr);
+                    let v = if a >= 0 && (a as usize) < memory.len() {
+                        memory[a as usize]
+                    } else {
+                        0
+                    };
+                    regs[data.dst.unwrap().index()] = v;
+                }
+                InstKind::Store { addr, val } => {
+                    let a = read(&regs, *addr);
+                    if a >= 0 && (a as usize) < memory.len() {
+                        memory[a as usize] = read(&regs, *val);
+                    }
+                }
+                InstKind::Branch { cond, then_dst, else_dst } => {
+                    prev = Some(block);
+                    block = if read(&regs, *cond) != 0 { *then_dst } else { *else_dst };
+                    continue 'blocks;
+                }
+                InstKind::Jump { dst } => {
+                    prev = Some(block);
+                    block = *dst;
+                    continue 'blocks;
+                }
+                InstKind::Return { val } => {
+                    return Ok(Outcome {
+                        ret: val.map(|v| read(&regs, v)),
+                        memory,
+                        dynamic_copies,
+                        executed,
+                    });
+                }
+            }
+            idx += 1;
+        }
+        return Err(ExecError::MissingTerminator(block));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcc_ir::parse::parse_function;
+
+    fn go(text: &str, args: &[i64]) -> Outcome {
+        run(&parse_function(text).unwrap(), args).unwrap()
+    }
+
+    const SEL: &str = "function @sel(1) {
+        b0:
+            v0 = param 0
+            branch v0, b1, b2
+        b1:
+            v1 = const 111
+            jump b3
+        b2:
+            v2 = const 222
+            jump b3
+        b3:
+            v3 = phi [b1: v1], [b2: v2]
+            return v3
+        }";
+
+    #[test]
+    fn returns_arithmetic() {
+        let out = go(
+            "function @f(2) {
+             b0:
+                 v0 = param 0
+                 v1 = param 1
+                 v2 = mul v0, v1
+                 return v2
+             }",
+            &[6, 7],
+        );
+        assert_eq!(out.ret, Some(42));
+        assert_eq!(out.dynamic_copies, 0);
+        assert_eq!(out.executed, 4);
+    }
+
+    #[test]
+    fn counts_dynamic_copies_per_execution() {
+        let out = go(
+            "function @loopcopy(1) {
+             b0:
+                 v0 = param 0
+                 v1 = const 0
+                 jump b1
+             b1:
+                 v2 = phi [b0: v1], [b1: v4]
+                 v3 = copy v2
+                 v5 = const 1
+                 v4 = add v3, v5
+                 v6 = lt v4, v0
+                 branch v6, b1, b2
+             b2:
+                 return v4
+             }",
+            &[5],
+        );
+        assert_eq!(out.ret, Some(5));
+        assert_eq!(out.dynamic_copies, 5, "copy runs once per iteration");
+    }
+
+    #[test]
+    fn phi_selects_by_incoming_edge() {
+        assert_eq!(go(SEL, &[1]).ret, Some(111));
+        assert_eq!(go(SEL, &[0]).ret, Some(222));
+    }
+
+    #[test]
+    fn phis_evaluate_in_parallel() {
+        // Swap φs around a loop: (x, y) start at (1, 2) and swap on every
+        // backedge; the counter φ also updates in parallel. After the loop
+        // has entered the header 3 times, x has seen 1, 2, 1.
+        let out = go(
+            "function @swap(0) {
+             b0:
+                 v0 = const 1
+                 v1 = const 2
+                 v7 = const 0
+                 jump b1
+             b1:
+                 v2 = phi [b0: v0], [b1: v3]
+                 v3 = phi [b0: v1], [b1: v2]
+                 v8 = phi [b0: v7], [b1: v9]
+                 v5 = const 1
+                 v9 = add v8, v5
+                 v10 = const 3
+                 v11 = lt v9, v10
+                 branch v11, b1, b2
+             b2:
+                 return v2
+             }",
+            &[],
+        );
+        assert_eq!(out.ret, Some(1));
+    }
+
+    #[test]
+    fn memory_load_store() {
+        let f = parse_function(
+            "function @mem(1) {
+             b0:
+                 v0 = param 0
+                 v1 = const 5
+                 store v1, v0
+                 v2 = load v1
+                 return v2
+             }",
+        )
+        .unwrap();
+        let out = run(&f, &[99]).unwrap();
+        assert_eq!(out.ret, Some(99));
+        assert_eq!(out.memory[5], 99);
+    }
+
+    #[test]
+    fn out_of_range_memory_is_benign() {
+        let f = parse_function(
+            "function @oob(0) {
+             b0:
+                 v0 = const -3
+                 v1 = const 7
+                 store v0, v1
+                 v2 = load v0
+                 return v2
+             }",
+        )
+        .unwrap();
+        let out = run(&f, &[]).unwrap();
+        assert_eq!(out.ret, Some(0));
+        assert!(out.memory.iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn fuel_exhaustion_detected() {
+        let f = parse_function(
+            "function @inf(0) {
+             b0:
+                 jump b0
+             }",
+        )
+        .unwrap();
+        let err = run_with_memory(&f, &[], vec![], 1000).unwrap_err();
+        assert_eq!(err, ExecError::OutOfFuel);
+    }
+
+    #[test]
+    fn missing_argument_reported() {
+        let f = parse_function(
+            "function @need(2) {
+             b0:
+                 v0 = param 1
+                 return v0
+             }",
+        )
+        .unwrap();
+        assert_eq!(run(&f, &[1]).unwrap_err(), ExecError::MissingArgument(1));
+    }
+
+    #[test]
+    fn bare_return_yields_none() {
+        let out = go("function @n(0) {\nb0:\n return\n}", &[]);
+        assert_eq!(out.ret, None);
+    }
+
+    #[test]
+    fn behavior_ignores_counters() {
+        let a = go(SEL, &[1]);
+        let mut b = a.clone();
+        b.dynamic_copies += 5;
+        assert_eq!(a.behavior(), b.behavior());
+    }
+
+    #[test]
+    fn destructed_program_matches_ssa_reference() {
+        // End-to-end smoke: build SSA, destruct with Standard, compare.
+        let mut f = parse_function(
+            "function @sum(1) {
+             b0:
+                 v0 = param 0
+                 v1 = const 0
+                 v2 = const 0
+                 jump b1
+             b1:
+                 v3 = lt v2, v0
+                 branch v3, b2, b3
+             b2:
+                 v1 = add v1, v2
+                 v4 = const 1
+                 v2 = add v2, v4
+                 jump b1
+             b3:
+                 return v1
+             }",
+        )
+        .unwrap();
+        let reference = run(&f, &[10]).unwrap();
+        fcc_ssa::build_ssa(&mut f, fcc_ssa::SsaFlavor::Pruned, true);
+        let ssa_out = run(&f, &[10]).unwrap();
+        assert_eq!(reference.behavior(), ssa_out.behavior());
+        fcc_ssa::destruct_standard(&mut f);
+        assert!(!f.has_phis());
+        let final_out = run(&f, &[10]).unwrap();
+        assert_eq!(reference.behavior(), final_out.behavior());
+        assert_eq!(final_out.ret, Some(45));
+    }
+}

@@ -1,0 +1,229 @@
+//! Control-flow graph views: predecessor lists and traversal orders.
+//!
+//! The [`Function`] stores successor information implicitly in its
+//! terminators; this module materialises predecessor lists and the
+//! depth-first orders that the dominator and liveness computations consume.
+//! A `ControlFlowGraph` is a snapshot — recompute it after mutating the
+//! function's control flow.
+
+use crate::entity::SecondaryMap;
+use crate::function::{Block, Function};
+
+/// Predecessor/successor lists plus reachability for one function.
+#[derive(Clone, Debug)]
+pub struct ControlFlowGraph {
+    preds: SecondaryMap<Block, Vec<Block>>,
+    succs: SecondaryMap<Block, Vec<Block>>,
+    postorder: Vec<Block>,
+    reachable: SecondaryMap<Block, bool>,
+}
+
+impl ControlFlowGraph {
+    /// Compute the CFG snapshot of `func`.
+    pub fn compute(func: &Function) -> Self {
+        let mut preds: SecondaryMap<Block, Vec<Block>> = SecondaryMap::new();
+        let mut succs: SecondaryMap<Block, Vec<Block>> = SecondaryMap::new();
+        let mut reachable: SecondaryMap<Block, bool> = SecondaryMap::new();
+
+        for b in func.blocks() {
+            succs[b] = func.successors(b);
+        }
+
+        // Iterative DFS from the entry to compute postorder and
+        // reachability; predecessor edges are only recorded between
+        // reachable blocks so that dead code cannot confuse the dominator
+        // computation.
+        let entry = func.entry();
+        let mut postorder = Vec::with_capacity(func.num_blocks());
+        let mut state: SecondaryMap<Block, u8> = SecondaryMap::new(); // 0 new, 1 open, 2 done
+        let mut stack: Vec<(Block, usize)> = vec![(entry, 0)];
+        state[entry] = 1;
+        reachable[entry] = true;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            if *next < succs[b].len() {
+                let s = succs[b][*next];
+                *next += 1;
+                if state[s] == 0 {
+                    state[s] = 1;
+                    reachable[s] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                state[b] = 2;
+                postorder.push(b);
+                stack.pop();
+            }
+        }
+
+        for b in func.blocks() {
+            if !reachable[b] {
+                continue;
+            }
+            for &s in &succs[b] {
+                preds[s].push(b);
+            }
+        }
+
+        ControlFlowGraph { preds, succs, postorder, reachable }
+    }
+
+    /// Predecessors of `block` (reachable ones only). A block appears once
+    /// per incoming edge, so a two-way branch with both arms targeting the
+    /// same block contributes two entries.
+    pub fn preds(&self, block: Block) -> &[Block] {
+        &self.preds[block]
+    }
+
+    /// Successors of `block`, in terminator order.
+    pub fn succs(&self, block: Block) -> &[Block] {
+        &self.succs[block]
+    }
+
+    /// Whether `block` is reachable from the entry.
+    pub fn is_reachable(&self, block: Block) -> bool {
+        self.reachable[block]
+    }
+
+    /// Reachable blocks in postorder of a depth-first traversal from the
+    /// entry.
+    pub fn postorder(&self) -> &[Block] {
+        &self.postorder
+    }
+
+    /// Reachable blocks in reverse postorder (a topological order ignoring
+    /// back edges) — the canonical iteration order for forward dataflow.
+    pub fn reverse_postorder(&self) -> Vec<Block> {
+        self.postorder.iter().rev().copied().collect()
+    }
+
+    /// Whether the edge `pred → succ` is *critical*: `pred` has several
+    /// successors and `succ` several predecessors. Copies for φ arguments
+    /// cannot be placed safely on either side of a critical edge, so SSA
+    /// destruction splits them first (Section 3.6 of the paper).
+    pub fn is_critical_edge(&self, pred: Block, succ: Block) -> bool {
+        self.succs[pred].len() > 1 && self.preds[succ].len() > 1
+    }
+
+    /// All critical edges `(pred, succ)` among reachable blocks.
+    pub fn critical_edges(&self) -> Vec<(Block, Block)> {
+        let mut out = Vec::new();
+        for &b in &self.postorder {
+            for &s in self.succs(b) {
+                if self.is_critical_edge(b, s) {
+                    out.push((b, s));
+                }
+            }
+        }
+        out
+    }
+
+    /// Approximate heap footprint, in bytes.
+    pub fn bytes(&self) -> usize {
+        let vecs = |m: &SecondaryMap<Block, Vec<Block>>| -> usize {
+            m.bytes()
+                + (0..m.len())
+                    .map(|i| self.preds[Block::new(i)].capacity() * std::mem::size_of::<Block>())
+                    .sum::<usize>()
+        };
+        vecs(&self.preds) + vecs(&self.succs) + self.postorder.capacity() * 4 + self.reachable.bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::InstKind;
+
+    /// Build the diamond `b0 -> {b1, b2} -> b3`.
+    fn diamond() -> (Function, [Block; 4]) {
+        let mut f = Function::new("diamond");
+        let b: Vec<Block> = (0..4).map(|_| f.add_block()).collect();
+        let v = f.new_value();
+        f.append_inst(b[0], InstKind::Const { imm: 1 }, Some(v));
+        f.append_inst(b[0], InstKind::Branch { cond: v, then_dst: b[1], else_dst: b[2] }, None);
+        f.append_inst(b[1], InstKind::Jump { dst: b[3] }, None);
+        f.append_inst(b[2], InstKind::Jump { dst: b[3] }, None);
+        f.append_inst(b[3], InstKind::Return { val: Some(v) }, None);
+        (f, [b[0], b[1], b[2], b[3]])
+    }
+
+    #[test]
+    fn diamond_preds_and_succs() {
+        let (f, [b0, b1, b2, b3]) = diamond();
+        let cfg = ControlFlowGraph::compute(&f);
+        assert_eq!(cfg.succs(b0), &[b1, b2]);
+        assert_eq!(cfg.preds(b3), &[b1, b2]);
+        assert_eq!(cfg.preds(b0), &[] as &[Block]);
+        assert!(cfg.is_reachable(b3));
+    }
+
+    #[test]
+    fn postorder_ends_at_entry() {
+        let (f, [b0, _, _, b3]) = diamond();
+        let cfg = ControlFlowGraph::compute(&f);
+        let po = cfg.postorder();
+        assert_eq!(po.len(), 4);
+        assert_eq!(*po.last().unwrap(), b0);
+        assert_eq!(po[0], b3);
+        let rpo = cfg.reverse_postorder();
+        assert_eq!(rpo[0], b0);
+    }
+
+    #[test]
+    fn unreachable_blocks_are_excluded() {
+        let (mut f, [_, _, _, b3]) = diamond();
+        let dead = f.add_block();
+        f.append_inst(dead, InstKind::Jump { dst: b3 }, None);
+        let cfg = ControlFlowGraph::compute(&f);
+        assert!(!cfg.is_reachable(dead));
+        // The dead edge must not pollute b3's predecessors.
+        assert_eq!(cfg.preds(b3).len(), 2);
+        assert_eq!(cfg.postorder().len(), 4);
+    }
+
+    #[test]
+    fn critical_edge_detection() {
+        // b0 branches to b1 and b2; b1 jumps to b2. Edge b0->b2 is critical.
+        let mut f = Function::new("crit");
+        let b0 = f.add_block();
+        let b1 = f.add_block();
+        let b2 = f.add_block();
+        let v = f.new_value();
+        f.append_inst(b0, InstKind::Const { imm: 0 }, Some(v));
+        f.append_inst(b0, InstKind::Branch { cond: v, then_dst: b1, else_dst: b2 }, None);
+        f.append_inst(b1, InstKind::Jump { dst: b2 }, None);
+        f.append_inst(b2, InstKind::Return { val: None }, None);
+        let cfg = ControlFlowGraph::compute(&f);
+        assert!(cfg.is_critical_edge(b0, b2));
+        assert!(!cfg.is_critical_edge(b0, b1));
+        assert_eq!(cfg.critical_edges(), vec![(b0, b2)]);
+    }
+
+    #[test]
+    fn duplicate_edges_counted_per_edge() {
+        // branch with both arms to the same target: two pred entries.
+        let mut f = Function::new("dup");
+        let b0 = f.add_block();
+        let b1 = f.add_block();
+        let v = f.new_value();
+        f.append_inst(b0, InstKind::Const { imm: 0 }, Some(v));
+        f.append_inst(b0, InstKind::Branch { cond: v, then_dst: b1, else_dst: b1 }, None);
+        f.append_inst(b1, InstKind::Return { val: None }, None);
+        let cfg = ControlFlowGraph::compute(&f);
+        assert_eq!(cfg.preds(b1).len(), 2);
+    }
+
+    #[test]
+    fn self_loop() {
+        let mut f = Function::new("selfloop");
+        let b0 = f.add_block();
+        let b1 = f.add_block();
+        let v = f.new_value();
+        f.append_inst(b0, InstKind::Const { imm: 1 }, Some(v));
+        f.append_inst(b0, InstKind::Jump { dst: b1 }, None);
+        f.append_inst(b1, InstKind::Branch { cond: v, then_dst: b1, else_dst: b0 }, None);
+        let cfg = ControlFlowGraph::compute(&f);
+        assert!(cfg.preds(b1).contains(&b1));
+        assert!(cfg.preds(b0).contains(&b1));
+    }
+}

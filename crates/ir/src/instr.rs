@@ -1,0 +1,439 @@
+//! Instruction definitions.
+//!
+//! The IR is a conventional three-address code over 64-bit integer virtual
+//! registers ([`Value`]s), with explicit `copy` instructions, φ-nodes, and a
+//! small load/store interface onto a flat memory. This is deliberately close
+//! to the code shape the paper's algorithms consume: what matters to copy
+//! coalescing is the control-flow structure, definitions, uses, copies, and
+//! φ-congruence — not a rich type system.
+
+use crate::function::{Block, Value};
+
+/// Binary arithmetic, comparison, and bitwise operators.
+///
+/// Comparisons produce `1` for true and `0` for false. Division and
+/// remainder are total: a zero divisor yields `0` (keeping the interpreter
+/// free of traps so that randomly generated programs always run).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Truncating division; `x / 0 == 0`.
+    Div,
+    /// Remainder; `x % 0 == 0`.
+    Rem,
+    /// Equality comparison.
+    Eq,
+    /// Inequality comparison.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Shift left by `b & 63`.
+    Shl,
+    /// Arithmetic shift right by `b & 63`.
+    Shr,
+    /// Signed minimum.
+    Min,
+    /// Signed maximum.
+    Max,
+}
+
+impl BinOp {
+    /// The textual mnemonic used by the IR printer and parser.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::Eq => "eq",
+            BinOp::Ne => "ne",
+            BinOp::Lt => "lt",
+            BinOp::Le => "le",
+            BinOp::Gt => "gt",
+            BinOp::Ge => "ge",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Shr => "shr",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+        }
+    }
+
+    /// Parse a mnemonic back into an operator.
+    pub fn from_mnemonic(s: &str) -> Option<Self> {
+        Some(match s {
+            "add" => BinOp::Add,
+            "sub" => BinOp::Sub,
+            "mul" => BinOp::Mul,
+            "div" => BinOp::Div,
+            "rem" => BinOp::Rem,
+            "eq" => BinOp::Eq,
+            "ne" => BinOp::Ne,
+            "lt" => BinOp::Lt,
+            "le" => BinOp::Le,
+            "gt" => BinOp::Gt,
+            "ge" => BinOp::Ge,
+            "and" => BinOp::And,
+            "or" => BinOp::Or,
+            "xor" => BinOp::Xor,
+            "shl" => BinOp::Shl,
+            "shr" => BinOp::Shr,
+            "min" => BinOp::Min,
+            "max" => BinOp::Max,
+            _ => return None,
+        })
+    }
+
+    /// Evaluate the operator on concrete values.
+    pub fn eval(self, a: i64, b: i64) -> i64 {
+        match self {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::Div => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_div(b)
+                }
+            }
+            BinOp::Rem => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_rem(b)
+                }
+            }
+            BinOp::Eq => (a == b) as i64,
+            BinOp::Ne => (a != b) as i64,
+            BinOp::Lt => (a < b) as i64,
+            BinOp::Le => (a <= b) as i64,
+            BinOp::Gt => (a > b) as i64,
+            BinOp::Ge => (a >= b) as i64,
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Shl => a.wrapping_shl((b & 63) as u32),
+            BinOp::Shr => a.wrapping_shr((b & 63) as u32),
+            BinOp::Min => a.min(b),
+            BinOp::Max => a.max(b),
+        }
+    }
+
+    /// All operators, for exhaustive testing.
+    pub fn all() -> &'static [BinOp] {
+        &[
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::Mul,
+            BinOp::Div,
+            BinOp::Rem,
+            BinOp::Eq,
+            BinOp::Ne,
+            BinOp::Lt,
+            BinOp::Le,
+            BinOp::Gt,
+            BinOp::Ge,
+            BinOp::And,
+            BinOp::Or,
+            BinOp::Xor,
+            BinOp::Shl,
+            BinOp::Shr,
+            BinOp::Min,
+            BinOp::Max,
+        ]
+    }
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum UnaryOp {
+    /// Wrapping negation.
+    Neg,
+    /// Bitwise complement.
+    Not,
+}
+
+impl UnaryOp {
+    /// The textual mnemonic used by the IR printer and parser.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            UnaryOp::Neg => "neg",
+            UnaryOp::Not => "not",
+        }
+    }
+
+    /// Parse a mnemonic back into an operator.
+    pub fn from_mnemonic(s: &str) -> Option<Self> {
+        Some(match s {
+            "neg" => UnaryOp::Neg,
+            "not" => UnaryOp::Not,
+            _ => return None,
+        })
+    }
+
+    /// Evaluate the operator on a concrete value.
+    pub fn eval(self, a: i64) -> i64 {
+        match self {
+            UnaryOp::Neg => a.wrapping_neg(),
+            UnaryOp::Not => !a,
+        }
+    }
+}
+
+/// One φ-node argument: the value flowing in along the edge from `pred`.
+///
+/// φ arguments are keyed by predecessor block rather than by position so
+/// that edge splitting and branch retargeting can update them reliably.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PhiArg {
+    /// The predecessor block the value flows out of.
+    pub pred: Block,
+    /// The value flowing along the `pred` edge.
+    pub value: Value,
+}
+
+/// The operation an instruction performs. Destinations live in
+/// [`InstData`](crate::function::InstData), not here.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum InstKind {
+    /// Materialise the `index`-th function parameter. Only legal in the
+    /// entry block, before any non-`param` instruction.
+    Param { index: usize },
+    /// Load a constant.
+    Const { imm: i64 },
+    /// Register-to-register move: the instruction the whole paper is about.
+    Copy { src: Value },
+    /// Unary operation.
+    Unary { op: UnaryOp, a: Value },
+    /// Binary operation.
+    Binary { op: BinOp, a: Value, b: Value },
+    /// Read `mem[addr]` (flat i64-addressed memory; out-of-range reads 0).
+    Load { addr: Value },
+    /// Write `mem[addr] = val` (out-of-range writes are dropped).
+    Store { addr: Value, val: Value },
+    /// SSA φ-node. Must appear at the head of its block.
+    Phi { args: Vec<PhiArg> },
+    /// Two-way conditional branch on `cond != 0`. Terminator.
+    Branch { cond: Value, then_dst: Block, else_dst: Block },
+    /// Unconditional jump. Terminator.
+    Jump { dst: Block },
+    /// Return from the function. Terminator.
+    Return { val: Option<Value> },
+}
+
+impl InstKind {
+    /// Whether this instruction ends its block.
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, InstKind::Branch { .. } | InstKind::Jump { .. } | InstKind::Return { .. })
+    }
+
+    /// Whether this instruction is a φ-node.
+    pub fn is_phi(&self) -> bool {
+        matches!(self, InstKind::Phi { .. })
+    }
+
+    /// Whether this instruction is a register-to-register copy.
+    pub fn is_copy(&self) -> bool {
+        matches!(self, InstKind::Copy { .. })
+    }
+
+    /// The blocks this terminator can transfer control to (empty for
+    /// non-terminators and returns).
+    pub fn successors(&self) -> Vec<Block> {
+        match self {
+            InstKind::Branch { then_dst, else_dst, .. } => vec![*then_dst, *else_dst],
+            InstKind::Jump { dst } => vec![*dst],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Visit every value this instruction *uses*.
+    ///
+    /// φ arguments are **not** visited: a φ's uses occur on the incoming
+    /// edges, not inside the block, and every analysis in this workspace
+    /// must handle them specially (cf. Section 2 of the paper).
+    pub fn for_each_use(&self, mut f: impl FnMut(Value)) {
+        match self {
+            InstKind::Param { .. } | InstKind::Const { .. } | InstKind::Phi { .. } => {}
+            InstKind::Copy { src } => f(*src),
+            InstKind::Unary { a, .. } => f(*a),
+            InstKind::Binary { a, b, .. } => {
+                f(*a);
+                f(*b);
+            }
+            InstKind::Load { addr } => f(*addr),
+            InstKind::Store { addr, val } => {
+                f(*addr);
+                f(*val);
+            }
+            InstKind::Branch { cond, .. } => f(*cond),
+            InstKind::Jump { .. } => {}
+            InstKind::Return { val } => {
+                if let Some(v) = val {
+                    f(*v);
+                }
+            }
+        }
+    }
+
+    /// Rewrite every value this instruction uses (φ arguments excluded, as
+    /// in [`for_each_use`](Self::for_each_use)).
+    pub fn for_each_use_mut(&mut self, mut f: impl FnMut(&mut Value)) {
+        match self {
+            InstKind::Param { .. } | InstKind::Const { .. } | InstKind::Phi { .. } => {}
+            InstKind::Copy { src } => f(src),
+            InstKind::Unary { a, .. } => f(a),
+            InstKind::Binary { a, b, .. } => {
+                f(a);
+                f(b);
+            }
+            InstKind::Load { addr } => f(addr),
+            InstKind::Store { addr, val } => {
+                f(addr);
+                f(val);
+            }
+            InstKind::Branch { cond, .. } => f(cond),
+            InstKind::Jump { .. } => {}
+            InstKind::Return { val } => {
+                if let Some(v) = val {
+                    f(v);
+                }
+            }
+        }
+    }
+
+    /// Rewrite the successor blocks of a terminator.
+    pub fn for_each_successor_mut(&mut self, mut f: impl FnMut(&mut Block)) {
+        match self {
+            InstKind::Branch { then_dst, else_dst, .. } => {
+                f(then_dst);
+                f(else_dst);
+            }
+            InstKind::Jump { dst } => f(dst),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_mnemonic_roundtrip() {
+        for &op in BinOp::all() {
+            assert_eq!(BinOp::from_mnemonic(op.mnemonic()), Some(op));
+        }
+        assert_eq!(BinOp::from_mnemonic("bogus"), None);
+    }
+
+    #[test]
+    fn unary_mnemonic_roundtrip() {
+        for op in [UnaryOp::Neg, UnaryOp::Not] {
+            assert_eq!(UnaryOp::from_mnemonic(op.mnemonic()), Some(op));
+        }
+    }
+
+    #[test]
+    fn division_is_total() {
+        assert_eq!(BinOp::Div.eval(5, 0), 0);
+        assert_eq!(BinOp::Rem.eval(5, 0), 0);
+        // i64::MIN / -1 must not trap either.
+        assert_eq!(BinOp::Div.eval(i64::MIN, -1), i64::MIN);
+        assert_eq!(BinOp::Rem.eval(i64::MIN, -1), 0);
+    }
+
+    #[test]
+    fn comparisons_produce_bool_ints() {
+        assert_eq!(BinOp::Lt.eval(1, 2), 1);
+        assert_eq!(BinOp::Lt.eval(2, 1), 0);
+        assert_eq!(BinOp::Ge.eval(2, 2), 1);
+        assert_eq!(BinOp::Eq.eval(-3, -3), 1);
+        assert_eq!(BinOp::Ne.eval(-3, -3), 0);
+    }
+
+    #[test]
+    fn shifts_mask_their_amount() {
+        assert_eq!(BinOp::Shl.eval(1, 64), 1);
+        assert_eq!(BinOp::Shl.eval(1, 65), 2);
+        assert_eq!(BinOp::Shr.eval(-8, 1), -4);
+    }
+
+    #[test]
+    fn unary_eval() {
+        assert_eq!(UnaryOp::Neg.eval(5), -5);
+        assert_eq!(UnaryOp::Neg.eval(i64::MIN), i64::MIN);
+        assert_eq!(UnaryOp::Not.eval(0), -1);
+    }
+
+    #[test]
+    fn terminator_classification() {
+        let j = InstKind::Jump { dst: Block::new(0) };
+        assert!(j.is_terminator());
+        assert!(!j.is_phi());
+        let c = InstKind::Copy { src: Value::new(0) };
+        assert!(c.is_copy());
+        assert!(!c.is_terminator());
+    }
+
+    #[test]
+    fn use_visitors_skip_phi_args() {
+        let phi = InstKind::Phi {
+            args: vec![PhiArg { pred: Block::new(0), value: Value::new(7) }],
+        };
+        let mut seen = Vec::new();
+        phi.for_each_use(|v| seen.push(v));
+        assert!(seen.is_empty(), "phi args must not appear as ordinary uses");
+    }
+
+    #[test]
+    fn use_visitors_cover_all_operands() {
+        let st = InstKind::Store { addr: Value::new(1), val: Value::new(2) };
+        let mut seen = Vec::new();
+        st.for_each_use(|v| seen.push(v.index()));
+        assert_eq!(seen, vec![1, 2]);
+
+        let mut bin = InstKind::Binary { op: BinOp::Add, a: Value::new(3), b: Value::new(4) };
+        bin.for_each_use_mut(|v| *v = Value::new(v.index() + 10));
+        match bin {
+            InstKind::Binary { a, b, .. } => {
+                assert_eq!(a.index(), 13);
+                assert_eq!(b.index(), 14);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn successors_of_terminators() {
+        let br = InstKind::Branch {
+            cond: Value::new(0),
+            then_dst: Block::new(1),
+            else_dst: Block::new(2),
+        };
+        assert_eq!(br.successors(), vec![Block::new(1), Block::new(2)]);
+        let ret = InstKind::Return { val: None };
+        assert!(ret.successors().is_empty());
+    }
+}

@@ -1,0 +1,54 @@
+//! # fcc-ir — the intermediate representation
+//!
+//! A compact, entity-indexed intermediate representation in the style of
+//! Cranelift/LLVM: functions own arenas of basic [`Block`]s, [`Inst`]s, and
+//! virtual-register [`Value`]s. The same IR serves before, during, and
+//! after SSA: SSA-ness is a *property* (each value written once, every use
+//! dominated by its definition) established by `fcc-ssa` and consumed by
+//! the coalescing algorithms in `fcc-core` and `fcc-regalloc`.
+//!
+//! The crate provides:
+//!
+//! * [`function::Function`] — blocks, instructions, values, and CFG edits
+//!   (including [`function::Function::split_edge`] for critical edges);
+//! * [`instr`] — the instruction set: constants, copies, arithmetic,
+//!   loads/stores on a flat memory, φ-nodes, and terminators;
+//! * [`builder::FunctionBuilder`] — ergonomic programmatic construction;
+//! * [`cfg::ControlFlowGraph`] — predecessors, postorder, critical edges;
+//! * [`verify::verify_function`] — structural invariants;
+//! * [`parse`]/[`print`] — a round-tripping textual format.
+//!
+//! ## Example
+//!
+//! ```
+//! use fcc_ir::parse::parse_function;
+//! use fcc_ir::verify::verify_function;
+//!
+//! let f = parse_function(
+//!     "function @max(2) {
+//!      b0:
+//!          v0 = param 0
+//!          v1 = param 1
+//!          v2 = max v0, v1
+//!          return v2
+//!      }",
+//! )?;
+//! verify_function(&f).unwrap();
+//! assert_eq!(f.name, "max");
+//! # Ok::<(), fcc_ir::parse::ParseError>(())
+//! ```
+
+pub mod builder;
+pub mod cfg;
+pub mod entity;
+pub mod function;
+pub mod instr;
+pub mod parse;
+pub mod print;
+pub mod verify;
+
+pub use builder::FunctionBuilder;
+pub use cfg::ControlFlowGraph;
+pub use entity::{EntityMap, EntityRef, SecondaryMap};
+pub use function::{Block, Function, Inst, InstData, Value};
+pub use instr::{BinOp, InstKind, PhiArg, UnaryOp};

@@ -1,0 +1,484 @@
+//! Parser for the textual IR format produced by [`crate::print`].
+//!
+//! The format is line-oriented and intentionally rigid; it exists so that
+//! tests and examples can state programs verbatim (including the paper's
+//! Figure 3/4 examples) and so that printed functions round-trip.
+//!
+//! Comments run from `;` or `#` to end of line. Blocks must be declared in
+//! numeric order (`b0:`, `b1:`, …) and values are named `vN` with arbitrary
+//! numbering.
+
+use std::fmt;
+
+use crate::function::{Block, Function, Value};
+use crate::instr::{BinOp, InstKind, PhiArg, UnaryOp};
+
+/// A parse failure, with a 1-based source line number.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// 1-based line the error was detected on.
+    pub line: usize,
+    /// Description of what went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn perr(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, message: message.into() }
+}
+
+/// Parse one function from its textual form.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first malformed construct, with
+/// its line number.
+///
+/// # Examples
+///
+/// ```
+/// let f = fcc_ir::parse::parse_function(
+///     "function @id(1) {\n b0:\n v0 = param 0\n return v0\n }",
+/// )?;
+/// assert_eq!(f.name, "id");
+/// # Ok::<(), fcc_ir::parse::ParseError>(())
+/// ```
+pub fn parse_function(text: &str) -> Result<Function, ParseError> {
+    Parser::new(text).parse()
+}
+
+struct Parser<'a> {
+    lines: Vec<(usize, Vec<Tok<'a>>)>,
+    pos: usize,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Tok<'a> {
+    Ident(&'a str),
+    Num(i64),
+    Punct(char),
+}
+
+fn tokenize_line(line: &str) -> Result<Vec<Tok<'_>>, String> {
+    let code = match line.find([';', '#']) {
+        Some(i) => &line[..i],
+        None => line,
+    };
+    let mut toks = Vec::new();
+    let bytes = code.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_whitespace() {
+            i += 1;
+        } else if c.is_ascii_alphabetic() || c == '_' || c == '@' {
+            let start = i;
+            i += 1;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            toks.push(Tok::Ident(&code[start..i]));
+        } else if c.is_ascii_digit() || (c == '-' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit()) {
+            let start = i;
+            i += 1;
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            let n: i64 = code[start..i].parse().map_err(|e| format!("bad number: {e}"))?;
+            toks.push(Tok::Num(n));
+        } else if "(){}:,=[]".contains(c) {
+            toks.push(Tok::Punct(c));
+            i += 1;
+        } else {
+            return Err(format!("unexpected character {c:?}"));
+        }
+    }
+    Ok(toks)
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        let mut lines = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            match tokenize_line(raw) {
+                Ok(toks) => {
+                    if !toks.is_empty() {
+                        lines.push((idx + 1, toks));
+                    }
+                }
+                Err(msg) => {
+                    lines.push((idx + 1, vec![Tok::Ident("\0bad")]));
+                    let _ = msg;
+                }
+            }
+        }
+        Parser { lines, pos: 0 }
+    }
+
+    fn parse(mut self) -> Result<Function, ParseError> {
+        // Pre-tokenise errors were deferred; re-scan for them eagerly.
+        for (ln, toks) in &self.lines {
+            if toks.first() == Some(&Tok::Ident("\0bad")) {
+                return Err(perr(*ln, "unrecognised character"));
+            }
+        }
+
+        // Header: function @name ( N ) {
+        let (ln, header) = self.next_line("function header")?;
+        let mut func = match header.as_slice() {
+            [Tok::Ident("function"), Tok::Ident(name), Tok::Punct('('), Tok::Num(n), Tok::Punct(')'), Tok::Punct('{')]
+                if name.starts_with('@') && *n >= 0 =>
+            {
+                let mut f = Function::new(&name[1..]);
+                f.num_params = *n as usize;
+                f
+            }
+            _ => return Err(perr(ln, "expected `function @name(N) {`")),
+        };
+
+        // First pass over remaining lines: collect block labels. Labels
+        // must be strictly ascending but may have gaps (a pass may have
+        // dropped unreachable blocks); unlabeled indices become tombstone
+        // blocks outside the layout.
+        let mut labels: Vec<usize> = Vec::new();
+        for (ln, toks) in &self.lines[self.pos..] {
+            if let [Tok::Ident(id), Tok::Punct(':')] = toks.as_slice() {
+                let idx = parse_entity(id, 'b').ok_or_else(|| perr(*ln, "bad block label"))?;
+                if labels.last().is_some_and(|&prev| idx <= prev) {
+                    return Err(perr(
+                        *ln,
+                        format!("block labels must be strictly ascending; b{idx} repeats or goes backwards"),
+                    ));
+                }
+                labels.push(idx);
+            }
+        }
+        let num_blocks = labels.last().map_or(0, |&m| m + 1);
+        let label_set: std::collections::HashSet<usize> = labels.iter().copied().collect();
+        for _ in 0..num_blocks {
+            func.add_block();
+        }
+        if let Some(&first) = labels.first() {
+            func.set_entry(Block::new(first));
+            for idx in 0..num_blocks {
+                if !label_set.contains(&idx) {
+                    func.remove_block_from_layout(Block::new(idx));
+                }
+            }
+        }
+
+        let mut current: Option<Block> = None;
+        let mut max_value = 0usize;
+        loop {
+            let (ln, toks) = self.next_line("`}` to close function")?;
+            match toks.as_slice() {
+                [Tok::Punct('}')] => break,
+                [Tok::Ident(id), Tok::Punct(':')] => {
+                    let idx = parse_entity(id, 'b').ok_or_else(|| perr(ln, "bad block label"))?;
+                    current = Some(Block::new(idx));
+                }
+                _ => {
+                    let block = current.ok_or_else(|| perr(ln, "instruction before any block label"))?;
+                    let (kind, dst) = parse_inst(ln, &toks, &label_set, &mut max_value)?;
+                    func.append_inst(block, kind, dst);
+                }
+            }
+        }
+        func.ensure_value_capacity(max_value);
+        Ok(func)
+    }
+
+    fn next_line(&mut self, expected: &str) -> Result<(usize, Vec<Tok<'a>>), ParseError> {
+        if self.pos >= self.lines.len() {
+            let last = self.lines.last().map(|(l, _)| *l).unwrap_or(1);
+            return Err(perr(last, format!("unexpected end of input; expected {expected}")));
+        }
+        let (ln, toks) = self.lines[self.pos].clone();
+        self.pos += 1;
+        Ok((ln, toks))
+    }
+}
+
+fn parse_entity(id: &str, prefix: char) -> Option<usize> {
+    let rest = id.strip_prefix(prefix)?;
+    rest.parse().ok()
+}
+
+fn parse_value(ln: usize, tok: &Tok<'_>, max_value: &mut usize) -> Result<Value, ParseError> {
+    match tok {
+        Tok::Ident(id) => {
+            let idx = parse_entity(id, 'v').ok_or_else(|| perr(ln, format!("expected value, got {id}")))?;
+            *max_value = (*max_value).max(idx + 1);
+            Ok(Value::new(idx))
+        }
+        _ => Err(perr(ln, "expected value operand")),
+    }
+}
+
+fn parse_block_ref(
+    ln: usize,
+    tok: &Tok<'_>,
+    labels: &std::collections::HashSet<usize>,
+) -> Result<Block, ParseError> {
+    match tok {
+        Tok::Ident(id) => {
+            let idx = parse_entity(id, 'b').ok_or_else(|| perr(ln, format!("expected block, got {id}")))?;
+            if !labels.contains(&idx) {
+                return Err(perr(ln, format!("reference to undeclared block b{idx}")));
+            }
+            Ok(Block::new(idx))
+        }
+        _ => Err(perr(ln, "expected block operand")),
+    }
+}
+
+fn parse_inst(
+    ln: usize,
+    toks: &[Tok<'_>],
+    labels: &std::collections::HashSet<usize>,
+    max_value: &mut usize,
+) -> Result<(InstKind, Option<Value>), ParseError> {
+    // Optional `vN =` destination prefix.
+    let (dst, rest) = if toks.len() >= 2 && toks[1] == Tok::Punct('=') {
+        (Some(parse_value(ln, &toks[0], max_value)?), &toks[2..])
+    } else {
+        (None, toks)
+    };
+    let (op, args) = match rest.split_first() {
+        Some((Tok::Ident(op), args)) => (*op, args),
+        _ => return Err(perr(ln, "expected instruction mnemonic")),
+    };
+
+    let kind = match op {
+        "param" => match args {
+            [Tok::Num(n)] if *n >= 0 => InstKind::Param { index: *n as usize },
+            _ => return Err(perr(ln, "param expects a non-negative index")),
+        },
+        "const" => match args {
+            [Tok::Num(n)] => InstKind::Const { imm: *n },
+            _ => return Err(perr(ln, "const expects an immediate")),
+        },
+        "copy" => match args {
+            [v] => InstKind::Copy { src: parse_value(ln, v, max_value)? },
+            _ => return Err(perr(ln, "copy expects one value")),
+        },
+        "load" => match args {
+            [v] => InstKind::Load { addr: parse_value(ln, v, max_value)? },
+            _ => return Err(perr(ln, "load expects one value")),
+        },
+        "store" => match args {
+            [a, Tok::Punct(','), v] => InstKind::Store {
+                addr: parse_value(ln, a, max_value)?,
+                val: parse_value(ln, v, max_value)?,
+            },
+            _ => return Err(perr(ln, "store expects `addr, val`")),
+        },
+        "branch" => match args {
+            [c, Tok::Punct(','), t, Tok::Punct(','), e] => InstKind::Branch {
+                cond: parse_value(ln, c, max_value)?,
+                then_dst: parse_block_ref(ln, t, labels)?,
+                else_dst: parse_block_ref(ln, e, labels)?,
+            },
+            _ => return Err(perr(ln, "branch expects `cond, then, else`")),
+        },
+        "jump" => match args {
+            [d] => InstKind::Jump { dst: parse_block_ref(ln, d, labels)? },
+            _ => return Err(perr(ln, "jump expects one block")),
+        },
+        "return" => match args {
+            [] => InstKind::Return { val: None },
+            [v] => InstKind::Return { val: Some(parse_value(ln, v, max_value)?) },
+            _ => return Err(perr(ln, "return expects at most one value")),
+        },
+        "phi" => {
+            // phi [bN: vM], [bK: vL], ...
+            let mut phi_args = Vec::new();
+            let mut rest = args;
+            loop {
+                match rest {
+                    [Tok::Punct('['), b, Tok::Punct(':'), v, Tok::Punct(']'), tail @ ..] => {
+                        phi_args.push(PhiArg {
+                            pred: parse_block_ref(ln, b, labels)?,
+                            value: parse_value(ln, v, max_value)?,
+                        });
+                        match tail {
+                            [] => break,
+                            [Tok::Punct(','), more @ ..] => rest = more,
+                            _ => return Err(perr(ln, "expected `,` between phi args")),
+                        }
+                    }
+                    [] => break,
+                    _ => return Err(perr(ln, "expected `[bN: vM]` phi argument")),
+                }
+            }
+            InstKind::Phi { args: phi_args }
+        }
+        other => {
+            if let Some(u) = UnaryOp::from_mnemonic(other) {
+                match args {
+                    [v] => InstKind::Unary { op: u, a: parse_value(ln, v, max_value)? },
+                    _ => return Err(perr(ln, format!("{other} expects one value"))),
+                }
+            } else if let Some(b) = BinOp::from_mnemonic(other) {
+                match args {
+                    [x, Tok::Punct(','), y] => InstKind::Binary {
+                        op: b,
+                        a: parse_value(ln, x, max_value)?,
+                        b: parse_value(ln, y, max_value)?,
+                    },
+                    _ => return Err(perr(ln, format!("{other} expects `a, b`"))),
+                }
+            } else {
+                return Err(perr(ln, format!("unknown mnemonic `{other}`")));
+            }
+        }
+    };
+
+    // Destination presence is re-checked by the verifier, but catch the
+    // obvious cases here for better line numbers.
+    let needs_dst = !matches!(
+        kind,
+        InstKind::Store { .. } | InstKind::Branch { .. } | InstKind::Jump { .. } | InstKind::Return { .. }
+    );
+    if needs_dst && dst.is_none() {
+        return Err(perr(ln, format!("`{op}` requires a `vN =` destination")));
+    }
+    if !needs_dst && dst.is_some() {
+        return Err(perr(ln, format!("`{op}` cannot have a destination")));
+    }
+    Ok((kind, dst))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_function;
+
+    const LOOP: &str = r#"
+        function @count(1) {
+        b0:
+            v0 = param 0
+            v1 = const 0
+            jump b1
+        b1:
+            v2 = phi [b0: v1], [b1: v3]   ; loop-carried
+            v3 = add v2, v0
+            v4 = lt v3, v0
+            branch v4, b1, b2
+        b2:
+            return v3
+        }
+    "#;
+
+    #[test]
+    fn parses_loop_and_verifies() {
+        let f = parse_function(LOOP).unwrap();
+        assert_eq!(f.name, "count");
+        assert_eq!(f.num_params, 1);
+        assert_eq!(f.blocks().count(), 3);
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn roundtrips_through_printer() {
+        let f = parse_function(LOOP).unwrap();
+        let printed = f.to_string();
+        let f2 = parse_function(&printed).unwrap();
+        assert_eq!(printed, f2.to_string());
+    }
+
+    #[test]
+    fn rejects_unknown_mnemonic() {
+        let e = parse_function("function @x(0) {\nb0:\n v0 = frobnicate v1\n return\n}")
+            .unwrap_err();
+        assert!(e.to_string().contains("unknown mnemonic"), "{e}");
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn rejects_out_of_order_blocks() {
+        let e = parse_function("function @x(0) {\nb1:\n jump b0\nb0:\n return\n}").unwrap_err();
+        assert!(e.to_string().contains("ascending"), "{e}");
+        let e2 = parse_function("function @x(0) {\nb0:\n return\nb0:\n return\n}").unwrap_err();
+        assert!(e2.to_string().contains("ascending"), "{e2}");
+    }
+
+    #[test]
+    fn accepts_gaps_in_block_labels() {
+        // A pass that removed unreachable b1 prints b0 then b2; the text
+        // must reparse with the same layout.
+        let f = parse_function(
+            "function @g(0) {\nb0:\n jump b2\nb2:\n return\n}",
+        )
+        .unwrap();
+        assert_eq!(f.blocks().count(), 2);
+        assert_eq!(f.entry(), Block::new(0));
+        let printed = f.to_string();
+        assert!(printed.contains("b2:"), "{printed}");
+        assert_eq!(parse_function(&printed).unwrap().to_string(), printed);
+    }
+
+    #[test]
+    fn nonzero_entry_label() {
+        let f = parse_function("function @e(0) {\nb3:\n return\n}").unwrap();
+        assert_eq!(f.entry(), Block::new(3));
+        assert_eq!(f.blocks().count(), 1);
+    }
+
+    #[test]
+    fn rejects_undeclared_block_reference() {
+        let e = parse_function("function @x(0) {\nb0:\n jump b7\n}").unwrap_err();
+        assert!(e.to_string().contains("undeclared block"), "{e}");
+    }
+
+    #[test]
+    fn rejects_missing_destination() {
+        let e = parse_function("function @x(0) {\nb0:\n const 4\n return\n}").unwrap_err();
+        assert!(e.to_string().contains("destination"), "{e}");
+    }
+
+    #[test]
+    fn rejects_destination_on_jump() {
+        let e = parse_function("function @x(0) {\nb0:\n v0 = jump b0\n}").unwrap_err();
+        assert!(e.to_string().contains("cannot have"), "{e}");
+    }
+
+    #[test]
+    fn rejects_instruction_before_block() {
+        let e = parse_function("function @x(0) {\n v0 = const 1\n}").unwrap_err();
+        assert!(e.to_string().contains("before any block"), "{e}");
+    }
+
+    #[test]
+    fn negative_immediates() {
+        let f = parse_function("function @x(0) {\nb0:\n v0 = const -12\n return v0\n}").unwrap();
+        let i = f.block_insts(f.entry())[0];
+        assert_eq!(f.inst(i).kind, InstKind::Const { imm: -12 });
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let f = parse_function(
+            "# header comment\nfunction @x(0) {\n\nb0:\n ; nothing\n return\n}",
+        )
+        .unwrap();
+        assert_eq!(f.blocks().count(), 1);
+    }
+
+    #[test]
+    fn bare_phi_allowed_in_entryless_context() {
+        // A phi with no args parses (the verifier rejects it later if the
+        // block has predecessors).
+        let f = parse_function("function @x(0) {\nb0:\n v0 = phi\n return v0\n}").unwrap();
+        assert_eq!(f.phi_count(), 1);
+    }
+}

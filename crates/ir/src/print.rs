@@ -1,0 +1,141 @@
+//! Pretty-printing of functions in the textual IR format.
+//!
+//! The format round-trips through [`crate::parse::parse_function`]:
+//!
+//! ```text
+//! function @count(1) {
+//! b0:
+//!     v0 = param 0
+//!     v1 = const 0
+//!     jump b1
+//! b1:
+//!     v2 = phi [b0: v1], [b1: v3]
+//!     v3 = add v2, v0
+//!     v4 = lt v3, v0
+//!     branch v4, b1, b2
+//! b2:
+//!     return v3
+//! }
+//! ```
+
+use std::fmt;
+
+use crate::function::{Function, Inst};
+use crate::instr::InstKind;
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "function @{}({}) {{", self.name, self.num_params)?;
+        for block in self.blocks() {
+            writeln!(f, "{block}:")?;
+            for &inst in self.block_insts(block) {
+                writeln!(f, "    {}", self.display_inst(inst))?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+impl Function {
+    /// A displayable wrapper for one instruction.
+    pub fn display_inst(&self, inst: Inst) -> DisplayInst<'_> {
+        DisplayInst { func: self, inst }
+    }
+}
+
+/// Displays a single instruction in the textual format.
+pub struct DisplayInst<'a> {
+    func: &'a Function,
+    inst: Inst,
+}
+
+impl fmt::Display for DisplayInst<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let data = self.func.inst(self.inst);
+        if let Some(d) = data.dst {
+            write!(f, "{d} = ")?;
+        }
+        match &data.kind {
+            InstKind::Param { index } => write!(f, "param {index}"),
+            InstKind::Const { imm } => write!(f, "const {imm}"),
+            InstKind::Copy { src } => write!(f, "copy {src}"),
+            InstKind::Unary { op, a } => write!(f, "{} {a}", op.mnemonic()),
+            InstKind::Binary { op, a, b } => write!(f, "{} {a}, {b}", op.mnemonic()),
+            InstKind::Load { addr } => write!(f, "load {addr}"),
+            InstKind::Store { addr, val } => write!(f, "store {addr}, {val}"),
+            InstKind::Phi { args } => {
+                write!(f, "phi")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i == 0 {
+                        write!(f, " ")?;
+                    } else {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "[{}: {}]", a.pred, a.value)?;
+                }
+                Ok(())
+            }
+            InstKind::Branch { cond, then_dst, else_dst } => {
+                write!(f, "branch {cond}, {then_dst}, {else_dst}")
+            }
+            InstKind::Jump { dst } => write!(f, "jump {dst}"),
+            InstKind::Return { val } => match val {
+                Some(v) => write!(f, "return {v}"),
+                None => write!(f, "return"),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::FunctionBuilder;
+    use crate::instr::{BinOp, PhiArg, UnaryOp};
+
+    #[test]
+    fn prints_every_instruction_kind() {
+        let mut b = FunctionBuilder::new("all", 1);
+        let e = b.create_block();
+        let x = b.create_block();
+        b.switch_to(e);
+        let p = b.param(0);
+        let c = b.iconst(-7);
+        let cp = b.copy(p);
+        let n = b.unary(UnaryOp::Neg, cp);
+        let s = b.binary(BinOp::Add, n, c);
+        let l = b.load(s);
+        b.store(s, l);
+        b.branch(l, x, x);
+        b.switch_to(x);
+        let ph = b.new_value();
+        b.ret(Some(ph));
+        b.phi_in(x, vec![PhiArg { pred: e, value: s }], ph);
+        let f = b.finish();
+        let text = f.to_string();
+        for needle in [
+            "function @all(1) {",
+            "v0 = param 0",
+            "v1 = const -7",
+            "v2 = copy v0",
+            "v3 = neg v2",
+            "v4 = add v3, v1",
+            "v5 = load v4",
+            "store v4, v5",
+            "branch v5, b1, b1",
+            "v6 = phi [b0: v4]",
+            "return v6",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn prints_bare_return() {
+        let mut b = FunctionBuilder::new("bare", 0);
+        let e = b.create_block();
+        b.switch_to(e);
+        b.ret(None);
+        let text = b.finish().to_string();
+        assert!(text.contains("    return\n"), "{text}");
+    }
+}

@@ -1,0 +1,315 @@
+//! Structural verification of functions.
+//!
+//! [`verify_function`] checks the invariants every pass in this workspace
+//! relies on: block shape (φs, body, one terminator), φ arguments matching
+//! predecessors, value indices in range, and destination presence per
+//! instruction kind. SSA-specific properties (single assignment,
+//! strictness/regularity) are checked separately by `fcc-ssa`, which has
+//! the dominator machinery the check needs.
+
+use std::fmt;
+
+use crate::cfg::ControlFlowGraph;
+use crate::function::{Block, Function};
+use crate::instr::InstKind;
+
+/// An invariant violation found by [`verify_function`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct VerifyError {
+    /// The block the violation was found in, if block-local.
+    pub block: Option<Block>,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.block {
+            Some(b) => write!(f, "in {b}: {}", self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+fn err(block: impl Into<Option<Block>>, message: impl Into<String>) -> VerifyError {
+    VerifyError { block: block.into(), message: message.into() }
+}
+
+/// Verify the structural invariants of `func`.
+///
+/// # Errors
+///
+/// Returns the first violation found:
+/// * the function has no blocks, or a block has no terminator;
+/// * a terminator appears before the end of a block;
+/// * a φ-node appears after a non-φ instruction;
+/// * a φ's predecessor keys do not exactly cover the block's predecessors;
+/// * `param` appears outside the entry block head or out of range;
+/// * a branch target or value index is out of range;
+/// * an instruction's destination presence contradicts its kind.
+pub fn verify_function(func: &Function) -> Result<(), VerifyError> {
+    if func.blocks().next().is_none() {
+        return Err(err(None, "function has no blocks"));
+    }
+    let cfg = ControlFlowGraph::compute(func);
+    let num_values = func.num_values();
+    let num_blocks = func.num_blocks();
+
+    // The entry must have no predecessors: a φ at the entry would have no
+    // incoming edge for the initial activation, and every SSA algorithm
+    // here assumes the entry strictly dominates the rest. Front ends that
+    // need a loopable first block insert a fresh pre-header.
+    if !cfg.preds(func.entry()).is_empty() {
+        return Err(err(func.entry(), "entry block must have no predecessors"));
+    }
+
+    for block in func.blocks() {
+        let insts = func.block_insts(block);
+        match insts.last() {
+            None => return Err(err(block, "block is empty")),
+            Some(&last) if !func.inst(last).kind.is_terminator() => {
+                return Err(err(block, "block does not end with a terminator"))
+            }
+            _ => {}
+        }
+
+        let mut seen_non_phi = false;
+        for (pos, &inst) in insts.iter().enumerate() {
+            let data = func.inst(inst);
+            let is_last = pos + 1 == insts.len();
+
+            if data.kind.is_terminator() && !is_last {
+                return Err(err(block, format!("terminator {inst} is not last in block")));
+            }
+            if data.kind.is_phi() {
+                if seen_non_phi {
+                    return Err(err(block, format!("phi {inst} appears after non-phi code")));
+                }
+            } else {
+                seen_non_phi = true;
+            }
+
+            // Destination presence must match the kind.
+            let needs_dst = !matches!(
+                data.kind,
+                InstKind::Store { .. }
+                    | InstKind::Branch { .. }
+                    | InstKind::Jump { .. }
+                    | InstKind::Return { .. }
+            );
+            if needs_dst && data.dst.is_none() {
+                return Err(err(block, format!("{inst} must define a value")));
+            }
+            if !needs_dst && data.dst.is_some() {
+                return Err(err(block, format!("{inst} must not define a value")));
+            }
+            if let Some(d) = data.dst {
+                if d.index() >= num_values {
+                    return Err(err(block, format!("{inst} defines out-of-range value {d}")));
+                }
+            }
+
+            // Value and block operand ranges.
+            let mut bad_use = None;
+            data.kind.for_each_use(|v| {
+                if v.index() >= num_values && bad_use.is_none() {
+                    bad_use = Some(v);
+                }
+            });
+            if let Some(v) = bad_use {
+                return Err(err(block, format!("{inst} uses out-of-range value {v}")));
+            }
+            for s in data.kind.successors() {
+                if s.index() >= num_blocks {
+                    return Err(err(block, format!("{inst} targets out-of-range block {s}")));
+                }
+            }
+
+            match &data.kind {
+                InstKind::Param { index } => {
+                    if block != func.entry() {
+                        return Err(err(block, format!("{inst}: param outside entry block")));
+                    }
+                    if *index >= func.num_params {
+                        return Err(err(
+                            block,
+                            format!("{inst}: param index {index} out of range"),
+                        ));
+                    }
+                }
+                InstKind::Phi { args } => {
+                    if !cfg.is_reachable(block) {
+                        continue;
+                    }
+                    // φ keys must exactly cover the predecessor set.
+                    let mut preds: Vec<Block> = cfg.preds(block).to_vec();
+                    preds.sort_unstable();
+                    preds.dedup();
+                    let mut keys: Vec<Block> = args.iter().map(|a| a.pred).collect();
+                    keys.sort_unstable();
+                    let dup = keys.windows(2).any(|w| w[0] == w[1]);
+                    if dup {
+                        return Err(err(block, format!("{inst}: duplicate phi predecessor")));
+                    }
+                    if keys != preds {
+                        return Err(err(
+                            block,
+                            format!(
+                                "{inst}: phi predecessors {keys:?} do not match block predecessors {preds:?}"
+                            ),
+                        ));
+                    }
+                    for a in args {
+                        if a.value.index() >= num_values {
+                            return Err(err(
+                                block,
+                                format!("{inst}: phi uses out-of-range value {}", a.value),
+                            ));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::Value;
+    use crate::instr::PhiArg;
+
+    fn linear() -> (Function, Block) {
+        let mut f = Function::new("lin");
+        let b0 = f.add_block();
+        let v = f.new_value();
+        f.append_inst(b0, InstKind::Const { imm: 1 }, Some(v));
+        f.append_inst(b0, InstKind::Return { val: Some(v) }, None);
+        (f, b0)
+    }
+
+    #[test]
+    fn accepts_minimal_function() {
+        let (f, _) = linear();
+        assert!(verify_function(&f).is_ok());
+    }
+
+    #[test]
+    fn rejects_empty_function() {
+        let f = Function::new("empty");
+        assert!(verify_function(&f).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_terminator() {
+        let mut f = Function::new("noterm");
+        let b0 = f.add_block();
+        let v = f.new_value();
+        f.append_inst(b0, InstKind::Const { imm: 1 }, Some(v));
+        let e = verify_function(&f).unwrap_err();
+        assert!(e.to_string().contains("terminator"), "{e}");
+    }
+
+    #[test]
+    fn rejects_mid_block_terminator() {
+        let (mut f, b0) = linear();
+        f.append_inst(b0, InstKind::Return { val: None }, None);
+        assert!(verify_function(&f).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_dst() {
+        let (mut f, b0) = linear();
+        f.insert_before_terminator(b0, InstKind::Const { imm: 2 }, None);
+        let e = verify_function(&f).unwrap_err();
+        assert!(e.to_string().contains("must define"), "{e}");
+    }
+
+    #[test]
+    fn rejects_dst_on_store() {
+        let (mut f, b0) = linear();
+        let v = Value::new(0);
+        let d = f.new_value();
+        f.insert_before_terminator(b0, InstKind::Store { addr: v, val: v }, Some(d));
+        assert!(verify_function(&f).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_value() {
+        let (mut f, b0) = linear();
+        let bogus = Value::new(999);
+        let d = f.new_value();
+        f.insert_before_terminator(b0, InstKind::Copy { src: bogus }, Some(d));
+        let e = verify_function(&f).unwrap_err();
+        assert!(e.to_string().contains("out-of-range"), "{e}");
+    }
+
+    #[test]
+    fn rejects_param_outside_entry() {
+        let mut f = Function::new("p");
+        f.num_params = 1;
+        let b0 = f.add_block();
+        let b1 = f.add_block();
+        f.append_inst(b0, InstKind::Jump { dst: b1 }, None);
+        let v = f.new_value();
+        f.append_inst(b1, InstKind::Param { index: 0 }, Some(v));
+        f.append_inst(b1, InstKind::Return { val: Some(v) }, None);
+        assert!(verify_function(&f).is_err());
+    }
+
+    #[test]
+    fn rejects_phi_after_body() {
+        let mut f = Function::new("phi_late");
+        let b0 = f.add_block();
+        let b1 = f.add_block();
+        let v = f.new_value();
+        f.append_inst(b0, InstKind::Const { imm: 1 }, Some(v));
+        f.append_inst(b0, InstKind::Jump { dst: b1 }, None);
+        let w = f.new_value();
+        let x = f.new_value();
+        f.append_inst(b1, InstKind::Copy { src: v }, Some(w));
+        f.append_inst(b1, InstKind::Phi { args: vec![PhiArg { pred: b0, value: v }] }, Some(x));
+        f.append_inst(b1, InstKind::Return { val: Some(x) }, None);
+        let e = verify_function(&f).unwrap_err();
+        assert!(e.to_string().contains("after non-phi"), "{e}");
+    }
+
+    #[test]
+    fn rejects_phi_pred_mismatch() {
+        let mut f = Function::new("phi_mismatch");
+        let b0 = f.add_block();
+        let b1 = f.add_block();
+        let v = f.new_value();
+        f.append_inst(b0, InstKind::Const { imm: 1 }, Some(v));
+        f.append_inst(b0, InstKind::Jump { dst: b1 }, None);
+        let x = f.new_value();
+        // Key the phi by b1 (not a predecessor).
+        f.prepend_phi(b1, vec![PhiArg { pred: b1, value: v }], x);
+        f.append_inst(b1, InstKind::Return { val: Some(x) }, None);
+        assert!(verify_function(&f).is_err());
+    }
+
+    #[test]
+    fn accepts_phi_matching_preds() {
+        let mut f = Function::new("phi_ok");
+        let b0 = f.add_block();
+        let b1 = f.add_block();
+        let b2 = f.add_block();
+        let v = f.new_value();
+        f.append_inst(b0, InstKind::Const { imm: 1 }, Some(v));
+        f.append_inst(b0, InstKind::Branch { cond: v, then_dst: b1, else_dst: b2 }, None);
+        f.append_inst(b1, InstKind::Jump { dst: b2 }, None);
+        let x = f.new_value();
+        f.prepend_phi(
+            b2,
+            vec![PhiArg { pred: b0, value: v }, PhiArg { pred: b1, value: v }],
+            x,
+        );
+        f.append_inst(b2, InstKind::Return { val: Some(x) }, None);
+        verify_function(&f).unwrap();
+    }
+}

@@ -1,0 +1,123 @@
+//! Copy propagation (SSA only).
+//!
+//! Replaces every use of a copy's destination with the copy's source and
+//! deletes the copy. This is the standalone-pass version of what the SSA
+//! construction does on the fly with `fold_copies = true` — the paper's
+//! introduction observes that copies "can be folded during the
+//! construction of the SSA form"; this pass folds them *after*
+//! construction instead, chasing through copy chains.
+
+use fcc_ir::{Function, Inst, InstKind, Value};
+
+/// Propagate and delete SSA copies. Returns how many copies died.
+pub fn copy_propagate(func: &mut Function) -> usize {
+    let n = func.num_values();
+    // Resolve each value to the root of its copy chain.
+    let mut source: Vec<Option<Value>> = vec![None; n];
+    let mut copies: Vec<(fcc_ir::Block, Inst)> = Vec::new();
+    for b in func.blocks() {
+        for &inst in func.block_insts(b) {
+            if let InstKind::Copy { src } = func.inst(inst).kind {
+                let dst = func.inst(inst).dst.expect("copy defines");
+                source[dst.index()] = Some(src);
+                copies.push((b, inst));
+            }
+        }
+    }
+    if copies.is_empty() {
+        return 0;
+    }
+    let resolve = |mut v: Value, source: &[Option<Value>]| -> Value {
+        // Chains are acyclic in SSA (a copy's source is defined earlier),
+        // but guard against pathological input anyway.
+        for _ in 0..n {
+            match source[v.index()] {
+                Some(s) if s != v => v = s,
+                _ => break,
+            }
+        }
+        v
+    };
+
+    let blocks: Vec<fcc_ir::Block> = func.blocks().collect();
+    for &b in &blocks {
+        let insts: Vec<Inst> = func.block_insts(b).to_vec();
+        for inst in insts {
+            let data = func.inst_mut(inst);
+            data.kind.for_each_use_mut(|v| *v = resolve(*v, &source));
+            if let InstKind::Phi { args } = &mut data.kind {
+                for a in args.iter_mut() {
+                    a.value = resolve(a.value, &source);
+                }
+            }
+        }
+    }
+    let removed = copies.len();
+    for (b, inst) in copies {
+        func.remove_inst(b, inst);
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcc_ir::parse::parse_function;
+    use fcc_ir::verify::verify_function;
+    use fcc_ssa::verify_ssa;
+
+    #[test]
+    fn chases_copy_chains() {
+        let mut f = parse_function(
+            "function @c(1) {
+             b0:
+                 v0 = param 0
+                 v1 = copy v0
+                 v2 = copy v1
+                 v3 = add v2, v1
+                 return v3
+             }",
+        )
+        .unwrap();
+        verify_ssa(&f).unwrap();
+        assert_eq!(copy_propagate(&mut f), 2);
+        assert_eq!(f.static_copy_count(), 0);
+        verify_function(&f).unwrap();
+        verify_ssa(&f).unwrap();
+        assert_eq!(fcc_interp::run(&f, &[21]).unwrap().ret, Some(42));
+    }
+
+    #[test]
+    fn propagates_into_phi_args() {
+        let mut f = parse_function(
+            "function @p(1) {
+             b0:
+                 v0 = param 0
+                 v1 = const 3
+                 v2 = copy v1
+                 branch v0, b1, b2
+             b1:
+                 jump b3
+             b2:
+                 jump b3
+             b3:
+                 v3 = phi [b1: v2], [b2: v0]
+                 return v3
+             }",
+        )
+        .unwrap();
+        copy_propagate(&mut f);
+        assert_eq!(f.static_copy_count(), 0);
+        verify_ssa(&f).unwrap();
+        assert_eq!(fcc_interp::run(&f, &[1]).unwrap().ret, Some(3));
+        assert_eq!(fcc_interp::run(&f, &[0]).unwrap().ret, Some(0));
+    }
+
+    #[test]
+    fn no_copies_is_a_noop() {
+        let src = "function @n(1) {\nb0:\n v0 = param 0\n return v0\n}";
+        let mut f = parse_function(src).unwrap();
+        assert_eq!(copy_propagate(&mut f), 0);
+        assert_eq!(f.to_string(), parse_function(src).unwrap().to_string());
+    }
+}

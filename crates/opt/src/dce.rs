@@ -1,0 +1,177 @@
+//! Dead-code elimination.
+//!
+//! Deletes instructions whose results are never used and which have no
+//! side effects (stores and terminators are roots). The paper relies on
+//! exactly this pass to clean up after strictness is imposed by
+//! initialising variables at the entry: "The initializations that are
+//! unnecessary can then be removed by a dead-code elimination pass"
+//! (Section 2).
+//!
+//! The pass is sound on SSA and non-SSA code alike: liveness of a *value*
+//! keeps all of its definitions, which is conservative for multi-def
+//! values but never wrong.
+
+use fcc_ir::{Function, Inst, InstKind};
+
+/// Remove dead instructions from `func`. Returns how many were deleted.
+pub fn dead_code_elim(func: &mut Function) -> usize {
+    let mut removed_total = 0;
+    // Iterate to a fixpoint: removing one instruction can kill the uses
+    // that kept another alive. Value universes are small enough that the
+    // simple recount converges in a handful of rounds.
+    loop {
+        let n = func.num_values();
+        let mut used = vec![false; n];
+        for b in func.blocks() {
+            for &inst in func.block_insts(b) {
+                let data = func.inst(inst);
+                data.kind.for_each_use(|v| used[v.index()] = true);
+                if let InstKind::Phi { args } = &data.kind {
+                    for a in args {
+                        used[a.value.index()] = true;
+                    }
+                }
+            }
+        }
+        let mut removed = 0;
+        let blocks: Vec<_> = func.blocks().collect();
+        for b in blocks {
+            let dead: Vec<Inst> = func
+                .block_insts(b)
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    let data = func.inst(i);
+                    let pure = !matches!(
+                        data.kind,
+                        InstKind::Store { .. }
+                            | InstKind::Branch { .. }
+                            | InstKind::Jump { .. }
+                            | InstKind::Return { .. }
+                    );
+                    pure && data.dst.is_some_and(|d| !used[d.index()])
+                })
+                .collect();
+            for i in dead {
+                func.remove_inst(b, i);
+                removed += 1;
+            }
+        }
+        removed_total += removed;
+        if removed == 0 {
+            return removed_total;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcc_ir::parse::parse_function;
+    use fcc_ir::verify::verify_function;
+
+    #[test]
+    fn removes_unused_pure_instructions() {
+        let mut f = parse_function(
+            "function @d(0) {
+             b0:
+                 v0 = const 1
+                 v1 = const 2
+                 v2 = add v0, v0
+                 return v0
+             }",
+        )
+        .unwrap();
+        assert_eq!(dead_code_elim(&mut f), 2);
+        verify_function(&f).unwrap();
+        assert_eq!(f.live_inst_count(), 2);
+    }
+
+    #[test]
+    fn chains_die_transitively() {
+        let mut f = parse_function(
+            "function @c(0) {
+             b0:
+                 v0 = const 1
+                 v1 = add v0, v0
+                 v2 = add v1, v1
+                 v3 = add v2, v2
+                 return v0
+             }",
+        )
+        .unwrap();
+        assert_eq!(dead_code_elim(&mut f), 3);
+    }
+
+    #[test]
+    fn keeps_stores_and_live_code() {
+        let mut f = parse_function(
+            "function @s(0) {
+             b0:
+                 v0 = const 1
+                 v1 = const 5
+                 store v1, v0
+                 return
+             }",
+        )
+        .unwrap();
+        assert_eq!(dead_code_elim(&mut f), 0);
+    }
+
+    #[test]
+    fn dead_phi_removed() {
+        let mut f = parse_function(
+            "function @p(0) {
+             b0:
+                 v0 = const 1
+                 branch v0, b1, b2
+             b1:
+                 jump b3
+             b2:
+                 jump b3
+             b3:
+                 v1 = phi [b1: v0], [b2: v0]
+                 return v0
+             }",
+        )
+        .unwrap();
+        assert_eq!(dead_code_elim(&mut f), 1);
+        assert!(!f.has_phis());
+    }
+
+    #[test]
+    fn phi_arg_uses_keep_values_alive() {
+        let mut f = parse_function(
+            "function @pa(0) {
+             b0:
+                 v0 = const 1
+                 v1 = const 2
+                 branch v0, b1, b2
+             b1:
+                 jump b3
+             b2:
+                 jump b3
+             b3:
+                 v2 = phi [b1: v0], [b2: v1]
+                 return v2
+             }",
+        )
+        .unwrap();
+        assert_eq!(dead_code_elim(&mut f), 0);
+    }
+
+    #[test]
+    fn conservative_on_multidef_values() {
+        // Non-SSA: v0 defined twice; the use keeps both defs.
+        let mut f = parse_function(
+            "function @m(0) {
+             b0:
+                 v0 = const 1
+                 v0 = const 2
+                 return v0
+             }",
+        )
+        .unwrap();
+        assert_eq!(dead_code_elim(&mut f), 0);
+    }
+}

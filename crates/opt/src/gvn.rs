@@ -1,0 +1,412 @@
+//! Dominator-based global value numbering (SSA only).
+//!
+//! The Briggs–Cooper–Simpson "dominator-tree value numbering technique":
+//! walk the dominator tree with a scoped hash table from canonicalised
+//! expressions to the value that first computed them. A recomputation in
+//! a dominated block is deleted and its name forwarded. Commutative
+//! operands are sorted; φs are de-duplicated within a block and
+//! *meaningless* φs (all arguments identical after numbering) collapse to
+//! their argument. Loads and stores are never numbered (the flat memory
+//! is mutable state).
+//!
+//! This pass is classic Rice-compiler-group machinery — the same group
+//! and infrastructure the paper's experiments ran in — and gives the
+//! coalescing pipeline realistic pre-optimised input shapes.
+
+use std::collections::HashMap;
+
+use fcc_analysis::DomTree;
+use fcc_ir::{BinOp, Block, ControlFlowGraph, Function, Inst, InstKind, Value};
+
+/// Statistics from one value-numbering run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct GvnStats {
+    /// Redundant pure computations removed.
+    pub redundant_removed: usize,
+    /// Copies forwarded.
+    pub copies_forwarded: usize,
+    /// φs collapsed (meaningless or duplicate).
+    pub phis_collapsed: usize,
+}
+
+/// A canonical expression key.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum Key {
+    Const(i64),
+    Unary(fcc_ir::UnaryOp, Value),
+    Binary(BinOp, Value, Value),
+    /// φ keyed by block and (pred, numbered arg) pairs in pred order.
+    Phi(Block, Vec<(Block, Value)>),
+}
+
+fn commutative(op: BinOp) -> bool {
+    matches!(
+        op,
+        BinOp::Add
+            | BinOp::Mul
+            | BinOp::Eq
+            | BinOp::Ne
+            | BinOp::And
+            | BinOp::Or
+            | BinOp::Xor
+            | BinOp::Min
+            | BinOp::Max
+    )
+}
+
+/// Run dominator-based value numbering over the SSA function `func`.
+///
+/// Redundant instructions are deleted and every use is rewritten to the
+/// surviving name. Follow with [`crate::dce::dead_code_elim`] to collect
+/// any newly dead code.
+pub fn value_number(func: &mut Function) -> GvnStats {
+    let mut stats = GvnStats::default();
+    let cfg = ControlFlowGraph::compute(func);
+    let dt = DomTree::compute(func, &cfg);
+    let n = func.num_values();
+
+    // vn[v] = canonical value for v (identity by default).
+    let mut vn: Vec<Value> = (0..n).map(Value::new).collect();
+    // Scoped expression table: one scope per open dominator-tree node.
+    let mut scopes: Vec<HashMap<Key, Value>> = Vec::new();
+    let mut to_delete: Vec<(Block, Inst)> = Vec::new();
+
+    // Iterative preorder walk with explicit scope pops.
+    enum Action {
+        Visit(Block),
+        Pop,
+    }
+    let mut work = vec![Action::Visit(func.entry())];
+    while let Some(action) = work.pop() {
+        match action {
+            Action::Pop => {
+                scopes.pop();
+            }
+            Action::Visit(b) => {
+                scopes.push(HashMap::new());
+                work.push(Action::Pop);
+                for &c in dt.children(b).iter().rev() {
+                    work.push(Action::Visit(c));
+                }
+
+                let insts: Vec<Inst> = func.block_insts(b).to_vec();
+                for inst in insts {
+                    let data = func.inst_mut(inst);
+                    // Rewrite operands through vn first.
+                    data.kind.for_each_use_mut(|v| *v = vn[v.index()]);
+                    if let InstKind::Phi { args } = &mut data.kind {
+                        for a in args.iter_mut() {
+                            a.value = vn[a.value.index()];
+                        }
+                    }
+
+                    let dst = data.dst;
+                    let key = match &data.kind {
+                        InstKind::Const { imm } => Some(Key::Const(*imm)),
+                        InstKind::Copy { src } => {
+                            // Forward the copy's name; the copy itself
+                            // stays (it may be a coalescing-relevant move)
+                            // unless its name is now unused — DCE decides.
+                            let src = *src;
+                            let d = dst.expect("copy defines");
+                            vn[d.index()] = vn[src.index()];
+                            stats.copies_forwarded += 1;
+                            to_delete.push((b, inst));
+                            continue;
+                        }
+                        InstKind::Unary { op, a } => Some(Key::Unary(*op, *a)),
+                        InstKind::Binary { op, a, b: rhs } => {
+                            let (x, y) = if commutative(*op) && rhs < a {
+                                (*rhs, *a)
+                            } else {
+                                (*a, *rhs)
+                            };
+                            Some(Key::Binary(*op, x, y))
+                        }
+                        InstKind::Phi { args } => {
+                            // Meaningless φ: all numbered args equal.
+                            let first = args.first().map(|a| a.value);
+                            if let Some(f) = first {
+                                if args.iter().all(|a| a.value == f)
+                                    && f != dst.expect("phi defines")
+                                {
+                                    let d = dst.expect("phi defines");
+                                    vn[d.index()] = vn[f.index()];
+                                    stats.phis_collapsed += 1;
+                                    to_delete.push((b, inst));
+                                    continue;
+                                }
+                            }
+                            let mut pairs: Vec<(Block, Value)> =
+                                args.iter().map(|a| (a.pred, a.value)).collect();
+                            pairs.sort_by_key(|&(p, _)| p);
+                            Some(Key::Phi(b, pairs))
+                        }
+                        // Loads, stores, params, terminators: not pure or
+                        // not expressions.
+                        _ => None,
+                    };
+
+                    let Some(key) = key else { continue };
+                    let Some(d) = dst else { continue };
+                    // Look the key up through the scope chain.
+                    let found = scopes.iter().rev().find_map(|s| s.get(&key)).copied();
+                    match found {
+                        Some(existing) => {
+                            vn[d.index()] = existing;
+                            if matches!(key, Key::Phi(..)) {
+                                stats.phis_collapsed += 1;
+                            } else {
+                                stats.redundant_removed += 1;
+                            }
+                            to_delete.push((b, inst));
+                        }
+                        None => {
+                            scopes.last_mut().expect("open scope").insert(key, d);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Final rewrite: chase vn chains (a value may forward to a value that
+    // itself forwarded later during the walk).
+    let resolve = |mut v: Value, vn: &[Value]| -> Value {
+        for _ in 0..n {
+            let next = vn[v.index()];
+            if next == v {
+                break;
+            }
+            v = next;
+        }
+        v
+    };
+    let blocks: Vec<Block> = func.blocks().collect();
+    for &b in &blocks {
+        let insts: Vec<Inst> = func.block_insts(b).to_vec();
+        for inst in insts {
+            let data = func.inst_mut(inst);
+            data.kind.for_each_use_mut(|v| *v = resolve(*v, &vn));
+            if let InstKind::Phi { args } = &mut data.kind {
+                for a in args.iter_mut() {
+                    a.value = resolve(a.value, &vn);
+                }
+            }
+        }
+    }
+    for (b, inst) in to_delete {
+        func.remove_inst(b, inst);
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcc_ir::parse::parse_function;
+    use fcc_ir::verify::verify_function;
+    use fcc_ssa::verify_ssa;
+
+    fn gvn(text: &str) -> (Function, GvnStats) {
+        let mut f = parse_function(text).unwrap();
+        verify_ssa(&f).expect("test input is SSA");
+        let before = fcc_interp::run(&f, &[5]).ok();
+        let stats = value_number(&mut f);
+        verify_function(&f).unwrap();
+        verify_ssa(&f).expect("still SSA");
+        if let Some(b) = before {
+            let after = fcc_interp::run(&f, &[5]).unwrap();
+            assert_eq!(b.behavior(), after.behavior(), "{f}");
+        }
+        (f, stats)
+    }
+
+    #[test]
+    fn removes_redundant_expression() {
+        let (f, stats) = gvn(
+            "function @r(1) {
+             b0:
+                 v0 = param 0
+                 v1 = add v0, v0
+                 v2 = add v0, v0
+                 v3 = mul v1, v2
+                 return v3
+             }",
+        );
+        assert_eq!(stats.redundant_removed, 1);
+        // v2 deleted; v3 = mul v1, v1.
+        assert_eq!(f.live_inst_count(), 4);
+    }
+
+    #[test]
+    fn commutative_operands_canonicalise() {
+        let (_, stats) = gvn(
+            "function @c(2) {
+             b0:
+                 v0 = param 0
+                 v1 = param 1
+                 v2 = add v0, v1
+                 v3 = add v1, v0
+                 v4 = mul v2, v3
+                 return v4
+             }",
+        );
+        assert_eq!(stats.redundant_removed, 1);
+    }
+
+    #[test]
+    fn noncommutative_not_merged() {
+        let (_, stats) = gvn(
+            "function @s(2) {
+             b0:
+                 v0 = param 0
+                 v1 = param 1
+                 v2 = sub v0, v1
+                 v3 = sub v1, v0
+                 v4 = mul v2, v3
+                 return v4
+             }",
+        );
+        assert_eq!(stats.redundant_removed, 0);
+    }
+
+    #[test]
+    fn dominated_blocks_reuse_dominating_values() {
+        let (_, stats) = gvn(
+            "function @d(1) {
+             b0:
+                 v0 = param 0
+                 v1 = mul v0, v0
+                 branch v0, b1, b2
+             b1:
+                 v2 = mul v0, v0
+                 v3 = add v2, v1
+                 jump b3
+             b2:
+                 jump b3
+             b3:
+                 v4 = mul v0, v0
+                 return v4
+             }",
+        );
+        // b1's and b3's recomputations both fold to b0's v1.
+        assert_eq!(stats.redundant_removed, 2);
+    }
+
+    #[test]
+    fn sibling_blocks_do_not_share() {
+        // b1's computation must NOT be visible in b2 (no dominance).
+        let (f, stats) = gvn(
+            "function @sib(1) {
+             b0:
+                 v0 = param 0
+                 branch v0, b1, b2
+             b1:
+                 v1 = mul v0, v0
+                 jump b3
+             b2:
+                 v2 = mul v0, v0
+                 jump b3
+             b3:
+                 v3 = phi [b1: v1], [b2: v2]
+                 return v3
+             }",
+        );
+        assert_eq!(stats.redundant_removed, 0);
+        assert_eq!(f.phi_count(), 1);
+    }
+
+    #[test]
+    fn loads_never_numbered() {
+        let (f, stats) = gvn(
+            "function @l(1) {
+             b0:
+                 v0 = param 0
+                 v1 = load v0
+                 store v0, v0
+                 v2 = load v0
+                 v3 = add v1, v2
+                 return v3
+             }",
+        );
+        assert_eq!(stats.redundant_removed, 0);
+        assert_eq!(f.live_inst_count(), 6);
+    }
+
+    #[test]
+    fn duplicate_phis_merge() {
+        let (f, stats) = gvn(
+            "function @dp(1) {
+             b0:
+                 v0 = param 0
+                 v1 = const 1
+                 v2 = const 2
+                 branch v0, b1, b2
+             b1:
+                 jump b3
+             b2:
+                 jump b3
+             b3:
+                 v3 = phi [b1: v1], [b2: v2]
+                 v4 = phi [b1: v1], [b2: v2]
+                 v5 = add v3, v4
+                 return v5
+             }",
+        );
+        assert_eq!(stats.phis_collapsed, 1);
+        assert_eq!(f.phi_count(), 1);
+    }
+
+    #[test]
+    fn meaningless_phi_collapses() {
+        let (f, stats) = gvn(
+            "function @mp(1) {
+             b0:
+                 v0 = param 0
+                 v1 = const 7
+                 branch v0, b1, b2
+             b1:
+                 jump b3
+             b2:
+                 jump b3
+             b3:
+                 v2 = phi [b1: v1], [b2: v1]
+                 v3 = add v2, v2
+                 return v3
+             }",
+        );
+        assert_eq!(stats.phis_collapsed, 1);
+        assert_eq!(f.phi_count(), 0);
+    }
+
+    #[test]
+    fn constants_are_shared() {
+        let (_, stats) = gvn(
+            "function @k(0) {
+             b0:
+                 v0 = const 42
+                 v1 = const 42
+                 v2 = add v0, v1
+                 return v2
+             }",
+        );
+        assert_eq!(stats.redundant_removed, 1);
+    }
+
+    #[test]
+    fn copy_chain_forwarded() {
+        let (f, stats) = gvn(
+            "function @cc(1) {
+             b0:
+                 v0 = param 0
+                 v1 = copy v0
+                 v2 = copy v1
+                 v3 = add v2, v2
+                 return v3
+             }",
+        );
+        assert_eq!(stats.copies_forwarded, 2);
+        assert_eq!(f.static_copy_count(), 0);
+    }
+}

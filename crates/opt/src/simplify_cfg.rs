@@ -1,0 +1,270 @@
+//! CFG simplification: merge straight-line chains and thread through
+//! empty forwarding blocks.
+//!
+//! SSA destruction splits critical edges; many of the blocks it creates
+//! end up holding nothing but a `jump` once coalescing removed their
+//! copies. This pass cleans the shape back up, which is what a production
+//! backend does between phases. It is careful to preserve the entry
+//! invariant and φ keys:
+//!
+//! * an empty block (`jump t` only, no φs) is bypassed when `t` has no
+//!   φs, or when the empty block has a unique predecessor with no other
+//!   edge to `t` (the φ key is then rewritten);
+//! * a block whose unique successor has it as unique predecessor is
+//!   merged into it, provided the successor carries no φs.
+
+use fcc_ir::{Block, ControlFlowGraph, Function, Inst, InstKind};
+
+/// Simplify `func`'s control flow to a fixpoint. Returns blocks removed.
+pub fn simplify_cfg(func: &mut Function) -> usize {
+    let mut removed = 0;
+    loop {
+        let n = pass(func);
+        if n == 0 {
+            return removed;
+        }
+        removed += n;
+    }
+}
+
+fn pass(func: &mut Function) -> usize {
+    let cfg = ControlFlowGraph::compute(func);
+    let entry = func.entry();
+    let blocks: Vec<Block> = func.blocks().collect();
+
+    // --- thread through empty forwarding blocks ---
+    for &b in &blocks {
+        if b == entry || !cfg.is_reachable(b) {
+            continue;
+        }
+        let insts = func.block_insts(b);
+        if insts.len() != 1 {
+            continue;
+        }
+        let InstKind::Jump { dst: target } = func.inst(insts[0]).kind else { continue };
+        if target == b {
+            continue; // self loop, nothing to thread
+        }
+        let target_has_phis = func.block_phis(target).next().is_some();
+        let preds: Vec<Block> = cfg.preds(b).to_vec();
+        if preds.is_empty() {
+            continue;
+        }
+        let ok = if !target_has_phis {
+            true
+        } else {
+            // Single pred, which must not already reach `target` (a second
+            // edge would need a duplicate φ key).
+            preds.len() == 1 && !cfg.succs(preds[0]).contains(&target) && preds[0] != target
+        };
+        if !ok {
+            continue;
+        }
+        // Retarget every predecessor edge b' -> b to b' -> target.
+        for &p in &preds {
+            let term = func.terminator(p).expect("pred terminates");
+            func.inst_mut(term).kind.for_each_successor_mut(|d| {
+                if *d == b {
+                    *d = target;
+                }
+            });
+        }
+        // Re-key φs in target from b to the unique pred (if any φs).
+        if target_has_phis {
+            let new_key = preds[0];
+            let phis: Vec<Inst> = func.block_phis(target).collect();
+            for phi in phis {
+                if let InstKind::Phi { args } = &mut func.inst_mut(phi).kind {
+                    for a in args.iter_mut() {
+                        if a.pred == b {
+                            a.pred = new_key;
+                        }
+                    }
+                }
+            }
+        }
+        func.remove_block_from_layout(b);
+        return 1; // recompute the CFG before doing more
+    }
+
+    // --- merge unique-succ/unique-pred pairs ---
+    for &b in &blocks {
+        if !cfg.is_reachable(b) {
+            continue;
+        }
+        let Some(term) = func.terminator(b) else { continue };
+        let InstKind::Jump { dst: c } = func.inst(term).kind else { continue };
+        if c == b || c == entry {
+            continue;
+        }
+        if cfg.preds(c).len() != 1 {
+            continue;
+        }
+        if func.block_phis(c).next().is_some() {
+            continue; // single-pred φs should be collapsed by constfold first
+        }
+        // Move c's instructions into b, replacing b's jump.
+        func.remove_inst(b, term);
+        let c_insts: Vec<Inst> = func.block_insts(c).to_vec();
+        for i in c_insts {
+            func.remove_inst(c, i);
+            func.relink_inst_at_end(b, i);
+        }
+        // φs in c's successors keyed by c must re-key to b.
+        let succs = func.successors(b);
+        for s in succs {
+            let phis: Vec<Inst> = func.block_phis(s).collect();
+            for phi in phis {
+                if let InstKind::Phi { args } = &mut func.inst_mut(phi).kind {
+                    for a in args.iter_mut() {
+                        if a.pred == c {
+                            a.pred = b;
+                        }
+                    }
+                }
+            }
+        }
+        func.remove_block_from_layout(c);
+        return 1;
+    }
+
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcc_ir::parse::parse_function;
+    use fcc_ir::verify::verify_function;
+
+    #[test]
+    fn merges_linear_chain() {
+        let mut f = parse_function(
+            "function @m(0) {
+             b0:
+                 v0 = const 1
+                 jump b1
+             b1:
+                 v1 = add v0, v0
+                 jump b2
+             b2:
+                 return v1
+             }",
+        )
+        .unwrap();
+        let removed = simplify_cfg(&mut f);
+        assert_eq!(removed, 2);
+        assert_eq!(f.blocks().count(), 1);
+        verify_function(&f).unwrap();
+        assert_eq!(fcc_interp::run(&f, &[]).unwrap().ret, Some(2));
+    }
+
+    #[test]
+    fn threads_empty_block_without_target_phis() {
+        let mut f = parse_function(
+            "function @t(0) {
+             b0:
+                 v0 = const 1
+                 branch v0, b1, b2
+             b1:
+                 jump b3
+             b2:
+                 jump b3
+             b3:
+                 return v0
+             }",
+        )
+        .unwrap();
+        let removed = simplify_cfg(&mut f);
+        assert!(removed >= 2, "both forwarding blocks disappear");
+        verify_function(&f).unwrap();
+        assert_eq!(fcc_interp::run(&f, &[]).unwrap().ret, Some(1));
+    }
+
+    #[test]
+    fn preserves_phis_when_threading_single_pred() {
+        let mut f = parse_function(
+            "function @p(1) {
+             b0:
+                 v0 = param 0
+                 v1 = const 10
+                 v2 = const 20
+                 branch v0, b1, b2
+             b1:
+                 jump b3
+             b2:
+                 jump b3
+             b3:
+                 v3 = phi [b1: v1], [b2: v2]
+                 return v3
+             }",
+        )
+        .unwrap();
+        simplify_cfg(&mut f);
+        verify_function(&f).unwrap();
+        assert_eq!(fcc_interp::run(&f, &[1]).unwrap().ret, Some(10));
+        assert_eq!(fcc_interp::run(&f, &[0]).unwrap().ret, Some(20));
+    }
+
+    #[test]
+    fn does_not_create_duplicate_phi_keys() {
+        // b1 and b2 both forward to b3 from the same pred b0: threading
+        // both would give b0 two φ keys; at most one may thread.
+        let mut f = parse_function(
+            "function @d(1) {
+             b0:
+                 v0 = param 0
+                 v1 = const 1
+                 v2 = const 2
+                 branch v0, b1, b2
+             b1:
+                 jump b3
+             b2:
+                 jump b3
+             b3:
+                 v3 = phi [b1: v1], [b2: v2]
+                 return v3
+             }",
+        )
+        .unwrap();
+        simplify_cfg(&mut f);
+        verify_function(&f).unwrap();
+        assert_eq!(fcc_interp::run(&f, &[1]).unwrap().ret, Some(1));
+        assert_eq!(fcc_interp::run(&f, &[0]).unwrap().ret, Some(2));
+    }
+
+    #[test]
+    fn undoes_critical_edge_splitting_after_coalescing() {
+        use fcc_ssa::{build_ssa, SsaFlavor};
+        let mut f = parse_function(
+            "function @loop(1) {
+             b0:
+                 v0 = param 0
+                 v1 = const 0
+                 v2 = const 0
+                 jump b1
+             b1:
+                 v3 = lt v2, v0
+                 branch v3, b2, b3
+             b2:
+                 v1 = add v1, v2
+                 v4 = const 1
+                 v2 = add v2, v4
+                 jump b1
+             b3:
+                 return v1
+             }",
+        )
+        .unwrap();
+        let reference = fcc_interp::run(&f, &[10]).unwrap();
+        build_ssa(&mut f, SsaFlavor::Pruned, true);
+        // Standard destruction splits edges and leaves copies.
+        fcc_ssa::destruct_standard(&mut f);
+        let before = f.blocks().count();
+        simplify_cfg(&mut f);
+        assert!(f.blocks().count() <= before);
+        verify_function(&f).unwrap();
+        let out = fcc_interp::run(&f, &[10]).unwrap();
+        assert_eq!(reference.behavior(), out.behavior());
+    }
+}

@@ -1,0 +1,85 @@
+//! The optimiser must preserve behaviour on generated programs, alone
+//! and composed with the coalescing pipeline.
+
+use fcc_core::coalesce_ssa;
+use fcc_ir::Function;
+use fcc_opt::{aggressive_pipeline, simplify_cfg, standard_pipeline};
+use fcc_ssa::{build_ssa, verify_ssa, SsaFlavor};
+use fcc_workloads::{generate, GenConfig};
+
+fn run_f(f: &Function, args: &[i64]) -> (Option<i64>, Vec<i64>) {
+    let out = fcc_interp::run_with_memory(f, args, vec![0; 256], 20_000_000)
+        .expect("generated programs terminate");
+    (out.ret, out.memory)
+}
+
+#[test]
+fn optimizer_preserves_generated_programs() {
+    let cfg = GenConfig::default();
+    for seed in 0..120u64 {
+        let prog = generate(seed, &cfg);
+        let base = fcc_frontend::lower_program(&prog).unwrap();
+        let args = [seed as i64 % 13, 3];
+        let reference = run_f(&base, &args);
+
+        let mut f = base.clone();
+        build_ssa(&mut f, SsaFlavor::Pruned, true);
+        standard_pipeline().run(&mut f);
+        fcc_ir::verify::verify_function(&f).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(reference, run_f(&f, &args), "seed {seed}: optimizer miscompiled");
+
+        // The aggressive pipeline (with value numbering) too.
+        let mut g = base.clone();
+        build_ssa(&mut g, SsaFlavor::Pruned, true);
+        aggressive_pipeline().run(&mut g);
+        fcc_ir::verify::verify_function(&g).unwrap_or_else(|e| panic!("seed {seed} gvn: {e}"));
+        assert_eq!(reference, run_f(&g, &args), "seed {seed}: gvn pipeline miscompiled");
+        coalesce_ssa(&mut g);
+        assert_eq!(reference, run_f(&g, &args), "seed {seed}: post-gvn coalesce miscompiled");
+
+        // Optimised SSA must still be valid SSA if φs remain.
+        verify_ssa(&f).unwrap_or_else(|e| panic!("seed {seed}: optimized SSA invalid: {e}"));
+
+        // And the coalescer must still handle optimised SSA.
+        coalesce_ssa(&mut f);
+        assert!(!f.has_phis(), "seed {seed}");
+        assert_eq!(reference, run_f(&f, &args), "seed {seed}: post-opt coalesce miscompiled");
+
+        // Final cleanup round on the φ-free code.
+        simplify_cfg(&mut f);
+        fcc_ir::verify::verify_function(&f).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(reference, run_f(&f, &args), "seed {seed}: simplify-cfg miscompiled");
+    }
+}
+
+#[test]
+fn optimizer_shrinks_kernels_without_changing_them() {
+    for k in fcc_workloads::kernels() {
+        let base = fcc_workloads::compile_kernel(k);
+        let reference = fcc_workloads::reference_run(&base, k).unwrap();
+        let mut f = base.clone();
+        build_ssa(&mut f, SsaFlavor::Pruned, true);
+        let before = f.live_inst_count();
+        standard_pipeline().run(&mut f);
+        let after = f.live_inst_count();
+        assert!(after <= before, "{}: optimizer grew the code", k.name);
+        let out = fcc_workloads::reference_run(&f, k).unwrap();
+        assert_eq!(reference.behavior(), out.behavior(), "{}", k.name);
+    }
+}
+
+#[test]
+fn full_stack_source_to_allocated_registers() {
+    // MiniLang → SSA → optimise → coalesce → simplify → colour: the whole
+    // library working together on every kernel, k = 8 registers.
+    for k in fcc_workloads::kernels().iter().take(6) {
+        let mut f = fcc_workloads::compile_kernel(k);
+        let reference = fcc_workloads::reference_run(&f, k).unwrap();
+        build_ssa(&mut f, SsaFlavor::Pruned, true);
+        standard_pipeline().run(&mut f);
+        coalesce_ssa(&mut f);
+        simplify_cfg(&mut f);
+        let out = fcc_workloads::reference_run(&f, k).unwrap();
+        assert_eq!(reference.behavior(), out.behavior(), "{}", k.name);
+    }
+}

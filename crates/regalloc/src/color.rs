@@ -1,0 +1,611 @@
+//! A Chaitin/Briggs graph-colouring register allocator.
+//!
+//! The paper positions its coalescer as a drop-in phase for exactly this
+//! allocator (and names "a fast register-allocation algorithm that uses
+//! the results presented in this paper" as future work), so the library
+//! ships one: simplify/select with Briggs-style *optimistic* colouring
+//! and iterated spilling.
+//!
+//! * **simplify** — repeatedly remove nodes of degree < K; when none
+//!   remains, push the cheapest spill candidate anyway (optimism: it may
+//!   still colour).
+//! * **select** — pop nodes, giving each the lowest colour unused by its
+//!   already-coloured neighbours; a node with no free colour becomes an
+//!   actual spill.
+//! * **spill** — spilled values are rewritten through a dedicated region
+//!   of the flat memory (`spill_base`): a store after each definition, a
+//!   load into a fresh temporary before each use. The allocator then
+//!   retries on the rewritten program.
+//!
+//! Spill costs follow the classical `(defs + uses) · 10^depth / degree`
+//! estimate.
+
+use std::collections::HashMap;
+
+use fcc_analysis::{DomTree, Liveness, LoopNesting};
+use fcc_ir::{Block, ControlFlowGraph, Function, Inst, InstKind, Value};
+
+use crate::igraph::InterferenceGraph;
+
+/// Copy-coalescing policy inside the allocator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum AllocCoalesce {
+    /// Leave copies alone (coalescing was done by an earlier phase, e.g.
+    /// the paper's SSA-destruction coalescer).
+    #[default]
+    None,
+    /// Briggs-conservative coalescing: merge a copy's endpoints only when
+    /// the combined node has fewer than K neighbours of significant
+    /// degree (≥ K), so the merge can never turn a colourable graph
+    /// uncolourable.
+    Conservative,
+}
+
+/// Options for [`allocate`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AllocOptions {
+    /// Number of machine registers (colours) available.
+    pub registers: usize,
+    /// First memory word of the spill area. Must be beyond any address
+    /// the program itself touches, and within the interpreter's memory if
+    /// the result is to be executed.
+    pub spill_base: i64,
+    /// Safety bound on build/spill rounds.
+    pub max_rounds: usize,
+    /// In-allocator copy coalescing policy.
+    pub coalesce: AllocCoalesce,
+}
+
+impl Default for AllocOptions {
+    fn default() -> Self {
+        AllocOptions {
+            registers: 8,
+            spill_base: 1 << 20,
+            max_rounds: 16,
+            coalesce: AllocCoalesce::None,
+        }
+    }
+}
+
+/// A successful allocation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Allocation {
+    /// Colour (register number) per value that occurs in the function.
+    pub coloring: HashMap<Value, u32>,
+    /// Values spilled to memory across all rounds.
+    pub spilled: Vec<Value>,
+    /// Spill slots consumed.
+    pub spill_slots: usize,
+    /// Build/colour rounds performed.
+    pub rounds: usize,
+    /// Copies removed by in-allocator conservative coalescing.
+    pub copies_coalesced: usize,
+}
+
+/// Allocation failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AllocError {
+    /// Even after `max_rounds` of spilling the graph would not colour.
+    DidNotConverge,
+    /// Fewer than two registers requested. Spill code itself needs an
+    /// address register and a value register live at once, so K < 2 can
+    /// spill forever (each round's fresh temporaries re-spill), growing
+    /// the program instead of converging.
+    TooFewRegisters,
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::DidNotConverge => write!(f, "spilling did not converge"),
+            AllocError::TooFewRegisters => {
+                write!(f, "at least 2 registers are required (spill code needs addr + value)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// Colour the φ-free function `func` with `opts.registers` registers,
+/// inserting spill code as needed. On success every value in the function
+/// has a colour and no two interfering values share one (checked by
+/// [`verify_coloring`] in the test suite).
+///
+/// # Errors
+/// [`AllocError::TooFewRegisters`] if `opts.registers < 2`;
+/// [`AllocError::DidNotConverge`] if `max_rounds` rounds of spilling do
+/// not reach a colourable graph (with K ≥ 2 this indicates a degenerate
+/// input, since spilled ranges become tiny).
+///
+/// # Panics
+/// Panics if `func` contains φ-nodes.
+pub fn allocate(func: &mut Function, opts: &AllocOptions) -> Result<Allocation, AllocError> {
+    assert!(!func.has_phis(), "allocate expects phi-free code");
+    if opts.registers < 2 {
+        return Err(AllocError::TooFewRegisters);
+    }
+    let mut spilled_all: Vec<Value> = Vec::new();
+    let mut spill_slots = 0usize;
+    let mut copies_coalesced = 0usize;
+
+    if opts.coalesce == AllocCoalesce::Conservative {
+        copies_coalesced = conservative_coalesce(func, opts.registers);
+    }
+
+    for round in 1..=opts.max_rounds {
+        let cfg = ControlFlowGraph::compute(func);
+        let live = Liveness::compute(func, &cfg);
+        let dt = DomTree::compute(func, &cfg);
+        let loops = LoopNesting::compute(&cfg, &dt);
+        let ig = InterferenceGraph::build(func, &cfg, &live, None);
+
+        // Occurrence counts and spill costs.
+        let n = func.num_values();
+        let mut occurs = vec![false; n];
+        let mut cost = vec![0f64; n];
+        for b in func.blocks() {
+            if !cfg.is_reachable(b) {
+                continue;
+            }
+            let w = 10f64.powi(loops.depth(b).min(6) as i32);
+            for &inst in func.block_insts(b) {
+                let data = func.inst(inst);
+                if let Some(d) = data.dst {
+                    occurs[d.index()] = true;
+                    cost[d.index()] += w;
+                }
+                data.kind.for_each_use(|u| {
+                    occurs[u.index()] = true;
+                    cost[u.index()] += w;
+                });
+            }
+        }
+        let nodes: Vec<Value> = (0..n).map(Value::new).filter(|v| occurs[v.index()]).collect();
+
+        // ---- simplify ----
+        let mut degree: HashMap<Value, usize> =
+            nodes.iter().map(|&v| (v, ig.degree(v))).collect();
+        let mut removed: HashMap<Value, bool> = nodes.iter().map(|&v| (v, false)).collect();
+        let mut stack: Vec<(Value, bool)> = Vec::with_capacity(nodes.len()); // (value, optimistic)
+        let mut remaining = nodes.len();
+        while remaining > 0 {
+            // Peel all trivially colourable nodes.
+            let mut progressed = true;
+            while progressed {
+                progressed = false;
+                for &v in &nodes {
+                    if !removed[&v] && degree[&v] < opts.registers {
+                        removed.insert(v, true);
+                        remaining -= 1;
+                        stack.push((v, false));
+                        for nb in ig.neighbors(v) {
+                            if let Some(d) = degree.get_mut(&nb) {
+                                *d = d.saturating_sub(1);
+                            }
+                        }
+                        progressed = true;
+                    }
+                }
+            }
+            if remaining == 0 {
+                break;
+            }
+            // Optimistic push of the cheapest spill candidate.
+            let v = nodes
+                .iter()
+                .copied()
+                .filter(|v| !removed[v])
+                .min_by(|&a, &b| {
+                    let ca = cost[a.index()] / (degree[&a].max(1) as f64);
+                    let cb = cost[b.index()] / (degree[&b].max(1) as f64);
+                    ca.partial_cmp(&cb).unwrap()
+                })
+                .expect("remaining > 0");
+            removed.insert(v, true);
+            remaining -= 1;
+            stack.push((v, true));
+            for nb in ig.neighbors(v) {
+                if let Some(d) = degree.get_mut(&nb) {
+                    *d = d.saturating_sub(1);
+                }
+            }
+        }
+
+        // ---- select ----
+        let mut coloring: HashMap<Value, u32> = HashMap::new();
+        let mut to_spill: Vec<Value> = Vec::new();
+        while let Some((v, _optimistic)) = stack.pop() {
+            let mut used = vec![false; opts.registers];
+            for nb in ig.neighbors(v) {
+                if let Some(&c) = coloring.get(&nb) {
+                    used[c as usize] = true;
+                }
+            }
+            match used.iter().position(|&u| !u) {
+                Some(c) => {
+                    coloring.insert(v, c as u32);
+                }
+                None => to_spill.push(v),
+            }
+        }
+
+        if to_spill.is_empty() {
+            return Ok(Allocation {
+                coloring,
+                spilled: spilled_all,
+                spill_slots,
+                rounds: round,
+                copies_coalesced,
+            });
+        }
+
+        // ---- spill rewrite ----
+        for v in to_spill {
+            let slot_addr = opts.spill_base + spill_slots as i64;
+            spill_slots += 1;
+            spilled_all.push(v);
+            rewrite_spill(func, v, slot_addr);
+        }
+    }
+    Err(AllocError::DidNotConverge)
+}
+
+/// Briggs-conservative coalescing: iterate until no copy can be merged
+/// without risking colourability. A copy `d = copy s` merges when `d` and
+/// `s` do not interfere and the union of their neighbourhoods contains
+/// fewer than `k` nodes of degree ≥ `k` — such a merged node is
+/// guaranteed to simplify, so the merge can never cause a spill that the
+/// unmerged graph would have avoided.
+fn conservative_coalesce(func: &mut Function, k: usize) -> usize {
+    let mut total = 0usize;
+    loop {
+        let cfg = ControlFlowGraph::compute(func);
+        let live = Liveness::compute(func, &cfg);
+        let ig = InterferenceGraph::build(func, &cfg, &live, None);
+
+        // Candidate copies under the Briggs criterion.
+        let mut merged: HashMap<Value, Value> = HashMap::new();
+        let mut blocks_with_merge: Vec<(Block, Inst)> = Vec::new();
+        'outer: for b in func.blocks() {
+            if !cfg.is_reachable(b) {
+                continue;
+            }
+            for &inst in func.block_insts(b) {
+                let InstKind::Copy { src } = func.inst(inst).kind else { continue };
+                let dst = func.inst(inst).dst.expect("copy defines");
+                if dst == src || ig.interferes(dst, src) {
+                    continue;
+                }
+                // Combined significant-degree neighbour count.
+                let mut neighbors: Vec<Value> = ig.neighbors(dst);
+                for nb in ig.neighbors(src) {
+                    if !neighbors.contains(&nb) {
+                        neighbors.push(nb);
+                    }
+                }
+                let significant =
+                    neighbors.iter().filter(|&&nb| ig.degree(nb) >= k).count();
+                if significant < k {
+                    // Merge one copy per graph build (the graph is stale
+                    // after a merge), then rebuild.
+                    merged.insert(dst, src);
+                    blocks_with_merge.push((b, inst));
+                    break 'outer;
+                }
+            }
+        }
+
+        if merged.is_empty() {
+            return total;
+        }
+        total += merged.len();
+        let blocks: Vec<Block> = func.blocks().collect();
+        for &bb in &blocks {
+            let insts: Vec<Inst> = func.block_insts(bb).to_vec();
+            for inst in insts {
+                let data = func.inst_mut(inst);
+                if let Some(d) = data.dst {
+                    if let Some(&r) = merged.get(&d) {
+                        data.dst = Some(r);
+                    }
+                }
+                data.kind.for_each_use_mut(|v| {
+                    if let Some(&r) = merged.get(v) {
+                        *v = r;
+                    }
+                });
+            }
+        }
+        for (b, inst) in blocks_with_merge {
+            func.remove_inst(b, inst);
+        }
+        // A duplicate of the merged copy elsewhere just became a
+        // self-copy; drop those too rather than leaving dead moves.
+        for &bb in &blocks {
+            func.retain_insts(bb, |_, data| {
+                !matches!(data.kind, InstKind::Copy { src } if data.dst == Some(src))
+            });
+        }
+    }
+}
+
+/// Rewrite `v` through memory at `slot_addr`: store after each def, load
+/// into a fresh temporary before each use.
+fn rewrite_spill(func: &mut Function, v: Value, slot_addr: i64) {
+    let blocks: Vec<Block> = func.blocks().collect();
+    for b in blocks {
+        let insts: Vec<Inst> = func.block_insts(b).to_vec();
+        for inst in insts {
+            // Replace uses first: load into a fresh temp before the inst.
+            let mut uses_v = false;
+            func.inst(inst).kind.for_each_use(|u| uses_v |= u == v);
+            if uses_v {
+                let addr = func.new_value();
+                let tmp = func.new_value();
+                insert_before(func, b, inst, InstKind::Const { imm: slot_addr }, Some(addr));
+                insert_before(func, b, inst, InstKind::Load { addr }, Some(tmp));
+                func.inst_mut(inst).kind.for_each_use_mut(|u| {
+                    if *u == v {
+                        *u = tmp;
+                    }
+                });
+            }
+            if func.inst(inst).dst == Some(v) {
+                // Store right after the definition.
+                let addr = func.new_value();
+                insert_after(func, b, inst, InstKind::Const { imm: slot_addr }, Some(addr));
+                let store = InstKind::Store { addr, val: v };
+                insert_after_nth(func, b, inst, 1, store, None);
+            }
+        }
+    }
+}
+
+fn insert_before(func: &mut Function, b: Block, before: Inst, kind: InstKind, dst: Option<Value>) {
+    let pos = func.block_insts(b).iter().position(|&i| i == before).expect("inst in block");
+    func.insert_inst_at(b, pos, kind, dst);
+}
+
+fn insert_after(func: &mut Function, b: Block, after: Inst, kind: InstKind, dst: Option<Value>) {
+    let pos = func.block_insts(b).iter().position(|&i| i == after).expect("inst in block");
+    func.insert_inst_at(b, pos + 1, kind, dst);
+}
+
+fn insert_after_nth(
+    func: &mut Function,
+    b: Block,
+    after: Inst,
+    extra: usize,
+    kind: InstKind,
+    dst: Option<Value>,
+) {
+    let pos = func.block_insts(b).iter().position(|&i| i == after).expect("inst in block");
+    func.insert_inst_at(b, pos + 1 + extra, kind, dst);
+}
+
+/// Check that `coloring` is a proper colouring of `func`'s interference
+/// graph with at most `k` colours. Returns the first violation message.
+///
+/// # Errors
+/// A human-readable description of the violated constraint.
+pub fn verify_coloring(
+    func: &Function,
+    coloring: &HashMap<Value, u32>,
+    k: usize,
+) -> Result<(), String> {
+    let cfg = ControlFlowGraph::compute(func);
+    let live = Liveness::compute(func, &cfg);
+    let ig = InterferenceGraph::build(func, &cfg, &live, None);
+    for (&v, &c) in coloring {
+        if c as usize >= k {
+            return Err(format!("{v} got colour {c} >= k={k}"));
+        }
+        for nb in ig.neighbors(v) {
+            if let Some(&cn) = coloring.get(&nb) {
+                if cn == c && nb != v {
+                    return Err(format!("{v} and {nb} interfere but share colour {c}"));
+                }
+            }
+        }
+    }
+    // Every value that occurs must be coloured.
+    for b in func.blocks() {
+        for &inst in func.block_insts(b) {
+            let data = func.inst(inst);
+            if let Some(d) = data.dst {
+                if !coloring.contains_key(&d) {
+                    return Err(format!("{d} is defined but uncoloured"));
+                }
+            }
+            let mut missing = None;
+            data.kind.for_each_use(|u| {
+                if !coloring.contains_key(&u) && missing.is_none() {
+                    missing = Some(u);
+                }
+            });
+            if let Some(u) = missing {
+                return Err(format!("{u} is used but uncoloured"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcc_ir::parse::parse_function;
+    use fcc_interp::{run_with, RunConfig};
+
+    fn alloc_config() -> RunConfig {
+        RunConfig { memory_words: (1 << 20) + 64, fuel: 10_000_000 }
+    }
+
+    const PRESSURE: &str = "
+        function @pressure(1) {
+        b0:
+            v0 = param 0
+            v1 = add v0, v0
+            v2 = add v1, v0
+            v3 = add v2, v1
+            v4 = add v3, v2
+            v5 = add v4, v3
+            v6 = add v5, v4
+            v7 = add v1, v2
+            v8 = add v3, v4
+            v9 = add v5, v6
+            v10 = add v7, v8
+            v11 = add v10, v9
+            v12 = add v11, v1
+            return v12
+        }";
+
+    #[test]
+    fn colors_without_spills_when_k_large() {
+        let mut f = parse_function(PRESSURE).unwrap();
+        let alloc = allocate(&mut f, &AllocOptions { registers: 16, ..Default::default() })
+            .unwrap();
+        assert!(alloc.spilled.is_empty());
+        assert_eq!(alloc.rounds, 1);
+        verify_coloring(&f, &alloc.coloring, 16).unwrap();
+    }
+
+    #[test]
+    fn spills_under_pressure_and_stays_correct() {
+        let mut f = parse_function(PRESSURE).unwrap();
+        let reference = run_with(&f, &[3], &alloc_config()).unwrap();
+        let alloc = allocate(&mut f, &AllocOptions { registers: 3, ..Default::default() })
+            .unwrap();
+        assert!(!alloc.spilled.is_empty(), "k=3 must force spills");
+        verify_coloring(&f, &alloc.coloring, 3).unwrap();
+        let out = run_with(&f, &[3], &alloc_config()).unwrap();
+        assert_eq!(reference.ret, out.ret, "spill code preserves semantics:\n{f}");
+    }
+
+    #[test]
+    fn loop_program_allocates() {
+        let src = "
+            function @loopy(1) {
+            b0:
+                v0 = param 0
+                v1 = const 0
+                v2 = const 0
+                jump b1
+            b1:
+                v3 = lt v2, v0
+                branch v3, b2, b3
+            b2:
+                v1 = add v1, v2
+                v4 = const 1
+                v2 = add v2, v4
+                jump b1
+            b3:
+                return v1
+            }";
+        let f = parse_function(src).unwrap();
+        let reference = run_with(&f, &[10], &alloc_config()).unwrap();
+        for k in [2usize, 3, 8] {
+            let mut g = f.clone();
+            let alloc = allocate(&mut g, &AllocOptions { registers: k, ..Default::default() })
+                .unwrap_or_else(|e| panic!("k={k}: {e}"));
+            verify_coloring(&g, &alloc.coloring, k).unwrap();
+            let out = run_with(&g, &[10], &alloc_config()).unwrap();
+            assert_eq!(reference.ret, out.ret, "k={k}");
+        }
+    }
+
+    #[test]
+    fn conservative_coalescing_removes_safe_copies() {
+        let src = "
+            function @cc(1) {
+            b0:
+                v0 = param 0
+                v1 = add v0, v0
+                v2 = copy v1
+                v3 = mul v2, v0
+                return v3
+            }";
+        let mut f = parse_function(src).unwrap();
+        let reference = run_with(&f, &[6], &alloc_config()).unwrap();
+        let alloc = allocate(
+            &mut f,
+            &AllocOptions { registers: 8, coalesce: AllocCoalesce::Conservative, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(alloc.copies_coalesced, 1);
+        assert_eq!(f.static_copy_count(), 0);
+        verify_coloring(&f, &alloc.coloring, 8).unwrap();
+        let out = run_with(&f, &[6], &alloc_config()).unwrap();
+        assert_eq!(reference.ret, out.ret);
+    }
+
+    #[test]
+    fn conservative_coalescing_respects_interference() {
+        // src redefined while dst lives: must NOT merge.
+        let src = "
+            function @ni(1) {
+            b0:
+                v0 = param 0
+                v1 = const 3
+                v2 = copy v1
+                v1 = add v0, v0
+                v3 = add v1, v2
+                return v3
+            }";
+        let mut f = parse_function(src).unwrap();
+        let reference = run_with(&f, &[4], &alloc_config()).unwrap();
+        let alloc = allocate(
+            &mut f,
+            &AllocOptions { registers: 8, coalesce: AllocCoalesce::Conservative, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(alloc.copies_coalesced, 0);
+        assert_eq!(f.static_copy_count(), 1);
+        let out = run_with(&f, &[4], &alloc_config()).unwrap();
+        assert_eq!(reference.ret, out.ret);
+    }
+
+    #[test]
+    fn conservative_never_increases_spills() {
+        // Under tight K, coalescing must not make colouring worse (that
+        // is the whole point of the Briggs criterion).
+        let mut base = parse_function(PRESSURE).unwrap();
+        // Add a few removable copies.
+        let entry = base.entry();
+        let v1 = fcc_ir::Value::new(1);
+        let c = base.new_value();
+        base.insert_before_terminator(entry, fcc_ir::InstKind::Copy { src: v1 }, Some(c));
+        let k = 4;
+        let plain = allocate(&mut base.clone(), &AllocOptions { registers: k, ..Default::default() })
+            .unwrap();
+        let mut with_cc = base.clone();
+        let cc = allocate(
+            &mut with_cc,
+            &AllocOptions { registers: k, coalesce: AllocCoalesce::Conservative, ..Default::default() },
+        )
+        .unwrap();
+        assert!(cc.spilled.len() <= plain.spilled.len() + 1);
+        verify_coloring(&with_cc, &cc.coloring, k).unwrap();
+    }
+
+    #[test]
+    fn too_few_registers_is_a_clean_error() {
+        let mut f = parse_function(PRESSURE).unwrap();
+        for k in [0usize, 1] {
+            let e = allocate(&mut f, &AllocOptions { registers: k, ..Default::default() })
+                .unwrap_err();
+            assert_eq!(e, AllocError::TooFewRegisters, "k={k}");
+        }
+    }
+
+    #[test]
+    fn coloring_uses_at_most_k_colors() {
+        let mut f = parse_function(PRESSURE).unwrap();
+        let k = 4;
+        let alloc =
+            allocate(&mut f, &AllocOptions { registers: k, ..Default::default() }).unwrap();
+        let max = alloc.coloring.values().max().copied().unwrap_or(0);
+        assert!((max as usize) < k);
+    }
+}

@@ -1,0 +1,206 @@
+//! Sreedhar et al.'s Method I: SSA destruction via conversion to CSSA.
+//!
+//! The other classical out-of-SSA translation of the paper's era
+//! (Sreedhar, Ju, Gillies, Santhanam: "Translating Out of Static Single
+//! Assignment Form", SAS 1999). Method I makes every φ's resources
+//! trivially interference-free by *isolating* them:
+//!
+//! for `p = φ(a₁ @ e₁, …, aₙ @ eₙ)` in block `b`,
+//!
+//! * a fresh `aᵢ′ = copy aᵢ` is appended to each predecessor,
+//! * a fresh `p′` becomes the φ destination, with `p = copy p′` inserted
+//!   right after the φs of `b`,
+//! * the φ becomes `p′ = φ(a₁′, …, aₙ′)` — whose resources now have
+//!   point-like live ranges confined to the edge moment, so the whole set
+//!   collapses to a single name with no interference checking at all.
+//!
+//! Method I inserts `n + 1` copies per φ (one more than even the naive
+//! Standard instantiation) and relies on a later coalescer to clean up —
+//! the opposite end of the design space from the paper's algorithm, which
+//! is why it makes a useful baseline (`Sreedhar I + Briggs*` in the
+//! ablation benchmark). Methods II/III reduce the copies with liveness
+//! reasoning that converges toward what the paper computes directly.
+
+use fcc_ir::{Block, Function, Inst, InstKind, Value};
+
+use crate::edges::split_critical_edges;
+use crate::standard::DestructStats;
+
+/// Destruct `func`'s φs via Method I CSSA conversion. Returns counters
+/// (`copies_inserted` counts the isolation copies).
+pub fn destruct_sreedhar_i(func: &mut Function) -> DestructStats {
+    let mut stats = DestructStats::default();
+    stats.edges_split = split_critical_edges(func);
+
+    // Collect φs up front; the function is edited in place.
+    let mut phis: Vec<(Block, Inst)> = Vec::new();
+    for b in func.blocks() {
+        for phi in func.block_phis(b) {
+            phis.push((b, phi));
+        }
+    }
+
+    for &(b, phi) in &phis {
+        let p = func.inst(phi).dst.expect("phi defines");
+        let InstKind::Phi { args } = func.inst(phi).kind.clone() else { unreachable!() };
+
+        // Isolate the arguments: aᵢ′ = copy aᵢ at the end of each pred.
+        let mut web: Vec<Value> = Vec::with_capacity(args.len() + 1);
+        let mut new_args = Vec::with_capacity(args.len());
+        for a in &args {
+            let ai = func.new_value();
+            func.insert_before_terminator(a.pred, InstKind::Copy { src: a.value }, Some(ai));
+            stats.copies_inserted += 1;
+            web.push(ai);
+            new_args.push(fcc_ir::PhiArg { pred: a.pred, value: ai });
+        }
+
+        // Isolate the destination: p′ = φ(...); p = copy p′ after the φs.
+        let p_prime = func.new_value();
+        web.push(p_prime);
+        {
+            let data = func.inst_mut(phi);
+            data.dst = Some(p_prime);
+            data.kind = InstKind::Phi { args: new_args };
+        }
+        let phi_count = func.block_phis(b).count();
+        func.insert_inst_at(b, phi_count, InstKind::Copy { src: p_prime }, Some(p));
+        stats.copies_inserted += 1;
+
+        // The isolated web is interference-free by construction: one name
+        // for all of it, φ deleted.
+        let name = web[0];
+        let blocks: Vec<Block> = func.blocks().collect();
+        for bb in blocks {
+            let insts: Vec<Inst> = func.block_insts(bb).to_vec();
+            for inst in insts {
+                let data = func.inst_mut(inst);
+                if let Some(d) = data.dst {
+                    if web.contains(&d) {
+                        data.dst = Some(name);
+                    }
+                }
+                data.kind.for_each_use_mut(|v| {
+                    if web.contains(v) {
+                        *v = name;
+                    }
+                });
+            }
+        }
+        func.remove_inst(b, phi);
+        stats.phis_removed += 1;
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::standard::destruct_standard;
+    use crate::verify::verify_ssa;
+    use fcc_ir::parse::parse_function;
+    use fcc_ir::verify::verify_function;
+
+    const VIRTUAL_SWAP: &str = "
+        function @vswap(1) {
+        b0:
+            v0 = param 0
+            v1 = const 60
+            v2 = const 2
+            branch v0, b1, b2
+        b1:
+            jump b3
+        b2:
+            jump b3
+        b3:
+            v3 = phi [b1: v1], [b2: v2]
+            v4 = phi [b1: v2], [b2: v1]
+            v5 = div v3, v4
+            return v5
+        }";
+
+    #[test]
+    fn virtual_swap_correct_via_isolation() {
+        for (arg, expect) in [(1i64, 30i64), (0, 0)] {
+            let mut f = parse_function(VIRTUAL_SWAP).unwrap();
+            verify_ssa(&f).unwrap();
+            let stats = destruct_sreedhar_i(&mut f);
+            assert!(!f.has_phis());
+            verify_function(&f).unwrap();
+            // 2 φs × (2 args + 1 dst) = 6 isolation copies.
+            assert_eq!(stats.copies_inserted, 6);
+            let out = fcc_interp::run(&f, &[arg]).unwrap();
+            assert_eq!(out.ret, Some(expect), "arg={arg}\n{f}");
+        }
+    }
+
+    #[test]
+    fn swap_loop_correct_via_isolation() {
+        let src = "
+            function @swap(1) {
+            b0:
+                v0 = param 0
+                v1 = const 1
+                v2 = const 2
+                v3 = const 0
+                jump b1
+            b1:
+                v4 = phi [b0: v1], [b2: v5]
+                v5 = phi [b0: v2], [b2: v4]
+                v6 = phi [b0: v3], [b2: v7]
+                v8 = const 1
+                v7 = add v6, v8
+                v9 = lt v7, v0
+                branch v9, b2, b3
+            b2:
+                jump b1
+            b3:
+                v10 = mul v4, v7
+                return v10
+            }";
+        for arg in 0..5i64 {
+            let mut f = parse_function(src).unwrap();
+            let reference = fcc_interp::run(&f, &[arg]).unwrap();
+            destruct_sreedhar_i(&mut f);
+            let out = fcc_interp::run(&f, &[arg]).unwrap();
+            assert_eq!(reference.behavior(), out.behavior(), "arg={arg}\n{f}");
+        }
+    }
+
+    #[test]
+    fn inserts_more_copies_than_standard() {
+        // Method I's defining cost: n+1 copies per φ vs Standard's n.
+        let mut f1 = parse_function(VIRTUAL_SWAP).unwrap();
+        let s1 = destruct_sreedhar_i(&mut f1);
+        let mut f2 = parse_function(VIRTUAL_SWAP).unwrap();
+        let s2 = destruct_standard(&mut f2);
+        assert!(s1.copies_inserted > s2.copies_inserted);
+    }
+
+    #[test]
+    fn lost_copy_shape_survives_isolation() {
+        let src = "
+            function @lost(1) {
+            b0:
+                v0 = param 0
+                v1 = const 0
+                jump b1
+            b1:
+                v2 = phi [b0: v1], [b1: v3]
+                v4 = const 1
+                v3 = add v2, v4
+                v5 = lt v3, v0
+                branch v5, b1, b2
+            b2:
+                return v2
+            }";
+        for n in [0i64, 1, 5] {
+            let mut f = parse_function(src).unwrap();
+            let reference = fcc_interp::run(&f, &[n]).unwrap();
+            let stats = destruct_sreedhar_i(&mut f);
+            assert!(stats.edges_split >= 1);
+            let out = fcc_interp::run(&f, &[n]).unwrap();
+            assert_eq!(reference.behavior(), out.behavior(), "n={n}\n{f}");
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Critical-edge splitting.
+//!
+//! An edge is critical when its source has several successors and its
+//! target several predecessors. A copy materialising a φ argument cannot
+//! be placed in either endpoint of such an edge without affecting other
+//! paths — this is the root of the *lost-copy problem*. The paper's remedy
+//! (Section 3.6) is to split every critical edge once, right after
+//! reading in the code; all destruction algorithms here do the same.
+
+use fcc_ir::{ControlFlowGraph, Function};
+
+/// Split every critical edge in `func`, returning how many were split.
+///
+/// New blocks contain a single `jump` and are appended to the layout; φ
+/// predecessor keys are rewritten by [`Function::split_edge`].
+pub fn split_critical_edges(func: &mut Function) -> usize {
+    let cfg = ControlFlowGraph::compute(func);
+    let edges = cfg.critical_edges();
+    let count = edges.len();
+    for (pred, succ) in edges {
+        func.split_edge(pred, succ);
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcc_ir::parse::parse_function;
+    use fcc_ir::verify::verify_function;
+
+    #[test]
+    fn splits_all_critical_edges() {
+        // Double-diamond where both b0->b2 and b2->b4 style edges are
+        // critical.
+        let mut f = parse_function(
+            "function @c(0) {
+             b0:
+                 v0 = const 1
+                 branch v0, b1, b2
+             b1:
+                 jump b2
+             b2:
+                 branch v0, b3, b4
+             b3:
+                 jump b4
+             b4:
+                 return
+             }",
+        )
+        .unwrap();
+        let n = split_critical_edges(&mut f);
+        assert_eq!(n, 2);
+        let cfg = ControlFlowGraph::compute(&f);
+        assert!(cfg.critical_edges().is_empty(), "no critical edges remain");
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn loop_backedge_split_preserves_phis() {
+        // The backedge b1->b1 of a self-loop is critical (b1 has two
+        // succs via the branch, and two preds).
+        let mut f = parse_function(
+            "function @l(0) {
+             b0:
+                 v0 = const 0
+                 v4 = const 10
+                 jump b1
+             b1:
+                 v1 = phi [b0: v0], [b1: v2]
+                 v2 = add v1, v1
+                 v3 = lt v2, v4
+                 branch v3, b1, b2
+             b2:
+                 return v2
+             }",
+        )
+        .unwrap();
+        let n = split_critical_edges(&mut f);
+        assert_eq!(n, 1);
+        verify_function(&f).unwrap();
+        crate::verify::verify_ssa(&f).unwrap();
+    }
+
+    #[test]
+    fn no_op_when_no_critical_edges() {
+        let mut f = parse_function(
+            "function @n(0) {
+             b0:
+                 jump b1
+             b1:
+                 return
+             }",
+        )
+        .unwrap();
+        assert_eq!(split_critical_edges(&mut f), 0);
+        assert_eq!(f.blocks().count(), 2);
+    }
+}

@@ -1,0 +1,56 @@
+//! # fcc-ssa — SSA construction, verification, and baseline destruction
+//!
+//! * [`construct::build_ssa`] — Cytron et al. construction in three
+//!   flavours (minimal / semi-pruned / pruned) with optional **copy
+//!   folding** during renaming, exactly the setup the paper's algorithm
+//!   starts from;
+//! * [`verify::verify_ssa`] — the *regular program* checks (strictness +
+//!   dominance) from Section 2 of the paper;
+//! * [`edges::split_critical_edges`] — the lost-copy-problem fix;
+//! * [`parcopy::sequentialize`] — parallel-copy sequentialisation with
+//!   cycle temporaries (swap / virtual-swap problems);
+//! * [`standard::destruct_standard`] — the Briggs et al. φ-instantiation
+//!   baseline ("Standard" in the paper's tables);
+//! * [`cssa::destruct_sreedhar_i`] — Sreedhar et al.'s Method I CSSA
+//!   conversion, the era's other destruction algorithm, as an extra
+//!   comparator.
+//!
+//! ## Example
+//!
+//! ```
+//! use fcc_ir::parse::parse_function;
+//! use fcc_ssa::{build_ssa, destruct_standard, verify_ssa, SsaFlavor};
+//!
+//! let mut f = parse_function(
+//!     "function @abs(1) {
+//!      b0:
+//!          v0 = param 0
+//!          v1 = const 0
+//!          v2 = lt v0, v1
+//!          branch v2, b1, b2
+//!      b1:
+//!          v0 = neg v0
+//!          jump b2
+//!      b2:
+//!          return v0
+//!      }",
+//! ).unwrap();
+//! build_ssa(&mut f, SsaFlavor::Pruned, true);
+//! verify_ssa(&f).unwrap();
+//! let stats = destruct_standard(&mut f);
+//! assert!(!f.has_phis());
+//! assert!(stats.copies_inserted > 0);
+//! ```
+
+pub mod construct;
+pub mod cssa;
+pub mod edges;
+pub mod parcopy;
+pub mod standard;
+pub mod verify;
+
+pub use construct::{build_ssa, SsaFlavor, SsaStats};
+pub use cssa::destruct_sreedhar_i;
+pub use edges::split_critical_edges;
+pub use standard::{destruct_standard, DestructStats};
+pub use verify::verify_ssa;

@@ -1,0 +1,243 @@
+//! Parallel-copy sequentialisation.
+//!
+//! When φ-nodes are instantiated, all copies destined for one CFG edge
+//! form a *parallel copy*: conceptually, every source is read before any
+//! destination is written. Emitting them naively as sequential `copy`
+//! instructions is wrong whenever a destination is also a source — the
+//! *swap problem* of Briggs et al., and the paper's *virtual swap*
+//! (Figures 3–4) is the same phenomenon surfacing after aggressive
+//! coalescing. This module emits a correct sequential order, inserting a
+//! fresh temporary only when a genuine cycle forces one.
+//!
+//! The algorithm is the classical worklist sequentialisation: emit copies
+//! whose destination is not needed as a source ("ready"), and when only
+//! cycles remain, break one by saving a cycle member into a temporary.
+
+use std::collections::HashMap;
+
+use fcc_ir::Value;
+
+/// One `dst ← src` move of a parallel copy.
+pub type Move = (Value, Value);
+
+/// Sequentialise the parallel copy `copies` into an equivalent ordered
+/// list of moves.
+///
+/// `fresh` is called to mint a temporary register each time a cycle must
+/// be broken. Self-moves are dropped. Duplicate *sources* are fine (one
+/// value may feed many destinations); each *destination* must appear at
+/// most once.
+///
+/// # Panics
+///
+/// Panics if a destination appears twice — a parallel copy assigning one
+/// register two values is meaningless.
+///
+/// # Examples
+///
+/// A swap needs one temporary:
+///
+/// ```
+/// use fcc_ir::Value;
+/// use fcc_ssa::parcopy::sequentialize;
+///
+/// let a = Value::new(0);
+/// let b = Value::new(1);
+/// let mut next = 2;
+/// let seq = sequentialize(&[(a, b), (b, a)], || {
+///     next += 1;
+///     Value::new(next - 1)
+/// });
+/// assert_eq!(seq.len(), 3); // t = a; a = b; b = t
+/// ```
+pub fn sequentialize(copies: &[Move], mut fresh: impl FnMut() -> Value) -> Vec<Move> {
+    // Filter self-moves and check the single-destination precondition.
+    let mut pending: Vec<Move> = Vec::with_capacity(copies.len());
+    {
+        let mut seen_dst = std::collections::HashSet::new();
+        for &(dst, src) in copies {
+            assert!(seen_dst.insert(dst), "destination {dst} assigned twice in parallel copy");
+            if dst != src {
+                pending.push((dst, src));
+            }
+        }
+    }
+
+    let mut emitted: Vec<Move> = Vec::with_capacity(pending.len() + 1);
+    // pred[b] = the value that must end up in b.
+    let mut pred: HashMap<Value, Value> = HashMap::new();
+    // loc[a] = where a's original content currently lives.
+    let mut loc: HashMap<Value, Value> = HashMap::new();
+    // Destinations already written (each is written exactly once).
+    let mut done: std::collections::HashSet<Value> = std::collections::HashSet::new();
+    let mut todo: Vec<Value> = Vec::new();
+    let mut ready: Vec<Value> = Vec::new();
+
+    for &(b, a) in &pending {
+        loc.insert(a, a);
+        pred.insert(b, a);
+        todo.push(b);
+    }
+    for &(b, _) in &pending {
+        // If nothing needs to read b, it can be overwritten immediately.
+        if !loc.contains_key(&b) {
+            ready.push(b);
+        }
+    }
+
+    let drain_ready =
+        |ready: &mut Vec<Value>, emitted: &mut Vec<Move>, loc: &mut HashMap<Value, Value>, done: &mut std::collections::HashSet<Value>| {
+            while let Some(b) = ready.pop() {
+                let a = pred[&b];
+                let c = loc[&a];
+                emitted.push((b, c));
+                done.insert(b);
+                loc.insert(a, b);
+                // If a's content was still in a itself, a has now been
+                // saved elsewhere — if a is also a destination, it is free
+                // to be overwritten.
+                if a == c && pred.contains_key(&a) && !done.contains(&a) {
+                    ready.push(a);
+                }
+            }
+        };
+
+    while let Some(b) = {
+        drain_ready(&mut ready, &mut emitted, &mut loc, &mut done);
+        todo.pop()
+    } {
+        if done.contains(&b) {
+            continue;
+        }
+        // Every remaining destination is part of a cycle: break it by
+        // saving one member into a fresh temporary.
+        let t = fresh();
+        emitted.push((t, b));
+        loc.insert(b, t);
+        ready.push(b);
+    }
+    drain_ready(&mut ready, &mut emitted, &mut loc, &mut done);
+
+    emitted
+}
+
+/// Interpret `moves` sequentially over an environment — test helper used
+/// to validate sequentialisation against parallel semantics.
+pub fn apply_sequential(moves: &[Move], env: &mut HashMap<Value, i64>) {
+    for &(dst, src) in moves {
+        let v = *env.get(&src).unwrap_or(&0);
+        env.insert(dst, v);
+    }
+}
+
+/// Interpret `copies` with parallel semantics (all reads before any
+/// write) over an environment.
+pub fn apply_parallel(copies: &[Move], env: &mut HashMap<Value, i64>) {
+    let reads: Vec<(Value, i64)> =
+        copies.iter().map(|&(dst, src)| (dst, *env.get(&src).unwrap_or(&0))).collect();
+    for (dst, v) in reads {
+        env.insert(dst, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(copies: &[(usize, usize)]) -> usize {
+        let copies: Vec<Move> =
+            copies.iter().map(|&(d, s)| (Value::new(d), Value::new(s))).collect();
+        let max = copies.iter().flat_map(|&(a, b)| [a.index(), b.index()]).max().unwrap_or(0);
+        let mut next = max + 1;
+        let seq = sequentialize(&copies, || {
+            next += 1;
+            Value::new(next - 1)
+        });
+
+        // Environment with distinct initial values for every register.
+        let mut par_env: HashMap<Value, i64> = HashMap::new();
+        for i in 0..next {
+            par_env.insert(Value::new(i), 100 + i as i64);
+        }
+        let mut seq_env = par_env.clone();
+        apply_parallel(&copies, &mut par_env);
+        apply_sequential(&seq, &mut seq_env);
+        for i in 0..=max {
+            let v = Value::new(i);
+            assert_eq!(par_env[&v], seq_env[&v], "mismatch at {v} for {copies:?} -> {seq:?}");
+        }
+        seq.len()
+    }
+
+    #[test]
+    fn empty_and_self_moves() {
+        assert_eq!(check(&[]), 0);
+        assert_eq!(check(&[(0, 0)]), 0, "self move elided");
+    }
+
+    #[test]
+    fn disjoint_moves_stay_cheap() {
+        let n = check(&[(0, 1), (2, 3), (4, 5)]);
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn chain_is_emitted_in_dependency_order() {
+        // a<-b, b<-c: must emit a<-b before b<-c.
+        let n = check(&[(0, 1), (1, 2)]);
+        assert_eq!(n, 2, "chains need no temporary");
+    }
+
+    #[test]
+    fn long_chain() {
+        let copies: Vec<(usize, usize)> = (0..10).map(|i| (i, i + 1)).collect();
+        assert_eq!(check(&copies), 10);
+    }
+
+    #[test]
+    fn swap_uses_one_temp() {
+        assert_eq!(check(&[(0, 1), (1, 0)]), 3);
+    }
+
+    #[test]
+    fn three_cycle_uses_one_temp() {
+        assert_eq!(check(&[(0, 1), (1, 2), (2, 0)]), 4);
+    }
+
+    #[test]
+    fn cycle_plus_tail() {
+        // Cycle {0,1} with an extra reader of 0: the tail destination
+        // doubles as the cycle breaker, so no temp is needed (2←0, 0←1,
+        // 1←2).
+        assert_eq!(check(&[(0, 1), (1, 0), (2, 0)]), 3);
+    }
+
+    #[test]
+    fn fan_out_from_one_source() {
+        assert_eq!(check(&[(1, 0), (2, 0), (3, 0)]), 3);
+    }
+
+    #[test]
+    fn fan_out_plus_overwrite_of_source() {
+        // 0 feeds 1 and 2, and is itself overwritten from 3.
+        check(&[(1, 0), (2, 0), (0, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned twice")]
+    fn duplicate_destination_panics() {
+        check(&[(0, 1), (0, 2)]);
+    }
+
+    #[test]
+    fn exhaustive_small_functions() {
+        // Every parallel copy with dsts {0,1,2} and srcs drawn from 0..5.
+        for s0 in 0..5usize {
+            for s1 in 0..5usize {
+                for s2 in 0..5usize {
+                    check(&[(0, s0), (1, s1), (2, s2)]);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! "Standard" SSA destruction: Briggs et al. φ-node instantiation.
+//!
+//! The baseline the paper calls **Standard** (Section 4): every φ-node is
+//! replaced by copies in its predecessor blocks, with *no* attempt to
+//! avoid them. It is nevertheless careful about correctness:
+//!
+//! * critical edges are split first (lost-copy problem);
+//! * all copies destined for one edge are treated as a parallel copy and
+//!   sequentialised with [`crate::parcopy`] (swap problem).
+//!
+//! The resulting copy count is the "universal copy-insertion" upper bound
+//! that both coalescing algorithms are measured against in Tables 2–5.
+
+use std::collections::HashMap;
+
+use fcc_ir::{Block, ControlFlowGraph, Function, Inst, InstKind, Value};
+
+use crate::edges::split_critical_edges;
+use crate::parcopy::sequentialize;
+
+/// Counters describing one destruction run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct DestructStats {
+    /// `copy` instructions inserted.
+    pub copies_inserted: usize,
+    /// Temporaries minted to break parallel-copy cycles.
+    pub cycle_temps: usize,
+    /// Critical edges split.
+    pub edges_split: usize,
+    /// φ-nodes removed.
+    pub phis_removed: usize,
+}
+
+/// Replace every φ-node in `func` with explicit copies. Returns counters.
+///
+/// The output contains no φ-nodes and computes the same function (the
+/// integration suite checks this against the φ-aware reference
+/// interpreter).
+pub fn destruct_standard(func: &mut Function) -> DestructStats {
+    let mut stats = DestructStats::default();
+    stats.edges_split = split_critical_edges(func);
+
+    let cfg = ControlFlowGraph::compute(func);
+
+    // Gather, per predecessor block, the parallel copy its outgoing edge
+    // must perform. After critical-edge splitting each predecessor of a
+    // φ-block has exactly one successor, so "end of pred" is unambiguous —
+    // this is the paper's Waiting array keyed by block.
+    let mut waiting: HashMap<Block, Vec<(Value, Value)>> = HashMap::new();
+    let mut phis_to_remove: Vec<(Block, Inst)> = Vec::new();
+
+    for b in func.blocks() {
+        if !cfg.is_reachable(b) {
+            continue;
+        }
+        for phi in func.block_phis(b) {
+            let data = func.inst(phi);
+            let dst = data.dst.expect("phi defines a value");
+            if let InstKind::Phi { args } = &data.kind {
+                for a in args {
+                    waiting.entry(a.pred).or_default().push((dst, a.value));
+                }
+            }
+            phis_to_remove.push((b, phi));
+        }
+    }
+
+    // Sequentialise and insert each block's pending copies before its
+    // terminator.
+    let mut blocks: Vec<Block> = waiting.keys().copied().collect();
+    blocks.sort_unstable();
+    for b in blocks {
+        let copies = &waiting[&b];
+        let mut temps = 0usize;
+        let seq = {
+            let func_cell = std::cell::RefCell::new(&mut *func);
+            sequentialize(copies, || {
+                temps += 1;
+                func_cell.borrow_mut().new_value()
+            })
+        };
+        stats.cycle_temps += temps;
+        for (dst, src) in seq {
+            func.insert_before_terminator(b, InstKind::Copy { src }, Some(dst));
+            stats.copies_inserted += 1;
+        }
+    }
+
+    for (b, phi) in phis_to_remove {
+        func.remove_inst(b, phi);
+        stats.phis_removed += 1;
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_ssa;
+    use fcc_ir::parse::parse_function;
+    use fcc_ir::verify::verify_function;
+
+    #[test]
+    fn instantiates_simple_phi() {
+        let mut f = parse_function(
+            "function @p(0) {
+             b0:
+                 v0 = const 1
+                 branch v0, b1, b2
+             b1:
+                 v1 = const 2
+                 jump b3
+             b2:
+                 v2 = const 3
+                 jump b3
+             b3:
+                 v3 = phi [b1: v1], [b2: v2]
+                 return v3
+             }",
+        )
+        .unwrap();
+        let stats = destruct_standard(&mut f);
+        assert_eq!(stats.phis_removed, 1);
+        assert_eq!(stats.copies_inserted, 2);
+        assert_eq!(stats.cycle_temps, 0);
+        assert!(!f.has_phis());
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn swap_phis_get_a_temp() {
+        // Two φs that exchange values around a loop: the backedge's
+        // parallel copy {x<-y, y<-x} needs a cycle temp.
+        let mut f = parse_function(
+            "function @swap(0) {
+             b0:
+                 v0 = const 1
+                 v1 = const 2
+                 v9 = const 10
+                 jump b1
+             b1:
+                 v2 = phi [b0: v0], [b2: v3]
+                 v3 = phi [b0: v1], [b2: v2]
+                 v4 = lt v2, v9
+                 branch v4, b2, b3
+             b2:
+                 jump b1
+             b3:
+                 return v2
+             }",
+        )
+        .unwrap();
+        verify_ssa(&f).unwrap();
+        let stats = destruct_standard(&mut f);
+        assert!(!f.has_phis());
+        verify_function(&f).unwrap();
+        assert!(stats.cycle_temps >= 1, "swap around backedge needs a temp");
+    }
+
+    #[test]
+    fn critical_edge_lost_copy_shape() {
+        // The classic lost-copy program: loop with the φ value used after
+        // the loop. The backedge is critical and must be split.
+        let mut f = parse_function(
+            "function @lost(0) {
+             b0:
+                 v0 = const 1
+                 jump b1
+             b1:
+                 v1 = phi [b0: v0], [b1: v2]
+                 v2 = add v1, v0
+                 v3 = lt v2, v0
+                 branch v3, b1, b2
+             b2:
+                 return v1
+             }",
+        )
+        .unwrap();
+        verify_ssa(&f).unwrap();
+        let stats = destruct_standard(&mut f);
+        assert!(stats.edges_split >= 1);
+        assert!(!f.has_phis());
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn phi_free_function_untouched() {
+        let mut f = parse_function(
+            "function @id(1) {
+             b0:
+                 v0 = param 0
+                 return v0
+             }",
+        )
+        .unwrap();
+        let before = f.to_string();
+        let stats = destruct_standard(&mut f);
+        assert_eq!(stats.copies_inserted, 0);
+        assert_eq!(before, f.to_string());
+    }
+}

@@ -1,0 +1,256 @@
+//! SSA-form verification: the *regular program* property.
+//!
+//! The paper's theory (Section 2) rests on the input being in *regular*
+//! form: strict (Definition 2.1) plus the natural SSA properties that
+//! every use is dominated by a single definition, and every definition
+//! dominates all its uses. This verifier checks exactly that:
+//!
+//! 1. every value is defined at most once;
+//! 2. every ordinary use is dominated by its definition (same-block uses
+//!    must come after the definition);
+//! 3. every φ argument `[p: v]` is dominated by `v`'s definition at the
+//!    *end of `p`* — the paper's footnote 1: the move happens along the
+//!    incoming edge, which `v`'s definition block dominates.
+
+use std::collections::HashMap;
+
+use fcc_analysis::DomTree;
+use fcc_ir::{Block, ControlFlowGraph, Function, InstKind, Value};
+
+/// A violation of the regular-SSA property.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SsaError {
+    /// Description of the violation.
+    pub message: String,
+}
+
+impl std::fmt::Display for SsaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for SsaError {}
+
+fn serr(message: impl Into<String>) -> SsaError {
+    SsaError { message: message.into() }
+}
+
+/// Check that `func` is in regular SSA form.
+///
+/// # Errors
+/// Returns the first violated property (multiple definitions, or a use not
+/// dominated by its definition).
+pub fn verify_ssa(func: &Function) -> Result<(), SsaError> {
+    let cfg = ControlFlowGraph::compute(func);
+    let dt = DomTree::compute(func, &cfg);
+
+    // Definition site (block, position) of every value.
+    let mut def_site: HashMap<Value, (Block, usize)> = HashMap::new();
+    for b in func.blocks() {
+        if !cfg.is_reachable(b) {
+            continue;
+        }
+        for (pos, &inst) in func.block_insts(b).iter().enumerate() {
+            if let Some(d) = func.inst(inst).dst {
+                if let Some((ob, _)) = def_site.insert(d, (b, pos)) {
+                    return Err(serr(format!("{d} defined more than once ({ob} and {b})")));
+                }
+            }
+        }
+    }
+
+    for b in func.blocks() {
+        if !cfg.is_reachable(b) {
+            continue;
+        }
+        for (pos, &inst) in func.block_insts(b).iter().enumerate() {
+            let data = func.inst(inst);
+            let mut bad: Option<SsaError> = None;
+            data.kind.for_each_use(|v| {
+                if bad.is_some() {
+                    return;
+                }
+                match def_site.get(&v) {
+                    None => bad = Some(serr(format!("{v} used in {b} but never defined"))),
+                    Some(&(db, dpos)) => {
+                        let dominated = if db == b {
+                            dpos < pos
+                        } else {
+                            dt.strictly_dominates(db, b)
+                        };
+                        if !dominated {
+                            bad = Some(serr(format!(
+                                "use of {v} at {b}[{pos}] not dominated by its definition in {db}"
+                            )));
+                        }
+                    }
+                }
+            });
+            if let Some(e) = bad {
+                return Err(e);
+            }
+            if let InstKind::Phi { args } = &data.kind {
+                for a in args {
+                    match def_site.get(&a.value) {
+                        None => {
+                            return Err(serr(format!(
+                                "phi arg {} in {b} never defined",
+                                a.value
+                            )))
+                        }
+                        Some(&(db, _)) => {
+                            // The use happens at the end of the a.pred edge:
+                            // db must dominate a.pred (reflexively).
+                            if !dt.dominates(db, a.pred) {
+                                return Err(serr(format!(
+                                    "phi arg {} flowing {} -> {b} not dominated by its definition in {db}",
+                                    a.value, a.pred
+                                )));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcc_ir::parse::parse_function;
+
+    #[test]
+    fn accepts_regular_ssa() {
+        let f = parse_function(
+            "function @ok(1) {
+             b0:
+                 v0 = param 0
+                 v1 = const 0
+                 jump b1
+             b1:
+                 v2 = phi [b0: v1], [b1: v3]
+                 v3 = add v2, v0
+                 v4 = lt v3, v0
+                 branch v4, b1, b2
+             b2:
+                 return v3
+             }",
+        )
+        .unwrap();
+        verify_ssa(&f).unwrap();
+    }
+
+    #[test]
+    fn rejects_double_definition() {
+        let f = parse_function(
+            "function @dd(0) {
+             b0:
+                 v0 = const 1
+                 v0 = const 2
+                 return v0
+             }",
+        )
+        .unwrap();
+        let e = verify_ssa(&f).unwrap_err();
+        assert!(e.to_string().contains("more than once"), "{e}");
+    }
+
+    #[test]
+    fn rejects_use_before_def_in_block() {
+        let f = parse_function(
+            "function @ub(0) {
+             b0:
+                 v1 = copy v0
+                 v0 = const 1
+                 return v1
+             }",
+        )
+        .unwrap();
+        let e = verify_ssa(&f).unwrap_err();
+        assert!(e.to_string().contains("not dominated"), "{e}");
+    }
+
+    #[test]
+    fn rejects_undominated_cross_block_use() {
+        // v1 defined only on the b1 path but used in b3.
+        let f = parse_function(
+            "function @nd(0) {
+             b0:
+                 v0 = const 1
+                 branch v0, b1, b2
+             b1:
+                 v1 = const 2
+                 jump b3
+             b2:
+                 jump b3
+             b3:
+                 return v1
+             }",
+        )
+        .unwrap();
+        assert!(verify_ssa(&f).is_err());
+    }
+
+    #[test]
+    fn rejects_never_defined_use() {
+        let f = parse_function(
+            "function @nv(0) {
+             b0:
+                 return v9
+             }",
+        )
+        .unwrap();
+        let e = verify_ssa(&f).unwrap_err();
+        assert!(e.to_string().contains("never defined"), "{e}");
+    }
+
+    #[test]
+    fn phi_arg_defined_in_its_pred_is_fine() {
+        // v1's definition (b1) does not dominate the phi block (b3), but
+        // it dominates the pred b1 — footnote 1 of the paper.
+        let f = parse_function(
+            "function @pa(0) {
+             b0:
+                 v0 = const 1
+                 branch v0, b1, b2
+             b1:
+                 v1 = const 2
+                 jump b3
+             b2:
+                 v2 = const 3
+                 jump b3
+             b3:
+                 v3 = phi [b1: v1], [b2: v2]
+                 return v3
+             }",
+        )
+        .unwrap();
+        verify_ssa(&f).unwrap();
+    }
+
+    #[test]
+    fn rejects_phi_arg_not_dominating_pred() {
+        // v2 defined in b2, but claimed to flow along the b1 edge.
+        let f = parse_function(
+            "function @pb(0) {
+             b0:
+                 v0 = const 1
+                 branch v0, b1, b2
+             b1:
+                 v1 = const 2
+                 jump b3
+             b2:
+                 v2 = const 3
+                 jump b3
+             b3:
+                 v3 = phi [b1: v2], [b2: v1]
+                 return v3
+             }",
+        )
+        .unwrap();
+        assert!(verify_ssa(&f).is_err());
+    }
+}

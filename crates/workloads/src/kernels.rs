@@ -1,0 +1,1057 @@
+//! The kernel suite: MiniLang analogs of the routines in the paper's
+//! test suite.
+//!
+//! The paper measures 169 Fortran routines from Forsythe et al.'s book on
+//! numerical methods and the Spec/Spec95 libraries; its tables name the
+//! routines with the largest compile times / most dynamic copies
+//! (`tomcatv`, `twldrv`, `saxpy`, `parmvrx`, …). Those sources are not
+//! redistributable here, so each kernel below is a **synthetic analog**:
+//! a MiniLang program whose control-flow and data-flow *shape* matches
+//! the published character of its namesake (loop nests over arrays,
+//! reductions, sweeps, conditional particle updates, scalar-heavy
+//! straight-line blocks). The coalescing algorithms only observe CFG
+//! shape, liveness, and copy structure, so these analogs exercise the
+//! same code paths; see DESIGN.md §3 for the substitution rationale.
+
+/// One benchmark kernel.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Kernel {
+    /// Name, matching a row of the paper's tables where applicable.
+    pub name: &'static str,
+    /// What the analog models.
+    pub description: &'static str,
+    /// MiniLang source text.
+    pub source: &'static str,
+    /// Arguments for a measurement run of the interpreter.
+    pub args: &'static [i64],
+    /// Flat-memory words the run needs.
+    pub memory_words: usize,
+}
+
+/// The full kernel suite, in table order.
+pub fn kernels() -> &'static [Kernel] {
+    KERNELS
+}
+
+/// Look up a kernel by name.
+pub fn kernel(name: &str) -> Option<&'static Kernel> {
+    KERNELS.iter().find(|k| k.name == name)
+}
+
+const KERNELS: &[Kernel] = &[
+    Kernel {
+        name: "saxpy",
+        description: "BLAS level-1 a*x + y vector update",
+        args: &[64, 3],
+        memory_words: 512,
+        source: r#"
+fn saxpy(n, a) {
+    // x lives at [0, n), y at [n, 2n)
+    for i = 0 to n {
+        mem[i] = i;
+        mem[n + i] = 2 * i + 1;
+    }
+    for i = 0 to n {
+        let xi = mem[i];
+        let yi = mem[n + i];
+        let t = a * xi + yi;
+        mem[n + i] = t;
+    }
+    let s = 0;
+    for i = 0 to n { s = s + mem[n + i]; }
+    return s;
+}
+"#,
+    },
+    Kernel {
+        name: "tomcatv",
+        description: "vectorised mesh generation: 2D relaxation sweeps with many scalar temporaries",
+        args: &[24],
+        memory_words: 4096,
+        source: r#"
+fn tomcatv(n) {
+    // Two n*n meshes x (base 0) and y (base n*n), plus residual arrays.
+    let nn = n * n;
+    for i = 0 to n {
+        for j = 0 to n {
+            mem[i * n + j] = i + j;
+            mem[nn + i * n + j] = i - j;
+        }
+    }
+    let rxm = 0;
+    let rym = 0;
+    for it = 0 to 4 {
+        for i = 1 to n - 1 {
+            for j = 1 to n - 1 {
+                let xij = mem[i * n + j];
+                let yij = mem[nn + i * n + j];
+                let xe = mem[i * n + j + 1];
+                let xw = mem[i * n + j - 1];
+                let xn = mem[(i + 1) * n + j];
+                let xs = mem[(i - 1) * n + j];
+                let ye = mem[nn + i * n + j + 1];
+                let yw = mem[nn + i * n + j - 1];
+                let yn = mem[nn + (i + 1) * n + j];
+                let ys = mem[nn + (i - 1) * n + j];
+                let a = (xe - xw) / 2;
+                let b = (xn - xs) / 2;
+                let c = (ye - yw) / 2;
+                let d = (yn - ys) / 2;
+                let aa = a * a + c * c + 1;
+                let bb = b * b + d * d + 1;
+                let rx = aa * (xe + xw) + bb * (xn + xs) - 2 * (aa + bb) * xij;
+                let ry = aa * (ye + yw) + bb * (yn + ys) - 2 * (aa + bb) * yij;
+                mem[i * n + j] = xij + rx / (2 * (aa + bb));
+                mem[nn + i * n + j] = yij + ry / (2 * (aa + bb));
+                if rx < 0 { rx = -rx; }
+                if ry < 0 { ry = -ry; }
+                if rx > rxm { rxm = rx; }
+                if ry > rym { rym = ry; }
+            }
+        }
+    }
+    return rxm + rym;
+}
+"#,
+    },
+    Kernel {
+        name: "blts",
+        description: "block lower-triangular solve: forward substitution sweep (NAS LU)",
+        args: &[20],
+        memory_words: 1024,
+        source: r#"
+fn blts(n) {
+    // Lower-triangular matrix L at [0, n*n), rhs v at [n*n, n*n + n).
+    let base = n * n;
+    for i = 0 to n {
+        for j = 0 to n {
+            if j < i { mem[i * n + j] = 1 + (i + j) % 3; } else { mem[i * n + j] = 0; }
+        }
+        mem[i * n + i] = 2;
+        mem[base + i] = i + 1;
+    }
+    for i = 0 to n {
+        let s = mem[base + i];
+        for j = 0 to i {
+            let lij = mem[i * n + j];
+            let vj = mem[base + j];
+            s = s - lij * vj;
+        }
+        let d = mem[i * n + i];
+        mem[base + i] = s / d;
+    }
+    let acc = 0;
+    for i = 0 to n { acc = acc + mem[base + i]; }
+    return acc;
+}
+"#,
+    },
+    Kernel {
+        name: "buts",
+        description: "block upper-triangular solve: backward substitution sweep (NAS LU)",
+        args: &[20],
+        memory_words: 1024,
+        source: r#"
+fn buts(n) {
+    let base = n * n;
+    for i = 0 to n {
+        for j = 0 to n {
+            if j > i { mem[i * n + j] = 1 + (i * 2 + j) % 4; } else { mem[i * n + j] = 0; }
+        }
+        mem[i * n + i] = 3;
+        mem[base + i] = 2 * i + 1;
+    }
+    let i = n - 1;
+    while i >= 0 {
+        let s = mem[base + i];
+        for j = i + 1 to n {
+            s = s - mem[i * n + j] * mem[base + j];
+        }
+        mem[base + i] = s / mem[i * n + i];
+        i = i - 1;
+    }
+    let acc = 0;
+    for i2 = 0 to n { acc = acc + mem[base + i2]; }
+    return acc;
+}
+"#,
+    },
+    Kernel {
+        name: "getbx",
+        description: "indexed gather with bounds tests",
+        args: &[48],
+        memory_words: 512,
+        source: r#"
+fn getbx(n) {
+    // index vector at [0, n), data at [n, 2n), output at [2n, 3n).
+    for i = 0 to n {
+        mem[i] = (i * 7) % n;
+        mem[n + i] = i * i;
+    }
+    let hits = 0;
+    for i = 0 to n {
+        let idx = mem[i];
+        if idx >= 0 && idx < n {
+            mem[2 * n + i] = mem[n + idx];
+            hits = hits + 1;
+        } else {
+            mem[2 * n + i] = 0;
+        }
+    }
+    let s = 0;
+    for i = 0 to n { s = s + mem[2 * n + i]; }
+    return s + hits;
+}
+"#,
+    },
+    Kernel {
+        name: "twldrv",
+        description: "driver routine: long chains of conditionals around inner kernels (Spec fpppp's twldrv)",
+        args: &[16, 3],
+        memory_words: 2048,
+        source: r#"
+fn twldrv(n, mode) {
+    let total = 0;
+    let scale = 1;
+    if mode == 0 { scale = 1; } else { if mode == 1 { scale = 2; } else { scale = 3; } }
+    for pass = 0 to 3 {
+        let lo = 0;
+        let hi = n;
+        if pass % 2 == 0 { lo = 1; hi = n - 1; }
+        for i = 0 to n {
+            mem[i] = i * scale;
+        }
+        for i = lo to hi {
+            let w = mem[i];
+            let t1 = w * 3 + pass;
+            let t2 = t1 - w / 2;
+            let t3 = t2 * t2 % 1000;
+            if t3 > 500 {
+                let u = t3 - 500;
+                total = total + u;
+            } else {
+                if t3 % 2 == 0 { total = total + t3 / 2; } else { total = total - 1; }
+            }
+            mem[n + i] = t3;
+        }
+        let chk = 0;
+        for i = lo to hi { chk = chk + mem[n + i]; }
+        if chk % 2 == 1 { total = total + 1; }
+    }
+    return total;
+}
+"#,
+    },
+    Kernel {
+        name: "smoothx",
+        description: "1D smoothing stencil with boundary handling (particle-in-cell smoother)",
+        args: &[96],
+        memory_words: 512,
+        source: r#"
+fn smoothx(n) {
+    for i = 0 to n { mem[i] = (i * 13) % 17; }
+    for it = 0 to 3 {
+        for i = 0 to n {
+            let left = 0;
+            let right = 0;
+            if i > 0 { left = mem[i - 1]; } else { left = mem[n - 1]; }
+            if i < n - 1 { right = mem[i + 1]; } else { right = mem[0]; }
+            let c = mem[i];
+            mem[n + i] = (left + 2 * c + right) / 4;
+        }
+        for i = 0 to n { mem[i] = mem[n + i]; }
+    }
+    let s = 0;
+    for i = 0 to n { s = s + mem[i]; }
+    return s;
+}
+"#,
+    },
+    Kernel {
+        name: "rhs",
+        description: "right-hand-side assembly: flux differences over a grid (NAS)",
+        args: &[18],
+        memory_words: 2048,
+        source: r#"
+fn rhs(n) {
+    // u at [0, n*n), rhs at [n*n, 2*n*n)
+    let nn = n * n;
+    for i = 0 to n {
+        for j = 0 to n { mem[i * n + j] = (i * 3 + j * 5) % 11; }
+    }
+    for i = 1 to n - 1 {
+        for j = 1 to n - 1 {
+            let um = mem[i * n + j - 1];
+            let up = mem[i * n + j + 1];
+            let vm = mem[(i - 1) * n + j];
+            let vp = mem[(i + 1) * n + j];
+            let uc = mem[i * n + j];
+            let fx = up - 2 * uc + um;
+            let fy = vp - 2 * uc + vm;
+            mem[nn + i * n + j] = fx + fy + uc / 2;
+        }
+    }
+    let s = 0;
+    for i = 1 to n - 1 {
+        for j = 1 to n - 1 { s = s + mem[nn + i * n + j]; }
+    }
+    return s;
+}
+"#,
+    },
+    Kernel {
+        name: "parmvrx",
+        description: "particle mover: per-particle position/velocity update with field interpolation",
+        args: &[40],
+        memory_words: 1024,
+        source: r#"
+fn parmvrx(np) {
+    // positions at [0, np), velocities at [np, 2np), field at [2np, 3np)
+    for p = 0 to np {
+        mem[p] = (p * 3) % np;
+        mem[np + p] = (p % 5) - 2;
+        mem[2 * np + p] = (p * p) % 7;
+    }
+    let escaped = 0;
+    for step = 0 to 4 {
+        for p = 0 to np {
+            let x = mem[p];
+            let v = mem[np + p];
+            let cell = x % np;
+            if cell < 0 { cell = cell + np; }
+            let e = mem[2 * np + cell];
+            let vnew = v + e - 1;
+            let xnew = x + vnew;
+            if xnew < 0 { xnew = 0; vnew = -vnew; escaped = escaped + 1; }
+            if xnew >= np { xnew = np - 1; vnew = -vnew; escaped = escaped + 1; }
+            mem[p] = xnew;
+            mem[np + p] = vnew;
+        }
+    }
+    let s = 0;
+    for p = 0 to np { s = s + mem[p] + mem[np + p]; }
+    return s + escaped * 1000;
+}
+"#,
+    },
+    Kernel {
+        name: "initx",
+        description: "initialisation sweeps: many small loops writing constants and ramps",
+        args: &[80],
+        memory_words: 1024,
+        source: r#"
+fn initx(n) {
+    for i = 0 to n { mem[i] = 0; }
+    for i = 0 to n { mem[n + i] = 1; }
+    for i = 0 to n { mem[2 * n + i] = i; }
+    for i = 0 to n { mem[3 * n + i] = n - i; }
+    for i = 0 to n {
+        let a = mem[2 * n + i];
+        let b = mem[3 * n + i];
+        mem[4 * n + i] = a * b;
+    }
+    for i = 0 to n {
+        mem[5 * n + i] = mem[4 * n + i] % 9;
+    }
+    let s = 0;
+    for i = 0 to n { s = s + mem[5 * n + i]; }
+    return s;
+}
+"#,
+    },
+    Kernel {
+        name: "fieldx",
+        description: "field solve: red/black Gauss-Seidel passes over a grid",
+        args: &[16],
+        memory_words: 1024,
+        source: r#"
+fn fieldx(n) {
+    for i = 0 to n {
+        for j = 0 to n { mem[i * n + j] = (i + 2 * j) % 5; }
+    }
+    for it = 0 to 4 {
+        for color = 0 to 2 {
+            for i = 1 to n - 1 {
+                for j = 1 to n - 1 {
+                    if (i + j) % 2 == color {
+                        let s = mem[(i - 1) * n + j] + mem[(i + 1) * n + j]
+                              + mem[i * n + j - 1] + mem[i * n + j + 1];
+                        mem[i * n + j] = s / 4;
+                    }
+                }
+            }
+        }
+    }
+    let acc = 0;
+    for i = 0 to n { for j = 0 to n { acc = acc + mem[i * n + j]; } }
+    return acc;
+}
+"#,
+    },
+    Kernel {
+        name: "parmovx",
+        description: "particle move with charge deposition (scatter) and periodic wraparound",
+        args: &[36],
+        memory_words: 1024,
+        source: r#"
+fn parmovx(np) {
+    // particle x at [0, np), charge grid at [np, 2np)
+    for p = 0 to np { mem[p] = (p * 5 + 1) % np; mem[np + p] = 0; }
+    for step = 0 to 3 {
+        for p = 0 to np {
+            let x = mem[p];
+            let vx = (x % 3) - 1;
+            x = x + vx;
+            if x < 0 { x = x + np; }
+            if x >= np { x = x - np; }
+            mem[p] = x;
+            let g = np + x;
+            mem[g] = mem[g] + 1;
+        }
+    }
+    let q = 0;
+    for i = 0 to np { q = q + mem[np + i] * i; }
+    return q;
+}
+"#,
+    },
+    Kernel {
+        name: "radfgx",
+        description: "forward radiation sweep: wavefront recurrence across a grid",
+        args: &[20],
+        memory_words: 1024,
+        source: r#"
+fn radfgx(n) {
+    for i = 0 to n { for j = 0 to n { mem[i * n + j] = (3 * i + j) % 7 + 1; } }
+    for i = 1 to n {
+        for j = 1 to n {
+            let w = mem[(i - 1) * n + j];
+            let s = mem[i * n + j - 1];
+            let c = mem[i * n + j];
+            let t = (w + s) / 2 + c;
+            if t > 100 { t = t - 100; }
+            mem[i * n + j] = t;
+        }
+    }
+    return mem[(n - 1) * n + (n - 1)];
+}
+"#,
+    },
+    Kernel {
+        name: "radbgx",
+        description: "backward radiation sweep: reverse wavefront recurrence",
+        args: &[20],
+        memory_words: 1024,
+        source: r#"
+fn radbgx(n) {
+    for i = 0 to n { for j = 0 to n { mem[i * n + j] = (i + 4 * j) % 9 + 1; } }
+    let i = n - 2;
+    while i >= 0 {
+        let j = n - 2;
+        while j >= 0 {
+            let e = mem[(i + 1) * n + j];
+            let no = mem[i * n + j + 1];
+            let c = mem[i * n + j];
+            let t = (e + no) / 2 + c;
+            if t > 90 { t = t - 90; }
+            mem[i * n + j] = t;
+            j = j - 1;
+        }
+        i = i - 1;
+    }
+    return mem[0];
+}
+"#,
+    },
+    Kernel {
+        name: "parmvex",
+        description: "particle mover with energy accumulation and species branches",
+        args: &[32],
+        memory_words: 1024,
+        source: r#"
+fn parmvex(np) {
+    // x at [0,np), v at [np,2np), species at [2np,3np)
+    for p = 0 to np {
+        mem[p] = p;
+        mem[np + p] = (p % 7) - 3;
+        mem[2 * np + p] = p % 2;
+    }
+    let energy = 0;
+    for step = 0 to 4 {
+        for p = 0 to np {
+            let v = mem[np + p];
+            let sp = mem[2 * np + p];
+            let m = 1;
+            if sp == 1 { m = 4; }
+            let ke = m * v * v;
+            energy = energy + ke;
+            let x = mem[p] + v;
+            if x < 0 { x = -x; mem[np + p] = -v; } else { mem[p] = x; }
+        }
+    }
+    return energy;
+}
+"#,
+    },
+    Kernel {
+        name: "jacld",
+        description: "jacobian lower-diagonal assembly: deep loop nest of scalar defs (NAS LU)",
+        args: &[12],
+        memory_words: 2048,
+        source: r#"
+fn jacld(n) {
+    let nn = n * n;
+    for i = 0 to n { for j = 0 to n { mem[i * n + j] = (i * j + 3) % 13; } }
+    let acc = 0;
+    for i = 1 to n {
+        for j = 1 to n {
+            let u1 = mem[i * n + j];
+            let u2 = mem[(i - 1) * n + j];
+            let u3 = mem[i * n + j - 1];
+            let c1 = u1 + u2;
+            let c2 = u1 - u3;
+            let c3 = u2 * u3 % 19;
+            let c4 = c1 * c2 - c3;
+            let c5 = c4 + u1 * 2;
+            let c6 = c5 - u2 / 2;
+            let c7 = c6 ^ c3;
+            let c8 = c7 & 1023;
+            mem[nn + i * n + j] = c8;
+            acc = acc + c8;
+        }
+    }
+    return acc;
+}
+"#,
+    },
+    Kernel {
+        name: "fpppp",
+        description: "two-electron integrals: huge straight-line blocks of scalar arithmetic",
+        args: &[10],
+        memory_words: 512,
+        source: r#"
+fn fpppp(n) {
+    let total = 0;
+    for q = 0 to n {
+        let a = q + 1;
+        let b = a * 3 - q;
+        let c = b * b % 97;
+        let d = c + a * b;
+        let e = d - c / 3;
+        let f = e * 2 + b;
+        let g = f % 51 + d;
+        let h = g * a - e;
+        let i2 = h + f * 2;
+        let j2 = i2 - g / 2;
+        let k2 = j2 * 3 % 77;
+        let l2 = k2 + h - i2 / 4;
+        let m2 = l2 * l2 % 101;
+        let n2 = m2 + k2 * 2;
+        let o2 = n2 - l2 / 3;
+        let p2 = o2 + m2 % 13;
+        let r2 = p2 * 2 - n2;
+        let s2 = r2 + o2 / 5;
+        let t2 = s2 % 89 + p2;
+        total = total + t2;
+        mem[q] = t2;
+    }
+    let chk = 0;
+    for q = 0 to n { chk = chk + mem[q] * (q + 1); }
+    return total + chk;
+}
+"#,
+    },
+    Kernel {
+        name: "advbndx",
+        description: "boundary-condition application: branch-dense edge handling",
+        args: &[24],
+        memory_words: 1024,
+        source: r#"
+fn advbndx(n) {
+    for i = 0 to n { for j = 0 to n { mem[i * n + j] = i * n + j; } }
+    let fixes = 0;
+    for i = 0 to n {
+        for j = 0 to n {
+            let onb = 0;
+            if i == 0 { onb = 1; }
+            if i == n - 1 { onb = 1; }
+            if j == 0 { onb = 1; }
+            if j == n - 1 { onb = 1; }
+            if onb == 1 {
+                let inner_i = i;
+                let inner_j = j;
+                if i == 0 { inner_i = 1; }
+                if i == n - 1 { inner_i = n - 2; }
+                if j == 0 { inner_j = 1; }
+                if j == n - 1 { inner_j = n - 2; }
+                mem[i * n + j] = mem[inner_i * n + inner_j];
+                fixes = fixes + 1;
+            }
+        }
+    }
+    let s = 0;
+    for i = 0 to n { s = s + mem[i * n + i]; }
+    return s + fixes;
+}
+"#,
+    },
+    Kernel {
+        name: "deseco",
+        description: "secondary-variable evaluation: scalar-heavy conditional cascades (Spec doduc)",
+        args: &[60],
+        memory_words: 512,
+        source: r#"
+fn deseco(n) {
+    let acc = 0;
+    for t = 0 to n {
+        let p = (t * 31) % 101;
+        let q = (t * 17) % 97;
+        let r = p - q;
+        let state = 0;
+        if r > 50 { state = 3; } else {
+            if r > 0 { state = 2; } else {
+                if r > -50 { state = 1; } else { state = 0; }
+            }
+        }
+        let y = 0;
+        if state == 3 { y = p * 2 - q; }
+        if state == 2 { y = p + q * 2; }
+        if state == 1 { y = q - p / 2; }
+        if state == 0 { y = -(p + q); }
+        let z = y;
+        if z < 0 { z = -z; }
+        acc = acc + z % 251;
+        mem[t % 64] = z;
+    }
+    let s = 0;
+    for i = 0 to 64 { s = s + mem[i]; }
+    return acc + s;
+}
+"#,
+    },
+    Kernel {
+        name: "zeroin",
+        description: "Forsythe: root finding by bisection/secant hybrid (integer analog)",
+        // f(0) = 18000 > 0, f(200) = -2000 < 0: the interval brackets the
+        // root near 165.8.
+        args: &[0, 200],
+        memory_words: 64,
+        source: r#"
+fn zeroin(lo, hi) {
+    // Find a zero of f(x) = x*x - 300x + 18000 (integer, monotone region).
+    let a = lo;
+    let b = hi;
+    let fa = a * a - 300 * a + 18000;
+    let fb = b * b - 300 * b + 18000;
+    let it = 0;
+    while b - a > 1 && it < 100 {
+        it = it + 1;
+        // Secant step, clamped into (a, b); fall back to bisection.
+        let m = (a + b) / 2;
+        let c = m;
+        if fb != fa {
+            let s = b - fb * (b - a) / (fb - fa);
+            if s > a && s < b { c = s; }
+        }
+        let fc = c * c - 300 * c + 18000;
+        if fc == 0 { return c; }
+        let same_sign = 0;
+        if fa > 0 && fc > 0 { same_sign = 1; }
+        if fa < 0 && fc < 0 { same_sign = 1; }
+        if same_sign == 1 { a = c; fa = fc; } else { b = c; fb = fc; }
+    }
+    return a;
+}
+"#,
+    },
+    Kernel {
+        name: "fmin",
+        description: "Forsythe: 1D minimisation by golden-section-style shrinking (integer analog)",
+        args: &[0, 2000],
+        memory_words: 64,
+        source: r#"
+fn fmin(lo, hi) {
+    // Minimise f(x) = (x - 700)^2 / 64 + 3 over [lo, hi].
+    let a = lo;
+    let b = hi;
+    let it = 0;
+    while b - a > 2 && it < 200 {
+        it = it + 1;
+        let third = (b - a) / 3;
+        let x1 = a + third;
+        let x2 = b - third;
+        let f1 = (x1 - 700) * (x1 - 700) / 64 + 3;
+        let f2 = (x2 - 700) * (x2 - 700) / 64 + 3;
+        if f1 < f2 { b = x2; } else { a = x1; }
+    }
+    let xm = (a + b) / 2;
+    return xm * 1000 + it;
+}
+"#,
+    },
+    Kernel {
+        name: "spline",
+        description: "Forsythe: cubic-spline coefficient setup (tridiagonal sweep, integer analog)",
+        args: &[40],
+        memory_words: 1024,
+        source: r#"
+fn spline(n) {
+    // knots y at [0,n); second-derivative-ish coefficients via a
+    // forward elimination + back substitution over a tridiagonal system.
+    let b = n;
+    let c = 2 * n;
+    let d = 3 * n;
+    for i = 0 to n { mem[i] = (i * i * 3) % 37; }
+    mem[b] = 0;
+    mem[c] = 0;
+    for i = 1 to n - 1 {
+        let h1 = 2;
+        let h2 = 2;
+        let rhs = 6 * (mem[i + 1] - 2 * mem[i] + mem[i - 1]) / (h1 * h2);
+        let w = 4 - mem[b + i - 1];
+        if w == 0 { w = 1; }
+        mem[b + i] = 1 * 100 / w % 7;
+        mem[c + i] = (rhs - mem[c + i - 1]) % 97;
+    }
+    mem[d + n - 1] = 0;
+    let i = n - 2;
+    while i > 0 {
+        mem[d + i] = (mem[c + i] - mem[b + i] * mem[d + i + 1]) % 89;
+        i = i - 1;
+    }
+    let s = 0;
+    for j = 1 to n - 1 { s = s + mem[d + j]; }
+    return s;
+}
+"#,
+    },
+    Kernel {
+        name: "seval",
+        description: "Forsythe: spline evaluation with interval search per query point",
+        args: &[32, 60],
+        memory_words: 512,
+        source: r#"
+fn seval(n, queries) {
+    // breakpoints at [0,n), coefficients at [n,2n).
+    for i = 0 to n { mem[i] = i * 10; mem[n + i] = (i * 7) % 13; }
+    let total = 0;
+    for q = 0 to queries {
+        let u = (q * 37) % (n * 10);
+        // binary search for the containing interval
+        let lo = 0;
+        let hi = n - 1;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if mem[mid] > u { hi = mid; } else { lo = mid; }
+        }
+        let dx = u - mem[lo];
+        let cof = mem[n + lo];
+        let val = cof * dx * dx % 1009 + dx;
+        total = total + val;
+    }
+    return total;
+}
+"#,
+    },
+    Kernel {
+        name: "quanc8",
+        description: "Forsythe: adaptive 8-panel quadrature (fixed refinement schedule, integer analog)",
+        args: &[16],
+        memory_words: 512,
+        source: r#"
+fn quanc8(levels) {
+    // Integrate f(x) = x*(64-x) on [0,64] with panel sums; refine panels
+    // whose two-half estimate disagrees with the whole-panel estimate.
+    let total = 0;
+    let work = 0;
+    for p = 0 to 8 {
+        let a = p * 8;
+        let b = a + 8;
+        let fa = a * (64 - a);
+        let fb = b * (64 - b);
+        let whole = (fa + fb) * 8 / 2;
+        let m = (a + b) / 2;
+        let fm = m * (64 - m);
+        let halves = (fa + fm) * 4 / 2 + (fm + fb) * 4 / 2;
+        let err = whole - halves;
+        if err < 0 { err = -err; }
+        if err > 4 && levels > 0 {
+            // one extra refinement level (fixed, keeps it structured)
+            let q1 = (fa + fm) * 4 / 2;
+            let q2 = (fm + fb) * 4 / 2;
+            total = total + q1 + q2;
+            work = work + 2;
+        } else {
+            total = total + whole;
+            work = work + 1;
+        }
+    }
+    return total * 10 + work;
+}
+"#,
+    },
+    Kernel {
+        name: "rkf45",
+        description: "Forsythe: Runge-Kutta-Fehlberg ODE step loop with step-size control (integer analog)",
+        args: &[50],
+        memory_words: 128,
+        source: r#"
+fn rkf45(steps) {
+    // dy/dt = -y/8 + 3, scaled integers; adaptive step halving/doubling.
+    let y = 800;
+    let t = 0;
+    let h = 8;
+    let rejects = 0;
+    let i = 0;
+    while i < steps {
+        i = i + 1;
+        let k1 = -(y) / 8 + 3;
+        let k2 = -(y + h * k1 / 2) / 8 + 3;
+        let k3 = -(y + h * k2 / 2) / 8 + 3;
+        let k4 = -(y + h * k3) / 8 + 3;
+        let y4 = y + h * (k1 + 2 * k2 + 2 * k3 + k4) / 6;
+        let y5 = y + h * (k1 + 4 * k2 + k3) / 6;
+        let err = y4 - y5;
+        if err < 0 { err = -err; }
+        if err > 6 && h > 1 {
+            h = h / 2;
+            rejects = rejects + 1;
+        } else {
+            y = y4;
+            t = t + h;
+            if err < 2 && h < 16 { h = h * 2; }
+        }
+    }
+    return y * 1000 + t + rejects;
+}
+"#,
+    },
+    Kernel {
+        name: "decomp",
+        description: "Forsythe: LU decomposition with partial pivoting (integer analog)",
+        args: &[14],
+        memory_words: 512,
+        source: r#"
+fn decomp(n) {
+    // A at [0, n*n), pivot vector at [n*n, n*n + n).
+    let piv = n * n;
+    for i = 0 to n {
+        for j = 0 to n { mem[i * n + j] = ((i * 5 + j * 3) % 11) - 5; }
+        mem[i * n + i] = mem[i * n + i] + 20;
+    }
+    let swaps = 0;
+    for k = 0 to n - 1 {
+        // partial pivot: find the largest |a[i][k]|, i >= k
+        let p = k;
+        let best = mem[k * n + k];
+        if best < 0 { best = -best; }
+        for i = k + 1 to n {
+            let v = mem[i * n + k];
+            if v < 0 { v = -v; }
+            if v > best { best = v; p = i; }
+        }
+        mem[piv + k] = p;
+        if p != k {
+            swaps = swaps + 1;
+            for j = 0 to n {
+                let tmp = mem[k * n + j];
+                mem[k * n + j] = mem[p * n + j];
+                mem[p * n + j] = tmp;
+            }
+        }
+        let d = mem[k * n + k];
+        if d == 0 { d = 1; }
+        for i = k + 1 to n {
+            let m = mem[i * n + k] * 16 / d;
+            mem[i * n + k] = m;
+            for j = k + 1 to n {
+                mem[i * n + j] = mem[i * n + j] - m * mem[k * n + j] / 16;
+            }
+        }
+    }
+    let s = 0;
+    for i = 0 to n { s = s + mem[i * n + i]; }
+    return s + swaps * 10000;
+}
+"#,
+    },
+    Kernel {
+        name: "solve",
+        description: "Forsythe: triangular solves using a decomposed system (forward + back substitution)",
+        args: &[16],
+        memory_words: 512,
+        source: r#"
+fn solve(n) {
+    // Unit-lower L and upper U packed in one matrix; rhs at [n*n, n*n+n).
+    let rhs = n * n;
+    for i = 0 to n {
+        for j = 0 to n {
+            if j < i { mem[i * n + j] = (i + j) % 3; }
+            if j > i { mem[i * n + j] = (i * 2 + j) % 5; }
+        }
+        mem[i * n + i] = 1 + i % 4;
+        mem[rhs + i] = (i * 9) % 23;
+    }
+    // forward: Ly = b
+    for i = 0 to n {
+        let s = mem[rhs + i];
+        for j = 0 to i { s = s - mem[i * n + j] * mem[rhs + j]; }
+        mem[rhs + i] = s;
+    }
+    // backward: Ux = y
+    let i = n - 1;
+    while i >= 0 {
+        let s = mem[rhs + i];
+        for j = i + 1 to n { s = s - mem[i * n + j] * mem[rhs + j]; }
+        mem[rhs + i] = s / mem[i * n + i];
+        i = i - 1;
+    }
+    let acc = 0;
+    for k = 0 to n { acc = acc + mem[rhs + k] * (k + 1); }
+    return acc;
+}
+"#,
+    },
+    Kernel {
+        name: "urand",
+        description: "Forsythe: linear congruential random stream with moment accumulation",
+        args: &[500],
+        memory_words: 128,
+        source: r#"
+fn urand(n) {
+    let seed = 12345;
+    let sum = 0;
+    let sumsq = 0;
+    let buckets = 16;
+    for i = 0 to buckets { mem[i] = 0; }
+    for i = 0 to n {
+        seed = (seed * 1103515245 + 12345) % 2147483648;
+        if seed < 0 { seed = seed + 2147483648; }
+        let u = seed % 1000;
+        sum = sum + u;
+        sumsq = sumsq + u * u % 100003;
+        let bk = u * buckets / 1000;
+        mem[bk] = mem[bk] + 1;
+    }
+    let chi = 0;
+    for i = 0 to buckets {
+        let d = mem[i] - n / buckets;
+        chi = chi + d * d;
+    }
+    return sum % 100000 + sumsq % 1000 + chi;
+}
+"#,
+    },
+    Kernel {
+        name: "svd",
+        description: "Forsythe: one-sided Jacobi-style rotation sweeps (integer analog)",
+        args: &[10],
+        memory_words: 512,
+        source: r#"
+fn svd(n) {
+    for i = 0 to n { for j = 0 to n { mem[i * n + j] = ((i * 7 + j * 11) % 19) - 9; } }
+    let rotations = 0;
+    for sweep = 0 to 3 {
+        for p = 0 to n - 1 {
+            for q = p + 1 to n {
+                // column dot products
+                let app = 0; let aqq = 0; let apq = 0;
+                for i = 0 to n {
+                    let aip = mem[i * n + p];
+                    let aiq = mem[i * n + q];
+                    app = app + aip * aip;
+                    aqq = aqq + aiq * aiq;
+                    apq = apq + aip * aiq;
+                }
+                if apq != 0 {
+                    rotations = rotations + 1;
+                    // crude integer rotation: mix the columns
+                    let s2 = 1;
+                    if apq < 0 { s2 = -1; }
+                    for i = 0 to n {
+                        let aip = mem[i * n + p];
+                        let aiq = mem[i * n + q];
+                        mem[i * n + p] = (3 * aip + s2 * aiq) / 4;
+                        mem[i * n + q] = (3 * aiq - s2 * aip) / 4;
+                    }
+                }
+            }
+        }
+    }
+    let s = 0;
+    for j = 0 to n {
+        let col = 0;
+        for i = 0 to n { col = col + mem[i * n + j] * mem[i * n + j]; }
+        s = s + col % 1021;
+    }
+    return s + rotations;
+}
+"#,
+    },
+    Kernel {
+        name: "smooth",
+        description: "2D smoothing with copy-back pass (the suite's second smoother)",
+        args: &[14],
+        memory_words: 1024,
+        source: r#"
+fn smooth(n) {
+    let nn = n * n;
+    for i = 0 to n { for j = 0 to n { mem[i * n + j] = (5 * i + 3 * j) % 23; } }
+    for it = 0 to 2 {
+        for i = 1 to n - 1 {
+            for j = 1 to n - 1 {
+                let s = mem[(i - 1) * n + j] + mem[(i + 1) * n + j]
+                      + mem[i * n + j - 1] + mem[i * n + j + 1]
+                      + 4 * mem[i * n + j];
+                mem[nn + i * n + j] = s / 8;
+            }
+        }
+        for i = 1 to n - 1 {
+            for j = 1 to n - 1 { mem[i * n + j] = mem[nn + i * n + j]; }
+        }
+    }
+    let acc = 0;
+    for i = 0 to n { for j = 0 to n { acc = acc + mem[i * n + j]; } }
+    return acc;
+}
+"#,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_all_table_rows() {
+        // Every routine named in the paper's Tables 1-5 has an analog.
+        for name in [
+            "fieldx", "parmvrx", "parmovx", "twldrv", "fpppp", "radfgx", "radbgx", "parmvex",
+            "jacld", "smoothx", "initx", "advbndx", "deseco", "tomcatv", "blts", "buts",
+            "getbx", "rhs", "saxpy", "smooth",
+        ] {
+            assert!(kernel(name).is_some(), "missing kernel {name}");
+        }
+        // Plus the Forsythe-book analogs.
+        for name in [
+            "zeroin", "fmin", "spline", "seval", "quanc8", "rkf45", "decomp", "solve",
+            "urand", "svd",
+        ] {
+            assert!(kernel(name).is_some(), "missing kernel {name}");
+        }
+        assert_eq!(kernels().len(), 30);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = kernels().iter().map(|k| k.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), kernels().len());
+    }
+
+    #[test]
+    fn lookup_miss_returns_none() {
+        assert!(kernel("nonexistent").is_none());
+    }
+}

@@ -1,0 +1,129 @@
+//! # fcc-workloads — the benchmark corpus
+//!
+//! Two sources of programs for the experiment harness:
+//!
+//! * [`kernels::kernels`] — twenty hand-written MiniLang kernels named
+//!   after the rows of the paper's Tables 1–5 (`tomcatv`, `saxpy`,
+//!   `twldrv`, `parmvrx`, …). The original Fortran sources are not
+//!   redistributable, so each is a synthetic analog with the published
+//!   routine's control/data-flow character (see DESIGN.md §3).
+//! * [`generator::generate`] — a seeded random structured-program
+//!   generator (terminating and strict by construction) for property
+//!   tests and the §3.7 scaling study.
+//!
+//! [`compile_kernel`] and [`reference_run`] wrap the usual steps.
+//!
+//! ## Example
+//!
+//! ```
+//! use fcc_workloads::{compile_kernel, kernel};
+//!
+//! let k = kernel("saxpy").unwrap();
+//! let f = compile_kernel(k);
+//! assert_eq!(f.name, "saxpy");
+//! assert!(f.static_copy_count() > 0, "naive lowering is copy-rich");
+//! ```
+
+pub mod generator;
+pub mod kernels;
+
+pub use generator::{generate, GenConfig};
+pub use kernels::{kernel, kernels, Kernel};
+
+use fcc_interp::{run_with_memory, ExecError, Outcome};
+use fcc_ir::Function;
+
+/// Compile a kernel's MiniLang source to pre-SSA IR.
+///
+/// # Panics
+/// Panics if the bundled source fails to compile — that is a bug in this
+/// crate, covered by its tests.
+pub fn compile_kernel(k: &Kernel) -> Function {
+    fcc_frontend::compile(k.source)
+        .unwrap_or_else(|e| panic!("bundled kernel {} failed to compile: {e}", k.name))
+}
+
+/// Execute a compiled kernel (any pipeline stage) on its standard inputs.
+///
+/// # Errors
+/// Propagates interpreter failures; a fuel failure on a bundled kernel
+/// indicates a miscompile.
+pub fn reference_run(func: &Function, k: &Kernel) -> Result<Outcome, ExecError> {
+    run_with_memory(func, k.args, vec![0; k.memory_words], 50_000_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcc_core::coalesce_ssa;
+    use fcc_ssa::{build_ssa, destruct_standard, verify_ssa, SsaFlavor};
+
+    #[test]
+    fn every_kernel_compiles_and_runs() {
+        for k in kernels() {
+            let f = compile_kernel(k);
+            let out = reference_run(&f, k).unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            assert!(out.ret.is_some(), "{} returns a checksum", k.name);
+            assert!(out.executed > 0);
+        }
+    }
+
+    #[test]
+    fn kernels_are_deterministic() {
+        for k in kernels() {
+            let f = compile_kernel(k);
+            let a = reference_run(&f, k).unwrap();
+            let b = reference_run(&f, k).unwrap();
+            assert_eq!(a, b, "{}", k.name);
+        }
+    }
+
+    #[test]
+    fn every_kernel_survives_the_new_pipeline() {
+        for k in kernels() {
+            let mut f = compile_kernel(k);
+            let reference = reference_run(&f, k).unwrap();
+            build_ssa(&mut f, SsaFlavor::Pruned, true);
+            verify_ssa(&f).unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            let ssa_run = reference_run(&f, k).unwrap();
+            assert_eq!(reference.behavior(), ssa_run.behavior(), "{} ssa", k.name);
+            coalesce_ssa(&mut f);
+            assert!(!f.has_phis());
+            let out = reference_run(&f, k).unwrap();
+            assert_eq!(reference.behavior(), out.behavior(), "{} coalesced", k.name);
+        }
+    }
+
+    #[test]
+    fn every_kernel_survives_the_standard_pipeline() {
+        for k in kernels() {
+            let mut f = compile_kernel(k);
+            let reference = reference_run(&f, k).unwrap();
+            build_ssa(&mut f, SsaFlavor::Pruned, true);
+            destruct_standard(&mut f);
+            let out = reference_run(&f, k).unwrap();
+            assert_eq!(reference.behavior(), out.behavior(), "{} standard", k.name);
+        }
+    }
+
+    #[test]
+    fn new_is_never_worse_than_standard() {
+        // The New coalescer must leave no more static copies than naive
+        // instantiation on every kernel.
+        for k in kernels() {
+            let mut f_new = compile_kernel(k);
+            build_ssa(&mut f_new, SsaFlavor::Pruned, true);
+            coalesce_ssa(&mut f_new);
+            let mut f_std = compile_kernel(k);
+            build_ssa(&mut f_std, SsaFlavor::Pruned, true);
+            destruct_standard(&mut f_std);
+            assert!(
+                f_new.static_copy_count() <= f_std.static_copy_count(),
+                "{}: new {} > standard {}",
+                k.name,
+                f_new.static_copy_count(),
+                f_std.static_copy_count()
+            );
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Compare all four SSA-destruction pipelines on one benchmark kernel.
+//!
+//! Standard (no coalescing), New (the paper's dominance-forest
+//! algorithm), Briggs (full interference graph), and Briggs\* (restricted
+//! graph) — reporting wall time, peak data-structure bytes, and the
+//! static/dynamic copy counts the paper's Tables 2–5 are built from.
+//!
+//! Run: `cargo run --release --example compare_coalescers [kernel]`
+//! (default kernel: tomcatv; list: `--example compare_coalescers list`)
+
+use std::time::Instant;
+
+use fcc::prelude::*;
+use fcc::workloads::{compile_kernel, kernel, kernels, reference_run};
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "tomcatv".to_string());
+    if arg == "list" {
+        for k in kernels() {
+            println!("{:10} - {}", k.name, k.description);
+        }
+        return;
+    }
+    let k = kernel(&arg).unwrap_or_else(|| {
+        eprintln!("unknown kernel {arg:?}; try `--example compare_coalescers list`");
+        std::process::exit(1);
+    });
+
+    let base = compile_kernel(k);
+    let reference = reference_run(&base, k).expect("kernel runs");
+    println!(
+        "kernel {}: {} insts, {} source copies, reference checksum {:?}\n",
+        k.name,
+        base.live_inst_count(),
+        base.static_copy_count(),
+        reference.ret
+    );
+    println!(
+        "{:<10} {:>10} {:>12} {:>14} {:>15}",
+        "pipeline", "time(us)", "peak bytes", "static copies", "dynamic copies"
+    );
+
+    for (label, fold) in
+        [("Standard", true), ("New", true), ("Briggs", false), ("Briggs*", false)]
+    {
+        let mut f = base.clone();
+        let t0 = Instant::now();
+        build_ssa(&mut f, SsaFlavor::Pruned, fold);
+        let peak = match label {
+            "Standard" => {
+                destruct_standard(&mut f);
+                f.bytes()
+            }
+            "New" => {
+                let s = coalesce_ssa(&mut f);
+                s.peak_bytes + f.bytes()
+            }
+            _ => {
+                destruct_via_webs(&mut f);
+                let mode =
+                    if label == "Briggs" { GraphMode::Full } else { GraphMode::Restricted };
+                let s = coalesce_copies(&mut f, &BriggsOptions { mode, ..Default::default() });
+                s.peak_bytes + f.bytes()
+            }
+        };
+        let dt = t0.elapsed();
+        let out = reference_run(&f, k).expect("pipeline output runs");
+        assert_eq!(out.behavior(), reference.behavior(), "{label} must preserve semantics");
+        println!(
+            "{:<10} {:>10.1} {:>12} {:>14} {:>15}",
+            label,
+            dt.as_secs_f64() * 1e6,
+            peak,
+            f.static_copy_count(),
+            out.dynamic_copies
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! The paper's Figures 3–4: the virtual swap problem, step by step.
+//!
+//! Two variables are assigned opposite copies of `a` and `b` on the two
+//! sides of a conditional. Copy folding during SSA construction turns
+//! them into a pair of φs reading `(a1, b1)` and `(b1, a1)` — which look
+//! coalescable one name at a time, but renaming one pair exposes an
+//! interference in the other (Figure 4c). This example builds Figure 3
+//! verbatim, destructs it with the New algorithm, and shows the copies
+//! that make it come out right.
+//!
+//! Run: `cargo run --example virtual_swap`
+
+use fcc::prelude::*;
+use fcc::ir::parse::parse_function;
+
+const FIGURE_3B: &str = "
+function @vswap(1) {
+b0:
+    v0 = param 0       ; the branch condition
+    v1 = const 60      ; a1 = 1 in the paper; 60 here so x/y is interesting
+    v2 = const 2       ; b1 = 2
+    branch v0, b1, b2
+b1:
+    jump b3            ; x2 = a1, y2 = b1 (folded away)
+b2:
+    jump b3            ; x2 = b1, y2 = a1 (folded away)
+b3:
+    v3 = phi [b1: v1], [b2: v2]   ; x2
+    v4 = phi [b1: v2], [b2: v1]   ; y2
+    v5 = div v3, v4               ; return x2 / y2
+    return v5
+}";
+
+fn main() {
+    println!("== Figure 3b: SSA with copies folded =={FIGURE_3B}\n");
+
+    let mut f = parse_function(FIGURE_3B).expect("parses");
+    verify_ssa(&f).expect("regular SSA");
+
+    let then_result = fcc::interp::run(&f, &[1]).unwrap();
+    let else_result = fcc::interp::run(&f, &[0]).unwrap();
+    println!("reference: cond=1 -> {:?}, cond=0 -> {:?}", then_result.ret, else_result.ret);
+    assert_eq!(then_result.ret, Some(30)); // 60 / 2
+    assert_eq!(else_result.ret, Some(0)); // 2 / 60
+
+    let stats = coalesce_ssa(&mut f);
+    println!(
+        "\n== after the New algorithm ==\n{f}\n\n\
+         a1 and b1 are simultaneously live at the end of b0, so the φ-webs\n\
+         cannot merge fully: {} copies were inserted ({} from the §3.1\n\
+         filters, {} forest splits, {} local splits) — versus 4 copies for\n\
+         naive instantiation.",
+        stats.copies_inserted, stats.filter_copies, stats.forest_splits, stats.local_splits
+    );
+
+    let then_out = fcc::interp::run(&f, &[1]).unwrap();
+    let else_out = fcc::interp::run(&f, &[0]).unwrap();
+    assert_eq!(then_out.ret, then_result.ret);
+    assert_eq!(else_out.ret, else_result.ret);
+    println!(
+        "\nverified: cond=1 -> {:?}, cond=0 -> {:?} — both paths still correct.",
+        then_out.ret, else_out.ret
+    );
+}

@@ -1,0 +1,268 @@
+//! `fcc` — the command-line driver.
+//!
+//! Compiles a MiniLang source file (or a named benchmark kernel) through
+//! a selectable SSA-destruction pipeline and prints the result, the
+//! statistics, or an execution.
+//!
+//! ```text
+//! Usage: fcc <file.ml | kernel:NAME | -> [options]
+//!
+//!   --pipeline P    new (default) | standard | briggs | briggs-star
+//!   --no-fold       do not fold copies during SSA construction
+//!   --opt           run the optimiser pipeline on the SSA
+//!   --simplify      simplify the CFG after destruction
+//!   --alloc K       colour with K registers after destruction
+//!   --emit STAGE    print IR at: cfg | ssa | final (default: final)
+//!   --run ARGS      execute the final code, ARGS comma-separated
+//!   --stats         print phase statistics
+//!   --list-kernels  list bundled kernels and exit
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! fcc kernel:saxpy --stats --run 64,3
+//! echo 'fn f(x){ return x*2; }' | fcc - --emit ssa
+//! fcc prog.ml --pipeline briggs-star --alloc 8 --run 10
+//! ```
+
+use std::io::{Read, Write};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use fcc::prelude::*;
+use fcc::opt::simplify_cfg;
+
+struct Options {
+    input: String,
+    pipeline: String,
+    fold: bool,
+    opt: bool,
+    simplify: bool,
+    alloc: Option<usize>,
+    emit: String,
+    run: Option<Vec<i64>>,
+    stats: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: fcc <file.ml | kernel:NAME | -> [--pipeline new|new-cut|standard|sreedhar|briggs|briggs-star] \
+     [--no-fold] [--opt] [--simplify] [--alloc K] [--emit cfg|ssa|final] [--run a,b,...] \
+     [--stats] [--list-kernels]"
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let mut o = Options {
+        input: String::new(),
+        pipeline: "new".into(),
+        fold: true,
+        opt: false,
+        simplify: false,
+        alloc: None,
+        emit: "final".into(),
+        run: None,
+        stats: false,
+    };
+    let need = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--pipeline" => o.pipeline = need(&mut args, "--pipeline")?,
+            "--no-fold" => o.fold = false,
+            "--opt" => o.opt = true,
+            "--simplify" => o.simplify = true,
+            "--alloc" => {
+                o.alloc = Some(
+                    need(&mut args, "--alloc")?
+                        .parse()
+                        .map_err(|e| format!("--alloc: {e}"))?,
+                )
+            }
+            "--emit" => o.emit = need(&mut args, "--emit")?,
+            "--run" => {
+                let list = need(&mut args, "--run")?;
+                let vals: Result<Vec<i64>, _> =
+                    list.split(',').filter(|s| !s.is_empty()).map(str::parse).collect();
+                o.run = Some(vals.map_err(|e| format!("--run: {e}"))?);
+            }
+            "--stats" => o.stats = true,
+            "--list-kernels" => {
+                for k in fcc::workloads::kernels() {
+                    emit(format_args!("{:10} {}", k.name, k.description));
+                }
+                std::process::exit(0);
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other if o.input.is_empty() && !other.starts_with('-') || other == "-" => {
+                o.input = other.to_string();
+            }
+            other => return Err(format!("unknown argument {other}\n{}", usage())),
+        }
+    }
+    if o.input.is_empty() {
+        return Err(usage().to_string());
+    }
+    Ok(o)
+}
+
+/// Print to stdout, ignoring a closed pipe (`fcc ... | head` must not
+/// panic).
+fn emit(text: impl std::fmt::Display) {
+    let _ = writeln!(std::io::stdout(), "{text}");
+}
+
+fn load_source(input: &str) -> Result<String, String> {
+    if let Some(name) = input.strip_prefix("kernel:") {
+        let k = fcc::workloads::kernel(name)
+            .ok_or_else(|| format!("unknown kernel {name:?}; try --list-kernels"))?;
+        return Ok(k.source.to_string());
+    }
+    if input == "-" {
+        let mut s = String::new();
+        std::io::stdin().read_to_string(&mut s).map_err(|e| e.to_string())?;
+        return Ok(s);
+    }
+    std::fs::read_to_string(input).map_err(|e| format!("{input}: {e}"))
+}
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fcc: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn real_main() -> Result<(), String> {
+    let o = parse_args()?;
+    let src = load_source(&o.input)?;
+    let mut func = fcc::frontend::compile(&src)?;
+
+    if o.emit == "cfg" {
+        emit(&func);
+        return Ok(());
+    }
+
+    let t0 = Instant::now();
+    let ssa_stats = build_ssa(&mut func, SsaFlavor::Pruned, o.fold);
+    if o.opt {
+        let (rounds, _) = standard_pipeline().run(&mut func);
+        if o.stats {
+            eprintln!("; optimiser: {rounds} rounds to fixpoint");
+        }
+    }
+    verify_ssa(&func).map_err(|e| format!("internal: invalid SSA: {e}"))?;
+    if o.emit == "ssa" {
+        emit(&func);
+        return Ok(());
+    }
+
+    let copies = match o.pipeline.as_str() {
+        "new" | "new-cut" => {
+            let opts = fcc::core::CoalesceOptions {
+                split_strategy: if o.pipeline == "new-cut" {
+                    fcc::core::SplitStrategy::EdgeCut
+                } else {
+                    fcc::core::SplitStrategy::RemoveMember
+                },
+                ..Default::default()
+            };
+            let s = coalesce_ssa_with(&mut func, &opts);
+            if o.stats {
+                eprintln!(
+                    "; new: {} copies, {} filter, {} forest splits, {} local splits, {} B peak",
+                    s.copies_inserted, s.filter_copies, s.forest_splits, s.local_splits, s.peak_bytes
+                );
+            }
+            s.copies_inserted
+        }
+        "standard" => {
+            let s = destruct_standard(&mut func);
+            if o.stats {
+                eprintln!("; standard: {} copies, {} cycle temps", s.copies_inserted, s.cycle_temps);
+            }
+            s.copies_inserted
+        }
+        "sreedhar" => {
+            let s = fcc::ssa::destruct_sreedhar_i(&mut func);
+            if o.stats {
+                eprintln!("; sreedhar-i: {} isolation copies", s.copies_inserted);
+            }
+            s.copies_inserted
+        }
+        "briggs" | "briggs-star" => {
+            if o.fold {
+                return Err(
+                    "the briggs pipelines need --no-fold (phi webs must be interference-free)"
+                        .into(),
+                );
+            }
+            destruct_via_webs(&mut func);
+            let mode = if o.pipeline == "briggs" { GraphMode::Full } else { GraphMode::Restricted };
+            let s = coalesce_copies(&mut func, &BriggsOptions { mode, ..Default::default() });
+            if o.stats {
+                eprintln!(
+                    "; {}: {} removed, {} remaining, {} passes, {} B peak matrix",
+                    o.pipeline,
+                    s.copies_removed,
+                    s.copies_remaining,
+                    s.passes.len(),
+                    s.peak_matrix_bytes()
+                );
+            }
+            s.copies_remaining
+        }
+        other => return Err(format!("unknown pipeline {other}\n{}", usage())),
+    };
+    if o.simplify {
+        simplify_cfg(&mut func);
+    }
+    let compile_time = t0.elapsed();
+
+    if o.stats {
+        eprintln!(
+            "; {} phis inserted, {} copies folded during SSA; {} static copies in output; \
+             compiled in {:.1} us",
+            ssa_stats.phis_inserted,
+            ssa_stats.copies_folded,
+            func.static_copy_count(),
+            compile_time.as_secs_f64() * 1e6
+        );
+        let _ = copies;
+    }
+
+    if let Some(k) = o.alloc {
+        let alloc = allocate(&mut func, &AllocOptions { registers: k, ..Default::default() })
+            .map_err(|e| format!("allocation failed: {e}"))?;
+        if o.stats {
+            eprintln!(
+                "; allocated {k} registers, {} spilled in {} rounds",
+                alloc.spilled.len(),
+                alloc.rounds
+            );
+        }
+    }
+
+    match o.run {
+        Some(args) => {
+            let out = run_with_memory(&func, &args, vec![0; 1 << 21], 1_000_000_000)
+                .map_err(|e| format!("execution failed: {e}"))?;
+            emit(format_args!("{:?}", out.ret));
+            if o.stats {
+                eprintln!(
+                    "; executed {} instructions, {} dynamic copies",
+                    out.executed, out.dynamic_copies
+                );
+            }
+        }
+        None => emit(&func),
+    }
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! # fcc — Fast Copy Coalescing and Live-Range Identification
+//!
+//! A from-scratch Rust reproduction of **Budimlić, Cooper, Harvey,
+//! Kennedy, Oberg, Reeves: "Fast Copy Coalescing and Live-Range
+//! Identification" (PLDI 2002)**: converting SSA back to executable CFG
+//! form while coalescing φ-related copies in `O(n·α(n))`, with **no
+//! interference graph** — interference is decided from liveness and
+//! dominance alone, organised by the paper's *dominance forest*.
+//!
+//! This umbrella crate re-exports the whole workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`ir`] | entity-indexed IR, builder, verifier, textual format |
+//! | [`analysis`] | dominators (+O(1) queries), liveness, loops, bitsets, union-find |
+//! | [`ssa`] | SSA construction (3 flavours, copy folding), parallel copies, Standard destruction |
+//! | [`core`] | **the paper's algorithm**: dominance forest + coalescing SSA destruction |
+//! | [`regalloc`] | interference graphs, Briggs / Briggs\* coalescers, colouring allocator |
+//! | [`interp`] | φ-aware reference interpreter with dynamic-copy accounting |
+//! | [`opt`] | scalar optimiser: DCE, constant folding, copy propagation, CFG simplify |
+//! | [`frontend`] | MiniLang: a small imperative language lowering to copy-rich CFGs |
+//! | [`workloads`] | the kernel suite (synthetic analogs of the paper's corpus) + program generator |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use fcc::prelude::*;
+//!
+//! // A little source program, compiled to copy-rich CFG code ...
+//! let mut func = fcc::frontend::compile(
+//!     "fn sum(n) { let s = 0; for i = 0 to n { s = s + i; } return s; }",
+//! ).unwrap();
+//! let reference = fcc::interp::run(&func, &[10]).unwrap();
+//!
+//! // ... into pruned SSA with copies folded ...
+//! build_ssa(&mut func, SsaFlavor::Pruned, true);
+//!
+//! // ... and back out, coalescing: zero copies survive here.
+//! let stats = coalesce_ssa(&mut func);
+//! assert!(!func.has_phis());
+//! assert_eq!(stats.copies_inserted, 0);
+//!
+//! // Semantics are untouched.
+//! let out = fcc::interp::run(&func, &[10]).unwrap();
+//! assert_eq!(out.ret, reference.ret);
+//! ```
+//!
+//! See `examples/` for runnable walkthroughs, `crates/bench` for the
+//! binaries that regenerate every table of the paper's evaluation, and
+//! DESIGN.md / EXPERIMENTS.md for the reproduction notes.
+
+pub use fcc_analysis as analysis;
+pub use fcc_core as core;
+pub use fcc_frontend as frontend;
+pub use fcc_interp as interp;
+pub use fcc_opt as opt;
+pub use fcc_ir as ir;
+pub use fcc_regalloc as regalloc;
+pub use fcc_ssa as ssa;
+pub use fcc_workloads as workloads;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use fcc_core::{coalesce_ssa, coalesce_ssa_with, CoalesceOptions, CoalesceStats};
+    pub use fcc_interp::{run, run_with_memory, Outcome};
+    pub use fcc_ir::{Block, Function, FunctionBuilder, Inst, InstKind, Value};
+    pub use fcc_regalloc::{
+        allocate, coalesce_copies, destruct_via_webs, AllocOptions, BriggsOptions, GraphMode,
+    };
+    pub use fcc_opt::standard_pipeline;
+    pub use fcc_ssa::{build_ssa, destruct_standard, split_critical_edges, verify_ssa, SsaFlavor};
+}

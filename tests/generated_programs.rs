@@ -1,0 +1,149 @@
+//! The heavy artillery: hundreds of generated programs through every
+//! pipeline, checked against the φ-aware reference interpreter.
+//!
+//! Random structured programs (terminating and strict by construction)
+//! have historically been the most effective bug-finders for SSA
+//! destruction — they produced the swap/lost-copy literature in the first
+//! place. A failure here prints the seed, which reproduces the program
+//! deterministically.
+
+use fcc::prelude::*;
+use fcc::workloads::{generate, GenConfig};
+use proptest::prelude::*;
+
+const FUEL: u64 = 20_000_000;
+const MEM: usize = 256;
+
+fn compile_seed(seed: u64, cfg: &GenConfig) -> Function {
+    let prog = generate(seed, cfg);
+    fcc::frontend::lower_program(&prog).expect("generated programs always lower")
+}
+
+fn run_f(f: &Function, args: &[i64]) -> (Option<i64>, Vec<i64>) {
+    let out = fcc::interp::run_with_memory(f, args, vec![0; MEM], FUEL)
+        .expect("generated programs terminate");
+    (out.ret, out.memory)
+}
+
+fn check_seed(seed: u64, cfg: &GenConfig) {
+    let base = compile_seed(seed, cfg);
+    let args = [seed as i64 % 17, (seed as i64 / 3) % 11];
+    let reference = run_f(&base, &args);
+
+    // SSA itself must already be behaviour-preserving.
+    let mut ssa = base.clone();
+    build_ssa(&mut ssa, SsaFlavor::Pruned, true);
+    verify_ssa(&ssa).unwrap_or_else(|e| panic!("seed {seed}: invalid SSA: {e}"));
+    assert_eq!(reference, run_f(&ssa, &args), "seed {seed}: SSA changed behaviour");
+
+    // New algorithm (default and ablated configurations).
+    for (label, opts) in [
+        ("default", CoalesceOptions::default()),
+        ("nofilters", CoalesceOptions { early_filters: false, ..Default::default() }),
+        (
+            "alwayschild",
+            CoalesceOptions {
+                split_heuristic: fcc::core::SplitHeuristic::AlwaysChild,
+                ..Default::default()
+            },
+        ),
+        (
+            "alwaysparent",
+            CoalesceOptions {
+                split_heuristic: fcc::core::SplitHeuristic::AlwaysParent,
+                ..Default::default()
+            },
+        ),
+        (
+            "edgecut",
+            CoalesceOptions {
+                split_strategy: fcc::core::SplitStrategy::EdgeCut,
+                ..Default::default()
+            },
+        ),
+    ] {
+        let mut f = ssa.clone();
+        coalesce_ssa_with(&mut f, &opts);
+        assert!(!f.has_phis(), "seed {seed}/{label}: phis left");
+        fcc::ir::verify::verify_function(&f)
+            .unwrap_or_else(|e| panic!("seed {seed}/{label}: {e}"));
+        assert_eq!(reference, run_f(&f, &args), "seed {seed}/{label}: miscompiled\n{f}");
+    }
+
+    // Standard instantiation.
+    let mut std_f = ssa.clone();
+    destruct_standard(&mut std_f);
+    assert_eq!(reference, run_f(&std_f, &args), "seed {seed}: standard miscompiled");
+
+    // Sreedhar Method I (CSSA isolation).
+    let mut cssa_f = ssa.clone();
+    fcc::ssa::destruct_sreedhar_i(&mut cssa_f);
+    assert!(!cssa_f.has_phis(), "seed {seed}: cssa left phis");
+    fcc::ir::verify::verify_function(&cssa_f)
+        .unwrap_or_else(|e| panic!("seed {seed} cssa: {e}"));
+    assert_eq!(reference, run_f(&cssa_f, &args), "seed {seed}: sreedhar-i miscompiled");
+
+    // Briggs pipelines from unfolded SSA.
+    let mut webs = base.clone();
+    build_ssa(&mut webs, SsaFlavor::Pruned, false);
+    destruct_via_webs(&mut webs);
+    assert_eq!(reference, run_f(&webs, &args), "seed {seed}: webs miscompiled");
+    for mode in [GraphMode::Full, GraphMode::Restricted] {
+        let mut f = webs.clone();
+        coalesce_copies(&mut f, &BriggsOptions { mode, ..Default::default() });
+        assert_eq!(reference, run_f(&f, &args), "seed {seed}/{mode:?}: miscompiled\n{f}");
+    }
+}
+
+#[test]
+fn seed_sweep_default_shape() {
+    let cfg = GenConfig::default();
+    for seed in 0..150 {
+        check_seed(seed, &cfg);
+    }
+}
+
+#[test]
+fn seed_sweep_deep_control_flow() {
+    let cfg = GenConfig { stmts: 20, max_depth: 5, vars: 8, ..Default::default() };
+    for seed in 1000..1080 {
+        check_seed(seed, &cfg);
+    }
+}
+
+#[test]
+fn seed_sweep_wide_flat_programs() {
+    let cfg = GenConfig { stmts: 60, max_depth: 2, vars: 16, ..Default::default() };
+    for seed in 2000..2040 {
+        check_seed(seed, &cfg);
+    }
+}
+
+#[test]
+fn seed_sweep_no_memory_pure_scalar() {
+    let cfg = GenConfig { memory_ops: false, stmts: 25, ..Default::default() };
+    for seed in 3000..3060 {
+        check_seed(seed, &cfg);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary seeds and shapes — proptest shrinks the seed on failure.
+    #[test]
+    fn arbitrary_seed_and_shape(
+        seed in 0u64..1_000_000,
+        stmts in 4usize..30,
+        depth in 1usize..5,
+        vars in 2usize..10,
+    ) {
+        let cfg = GenConfig {
+            stmts,
+            max_depth: depth,
+            vars,
+            ..Default::default()
+        };
+        check_seed(seed, &cfg);
+    }
+}

@@ -1,0 +1,48 @@
+//! The textual IR format must round-trip at every pipeline stage, for
+//! every kernel — print → parse → print is a fixpoint and preserves
+//! behaviour.
+
+use fcc::prelude::*;
+use fcc::ir::parse::parse_function;
+use fcc::workloads::{compile_kernel, kernels, reference_run};
+
+fn assert_roundtrip(f: &Function, what: &str) {
+    let printed = f.to_string();
+    let reparsed = parse_function(&printed)
+        .unwrap_or_else(|e| panic!("{what}: reparse failed: {e}\n{printed}"));
+    assert_eq!(printed, reparsed.to_string(), "{what}: print/parse not a fixpoint");
+}
+
+#[test]
+fn kernels_roundtrip_at_every_stage() {
+    for k in kernels() {
+        let mut f = compile_kernel(k);
+        assert_roundtrip(&f, &format!("{} (cfg)", k.name));
+        build_ssa(&mut f, SsaFlavor::Pruned, true);
+        assert_roundtrip(&f, &format!("{} (ssa)", k.name));
+        coalesce_ssa(&mut f);
+        assert_roundtrip(&f, &format!("{} (coalesced)", k.name));
+    }
+}
+
+#[test]
+fn reparsed_kernel_behaves_identically() {
+    for k in kernels().iter().take(5) {
+        let f = compile_kernel(k);
+        let reference = reference_run(&f, k).unwrap();
+        let g = parse_function(&f.to_string()).unwrap();
+        let out = reference_run(&g, k).unwrap();
+        assert_eq!(reference.behavior(), out.behavior(), "{}", k.name);
+        assert_eq!(reference.executed, out.executed, "{}", k.name);
+    }
+}
+
+#[test]
+fn reparsed_ssa_still_verifies() {
+    for k in kernels().iter().take(5) {
+        let mut f = compile_kernel(k);
+        build_ssa(&mut f, SsaFlavor::Pruned, true);
+        let g = parse_function(&f.to_string()).unwrap();
+        verify_ssa(&g).unwrap_or_else(|e| panic!("{}: {e}", k.name));
+    }
+}
