@@ -25,7 +25,10 @@ impl TriangularBitMatrix {
     /// Create an empty relation over `0..n`.
     pub fn new(n: usize) -> Self {
         let bits = n * n.saturating_sub(1) / 2;
-        TriangularBitMatrix { words: vec![0; bits.div_ceil(64)], n }
+        TriangularBitMatrix {
+            words: vec![0; bits.div_ceil(64)],
+            n,
+        }
     }
 
     /// The number of rows/columns.
@@ -39,7 +42,11 @@ impl TriangularBitMatrix {
     /// # Panics
     /// Panics if `i` or `j` is out of range.
     pub fn add(&mut self, i: usize, j: usize) -> bool {
-        assert!(i < self.n && j < self.n, "pair ({i},{j}) out of range {}", self.n);
+        assert!(
+            i < self.n && j < self.n,
+            "pair ({i},{j}) out of range {}",
+            self.n
+        );
         if i == j {
             return false;
         }

@@ -24,7 +24,10 @@ impl Default for BitSet {
 impl BitSet {
     /// Create an empty set over the universe `0..len`.
     pub fn new(len: usize) -> Self {
-        BitSet { words: vec![0; len.div_ceil(64)], len }
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
     }
 
     /// The universe size this set was created with.
@@ -113,12 +116,19 @@ impl BitSet {
 
     /// Whether `self` and `other` share any element.
     pub fn intersects(&self, other: &BitSet) -> bool {
-        self.words.iter().zip(&other.words).any(|(&a, &b)| a & b != 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .any(|(&a, &b)| a & b != 0)
     }
 
     /// Iterate over the elements in increasing order.
     pub fn iter(&self) -> Iter<'_> {
-        Iter { set: self, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+        Iter {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
     }
 
     /// Heap bytes used by the word storage.

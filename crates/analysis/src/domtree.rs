@@ -16,7 +16,7 @@
 use fcc_ir::{Block, ControlFlowGraph, Function, SecondaryMap};
 
 /// Dominator tree plus preorder numbering for one function.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct DomTree {
     idom: SecondaryMap<Block, Option<Block>>,
     children: SecondaryMap<Block, Vec<Block>>,
@@ -109,7 +109,14 @@ impl DomTree {
             }
         }
 
-        DomTree { idom, children, preorder, maxpreorder, preorder_seq, entry }
+        DomTree {
+            idom,
+            children,
+            preorder,
+            maxpreorder,
+            preorder_seq,
+            entry,
+        }
     }
 
     /// The immediate dominator of `b`, or `None` for the entry block and
@@ -193,7 +200,7 @@ fn intersect(
 /// Dominance frontiers: `df(b)` is the set of blocks where `b`'s dominance
 /// ends — exactly where SSA construction must place φ-nodes for
 /// definitions in `b` (Cytron et al.).
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct DominanceFrontiers {
     df: SecondaryMap<Block, Vec<Block>>,
 }
@@ -211,7 +218,7 @@ impl DominanceFrontiers {
             // at all: a loop back to the entry makes `entry ∈ DF(entry)`
             // (nothing strictly dominates the entry), a case the usual
             // two-predecessor shortcut misses.
-            if preds.len() < 2 && !(Some(b) == entry && !preds.is_empty()) {
+            if preds.len() < 2 && (Some(b) != entry || preds.is_empty()) {
                 continue;
             }
             // The entry block can itself be a join (a loop back to the

@@ -14,7 +14,10 @@
 //! * [`liveness::Liveness`] — φ-aware backward dataflow: φ arguments are
 //!   live-out of their predecessor, never live-in at the φ's block;
 //! * [`loops::LoopNesting`] — natural-loop depths for the Briggs
-//!   "innermost loops first" coalescing heuristic.
+//!   "innermost loops first" coalescing heuristic;
+//! * [`manager::AnalysisManager`] — epoch-keyed caching of all of the
+//!   above, with [`manager::PreservedAnalyses`]-driven invalidation, so
+//!   pipelines recompute an analysis only when the function changed.
 //!
 //! ## Example
 //!
@@ -43,6 +46,7 @@ pub mod bitset;
 pub mod domtree;
 pub mod liveness;
 pub mod loops;
+pub mod manager;
 pub mod unionfind;
 
 pub use bitmatrix::TriangularBitMatrix;
@@ -50,4 +54,5 @@ pub use bitset::BitSet;
 pub use domtree::{DomTree, DominanceFrontiers};
 pub use liveness::Liveness;
 pub use loops::LoopNesting;
+pub use manager::{AnalysisCounters, AnalysisManager, HitMiss, PreservedAnalyses};
 pub use unionfind::UnionFind;

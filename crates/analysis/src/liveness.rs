@@ -16,7 +16,7 @@ use crate::bitset::BitSet;
 use fcc_ir::{Block, ControlFlowGraph, Function, InstKind, SecondaryMap, Value};
 
 /// Per-block live-in/live-out sets over the value universe.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Liveness {
     live_in: SecondaryMap<Block, BitSet>,
     live_out: SecondaryMap<Block, BitSet>,
@@ -60,10 +60,10 @@ impl Liveness {
         // the defining block terminates the walk.
         let mut stack: Vec<Block> = Vec::new();
         let up = |v: Value,
-                      start: Block,
-                      live_in: &mut SecondaryMap<Block, BitSet>,
-                      live_out: &mut SecondaryMap<Block, BitSet>,
-                      stack: &mut Vec<Block>| {
+                  start: Block,
+                  live_in: &mut SecondaryMap<Block, BitSet>,
+                  live_out: &mut SecondaryMap<Block, BitSet>,
+                  stack: &mut Vec<Block>| {
             let dv = def_block[v.index()];
             if dv == Some(start) {
                 return; // defined here: live only inside the block
@@ -105,7 +105,12 @@ impl Liveness {
             }
         }
 
-        Liveness { live_in, live_out, universe: n, iterations: 1 }
+        Liveness {
+            live_in,
+            live_out,
+            universe: n,
+            iterations: 1,
+        }
     }
 
     /// Compute liveness for `func`.
@@ -190,7 +195,12 @@ impl Liveness {
             }
         }
 
-        Liveness { live_in, live_out, universe: n, iterations }
+        Liveness {
+            live_in,
+            live_out,
+            universe: n,
+            iterations,
+        }
     }
 
     /// The live-in set of `block`.
@@ -303,7 +313,10 @@ mod tests {
         let b3 = Block::new(3);
         assert!(l.is_live_out(v1, b1), "phi arg live out of its pred");
         assert!(l.is_live_out(v2, b2));
-        assert!(!l.is_live_in(v1, b3), "phi arg must NOT be live-in at the phi block");
+        assert!(
+            !l.is_live_in(v1, b3),
+            "phi arg must NOT be live-in at the phi block"
+        );
         assert!(!l.is_live_in(v2, b3));
         assert!(!l.is_live_out(v1, b2), "v1 does not flow through b2");
     }

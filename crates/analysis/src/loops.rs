@@ -11,7 +11,7 @@ use crate::domtree::DomTree;
 use fcc_ir::{Block, ControlFlowGraph, SecondaryMap};
 
 /// Loop nesting information for one function.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct LoopNesting {
     depth: SecondaryMap<Block, u32>,
     headers: Vec<Block>,
@@ -82,6 +82,11 @@ impl LoopNesting {
     /// Loop header blocks, in block order.
     pub fn headers(&self) -> &[Block] {
         &self.headers
+    }
+
+    /// Approximate heap footprint, in bytes.
+    pub fn bytes(&self) -> usize {
+        self.depth.bytes() + self.headers.capacity() * std::mem::size_of::<Block>()
     }
 }
 

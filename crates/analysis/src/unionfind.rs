@@ -18,7 +18,10 @@ impl UnionFind {
     /// Create `len` singleton sets.
     pub fn new(len: usize) -> Self {
         assert!(len < u32::MAX as usize);
-        UnionFind { parent: (0..len as u32).collect(), rank: vec![0; len] }
+        UnionFind {
+            parent: (0..len as u32).collect(),
+            rank: vec![0; len],
+        }
     }
 
     /// Number of elements in the universe.
@@ -74,7 +77,11 @@ impl UnionFind {
         if ra == rb {
             return ra;
         }
-        let (big, small) = if self.rank[ra] >= self.rank[rb] { (ra, rb) } else { (rb, ra) };
+        let (big, small) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
         self.parent[small] = big as u32;
         if self.rank[ra] == self.rank[rb] {
             self.rank[big] += 1;
@@ -107,7 +114,8 @@ impl UnionFind {
     /// in increasing element order. Singletons are included.
     pub fn groups(&mut self) -> Vec<Vec<usize>> {
         let n = self.len();
-        let mut by_rep: std::collections::HashMap<usize, Vec<usize>> = std::collections::HashMap::new();
+        let mut by_rep: std::collections::HashMap<usize, Vec<usize>> =
+            std::collections::HashMap::new();
         for x in 0..n {
             let r = self.find(x);
             by_rep.entry(r).or_default().push(x);

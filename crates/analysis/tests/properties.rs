@@ -1,62 +1,57 @@
 //! Property-based tests: every analysis checked against an independent,
 //! naive model on randomly generated structures and CFGs.
 
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 
 use fcc_analysis::{BitSet, DomTree, DominanceFrontiers, Liveness, TriangularBitMatrix, UnionFind};
 use fcc_ir::{Block, ControlFlowGraph, Function, InstKind, Value};
+use fcc_workloads::SplitMix64;
+
+/// Seeded-case count: the default covers CI; `--features heavy` sweeps
+/// wider.
+const CASES: u64 = if cfg!(feature = "heavy") { 4096 } else { 256 };
 
 // ---------- BitSet vs HashSet ----------
 
-#[derive(Clone, Debug)]
-enum SetOp {
-    Insert(usize),
-    Remove(usize),
-    Clear,
-}
-
-fn set_op() -> impl Strategy<Value = SetOp> {
-    prop_oneof![
-        (0usize..200).prop_map(SetOp::Insert),
-        (0usize..200).prop_map(SetOp::Remove),
-        Just(SetOp::Clear),
-    ]
-}
-
-proptest! {
-    #[test]
-    fn bitset_behaves_like_hashset(ops in proptest::collection::vec(set_op(), 0..120)) {
+#[test]
+fn bitset_behaves_like_hashset() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(0xB1_0000 + case);
         let mut bs = BitSet::new(200);
         let mut hs: HashSet<usize> = HashSet::new();
-        for op in ops {
-            match op {
-                SetOp::Insert(i) => {
-                    let fresh = bs.insert(i);
-                    prop_assert_eq!(fresh, hs.insert(i));
+        for _ in 0..rng.gen_range(0usize..120) {
+            match rng.gen_range(0usize..5) {
+                0 | 1 => {
+                    let i = rng.gen_range(0usize..200);
+                    assert_eq!(bs.insert(i), hs.insert(i), "case {case}");
                 }
-                SetOp::Remove(i) => {
-                    let present = bs.remove(i);
-                    prop_assert_eq!(present, hs.remove(&i));
+                2 | 3 => {
+                    let i = rng.gen_range(0usize..200);
+                    assert_eq!(bs.remove(i), hs.remove(&i), "case {case}");
                 }
-                SetOp::Clear => {
+                _ => {
                     bs.clear();
                     hs.clear();
                 }
             }
-            prop_assert_eq!(bs.count(), hs.len());
+            assert_eq!(bs.count(), hs.len(), "case {case}");
         }
         let got: HashSet<usize> = bs.iter().collect();
-        prop_assert_eq!(got, hs);
+        assert_eq!(got, hs, "case {case}");
     }
+}
 
-    #[test]
-    fn bitset_algebra_matches_sets(
-        a in proptest::collection::hash_set(0usize..128, 0..40),
-        b in proptest::collection::hash_set(0usize..128, 0..40),
-    ) {
+#[test]
+fn bitset_algebra_matches_sets() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(0xB2_0000 + case);
+        let draw = |rng: &mut SplitMix64| -> HashSet<usize> {
+            (0..rng.gen_range(0usize..40))
+                .map(|_| rng.gen_range(0usize..128))
+                .collect()
+        };
+        let a = draw(&mut rng);
+        let b = draw(&mut rng);
         let mk = |s: &HashSet<usize>| {
             let mut x = BitSet::new(128);
             for &e in s {
@@ -68,39 +63,44 @@ proptest! {
 
         let mut u = ba.clone();
         u.union_with(&bb);
-        prop_assert_eq!(
+        assert_eq!(
             u.iter().collect::<HashSet<_>>(),
-            a.union(&b).copied().collect::<HashSet<_>>()
+            a.union(&b).copied().collect::<HashSet<_>>(),
+            "case {case}"
         );
 
         let mut i = ba.clone();
         i.intersect_with(&bb);
-        prop_assert_eq!(
+        assert_eq!(
             i.iter().collect::<HashSet<_>>(),
-            a.intersection(&b).copied().collect::<HashSet<_>>()
+            a.intersection(&b).copied().collect::<HashSet<_>>(),
+            "case {case}"
         );
 
         let mut d = ba.clone();
         d.difference_with(&bb);
-        prop_assert_eq!(
+        assert_eq!(
             d.iter().collect::<HashSet<_>>(),
-            a.difference(&b).copied().collect::<HashSet<_>>()
+            a.difference(&b).copied().collect::<HashSet<_>>(),
+            "case {case}"
         );
 
-        prop_assert_eq!(ba.intersects(&bb), !a.is_disjoint(&b));
+        assert_eq!(ba.intersects(&bb), !a.is_disjoint(&b), "case {case}");
     }
+}
 
-    // ---------- UnionFind vs naive partition ----------
+// ---------- UnionFind vs naive partition ----------
 
-    #[test]
-    fn unionfind_matches_naive_partition(
-        unions in proptest::collection::vec((0usize..60, 0usize..60), 0..80)
-    ) {
+#[test]
+fn unionfind_matches_naive_partition() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(0xB3_0000 + case);
         let n = 60;
         let mut uf = UnionFind::new(n);
         // Naive model: partition id per element, merged by relabelling.
         let mut label: Vec<usize> = (0..n).collect();
-        for (a, b) in unions {
+        for _ in 0..rng.gen_range(0usize..80) {
+            let (a, b) = (rng.gen_range(0usize..n), rng.gen_range(0usize..n));
             uf.union(a, b);
             let (la, lb) = (label[a], label[b]);
             if la != lb {
@@ -113,29 +113,35 @@ proptest! {
         }
         for x in 0..n {
             for y in 0..n {
-                prop_assert_eq!(uf.same(x, y), label[x] == label[y], "{} {}", x, y);
+                assert_eq!(uf.same(x, y), label[x] == label[y], "case {case}: {x} {y}");
             }
         }
     }
+}
 
-    // ---------- Triangular matrix vs HashSet of pairs ----------
+// ---------- Triangular matrix vs HashSet of pairs ----------
 
-    #[test]
-    fn bitmatrix_matches_pair_set(
-        pairs in proptest::collection::vec((0usize..40, 0usize..40), 0..120)
-    ) {
+#[test]
+fn bitmatrix_matches_pair_set() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(0xB4_0000 + case);
         let mut m = TriangularBitMatrix::new(40);
         let mut model: HashSet<(usize, usize)> = HashSet::new();
-        for (a, b) in pairs {
+        for _ in 0..rng.gen_range(0usize..120) {
+            let (a, b) = (rng.gen_range(0usize..40), rng.gen_range(0usize..40));
             m.add(a, b);
             if a != b {
                 model.insert((a.min(b), a.max(b)));
             }
         }
-        prop_assert_eq!(m.count(), model.len());
+        assert_eq!(m.count(), model.len(), "case {case}");
         for a in 0..40 {
             for b in 0..40 {
-                prop_assert_eq!(m.relates(a, b), model.contains(&(a.min(b), a.max(b))));
+                assert_eq!(
+                    m.relates(a, b),
+                    model.contains(&(a.min(b), a.max(b))),
+                    "case {case}: ({a}, {b})"
+                );
             }
         }
     }
@@ -148,7 +154,7 @@ proptest! {
 /// valid; structure is otherwise arbitrary (unreachable blocks, self
 /// loops, shared targets all occur).
 fn random_function(seed: u64, n_blocks: usize, n_vals: usize) -> Function {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut f = Function::new(format!("r{seed}"));
     let blocks: Vec<Block> = (0..n_blocks).map(|_| f.add_block()).collect();
     for _ in 0..n_vals {
@@ -160,7 +166,13 @@ fn random_function(seed: u64, n_blocks: usize, n_vals: usize) -> Function {
             let dst = Value::new(rng.gen_range(0..n_vals));
             match rng.gen_range(0..3) {
                 0 => {
-                    f.append_inst(b, InstKind::Const { imm: rng.gen_range(-5..5) }, Some(dst));
+                    f.append_inst(
+                        b,
+                        InstKind::Const {
+                            imm: rng.gen_range(-5i64..5),
+                        },
+                        Some(dst),
+                    );
                 }
                 1 => {
                     let src = Value::new(rng.gen_range(0..n_vals));
@@ -171,13 +183,21 @@ fn random_function(seed: u64, n_blocks: usize, n_vals: usize) -> Function {
                     let c = Value::new(rng.gen_range(0..n_vals));
                     f.append_inst(
                         b,
-                        InstKind::Binary { op: fcc_ir::BinOp::Add, a, b: c },
+                        InstKind::Binary {
+                            op: fcc_ir::BinOp::Add,
+                            a,
+                            b: c,
+                        },
                         Some(dst),
                     );
                 }
             }
         }
-        let term = if bi + 1 == n_blocks { 2 } else { rng.gen_range(0..3) };
+        let term = if bi + 1 == n_blocks {
+            2
+        } else {
+            rng.gen_range(0..3)
+        };
         match term {
             0 => {
                 let dst = blocks[rng.gen_range(0..n_blocks)];
@@ -187,7 +207,15 @@ fn random_function(seed: u64, n_blocks: usize, n_vals: usize) -> Function {
                 let cond = Value::new(rng.gen_range(0..n_vals));
                 let t = blocks[rng.gen_range(0..n_blocks)];
                 let e = blocks[rng.gen_range(0..n_blocks)];
-                f.append_inst(b, InstKind::Branch { cond, then_dst: t, else_dst: e }, None);
+                f.append_inst(
+                    b,
+                    InstKind::Branch {
+                        cond,
+                        then_dst: t,
+                        else_dst: e,
+                    },
+                    None,
+                );
             }
             _ => {
                 let v = Value::new(rng.gen_range(0..n_vals));
@@ -246,7 +274,11 @@ fn dominators_match_naive_on_random_cfgs() {
                     continue;
                 }
                 let expect = naive_dominates(&cfg, f.entry(), a, b);
-                assert_eq!(dt.dominates(a, b), expect, "seed {seed}: dominates({a},{b})");
+                assert_eq!(
+                    dt.dominates(a, b),
+                    expect,
+                    "seed {seed}: dominates({a},{b})"
+                );
             }
         }
     }

@@ -1,31 +1,36 @@
-//! Criterion micro-benchmarks: the three SSA-destruction pipelines on
-//! representative kernels, backing Tables 2–3 with statistically robust
-//! timings.
+//! Micro-benchmark: the SSA-destruction pipelines on representative
+//! kernels, backing Tables 2–3. Plain best-of-N timing loops — no
+//! external harness, so the workspace builds with no registry access.
 //!
 //! Run: `cargo bench -p fcc-bench --bench coalesce`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
 
-use fcc_bench::{run_pipeline, Pipeline};
+use fcc_bench::{run_pipeline, us, Pipeline};
 use fcc_workloads::{compile_kernel, kernel};
 
-fn bench_pipelines(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ssa-destruction");
+fn main() {
+    const REPEATS: usize = 20;
+    println!("{:<12} {:<10} {:>12}", "pipeline", "kernel", "best");
     for name in ["saxpy", "tomcatv", "twldrv", "parmvrx", "fpppp"] {
         let k = kernel(name).expect("kernel exists");
         let base = compile_kernel(k);
-        for p in [Pipeline::Standard, Pipeline::New, Pipeline::Briggs, Pipeline::BriggsStar] {
-            group.bench_with_input(
-                BenchmarkId::new(p.label(), name),
-                &base,
-                |b, base| {
-                    b.iter(|| run_pipeline(p, base.clone()));
-                },
-            );
+        for p in [
+            Pipeline::Standard,
+            Pipeline::New,
+            Pipeline::Briggs,
+            Pipeline::BriggsStar,
+        ] {
+            let mut best = std::time::Duration::MAX;
+            for _ in 0..REPEATS {
+                let input = base.clone();
+                let t0 = Instant::now();
+                let report = run_pipeline(p, input);
+                let dt = t0.elapsed();
+                std::hint::black_box(&report);
+                best = best.min(dt);
+            }
+            println!("{:<12} {:<10} {:>12}", p.label(), name, us(best));
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_pipelines);
-criterion_main!(benches);

@@ -1,12 +1,14 @@
-//! Criterion micro-benchmark: dominance-forest construction (Figure 1)
-//! against a naive O(n²) pairwise construction, over growing member-set
-//! sizes on a deep dominator tree.
+//! Micro-benchmark: dominance-forest construction (Figure 1) against a
+//! naive O(n²) pairwise construction, over growing member-set sizes on a
+//! deep dominator tree. Plain best-of-N timing loops — no external
+//! harness, so the workspace builds with no registry access.
 //!
 //! Run: `cargo bench -p fcc-bench --bench dforest`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
 
 use fcc_analysis::DomTree;
+use fcc_bench::us;
 use fcc_core::DominanceForest;
 use fcc_ir::{Block, ControlFlowGraph, Function, InstKind, Value};
 
@@ -25,10 +27,7 @@ fn chain_function(n: usize) -> Function {
 
 /// Naive O(m²) reference construction: for each member, scan all others
 /// for the nearest dominating definition.
-fn naive_parents(
-    members: &[(Value, Block, u32)],
-    dt: &DomTree,
-) -> Vec<Option<Value>> {
+fn naive_parents(members: &[(Value, Block, u32)], dt: &DomTree) -> Vec<Option<Value>> {
     members
         .iter()
         .enumerate()
@@ -39,7 +38,7 @@ fn naive_parents(
                     continue;
                 }
                 let key = dt.preorder(bj);
-                if best.map_or(true, |(_, bk)| key > bk) {
+                if best.is_none_or(|(_, bk)| key > bk) {
                     best = Some((vj, key));
                 }
             }
@@ -48,24 +47,29 @@ fn naive_parents(
         .collect()
 }
 
-fn bench_dforest(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dominance-forest");
+fn best_of<T>(repeats: usize, mut f: impl FnMut() -> T) -> std::time::Duration {
+    let mut best = std::time::Duration::MAX;
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t0.elapsed());
+    }
+    best
+}
+
+fn main() {
+    println!("{:<12} {:>6} {:>12}", "variant", "m", "best");
     for &m in &[64usize, 256, 1024] {
         let f = chain_function(m + 1);
         let cfg = ControlFlowGraph::compute(&f);
         let dt = DomTree::compute(&f, &cfg);
         // One member per block (worst case: the whole chain).
-        let members: Vec<(Value, Block, u32)> =
-            (0..m).map(|i| (Value::new(i + 1), Block::new(i), 0)).collect();
-        group.bench_with_input(BenchmarkId::new("figure1", m), &members, |b, ms| {
-            b.iter(|| DominanceForest::build(ms, &dt));
-        });
-        group.bench_with_input(BenchmarkId::new("naive-n2", m), &members, |b, ms| {
-            b.iter(|| naive_parents(ms, &dt));
-        });
+        let members: Vec<(Value, Block, u32)> = (0..m)
+            .map(|i| (Value::new(i + 1), Block::new(i), 0))
+            .collect();
+        let fast = best_of(50, || DominanceForest::build(&members, &dt));
+        let naive = best_of(50, || naive_parents(&members, &dt));
+        println!("{:<12} {:>6} {:>12}", "figure1", m, us(fast));
+        println!("{:<12} {:>6} {:>12}", "naive-n2", m, us(naive));
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_dforest);
-criterion_main!(benches);

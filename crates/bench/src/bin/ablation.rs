@@ -18,10 +18,11 @@
 
 use std::time::Instant;
 
+use fcc_analysis::{AnalysisCounters, AnalysisManager};
 use fcc_bench::Table;
-use fcc_core::{coalesce_ssa_with, CoalesceOptions, SplitHeuristic, SplitStrategy};
-use fcc_regalloc::{coalesce_copies, destruct_via_webs, BriggsOptions, GraphMode};
-use fcc_ssa::{build_ssa, destruct_sreedhar_i, SsaFlavor};
+use fcc_core::{coalesce_ssa_managed, CoalesceOptions, SplitHeuristic, SplitStrategy};
+use fcc_regalloc::{coalesce_copies_managed, destruct_via_webs, BriggsOptions, GraphMode};
+use fcc_ssa::{build_ssa_with, destruct_sreedhar_i, SsaFlavor};
 use fcc_workloads::{compile_kernel, kernels, reference_run};
 
 fn main() {
@@ -29,7 +30,10 @@ fn main() {
         ("New (paper defaults)", CoalesceOptions::default()),
         (
             "New, no early filters",
-            CoalesceOptions { early_filters: false, ..Default::default() },
+            CoalesceOptions {
+                early_filters: false,
+                ..Default::default()
+            },
         ),
         (
             "New, always split child",
@@ -47,23 +51,35 @@ fn main() {
         ),
         (
             "New + edge-cut splitting",
-            CoalesceOptions { split_strategy: SplitStrategy::EdgeCut, ..Default::default() },
+            CoalesceOptions {
+                split_strategy: SplitStrategy::EdgeCut,
+                ..Default::default()
+            },
         ),
     ];
 
-    let mut table =
-        Table::new(&["configuration", "static copies", "dynamic copies", "time(us)"]);
+    let mut table = Table::new(&[
+        "configuration",
+        "static copies",
+        "dynamic copies",
+        "time(us)",
+        "cache h/m",
+    ]);
+    let hm = |c: &AnalysisCounters| format!("{}/{}", c.total_hits(), c.total_misses());
 
     for (label, opts) in &configs {
         let mut static_copies = 0usize;
         let mut dynamic_copies = 0u64;
         let mut time = 0f64;
+        let mut counters = AnalysisCounters::default();
         for k in kernels() {
             let mut f = compile_kernel(k);
-            build_ssa(&mut f, SsaFlavor::Pruned, true);
+            let mut am = AnalysisManager::new();
+            build_ssa_with(&mut f, SsaFlavor::Pruned, true, &mut am);
             let t0 = Instant::now();
-            coalesce_ssa_with(&mut f, opts);
+            coalesce_ssa_managed(&mut f, opts, &mut am);
             time += t0.elapsed().as_secs_f64();
+            counters += am.counters();
             static_copies += f.static_copy_count();
             dynamic_copies += reference_run(&f, k).expect("runs").dynamic_copies;
         }
@@ -72,6 +88,7 @@ fn main() {
             static_copies.to_string(),
             dynamic_copies.to_string(),
             format!("{:.1}", time * 1e6),
+            hm(&counters),
         ]);
     }
 
@@ -82,16 +99,23 @@ fn main() {
         let mut static_copies = 0usize;
         let mut dynamic_copies = 0u64;
         let mut time = 0f64;
+        let mut counters = AnalysisCounters::default();
         for k in kernels() {
             let mut f = compile_kernel(k);
-            build_ssa(&mut f, SsaFlavor::Pruned, true);
+            let mut am = AnalysisManager::new();
+            build_ssa_with(&mut f, SsaFlavor::Pruned, true, &mut am);
             let t0 = Instant::now();
             destruct_sreedhar_i(&mut f);
-            coalesce_copies(
+            coalesce_copies_managed(
                 &mut f,
-                &BriggsOptions { mode: GraphMode::Restricted, ..Default::default() },
+                &BriggsOptions {
+                    mode: GraphMode::Restricted,
+                    ..Default::default()
+                },
+                &mut am,
             );
             time += t0.elapsed().as_secs_f64();
+            counters += am.counters();
             static_copies += f.static_copy_count();
             dynamic_copies += reference_run(&f, k).expect("runs").dynamic_copies;
         }
@@ -100,6 +124,7 @@ fn main() {
             static_copies.to_string(),
             dynamic_copies.to_string(),
             format!("{:.1}", time * 1e6),
+            hm(&counters),
         ]);
     }
 
@@ -108,16 +133,23 @@ fn main() {
         let mut static_copies = 0usize;
         let mut dynamic_copies = 0u64;
         let mut time = 0f64;
+        let mut counters = AnalysisCounters::default();
         for k in kernels() {
             let mut f = compile_kernel(k);
-            build_ssa(&mut f, SsaFlavor::Pruned, false);
+            let mut am = AnalysisManager::new();
+            build_ssa_with(&mut f, SsaFlavor::Pruned, false, &mut am);
             destruct_via_webs(&mut f);
             let t0 = Instant::now();
-            coalesce_copies(
+            coalesce_copies_managed(
                 &mut f,
-                &BriggsOptions { mode: GraphMode::Restricted, ..Default::default() },
+                &BriggsOptions {
+                    mode: GraphMode::Restricted,
+                    ..Default::default()
+                },
+                &mut am,
             );
             time += t0.elapsed().as_secs_f64();
+            counters += am.counters();
             static_copies += f.static_copy_count();
             dynamic_copies += reference_run(&f, k).expect("runs").dynamic_copies;
         }
@@ -126,6 +158,7 @@ fn main() {
             static_copies.to_string(),
             dynamic_copies.to_string(),
             format!("{:.1}", time * 1e6),
+            hm(&counters),
         ]);
     }
 

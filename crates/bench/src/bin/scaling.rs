@@ -11,12 +11,12 @@
 
 use std::time::Instant;
 
-use fcc_analysis::{DomTree, Liveness};
+use fcc_analysis::AnalysisManager;
 use fcc_bench::Table;
 use fcc_core::{coalesce_prepared, CoalesceOptions, CoalesceStats};
 use fcc_ir::InstKind;
 use fcc_regalloc::{coalesce_copies, destruct_via_webs, BriggsOptions, GraphMode};
-use fcc_ssa::{build_ssa, SsaFlavor};
+use fcc_ssa::{build_ssa, split_critical_edges_with, SsaFlavor};
 use fcc_workloads::{generate, GenConfig};
 
 fn phi_args(f: &fcc_ir::Function) -> usize {
@@ -33,7 +33,13 @@ fn phi_args(f: &fcc_ir::Function) -> usize {
 
 fn main() {
     let mut table = Table::new(&[
-        "stmts", "insts", "phi args", "analyses(us)", "convert(us)", "ns/phi-arg", "Briggs(us)",
+        "stmts",
+        "insts",
+        "phi args",
+        "analyses(us)",
+        "convert(us)",
+        "ns/phi-arg",
+        "Briggs(us)",
         "B matrix(B)",
     ]);
 
@@ -65,14 +71,23 @@ fn main() {
             // Analyses (assumed as given by the paper) vs the conversion
             // proper, which carries the O(n*alpha(n)) claim.
             let mut stats = CoalesceStats::default();
+            let mut am = AnalysisManager::new();
             let ta = Instant::now();
-            stats.edges_split = fcc_ssa::split_critical_edges(&mut f);
-            let cfg_ = fcc_ir::ControlFlowGraph::compute(&f);
-            let dt = DomTree::compute(&f, &cfg_);
-            let live = Liveness::compute_ssa(&f, &cfg_);
+            stats.edges_split = split_critical_edges_with(&mut f, &mut am);
+            let cfg_ = am.cfg(&f);
+            let dt = am.domtree(&f);
+            let live = am.liveness_ssa(&f);
             analysis_time += ta.elapsed().as_secs_f64();
             let t0 = Instant::now();
-            coalesce_prepared(&mut f, &cfg_, &dt, &live, &CoalesceOptions::default(), stats);
+            coalesce_prepared(
+                &mut f,
+                &cfg_,
+                &dt,
+                &live,
+                None,
+                &CoalesceOptions::default(),
+                stats,
+            );
             new_time += t0.elapsed().as_secs_f64();
 
             let mut g = base.clone();
@@ -81,12 +96,19 @@ fn main() {
             let t1 = Instant::now();
             let stats = coalesce_copies(
                 &mut g,
-                &BriggsOptions { mode: GraphMode::Full, ..Default::default() },
+                &BriggsOptions {
+                    mode: GraphMode::Full,
+                    ..Default::default()
+                },
             );
             briggs_time += t1.elapsed().as_secs_f64();
             briggs_matrix = briggs_matrix.max(stats.peak_matrix_bytes());
         }
-        let per_arg = if tot_args > 0 { new_time * 1e9 / tot_args as f64 } else { 0.0 };
+        let per_arg = if tot_args > 0 {
+            new_time * 1e9 / tot_args as f64
+        } else {
+            0.0
+        };
         table.row(vec![
             scale.to_string(),
             (tot_insts / seeds.len()).to_string(),

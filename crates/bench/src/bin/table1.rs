@@ -10,19 +10,28 @@
 //!
 //! Run: `cargo run --release -p fcc-bench --bin table1`
 
-use fcc_bench::{geomean, ratio, us, Table};
-use fcc_regalloc::{coalesce_copies, destruct_via_webs, BriggsOptions, GraphMode};
+use fcc_analysis::{AnalysisCounters, AnalysisManager};
+use fcc_bench::{cache_line, geomean, ratio, us, PhaseStats, Table};
+use fcc_regalloc::{coalesce_copies_managed, destruct_via_webs, BriggsOptions, GraphMode};
 use fcc_ssa::{build_ssa, SsaFlavor};
 use fcc_workloads::{compile_kernel, kernels};
 
 fn main() {
     let repeats = 5;
     let mut table = Table::new(&[
-        "File", "B mem1", "B* mem1", "B mem2", "B* mem2", "B time(us)", "B* time(us)",
-        "time B/B*", "mem B/B*",
+        "File",
+        "B mem1",
+        "B* mem1",
+        "B mem2",
+        "B* mem2",
+        "B time(us)",
+        "B* time(us)",
+        "time B/B*",
+        "mem B/B*",
     ]);
     let mut time_ratios = Vec::new();
     let mut mem_ratios = Vec::new();
+    let mut counters = AnalysisCounters::default();
 
     let mut rows: Vec<(String, Vec<String>, f64, f64)> = Vec::new();
     for k in kernels() {
@@ -31,16 +40,25 @@ fn main() {
         build_ssa(&mut pre, SsaFlavor::Pruned, false);
         destruct_via_webs(&mut pre);
 
-        let run = |mode: GraphMode| {
+        let mut run = |mode: GraphMode| {
             let mut best_time = f64::MAX;
             let mut stats = None;
             for _ in 0..repeats {
                 let mut f = pre.clone();
-                let s = coalesce_copies(&mut f, &BriggsOptions { mode, ..Default::default() });
-                let t = s.total_time().as_secs_f64();
+                let mut am = AnalysisManager::new();
+                let s = coalesce_copies_managed(
+                    &mut f,
+                    &BriggsOptions {
+                        mode,
+                        ..Default::default()
+                    },
+                    &mut am,
+                );
+                let t = s.wall_time().as_secs_f64();
                 if t < best_time {
                     best_time = t;
                 }
+                counters += am.counters();
                 stats = Some((s, f.static_copy_count()));
             }
             let (s, copies) = stats.expect("repeats >= 1");
@@ -104,8 +122,9 @@ fn main() {
     println!("Table 1: interference-graph coalescer, Briggs vs Briggs*");
     println!("(bit-matrix bytes per pass; total coalescing time; identical results asserted)\n");
     print!("{}", table.render());
+    println!("\n{}", cache_line(&counters));
     println!(
-        "\npaper: Briggs* memory smaller by up to 3 orders of magnitude, time ~2x better, \
+        "paper: Briggs* memory smaller by up to 3 orders of magnitude, time ~2x better, \
          results identical; measured geomean mem ratio {} and time ratio {} (see EXPERIMENTS.md)",
         ratio(geomean(&mem_ratios), 1.0),
         ratio(geomean(&time_ratios), 1.0),

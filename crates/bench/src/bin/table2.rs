@@ -8,58 +8,24 @@
 //!
 //! Run: `cargo run --release -p fcc-bench --bin table2`
 
-use fcc_bench::{geomean, measure, us, Pipeline, Table};
-use fcc_workloads::kernels;
+use fcc_bench::{cache_line, compare_pipelines, us, Summary};
 
 fn main() {
     let repeats = 9;
-    let mut rows: Vec<(f64, Vec<String>)> = Vec::new();
-    let mut r_new_std = Vec::new();
-    let mut r_new_star = Vec::new();
-
-    for k in kernels() {
-        let std_m = measure(Pipeline::Standard, k, repeats);
-        let new_m = measure(Pipeline::New, k, repeats);
-        let star_m = measure(Pipeline::BriggsStar, k, repeats);
-        let ts = std_m.time.as_secs_f64();
-        let tn = new_m.time.as_secs_f64();
-        let tb = star_m.time.as_secs_f64();
-        r_new_std.push(tn / ts.max(1e-12));
-        r_new_star.push(tn / tb.max(1e-12));
-        rows.push((
-            ts,
-            vec![
-                k.name.to_string(),
-                us(std_m.time),
-                us(new_m.time),
-                us(star_m.time),
-                format!("{:.2}", tn / ts.max(1e-12)),
-                format!("{:.2}", tn / tb.max(1e-12)),
-            ],
-        ));
-    }
-
-    // Ten programs that take longest to compile with Standard (the
-    // paper's selection rule), plus the suite average of the ratios.
-    rows.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
-    let mut table =
-        Table::new(&["File", "Standard(us)", "New(us)", "Briggs*(us)", "New/Standard", "New/Briggs*"]);
-    for (_, cells) in rows.iter().take(10) {
-        table.row(cells.clone());
-    }
-    table.row(vec![
-        "AVERAGE".to_string(),
-        String::new(),
-        String::new(),
-        String::new(),
-        format!("{:.2}", geomean(&r_new_std)),
-        format!("{:.2}", geomean(&r_new_star)),
-    ]);
+    let (table, counters) = compare_pipelines(
+        ["Standard(us)", "New(us)", "Briggs*(us)"],
+        repeats,
+        |m| m.time.as_secs_f64(),
+        |m| us(m.time),
+        |m| m.time.as_secs_f64(),
+        Summary::Geomean,
+    );
 
     println!("Table 2: compilation times (SSA build -> rewrite; best of {repeats})\n");
     print!("{}", table.render());
+    println!("\n{}", cache_line(&counters));
     println!(
-        "\npaper: New/Standard ~1.8 (extra analysis), New/Briggs* ~0.33 (3x faster than the \
+        "paper: New/Standard ~1.8 (extra analysis), New/Briggs* ~0.33 (3x faster than the \
          interference-graph coalescer); see EXPERIMENTS.md for the measured comparison"
     );
 }

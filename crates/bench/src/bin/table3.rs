@@ -9,56 +9,24 @@
 //!
 //! Run: `cargo run --release -p fcc-bench --bin table3`
 
-use fcc_bench::{geomean, measure, Pipeline, Table};
-use fcc_workloads::kernels;
+use fcc_bench::{cache_line, compare_pipelines, Summary};
 
 fn main() {
     let repeats = 3;
-    let mut rows: Vec<(f64, Vec<String>)> = Vec::new();
-    let mut r_new_std = Vec::new();
-    let mut r_new_star = Vec::new();
-
-    for k in kernels() {
-        let std_m = measure(Pipeline::Standard, k, repeats);
-        let new_m = measure(Pipeline::New, k, repeats);
-        let star_m = measure(Pipeline::BriggsStar, k, repeats);
-        let (ms, mn, mb) =
-            (std_m.peak_bytes as f64, new_m.peak_bytes as f64, star_m.peak_bytes as f64);
-        r_new_std.push(mn / ms.max(1.0));
-        r_new_star.push(mn / mb.max(1.0));
-        rows.push((
-            ms,
-            vec![
-                k.name.to_string(),
-                std_m.peak_bytes.to_string(),
-                new_m.peak_bytes.to_string(),
-                star_m.peak_bytes.to_string(),
-                format!("{:.2}", mn / ms.max(1.0)),
-                format!("{:.2}", mn / mb.max(1.0)),
-            ],
-        ));
-    }
-
-    rows.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
-    let mut table = Table::new(&[
-        "File", "Standard(B)", "New(B)", "Briggs*(B)", "New/Standard", "New/Briggs*",
-    ]);
-    for (_, cells) in rows.iter().take(10) {
-        table.row(cells.clone());
-    }
-    table.row(vec![
-        "AVERAGE".to_string(),
-        String::new(),
-        String::new(),
-        String::new(),
-        format!("{:.2}", geomean(&r_new_std)),
-        format!("{:.2}", geomean(&r_new_star)),
-    ]);
+    let (table, counters) = compare_pipelines(
+        ["Standard(B)", "New(B)", "Briggs*(B)"],
+        repeats,
+        |m| m.peak_bytes as f64,
+        |m| m.peak_bytes.to_string(),
+        |m| m.peak_bytes as f64,
+        Summary::Geomean,
+    );
 
     println!("Table 3: peak data-structure memory (bytes)\n");
     print!("{}", table.render());
+    println!("\n{}", cache_line(&counters));
     println!(
-        "\npaper: New uses ~1.4x Standard's memory and ~1.21x Briggs*'s; memory alone does not \
+        "paper: New uses ~1.4x Standard's memory and ~1.21x Briggs*'s; memory alone does not \
          determine total running time (cf. Table 2)"
     );
 }

@@ -7,55 +7,23 @@
 //!
 //! Run: `cargo run --release -p fcc-bench --bin table5`
 
-use fcc_bench::{measure, Pipeline, Table};
-use fcc_workloads::kernels;
+use fcc_bench::{cache_line, compare_pipelines, Summary};
 
 fn main() {
-    let mut rows: Vec<(f64, Vec<String>)> = Vec::new();
-    let mut tot_std = 0usize;
-    let mut tot_new = 0usize;
-    let mut tot_star = 0usize;
-
-    for k in kernels() {
-        let std_m = measure(Pipeline::Standard, k, 1);
-        let new_m = measure(Pipeline::New, k, 1);
-        let star_m = measure(Pipeline::BriggsStar, k, 1);
-        tot_std += std_m.static_copies;
-        tot_new += new_m.static_copies;
-        tot_star += star_m.static_copies;
-        rows.push((
-            std_m.dynamic_copies as f64, // same selection rule as Table 4
-            vec![
-                k.name.to_string(),
-                std_m.static_copies.to_string(),
-                new_m.static_copies.to_string(),
-                star_m.static_copies.to_string(),
-                format!("{:.3}", new_m.static_copies as f64 / (std_m.static_copies.max(1)) as f64),
-                format!("{:.3}", new_m.static_copies as f64 / (star_m.static_copies.max(1)) as f64),
-            ],
-        ));
-    }
-
-    rows.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
-    let mut table = Table::new(&[
-        "File", "Standard", "New", "Briggs*", "New/Standard", "New/Briggs*",
-    ]);
-    for (_, cells) in rows.iter().take(10) {
-        table.row(cells.clone());
-    }
-    table.row(vec![
-        "TOTAL".to_string(),
-        tot_std.to_string(),
-        tot_new.to_string(),
-        tot_star.to_string(),
-        format!("{:.3}", tot_new as f64 / tot_std.max(1) as f64),
-        format!("{:.3}", tot_new as f64 / tot_star.max(1) as f64),
-    ]);
+    let (table, counters) = compare_pipelines(
+        ["Standard", "New", "Briggs*"],
+        1,
+        |m| m.static_copies as f64,
+        |m| m.static_copies.to_string(),
+        |m| m.dynamic_copies as f64, // the paper ranks Table 5 by dynamic copies too
+        Summary::Total,
+    );
 
     println!("Table 5: static copies remaining after rewrite\n");
     print!("{}", table.render());
+    println!("\n{}", cache_line(&counters));
     println!(
-        "\npaper: New leaves ~3% more static copies than the interference-graph coalescer on \
+        "paper: New leaves ~3% more static copies than the interference-graph coalescer on \
          average; results vary significantly per kernel (heuristics on both sides)"
     );
 }

@@ -2,10 +2,12 @@
 //!
 //! One binary per table of the paper's evaluation (run with
 //! `cargo run --release -p fcc-bench --bin tableN`), plus a `scaling`
-//! binary for the §3.7 complexity claim and Criterion micro-benchmarks.
+//! binary for the §3.7 complexity claim and plain-`main` micro-benchmarks.
 //!
 //! This library crate holds the shared machinery: the three measured
-//! pipelines, timing/memory bookkeeping, and fixed-width table printing.
+//! pipelines, the [`PipelineReport`] instrumentation layer (per-phase
+//! wall time, peak bytes, and analysis-cache hit/miss counters pulled
+//! from the shared [`AnalysisManager`]), and fixed-width table printing.
 //!
 //! ## The measured pipelines
 //!
@@ -20,28 +22,256 @@
 //! * **Briggs / Briggs\*** — pruned SSA *without* folding, φ-web live
 //!   ranges, then the iterated interference-graph coalescer with the
 //!   full / restricted graph.
+//!
+//! Every pipeline shares one [`AnalysisManager`] across its phases, so
+//! the CFG computed while building SSA is a cache *hit* when the
+//! destruction phase asks for it again — the shape of the paper's §3.7
+//! accounting ("liveness and dominators are assumed available") made
+//! real and measurable.
 
 use std::time::{Duration, Instant};
 
-use fcc_core::{coalesce_ssa, CoalesceStats};
+use fcc_analysis::{AnalysisCounters, AnalysisManager};
+use fcc_core::{coalesce_ssa_managed, CoalesceOptions, CoalesceStats};
 use fcc_ir::Function;
-use fcc_regalloc::{coalesce_copies, destruct_via_webs, BriggsOptions, BriggsStats, GraphMode};
-use fcc_ssa::{build_ssa, destruct_standard, SsaFlavor};
+use fcc_regalloc::{
+    coalesce_copies_managed, destruct_via_webs, BriggsOptions, BriggsStats, GraphMode, WebStats,
+};
+use fcc_ssa::{build_ssa_with, destruct_standard_with, DestructStats, SsaFlavor, SsaStats};
 use fcc_workloads::{compile_kernel, reference_run, Kernel};
 
-/// A measured pipeline run on one kernel.
+// ---------------------------------------------------------------------------
+// PhaseStats — the one interface every per-algorithm stats struct speaks.
+// ---------------------------------------------------------------------------
+
+/// Common surface over the per-algorithm statistics structs
+/// ([`SsaStats`], [`DestructStats`], [`CoalesceStats`], [`WebStats`],
+/// [`BriggsStats`]), so the table binaries and the [`PipelineReport`]
+/// share one reporting path instead of near-duplicate formatting code.
+pub trait PhaseStats {
+    /// Short phase label for report rows.
+    fn label(&self) -> &'static str;
+    /// Wall-clock time the algorithm tracked itself; zero when the
+    /// struct carries no internal timer (the caller times around it).
+    fn wall_time(&self) -> Duration {
+        Duration::ZERO
+    }
+    /// Peak bytes of the algorithm's own data structures.
+    fn peak_bytes(&self) -> usize {
+        0
+    }
+    /// Copy instructions inserted by this phase.
+    fn copies_inserted(&self) -> usize {
+        0
+    }
+    /// Copy instructions removed (folded or coalesced away).
+    fn copies_removed(&self) -> usize {
+        0
+    }
+}
+
+impl PhaseStats for SsaStats {
+    fn label(&self) -> &'static str {
+        "build-ssa"
+    }
+    fn copies_removed(&self) -> usize {
+        self.copies_folded
+    }
+}
+
+impl PhaseStats for DestructStats {
+    fn label(&self) -> &'static str {
+        "destruct-standard"
+    }
+    fn copies_inserted(&self) -> usize {
+        self.copies_inserted
+    }
+}
+
+impl PhaseStats for CoalesceStats {
+    fn label(&self) -> &'static str {
+        "coalesce-new"
+    }
+    fn peak_bytes(&self) -> usize {
+        self.peak_bytes
+    }
+    fn copies_inserted(&self) -> usize {
+        self.copies_inserted
+    }
+}
+
+impl PhaseStats for WebStats {
+    fn label(&self) -> &'static str {
+        "webs"
+    }
+}
+
+impl PhaseStats for BriggsStats {
+    fn label(&self) -> &'static str {
+        "briggs-coalesce"
+    }
+    fn wall_time(&self) -> Duration {
+        self.total_time()
+    }
+    fn peak_bytes(&self) -> usize {
+        self.peak_bytes
+    }
+    fn copies_removed(&self) -> usize {
+        self.copies_removed
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PhaseTimer / PhaseRecord / PipelineReport — the instrumentation layer.
+// ---------------------------------------------------------------------------
+
+/// Wall-time + cache-counter bracket around one pipeline phase.
+///
+/// Snapshot the manager's counters with [`PhaseTimer::start`], run the
+/// phase, then [`PhaseTimer::finish`] (or [`PhaseTimer::finish_with`] to
+/// fold in a [`PhaseStats`]) to get the phase's [`PhaseRecord`].
+pub struct PhaseTimer {
+    label: &'static str,
+    start: Instant,
+    counters: AnalysisCounters,
+}
+
+impl PhaseTimer {
+    /// Start timing a phase named `label`.
+    pub fn start(label: &'static str, am: &AnalysisManager) -> Self {
+        PhaseTimer {
+            label,
+            start: Instant::now(),
+            counters: am.counters(),
+        }
+    }
+
+    /// Close the bracket; the record carries the elapsed time and the
+    /// cache hit/miss delta this phase caused.
+    pub fn finish(self, am: &AnalysisManager) -> PhaseRecord {
+        PhaseRecord {
+            label: self.label,
+            time: self.start.elapsed(),
+            peak_bytes: 0,
+            copies_inserted: 0,
+            copies_removed: 0,
+            counters: am.counters() - self.counters,
+        }
+    }
+
+    /// [`PhaseTimer::finish`], folding in the phase's own statistics.
+    pub fn finish_with(self, am: &AnalysisManager, stats: &dyn PhaseStats) -> PhaseRecord {
+        let mut rec = self.finish(am);
+        rec.peak_bytes = stats.peak_bytes();
+        rec.copies_inserted = stats.copies_inserted();
+        rec.copies_removed = stats.copies_removed();
+        rec
+    }
+}
+
+/// One instrumented pipeline phase.
 #[derive(Clone, Debug)]
-pub struct Measurement {
-    /// Kernel name.
-    pub name: String,
-    /// SSA-build → rewrite wall-clock time (best of `repeats`).
+pub struct PhaseRecord {
+    /// Phase label (e.g. `build-ssa`, `coalesce-new`).
+    pub label: &'static str,
+    /// Wall-clock time of the phase.
     pub time: Duration,
-    /// Peak bytes of the algorithm's data structures.
+    /// Peak bytes of the phase's own data structures.
     pub peak_bytes: usize,
-    /// Copy instructions left in the rewritten code (Table 5).
-    pub static_copies: usize,
-    /// Copy instructions executed on the standard inputs (Table 4).
-    pub dynamic_copies: u64,
+    /// Copy instructions inserted by the phase.
+    pub copies_inserted: usize,
+    /// Copy instructions removed by the phase.
+    pub copies_removed: usize,
+    /// Analysis-cache hits/misses charged to this phase.
+    pub counters: AnalysisCounters,
+}
+
+/// Render per-phase records as a fixed-width table: wall time, peak
+/// bytes, copies in/out, and cache hit/miss counts, with a TOTAL row and
+/// a per-analysis hit/miss breakdown underneath.
+pub fn render_phases(phases: &[PhaseRecord]) -> String {
+    let mut t = Table::new(&[
+        "phase", "time(us)", "peak(B)", "copies+", "copies-", "hits", "misses",
+    ]);
+    let mut total = AnalysisCounters::default();
+    let mut time = Duration::ZERO;
+    for p in phases {
+        t.row(vec![
+            p.label.to_string(),
+            us(p.time),
+            p.peak_bytes.to_string(),
+            p.copies_inserted.to_string(),
+            p.copies_removed.to_string(),
+            p.counters.total_hits().to_string(),
+            p.counters.total_misses().to_string(),
+        ]);
+        total += p.counters;
+        time += p.time;
+    }
+    t.row(vec![
+        "TOTAL".to_string(),
+        us(time),
+        String::new(),
+        String::new(),
+        String::new(),
+        total.total_hits().to_string(),
+        total.total_misses().to_string(),
+    ]);
+    let mut out = t.render();
+    out.push_str("per-analysis hit/miss:");
+    for (name, hits, misses) in total.rows() {
+        out.push_str(&format!(" {name} {hits}/{misses}"));
+    }
+    out.push('\n');
+    out
+}
+
+/// The structured result of [`run_pipeline`]: the rewritten function
+/// plus the per-phase instrumentation.
+#[derive(Clone, Debug)]
+pub struct PipelineReport {
+    /// Which pipeline ran.
+    pub pipeline: Pipeline,
+    /// The rewritten (φ-free) function.
+    pub func: Function,
+    /// One record per phase, in execution order.
+    pub phases: Vec<PhaseRecord>,
+    /// Peak bytes of the algorithm's data structures plus the rewritten
+    /// function — the paper's Table 3 metric.
+    pub peak_bytes: usize,
+    /// Peak bytes held by the shared analysis cache.
+    pub analysis_peak_bytes: usize,
+}
+
+impl PipelineReport {
+    /// Total wall time across phases.
+    pub fn total_time(&self) -> Duration {
+        self.phases.iter().map(|p| p.time).sum()
+    }
+
+    /// Summed analysis-cache counters across phases.
+    pub fn counters(&self) -> AnalysisCounters {
+        let mut total = AnalysisCounters::default();
+        for p in &self.phases {
+            total += p.counters;
+        }
+        total
+    }
+
+    /// Total analysis-cache hits across phases.
+    pub fn cache_hits(&self) -> u64 {
+        self.counters().total_hits()
+    }
+
+    /// Total analysis-cache misses across phases.
+    pub fn cache_misses(&self) -> u64 {
+        self.counters().total_misses()
+    }
+
+    /// Render the per-phase table (see [`render_phases`]).
+    pub fn render(&self) -> String {
+        render_phases(&self.phases)
+    }
 }
 
 /// Which pipeline to measure.
@@ -69,40 +299,92 @@ impl Pipeline {
     }
 }
 
-/// Run `pipeline` on the pre-SSA `func`, returning the rewritten function
-/// and the peak data-structure bytes. Time it yourself around this call.
-pub fn run_pipeline(pipeline: Pipeline, mut func: Function) -> (Function, usize) {
-    match pipeline {
+/// Run `pipeline` on the pre-SSA `func`, sharing one [`AnalysisManager`]
+/// across all phases, and return the instrumented [`PipelineReport`].
+/// Time the whole run yourself around this call if you want the paper's
+/// §4.2 end-to-end number (that avoids charging the instrumentation to
+/// any one phase).
+pub fn run_pipeline(pipeline: Pipeline, mut func: Function) -> PipelineReport {
+    let mut am = AnalysisManager::new();
+    let mut phases = Vec::new();
+    let peak_bytes = match pipeline {
         Pipeline::Standard => {
-            build_ssa(&mut func, SsaFlavor::Pruned, true);
-            destruct_standard(&mut func);
-            let bytes = func.bytes();
-            (func, bytes)
+            let t = PhaseTimer::start("build-ssa", &am);
+            let s = build_ssa_with(&mut func, SsaFlavor::Pruned, true, &mut am);
+            phases.push(t.finish_with(&am, &s));
+            let t = PhaseTimer::start("destruct-standard", &am);
+            let s = destruct_standard_with(&mut func, &mut am);
+            phases.push(t.finish_with(&am, &s));
+            func.bytes()
         }
         Pipeline::New => {
-            build_ssa(&mut func, SsaFlavor::Pruned, true);
-            let stats: CoalesceStats = coalesce_ssa(&mut func);
-            let bytes = stats.peak_bytes + func.bytes();
-            (func, bytes)
+            let t = PhaseTimer::start("build-ssa", &am);
+            let s = build_ssa_with(&mut func, SsaFlavor::Pruned, true, &mut am);
+            phases.push(t.finish_with(&am, &s));
+            let t = PhaseTimer::start("coalesce-new", &am);
+            let s = coalesce_ssa_managed(&mut func, &CoalesceOptions::default(), &mut am);
+            phases.push(t.finish_with(&am, &s));
+            s.peak_bytes + func.bytes()
         }
         Pipeline::Briggs | Pipeline::BriggsStar => {
-            build_ssa(&mut func, SsaFlavor::Pruned, false);
-            destruct_via_webs(&mut func);
+            let t = PhaseTimer::start("build-ssa", &am);
+            let s = build_ssa_with(&mut func, SsaFlavor::Pruned, false, &mut am);
+            phases.push(t.finish_with(&am, &s));
+            let t = PhaseTimer::start("webs", &am);
+            let s = destruct_via_webs(&mut func);
+            phases.push(t.finish_with(&am, &s));
             let mode = if pipeline == Pipeline::Briggs {
                 GraphMode::Full
             } else {
                 GraphMode::Restricted
             };
-            let stats: BriggsStats =
-                coalesce_copies(&mut func, &BriggsOptions { mode, ..Default::default() });
-            let bytes = stats.peak_bytes + func.bytes();
-            (func, bytes)
+            let t = PhaseTimer::start("briggs-coalesce", &am);
+            let s = coalesce_copies_managed(
+                &mut func,
+                &BriggsOptions {
+                    mode,
+                    ..Default::default()
+                },
+                &mut am,
+            );
+            phases.push(t.finish_with(&am, &s));
+            s.peak_bytes + func.bytes()
         }
+    };
+    let analysis_peak_bytes = am.peak_bytes();
+    PipelineReport {
+        pipeline,
+        func,
+        phases,
+        peak_bytes,
+        analysis_peak_bytes,
     }
 }
 
+// ---------------------------------------------------------------------------
+// Measurement — best-of-N timing over a kernel.
+// ---------------------------------------------------------------------------
+
+/// A measured pipeline run on one kernel.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Kernel name.
+    pub name: String,
+    /// SSA-build → rewrite wall-clock time (best of `repeats`).
+    pub time: Duration,
+    /// Peak bytes of the algorithm's data structures.
+    pub peak_bytes: usize,
+    /// Copy instructions left in the rewritten code (Table 5).
+    pub static_copies: usize,
+    /// Copy instructions executed on the standard inputs (Table 4).
+    pub dynamic_copies: u64,
+    /// Analysis-cache hit/miss counters of one run.
+    pub counters: AnalysisCounters,
+}
+
 /// Measure `pipeline` on `kernel`: best-of-`repeats` wall time, peak
-/// bytes, and the static/dynamic copy counts of the final code.
+/// bytes, cache counters, and the static/dynamic copy counts of the
+/// final code.
 ///
 /// # Panics
 /// Panics if the rewritten kernel fails to execute — that would be a
@@ -110,26 +392,27 @@ pub fn run_pipeline(pipeline: Pipeline, mut func: Function) -> (Function, usize)
 pub fn measure(pipeline: Pipeline, kernel: &Kernel, repeats: usize) -> Measurement {
     let base = compile_kernel(kernel);
     let mut best = Duration::MAX;
-    let mut result: Option<(Function, usize)> = None;
+    let mut result: Option<PipelineReport> = None;
     for _ in 0..repeats.max(1) {
         let func = base.clone();
         let t0 = Instant::now();
-        let out = run_pipeline(pipeline, func);
+        let report = run_pipeline(pipeline, func);
         let dt = t0.elapsed();
         if dt < best {
             best = dt;
         }
-        result = Some(out);
+        result = Some(report);
     }
-    let (func, peak_bytes) = result.expect("at least one repeat");
-    let run = reference_run(&func, kernel)
+    let report = result.expect("at least one repeat");
+    let run = reference_run(&report.func, kernel)
         .unwrap_or_else(|e| panic!("{} under {}: {e}", kernel.name, pipeline.label()));
     Measurement {
         name: kernel.name.to_string(),
         time: best,
-        peak_bytes,
-        static_copies: func.static_copy_count(),
+        peak_bytes: report.peak_bytes,
+        static_copies: report.func.static_copy_count(),
         dynamic_copies: run.dynamic_copies,
+        counters: report.counters(),
     }
 }
 
@@ -138,23 +421,150 @@ pub fn measure(pipeline: Pipeline, kernel: &Kernel, repeats: usize) -> Measureme
 pub fn measure_all(kernel: &Kernel, repeats: usize) -> Vec<(Pipeline, Measurement)> {
     let base = compile_kernel(kernel);
     let reference = reference_run(&base, kernel).expect("kernel runs");
-    [Pipeline::Standard, Pipeline::New, Pipeline::Briggs, Pipeline::BriggsStar]
-        .into_iter()
-        .map(|p| {
-            let m = measure(p, kernel, repeats);
-            let (func, _) = run_pipeline(p, base.clone());
-            let out = reference_run(&func, kernel).expect("pipeline output runs");
-            assert_eq!(
-                reference.behavior(),
-                out.behavior(),
-                "{} miscompiled by {}",
-                kernel.name,
-                p.label()
-            );
-            (p, m)
-        })
-        .collect()
+    [
+        Pipeline::Standard,
+        Pipeline::New,
+        Pipeline::Briggs,
+        Pipeline::BriggsStar,
+    ]
+    .into_iter()
+    .map(|p| {
+        let m = measure(p, kernel, repeats);
+        let report = run_pipeline(p, base.clone());
+        let out = reference_run(&report.func, kernel).expect("pipeline output runs");
+        assert_eq!(
+            reference.behavior(),
+            out.behavior(),
+            "{} miscompiled by {}",
+            kernel.name,
+            p.label()
+        );
+        (p, m)
+    })
+    .collect()
 }
+
+// ---------------------------------------------------------------------------
+// Shared comparison path for the table binaries.
+// ---------------------------------------------------------------------------
+
+/// How the last row of a comparison table summarises the suite.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Summary {
+    /// Geometric mean of the per-kernel ratios (tables 2 and 3).
+    Geomean,
+    /// Suite totals with the ratio of totals (tables 4 and 5).
+    Total,
+}
+
+/// The one reporting path shared by the table2–table5 binaries: measure
+/// Standard / New / Briggs\* on every kernel, extract one metric, rank
+/// by the paper's selection rule (largest Standard metric first, ten
+/// rows), and append the AVERAGE/TOTAL summary row.
+///
+/// Returns the rendered table plus the suite-wide analysis-cache
+/// counters (summed over all three pipelines and kernels).
+/// `sort_key`, applied to the **Standard** measurement, implements the
+/// selection rule (e.g. Table 5 ranks by *dynamic* copies while showing
+/// static counts).
+pub fn compare_pipelines(
+    headers: [&str; 3],
+    repeats: usize,
+    value: impl Fn(&Measurement) -> f64,
+    cell: impl Fn(&Measurement) -> String,
+    sort_key: impl Fn(&Measurement) -> f64,
+    summary: Summary,
+) -> (Table, AnalysisCounters) {
+    let ratio_fmt = |r: f64| match summary {
+        Summary::Geomean => format!("{r:.2}"),
+        Summary::Total => format!("{r:.3}"),
+    };
+    let mut rows: Vec<(f64, Vec<String>)> = Vec::new();
+    let mut r_new_std = Vec::new();
+    let mut r_new_star = Vec::new();
+    let (mut tot_std, mut tot_new, mut tot_star) = (0f64, 0f64, 0f64);
+    let mut counters = AnalysisCounters::default();
+
+    for k in fcc_workloads::kernels() {
+        let std_m = measure(Pipeline::Standard, k, repeats);
+        let new_m = measure(Pipeline::New, k, repeats);
+        let star_m = measure(Pipeline::BriggsStar, k, repeats);
+        let (vs, vn, vb) = (value(&std_m), value(&new_m), value(&star_m));
+        r_new_std.push(vn / vs.max(1e-12));
+        r_new_star.push(vn / vb.max(1e-12));
+        tot_std += vs;
+        tot_new += vn;
+        tot_star += vb;
+        for m in [&std_m, &new_m, &star_m] {
+            counters += m.counters;
+        }
+        rows.push((
+            sort_key(&std_m),
+            vec![
+                k.name.to_string(),
+                cell(&std_m),
+                cell(&new_m),
+                cell(&star_m),
+                ratio_fmt(vn / vs.max(1e-12)),
+                ratio_fmt(vn / vb.max(1e-12)),
+            ],
+        ));
+    }
+
+    // The paper lists the ten largest kernels under its selection rule.
+    rows.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    let mut table = Table::new(&[
+        "File",
+        headers[0],
+        headers[1],
+        headers[2],
+        "New/Standard",
+        "New/Briggs*",
+    ]);
+    for (_, cells) in rows.iter().take(10) {
+        table.row(cells.clone());
+    }
+    match summary {
+        Summary::Geomean => table.row(vec![
+            "AVERAGE".to_string(),
+            String::new(),
+            String::new(),
+            String::new(),
+            ratio_fmt(geomean(&r_new_std)),
+            ratio_fmt(geomean(&r_new_star)),
+        ]),
+        Summary::Total => table.row(vec![
+            "TOTAL".to_string(),
+            format!("{}", tot_std as u64),
+            format!("{}", tot_new as u64),
+            format!("{}", tot_star as u64),
+            ratio_fmt(tot_new / tot_std.max(1e-12)),
+            ratio_fmt(tot_new / tot_star.max(1e-12)),
+        ]),
+    }
+    (table, counters)
+}
+
+/// One-line suite-wide cache summary for the table binaries' footers.
+pub fn cache_line(counters: &AnalysisCounters) -> String {
+    let mut s = format!(
+        "analysis cache: {} hits / {} misses (",
+        counters.total_hits(),
+        counters.total_misses()
+    );
+    for (i, (name, hits, misses)) in counters.rows().iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!("{name} {hits}/{misses}"));
+    }
+    s.push(')');
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Table rendering + numeric helpers.
+// ---------------------------------------------------------------------------
 
 /// Fixed-width table printer.
 pub struct Table {
@@ -165,7 +575,10 @@ pub struct Table {
 impl Table {
     /// Start a table with the given column headers.
     pub fn new(headers: &[&str]) -> Self {
-        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (stringified cells).
@@ -248,7 +661,44 @@ mod tests {
         // Standard inserts the most copies; New must beat it.
         let by = |p: Pipeline| ms.iter().find(|(q, _)| *q == p).unwrap().1.clone();
         assert!(by(Pipeline::New).static_copies <= by(Pipeline::Standard).static_copies);
-        assert_eq!(by(Pipeline::Briggs).static_copies, by(Pipeline::BriggsStar).static_copies);
+        assert_eq!(
+            by(Pipeline::Briggs).static_copies,
+            by(Pipeline::BriggsStar).static_copies
+        );
+    }
+
+    #[test]
+    fn reports_show_cache_hits() {
+        // Sharing one manager across the build/destruct phases must
+        // produce structural cache hits on every pipeline (e.g. the
+        // domtree query re-using the CFG computed for liveness).
+        let k = kernel("saxpy").unwrap();
+        for p in [
+            Pipeline::Standard,
+            Pipeline::New,
+            Pipeline::Briggs,
+            Pipeline::BriggsStar,
+        ] {
+            let report = run_pipeline(p, compile_kernel(k));
+            assert!(
+                report.cache_hits() > 0,
+                "{} pipeline reported no analysis-cache hits",
+                p.label()
+            );
+            assert!(report.analysis_peak_bytes > 0);
+            let rendered = report.render();
+            assert!(rendered.contains("TOTAL"));
+            assert!(rendered.contains("per-analysis hit/miss:"));
+        }
+    }
+
+    #[test]
+    fn phase_records_cover_every_phase() {
+        let k = kernel("saxpy").unwrap();
+        let report = run_pipeline(Pipeline::BriggsStar, compile_kernel(k));
+        let labels: Vec<&str> = report.phases.iter().map(|p| p.label).collect();
+        assert_eq!(labels, ["build-ssa", "webs", "briggs-coalesce"]);
+        assert!(report.total_time() > Duration::ZERO);
     }
 
     #[test]
@@ -259,7 +709,7 @@ mod tests {
         let s = t.render();
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4);
-        assert_eq!(lines[1].chars().all(|c| c == '-'), true);
+        assert!(lines[1].chars().all(|c| c == '-'));
         assert!(lines[2].starts_with("x     "));
     }
 

@@ -43,9 +43,9 @@
 
 use std::collections::HashMap;
 
-use fcc_analysis::{DomTree, Liveness, LoopNesting, UnionFind};
+use fcc_analysis::{AnalysisManager, DomTree, Liveness, LoopNesting, UnionFind};
 use fcc_ir::{Block, ControlFlowGraph, Function, Inst, InstKind, Value};
-use fcc_ssa::edges::split_critical_edges;
+use fcc_ssa::edges::split_critical_edges_with;
 use fcc_ssa::parcopy::sequentialize;
 
 use crate::dforest::DominanceForest;
@@ -191,15 +191,33 @@ impl Ctx<'_> {
 /// (checked exhaustively by the integration suite against the φ-aware
 /// reference interpreter).
 pub fn coalesce_ssa_with(func: &mut Function, opts: &CoalesceOptions) -> CoalesceStats {
-    let mut stats = CoalesceStats::default();
-    stats.edges_split = split_critical_edges(func);
+    coalesce_ssa_managed(func, opts, &mut AnalysisManager::new())
+}
 
-    let cfg = ControlFlowGraph::compute(func);
-    let dt = DomTree::compute(func, &cfg);
+/// [`coalesce_ssa_with`], pulling every supporting analysis from a shared
+/// [`AnalysisManager`] — cache hits whenever the caller's pipeline
+/// already computed them for the unmodified function.
+pub fn coalesce_ssa_managed(
+    func: &mut Function,
+    opts: &CoalesceOptions,
+    am: &mut AnalysisManager,
+) -> CoalesceStats {
+    let stats = CoalesceStats {
+        edges_split: split_critical_edges_with(func, am),
+        ..Default::default()
+    };
+
+    let cfg = am.cfg(func);
+    let dt = am.domtree(func);
     // Sparse per-variable liveness: the input is SSA, so the fast
     // algorithm applies (identical sets to the dataflow version).
-    let live = Liveness::compute_ssa(func, &cfg);
-    coalesce_prepared(func, &cfg, &dt, &live, opts, stats)
+    let live = am.liveness_ssa(func);
+    // Loop nesting is only consulted by the edge-cut strategy's weights.
+    let loops = match opts.split_strategy {
+        SplitStrategy::EdgeCut => Some(am.loops(func)),
+        SplitStrategy::RemoveMember => None,
+    };
+    coalesce_prepared(func, &cfg, &dt, &live, loops.as_deref(), opts, stats)
 }
 
 /// The conversion proper, with the supporting analyses supplied by the
@@ -209,13 +227,15 @@ pub fn coalesce_ssa_with(func: &mut Function, opts: &CoalesceOptions) -> Coalesc
 /// liveness and dominators are assumed, as in the paper).
 ///
 /// Requirements: critical edges already split, and `cfg`/`dt`/`live`
-/// computed for the *current* `func`. [`coalesce_ssa_with`] wraps this
-/// with the right preparation.
+/// computed for the *current* `func`. `loops` is consulted only by the
+/// edge-cut strategy; pass `None` to have it computed on demand.
+/// [`coalesce_ssa_managed`] wraps this with the right preparation.
 pub fn coalesce_prepared(
     func: &mut Function,
     cfg: &ControlFlowGraph,
     dt: &DomTree,
     live: &Liveness,
+    loops: Option<&LoopNesting>,
     opts: &CoalesceOptions,
     mut stats: CoalesceStats,
 ) -> CoalesceStats {
@@ -274,7 +294,9 @@ pub fn coalesce_prepared(
             }
             let data = func.inst(phi);
             let p = data.dst.expect("phi defines");
-            let InstKind::Phi { args } = &data.kind else { unreachable!() };
+            let InstKind::Phi { args } = &data.kind else {
+                unreachable!()
+            };
             // Defining blocks of arguments admitted to this φ's union
             // (test 5).
             let mut admitted_blocks: Vec<Block> = Vec::new();
@@ -321,7 +343,8 @@ pub fn coalesce_prepared(
     // its class (identity for singletons and split-off members).
     let mut name: Vec<Value> = (0..n).map(Value::new).collect();
 
-    let mut loops: Option<LoopNesting> = None;
+    // Fallback loop nesting for direct callers that passed `None`.
+    let mut loops_owned: Option<LoopNesting> = None;
     let mut ctx = Ctx {
         func,
         dt,
@@ -348,9 +371,11 @@ pub fn coalesce_prepared(
                 resolve_by_removal(&mut ctx, &members, opts.split_heuristic, &mut forest_bytes)
             }
             SplitStrategy::EdgeCut => {
-                let loops = loops
-                    .get_or_insert_with(|| LoopNesting::compute(cfg, dt));
-                resolve_by_cutting(&mut ctx, &members, loops, &phis, &mut forest_bytes)
+                let lp: &LoopNesting = match loops {
+                    Some(l) => l,
+                    None => loops_owned.get_or_insert_with(|| LoopNesting::compute(cfg, dt)),
+                };
+                resolve_by_cutting(&mut ctx, &members, lp, &phis, &mut forest_bytes)
             }
         };
         for part in final_parts {
@@ -380,7 +405,9 @@ pub fn coalesce_prepared(
             continue; // dead φ: no moves needed
         }
         let pn = name[p.index()];
-        let InstKind::Phi { args } = &data.kind else { unreachable!() };
+        let InstKind::Phi { args } = &data.kind else {
+            unreachable!()
+        };
         for arg in args {
             let an = name[arg.value.index()];
             if an != pn {
@@ -482,7 +509,15 @@ fn resolve_by_removal(
 
         let local = p.block == c.block || !ctx.live.is_live_out(p.value, c.block);
         if ctx.edge_interferes(p.value, p.block, c.block, c.def_pos) {
-            let victim = pick_victim(heuristic, ctx.phi_degree, nodes, p_idx, idx, &removed, ctx.live);
+            let victim = pick_victim(
+                heuristic,
+                ctx.phi_degree,
+                nodes,
+                p_idx,
+                idx,
+                &removed,
+                ctx.live,
+            );
             removed.insert(victim, true);
             if local {
                 ctx.stats.local_splits += 1;
@@ -495,7 +530,13 @@ fn resolve_by_removal(
 
     let survivors: Vec<Value> = members.iter().copied().filter(|v| !removed[v]).collect();
     let mut parts = vec![survivors];
-    parts.extend(members.iter().copied().filter(|v| removed[v]).map(|v| vec![v]));
+    parts.extend(
+        members
+            .iter()
+            .copied()
+            .filter(|v| removed[v])
+            .map(|v| vec![v]),
+    );
     parts
 }
 
@@ -533,8 +574,7 @@ fn resolve_by_cutting(
                         for a in args {
                             if let Some(&ai) = index.get(&a.value) {
                                 if ai != di {
-                                    let w = 10u64
-                                        .saturating_pow(loops.depth(a.pred).min(6));
+                                    let w = 10u64.saturating_pow(loops.depth(a.pred).min(6));
                                     edges.push((di, ai, w));
                                 }
                             }
@@ -609,9 +649,7 @@ fn pick_victim(
                     && nodes[other].block != p.block
                     && live.is_live_out(p.value, nodes[other].block)
             });
-            if !p_hits_other_children
-                && phi_degree[c.value.index()] < phi_degree[p.value.index()]
-            {
+            if !p_hits_other_children && phi_degree[c.value.index()] < phi_degree[p.value.index()] {
                 c.value
             } else {
                 p.value

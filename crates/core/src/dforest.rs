@@ -85,7 +85,13 @@ impl DominanceForest {
             }
             let parent = stack.last().copied();
             let idx = nodes.len();
-            nodes.push(DfNode { value, block, def_pos, parent, children: Vec::new() });
+            nodes.push(DfNode {
+                value,
+                block,
+                def_pos,
+                parent,
+                children: Vec::new(),
+            });
             if let Some(p) = parent {
                 nodes[p].children.push(idx);
             }
@@ -112,13 +118,21 @@ impl DominanceForest {
 
     /// Indices of the root nodes.
     pub fn roots(&self) -> impl Iterator<Item = usize> + '_ {
-        self.nodes.iter().enumerate().filter(|(_, n)| n.parent.is_none()).map(|(i, _)| i)
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.parent.is_none())
+            .map(|(i, _)| i)
     }
 
     /// Approximate heap bytes used.
     pub fn bytes(&self) -> usize {
         self.nodes.capacity() * std::mem::size_of::<DfNode>()
-            + self.nodes.iter().map(|n| n.children.capacity() * 8).sum::<usize>()
+            + self
+                .nodes
+                .iter()
+                .map(|n| n.children.capacity() * 8)
+                .sum::<usize>()
     }
 }
 
@@ -197,23 +211,23 @@ mod tests {
 
     /// Naive O(n²) reference: parent of v = the member whose block is the
     /// *nearest* strict dominator (or earlier same-block definition).
-    fn naive_parent(
-        members: &[(Value, Block, u32)],
-        i: usize,
-        dt: &DomTree,
-    ) -> Option<Value> {
+    fn naive_parent(members: &[(Value, Block, u32)], i: usize, dt: &DomTree) -> Option<Value> {
         let (_, bi, pi) = members[i];
         let mut best: Option<(usize, u32, u32)> = None; // (idx, preorder, pos)
         for (j, &(_, bj, pj)) in members.iter().enumerate() {
             if j == i {
                 continue;
             }
-            let dominates = if bj == bi { pj < pi } else { dt.strictly_dominates(bj, bi) };
+            let dominates = if bj == bi {
+                pj < pi
+            } else {
+                dt.strictly_dominates(bj, bi)
+            };
             if !dominates {
                 continue;
             }
             let key = (dt.preorder(bj), pj);
-            if best.map_or(true, |(_, bp, bpos)| key > (bp, bpos)) {
+            if best.is_none_or(|(_, bp, bpos)| key > (bp, bpos)) {
                 best = Some((j, key.0, key.1));
             }
         }
@@ -296,7 +310,10 @@ mod tests {
     #[test]
     fn mixed_same_block_and_dominance() {
         let (_, dt) = dt_for(TREE);
-        check_against_naive(&[(0, 0, 0), (1, 1, 1), (2, 1, 4), (3, 2, 0), (4, 4, 0)], &dt);
+        check_against_naive(
+            &[(0, 0, 0), (1, 1, 1), (2, 1, 4), (3, 2, 0), (4, 4, 0)],
+            &dt,
+        );
     }
 
     #[test]
@@ -311,31 +328,43 @@ mod tests {
 
     #[test]
     fn radix_sort_sorts() {
-        let mut v: Vec<(u64, usize)> =
-            vec![(5, 0), (1, 1), (1 << 40, 2), (0, 3), (u32::MAX as u64, 4), (5, 5)];
+        let mut v: Vec<(u64, usize)> = vec![
+            (5, 0),
+            (1, 1),
+            (1 << 40, 2),
+            (0, 3),
+            (u32::MAX as u64, 4),
+            (5, 5),
+        ];
         radix_sort_by_key(&mut v);
         let keys: Vec<u64> = v.iter().map(|&(k, _)| k).collect();
         let mut expect = keys.clone();
         expect.sort_unstable();
         assert_eq!(keys, expect);
         // Stability: equal keys keep input order.
-        let fives: Vec<usize> = v.iter().filter(|&&(k, _)| k == 5).map(|&(_, p)| p).collect();
+        let fives: Vec<usize> = v
+            .iter()
+            .filter(|&&(k, _)| k == 5)
+            .map(|&(_, p)| p)
+            .collect();
         assert_eq!(fives, vec![0, 5]);
     }
 
     #[test]
     fn radix_sort_random_cross_check() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut rng = fcc_workloads::SplitMix64::seed_from_u64(42);
         for _ in 0..20 {
-            let n = rng.gen_range(0..200);
-            let mut v: Vec<(u64, usize)> =
-                (0..n).map(|i| (rng.gen::<u64>() >> rng.gen_range(0..64), i)).collect();
+            let n = rng.gen_range(0usize..200);
+            let mut v: Vec<(u64, usize)> = (0..n)
+                .map(|i| (rng.next_u64() >> rng.gen_range(0u32..64), i))
+                .collect();
             let mut expect = v.clone();
             expect.sort_by_key(|&(k, _)| k);
             radix_sort_by_key(&mut v);
-            assert_eq!(v.iter().map(|p| p.0).collect::<Vec<_>>(),
-                       expect.iter().map(|p| p.0).collect::<Vec<_>>());
+            assert_eq!(
+                v.iter().map(|p| p.0).collect::<Vec<_>>(),
+                expect.iter().map(|p| p.0).collect::<Vec<_>>()
+            );
         }
     }
 }

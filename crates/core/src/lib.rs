@@ -54,8 +54,8 @@ pub mod dforest;
 pub mod mincut;
 
 pub use coalesce::{
-    coalesce_prepared, coalesce_ssa, coalesce_ssa_with, CoalesceOptions, CoalesceStats,
-    SplitHeuristic, SplitStrategy,
+    coalesce_prepared, coalesce_ssa, coalesce_ssa_managed, coalesce_ssa_with, CoalesceOptions,
+    CoalesceStats, SplitHeuristic, SplitStrategy,
 };
 pub use dforest::{DfNode, DominanceForest};
 
@@ -312,13 +312,19 @@ mod tests {
         let (std_copies, std_ret) = run_pipeline(false);
         assert_eq!(new_ret, std_ret);
         assert_eq!(new_ret, Some(15)); // sum 0..5
-        assert!(new_copies <= std_copies, "new {new_copies} <= std {std_copies}");
+        assert!(
+            new_copies <= std_copies,
+            "new {new_copies} <= std {std_copies}"
+        );
         assert_eq!(new_copies, 0, "the accumulator web is interference-free");
     }
 
     #[test]
     fn filters_off_still_correct() {
-        let opts = CoalesceOptions { early_filters: false, ..Default::default() };
+        let opts = CoalesceOptions {
+            early_filters: false,
+            ..Default::default()
+        };
         for src in [VIRTUAL_SWAP, SWAP_LOOP] {
             for arg in [0i64, 1, 3] {
                 let mut f = parse_function(src).unwrap();
@@ -333,8 +339,15 @@ mod tests {
 
     #[test]
     fn all_split_heuristics_correct() {
-        for h in [SplitHeuristic::CopyCost, SplitHeuristic::AlwaysChild, SplitHeuristic::AlwaysParent] {
-            let opts = CoalesceOptions { split_heuristic: h, ..Default::default() };
+        for h in [
+            SplitHeuristic::CopyCost,
+            SplitHeuristic::AlwaysChild,
+            SplitHeuristic::AlwaysParent,
+        ] {
+            let opts = CoalesceOptions {
+                split_heuristic: h,
+                ..Default::default()
+            };
             for arg in [0i64, 2, 5] {
                 let mut f = parse_function(SWAP_LOOP).unwrap();
                 let reference = fcc_interp::run(&f, &[arg]).unwrap();
@@ -365,10 +378,15 @@ mod tests {
     fn stats_report_no_interference_graph_scale_memory() {
         // peak_bytes must scale roughly linearly, not quadratically: build
         // a long chain of blocks each defining a value into one φ-web.
-        let mut text = String::from("function @chain(1) {\nb0:\n v0 = param 0\n v1 = const 0\n jump b1\n");
+        let mut text =
+            String::from("function @chain(1) {\nb0:\n v0 = param 0\n v1 = const 0\n jump b1\n");
         let n = 50;
         for i in 1..n {
-            text.push_str(&format!("b{i}:\n v{} = add v1, v0\n jump b{}\n", i + 1, i + 1));
+            text.push_str(&format!(
+                "b{i}:\n v{} = add v1, v0\n jump b{}\n",
+                i + 1,
+                i + 1
+            ));
         }
         text.push_str(&format!("b{n}:\n return v{n}\n}}\n"));
         let mut f = parse_function(&text).unwrap();
@@ -376,6 +394,10 @@ mod tests {
         // Universe ~n values, ~n blocks: generous linear bound with a
         // fat constant, far below the n²/2-bit matrix a Chaitin coalescer
         // would clear.
-        assert!(stats.peak_bytes < 200_000, "peak {} bytes", stats.peak_bytes);
+        assert!(
+            stats.peak_bytes < 200_000,
+            "peak {} bytes",
+            stats.peak_bytes
+        );
     }
 }

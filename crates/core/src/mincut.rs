@@ -143,8 +143,11 @@ mod tests {
             (3, 4, 1),
         ];
         let (w, side) = min_cut(5, &edges, 0, 4);
-        let crossing: u64 =
-            edges.iter().filter(|&&(u, v, _)| side[u] != side[v]).map(|&(_, _, w)| w).sum();
+        let crossing: u64 = edges
+            .iter()
+            .filter(|&&(u, v, _)| side[u] != side[v])
+            .map(|&(_, _, w)| w)
+            .sum();
         assert_eq!(w, crossing);
     }
 

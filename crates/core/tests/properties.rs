@@ -1,18 +1,19 @@
 //! Property tests for the dominance forest and the coalescer on random
 //! control flow.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use fcc_analysis::DomTree;
-use fcc_core::{coalesce_ssa, coalesce_ssa_with, CoalesceOptions, DominanceForest, SplitHeuristic, SplitStrategy};
+use fcc_core::{
+    coalesce_ssa, coalesce_ssa_with, CoalesceOptions, DominanceForest, SplitHeuristic,
+    SplitStrategy,
+};
 use fcc_ir::{Block, ControlFlowGraph, Function, InstKind, Value};
 use fcc_ssa::{build_ssa, verify_ssa, SsaFlavor};
+use fcc_workloads::SplitMix64;
 
 /// Random function with arbitrary control flow; same scheme as the SSA
 /// property tests (forward-biased so most seeds terminate).
 fn random_function(seed: u64, n_blocks: usize, n_vals: usize) -> Function {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut f = Function::new(format!("r{seed}"));
     let blocks: Vec<Block> = (0..n_blocks).map(|_| f.add_block()).collect();
     for _ in 0..n_vals {
@@ -23,7 +24,13 @@ fn random_function(seed: u64, n_blocks: usize, n_vals: usize) -> Function {
             let dst = Value::new(rng.gen_range(0..n_vals));
             match rng.gen_range(0..3) {
                 0 => {
-                    f.append_inst(b, InstKind::Const { imm: rng.gen_range(-9..9) }, Some(dst));
+                    f.append_inst(
+                        b,
+                        InstKind::Const {
+                            imm: rng.gen_range(-9i64..9),
+                        },
+                        Some(dst),
+                    );
                 }
                 1 => {
                     let src = Value::new(rng.gen_range(0..n_vals));
@@ -34,7 +41,11 @@ fn random_function(seed: u64, n_blocks: usize, n_vals: usize) -> Function {
                     let c = Value::new(rng.gen_range(0..n_vals));
                     f.append_inst(
                         b,
-                        InstKind::Binary { op: fcc_ir::BinOp::Add, a, b: c },
+                        InstKind::Binary {
+                            op: fcc_ir::BinOp::Add,
+                            a,
+                            b: c,
+                        },
                         Some(dst),
                     );
                 }
@@ -53,7 +64,15 @@ fn random_function(seed: u64, n_blocks: usize, n_vals: usize) -> Function {
             let cond = Value::new(rng.gen_range(0..n_vals));
             let t = blocks[rng.gen_range(1..n_blocks)];
             let e = blocks[rng.gen_range((bi + 1).max(1).min(n_blocks - 1)..n_blocks)];
-            f.append_inst(b, InstKind::Branch { cond, then_dst: t, else_dst: e }, None);
+            f.append_inst(
+                b,
+                InstKind::Branch {
+                    cond,
+                    then_dst: t,
+                    else_dst: e,
+                },
+                None,
+            );
         }
     }
     f
@@ -76,12 +95,16 @@ fn naive_parent(members: &[(Value, Block, u32)], i: usize, dt: &DomTree) -> Opti
         if j == i {
             continue;
         }
-        let dominates = if bj == bi { pj < pi } else { dt.strictly_dominates(bj, bi) };
+        let dominates = if bj == bi {
+            pj < pi
+        } else {
+            dt.strictly_dominates(bj, bi)
+        };
         if !dominates {
             continue;
         }
         let key = (dt.preorder(bj), pj);
-        if best.map_or(true, |(_, bk)| key > bk) {
+        if best.is_none_or(|(_, bk)| key > bk) {
             best = Some((j, key));
         }
     }
@@ -90,7 +113,7 @@ fn naive_parent(members: &[(Value, Block, u32)], i: usize, dt: &DomTree) -> Opti
 
 #[test]
 fn dominance_forest_matches_naive_on_random_cfgs() {
-    let mut rng = StdRng::seed_from_u64(99);
+    let mut rng = SplitMix64::seed_from_u64(99);
     for seed in 0..150u64 {
         let f = random_function(seed, 4 + (seed as usize % 8), 4);
         let cfg = ControlFlowGraph::compute(&f);
@@ -115,7 +138,10 @@ fn dominance_forest_matches_naive_on_random_cfgs() {
             let df = DominanceForest::build(&members, &dt);
             assert_eq!(df.len(), members.len());
             for node in df.nodes() {
-                let i = members.iter().position(|&(v, _, _)| v == node.value).unwrap();
+                let i = members
+                    .iter()
+                    .position(|&(v, _, _)| v == node.value)
+                    .unwrap();
                 let expect = naive_parent(&members, i, &dt);
                 let got = node.parent.map(|p| df.nodes()[p].value);
                 assert_eq!(got, expect, "seed {seed}, members {members:?}");
@@ -136,10 +162,22 @@ fn dominance_forest_matches_naive_on_random_cfgs() {
 fn coalescer_preserves_random_functions_all_heuristics() {
     let opts = [
         CoalesceOptions::default(),
-        CoalesceOptions { early_filters: false, ..Default::default() },
-        CoalesceOptions { split_heuristic: SplitHeuristic::AlwaysChild, ..Default::default() },
-        CoalesceOptions { split_heuristic: SplitHeuristic::AlwaysParent, ..Default::default() },
-        CoalesceOptions { split_strategy: SplitStrategy::EdgeCut, ..Default::default() },
+        CoalesceOptions {
+            early_filters: false,
+            ..Default::default()
+        },
+        CoalesceOptions {
+            split_heuristic: SplitHeuristic::AlwaysChild,
+            ..Default::default()
+        },
+        CoalesceOptions {
+            split_heuristic: SplitHeuristic::AlwaysParent,
+            ..Default::default()
+        },
+        CoalesceOptions {
+            split_strategy: SplitStrategy::EdgeCut,
+            ..Default::default()
+        },
         CoalesceOptions {
             split_strategy: SplitStrategy::EdgeCut,
             early_filters: false,
@@ -149,7 +187,9 @@ fn coalescer_preserves_random_functions_all_heuristics() {
     let mut checked = 0;
     for seed in 0..350u64 {
         let base = random_function(seed, 3 + (seed as usize % 8), 6);
-        let Some(reference) = bounded_run(&base) else { continue };
+        let Some(reference) = bounded_run(&base) else {
+            continue;
+        };
         let mut ssa = base.clone();
         build_ssa(&mut ssa, SsaFlavor::Pruned, true);
         verify_ssa(&ssa).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
@@ -160,7 +200,10 @@ fn coalescer_preserves_random_functions_all_heuristics() {
             fcc_ir::verify::verify_function(&f)
                 .unwrap_or_else(|e| panic!("seed {seed} opt {oi}: {e}"));
             let out = bounded_run(&f).expect("same termination");
-            assert_eq!(reference, out, "seed {seed} opt {oi}: miscompiled\n{ssa}\n=>\n{f}");
+            assert_eq!(
+                reference, out,
+                "seed {seed} opt {oi}: miscompiled\n{ssa}\n=>\n{f}"
+            );
         }
         checked += 1;
     }
@@ -175,7 +218,7 @@ fn coalescer_output_never_repeats_a_phi_or_breaks_structure() {
         build_ssa(&mut f, SsaFlavor::Pruned, true);
         let stats = coalesce_ssa(&mut f);
         assert!(!f.has_phis(), "seed {seed}");
-        assert_eq!(stats.phis_removed > 0 || stats.copies_inserted == 0, true);
+        assert!(stats.phis_removed > 0 || stats.copies_inserted == 0);
         fcc_ir::verify::verify_function(&f).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
     }
 }
@@ -187,7 +230,9 @@ fn minimal_ssa_coalesces_correctly_too() {
     let mut checked = 0;
     for seed in 600..720u64 {
         let base = random_function(seed, 5, 5);
-        let Some(reference) = bounded_run(&base) else { continue };
+        let Some(reference) = bounded_run(&base) else {
+            continue;
+        };
         for flavor in [SsaFlavor::Minimal, SsaFlavor::SemiPruned] {
             let mut f = base.clone();
             build_ssa(&mut f, flavor, true);

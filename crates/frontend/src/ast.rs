@@ -29,14 +29,23 @@ pub enum Stmt {
     /// `mem[a] = e;` — store to the flat memory.
     Store { addr: Expr, value: Expr },
     /// `if e { .. } else { .. }`.
-    If { cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt> },
+    If {
+        cond: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+    },
     /// `while e { .. }`.
     While { cond: Expr, body: Vec<Stmt> },
     /// `for i = a to b { .. }` — iterates `i` from `a` while `i < b`,
     /// incrementing by one. Unlike Fortran DO loops, the bound `b` is
     /// **re-evaluated every iteration** (it lowers to a `while`); a body
     /// that reassigns variables used in `b` changes the trip count.
-    For { var: String, from: Expr, to: Expr, body: Vec<Stmt> },
+    For {
+        var: String,
+        from: Expr,
+        to: Expr,
+        body: Vec<Stmt>,
+    },
     /// `return e;` or `return;`.
     Return { value: Option<Expr> },
 }
@@ -53,7 +62,11 @@ pub enum Expr {
     /// Unary operation.
     Unary { op: UnOp, expr: Box<Expr> },
     /// Binary operation.
-    Binary { op: Op, lhs: Box<Expr>, rhs: Box<Expr> },
+    Binary {
+        op: Op,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
 }
 
 /// Unary operators.

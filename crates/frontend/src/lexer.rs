@@ -87,24 +87,40 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             {
                 i += 1;
             }
-            toks.push(Token { kind: TokenKind::Ident(src[start..i].to_string()), line });
+            toks.push(Token {
+                kind: TokenKind::Ident(src[start..i].to_string()),
+                line,
+            });
         } else if c.is_ascii_digit() {
             let start = i;
             while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
                 i += 1;
             }
-            let n: i64 = src[start..i]
-                .parse()
-                .map_err(|e| LexError { line, message: format!("bad number: {e}") })?;
-            toks.push(Token { kind: TokenKind::Num(n), line });
+            let n: i64 = src[start..i].parse().map_err(|e| LexError {
+                line,
+                message: format!("bad number: {e}"),
+            })?;
+            toks.push(Token {
+                kind: TokenKind::Num(n),
+                line,
+            });
         } else if let Some(&p) = PUNCTS.iter().find(|&&p| src[i..].starts_with(p)) {
-            toks.push(Token { kind: TokenKind::Punct(p), line });
+            toks.push(Token {
+                kind: TokenKind::Punct(p),
+                line,
+            });
             i += p.len();
         } else {
-            return Err(LexError { line, message: format!("unexpected character {c:?}") });
+            return Err(LexError {
+                line,
+                message: format!("unexpected character {c:?}"),
+            });
         }
     }
-    toks.push(Token { kind: TokenKind::Eof, line });
+    toks.push(Token {
+        kind: TokenKind::Eof,
+        line,
+    });
     Ok(toks)
 }
 
@@ -140,7 +156,11 @@ mod tests {
         let k = kinds("x // whole line\n# another\ny");
         assert_eq!(
             k,
-            vec![TokenKind::Ident("x".into()), TokenKind::Ident("y".into()), TokenKind::Eof]
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Ident("y".into()),
+                TokenKind::Eof
+            ]
         );
     }
 

@@ -67,7 +67,12 @@ pub fn lower_program_with(prog: &Program, opts: &LowerOptions) -> Result<Functio
     let entry = b.create_block();
     b.switch_to(entry);
 
-    let mut ctx = Lower { b, vars: HashMap::new(), opts: *opts, terminated: false };
+    let mut ctx = Lower {
+        b,
+        vars: HashMap::new(),
+        opts: *opts,
+        terminated: false,
+    };
     // Home each parameter into its variable register through a copy —
     // exactly what a simple call-convention lowering does.
     for (i, p) in prog.params.iter().enumerate() {
@@ -177,7 +182,11 @@ impl Lower {
                 self.terminated = true;
                 Ok(())
             }
-            Stmt::If { cond, then_body, else_body } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 let c = self.expr(cond)?;
                 let then_blk = self.b.create_block();
                 let else_blk = self.b.create_block();
@@ -223,7 +232,12 @@ impl Lower {
                 self.terminated = false;
                 Ok(())
             }
-            Stmt::For { var, from, to, body } => {
+            Stmt::For {
+                var,
+                from,
+                to,
+                body,
+            } => {
                 // i = from; while (i < to) { body; i = i + 1; }
                 self.assign(var, from)?;
                 let slot = self.var_slot(var);
@@ -403,7 +417,7 @@ mod tests {
             for i = 0 to n { s = s + mem[i]; }
             return s;
         }";
-        assert_eq!(run(src, &[5]), Some(0 + 1 + 4 + 9 + 16));
+        assert_eq!(run(src, &[5]), Some(1 + 4 + 9 + 16));
     }
 
     #[test]
@@ -451,7 +465,13 @@ mod tests {
         let src = "fn f(n) { let s = 0; for i = 0 to n { s = s + i; } return s; }";
         let prog = parse_program(src).unwrap();
         let naive = lower_program_with(&prog, &LowerOptions { naive_assign: true }).unwrap();
-        let opt = lower_program_with(&prog, &LowerOptions { naive_assign: false }).unwrap();
+        let opt = lower_program_with(
+            &prog,
+            &LowerOptions {
+                naive_assign: false,
+            },
+        )
+        .unwrap();
         verify_function(&opt).unwrap();
         assert!(opt.static_copy_count() < naive.static_copy_count());
         let a = fcc_interp::run(&naive, &[7]).unwrap().ret;

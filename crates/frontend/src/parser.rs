@@ -24,7 +24,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { line: e.line, message: e.message }
+        ParseError {
+            line: e.line,
+            message: e.message,
+        }
     }
 }
 
@@ -67,7 +70,10 @@ impl Parser {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { line: self.peek().line, message: message.into() })
+        Err(ParseError {
+            line: self.peek().line,
+            message: message.into(),
+        })
     }
 
     fn eat_punct(&mut self, p: &str) -> bool {
@@ -179,7 +185,11 @@ impl Parser {
             } else {
                 Vec::new()
             };
-            return Ok(Stmt::If { cond, then_body, else_body });
+            return Ok(Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            });
         }
         if self.at_keyword("while") {
             self.bump();
@@ -195,11 +205,20 @@ impl Parser {
             self.keyword("to")?;
             let to = self.expr()?;
             let body = self.block()?;
-            return Ok(Stmt::For { var, from, to, body });
+            return Ok(Stmt::For {
+                var,
+                from,
+                to,
+                body,
+            });
         }
         if self.at_keyword("return") {
             self.bump();
-            let value = if self.check_punct(";") { None } else { Some(self.expr()?) };
+            let value = if self.check_punct(";") {
+                None
+            } else {
+                Some(self.expr()?)
+            };
             self.expect_punct(";")?;
             return Ok(Stmt::Return { value });
         }
@@ -228,20 +247,25 @@ impl Parser {
     /// Precedence-climbing over the binary operator table.
     fn binary_expr(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
         let mut lhs = self.unary_expr()?;
-        loop {
-            let Some((op, prec)) = self.peek_binop() else { break };
+        while let Some((op, prec)) = self.peek_binop() {
             if prec < min_prec {
                 break;
             }
             self.bump();
             let rhs = self.binary_expr(prec + 1)?;
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
 
     fn peek_binop(&self) -> Option<(Op, u8)> {
-        let TokenKind::Punct(p) = &self.peek().kind else { return None };
+        let TokenKind::Punct(p) = &self.peek().kind else {
+            return None;
+        };
         Some(match *p {
             "||" => (Op::OrOr, 1),
             "&&" => (Op::AndAnd, 2),
@@ -268,11 +292,17 @@ impl Parser {
     fn unary_expr(&mut self) -> Result<Expr, ParseError> {
         if self.eat_punct("-") {
             let e = self.unary_expr()?;
-            return Ok(Expr::Unary { op: UnOp::Neg, expr: Box::new(e) });
+            return Ok(Expr::Unary {
+                op: UnOp::Neg,
+                expr: Box::new(e),
+            });
         }
         if self.eat_punct("!") {
             let e = self.unary_expr()?;
-            return Ok(Expr::Unary { op: UnOp::Not, expr: Box::new(e) });
+            return Ok(Expr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(e),
+            });
         }
         self.primary()
     }
@@ -321,7 +351,12 @@ mod tests {
     fn precedence_mul_over_add() {
         let p = parse_program("fn f() { let x = 1 + 2 * 3; return x; }").unwrap();
         match &p.body[0] {
-            Stmt::Let { value: Expr::Binary { op: Op::Add, rhs, .. }, .. } => {
+            Stmt::Let {
+                value: Expr::Binary {
+                    op: Op::Add, rhs, ..
+                },
+                ..
+            } => {
                 assert!(matches!(**rhs, Expr::Binary { op: Op::Mul, .. }));
             }
             other => panic!("unexpected: {other:?}"),
@@ -332,7 +367,14 @@ mod tests {
     fn precedence_cmp_over_logic() {
         let p = parse_program("fn f(a, b) { return a < b && b < 10; }").unwrap();
         match &p.body[0] {
-            Stmt::Return { value: Some(Expr::Binary { op: Op::AndAnd, lhs, rhs }) } => {
+            Stmt::Return {
+                value:
+                    Some(Expr::Binary {
+                        op: Op::AndAnd,
+                        lhs,
+                        rhs,
+                    }),
+            } => {
                 assert!(matches!(**lhs, Expr::Binary { op: Op::Lt, .. }));
                 assert!(matches!(**rhs, Expr::Binary { op: Op::Lt, .. }));
             }

@@ -83,7 +83,10 @@ pub struct RunConfig {
 
 impl Default for RunConfig {
     fn default() -> Self {
-        RunConfig { memory_words: 4096, fuel: 10_000_000 }
+        RunConfig {
+            memory_words: 4096,
+            fuel: 10_000_000,
+        }
     }
 }
 
@@ -172,8 +175,7 @@ pub fn run_with_memory(
                     regs[data.dst.unwrap().index()] = op.eval(read(&regs, *a));
                 }
                 InstKind::Binary { op, a, b } => {
-                    regs[data.dst.unwrap().index()] =
-                        op.eval(read(&regs, *a), read(&regs, *b));
+                    regs[data.dst.unwrap().index()] = op.eval(read(&regs, *a), read(&regs, *b));
                 }
                 InstKind::Load { addr } => {
                     let a = read(&regs, *addr);
@@ -190,9 +192,17 @@ pub fn run_with_memory(
                         memory[a as usize] = read(&regs, *val);
                     }
                 }
-                InstKind::Branch { cond, then_dst, else_dst } => {
+                InstKind::Branch {
+                    cond,
+                    then_dst,
+                    else_dst,
+                } => {
                     prev = Some(block);
-                    block = if read(&regs, *cond) != 0 { *then_dst } else { *else_dst };
+                    block = if read(&regs, *cond) != 0 {
+                        *then_dst
+                    } else {
+                        *else_dst
+                    };
                     continue 'blocks;
                 }
                 InstKind::Jump { dst } => {

@@ -33,7 +33,10 @@ impl FunctionBuilder {
     pub fn new(name: impl Into<String>, num_params: usize) -> Self {
         let mut func = Function::new(name);
         func.num_params = num_params;
-        FunctionBuilder { func, current: None }
+        FunctionBuilder {
+            func,
+            current: None,
+        }
     }
 
     /// Create a new block (the first one becomes the entry).
@@ -51,7 +54,8 @@ impl FunctionBuilder {
     /// # Panics
     /// Panics if [`switch_to`](Self::switch_to) has not been called.
     pub fn current_block(&self) -> Block {
-        self.current.expect("no current block; call switch_to first")
+        self.current
+            .expect("no current block; call switch_to first")
     }
 
     /// Mint a fresh value without emitting an instruction.
@@ -134,7 +138,14 @@ impl FunctionBuilder {
 
     /// Terminate the current block with `branch cond, then_dst, else_dst`.
     pub fn branch(&mut self, cond: Value, then_dst: Block, else_dst: Block) {
-        self.emit(InstKind::Branch { cond, then_dst, else_dst }, None);
+        self.emit(
+            InstKind::Branch {
+                cond,
+                then_dst,
+                else_dst,
+            },
+            None,
+        );
     }
 
     /// Terminate the current block with `jump dst`.

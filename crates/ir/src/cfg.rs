@@ -10,7 +10,7 @@ use crate::entity::SecondaryMap;
 use crate::function::{Block, Function};
 
 /// Predecessor/successor lists plus reachability for one function.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ControlFlowGraph {
     preds: SecondaryMap<Block, Vec<Block>>,
     succs: SecondaryMap<Block, Vec<Block>>,
@@ -64,7 +64,12 @@ impl ControlFlowGraph {
             }
         }
 
-        ControlFlowGraph { preds, succs, postorder, reachable }
+        ControlFlowGraph {
+            preds,
+            succs,
+            postorder,
+            reachable,
+        }
     }
 
     /// Predecessors of `block` (reachable ones only). A block appears once
@@ -125,7 +130,10 @@ impl ControlFlowGraph {
                     .map(|i| self.preds[Block::new(i)].capacity() * std::mem::size_of::<Block>())
                     .sum::<usize>()
         };
-        vecs(&self.preds) + vecs(&self.succs) + self.postorder.capacity() * 4 + self.reachable.bytes()
+        vecs(&self.preds)
+            + vecs(&self.succs)
+            + self.postorder.capacity() * 4
+            + self.reachable.bytes()
     }
 }
 
@@ -140,7 +148,15 @@ mod tests {
         let b: Vec<Block> = (0..4).map(|_| f.add_block()).collect();
         let v = f.new_value();
         f.append_inst(b[0], InstKind::Const { imm: 1 }, Some(v));
-        f.append_inst(b[0], InstKind::Branch { cond: v, then_dst: b[1], else_dst: b[2] }, None);
+        f.append_inst(
+            b[0],
+            InstKind::Branch {
+                cond: v,
+                then_dst: b[1],
+                else_dst: b[2],
+            },
+            None,
+        );
         f.append_inst(b[1], InstKind::Jump { dst: b[3] }, None);
         f.append_inst(b[2], InstKind::Jump { dst: b[3] }, None);
         f.append_inst(b[3], InstKind::Return { val: Some(v) }, None);
@@ -190,7 +206,15 @@ mod tests {
         let b2 = f.add_block();
         let v = f.new_value();
         f.append_inst(b0, InstKind::Const { imm: 0 }, Some(v));
-        f.append_inst(b0, InstKind::Branch { cond: v, then_dst: b1, else_dst: b2 }, None);
+        f.append_inst(
+            b0,
+            InstKind::Branch {
+                cond: v,
+                then_dst: b1,
+                else_dst: b2,
+            },
+            None,
+        );
         f.append_inst(b1, InstKind::Jump { dst: b2 }, None);
         f.append_inst(b2, InstKind::Return { val: None }, None);
         let cfg = ControlFlowGraph::compute(&f);
@@ -207,7 +231,15 @@ mod tests {
         let b1 = f.add_block();
         let v = f.new_value();
         f.append_inst(b0, InstKind::Const { imm: 0 }, Some(v));
-        f.append_inst(b0, InstKind::Branch { cond: v, then_dst: b1, else_dst: b1 }, None);
+        f.append_inst(
+            b0,
+            InstKind::Branch {
+                cond: v,
+                then_dst: b1,
+                else_dst: b1,
+            },
+            None,
+        );
         f.append_inst(b1, InstKind::Return { val: None }, None);
         let cfg = ControlFlowGraph::compute(&f);
         assert_eq!(cfg.preds(b1).len(), 2);
@@ -221,7 +253,15 @@ mod tests {
         let v = f.new_value();
         f.append_inst(b0, InstKind::Const { imm: 1 }, Some(v));
         f.append_inst(b0, InstKind::Jump { dst: b1 }, None);
-        f.append_inst(b1, InstKind::Branch { cond: v, then_dst: b1, else_dst: b0 }, None);
+        f.append_inst(
+            b1,
+            InstKind::Branch {
+                cond: v,
+                then_dst: b1,
+                else_dst: b0,
+            },
+            None,
+        );
         let cfg = ControlFlowGraph::compute(&f);
         assert!(cfg.preds(b1).contains(&b1));
         assert!(cfg.preds(b0).contains(&b1));

@@ -93,12 +93,18 @@ pub struct EntityMap<K: EntityRef, V> {
 impl<K: EntityRef, V> EntityMap<K, V> {
     /// Create an empty map.
     pub fn new() -> Self {
-        EntityMap { elems: Vec::new(), _marker: PhantomData }
+        EntityMap {
+            elems: Vec::new(),
+            _marker: PhantomData,
+        }
     }
 
     /// Create an empty map with room for `capacity` entities.
     pub fn with_capacity(capacity: usize) -> Self {
-        EntityMap { elems: Vec::with_capacity(capacity), _marker: PhantomData }
+        EntityMap {
+            elems: Vec::with_capacity(capacity),
+            _marker: PhantomData,
+        }
     }
 
     /// Allocate a new entity holding `value` and return its reference.
@@ -172,7 +178,9 @@ impl<K: EntityRef, V> std::ops::IndexMut<K> for EntityMap<K, V> {
 
 impl<K: EntityRef, V: fmt::Debug> fmt::Debug for EntityMap<K, V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_map().entries(self.elems.iter().enumerate()).finish()
+        f.debug_map()
+            .entries(self.elems.iter().enumerate())
+            .finish()
     }
 }
 
@@ -191,7 +199,11 @@ pub struct SecondaryMap<K: EntityRef, V: Clone + Default> {
 impl<K: EntityRef, V: Clone + Default> SecondaryMap<K, V> {
     /// Create an empty secondary map.
     pub fn new() -> Self {
-        SecondaryMap { elems: Vec::new(), default: V::default(), _marker: PhantomData }
+        SecondaryMap {
+            elems: Vec::new(),
+            default: V::default(),
+            _marker: PhantomData,
+        }
     }
 
     /// Create a secondary map pre-sized for `capacity` entities.
@@ -253,7 +265,9 @@ impl<K: EntityRef, V: Clone + Default> std::ops::IndexMut<K> for SecondaryMap<K,
 
 impl<K: EntityRef, V: Clone + Default + fmt::Debug> fmt::Debug for SecondaryMap<K, V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_map().entries(self.elems.iter().enumerate()).finish()
+        f.debug_map()
+            .entries(self.elems.iter().enumerate())
+            .finish()
     }
 }
 

@@ -1,8 +1,8 @@
 //! The [`Function`] container: blocks, instructions, and values.
 
 use crate::entity::EntityMap;
-use crate::instr::{InstKind, PhiArg};
 use crate::entity_ref;
+use crate::instr::{InstKind, PhiArg};
 
 entity_ref!(
     /// A basic block reference.
@@ -53,7 +53,7 @@ pub struct BlockData {
 /// function. Deleting an instruction removes it from its block's list; the
 /// arena slot stays behind (a tombstone) so existing references never
 /// dangle.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, Debug)]
 pub struct Function {
     /// Function name, used by the printer/parser and the workload registry.
     pub name: String,
@@ -65,7 +65,38 @@ pub struct Function {
     layout: Vec<Block>,
     entry: Option<Block>,
     num_values: usize,
+    /// Modification epoch: advanced by every mutating edit, globally
+    /// unique across all `Function` values in the process. Analyses
+    /// cached against an epoch (see `fcc_analysis::AnalysisManager`) are
+    /// valid exactly while `epoch()` still returns the same number.
+    epoch: u64,
 }
+
+/// Epochs are drawn from one process-wide counter so that two functions
+/// (or two diverged clones of one function) can never share an epoch
+/// after a mutation — a cached analysis can therefore never be revived
+/// by accident, even if a manager is reused across functions.
+fn next_epoch() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Structural equality ignores the epoch: a rebuilt function with the
+/// same code compares equal even though its edit history differs.
+impl PartialEq for Function {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.num_params == other.num_params
+            && self.insts == other.insts
+            && self.blocks == other.blocks
+            && self.layout == other.layout
+            && self.entry == other.entry
+            && self.num_values == other.num_values
+    }
+}
+
+impl Eq for Function {}
 
 impl Function {
     /// Create an empty function with the given name.
@@ -78,7 +109,21 @@ impl Function {
             layout: Vec::new(),
             entry: None,
             num_values: 0,
+            epoch: next_epoch(),
         }
+    }
+
+    /// The current modification epoch. Any mutating call changes this.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Advance the epoch: the function's code (possibly) changed, so all
+    /// cached analyses are stale. Every `&mut self` editing method calls
+    /// this; external callers only need it after mutating instruction
+    /// payloads through long-lived raw pointers or similar exotica.
+    pub fn bump_epoch(&mut self) {
+        self.epoch = next_epoch();
     }
 
     // ----- creation -------------------------------------------------------
@@ -86,6 +131,7 @@ impl Function {
     /// Append a new, empty block to the layout. The first block created
     /// becomes the entry block.
     pub fn add_block(&mut self) -> Block {
+        self.bump_epoch();
         let b = self.blocks.push(BlockData::default());
         self.layout.push(b);
         if self.entry.is_none() {
@@ -96,6 +142,7 @@ impl Function {
 
     /// Mint a fresh virtual register.
     pub fn new_value(&mut self) -> Value {
+        self.bump_epoch();
         let v = Value::new(self.num_values);
         self.num_values += 1;
         v
@@ -110,7 +157,10 @@ impl Function {
     /// Grow the value space so that indices `0..n` are all valid. Used by
     /// the parser, where values appear by name in arbitrary order.
     pub fn ensure_value_capacity(&mut self, n: usize) {
-        self.num_values = self.num_values.max(n);
+        if n > self.num_values {
+            self.bump_epoch();
+            self.num_values = n;
+        }
     }
 
     /// Number of blocks created so far (including any later emptied).
@@ -137,6 +187,7 @@ impl Function {
     /// # Panics
     /// Panics if `block` is not in the layout.
     pub fn set_entry(&mut self, block: Block) {
+        self.bump_epoch();
         let pos = self
             .layout
             .iter()
@@ -154,6 +205,7 @@ impl Function {
     /// Panics if `block` is the entry.
     pub fn remove_block_from_layout(&mut self, block: Block) {
         assert!(Some(block) != self.entry, "cannot remove the entry block");
+        self.bump_epoch();
         self.layout.retain(|&b| b != block);
     }
 
@@ -161,6 +213,7 @@ impl Function {
 
     /// Append an instruction to the end of `block`.
     pub fn append_inst(&mut self, block: Block, kind: InstKind, dst: Option<Value>) -> Inst {
+        self.bump_epoch();
         let inst = self.insts.push(InstData { kind, dst });
         self.blocks[block].insts.push(inst);
         inst
@@ -176,6 +229,7 @@ impl Function {
         kind: InstKind,
         dst: Option<Value>,
     ) -> Inst {
+        self.bump_epoch();
         let inst = self.insts.push(InstData { kind, dst });
         let insts = &mut self.blocks[block].insts;
         let term_pos = insts
@@ -190,6 +244,7 @@ impl Function {
     /// any φ-nodes. Used to materialise strictness initialisations in the
     /// entry block (which never has φs).
     pub fn prepend_inst(&mut self, block: Block, kind: InstKind, dst: Option<Value>) -> Inst {
+        self.bump_epoch();
         let inst = self.insts.push(InstData { kind, dst });
         self.blocks[block].insts.insert(0, inst);
         inst
@@ -207,6 +262,7 @@ impl Function {
         kind: InstKind,
         dst: Option<Value>,
     ) -> Inst {
+        self.bump_epoch();
         let inst = self.insts.push(InstData { kind, dst });
         self.blocks[block].insts.insert(pos, inst);
         inst
@@ -214,7 +270,11 @@ impl Function {
 
     /// Insert a φ-node at the head of `block`.
     pub fn prepend_phi(&mut self, block: Block, args: Vec<PhiArg>, dst: Value) -> Inst {
-        let inst = self.insts.push(InstData { kind: InstKind::Phi { args }, dst: Some(dst) });
+        self.bump_epoch();
+        let inst = self.insts.push(InstData {
+            kind: InstKind::Phi { args },
+            dst: Some(dst),
+        });
         self.blocks[block].insts.insert(0, inst);
         inst
     }
@@ -222,20 +282,25 @@ impl Function {
     /// Remove `inst` from `block`'s instruction list (the arena slot
     /// remains as a tombstone).
     pub fn remove_inst(&mut self, block: Block, inst: Inst) {
+        self.bump_epoch();
         self.blocks[block].insts.retain(|&i| i != inst);
     }
 
     /// Append an existing instruction (previously removed from another
     /// block) to the end of `block`. Used when merging blocks.
     pub fn relink_inst_at_end(&mut self, block: Block, inst: Inst) {
+        self.bump_epoch();
         self.blocks[block].insts.push(inst);
     }
 
     /// Remove every instruction of `block` for which `pred` returns true.
     pub fn retain_insts(&mut self, block: Block, mut pred: impl FnMut(Inst, &InstData) -> bool) {
+        self.bump_epoch();
         let insts = std::mem::take(&mut self.blocks[block].insts);
-        self.blocks[block].insts =
-            insts.into_iter().filter(|&i| pred(i, &self.insts[i])).collect();
+        self.blocks[block].insts = insts
+            .into_iter()
+            .filter(|&i| pred(i, &self.insts[i]))
+            .collect();
     }
 
     // ----- access ---------------------------------------------------------
@@ -257,6 +322,8 @@ impl Function {
 
     /// Mutable access to an instruction.
     pub fn inst_mut(&mut self, inst: Inst) -> &mut InstData {
+        // Conservative: handing out `&mut` counts as an edit.
+        self.bump_epoch();
         &mut self.insts[inst]
     }
 
@@ -289,7 +356,10 @@ impl Function {
 
     /// Total instructions currently linked into blocks.
     pub fn live_inst_count(&self) -> usize {
-        self.layout.iter().map(|&b| self.blocks[b].insts.len()).sum()
+        self.layout
+            .iter()
+            .map(|&b| self.blocks[b].insts.len())
+            .sum()
     }
 
     /// Count the `copy` instructions currently in the function — the
@@ -329,6 +399,7 @@ impl Function {
     /// # Panics
     /// Panics if `pred` has no terminator or no edge to `succ`.
     pub fn split_edge(&mut self, pred: Block, succ: Block) -> Block {
+        self.bump_epoch();
         let mid = self.add_block();
         self.append_inst(mid, InstKind::Jump { dst: succ }, None);
 
@@ -354,7 +425,10 @@ impl Function {
                     let dup: Vec<PhiArg> = args
                         .iter()
                         .filter(|a| a.pred == pred)
-                        .map(|a| PhiArg { pred: mid, value: a.value })
+                        .map(|a| PhiArg {
+                            pred: mid,
+                            value: a.value,
+                        })
                         .collect();
                     args.extend(dup);
                 } else {
@@ -374,6 +448,7 @@ impl Function {
     /// construction in particular) call this first so no stale
     /// instructions survive in dead blocks.
     pub fn remove_unreachable_blocks(&mut self) -> usize {
+        self.bump_epoch();
         let entry = self.entry();
         let mut reachable = vec![false; self.blocks.len()];
         reachable[entry.index()] = true;
@@ -429,7 +504,15 @@ mod tests {
         let b2 = f.add_block();
         let v0 = f.new_value();
         f.append_inst(b0, InstKind::Const { imm: 1 }, Some(v0));
-        f.append_inst(b0, InstKind::Branch { cond: v0, then_dst: b1, else_dst: b2 }, None);
+        f.append_inst(
+            b0,
+            InstKind::Branch {
+                cond: v0,
+                then_dst: b1,
+                else_dst: b2,
+            },
+            None,
+        );
         f.append_inst(b1, InstKind::Jump { dst: b2 }, None);
         f.append_inst(b2, InstKind::Return { val: Some(v0) }, None);
         (f, b0, b1, b2)
@@ -478,7 +561,16 @@ mod tests {
         let v0 = Value::new(0);
         f.prepend_phi(
             b2,
-            vec![PhiArg { pred: b0, value: v0 }, PhiArg { pred: b1, value: v0 }],
+            vec![
+                PhiArg {
+                    pred: b0,
+                    value: v0,
+                },
+                PhiArg {
+                    pred: b1,
+                    value: v0,
+                },
+            ],
             v,
         );
         // The b0 -> b2 edge is critical (b0 has 2 succs, b2 has 2 preds).
@@ -507,9 +599,24 @@ mod tests {
         let b1 = f.add_block();
         let v0 = f.new_value();
         f.append_inst(b0, InstKind::Const { imm: 1 }, Some(v0));
-        f.append_inst(b0, InstKind::Branch { cond: v0, then_dst: b1, else_dst: b1 }, None);
+        f.append_inst(
+            b0,
+            InstKind::Branch {
+                cond: v0,
+                then_dst: b1,
+                else_dst: b1,
+            },
+            None,
+        );
         let p = f.new_value();
-        f.prepend_phi(b1, vec![PhiArg { pred: b0, value: v0 }], p);
+        f.prepend_phi(
+            b1,
+            vec![PhiArg {
+                pred: b0,
+                value: v0,
+            }],
+            p,
+        );
         f.append_inst(b1, InstKind::Return { val: Some(p) }, None);
 
         let mid1 = f.split_edge(b0, b1);
@@ -540,7 +647,20 @@ mod tests {
         f.append_inst(b0, InstKind::Const { imm: 1 }, Some(v0));
         f.append_inst(b0, InstKind::Jump { dst: b1 }, None);
         let p = f.new_value();
-        f.prepend_phi(b1, vec![PhiArg { pred: b0, value: v0 }, PhiArg { pred: b2, value: v0 }], p);
+        f.prepend_phi(
+            b1,
+            vec![
+                PhiArg {
+                    pred: b0,
+                    value: v0,
+                },
+                PhiArg {
+                    pred: b2,
+                    value: v0,
+                },
+            ],
+            p,
+        );
         f.append_inst(b1, InstKind::Return { val: Some(p) }, None);
         f.append_inst(b2, InstKind::Jump { dst: b1 }, None);
 
@@ -562,7 +682,15 @@ mod tests {
         let v = f.new_value();
         f.insert_before_terminator(b0, InstKind::Copy { src: v0 }, Some(v));
         let w = f.new_value();
-        f.insert_before_terminator(b0, InstKind::Binary { op: BinOp::Add, a: v0, b: v }, Some(w));
+        f.insert_before_terminator(
+            b0,
+            InstKind::Binary {
+                op: BinOp::Add,
+                a: v0,
+                b: v,
+            },
+            Some(w),
+        );
         assert_eq!(f.static_copy_count(), 1);
     }
 

@@ -235,7 +235,11 @@ pub enum InstKind {
     /// SSA φ-node. Must appear at the head of its block.
     Phi { args: Vec<PhiArg> },
     /// Two-way conditional branch on `cond != 0`. Terminator.
-    Branch { cond: Value, then_dst: Block, else_dst: Block },
+    Branch {
+        cond: Value,
+        then_dst: Block,
+        else_dst: Block,
+    },
     /// Unconditional jump. Terminator.
     Jump { dst: Block },
     /// Return from the function. Terminator.
@@ -245,7 +249,10 @@ pub enum InstKind {
 impl InstKind {
     /// Whether this instruction ends its block.
     pub fn is_terminator(&self) -> bool {
-        matches!(self, InstKind::Branch { .. } | InstKind::Jump { .. } | InstKind::Return { .. })
+        matches!(
+            self,
+            InstKind::Branch { .. } | InstKind::Jump { .. } | InstKind::Return { .. }
+        )
     }
 
     /// Whether this instruction is a φ-node.
@@ -262,7 +269,9 @@ impl InstKind {
     /// non-terminators and returns).
     pub fn successors(&self) -> Vec<Block> {
         match self {
-            InstKind::Branch { then_dst, else_dst, .. } => vec![*then_dst, *else_dst],
+            InstKind::Branch {
+                then_dst, else_dst, ..
+            } => vec![*then_dst, *else_dst],
             InstKind::Jump { dst } => vec![*dst],
             _ => Vec::new(),
         }
@@ -326,7 +335,9 @@ impl InstKind {
     /// Rewrite the successor blocks of a terminator.
     pub fn for_each_successor_mut(&mut self, mut f: impl FnMut(&mut Block)) {
         match self {
-            InstKind::Branch { then_dst, else_dst, .. } => {
+            InstKind::Branch {
+                then_dst, else_dst, ..
+            } => {
                 f(then_dst);
                 f(else_dst);
             }
@@ -400,7 +411,10 @@ mod tests {
     #[test]
     fn use_visitors_skip_phi_args() {
         let phi = InstKind::Phi {
-            args: vec![PhiArg { pred: Block::new(0), value: Value::new(7) }],
+            args: vec![PhiArg {
+                pred: Block::new(0),
+                value: Value::new(7),
+            }],
         };
         let mut seen = Vec::new();
         phi.for_each_use(|v| seen.push(v));
@@ -409,12 +423,19 @@ mod tests {
 
     #[test]
     fn use_visitors_cover_all_operands() {
-        let st = InstKind::Store { addr: Value::new(1), val: Value::new(2) };
+        let st = InstKind::Store {
+            addr: Value::new(1),
+            val: Value::new(2),
+        };
         let mut seen = Vec::new();
         st.for_each_use(|v| seen.push(v.index()));
         assert_eq!(seen, vec![1, 2]);
 
-        let mut bin = InstKind::Binary { op: BinOp::Add, a: Value::new(3), b: Value::new(4) };
+        let mut bin = InstKind::Binary {
+            op: BinOp::Add,
+            a: Value::new(3),
+            b: Value::new(4),
+        };
         bin.for_each_use_mut(|v| *v = Value::new(v.index() + 10));
         match bin {
             InstKind::Binary { a, b, .. } => {

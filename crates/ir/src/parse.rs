@@ -31,7 +31,10 @@ impl fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn perr(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError { line, message: message.into() }
+    ParseError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Parse one function from its textual form.
@@ -87,13 +90,17 @@ fn tokenize_line(line: &str) -> Result<Vec<Tok<'_>>, String> {
                 i += 1;
             }
             toks.push(Tok::Ident(&code[start..i]));
-        } else if c.is_ascii_digit() || (c == '-' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit()) {
+        } else if c.is_ascii_digit()
+            || (c == '-' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit())
+        {
             let start = i;
             i += 1;
             while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
                 i += 1;
             }
-            let n: i64 = code[start..i].parse().map_err(|e| format!("bad number: {e}"))?;
+            let n: i64 = code[start..i]
+                .parse()
+                .map_err(|e| format!("bad number: {e}"))?;
             toks.push(Tok::Num(n));
         } else if "(){}:,=[]".contains(c) {
             toks.push(Tok::Punct(c));
@@ -187,7 +194,8 @@ impl<'a> Parser<'a> {
                     current = Some(Block::new(idx));
                 }
                 _ => {
-                    let block = current.ok_or_else(|| perr(ln, "instruction before any block label"))?;
+                    let block =
+                        current.ok_or_else(|| perr(ln, "instruction before any block label"))?;
                     let (kind, dst) = parse_inst(ln, &toks, &label_set, &mut max_value)?;
                     func.append_inst(block, kind, dst);
                 }
@@ -200,7 +208,10 @@ impl<'a> Parser<'a> {
     fn next_line(&mut self, expected: &str) -> Result<(usize, Vec<Tok<'a>>), ParseError> {
         if self.pos >= self.lines.len() {
             let last = self.lines.last().map(|(l, _)| *l).unwrap_or(1);
-            return Err(perr(last, format!("unexpected end of input; expected {expected}")));
+            return Err(perr(
+                last,
+                format!("unexpected end of input; expected {expected}"),
+            ));
         }
         let (ln, toks) = self.lines[self.pos].clone();
         self.pos += 1;
@@ -216,7 +227,8 @@ fn parse_entity(id: &str, prefix: char) -> Option<usize> {
 fn parse_value(ln: usize, tok: &Tok<'_>, max_value: &mut usize) -> Result<Value, ParseError> {
     match tok {
         Tok::Ident(id) => {
-            let idx = parse_entity(id, 'v').ok_or_else(|| perr(ln, format!("expected value, got {id}")))?;
+            let idx = parse_entity(id, 'v')
+                .ok_or_else(|| perr(ln, format!("expected value, got {id}")))?;
             *max_value = (*max_value).max(idx + 1);
             Ok(Value::new(idx))
         }
@@ -231,7 +243,8 @@ fn parse_block_ref(
 ) -> Result<Block, ParseError> {
     match tok {
         Tok::Ident(id) => {
-            let idx = parse_entity(id, 'b').ok_or_else(|| perr(ln, format!("expected block, got {id}")))?;
+            let idx = parse_entity(id, 'b')
+                .ok_or_else(|| perr(ln, format!("expected block, got {id}")))?;
             if !labels.contains(&idx) {
                 return Err(perr(ln, format!("reference to undeclared block b{idx}")));
             }
@@ -268,11 +281,15 @@ fn parse_inst(
             _ => return Err(perr(ln, "const expects an immediate")),
         },
         "copy" => match args {
-            [v] => InstKind::Copy { src: parse_value(ln, v, max_value)? },
+            [v] => InstKind::Copy {
+                src: parse_value(ln, v, max_value)?,
+            },
             _ => return Err(perr(ln, "copy expects one value")),
         },
         "load" => match args {
-            [v] => InstKind::Load { addr: parse_value(ln, v, max_value)? },
+            [v] => InstKind::Load {
+                addr: parse_value(ln, v, max_value)?,
+            },
             _ => return Err(perr(ln, "load expects one value")),
         },
         "store" => match args {
@@ -291,12 +308,16 @@ fn parse_inst(
             _ => return Err(perr(ln, "branch expects `cond, then, else`")),
         },
         "jump" => match args {
-            [d] => InstKind::Jump { dst: parse_block_ref(ln, d, labels)? },
+            [d] => InstKind::Jump {
+                dst: parse_block_ref(ln, d, labels)?,
+            },
             _ => return Err(perr(ln, "jump expects one block")),
         },
         "return" => match args {
             [] => InstKind::Return { val: None },
-            [v] => InstKind::Return { val: Some(parse_value(ln, v, max_value)?) },
+            [v] => InstKind::Return {
+                val: Some(parse_value(ln, v, max_value)?),
+            },
             _ => return Err(perr(ln, "return expects at most one value")),
         },
         "phi" => {
@@ -325,7 +346,10 @@ fn parse_inst(
         other => {
             if let Some(u) = UnaryOp::from_mnemonic(other) {
                 match args {
-                    [v] => InstKind::Unary { op: u, a: parse_value(ln, v, max_value)? },
+                    [v] => InstKind::Unary {
+                        op: u,
+                        a: parse_value(ln, v, max_value)?,
+                    },
                     _ => return Err(perr(ln, format!("{other} expects one value"))),
                 }
             } else if let Some(b) = BinOp::from_mnemonic(other) {
@@ -347,7 +371,10 @@ fn parse_inst(
     // obvious cases here for better line numbers.
     let needs_dst = !matches!(
         kind,
-        InstKind::Store { .. } | InstKind::Branch { .. } | InstKind::Jump { .. } | InstKind::Return { .. }
+        InstKind::Store { .. }
+            | InstKind::Branch { .. }
+            | InstKind::Jump { .. }
+            | InstKind::Return { .. }
     );
     if needs_dst && dst.is_none() {
         return Err(perr(ln, format!("`{op}` requires a `vN =` destination")));
@@ -398,8 +425,8 @@ mod tests {
 
     #[test]
     fn rejects_unknown_mnemonic() {
-        let e = parse_function("function @x(0) {\nb0:\n v0 = frobnicate v1\n return\n}")
-            .unwrap_err();
+        let e =
+            parse_function("function @x(0) {\nb0:\n v0 = frobnicate v1\n return\n}").unwrap_err();
         assert!(e.to_string().contains("unknown mnemonic"), "{e}");
         assert_eq!(e.line, 3);
     }
@@ -416,10 +443,7 @@ mod tests {
     fn accepts_gaps_in_block_labels() {
         // A pass that removed unreachable b1 prints b0 then b2; the text
         // must reparse with the same layout.
-        let f = parse_function(
-            "function @g(0) {\nb0:\n jump b2\nb2:\n return\n}",
-        )
-        .unwrap();
+        let f = parse_function("function @g(0) {\nb0:\n jump b2\nb2:\n return\n}").unwrap();
         assert_eq!(f.blocks().count(), 2);
         assert_eq!(f.entry(), Block::new(0));
         let printed = f.to_string();
@@ -467,10 +491,8 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines_ignored() {
-        let f = parse_function(
-            "# header comment\nfunction @x(0) {\n\nb0:\n ; nothing\n return\n}",
-        )
-        .unwrap();
+        let f = parse_function("# header comment\nfunction @x(0) {\n\nb0:\n ; nothing\n return\n}")
+            .unwrap();
         assert_eq!(f.blocks().count(), 1);
     }
 

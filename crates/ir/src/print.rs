@@ -75,7 +75,11 @@ impl fmt::Display for DisplayInst<'_> {
                 }
                 Ok(())
             }
-            InstKind::Branch { cond, then_dst, else_dst } => {
+            InstKind::Branch {
+                cond,
+                then_dst,
+                else_dst,
+            } => {
                 write!(f, "branch {cond}, {then_dst}, {else_dst}")
             }
             InstKind::Jump { dst } => write!(f, "jump {dst}"),

@@ -34,7 +34,10 @@ impl fmt::Display for VerifyError {
 impl std::error::Error for VerifyError {}
 
 fn err(block: impl Into<Option<Block>>, message: impl Into<String>) -> VerifyError {
-    VerifyError { block: block.into(), message: message.into() }
+    VerifyError {
+        block: block.into(),
+        message: message.into(),
+    }
 }
 
 /// Verify the structural invariants of `func`.
@@ -81,7 +84,10 @@ pub fn verify_function(func: &Function) -> Result<(), VerifyError> {
             let is_last = pos + 1 == insts.len();
 
             if data.kind.is_terminator() && !is_last {
-                return Err(err(block, format!("terminator {inst} is not last in block")));
+                return Err(err(
+                    block,
+                    format!("terminator {inst} is not last in block"),
+                ));
             }
             if data.kind.is_phi() {
                 if seen_non_phi {
@@ -272,7 +278,13 @@ mod tests {
         let w = f.new_value();
         let x = f.new_value();
         f.append_inst(b1, InstKind::Copy { src: v }, Some(w));
-        f.append_inst(b1, InstKind::Phi { args: vec![PhiArg { pred: b0, value: v }] }, Some(x));
+        f.append_inst(
+            b1,
+            InstKind::Phi {
+                args: vec![PhiArg { pred: b0, value: v }],
+            },
+            Some(x),
+        );
         f.append_inst(b1, InstKind::Return { val: Some(x) }, None);
         let e = verify_function(&f).unwrap_err();
         assert!(e.to_string().contains("after non-phi"), "{e}");
@@ -301,7 +313,15 @@ mod tests {
         let b2 = f.add_block();
         let v = f.new_value();
         f.append_inst(b0, InstKind::Const { imm: 1 }, Some(v));
-        f.append_inst(b0, InstKind::Branch { cond: v, then_dst: b1, else_dst: b2 }, None);
+        f.append_inst(
+            b0,
+            InstKind::Branch {
+                cond: v,
+                then_dst: b1,
+                else_dst: b2,
+            },
+            None,
+        );
         f.append_inst(b1, InstKind::Jump { dst: b2 }, None);
         let x = f.new_value();
         f.prepend_phi(

@@ -10,7 +10,8 @@
 
 use std::collections::HashMap;
 
-use fcc_ir::{Block, ControlFlowGraph, Function, Inst, InstKind, Value};
+use fcc_analysis::AnalysisManager;
+use fcc_ir::{Block, Function, Inst, InstKind, Value};
 
 /// Statistics from one folding run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -31,9 +32,15 @@ pub struct FoldStats {
 /// Panics (in debug builds, via the verifier downstream) if `func` is not
 /// in SSA form — the def-use reasoning requires single definitions.
 pub fn const_fold(func: &mut Function) -> FoldStats {
+    const_fold_with(func, &mut AnalysisManager::new())
+}
+
+/// [`const_fold`], pulling the CFG (needed after branch resolution) from
+/// a shared [`AnalysisManager`] instead of recomputing it ad hoc.
+pub fn const_fold_with(func: &mut Function, am: &mut AnalysisManager) -> FoldStats {
     let mut stats = FoldStats::default();
     loop {
-        let changed = fold_once(func, &mut stats);
+        let changed = fold_once(func, am, &mut stats);
         if !changed {
             break;
         }
@@ -41,7 +48,7 @@ pub fn const_fold(func: &mut Function) -> FoldStats {
     stats
 }
 
-fn fold_once(func: &mut Function, stats: &mut FoldStats) -> bool {
+fn fold_once(func: &mut Function, am: &mut AnalysisManager, stats: &mut FoldStats) -> bool {
     // Map each SSA value to its constant, if its defining instruction is
     // (or folds to) a constant.
     let mut consts: HashMap<Value, i64> = HashMap::new();
@@ -92,8 +99,15 @@ fn fold_once(func: &mut Function, stats: &mut FoldStats) -> bool {
     let blocks: Vec<Block> = func.blocks().collect();
     let mut resolved_any = false;
     for &b in &blocks {
-        let Some(term) = func.terminator(b) else { continue };
-        if let InstKind::Branch { cond, then_dst, else_dst } = func.inst(term).kind {
+        let Some(term) = func.terminator(b) else {
+            continue;
+        };
+        if let InstKind::Branch {
+            cond,
+            then_dst,
+            else_dst,
+        } = func.inst(term).kind
+        {
             if let Some(&c) = consts.get(&cond) {
                 let dst = if c != 0 { then_dst } else { else_dst };
                 func.inst_mut(term).kind = InstKind::Jump { dst };
@@ -108,7 +122,7 @@ fn fold_once(func: &mut Function, stats: &mut FoldStats) -> bool {
         // Dropped edges invalidate φ keys: retain only arguments whose
         // predecessor still has an edge here, then prune dead blocks.
         stats.blocks_removed += func.remove_unreachable_blocks();
-        let cfg = ControlFlowGraph::compute(func);
+        let cfg = am.cfg(func);
         for b in func.blocks().collect::<Vec<_>>() {
             let phis: Vec<Inst> = func.block_phis(b).collect();
             for phi in phis {

@@ -15,8 +15,8 @@
 
 use std::collections::HashMap;
 
-use fcc_analysis::DomTree;
-use fcc_ir::{BinOp, Block, ControlFlowGraph, Function, Inst, InstKind, Value};
+use fcc_analysis::AnalysisManager;
+use fcc_ir::{BinOp, Block, Function, Inst, InstKind, Value};
 
 /// Statistics from one value-numbering run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -60,9 +60,15 @@ fn commutative(op: BinOp) -> bool {
 /// surviving name. Follow with [`crate::dce::dead_code_elim`] to collect
 /// any newly dead code.
 pub fn value_number(func: &mut Function) -> GvnStats {
+    value_number_with(func, &mut AnalysisManager::new())
+}
+
+/// [`value_number`], pulling the dominator tree from a shared
+/// [`AnalysisManager`] — a cache hit whenever an earlier pass already
+/// computed it and preserved the CFG.
+pub fn value_number_with(func: &mut Function, am: &mut AnalysisManager) -> GvnStats {
     let mut stats = GvnStats::default();
-    let cfg = ControlFlowGraph::compute(func);
-    let dt = DomTree::compute(func, &cfg);
+    let dt = am.domtree(func);
     let n = func.num_values();
 
     // vn[v] = canonical value for v (identity by default).
@@ -224,16 +230,14 @@ mod tests {
 
     #[test]
     fn removes_redundant_expression() {
-        let (f, stats) = gvn(
-            "function @r(1) {
+        let (f, stats) = gvn("function @r(1) {
              b0:
                  v0 = param 0
                  v1 = add v0, v0
                  v2 = add v0, v0
                  v3 = mul v1, v2
                  return v3
-             }",
-        );
+             }");
         assert_eq!(stats.redundant_removed, 1);
         // v2 deleted; v3 = mul v1, v1.
         assert_eq!(f.live_inst_count(), 4);
@@ -241,8 +245,7 @@ mod tests {
 
     #[test]
     fn commutative_operands_canonicalise() {
-        let (_, stats) = gvn(
-            "function @c(2) {
+        let (_, stats) = gvn("function @c(2) {
              b0:
                  v0 = param 0
                  v1 = param 1
@@ -250,15 +253,13 @@ mod tests {
                  v3 = add v1, v0
                  v4 = mul v2, v3
                  return v4
-             }",
-        );
+             }");
         assert_eq!(stats.redundant_removed, 1);
     }
 
     #[test]
     fn noncommutative_not_merged() {
-        let (_, stats) = gvn(
-            "function @s(2) {
+        let (_, stats) = gvn("function @s(2) {
              b0:
                  v0 = param 0
                  v1 = param 1
@@ -266,15 +267,13 @@ mod tests {
                  v3 = sub v1, v0
                  v4 = mul v2, v3
                  return v4
-             }",
-        );
+             }");
         assert_eq!(stats.redundant_removed, 0);
     }
 
     #[test]
     fn dominated_blocks_reuse_dominating_values() {
-        let (_, stats) = gvn(
-            "function @d(1) {
+        let (_, stats) = gvn("function @d(1) {
              b0:
                  v0 = param 0
                  v1 = mul v0, v0
@@ -288,8 +287,7 @@ mod tests {
              b3:
                  v4 = mul v0, v0
                  return v4
-             }",
-        );
+             }");
         // b1's and b3's recomputations both fold to b0's v1.
         assert_eq!(stats.redundant_removed, 2);
     }
@@ -297,8 +295,7 @@ mod tests {
     #[test]
     fn sibling_blocks_do_not_share() {
         // b1's computation must NOT be visible in b2 (no dominance).
-        let (f, stats) = gvn(
-            "function @sib(1) {
+        let (f, stats) = gvn("function @sib(1) {
              b0:
                  v0 = param 0
                  branch v0, b1, b2
@@ -311,16 +308,14 @@ mod tests {
              b3:
                  v3 = phi [b1: v1], [b2: v2]
                  return v3
-             }",
-        );
+             }");
         assert_eq!(stats.redundant_removed, 0);
         assert_eq!(f.phi_count(), 1);
     }
 
     #[test]
     fn loads_never_numbered() {
-        let (f, stats) = gvn(
-            "function @l(1) {
+        let (f, stats) = gvn("function @l(1) {
              b0:
                  v0 = param 0
                  v1 = load v0
@@ -328,16 +323,14 @@ mod tests {
                  v2 = load v0
                  v3 = add v1, v2
                  return v3
-             }",
-        );
+             }");
         assert_eq!(stats.redundant_removed, 0);
         assert_eq!(f.live_inst_count(), 6);
     }
 
     #[test]
     fn duplicate_phis_merge() {
-        let (f, stats) = gvn(
-            "function @dp(1) {
+        let (f, stats) = gvn("function @dp(1) {
              b0:
                  v0 = param 0
                  v1 = const 1
@@ -352,16 +345,14 @@ mod tests {
                  v4 = phi [b1: v1], [b2: v2]
                  v5 = add v3, v4
                  return v5
-             }",
-        );
+             }");
         assert_eq!(stats.phis_collapsed, 1);
         assert_eq!(f.phi_count(), 1);
     }
 
     #[test]
     fn meaningless_phi_collapses() {
-        let (f, stats) = gvn(
-            "function @mp(1) {
+        let (f, stats) = gvn("function @mp(1) {
              b0:
                  v0 = param 0
                  v1 = const 7
@@ -374,38 +365,33 @@ mod tests {
                  v2 = phi [b1: v1], [b2: v1]
                  v3 = add v2, v2
                  return v3
-             }",
-        );
+             }");
         assert_eq!(stats.phis_collapsed, 1);
         assert_eq!(f.phi_count(), 0);
     }
 
     #[test]
     fn constants_are_shared() {
-        let (_, stats) = gvn(
-            "function @k(0) {
+        let (_, stats) = gvn("function @k(0) {
              b0:
                  v0 = const 42
                  v1 = const 42
                  v2 = add v0, v1
                  return v2
-             }",
-        );
+             }");
         assert_eq!(stats.redundant_removed, 1);
     }
 
     #[test]
     fn copy_chain_forwarded() {
-        let (f, stats) = gvn(
-            "function @cc(1) {
+        let (f, stats) = gvn("function @cc(1) {
              b0:
                  v0 = param 0
                  v1 = copy v0
                  v2 = copy v1
                  v3 = add v2, v2
                  return v3
-             }",
-        );
+             }");
         assert_eq!(stats.copies_forwarded, 2);
         assert_eq!(f.static_copy_count(), 0);
     }

@@ -14,7 +14,9 @@
 //! * [`simplify_cfg::simplify_cfg`] — block merging / jump threading,
 //!   undoing the critical-edge splits once destruction no longer needs
 //!   them;
-//! * [`Pass`] / [`PassManager`] — a tiny fixpoint pipeline driver.
+//! * [`Pass`] / [`PassManager`] — a fixpoint pipeline driver that
+//!   threads a shared [`fcc_analysis::AnalysisManager`] through the
+//!   passes and invalidates it according to each pass's [`PassEffect`].
 //!
 //! ## Example
 //!
@@ -32,7 +34,7 @@
 //!          return v2
 //!      }",
 //! ).unwrap();
-//! standard_pipeline().run(&mut f);
+//! standard_pipeline().run_standalone(&mut f);
 //! assert_eq!(f.live_inst_count(), 2, "const 42 + return");
 //! ```
 
@@ -42,49 +44,138 @@ pub mod dce;
 pub mod gvn;
 pub mod simplify_cfg;
 
-pub use constfold::{const_fold, FoldStats};
+pub use constfold::{const_fold, const_fold_with, FoldStats};
 pub use copyprop::copy_propagate;
 pub use dce::dead_code_elim;
-pub use gvn::{value_number, GvnStats};
-pub use simplify_cfg::simplify_cfg;
+pub use gvn::{value_number, value_number_with, GvnStats};
+pub use simplify_cfg::{simplify_cfg, simplify_cfg_with};
 
+use fcc_analysis::{AnalysisManager, PreservedAnalyses};
 use fcc_ir::Function;
 
+/// What a pass did to the function, and which analyses it left intact.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PassEffect {
+    /// Whether anything changed.
+    pub changed: bool,
+    /// The analyses still valid for the post-pass function. Ignored when
+    /// `changed` is false (everything is preserved then — even if the
+    /// pass conservatively bumped the epoch, e.g. through `inst_mut`).
+    pub preserved: PreservedAnalyses,
+}
+
+impl PassEffect {
+    /// The pass did not touch the function.
+    pub fn unchanged() -> Self {
+        PassEffect {
+            changed: false,
+            preserved: PreservedAnalyses::all(),
+        }
+    }
+
+    /// The pass changed the function, keeping `preserved` valid.
+    pub fn changed(preserved: PreservedAnalyses) -> Self {
+        PassEffect {
+            changed: true,
+            preserved,
+        }
+    }
+}
+
 /// A named transformation over a function.
+///
+/// Passes pull whatever analyses they need from the [`AnalysisManager`]
+/// and report what they preserved; the [`PassManager`] applies the
+/// matching invalidation after each run, so a CFG-preserving rewrite
+/// (constant folding without branch resolution, copy propagation, value
+/// numbering) hands the still-valid dominator tree to the next pass.
 pub trait Pass {
     /// Human-readable pass name, for logs and stats.
     fn name(&self) -> &'static str;
-    /// Run once; report whether anything changed.
-    fn run(&self, func: &mut Function) -> bool;
+    /// Run once; report what changed and what survived.
+    fn run(&self, func: &mut Function, am: &mut AnalysisManager) -> PassEffect;
 }
 
-macro_rules! fn_pass {
-    ($struct_name:ident, $name:literal, $f:expr) => {
-        /// A [`Pass`] wrapper; see the module of the wrapped function.
-        pub struct $struct_name;
-        impl Pass for $struct_name {
-            fn name(&self) -> &'static str {
-                $name
-            }
-            fn run(&self, func: &mut Function) -> bool {
-                #[allow(clippy::redundant_closure_call)]
-                ($f)(func)
-            }
+/// A [`Pass`] wrapper; see [`dce::dead_code_elim`].
+pub struct Dce;
+impl Pass for Dce {
+    fn name(&self) -> &'static str {
+        "dce"
+    }
+    fn run(&self, func: &mut Function, _am: &mut AnalysisManager) -> PassEffect {
+        if dead_code_elim(func) > 0 {
+            // Deletes instructions only: every edge stays.
+            PassEffect::changed(PreservedAnalyses::cfg_core())
+        } else {
+            PassEffect::unchanged()
         }
-    };
+    }
 }
 
-fn_pass!(Dce, "dce", |f: &mut Function| dead_code_elim(f) > 0);
-fn_pass!(ConstFold, "constfold", |f: &mut Function| {
-    let s = const_fold(f);
-    s.folded + s.branches_resolved + s.phis_collapsed > 0
-});
-fn_pass!(CopyProp, "copyprop", |f: &mut Function| copy_propagate(f) > 0);
-fn_pass!(Gvn, "gvn", |f: &mut Function| {
-    let s = value_number(f);
-    s.redundant_removed + s.copies_forwarded + s.phis_collapsed > 0
-});
-fn_pass!(SimplifyCfg, "simplify-cfg", |f: &mut Function| simplify_cfg(f) > 0);
+/// A [`Pass`] wrapper; see [`constfold::const_fold`].
+pub struct ConstFold;
+impl Pass for ConstFold {
+    fn name(&self) -> &'static str {
+        "constfold"
+    }
+    fn run(&self, func: &mut Function, am: &mut AnalysisManager) -> PassEffect {
+        let s = const_fold_with(func, am);
+        if s.folded + s.branches_resolved + s.phis_collapsed == 0 {
+            PassEffect::unchanged()
+        } else if s.branches_resolved + s.blocks_removed == 0 {
+            // Pure instruction rewrites: the CFG shape is untouched.
+            PassEffect::changed(PreservedAnalyses::cfg_core())
+        } else {
+            PassEffect::changed(PreservedAnalyses::none())
+        }
+    }
+}
+
+/// A [`Pass`] wrapper; see [`copyprop::copy_propagate`].
+pub struct CopyProp;
+impl Pass for CopyProp {
+    fn name(&self) -> &'static str {
+        "copyprop"
+    }
+    fn run(&self, func: &mut Function, _am: &mut AnalysisManager) -> PassEffect {
+        if copy_propagate(func) > 0 {
+            PassEffect::changed(PreservedAnalyses::cfg_core())
+        } else {
+            PassEffect::unchanged()
+        }
+    }
+}
+
+/// A [`Pass`] wrapper; see [`gvn::value_number`].
+pub struct Gvn;
+impl Pass for Gvn {
+    fn name(&self) -> &'static str {
+        "gvn"
+    }
+    fn run(&self, func: &mut Function, am: &mut AnalysisManager) -> PassEffect {
+        let s = value_number_with(func, am);
+        if s.redundant_removed + s.copies_forwarded + s.phis_collapsed > 0 {
+            PassEffect::changed(PreservedAnalyses::cfg_core())
+        } else {
+            PassEffect::unchanged()
+        }
+    }
+}
+
+/// A [`Pass`] wrapper; see [`simplify_cfg::simplify_cfg`].
+pub struct SimplifyCfg;
+impl Pass for SimplifyCfg {
+    fn name(&self) -> &'static str {
+        "simplify-cfg"
+    }
+    fn run(&self, func: &mut Function, am: &mut AnalysisManager) -> PassEffect {
+        if simplify_cfg_with(func, am) > 0 {
+            PassEffect::changed(PreservedAnalyses::none())
+        } else {
+            PassEffect::unchanged()
+        }
+    }
+}
 
 /// Runs a pass list repeatedly until no pass changes anything.
 #[derive(Default)]
@@ -97,23 +188,40 @@ pub struct PassManager {
 impl PassManager {
     /// An empty pipeline.
     pub fn new() -> Self {
-        PassManager { passes: Vec::new(), max_rounds: 8 }
+        PassManager {
+            passes: Vec::new(),
+            max_rounds: 8,
+        }
     }
 
     /// Append a pass.
-    pub fn add(mut self, pass: impl Pass + 'static) -> Self {
+    pub fn with(mut self, pass: impl Pass + 'static) -> Self {
         self.passes.push(Box::new(pass));
         self
     }
 
-    /// Run to fixpoint. Returns `(rounds, per-pass change counts)`.
-    pub fn run(&self, func: &mut Function) -> (usize, Vec<(&'static str, usize)>) {
+    /// Run to fixpoint against a shared analysis cache. After each pass
+    /// the cache is invalidated according to the pass's [`PassEffect`].
+    /// Returns `(rounds, per-pass change counts)`.
+    pub fn run(
+        &self,
+        func: &mut Function,
+        am: &mut AnalysisManager,
+    ) -> (usize, Vec<(&'static str, usize)>) {
         let mut counts: Vec<(&'static str, usize)> =
             self.passes.iter().map(|p| (p.name(), 0)).collect();
         for round in 1..=self.max_rounds {
             let mut changed = false;
             for (i, p) in self.passes.iter().enumerate() {
-                if p.run(func) {
+                let before = func.epoch();
+                let effect = p.run(func, am);
+                let preserved = if effect.changed {
+                    effect.preserved
+                } else {
+                    PreservedAnalyses::all()
+                };
+                am.invalidate(func, before, preserved);
+                if effect.changed {
                     counts[i].1 += 1;
                     changed = true;
                 }
@@ -124,18 +232,34 @@ impl PassManager {
         }
         (self.max_rounds, counts)
     }
+
+    /// [`Self::run`] with a private, throwaway analysis cache — for
+    /// callers that have no manager of their own.
+    pub fn run_standalone(&self, func: &mut Function) -> (usize, Vec<(&'static str, usize)>) {
+        let mut am = AnalysisManager::new();
+        self.run(func, &mut am)
+    }
 }
 
 /// The standard SSA optimisation pipeline: fold → propagate → DCE →
 /// simplify, to fixpoint.
 pub fn standard_pipeline() -> PassManager {
-    PassManager::new().add(ConstFold).add(CopyProp).add(Dce).add(SimplifyCfg)
+    PassManager::new()
+        .with(ConstFold)
+        .with(CopyProp)
+        .with(Dce)
+        .with(SimplifyCfg)
 }
 
 /// The aggressive SSA pipeline: value numbering added in front of the
 /// standard passes.
 pub fn aggressive_pipeline() -> PassManager {
-    PassManager::new().add(Gvn).add(ConstFold).add(CopyProp).add(Dce).add(SimplifyCfg)
+    PassManager::new()
+        .with(Gvn)
+        .with(ConstFold)
+        .with(CopyProp)
+        .with(Dce)
+        .with(SimplifyCfg)
 }
 
 #[cfg(test)]
@@ -160,7 +284,7 @@ mod tests {
              }",
         )
         .unwrap();
-        let (rounds, counts) = standard_pipeline().run(&mut f);
+        let (rounds, counts) = standard_pipeline().run_standalone(&mut f);
         assert!(rounds >= 2, "fixpoint requires a confirming round");
         assert!(counts.iter().any(|&(n, c)| n == "constfold" && c > 0));
         verify_function(&f).unwrap();
@@ -182,9 +306,9 @@ mod tests {
              }",
         )
         .unwrap();
-        standard_pipeline().run(&mut f);
+        standard_pipeline().run_standalone(&mut f);
         let once = f.to_string();
-        standard_pipeline().run(&mut f);
+        standard_pipeline().run_standalone(&mut f);
         assert_eq!(once, f.to_string());
     }
 }

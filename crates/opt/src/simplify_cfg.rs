@@ -13,13 +13,22 @@
 //! * a block whose unique successor has it as unique predecessor is
 //!   merged into it, provided the successor carries no φs.
 
-use fcc_ir::{Block, ControlFlowGraph, Function, Inst, InstKind};
+use fcc_analysis::AnalysisManager;
+use fcc_ir::{Block, Function, Inst, InstKind};
 
 /// Simplify `func`'s control flow to a fixpoint. Returns blocks removed.
 pub fn simplify_cfg(func: &mut Function) -> usize {
+    simplify_cfg_with(func, &mut AnalysisManager::new())
+}
+
+/// [`simplify_cfg`], pulling the CFG from a shared [`AnalysisManager`]:
+/// the first iteration reuses a cached CFG when the function is
+/// unchanged; later iterations recompute because each rewrite bumps the
+/// epoch.
+pub fn simplify_cfg_with(func: &mut Function, am: &mut AnalysisManager) -> usize {
     let mut removed = 0;
     loop {
-        let n = pass(func);
+        let n = pass(func, am);
         if n == 0 {
             return removed;
         }
@@ -27,8 +36,8 @@ pub fn simplify_cfg(func: &mut Function) -> usize {
     }
 }
 
-fn pass(func: &mut Function) -> usize {
-    let cfg = ControlFlowGraph::compute(func);
+fn pass(func: &mut Function, am: &mut AnalysisManager) -> usize {
+    let cfg = am.cfg(func);
     let entry = func.entry();
     let blocks: Vec<Block> = func.blocks().collect();
 
@@ -41,7 +50,9 @@ fn pass(func: &mut Function) -> usize {
         if insts.len() != 1 {
             continue;
         }
-        let InstKind::Jump { dst: target } = func.inst(insts[0]).kind else { continue };
+        let InstKind::Jump { dst: target } = func.inst(insts[0]).kind else {
+            continue;
+        };
         if target == b {
             continue; // self loop, nothing to thread
         }
@@ -92,8 +103,12 @@ fn pass(func: &mut Function) -> usize {
         if !cfg.is_reachable(b) {
             continue;
         }
-        let Some(term) = func.terminator(b) else { continue };
-        let InstKind::Jump { dst: c } = func.inst(term).kind else { continue };
+        let Some(term) = func.terminator(b) else {
+            continue;
+        };
+        let InstKind::Jump { dst: c } = func.inst(term).kind else {
+            continue;
+        };
         if c == b || c == entry {
             continue;
         }

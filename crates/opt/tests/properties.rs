@@ -24,18 +24,30 @@ fn optimizer_preserves_generated_programs() {
 
         let mut f = base.clone();
         build_ssa(&mut f, SsaFlavor::Pruned, true);
-        standard_pipeline().run(&mut f);
+        standard_pipeline().run_standalone(&mut f);
         fcc_ir::verify::verify_function(&f).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
-        assert_eq!(reference, run_f(&f, &args), "seed {seed}: optimizer miscompiled");
+        assert_eq!(
+            reference,
+            run_f(&f, &args),
+            "seed {seed}: optimizer miscompiled"
+        );
 
         // The aggressive pipeline (with value numbering) too.
         let mut g = base.clone();
         build_ssa(&mut g, SsaFlavor::Pruned, true);
-        aggressive_pipeline().run(&mut g);
+        aggressive_pipeline().run_standalone(&mut g);
         fcc_ir::verify::verify_function(&g).unwrap_or_else(|e| panic!("seed {seed} gvn: {e}"));
-        assert_eq!(reference, run_f(&g, &args), "seed {seed}: gvn pipeline miscompiled");
+        assert_eq!(
+            reference,
+            run_f(&g, &args),
+            "seed {seed}: gvn pipeline miscompiled"
+        );
         coalesce_ssa(&mut g);
-        assert_eq!(reference, run_f(&g, &args), "seed {seed}: post-gvn coalesce miscompiled");
+        assert_eq!(
+            reference,
+            run_f(&g, &args),
+            "seed {seed}: post-gvn coalesce miscompiled"
+        );
 
         // Optimised SSA must still be valid SSA if φs remain.
         verify_ssa(&f).unwrap_or_else(|e| panic!("seed {seed}: optimized SSA invalid: {e}"));
@@ -43,12 +55,20 @@ fn optimizer_preserves_generated_programs() {
         // And the coalescer must still handle optimised SSA.
         coalesce_ssa(&mut f);
         assert!(!f.has_phis(), "seed {seed}");
-        assert_eq!(reference, run_f(&f, &args), "seed {seed}: post-opt coalesce miscompiled");
+        assert_eq!(
+            reference,
+            run_f(&f, &args),
+            "seed {seed}: post-opt coalesce miscompiled"
+        );
 
         // Final cleanup round on the φ-free code.
         simplify_cfg(&mut f);
         fcc_ir::verify::verify_function(&f).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
-        assert_eq!(reference, run_f(&f, &args), "seed {seed}: simplify-cfg miscompiled");
+        assert_eq!(
+            reference,
+            run_f(&f, &args),
+            "seed {seed}: simplify-cfg miscompiled"
+        );
     }
 }
 
@@ -60,7 +80,7 @@ fn optimizer_shrinks_kernels_without_changing_them() {
         let mut f = base.clone();
         build_ssa(&mut f, SsaFlavor::Pruned, true);
         let before = f.live_inst_count();
-        standard_pipeline().run(&mut f);
+        standard_pipeline().run_standalone(&mut f);
         let after = f.live_inst_count();
         assert!(after <= before, "{}: optimizer grew the code", k.name);
         let out = fcc_workloads::reference_run(&f, k).unwrap();
@@ -76,7 +96,7 @@ fn full_stack_source_to_allocated_registers() {
         let mut f = fcc_workloads::compile_kernel(k);
         let reference = fcc_workloads::reference_run(&f, k).unwrap();
         build_ssa(&mut f, SsaFlavor::Pruned, true);
-        standard_pipeline().run(&mut f);
+        standard_pipeline().run_standalone(&mut f);
         coalesce_ssa(&mut f);
         simplify_cfg(&mut f);
         let out = fcc_workloads::reference_run(&f, k).unwrap();

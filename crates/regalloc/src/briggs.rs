@@ -14,8 +14,8 @@
 
 use std::time::{Duration, Instant};
 
-use fcc_analysis::{DomTree, Liveness, LoopNesting, UnionFind};
-use fcc_ir::{Block, ControlFlowGraph, Function, Inst, InstKind, Value};
+use fcc_analysis::{AnalysisManager, UnionFind};
+use fcc_ir::{Block, Function, Inst, InstKind, Value};
 
 use crate::igraph::InterferenceGraph;
 
@@ -40,7 +40,10 @@ pub struct BriggsOptions {
 
 impl Default for BriggsOptions {
     fn default() -> Self {
-        BriggsOptions { mode: GraphMode::Full, max_passes: 64 }
+        BriggsOptions {
+            mode: GraphMode::Full,
+            max_passes: 64,
+        }
     }
 }
 
@@ -81,7 +84,11 @@ impl BriggsStats {
     /// Peak bit-matrix bytes across passes — the paper's Table 1 memory
     /// number.
     pub fn peak_matrix_bytes(&self) -> usize {
-        self.passes.iter().map(|p| p.matrix_bytes).max().unwrap_or(0)
+        self.passes
+            .iter()
+            .map(|p| p.matrix_bytes)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -92,15 +99,27 @@ impl BriggsStats {
 /// Panics if `func` contains φ-nodes (destruct first, e.g. with
 /// [`crate::webs::destruct_via_webs`]).
 pub fn coalesce_copies(func: &mut Function, opts: &BriggsOptions) -> BriggsStats {
+    coalesce_copies_managed(func, opts, &mut AnalysisManager::new())
+}
+
+/// [`coalesce_copies`], pulling the per-pass analyses from a shared
+/// [`AnalysisManager`]. The first pass hits the cache when the caller's
+/// pipeline already analysed the unmodified function; later passes
+/// recompute because each rewrite bumps the epoch — exactly the repeated
+/// re-analysis cost the paper charges against the Briggs loop.
+pub fn coalesce_copies_managed(
+    func: &mut Function,
+    opts: &BriggsOptions,
+    am: &mut AnalysisManager,
+) -> BriggsStats {
     assert!(!func.has_phis(), "coalesce_copies expects phi-free code");
     let mut stats = BriggsStats::default();
 
     for _pass in 0..opts.max_passes {
         let t0 = Instant::now();
-        let cfg = ControlFlowGraph::compute(func);
-        let live = Liveness::compute(func, &cfg);
-        let dt = DomTree::compute(func, &cfg);
-        let loops = LoopNesting::compute(&cfg, &dt);
+        let cfg = am.cfg(func);
+        let live = am.liveness(func);
+        let loops = am.loops(func);
 
         // Collect copies with their loop depth.
         let mut copies: Vec<(Block, Inst, Value, Value, u32)> = Vec::new();
@@ -136,7 +155,7 @@ pub fn coalesce_copies(func: &mut Function, opts: &BriggsOptions) -> BriggsStats
 
         // Coalesce, innermost loops first (the heuristic the paper notes
         // "sometimes fails ... but also sometimes wins").
-        copies.sort_by(|a, b| b.4.cmp(&a.4));
+        copies.sort_by_key(|c| std::cmp::Reverse(c.4));
         let mut uf = UnionFind::new(func.num_values());
         let mut coalesced = 0usize;
         for &(_, _, dst, src, _) in &copies {
@@ -176,7 +195,8 @@ pub fn coalesce_copies(func: &mut Function, opts: &BriggsOptions) -> BriggsStats
                 if let Some(d) = data.dst {
                     data.dst = Some(Value::new(uf.find_immutable(d.index())));
                 }
-                data.kind.for_each_use_mut(|v| *v = Value::new(uf.find_immutable(v.index())));
+                data.kind
+                    .for_each_use_mut(|v| *v = Value::new(uf.find_immutable(v.index())));
             }
         }
         for b in &blocks {
@@ -210,8 +230,13 @@ mod tests {
         let mut f = parse_function(src).unwrap();
         build_ssa(&mut f, SsaFlavor::Pruned, false);
         destruct_via_webs(&mut f);
-        let stats =
-            coalesce_copies(&mut f, &BriggsOptions { mode, ..Default::default() });
+        let stats = coalesce_copies(
+            &mut f,
+            &BriggsOptions {
+                mode,
+                ..Default::default()
+            },
+        );
         verify_function(&f).unwrap();
         (f, stats)
     }
@@ -347,11 +372,17 @@ mod tests {
         let mut f_star = f_full.clone();
         let fs = coalesce_copies(
             &mut f_full,
-            &BriggsOptions { mode: GraphMode::Full, ..Default::default() },
+            &BriggsOptions {
+                mode: GraphMode::Full,
+                ..Default::default()
+            },
         );
         let rs = coalesce_copies(
             &mut f_star,
-            &BriggsOptions { mode: GraphMode::Restricted, ..Default::default() },
+            &BriggsOptions {
+                mode: GraphMode::Restricted,
+                ..Default::default()
+            },
         );
         assert_eq!(fs.copies_removed, rs.copies_removed);
         assert!(
@@ -391,7 +422,13 @@ mod tests {
         assert_eq!(reference.behavior(), out.behavior());
         // The loop-resident copy v2 = copy v1 must be gone.
         let printed = f.to_string();
-        let b1_section = printed.split("b1:").nth(1).unwrap().split("b2:").next().unwrap();
+        let b1_section = printed
+            .split("b1:")
+            .nth(1)
+            .unwrap()
+            .split("b2:")
+            .next()
+            .unwrap();
         assert!(
             !b1_section.contains("copy v1"),
             "innermost copy should be coalesced:\n{printed}"

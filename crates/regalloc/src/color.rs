@@ -22,8 +22,8 @@
 
 use std::collections::HashMap;
 
-use fcc_analysis::{DomTree, Liveness, LoopNesting};
-use fcc_ir::{Block, ControlFlowGraph, Function, Inst, InstKind, Value};
+use fcc_analysis::AnalysisManager;
+use fcc_ir::{Block, Function, Inst, InstKind, Value};
 
 use crate::igraph::InterferenceGraph;
 
@@ -99,7 +99,10 @@ impl std::fmt::Display for AllocError {
         match self {
             AllocError::DidNotConverge => write!(f, "spilling did not converge"),
             AllocError::TooFewRegisters => {
-                write!(f, "at least 2 registers are required (spill code needs addr + value)")
+                write!(
+                    f,
+                    "at least 2 registers are required (spill code needs addr + value)"
+                )
             }
         }
     }
@@ -121,6 +124,18 @@ impl std::error::Error for AllocError {}
 /// # Panics
 /// Panics if `func` contains φ-nodes.
 pub fn allocate(func: &mut Function, opts: &AllocOptions) -> Result<Allocation, AllocError> {
+    allocate_managed(func, opts, &mut AnalysisManager::new())
+}
+
+/// [`allocate`], pulling the per-round analyses from a shared
+/// [`AnalysisManager`]: round one hits the cache when the caller's
+/// pipeline already analysed the unmodified function; spill rewrites bump
+/// the epoch, so later rounds recompute.
+pub fn allocate_managed(
+    func: &mut Function,
+    opts: &AllocOptions,
+    am: &mut AnalysisManager,
+) -> Result<Allocation, AllocError> {
     assert!(!func.has_phis(), "allocate expects phi-free code");
     if opts.registers < 2 {
         return Err(AllocError::TooFewRegisters);
@@ -130,14 +145,13 @@ pub fn allocate(func: &mut Function, opts: &AllocOptions) -> Result<Allocation, 
     let mut copies_coalesced = 0usize;
 
     if opts.coalesce == AllocCoalesce::Conservative {
-        copies_coalesced = conservative_coalesce(func, opts.registers);
+        copies_coalesced = conservative_coalesce(func, opts.registers, am);
     }
 
     for round in 1..=opts.max_rounds {
-        let cfg = ControlFlowGraph::compute(func);
-        let live = Liveness::compute(func, &cfg);
-        let dt = DomTree::compute(func, &cfg);
-        let loops = LoopNesting::compute(&cfg, &dt);
+        let cfg = am.cfg(func);
+        let live = am.liveness(func);
+        let loops = am.loops(func);
         let ig = InterferenceGraph::build(func, &cfg, &live, None);
 
         // Occurrence counts and spill costs.
@@ -161,11 +175,13 @@ pub fn allocate(func: &mut Function, opts: &AllocOptions) -> Result<Allocation, 
                 });
             }
         }
-        let nodes: Vec<Value> = (0..n).map(Value::new).filter(|v| occurs[v.index()]).collect();
+        let nodes: Vec<Value> = (0..n)
+            .map(Value::new)
+            .filter(|v| occurs[v.index()])
+            .collect();
 
         // ---- simplify ----
-        let mut degree: HashMap<Value, usize> =
-            nodes.iter().map(|&v| (v, ig.degree(v))).collect();
+        let mut degree: HashMap<Value, usize> = nodes.iter().map(|&v| (v, ig.degree(v))).collect();
         let mut removed: HashMap<Value, bool> = nodes.iter().map(|&v| (v, false)).collect();
         let mut stack: Vec<(Value, bool)> = Vec::with_capacity(nodes.len()); // (value, optimistic)
         let mut remaining = nodes.len();
@@ -257,11 +273,11 @@ pub fn allocate(func: &mut Function, opts: &AllocOptions) -> Result<Allocation, 
 /// fewer than `k` nodes of degree ≥ `k` — such a merged node is
 /// guaranteed to simplify, so the merge can never cause a spill that the
 /// unmerged graph would have avoided.
-fn conservative_coalesce(func: &mut Function, k: usize) -> usize {
+fn conservative_coalesce(func: &mut Function, k: usize, am: &mut AnalysisManager) -> usize {
     let mut total = 0usize;
     loop {
-        let cfg = ControlFlowGraph::compute(func);
-        let live = Liveness::compute(func, &cfg);
+        let cfg = am.cfg(func);
+        let live = am.liveness(func);
         let ig = InterferenceGraph::build(func, &cfg, &live, None);
 
         // Candidate copies under the Briggs criterion.
@@ -272,7 +288,9 @@ fn conservative_coalesce(func: &mut Function, k: usize) -> usize {
                 continue;
             }
             for &inst in func.block_insts(b) {
-                let InstKind::Copy { src } = func.inst(inst).kind else { continue };
+                let InstKind::Copy { src } = func.inst(inst).kind else {
+                    continue;
+                };
                 let dst = func.inst(inst).dst.expect("copy defines");
                 if dst == src || ig.interferes(dst, src) {
                     continue;
@@ -284,8 +302,7 @@ fn conservative_coalesce(func: &mut Function, k: usize) -> usize {
                         neighbors.push(nb);
                     }
                 }
-                let significant =
-                    neighbors.iter().filter(|&&nb| ig.degree(nb) >= k).count();
+                let significant = neighbors.iter().filter(|&&nb| ig.degree(nb) >= k).count();
                 if significant < k {
                     // Merge one copy per graph build (the graph is stale
                     // after a merge), then rebuild.
@@ -323,9 +340,10 @@ fn conservative_coalesce(func: &mut Function, k: usize) -> usize {
         // A duplicate of the merged copy elsewhere just became a
         // self-copy; drop those too rather than leaving dead moves.
         for &bb in &blocks {
-            func.retain_insts(bb, |_, data| {
-                !matches!(data.kind, InstKind::Copy { src } if data.dst == Some(src))
-            });
+            func.retain_insts(
+                bb,
+                |_, data| !matches!(data.kind, InstKind::Copy { src } if data.dst == Some(src)),
+            );
         }
     }
 }
@@ -343,7 +361,13 @@ fn rewrite_spill(func: &mut Function, v: Value, slot_addr: i64) {
             if uses_v {
                 let addr = func.new_value();
                 let tmp = func.new_value();
-                insert_before(func, b, inst, InstKind::Const { imm: slot_addr }, Some(addr));
+                insert_before(
+                    func,
+                    b,
+                    inst,
+                    InstKind::Const { imm: slot_addr },
+                    Some(addr),
+                );
                 insert_before(func, b, inst, InstKind::Load { addr }, Some(tmp));
                 func.inst_mut(inst).kind.for_each_use_mut(|u| {
                     if *u == v {
@@ -354,7 +378,13 @@ fn rewrite_spill(func: &mut Function, v: Value, slot_addr: i64) {
             if func.inst(inst).dst == Some(v) {
                 // Store right after the definition.
                 let addr = func.new_value();
-                insert_after(func, b, inst, InstKind::Const { imm: slot_addr }, Some(addr));
+                insert_after(
+                    func,
+                    b,
+                    inst,
+                    InstKind::Const { imm: slot_addr },
+                    Some(addr),
+                );
                 let store = InstKind::Store { addr, val: v };
                 insert_after_nth(func, b, inst, 1, store, None);
             }
@@ -363,12 +393,20 @@ fn rewrite_spill(func: &mut Function, v: Value, slot_addr: i64) {
 }
 
 fn insert_before(func: &mut Function, b: Block, before: Inst, kind: InstKind, dst: Option<Value>) {
-    let pos = func.block_insts(b).iter().position(|&i| i == before).expect("inst in block");
+    let pos = func
+        .block_insts(b)
+        .iter()
+        .position(|&i| i == before)
+        .expect("inst in block");
     func.insert_inst_at(b, pos, kind, dst);
 }
 
 fn insert_after(func: &mut Function, b: Block, after: Inst, kind: InstKind, dst: Option<Value>) {
-    let pos = func.block_insts(b).iter().position(|&i| i == after).expect("inst in block");
+    let pos = func
+        .block_insts(b)
+        .iter()
+        .position(|&i| i == after)
+        .expect("inst in block");
     func.insert_inst_at(b, pos + 1, kind, dst);
 }
 
@@ -380,7 +418,11 @@ fn insert_after_nth(
     kind: InstKind,
     dst: Option<Value>,
 ) {
-    let pos = func.block_insts(b).iter().position(|&i| i == after).expect("inst in block");
+    let pos = func
+        .block_insts(b)
+        .iter()
+        .position(|&i| i == after)
+        .expect("inst in block");
     func.insert_inst_at(b, pos + 1 + extra, kind, dst);
 }
 
@@ -394,8 +436,9 @@ pub fn verify_coloring(
     coloring: &HashMap<Value, u32>,
     k: usize,
 ) -> Result<(), String> {
-    let cfg = ControlFlowGraph::compute(func);
-    let live = Liveness::compute(func, &cfg);
+    let mut am = AnalysisManager::new();
+    let cfg = am.cfg(func);
+    let live = am.liveness(func);
     let ig = InterferenceGraph::build(func, &cfg, &live, None);
     for (&v, &c) in coloring {
         if c as usize >= k {
@@ -435,11 +478,14 @@ pub fn verify_coloring(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fcc_ir::parse::parse_function;
     use fcc_interp::{run_with, RunConfig};
+    use fcc_ir::parse::parse_function;
 
     fn alloc_config() -> RunConfig {
-        RunConfig { memory_words: (1 << 20) + 64, fuel: 10_000_000 }
+        RunConfig {
+            memory_words: (1 << 20) + 64,
+            fuel: 10_000_000,
+        }
     }
 
     const PRESSURE: &str = "
@@ -464,8 +510,14 @@ mod tests {
     #[test]
     fn colors_without_spills_when_k_large() {
         let mut f = parse_function(PRESSURE).unwrap();
-        let alloc = allocate(&mut f, &AllocOptions { registers: 16, ..Default::default() })
-            .unwrap();
+        let alloc = allocate(
+            &mut f,
+            &AllocOptions {
+                registers: 16,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(alloc.spilled.is_empty());
         assert_eq!(alloc.rounds, 1);
         verify_coloring(&f, &alloc.coloring, 16).unwrap();
@@ -475,12 +527,21 @@ mod tests {
     fn spills_under_pressure_and_stays_correct() {
         let mut f = parse_function(PRESSURE).unwrap();
         let reference = run_with(&f, &[3], &alloc_config()).unwrap();
-        let alloc = allocate(&mut f, &AllocOptions { registers: 3, ..Default::default() })
-            .unwrap();
+        let alloc = allocate(
+            &mut f,
+            &AllocOptions {
+                registers: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(!alloc.spilled.is_empty(), "k=3 must force spills");
         verify_coloring(&f, &alloc.coloring, 3).unwrap();
         let out = run_with(&f, &[3], &alloc_config()).unwrap();
-        assert_eq!(reference.ret, out.ret, "spill code preserves semantics:\n{f}");
+        assert_eq!(
+            reference.ret, out.ret,
+            "spill code preserves semantics:\n{f}"
+        );
     }
 
     #[test]
@@ -507,8 +568,14 @@ mod tests {
         let reference = run_with(&f, &[10], &alloc_config()).unwrap();
         for k in [2usize, 3, 8] {
             let mut g = f.clone();
-            let alloc = allocate(&mut g, &AllocOptions { registers: k, ..Default::default() })
-                .unwrap_or_else(|e| panic!("k={k}: {e}"));
+            let alloc = allocate(
+                &mut g,
+                &AllocOptions {
+                    registers: k,
+                    ..Default::default()
+                },
+            )
+            .unwrap_or_else(|e| panic!("k={k}: {e}"));
             verify_coloring(&g, &alloc.coloring, k).unwrap();
             let out = run_with(&g, &[10], &alloc_config()).unwrap();
             assert_eq!(reference.ret, out.ret, "k={k}");
@@ -530,7 +597,11 @@ mod tests {
         let reference = run_with(&f, &[6], &alloc_config()).unwrap();
         let alloc = allocate(
             &mut f,
-            &AllocOptions { registers: 8, coalesce: AllocCoalesce::Conservative, ..Default::default() },
+            &AllocOptions {
+                registers: 8,
+                coalesce: AllocCoalesce::Conservative,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(alloc.copies_coalesced, 1);
@@ -557,7 +628,11 @@ mod tests {
         let reference = run_with(&f, &[4], &alloc_config()).unwrap();
         let alloc = allocate(
             &mut f,
-            &AllocOptions { registers: 8, coalesce: AllocCoalesce::Conservative, ..Default::default() },
+            &AllocOptions {
+                registers: 8,
+                coalesce: AllocCoalesce::Conservative,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(alloc.copies_coalesced, 0);
@@ -577,12 +652,22 @@ mod tests {
         let c = base.new_value();
         base.insert_before_terminator(entry, fcc_ir::InstKind::Copy { src: v1 }, Some(c));
         let k = 4;
-        let plain = allocate(&mut base.clone(), &AllocOptions { registers: k, ..Default::default() })
-            .unwrap();
+        let plain = allocate(
+            &mut base.clone(),
+            &AllocOptions {
+                registers: k,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let mut with_cc = base.clone();
         let cc = allocate(
             &mut with_cc,
-            &AllocOptions { registers: k, coalesce: AllocCoalesce::Conservative, ..Default::default() },
+            &AllocOptions {
+                registers: k,
+                coalesce: AllocCoalesce::Conservative,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(cc.spilled.len() <= plain.spilled.len() + 1);
@@ -593,8 +678,14 @@ mod tests {
     fn too_few_registers_is_a_clean_error() {
         let mut f = parse_function(PRESSURE).unwrap();
         for k in [0usize, 1] {
-            let e = allocate(&mut f, &AllocOptions { registers: k, ..Default::default() })
-                .unwrap_err();
+            let e = allocate(
+                &mut f,
+                &AllocOptions {
+                    registers: k,
+                    ..Default::default()
+                },
+            )
+            .unwrap_err();
             assert_eq!(e, AllocError::TooFewRegisters, "k={k}");
         }
     }
@@ -603,8 +694,14 @@ mod tests {
     fn coloring_uses_at_most_k_colors() {
         let mut f = parse_function(PRESSURE).unwrap();
         let k = 4;
-        let alloc =
-            allocate(&mut f, &AllocOptions { registers: k, ..Default::default() }).unwrap();
+        let alloc = allocate(
+            &mut f,
+            &AllocOptions {
+                registers: k,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let max = alloc.coloring.values().max().copied().unwrap_or(0);
         assert!((max as usize) < k);
     }

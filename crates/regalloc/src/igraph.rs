@@ -48,7 +48,10 @@ impl InterferenceGraph {
         live: &Liveness,
         restrict_to: Option<&[Value]>,
     ) -> Self {
-        assert!(!func.has_phis(), "interference graphs are built on phi-free code");
+        assert!(
+            !func.has_phis(),
+            "interference graphs are built on phi-free code"
+        );
         let n = func.num_values();
         let mut map = vec![UNTRACKED; n];
         let rev: Vec<u32> = match restrict_to {
@@ -164,7 +167,10 @@ impl InterferenceGraph {
         if n == UNTRACKED {
             return Vec::new();
         }
-        self.adj[n as usize].iter().map(|&z| Value::new(self.rev[z as usize] as usize)).collect()
+        self.adj[n as usize]
+            .iter()
+            .map(|&z| Value::new(self.rev[z as usize] as usize))
+            .collect()
     }
 
     /// Number of graph nodes (the matrix dimension) — `n` in the paper's
@@ -202,8 +208,7 @@ mod tests {
         let f = parse_function(text).unwrap();
         let cfg = ControlFlowGraph::compute(&f);
         let live = Liveness::compute(&f, &cfg);
-        let vals: Option<Vec<Value>> =
-            restrict.map(|r| r.iter().map(|&i| Value::new(i)).collect());
+        let vals: Option<Vec<Value>> = restrict.map(|r| r.iter().map(|&i| Value::new(i)).collect());
         let g = InterferenceGraph::build(&f, &cfg, &live, vals.as_deref());
         (f, g)
     }

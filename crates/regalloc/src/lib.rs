@@ -46,7 +46,11 @@ pub mod color;
 pub mod igraph;
 pub mod webs;
 
-pub use briggs::{coalesce_copies, BriggsOptions, BriggsStats, GraphMode, PassStats};
-pub use color::{allocate, verify_coloring, AllocError, AllocOptions, Allocation};
+pub use briggs::{
+    coalesce_copies, coalesce_copies_managed, BriggsOptions, BriggsStats, GraphMode, PassStats,
+};
+pub use color::{
+    allocate, allocate_managed, verify_coloring, AllocError, AllocOptions, Allocation,
+};
 pub use igraph::InterferenceGraph;
 pub use webs::{destruct_via_webs, WebStats};

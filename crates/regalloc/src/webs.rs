@@ -128,10 +128,7 @@ mod tests {
 
     #[test]
     fn phi_free_function_unchanged() {
-        let mut f = parse_function(
-            "function @id(1) {\nb0:\n v0 = param 0\n return v0\n}",
-        )
-        .unwrap();
+        let mut f = parse_function("function @id(1) {\nb0:\n v0 = param 0\n return v0\n}").unwrap();
         let before = f.to_string();
         let stats = destruct_via_webs(&mut f);
         assert_eq!(stats.webs, 0);

@@ -6,7 +6,9 @@ use std::collections::HashSet;
 
 use fcc_analysis::Liveness;
 use fcc_ir::{Block, ControlFlowGraph, Function, InstKind, Value};
-use fcc_regalloc::{coalesce_copies, destruct_via_webs, BriggsOptions, GraphMode, InterferenceGraph};
+use fcc_regalloc::{
+    coalesce_copies, destruct_via_webs, BriggsOptions, GraphMode, InterferenceGraph,
+};
 use fcc_ssa::{build_ssa, SsaFlavor};
 use fcc_workloads::{generate, GenConfig};
 
@@ -53,7 +55,11 @@ fn brute_force_edges(func: &Function) -> HashSet<(usize, usize)> {
 
 #[test]
 fn igraph_matches_brute_force_on_generated_programs() {
-    let gcfg = GenConfig { stmts: 8, vars: 5, ..Default::default() };
+    let gcfg = GenConfig {
+        stmts: 8,
+        vars: 5,
+        ..Default::default()
+    };
     for seed in 0..30u64 {
         let mut f = lower(seed, &gcfg);
         build_ssa(&mut f, SsaFlavor::Pruned, false);
@@ -115,7 +121,10 @@ fn restricted_graph_agrees_on_tracked_pairs() {
 
 #[test]
 fn briggs_and_briggs_star_identical_on_generated_programs() {
-    let gcfg = GenConfig { stmts: 18, ..Default::default() };
+    let gcfg = GenConfig {
+        stmts: 18,
+        ..Default::default()
+    };
     for seed in 200..280u64 {
         let mut f = lower(seed, &gcfg);
         build_ssa(&mut f, SsaFlavor::Pruned, false);
@@ -124,11 +133,17 @@ fn briggs_and_briggs_star_identical_on_generated_programs() {
         let mut star = f.clone();
         let fs = coalesce_copies(
             &mut full,
-            &BriggsOptions { mode: GraphMode::Full, ..Default::default() },
+            &BriggsOptions {
+                mode: GraphMode::Full,
+                ..Default::default()
+            },
         );
         let ss = coalesce_copies(
             &mut star,
-            &BriggsOptions { mode: GraphMode::Restricted, ..Default::default() },
+            &BriggsOptions {
+                mode: GraphMode::Restricted,
+                ..Default::default()
+            },
         );
         assert_eq!(fs.copies_removed, ss.copies_removed, "seed {seed}");
         assert_eq!(fs.copies_remaining, ss.copies_remaining, "seed {seed}");
@@ -147,7 +162,11 @@ fn briggs_and_briggs_star_identical_on_generated_programs() {
 
 #[test]
 fn interference_is_symmetric_and_irreflexive_at_scale() {
-    let gcfg = GenConfig { stmts: 40, vars: 12, ..Default::default() };
+    let gcfg = GenConfig {
+        stmts: 40,
+        vars: 12,
+        ..Default::default()
+    };
     let mut f = lower(999, &gcfg);
     build_ssa(&mut f, SsaFlavor::Pruned, false);
     destruct_via_webs(&mut f);

@@ -21,10 +21,8 @@
 //! suggests: every variable in the live-in set of the entry block gets a
 //! synthetic `const 0` initialisation at the top of the entry.
 
-use fcc_analysis::{DomTree, DominanceFrontiers, Liveness};
-use fcc_ir::{
-    Block, ControlFlowGraph, Function, Inst, InstKind, PhiArg, SecondaryMap, Value,
-};
+use fcc_analysis::{AnalysisManager, DomTree, DominanceFrontiers, PreservedAnalyses};
+use fcc_ir::{Block, ControlFlowGraph, Function, Inst, InstKind, PhiArg, SecondaryMap, Value};
 
 /// Which φ-placement discipline to use.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -59,6 +57,19 @@ pub struct SsaStats {
 ///
 /// Panics if `func` already contains φ-nodes.
 pub fn build_ssa(func: &mut Function, flavor: SsaFlavor, fold_copies: bool) -> SsaStats {
+    build_ssa_with(func, flavor, fold_copies, &mut AnalysisManager::new())
+}
+
+/// [`build_ssa`], pulling CFG, liveness, and dominators from a shared
+/// [`AnalysisManager`]. The caches end up stale when this returns (the
+/// renamer rewrites the whole function), which the manager detects
+/// through the epoch — later queries simply recompute.
+pub fn build_ssa_with(
+    func: &mut Function,
+    flavor: SsaFlavor,
+    fold_copies: bool,
+    am: &mut AnalysisManager,
+) -> SsaStats {
     assert!(!func.has_phis(), "build_ssa expects a phi-free function");
     let mut stats = SsaStats::default();
 
@@ -66,27 +77,34 @@ pub fn build_ssa(func: &mut Function, flavor: SsaFlavor, fold_copies: bool) -> S
     // would survive untouched (stale names, stale copies): drop it.
     func.remove_unreachable_blocks();
 
-    let cfg = ControlFlowGraph::compute(func);
+    let cfg = am.cfg(func);
     assert!(
         cfg.preds(func.entry()).is_empty(),
         "build_ssa requires an entry block without predecessors"
     );
     // Liveness over the *pre-SSA* variables: used for strictness
     // initialisation and (for pruned SSA) φ placement.
-    let live = Liveness::compute(func, &cfg);
+    let live = am.liveness(func);
 
     // Impose strictness: initialise every variable that is live-in at the
     // entry (i.e. has some upwards-exposed use not covered by a def).
     let entry = func.entry();
+    let epoch_before_inits = func.epoch();
     let live_in_entry: Vec<usize> = live.live_in(entry).iter().collect();
     for &vi in live_in_entry.iter().rev() {
         func.prepend_inst(entry, InstKind::Const { imm: 0 }, Some(Value::new(vi)));
         stats.strictness_inits += 1;
     }
-    // Recompute liveness if we changed the code.
-    let live = if stats.strictness_inits > 0 { Liveness::compute(func, &cfg) } else { live };
+    // Recompute liveness if we changed the code; prepending constants
+    // leaves every block and edge in place, so the CFG core survives.
+    let live = if stats.strictness_inits > 0 {
+        am.invalidate(func, epoch_before_inits, PreservedAnalyses::cfg_core());
+        am.liveness(func)
+    } else {
+        live
+    };
 
-    let dt = DomTree::compute(func, &cfg);
+    let dt = am.domtree(func);
     let dfs = DominanceFrontiers::compute(&cfg, &dt);
 
     let num_vars = func.num_values();
@@ -241,14 +259,18 @@ impl Renamer<'_> {
         let u = self.func.new_value();
         self.stats.values_minted += 1;
         let entry = self.func.entry();
-        self.func.prepend_inst(entry, InstKind::Const { imm: 0 }, Some(u));
+        self.func
+            .prepend_inst(entry, InstKind::Const { imm: 0 }, Some(u));
         self.undef_cache[var.index()] = Some(u);
         u
     }
 
     fn visit_block(&mut self, b: Block) -> Vec<(usize, usize)> {
         let mut pops: Vec<(usize, usize)> = Vec::new();
-        let push = |stacks: &mut Vec<Vec<Value>>, var: Value, name: Value, pops: &mut Vec<(usize, usize)>| {
+        let push = |stacks: &mut Vec<Vec<Value>>,
+                    var: Value,
+                    name: Value,
+                    pops: &mut Vec<(usize, usize)>| {
             stacks[var.index()].push(name);
             if let Some(e) = pops.iter_mut().find(|(v, _)| *v == var.index()) {
                 e.1 += 1;
@@ -262,7 +284,10 @@ impl Renamer<'_> {
             let is_phi = self.func.inst(inst).kind.is_phi();
             if is_phi {
                 // φs inserted by us carry their variable in phi_var.
-                let var = *self.phi_var.get(&inst).expect("phi without variable mapping");
+                let var = *self
+                    .phi_var
+                    .get(&inst)
+                    .expect("phi without variable mapping");
                 let new = self.func.new_value();
                 self.stats.values_minted += 1;
                 self.func.inst_mut(inst).dst = Some(new);
@@ -314,7 +339,9 @@ impl Renamer<'_> {
         for &s in self.cfg.succs(b) {
             let phis: Vec<Inst> = self.func.block_phis(s).collect();
             for phi in phis {
-                let Some(&var) = self.phi_var.get(&phi) else { continue };
+                let Some(&var) = self.phi_var.get(&phi) else {
+                    continue;
+                };
                 // Duplicate edges (branch with both arms to s) still get a
                 // single keyed argument.
                 let already = match &self.func.inst(phi).kind {
@@ -326,7 +353,10 @@ impl Renamer<'_> {
                 }
                 let name = self.cur(var);
                 if let InstKind::Phi { args } = &mut self.func.inst_mut(phi).kind {
-                    args.push(PhiArg { pred: b, value: name });
+                    args.push(PhiArg {
+                        pred: b,
+                        value: name,
+                    });
                 }
             }
         }

@@ -29,8 +29,10 @@ use crate::standard::DestructStats;
 /// Destruct `func`'s φs via Method I CSSA conversion. Returns counters
 /// (`copies_inserted` counts the isolation copies).
 pub fn destruct_sreedhar_i(func: &mut Function) -> DestructStats {
-    let mut stats = DestructStats::default();
-    stats.edges_split = split_critical_edges(func);
+    let mut stats = DestructStats {
+        edges_split: split_critical_edges(func),
+        ..Default::default()
+    };
 
     // Collect φs up front; the function is edited in place.
     let mut phis: Vec<(Block, Inst)> = Vec::new();
@@ -42,7 +44,9 @@ pub fn destruct_sreedhar_i(func: &mut Function) -> DestructStats {
 
     for &(b, phi) in &phis {
         let p = func.inst(phi).dst.expect("phi defines");
-        let InstKind::Phi { args } = func.inst(phi).kind.clone() else { unreachable!() };
+        let InstKind::Phi { args } = func.inst(phi).kind.clone() else {
+            unreachable!()
+        };
 
         // Isolate the arguments: aᵢ′ = copy aᵢ at the end of each pred.
         let mut web: Vec<Value> = Vec::with_capacity(args.len() + 1);
@@ -52,7 +56,10 @@ pub fn destruct_sreedhar_i(func: &mut Function) -> DestructStats {
             func.insert_before_terminator(a.pred, InstKind::Copy { src: a.value }, Some(ai));
             stats.copies_inserted += 1;
             web.push(ai);
-            new_args.push(fcc_ir::PhiArg { pred: a.pred, value: ai });
+            new_args.push(fcc_ir::PhiArg {
+                pred: a.pred,
+                value: ai,
+            });
         }
 
         // Isolate the destination: p′ = φ(...); p = copy p′ after the φs.

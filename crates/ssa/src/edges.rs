@@ -7,14 +7,21 @@
 //! (Section 3.6) is to split every critical edge once, right after
 //! reading in the code; all destruction algorithms here do the same.
 
-use fcc_ir::{ControlFlowGraph, Function};
+use fcc_analysis::AnalysisManager;
+use fcc_ir::Function;
 
 /// Split every critical edge in `func`, returning how many were split.
 ///
 /// New blocks contain a single `jump` and are appended to the layout; φ
 /// predecessor keys are rewritten by [`Function::split_edge`].
 pub fn split_critical_edges(func: &mut Function) -> usize {
-    let cfg = ControlFlowGraph::compute(func);
+    split_critical_edges_with(func, &mut AnalysisManager::new())
+}
+
+/// [`split_critical_edges`], pulling the CFG from a shared
+/// [`AnalysisManager`].
+pub fn split_critical_edges_with(func: &mut Function, am: &mut AnalysisManager) -> usize {
+    let cfg = am.cfg(func);
     let edges = cfg.critical_edges();
     let count = edges.len();
     for (pred, succ) in edges {
@@ -28,6 +35,7 @@ mod tests {
     use super::*;
     use fcc_ir::parse::parse_function;
     use fcc_ir::verify::verify_function;
+    use fcc_ir::ControlFlowGraph;
 
     #[test]
     fn splits_all_critical_edges() {

@@ -49,8 +49,8 @@ pub mod parcopy;
 pub mod standard;
 pub mod verify;
 
-pub use construct::{build_ssa, SsaFlavor, SsaStats};
+pub use construct::{build_ssa, build_ssa_with, SsaFlavor, SsaStats};
 pub use cssa::destruct_sreedhar_i;
-pub use edges::split_critical_edges;
-pub use standard::{destruct_standard, DestructStats};
-pub use verify::verify_ssa;
+pub use edges::{split_critical_edges, split_critical_edges_with};
+pub use standard::{destruct_standard, destruct_standard_with, DestructStats};
+pub use verify::{verify_ssa, verify_ssa_with};

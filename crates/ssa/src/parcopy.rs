@@ -56,7 +56,10 @@ pub fn sequentialize(copies: &[Move], mut fresh: impl FnMut() -> Value) -> Vec<M
     {
         let mut seen_dst = std::collections::HashSet::new();
         for &(dst, src) in copies {
-            assert!(seen_dst.insert(dst), "destination {dst} assigned twice in parallel copy");
+            assert!(
+                seen_dst.insert(dst),
+                "destination {dst} assigned twice in parallel copy"
+            );
             if dst != src {
                 pending.push((dst, src));
             }
@@ -85,22 +88,24 @@ pub fn sequentialize(copies: &[Move], mut fresh: impl FnMut() -> Value) -> Vec<M
         }
     }
 
-    let drain_ready =
-        |ready: &mut Vec<Value>, emitted: &mut Vec<Move>, loc: &mut HashMap<Value, Value>, done: &mut std::collections::HashSet<Value>| {
-            while let Some(b) = ready.pop() {
-                let a = pred[&b];
-                let c = loc[&a];
-                emitted.push((b, c));
-                done.insert(b);
-                loc.insert(a, b);
-                // If a's content was still in a itself, a has now been
-                // saved elsewhere — if a is also a destination, it is free
-                // to be overwritten.
-                if a == c && pred.contains_key(&a) && !done.contains(&a) {
-                    ready.push(a);
-                }
+    let drain_ready = |ready: &mut Vec<Value>,
+                       emitted: &mut Vec<Move>,
+                       loc: &mut HashMap<Value, Value>,
+                       done: &mut std::collections::HashSet<Value>| {
+        while let Some(b) = ready.pop() {
+            let a = pred[&b];
+            let c = loc[&a];
+            emitted.push((b, c));
+            done.insert(b);
+            loc.insert(a, b);
+            // If a's content was still in a itself, a has now been
+            // saved elsewhere — if a is also a destination, it is free
+            // to be overwritten.
+            if a == c && pred.contains_key(&a) && !done.contains(&a) {
+                ready.push(a);
             }
-        };
+        }
+    };
 
     while let Some(b) = {
         drain_ready(&mut ready, &mut emitted, &mut loc, &mut done);
@@ -133,8 +138,10 @@ pub fn apply_sequential(moves: &[Move], env: &mut HashMap<Value, i64>) {
 /// Interpret `copies` with parallel semantics (all reads before any
 /// write) over an environment.
 pub fn apply_parallel(copies: &[Move], env: &mut HashMap<Value, i64>) {
-    let reads: Vec<(Value, i64)> =
-        copies.iter().map(|&(dst, src)| (dst, *env.get(&src).unwrap_or(&0))).collect();
+    let reads: Vec<(Value, i64)> = copies
+        .iter()
+        .map(|&(dst, src)| (dst, *env.get(&src).unwrap_or(&0)))
+        .collect();
     for (dst, v) in reads {
         env.insert(dst, v);
     }
@@ -145,9 +152,15 @@ mod tests {
     use super::*;
 
     fn check(copies: &[(usize, usize)]) -> usize {
-        let copies: Vec<Move> =
-            copies.iter().map(|&(d, s)| (Value::new(d), Value::new(s))).collect();
-        let max = copies.iter().flat_map(|&(a, b)| [a.index(), b.index()]).max().unwrap_or(0);
+        let copies: Vec<Move> = copies
+            .iter()
+            .map(|&(d, s)| (Value::new(d), Value::new(s)))
+            .collect();
+        let max = copies
+            .iter()
+            .flat_map(|&(a, b)| [a.index(), b.index()])
+            .max()
+            .unwrap_or(0);
         let mut next = max + 1;
         let seq = sequentialize(&copies, || {
             next += 1;
@@ -164,7 +177,10 @@ mod tests {
         apply_sequential(&seq, &mut seq_env);
         for i in 0..=max {
             let v = Value::new(i);
-            assert_eq!(par_env[&v], seq_env[&v], "mismatch at {v} for {copies:?} -> {seq:?}");
+            assert_eq!(
+                par_env[&v], seq_env[&v],
+                "mismatch at {v} for {copies:?} -> {seq:?}"
+            );
         }
         seq.len()
     }

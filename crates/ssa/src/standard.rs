@@ -13,9 +13,10 @@
 
 use std::collections::HashMap;
 
-use fcc_ir::{Block, ControlFlowGraph, Function, Inst, InstKind, Value};
+use fcc_analysis::AnalysisManager;
+use fcc_ir::{Block, Function, Inst, InstKind, Value};
 
-use crate::edges::split_critical_edges;
+use crate::edges::split_critical_edges_with;
 use crate::parcopy::sequentialize;
 
 /// Counters describing one destruction run.
@@ -37,10 +38,18 @@ pub struct DestructStats {
 /// integration suite checks this against the φ-aware reference
 /// interpreter).
 pub fn destruct_standard(func: &mut Function) -> DestructStats {
-    let mut stats = DestructStats::default();
-    stats.edges_split = split_critical_edges(func);
+    destruct_standard_with(func, &mut AnalysisManager::new())
+}
 
-    let cfg = ControlFlowGraph::compute(func);
+/// [`destruct_standard`], pulling the CFG from a shared
+/// [`AnalysisManager`].
+pub fn destruct_standard_with(func: &mut Function, am: &mut AnalysisManager) -> DestructStats {
+    let mut stats = DestructStats {
+        edges_split: split_critical_edges_with(func, am),
+        ..Default::default()
+    };
+
+    let cfg = am.cfg(func);
 
     // Gather, per predecessor block, the parallel copy its outgoing edge
     // must perform. After critical-edge splitting each predecessor of a

@@ -14,8 +14,8 @@
 
 use std::collections::HashMap;
 
-use fcc_analysis::DomTree;
-use fcc_ir::{Block, ControlFlowGraph, Function, InstKind, Value};
+use fcc_analysis::AnalysisManager;
+use fcc_ir::{Block, Function, InstKind, Value};
 
 /// A violation of the regular-SSA property.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -33,7 +33,9 @@ impl std::fmt::Display for SsaError {
 impl std::error::Error for SsaError {}
 
 fn serr(message: impl Into<String>) -> SsaError {
-    SsaError { message: message.into() }
+    SsaError {
+        message: message.into(),
+    }
 }
 
 /// Check that `func` is in regular SSA form.
@@ -42,8 +44,15 @@ fn serr(message: impl Into<String>) -> SsaError {
 /// Returns the first violated property (multiple definitions, or a use not
 /// dominated by its definition).
 pub fn verify_ssa(func: &Function) -> Result<(), SsaError> {
-    let cfg = ControlFlowGraph::compute(func);
-    let dt = DomTree::compute(func, &cfg);
+    verify_ssa_with(func, &mut AnalysisManager::new())
+}
+
+/// [`verify_ssa`], pulling the CFG and dominator tree from a shared
+/// [`AnalysisManager`] — free when the caller's pipeline already has
+/// them cached.
+pub fn verify_ssa_with(func: &Function, am: &mut AnalysisManager) -> Result<(), SsaError> {
+    let cfg = am.cfg(func);
+    let dt = am.domtree(func);
 
     // Definition site (block, position) of every value.
     let mut def_site: HashMap<Value, (Block, usize)> = HashMap::new();
@@ -94,10 +103,7 @@ pub fn verify_ssa(func: &Function) -> Result<(), SsaError> {
                 for a in args {
                     match def_site.get(&a.value) {
                         None => {
-                            return Err(serr(format!(
-                                "phi arg {} in {b} never defined",
-                                a.value
-                            )))
+                            return Err(serr(format!("phi arg {} in {b} never defined", a.value)))
                         }
                         Some(&(db, _)) => {
                             // The use happens at the end of the a.pred edge:

@@ -2,30 +2,28 @@
 //! sequentialisation on randomly generated (arbitrary, even non-strict)
 //! functions.
 
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 use fcc_ir::{Block, Function, InstKind, Value};
 use fcc_ssa::parcopy::{apply_parallel, apply_sequential, sequentialize};
 use fcc_ssa::{build_ssa, destruct_standard, verify_ssa, SsaFlavor};
+use fcc_workloads::SplitMix64;
+
+/// Seeded-case count: the default covers CI; `--features heavy` sweeps
+/// wider (the old proptest case counts, several times over).
+const CASES: u64 = if cfg!(feature = "heavy") { 4096 } else { 256 };
 
 // ---------- parallel copies ----------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Random parallel copies (unique dsts, arbitrary srcs, self-moves,
-    /// cycles): sequentialisation must match parallel semantics exactly.
-    #[test]
-    fn parcopy_sequentialization_is_semantics_preserving(
-        srcs in proptest::collection::vec(0usize..12, 0..12)
-    ) {
-        let copies: Vec<(Value, Value)> = srcs
-            .iter()
-            .enumerate()
-            .map(|(d, &s)| (Value::new(d), Value::new(s)))
+/// Random parallel copies (unique dsts, arbitrary srcs, self-moves,
+/// cycles): sequentialisation must match parallel semantics exactly.
+#[test]
+fn parcopy_sequentialization_is_semantics_preserving() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(0xA11C_0000 + case);
+        let n = rng.gen_range(0usize..12);
+        let copies: Vec<(Value, Value)> = (0..n)
+            .map(|d| (Value::new(d), Value::new(rng.gen_range(0usize..12))))
             .collect();
         let mut next = 100;
         let seq = sequentialize(&copies, || {
@@ -34,7 +32,10 @@ proptest! {
         });
         // At most one temp per cycle; cycles are disjoint, so bounded by
         // half the moves.
-        prop_assert!(seq.len() <= copies.len() + copies.len() / 2 + 1);
+        assert!(
+            seq.len() <= copies.len() + copies.len() / 2 + 1,
+            "case {case}"
+        );
 
         let mut par_env: HashMap<Value, i64> = HashMap::new();
         for i in 0..next {
@@ -45,20 +46,28 @@ proptest! {
         apply_sequential(&seq, &mut seq_env);
         for d in 0..12 {
             let v = Value::new(d);
-            prop_assert_eq!(par_env[&v], seq_env[&v], "dst {}", v);
+            assert_eq!(par_env[&v], seq_env[&v], "case {case}: dst {v}");
         }
     }
+}
 
-    /// Permutations are the worst case (every dst is a src): check all
-    /// registers, not just dsts.
-    #[test]
-    fn parcopy_on_permutations(keys in proptest::collection::vec(any::<u64>(), 1..9)) {
+/// Permutations are the worst case (every dst is a src): check all
+/// registers, not just dsts.
+#[test]
+fn parcopy_on_permutations() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(0xBEE5_0000 + case);
+        let len = rng.gen_range(1usize..9);
+        let keys: Vec<u64> = (0..len).map(|_| rng.next_u64()).collect();
         // argsort of random keys = a uniformly random permutation.
         let mut idx: Vec<usize> = (0..keys.len()).collect();
         idx.sort_by_key(|&i| (keys[i], i));
         let perm = idx;
-        let copies: Vec<(Value, Value)> =
-            perm.iter().enumerate().map(|(d, &s)| (Value::new(d), Value::new(s))).collect();
+        let copies: Vec<(Value, Value)> = perm
+            .iter()
+            .enumerate()
+            .map(|(d, &s)| (Value::new(d), Value::new(s)))
+            .collect();
         let mut next = 50;
         let seq = sequentialize(&copies, || {
             next += 1;
@@ -72,7 +81,11 @@ proptest! {
         apply_parallel(&copies, &mut par_env);
         apply_sequential(&seq, &mut seq_env);
         for d in 0..perm.len() {
-            prop_assert_eq!(par_env[&Value::new(d)], seq_env[&Value::new(d)]);
+            assert_eq!(
+                par_env[&Value::new(d)],
+                seq_env[&Value::new(d)],
+                "case {case}"
+            );
         }
     }
 }
@@ -83,7 +96,7 @@ proptest! {
 /// value usage. Terminating is NOT guaranteed, so runs are fuel-bounded
 /// and non-terminating seeds are skipped.
 fn random_function(seed: u64, n_blocks: usize, n_vals: usize) -> Function {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut f = Function::new(format!("r{seed}"));
     let blocks: Vec<Block> = (0..n_blocks).map(|_| f.add_block()).collect();
     for _ in 0..n_vals {
@@ -94,7 +107,13 @@ fn random_function(seed: u64, n_blocks: usize, n_vals: usize) -> Function {
             let dst = Value::new(rng.gen_range(0..n_vals));
             match rng.gen_range(0..4) {
                 0 => {
-                    f.append_inst(b, InstKind::Const { imm: rng.gen_range(-9..9) }, Some(dst));
+                    f.append_inst(
+                        b,
+                        InstKind::Const {
+                            imm: rng.gen_range(-9i64..9),
+                        },
+                        Some(dst),
+                    );
                 }
                 1 => {
                     let src = Value::new(rng.gen_range(0..n_vals));
@@ -105,7 +124,11 @@ fn random_function(seed: u64, n_blocks: usize, n_vals: usize) -> Function {
                     let c = Value::new(rng.gen_range(0..n_vals));
                     f.append_inst(
                         b,
-                        InstKind::Binary { op: fcc_ir::BinOp::Sub, a, b: c },
+                        InstKind::Binary {
+                            op: fcc_ir::BinOp::Sub,
+                            a,
+                            b: c,
+                        },
                         Some(dst),
                     );
                 }
@@ -114,7 +137,11 @@ fn random_function(seed: u64, n_blocks: usize, n_vals: usize) -> Function {
                     let c = Value::new(rng.gen_range(0..n_vals));
                     f.append_inst(
                         b,
-                        InstKind::Binary { op: fcc_ir::BinOp::Xor, a, b: c },
+                        InstKind::Binary {
+                            op: fcc_ir::BinOp::Xor,
+                            a,
+                            b: c,
+                        },
                         Some(dst),
                     );
                 }
@@ -134,7 +161,15 @@ fn random_function(seed: u64, n_blocks: usize, n_vals: usize) -> Function {
             let cond = Value::new(rng.gen_range(0..n_vals));
             let t = blocks[rng.gen_range(1..n_blocks)];
             let e = blocks[rng.gen_range((bi + 1).max(1).min(n_blocks - 1)..n_blocks)];
-            f.append_inst(b, InstKind::Branch { cond, then_dst: t, else_dst: e }, None);
+            f.append_inst(
+                b,
+                InstKind::Branch {
+                    cond,
+                    then_dst: t,
+                    else_dst: e,
+                },
+                None,
+            );
         }
     }
     f
@@ -151,7 +186,9 @@ fn ssa_roundtrip_preserves_random_functions() {
     let mut checked = 0;
     for seed in 0..400u64 {
         let base = random_function(seed, 3 + (seed as usize % 7), 5);
-        let Some(reference) = bounded_run(&base) else { continue };
+        let Some(reference) = bounded_run(&base) else {
+            continue;
+        };
         for flavor in [SsaFlavor::Minimal, SsaFlavor::SemiPruned, SsaFlavor::Pruned] {
             for fold in [false, true] {
                 let mut f = base.clone();
@@ -176,7 +213,10 @@ fn ssa_roundtrip_preserves_random_functions() {
         }
         checked += 1;
     }
-    assert!(checked > 100, "only {checked} seeds terminated — generator bias is off");
+    assert!(
+        checked > 100,
+        "only {checked} seeds terminated — generator bias is off"
+    );
 }
 
 #[test]
@@ -185,7 +225,11 @@ fn folding_always_removes_all_copies() {
         let base = random_function(seed, 4, 5);
         let mut f = base.clone();
         build_ssa(&mut f, SsaFlavor::Pruned, true);
-        assert_eq!(f.static_copy_count(), 0, "seed {seed}: folding left a copy\n{f}");
+        assert_eq!(
+            f.static_copy_count(),
+            0,
+            "seed {seed}: folding left a copy\n{f}"
+        );
     }
 }
 
@@ -202,7 +246,10 @@ fn pruned_never_more_phis_than_semipruned_than_minimal() {
         let semi = count(SsaFlavor::SemiPruned);
         let pruned = count(SsaFlavor::Pruned);
         assert!(pruned <= semi, "seed {seed}: pruned {pruned} > semi {semi}");
-        assert!(semi <= minimal, "seed {seed}: semi {semi} > minimal {minimal}");
+        assert!(
+            semi <= minimal,
+            "seed {seed}: semi {semi} > minimal {minimal}"
+        );
     }
 }
 

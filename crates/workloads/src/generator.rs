@@ -10,10 +10,9 @@
 //! * **scaling studies** — the §3.7 `O(n·α(n))` claim is checked on
 //!   generated programs of geometrically increasing size.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use fcc_frontend::ast::{Expr, Op, Program, Stmt, UnOp};
+
+use crate::rng::SplitMix64;
 
 /// Mint a fresh, never-reused variable name.
 fn fresh_name(counter: &mut usize) -> String {
@@ -40,13 +39,20 @@ pub struct GenConfig {
 
 impl Default for GenConfig {
     fn default() -> Self {
-        GenConfig { stmts: 12, max_depth: 3, vars: 6, max_loop: 6, params: 2, memory_ops: true }
+        GenConfig {
+            stmts: 12,
+            max_depth: 3,
+            vars: 6,
+            max_loop: 6,
+            params: 2,
+            memory_ops: true,
+        }
     }
 }
 
 /// Generate a random program from `seed`. Deterministic per seed+config.
 pub fn generate(seed: u64, cfg: &GenConfig) -> Program {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let params: Vec<String> = (0..cfg.params).map(|i| format!("p{i}")).collect();
     let mut g = Gen {
         rng: &mut rng,
@@ -60,7 +66,10 @@ pub fn generate(seed: u64, cfg: &GenConfig) -> Program {
     // Give every variable a definition first (strictness by construction).
     for i in 0..cfg.vars {
         let value = g.expr(1);
-        body.push(Stmt::Let { name: format!("v{i}"), value });
+        body.push(Stmt::Let {
+            name: format!("v{i}"),
+            value,
+        });
         g.readable.push(format!("v{i}"));
         g.mutable.push(format!("v{i}"));
     }
@@ -84,11 +93,15 @@ pub fn generate(seed: u64, cfg: &GenConfig) -> Program {
     }
     body.push(Stmt::Return { value: Some(acc) });
 
-    Program { name: format!("gen{seed}"), params, body }
+    Program {
+        name: format!("gen{seed}"),
+        params,
+        body,
+    }
 }
 
 struct Gen<'a> {
-    rng: &'a mut StdRng,
+    rng: &'a mut SplitMix64,
     cfg: &'a GenConfig,
     /// Names that may appear in expressions (params, scalars, loop vars).
     readable: Vec<String>,
@@ -113,7 +126,7 @@ impl Gen<'_> {
         let choice = self.rng.gen_range(0..10);
         if depth >= 3 || choice < 2 {
             return if self.rng.gen_bool(0.5) || self.readable.is_empty() {
-                Expr::Num(self.rng.gen_range(-20..40))
+                Expr::Num(self.rng.gen_range(-20i64..40))
             } else {
                 Expr::Var(self.var())
             };
@@ -143,7 +156,11 @@ impl Gen<'_> {
                 }
             }
             7 => Expr::Unary {
-                op: if self.rng.gen_bool(0.5) { UnOp::Neg } else { UnOp::Not },
+                op: if self.rng.gen_bool(0.5) {
+                    UnOp::Neg
+                } else {
+                    UnOp::Not
+                },
                 expr: Box::new(self.expr(depth + 1)),
             },
             8 if self.cfg.memory_ops => {
@@ -202,9 +219,16 @@ impl Gen<'_> {
             4..=6 => {
                 let cond = self.expr(0);
                 let then_body = self.body(depth + 1);
-                let else_body =
-                    if self.rng.gen_bool(0.6) { self.body(depth + 1) } else { Vec::new() };
-                Stmt::If { cond, then_body, else_body }
+                let else_body = if self.rng.gen_bool(0.6) {
+                    self.body(depth + 1)
+                } else {
+                    Vec::new()
+                };
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                }
             }
             _ => {
                 // Bounded for loop over a fresh induction variable. The
@@ -215,7 +239,12 @@ impl Gen<'_> {
                 let to = Expr::Num(self.rng.gen_range(1..=self.cfg.max_loop));
                 self.readable.push(var.clone());
                 let body = self.body(depth + 1);
-                Stmt::For { var, from, to, body }
+                Stmt::For {
+                    var,
+                    from,
+                    to,
+                    body,
+                }
             }
         }
     }
@@ -261,7 +290,12 @@ mod tests {
 
     #[test]
     fn bigger_configs_scale() {
-        let cfg = GenConfig { stmts: 60, max_depth: 4, vars: 12, ..Default::default() };
+        let cfg = GenConfig {
+            stmts: 60,
+            max_depth: 4,
+            vars: 12,
+            ..Default::default()
+        };
         let prog = generate(1, &cfg);
         let f = lower_program(&prog).unwrap();
         assert!(f.live_inst_count() > 200, "got {}", f.live_inst_count());

@@ -65,7 +65,8 @@ fn saxpy(n, a) {
     },
     Kernel {
         name: "tomcatv",
-        description: "vectorised mesh generation: 2D relaxation sweeps with many scalar temporaries",
+        description:
+            "vectorised mesh generation: 2D relaxation sweeps with many scalar temporaries",
         args: &[24],
         memory_words: 4096,
         source: r#"
@@ -206,7 +207,8 @@ fn getbx(n) {
     },
     Kernel {
         name: "twldrv",
-        description: "driver routine: long chains of conditionals around inner kernels (Spec fpppp's twldrv)",
+        description:
+            "driver routine: long chains of conditionals around inner kernels (Spec fpppp's twldrv)",
         args: &[16, 3],
         memory_words: 2048,
         source: r#"
@@ -301,7 +303,8 @@ fn rhs(n) {
     },
     Kernel {
         name: "parmvrx",
-        description: "particle mover: per-particle position/velocity update with field interpolation",
+        description:
+            "particle mover: per-particle position/velocity update with field interpolation",
         args: &[40],
         memory_words: 1024,
         source: r#"
@@ -597,7 +600,8 @@ fn advbndx(n) {
     },
     Kernel {
         name: "deseco",
-        description: "secondary-variable evaluation: scalar-heavy conditional cascades (Spec doduc)",
+        description:
+            "secondary-variable evaluation: scalar-heavy conditional cascades (Spec doduc)",
         args: &[60],
         memory_words: 512,
         source: r#"
@@ -755,7 +759,8 @@ fn seval(n, queries) {
     },
     Kernel {
         name: "quanc8",
-        description: "Forsythe: adaptive 8-panel quadrature (fixed refinement schedule, integer analog)",
+        description:
+            "Forsythe: adaptive 8-panel quadrature (fixed refinement schedule, integer analog)",
         args: &[16],
         memory_words: 512,
         source: r#"
@@ -792,7 +797,8 @@ fn quanc8(levels) {
     },
     Kernel {
         name: "rkf45",
-        description: "Forsythe: Runge-Kutta-Fehlberg ODE step loop with step-size control (integer analog)",
+        description:
+            "Forsythe: Runge-Kutta-Fehlberg ODE step loop with step-size control (integer analog)",
         args: &[50],
         memory_words: 128,
         source: r#"
@@ -877,7 +883,8 @@ fn decomp(n) {
     },
     Kernel {
         name: "solve",
-        description: "Forsythe: triangular solves using a decomposed system (forward + back substitution)",
+        description:
+            "Forsythe: triangular solves using a decomposed system (forward + back substitution)",
         args: &[16],
         memory_words: 512,
         source: r#"
@@ -1027,15 +1034,15 @@ mod tests {
         // Every routine named in the paper's Tables 1-5 has an analog.
         for name in [
             "fieldx", "parmvrx", "parmovx", "twldrv", "fpppp", "radfgx", "radbgx", "parmvex",
-            "jacld", "smoothx", "initx", "advbndx", "deseco", "tomcatv", "blts", "buts",
-            "getbx", "rhs", "saxpy", "smooth",
+            "jacld", "smoothx", "initx", "advbndx", "deseco", "tomcatv", "blts", "buts", "getbx",
+            "rhs", "saxpy", "smooth",
         ] {
             assert!(kernel(name).is_some(), "missing kernel {name}");
         }
         // Plus the Forsythe-book analogs.
         for name in [
-            "zeroin", "fmin", "spline", "seval", "quanc8", "rkf45", "decomp", "solve",
-            "urand", "svd",
+            "zeroin", "fmin", "spline", "seval", "quanc8", "rkf45", "decomp", "solve", "urand",
+            "svd",
         ] {
             assert!(kernel(name).is_some(), "missing kernel {name}");
         }

@@ -26,9 +26,11 @@
 
 pub mod generator;
 pub mod kernels;
+pub mod rng;
 
 pub use generator::{generate, GenConfig};
 pub use kernels::{kernel, kernels, Kernel};
+pub use rng::SplitMix64;
 
 use fcc_interp::{run_with_memory, ExecError, Outcome};
 use fcc_ir::Function;

@@ -1,0 +1,135 @@
+//! A tiny, dependency-free seeded PRNG for the generator, tests, and
+//! benchmarks.
+//!
+//! [`SplitMix64`] (Steele, Lea & Flood's `splitmix64` finaliser applied
+//! to a Weyl sequence) is deterministic per seed, passes BigCrush on the
+//! output sizes we care about, and keeps the whole workspace buildable
+//! with **no registry access**. The API mirrors the subset of `rand`
+//! this workspace used (`seed_from_u64`, `gen_range`, `gen_bool`), so
+//! call sites read the same.
+//!
+//! Statistical quality caveats (modulo reduction instead of rejection
+//! sampling) are irrelevant here: every consumer is a seeded test or a
+//! program generator, not a simulation.
+
+/// Deterministic 64-bit PRNG. `Clone` so tests can fork streams.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seed the generator. Identical seeds yield identical streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from a half-open or inclusive integer range.
+    ///
+    /// # Panics
+    /// Panics on an empty range, matching `rand`.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        // 53 random bits → uniform in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+/// Integer ranges [`SplitMix64::gen_range`] accepts.
+pub trait SampleRange {
+    type Output;
+    fn sample(self, rng: &mut SplitMix64) -> Self::Output;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for std::ops::Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut SplitMix64) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + off) as $t
+            }
+        }
+        impl SampleRange for std::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut SplitMix64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range on empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128 % span) as i128;
+                (lo as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(usize, u32, u64, i32, i64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SplitMix64::seed_from_u64(1);
+        let mut b = SplitMix64::seed_from_u64(1);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::seed_from_u64(2);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SplitMix64::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-20i64..40);
+            assert!((-20..40).contains(&x));
+            let y = rng.gen_range(0usize..3);
+            assert!(y < 3);
+            let z = rng.gen_range(1i64..=6);
+            assert!((1..=6).contains(&z));
+            let w = rng.gen_range(5u32..6);
+            assert_eq!(w, 5);
+        }
+    }
+
+    #[test]
+    fn range_draws_cover_every_bucket() {
+        let mut rng = SplitMix64::seed_from_u64(11);
+        let mut hits = [0usize; 10];
+        for _ in 0..10_000 {
+            hits[rng.gen_range(0usize..10)] += 1;
+        }
+        for (i, &h) in hits.iter().enumerate() {
+            assert!(h > 500, "bucket {i} starved: {h}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SplitMix64::seed_from_u64(13);
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.8)).count();
+        assert!((7_500..8_500).contains(&heads), "got {heads}");
+        assert_eq!((0..100).filter(|_| rng.gen_bool(0.0)).count(), 0);
+        assert_eq!((0..100).filter(|_| rng.gen_bool(1.0)).count(), 100);
+    }
+}

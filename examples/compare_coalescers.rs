@@ -2,8 +2,10 @@
 //!
 //! Standard (no coalescing), New (the paper's dominance-forest
 //! algorithm), Briggs (full interference graph), and Briggs\* (restricted
-//! graph) — reporting wall time, peak data-structure bytes, and the
-//! static/dynamic copy counts the paper's Tables 2–5 are built from.
+//! graph) — reporting wall time, peak data-structure bytes, the
+//! static/dynamic copy counts the paper's Tables 2–5 are built from, and
+//! the analysis-cache hits each pipeline gets from sharing one
+//! `AnalysisManager` across its phases.
 //!
 //! Run: `cargo run --release --example compare_coalescers [kernel]`
 //! (default kernel: tomcatv; list: `--example compare_coalescers list`)
@@ -14,7 +16,9 @@ use fcc::prelude::*;
 use fcc::workloads::{compile_kernel, kernel, kernels, reference_run};
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "tomcatv".to_string());
+    let arg = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "tomcatv".to_string());
     if arg == "list" {
         for k in kernels() {
             println!("{:10} - {}", k.name, k.description);
@@ -36,43 +40,41 @@ fn main() {
         reference.ret
     );
     println!(
-        "{:<10} {:>10} {:>12} {:>14} {:>15}",
-        "pipeline", "time(us)", "peak bytes", "static copies", "dynamic copies"
+        "{:<10} {:>10} {:>12} {:>14} {:>15} {:>12}",
+        "pipeline", "time(us)", "peak bytes", "static copies", "dynamic copies", "cache h/m"
     );
 
-    for (label, fold) in
-        [("Standard", true), ("New", true), ("Briggs", false), ("Briggs*", false)]
-    {
-        let mut f = base.clone();
+    let mut new_report: Option<PipelineReport> = None;
+    for p in [
+        Pipeline::Standard,
+        Pipeline::New,
+        Pipeline::Briggs,
+        Pipeline::BriggsStar,
+    ] {
         let t0 = Instant::now();
-        build_ssa(&mut f, SsaFlavor::Pruned, fold);
-        let peak = match label {
-            "Standard" => {
-                destruct_standard(&mut f);
-                f.bytes()
-            }
-            "New" => {
-                let s = coalesce_ssa(&mut f);
-                s.peak_bytes + f.bytes()
-            }
-            _ => {
-                destruct_via_webs(&mut f);
-                let mode =
-                    if label == "Briggs" { GraphMode::Full } else { GraphMode::Restricted };
-                let s = coalesce_copies(&mut f, &BriggsOptions { mode, ..Default::default() });
-                s.peak_bytes + f.bytes()
-            }
-        };
+        let report = run_pipeline(p, base.clone());
         let dt = t0.elapsed();
-        let out = reference_run(&f, k).expect("pipeline output runs");
-        assert_eq!(out.behavior(), reference.behavior(), "{label} must preserve semantics");
-        println!(
-            "{:<10} {:>10.1} {:>12} {:>14} {:>15}",
-            label,
-            dt.as_secs_f64() * 1e6,
-            peak,
-            f.static_copy_count(),
-            out.dynamic_copies
+        let out = reference_run(&report.func, k).expect("pipeline output runs");
+        assert_eq!(
+            out.behavior(),
+            reference.behavior(),
+            "{} must preserve semantics",
+            p.label()
         );
+        println!(
+            "{:<10} {:>10.1} {:>12} {:>14} {:>15} {:>12}",
+            p.label(),
+            dt.as_secs_f64() * 1e6,
+            report.peak_bytes,
+            report.func.static_copy_count(),
+            out.dynamic_copies,
+            format!("{}/{}", report.cache_hits(), report.cache_misses()),
+        );
+        if p == Pipeline::New {
+            new_report = Some(report);
+        }
     }
+
+    println!("\nper-phase breakdown of the New pipeline:");
+    print!("{}", new_report.expect("New pipeline ran").render());
 }

@@ -12,8 +12,8 @@
 
 use std::time::Instant;
 
-use fcc::prelude::*;
 use fcc::interp::{run_with_memory, RunConfig};
+use fcc::prelude::*;
 
 fn main() {
     // The hot method our "JIT" has decided to compile: a dot-product-ish
@@ -40,7 +40,10 @@ fn main() {
     let mut func = fcc::frontend::compile(src).expect("front end");
     let front_us = t_front.elapsed().as_secs_f64() * 1e6;
 
-    let config = RunConfig { memory_words: (1 << 20) + 64, fuel: 50_000_000 };
+    let config = RunConfig {
+        memory_words: (1 << 20) + 64,
+        fuel: 50_000_000,
+    };
     let reference = run_with_memory(&func, &[64], vec![0; config.memory_words], config.fuel)
         .expect("reference");
 
@@ -54,8 +57,14 @@ fn main() {
 
     let t_ra = Instant::now();
     let k = 6;
-    let alloc = allocate(&mut func, &AllocOptions { registers: k, ..Default::default() })
-        .expect("allocation converges");
+    let alloc = allocate(
+        &mut func,
+        &AllocOptions {
+            registers: k,
+            ..Default::default()
+        },
+    )
+    .expect("allocation converges");
     let ra_us = t_ra.elapsed().as_secs_f64() * 1e6;
 
     println!("JIT pipeline phase times:");
@@ -74,7 +83,10 @@ fn main() {
     fcc::regalloc::verify_coloring(&func, &alloc.coloring, k).expect("proper colouring");
     let out = run_with_memory(&func, &[64], vec![0; config.memory_words], config.fuel)
         .expect("compiled code runs");
-    assert_eq!(out.ret, reference.ret, "the JIT must not change observable behaviour");
+    assert_eq!(
+        out.ret, reference.ret,
+        "the JIT must not change observable behaviour"
+    );
     println!(
         "\nexecuted 'compiled' code: hot(64) = {:?} ({} instructions, {} dynamic copies)",
         out.ret, out.executed, out.dynamic_copies

@@ -9,7 +9,7 @@
 //!
 //! Run: `cargo run --example optimizer`
 
-use fcc::opt::{aggressive_pipeline, simplify_cfg};
+use fcc::opt::simplify_cfg_with;
 use fcc::prelude::*;
 
 fn main() {
@@ -39,14 +39,17 @@ fn main() {
         func.static_copy_count()
     );
 
-    build_ssa(&mut func, SsaFlavor::Pruned, true);
+    // One AnalysisManager spans SSA construction, the optimiser, and
+    // the coalescer, so each phase re-uses what the previous one built.
+    let mut am = AnalysisManager::new();
+    build_ssa_with(&mut func, SsaFlavor::Pruned, true, &mut am);
     println!(
         "SSA (copies folded):  {:4} instructions, {:2} phis",
         func.live_inst_count(),
         func.phi_count()
     );
 
-    let (rounds, counts) = aggressive_pipeline().run(&mut func);
+    let (rounds, counts) = aggressive_pipeline().run(&mut func, &mut am);
     verify_ssa(&func).expect("optimised SSA is valid");
     println!(
         "optimised SSA:        {:4} instructions, {:2} phis  ({} pipeline rounds)",
@@ -60,8 +63,8 @@ fn main() {
         }
     }
 
-    let stats = coalesce_ssa(&mut func);
-    simplify_cfg(&mut func);
+    let stats = coalesce_ssa_managed(&mut func, &CoalesceOptions::default(), &mut am);
+    simplify_cfg_with(&mut func, &mut am);
     println!(
         "coalesced CFG:        {:4} instructions, {:2} copies inserted",
         func.live_inst_count(),
@@ -69,10 +72,19 @@ fn main() {
     );
 
     let out = fcc::interp::run(&func, &[10]).expect("runs");
-    assert_eq!(out.ret, reference.ret, "optimisation must not change behaviour");
+    assert_eq!(
+        out.ret, reference.ret,
+        "optimisation must not change behaviour"
+    );
     println!(
         "\nkernel(10) = {:?} before and after; dynamic copies in final code: {}",
         out.ret, out.dynamic_copies
+    );
+    let c = am.counters();
+    println!(
+        "analysis cache over the whole pipeline: {} hits / {} misses",
+        c.total_hits(),
+        c.total_misses()
     );
     println!("\nfinal code:\n{func}");
 }

@@ -10,8 +10,8 @@
 //!
 //! Run: `cargo run --example virtual_swap`
 
-use fcc::prelude::*;
 use fcc::ir::parse::parse_function;
+use fcc::prelude::*;
 
 const FIGURE_3B: &str = "
 function @vswap(1) {
@@ -39,7 +39,10 @@ fn main() {
 
     let then_result = fcc::interp::run(&f, &[1]).unwrap();
     let else_result = fcc::interp::run(&f, &[0]).unwrap();
-    println!("reference: cond=1 -> {:?}, cond=0 -> {:?}", then_result.ret, else_result.ret);
+    println!(
+        "reference: cond=1 -> {:?}, cond=0 -> {:?}",
+        then_result.ret, else_result.ret
+    );
     assert_eq!(then_result.ret, Some(30)); // 60 / 2
     assert_eq!(else_result.ret, Some(0)); // 2 / 60
 

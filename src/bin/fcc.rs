@@ -15,6 +15,8 @@
 //!   --emit STAGE    print IR at: cfg | ssa | final (default: final)
 //!   --run ARGS      execute the final code, ARGS comma-separated
 //!   --stats         print phase statistics
+//!   --report        print the per-phase pipeline report (time, peak
+//!                   bytes, analysis-cache hits/misses)
 //!   --list-kernels  list bundled kernels and exit
 //! ```
 //!
@@ -30,8 +32,9 @@ use std::io::{Read, Write};
 use std::process::ExitCode;
 use std::time::Instant;
 
+use fcc::bench::{render_phases, PhaseRecord, PhaseTimer};
+use fcc::opt::simplify_cfg_with;
 use fcc::prelude::*;
-use fcc::opt::simplify_cfg;
 
 struct Options {
     input: String,
@@ -43,12 +46,13 @@ struct Options {
     emit: String,
     run: Option<Vec<i64>>,
     stats: bool,
+    report: bool,
 }
 
 fn usage() -> &'static str {
     "usage: fcc <file.ml | kernel:NAME | -> [--pipeline new|new-cut|standard|sreedhar|briggs|briggs-star] \
      [--no-fold] [--opt] [--simplify] [--alloc K] [--emit cfg|ssa|final] [--run a,b,...] \
-     [--stats] [--list-kernels]"
+     [--stats] [--report] [--list-kernels]"
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -63,6 +67,7 @@ fn parse_args() -> Result<Options, String> {
         emit: "final".into(),
         run: None,
         stats: false,
+        report: false,
     };
     let need = |args: &mut dyn Iterator<Item = String>, flag: &str| {
         args.next().ok_or_else(|| format!("{flag} needs a value"))
@@ -83,11 +88,15 @@ fn parse_args() -> Result<Options, String> {
             "--emit" => o.emit = need(&mut args, "--emit")?,
             "--run" => {
                 let list = need(&mut args, "--run")?;
-                let vals: Result<Vec<i64>, _> =
-                    list.split(',').filter(|s| !s.is_empty()).map(str::parse).collect();
+                let vals: Result<Vec<i64>, _> = list
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::parse)
+                    .collect();
                 o.run = Some(vals.map_err(|e| format!("--run: {e}"))?);
             }
             "--stats" => o.stats = true,
+            "--report" => o.report = true,
             "--list-kernels" => {
                 for k in fcc::workloads::kernels() {
                     emit(format_args!("{:10} {}", k.name, k.description));
@@ -124,7 +133,9 @@ fn load_source(input: &str) -> Result<String, String> {
     }
     if input == "-" {
         let mut s = String::new();
-        std::io::stdin().read_to_string(&mut s).map_err(|e| e.to_string())?;
+        std::io::stdin()
+            .read_to_string(&mut s)
+            .map_err(|e| e.to_string())?;
         return Ok(s);
     }
     std::fs::read_to_string(input).map_err(|e| format!("{input}: {e}"))
@@ -150,10 +161,19 @@ fn real_main() -> Result<(), String> {
         return Ok(());
     }
 
+    // One manager serves every phase; --report shows what that sharing
+    // bought in analysis-cache hits.
+    let mut am = AnalysisManager::new();
+    let mut phases: Vec<PhaseRecord> = Vec::new();
+
     let t0 = Instant::now();
-    let ssa_stats = build_ssa(&mut func, SsaFlavor::Pruned, o.fold);
+    let timer = PhaseTimer::start("build-ssa", &am);
+    let ssa_stats = build_ssa_with(&mut func, SsaFlavor::Pruned, o.fold, &mut am);
+    phases.push(timer.finish_with(&am, &ssa_stats));
     if o.opt {
-        let (rounds, _) = standard_pipeline().run(&mut func);
+        let timer = PhaseTimer::start("optimise", &am);
+        let (rounds, _) = standard_pipeline().run(&mut func, &mut am);
+        phases.push(timer.finish(&am));
         if o.stats {
             eprintln!("; optimiser: {rounds} rounds to fixpoint");
         }
@@ -174,24 +194,37 @@ fn real_main() -> Result<(), String> {
                 },
                 ..Default::default()
             };
-            let s = coalesce_ssa_with(&mut func, &opts);
+            let timer = PhaseTimer::start("coalesce-new", &am);
+            let s = coalesce_ssa_managed(&mut func, &opts, &mut am);
+            phases.push(timer.finish_with(&am, &s));
             if o.stats {
                 eprintln!(
                     "; new: {} copies, {} filter, {} forest splits, {} local splits, {} B peak",
-                    s.copies_inserted, s.filter_copies, s.forest_splits, s.local_splits, s.peak_bytes
+                    s.copies_inserted,
+                    s.filter_copies,
+                    s.forest_splits,
+                    s.local_splits,
+                    s.peak_bytes
                 );
             }
             s.copies_inserted
         }
         "standard" => {
-            let s = destruct_standard(&mut func);
+            let timer = PhaseTimer::start("destruct-standard", &am);
+            let s = destruct_standard_with(&mut func, &mut am);
+            phases.push(timer.finish_with(&am, &s));
             if o.stats {
-                eprintln!("; standard: {} copies, {} cycle temps", s.copies_inserted, s.cycle_temps);
+                eprintln!(
+                    "; standard: {} copies, {} cycle temps",
+                    s.copies_inserted, s.cycle_temps
+                );
             }
             s.copies_inserted
         }
         "sreedhar" => {
+            let timer = PhaseTimer::start("sreedhar-i", &am);
             let s = fcc::ssa::destruct_sreedhar_i(&mut func);
+            phases.push(timer.finish_with(&am, &s));
             if o.stats {
                 eprintln!("; sreedhar-i: {} isolation copies", s.copies_inserted);
             }
@@ -204,9 +237,24 @@ fn real_main() -> Result<(), String> {
                         .into(),
                 );
             }
-            destruct_via_webs(&mut func);
-            let mode = if o.pipeline == "briggs" { GraphMode::Full } else { GraphMode::Restricted };
-            let s = coalesce_copies(&mut func, &BriggsOptions { mode, ..Default::default() });
+            let timer = PhaseTimer::start("webs", &am);
+            let w = destruct_via_webs(&mut func);
+            phases.push(timer.finish_with(&am, &w));
+            let mode = if o.pipeline == "briggs" {
+                GraphMode::Full
+            } else {
+                GraphMode::Restricted
+            };
+            let timer = PhaseTimer::start("briggs-coalesce", &am);
+            let s = coalesce_copies_managed(
+                &mut func,
+                &BriggsOptions {
+                    mode,
+                    ..Default::default()
+                },
+                &mut am,
+            );
+            phases.push(timer.finish_with(&am, &s));
             if o.stats {
                 eprintln!(
                     "; {}: {} removed, {} remaining, {} passes, {} B peak matrix",
@@ -222,7 +270,9 @@ fn real_main() -> Result<(), String> {
         other => return Err(format!("unknown pipeline {other}\n{}", usage())),
     };
     if o.simplify {
-        simplify_cfg(&mut func);
+        let timer = PhaseTimer::start("simplify-cfg", &am);
+        simplify_cfg_with(&mut func, &mut am);
+        phases.push(timer.finish(&am));
     }
     let compile_time = t0.elapsed();
 
@@ -239,8 +289,17 @@ fn real_main() -> Result<(), String> {
     }
 
     if let Some(k) = o.alloc {
-        let alloc = allocate(&mut func, &AllocOptions { registers: k, ..Default::default() })
-            .map_err(|e| format!("allocation failed: {e}"))?;
+        let timer = PhaseTimer::start("allocate", &am);
+        let alloc = allocate_managed(
+            &mut func,
+            &AllocOptions {
+                registers: k,
+                ..Default::default()
+            },
+            &mut am,
+        )
+        .map_err(|e| format!("allocation failed: {e}"))?;
+        phases.push(timer.finish(&am));
         if o.stats {
             eprintln!(
                 "; allocated {k} registers, {} spilled in {} rounds",
@@ -248,6 +307,15 @@ fn real_main() -> Result<(), String> {
                 alloc.rounds
             );
         }
+    }
+
+    if o.report {
+        emit(format_args!(
+            "pipeline report ({}; analysis cache peak {} B):\n{}",
+            o.pipeline,
+            am.peak_bytes(),
+            render_phases(&phases)
+        ));
     }
 
     match o.run {

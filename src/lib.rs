@@ -32,13 +32,20 @@
 //! ).unwrap();
 //! let reference = fcc::interp::run(&func, &[10]).unwrap();
 //!
+//! // One AnalysisManager serves the whole pipeline: CFG, dominators,
+//! // and liveness are computed lazily and reused across phases.
+//! let mut am = AnalysisManager::new();
+//!
 //! // ... into pruned SSA with copies folded ...
-//! build_ssa(&mut func, SsaFlavor::Pruned, true);
+//! build_ssa_with(&mut func, SsaFlavor::Pruned, true, &mut am);
 //!
 //! // ... and back out, coalescing: zero copies survive here.
-//! let stats = coalesce_ssa(&mut func);
+//! let stats = coalesce_ssa_managed(&mut func, &CoalesceOptions::default(), &mut am);
 //! assert!(!func.has_phis());
 //! assert_eq!(stats.copies_inserted, 0);
+//!
+//! // The destruction phase re-used analyses the SSA builder cached.
+//! assert!(am.counters().total_hits() > 0);
 //!
 //! // Semantics are untouched.
 //! let out = fcc::interp::run(&func, &[10]).unwrap();
@@ -50,23 +57,32 @@
 //! DESIGN.md / EXPERIMENTS.md for the reproduction notes.
 
 pub use fcc_analysis as analysis;
+pub use fcc_bench as bench;
 pub use fcc_core as core;
 pub use fcc_frontend as frontend;
 pub use fcc_interp as interp;
-pub use fcc_opt as opt;
 pub use fcc_ir as ir;
+pub use fcc_opt as opt;
 pub use fcc_regalloc as regalloc;
 pub use fcc_ssa as ssa;
 pub use fcc_workloads as workloads;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use fcc_core::{coalesce_ssa, coalesce_ssa_with, CoalesceOptions, CoalesceStats};
+    pub use fcc_analysis::{AnalysisCounters, AnalysisManager, PreservedAnalyses};
+    pub use fcc_bench::{measure, run_pipeline, Measurement, PhaseStats, Pipeline, PipelineReport};
+    pub use fcc_core::{
+        coalesce_ssa, coalesce_ssa_managed, coalesce_ssa_with, CoalesceOptions, CoalesceStats,
+    };
     pub use fcc_interp::{run, run_with_memory, Outcome};
     pub use fcc_ir::{Block, Function, FunctionBuilder, Inst, InstKind, Value};
+    pub use fcc_opt::{aggressive_pipeline, standard_pipeline, PassEffect};
     pub use fcc_regalloc::{
-        allocate, coalesce_copies, destruct_via_webs, AllocOptions, BriggsOptions, GraphMode,
+        allocate, allocate_managed, coalesce_copies, coalesce_copies_managed, destruct_via_webs,
+        AllocOptions, BriggsOptions, GraphMode,
     };
-    pub use fcc_opt::standard_pipeline;
-    pub use fcc_ssa::{build_ssa, destruct_standard, split_critical_edges, verify_ssa, SsaFlavor};
+    pub use fcc_ssa::{
+        build_ssa, build_ssa_with, destruct_standard, destruct_standard_with, split_critical_edges,
+        split_critical_edges_with, verify_ssa, SsaFlavor,
+    };
 }

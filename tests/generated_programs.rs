@@ -8,8 +8,7 @@
 //! deterministically.
 
 use fcc::prelude::*;
-use fcc::workloads::{generate, GenConfig};
-use proptest::prelude::*;
+use fcc::workloads::{generate, GenConfig, SplitMix64};
 
 const FUEL: u64 = 20_000_000;
 const MEM: usize = 256;
@@ -34,12 +33,22 @@ fn check_seed(seed: u64, cfg: &GenConfig) {
     let mut ssa = base.clone();
     build_ssa(&mut ssa, SsaFlavor::Pruned, true);
     verify_ssa(&ssa).unwrap_or_else(|e| panic!("seed {seed}: invalid SSA: {e}"));
-    assert_eq!(reference, run_f(&ssa, &args), "seed {seed}: SSA changed behaviour");
+    assert_eq!(
+        reference,
+        run_f(&ssa, &args),
+        "seed {seed}: SSA changed behaviour"
+    );
 
     // New algorithm (default and ablated configurations).
     for (label, opts) in [
         ("default", CoalesceOptions::default()),
-        ("nofilters", CoalesceOptions { early_filters: false, ..Default::default() }),
+        (
+            "nofilters",
+            CoalesceOptions {
+                early_filters: false,
+                ..Default::default()
+            },
+        ),
         (
             "alwayschild",
             CoalesceOptions {
@@ -65,33 +74,57 @@ fn check_seed(seed: u64, cfg: &GenConfig) {
         let mut f = ssa.clone();
         coalesce_ssa_with(&mut f, &opts);
         assert!(!f.has_phis(), "seed {seed}/{label}: phis left");
-        fcc::ir::verify::verify_function(&f)
-            .unwrap_or_else(|e| panic!("seed {seed}/{label}: {e}"));
-        assert_eq!(reference, run_f(&f, &args), "seed {seed}/{label}: miscompiled\n{f}");
+        fcc::ir::verify::verify_function(&f).unwrap_or_else(|e| panic!("seed {seed}/{label}: {e}"));
+        assert_eq!(
+            reference,
+            run_f(&f, &args),
+            "seed {seed}/{label}: miscompiled\n{f}"
+        );
     }
 
     // Standard instantiation.
     let mut std_f = ssa.clone();
     destruct_standard(&mut std_f);
-    assert_eq!(reference, run_f(&std_f, &args), "seed {seed}: standard miscompiled");
+    assert_eq!(
+        reference,
+        run_f(&std_f, &args),
+        "seed {seed}: standard miscompiled"
+    );
 
     // Sreedhar Method I (CSSA isolation).
     let mut cssa_f = ssa.clone();
     fcc::ssa::destruct_sreedhar_i(&mut cssa_f);
     assert!(!cssa_f.has_phis(), "seed {seed}: cssa left phis");
-    fcc::ir::verify::verify_function(&cssa_f)
-        .unwrap_or_else(|e| panic!("seed {seed} cssa: {e}"));
-    assert_eq!(reference, run_f(&cssa_f, &args), "seed {seed}: sreedhar-i miscompiled");
+    fcc::ir::verify::verify_function(&cssa_f).unwrap_or_else(|e| panic!("seed {seed} cssa: {e}"));
+    assert_eq!(
+        reference,
+        run_f(&cssa_f, &args),
+        "seed {seed}: sreedhar-i miscompiled"
+    );
 
     // Briggs pipelines from unfolded SSA.
     let mut webs = base.clone();
     build_ssa(&mut webs, SsaFlavor::Pruned, false);
     destruct_via_webs(&mut webs);
-    assert_eq!(reference, run_f(&webs, &args), "seed {seed}: webs miscompiled");
+    assert_eq!(
+        reference,
+        run_f(&webs, &args),
+        "seed {seed}: webs miscompiled"
+    );
     for mode in [GraphMode::Full, GraphMode::Restricted] {
         let mut f = webs.clone();
-        coalesce_copies(&mut f, &BriggsOptions { mode, ..Default::default() });
-        assert_eq!(reference, run_f(&f, &args), "seed {seed}/{mode:?}: miscompiled\n{f}");
+        coalesce_copies(
+            &mut f,
+            &BriggsOptions {
+                mode,
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            reference,
+            run_f(&f, &args),
+            "seed {seed}/{mode:?}: miscompiled\n{f}"
+        );
     }
 }
 
@@ -105,7 +138,12 @@ fn seed_sweep_default_shape() {
 
 #[test]
 fn seed_sweep_deep_control_flow() {
-    let cfg = GenConfig { stmts: 20, max_depth: 5, vars: 8, ..Default::default() };
+    let cfg = GenConfig {
+        stmts: 20,
+        max_depth: 5,
+        vars: 8,
+        ..Default::default()
+    };
     for seed in 1000..1080 {
         check_seed(seed, &cfg);
     }
@@ -113,7 +151,12 @@ fn seed_sweep_deep_control_flow() {
 
 #[test]
 fn seed_sweep_wide_flat_programs() {
-    let cfg = GenConfig { stmts: 60, max_depth: 2, vars: 16, ..Default::default() };
+    let cfg = GenConfig {
+        stmts: 60,
+        max_depth: 2,
+        vars: 16,
+        ..Default::default()
+    };
     for seed in 2000..2040 {
         check_seed(seed, &cfg);
     }
@@ -121,29 +164,39 @@ fn seed_sweep_wide_flat_programs() {
 
 #[test]
 fn seed_sweep_no_memory_pure_scalar() {
-    let cfg = GenConfig { memory_ops: false, stmts: 25, ..Default::default() };
+    let cfg = GenConfig {
+        memory_ops: false,
+        stmts: 25,
+        ..Default::default()
+    };
     for seed in 3000..3060 {
         check_seed(seed, &cfg);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Arbitrary seeds and shapes — proptest shrinks the seed on failure.
-    #[test]
-    fn arbitrary_seed_and_shape(
-        seed in 0u64..1_000_000,
-        stmts in 4usize..30,
-        depth in 1usize..5,
-        vars in 2usize..10,
-    ) {
+/// Arbitrary seeds and shapes, drawn from a seeded meta-PRNG — a failure
+/// prints the case index, which reproduces the (seed, shape) pair
+/// deterministically. `--features heavy` widens the sweep.
+#[test]
+fn arbitrary_seed_and_shape() {
+    let cases = if cfg!(feature = "heavy") { 512 } else { 64 };
+    let mut rng = SplitMix64::seed_from_u64(0x5EED_5EED);
+    for case in 0..cases {
+        let seed = rng.gen_range(0u64..1_000_000);
         let cfg = GenConfig {
-            stmts,
-            max_depth: depth,
-            vars,
+            stmts: rng.gen_range(4usize..30),
+            max_depth: rng.gen_range(1usize..5),
+            vars: rng.gen_range(2usize..10),
             ..Default::default()
         };
-        check_seed(seed, &cfg);
+        eprint_on_panic(case, seed, &cfg);
+    }
+}
+
+fn eprint_on_panic(case: usize, seed: u64, cfg: &GenConfig) {
+    let r = std::panic::catch_unwind(|| check_seed(seed, cfg));
+    if let Err(e) = r {
+        eprintln!("case {case}: seed {seed}, shape {cfg:?}");
+        std::panic::resume_unwind(e);
     }
 }

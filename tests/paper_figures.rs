@@ -4,8 +4,8 @@
 //! lost-copy problem — the three cases §3.6 singles out as correctness
 //! hazards for copy insertion.
 
-use fcc::prelude::*;
 use fcc::ir::parse::parse_function;
+use fcc::prelude::*;
 
 /// Figure 3b: `x2 = φ(a1, b1); y2 = φ(b1, a1); return x2/y2` after copy
 /// folding. `a1 = 60`, `b1 = 2`.
@@ -82,7 +82,11 @@ b3:
 fn swap_problem_all_destructors() {
     // After k header entries x = 7 if k odd, 11 if even.
     for iters in 1..=4i64 {
-        let expect = Some(if iters % 2 == 1 { 7 * iters } else { 11 * iters });
+        let expect = Some(if iters % 2 == 1 {
+            7 * iters
+        } else {
+            11 * iters
+        });
         for which in ["standard", "new"] {
             let mut f = parse_function(SWAP).unwrap();
             match which {

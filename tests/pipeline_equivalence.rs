@@ -4,7 +4,9 @@
 use fcc::prelude::*;
 use fcc::workloads::{compile_kernel, kernels, reference_run};
 
-fn pipelines() -> Vec<(&'static str, fn(Function) -> Function)> {
+type NamedPipeline = (&'static str, fn(Function) -> Function);
+
+fn pipelines() -> Vec<NamedPipeline> {
     fn standard(mut f: Function) -> Function {
         build_ssa(&mut f, SsaFlavor::Pruned, true);
         destruct_standard(&mut f);
@@ -18,7 +20,13 @@ fn pipelines() -> Vec<(&'static str, fn(Function) -> Function)> {
     fn briggs(mut f: Function) -> Function {
         build_ssa(&mut f, SsaFlavor::Pruned, false);
         destruct_via_webs(&mut f);
-        coalesce_copies(&mut f, &BriggsOptions { mode: GraphMode::Full, ..Default::default() });
+        coalesce_copies(
+            &mut f,
+            &BriggsOptions {
+                mode: GraphMode::Full,
+                ..Default::default()
+            },
+        );
         f
     }
     fn briggs_star(mut f: Function) -> Function {
@@ -26,7 +34,10 @@ fn pipelines() -> Vec<(&'static str, fn(Function) -> Function)> {
         destruct_via_webs(&mut f);
         coalesce_copies(
             &mut f,
-            &BriggsOptions { mode: GraphMode::Restricted, ..Default::default() },
+            &BriggsOptions {
+                mode: GraphMode::Restricted,
+                ..Default::default()
+            },
         );
         f
     }
@@ -48,8 +59,7 @@ fn all_kernels_all_pipelines_preserve_behavior() {
             assert!(!f.has_phis(), "{}/{name}: phis remain", k.name);
             fcc::ir::verify::verify_function(&f)
                 .unwrap_or_else(|e| panic!("{}/{name}: {e}", k.name));
-            let out = reference_run(&f, k)
-                .unwrap_or_else(|e| panic!("{}/{name}: {e}", k.name));
+            let out = reference_run(&f, k).unwrap_or_else(|e| panic!("{}/{name}: {e}", k.name));
             assert_eq!(
                 reference.behavior(),
                 out.behavior(),
@@ -96,7 +106,11 @@ fn new_beats_standard_on_every_kernel_with_copies() {
             new_run.dynamic_copies,
             std_run.dynamic_copies
         );
-        assert!(new_f.static_copy_count() <= std_f.static_copy_count(), "{}", k.name);
+        assert!(
+            new_f.static_copy_count() <= std_f.static_copy_count(),
+            "{}",
+            k.name
+        );
     }
 }
 
@@ -111,7 +125,12 @@ fn ssa_flavors_all_work_on_kernels() {
             verify_ssa(&f).unwrap_or_else(|e| panic!("{}/{flavor:?}: {e}", k.name));
             coalesce_ssa(&mut f);
             let out = reference_run(&f, k).unwrap();
-            assert_eq!(reference.behavior(), out.behavior(), "{}/{flavor:?}", k.name);
+            assert_eq!(
+                reference.behavior(),
+                out.behavior(),
+                "{}/{flavor:?}",
+                k.name
+            );
         }
     }
 }

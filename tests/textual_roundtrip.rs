@@ -2,15 +2,19 @@
 //! every kernel — print → parse → print is a fixpoint and preserves
 //! behaviour.
 
-use fcc::prelude::*;
 use fcc::ir::parse::parse_function;
+use fcc::prelude::*;
 use fcc::workloads::{compile_kernel, kernels, reference_run};
 
 fn assert_roundtrip(f: &Function, what: &str) {
     let printed = f.to_string();
     let reparsed = parse_function(&printed)
         .unwrap_or_else(|e| panic!("{what}: reparse failed: {e}\n{printed}"));
-    assert_eq!(printed, reparsed.to_string(), "{what}: print/parse not a fixpoint");
+    assert_eq!(
+        printed,
+        reparsed.to_string(),
+        "{what}: print/parse not a fixpoint"
+    );
 }
 
 #[test]
