@@ -26,6 +26,7 @@ use fcc_ssa::{build_ssa_with, destruct_sreedhar_i, SsaFlavor};
 use fcc_workloads::{compile_kernel, kernels, reference_run};
 
 fn main() {
+    fcc_bench::certify_or_die(&[fcc_bench::Pipeline::New, fcc_bench::Pipeline::BriggsStar]);
     let configs: Vec<(&str, CoalesceOptions)> = vec![
         ("New (paper defaults)", CoalesceOptions::default()),
         (

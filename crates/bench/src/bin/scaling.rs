@@ -32,6 +32,7 @@ fn phi_args(f: &fcc_ir::Function) -> usize {
 }
 
 fn main() {
+    fcc_bench::certify_or_die(&[fcc_bench::Pipeline::New, fcc_bench::Pipeline::Briggs]);
     let mut table = Table::new(&[
         "stmts",
         "insts",
@@ -63,6 +64,12 @@ fn main() {
         for &seed in &seeds {
             let prog = generate(seed, &cfg);
             let base = fcc_frontend::lower_program(&prog).expect("generated program lowers");
+            // Lint gate outside every timed region: an unsound run must
+            // not contribute a row.
+            if let Err(e) = fcc_bench::certify_pipeline(fcc_bench::Pipeline::New, base.clone()) {
+                eprintln!("lint certification failed (seed {seed}, {scale} stmts): {e}");
+                std::process::exit(1);
+            }
 
             let mut f = base.clone();
             build_ssa(&mut f, SsaFlavor::Pruned, true);

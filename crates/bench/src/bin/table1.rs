@@ -17,6 +17,7 @@ use fcc_ssa::{build_ssa, SsaFlavor};
 use fcc_workloads::{compile_kernel, kernels};
 
 fn main() {
+    fcc_bench::certify_or_die(&[fcc_bench::Pipeline::Briggs, fcc_bench::Pipeline::BriggsStar]);
     let repeats = 5;
     let mut table = Table::new(&[
         "File",

@@ -37,7 +37,10 @@ use fcc_ir::Function;
 use fcc_regalloc::{
     coalesce_copies_managed, destruct_via_webs, BriggsOptions, BriggsStats, GraphMode, WebStats,
 };
-use fcc_ssa::{build_ssa_with, destruct_standard_with, DestructStats, SsaFlavor, SsaStats};
+use fcc_ssa::{
+    build_ssa_with, destruct_standard_traced, destruct_standard_with, DestructStats, SsaFlavor,
+    SsaStats,
+};
 use fcc_workloads::{compile_kernel, reference_run, Kernel};
 
 // ---------------------------------------------------------------------------
@@ -358,6 +361,80 @@ pub fn run_pipeline(pipeline: Pipeline, mut func: Function) -> PipelineReport {
         phases,
         peak_bytes,
         analysis_peak_bytes,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lint certification — the fcc-lint gate in front of every evaluation run.
+// ---------------------------------------------------------------------------
+
+/// Drive `func` through `pipeline` with the `fcc-lint` rule suite at
+/// every stage boundary plus the destruction soundness audit, outside
+/// any timed region. Returns the first failing report as an error.
+///
+/// The evaluation binaries call this (via [`certify_kernels`]) before
+/// measuring: a table regenerated from an unsound run is worse than no
+/// table.
+pub fn certify_pipeline(pipeline: Pipeline, mut func: Function) -> Result<(), String> {
+    use fcc_lint::{audit_destruction, lint_function, LintStage};
+    let gate = |func: &Function, stage: LintStage| -> Result<(), String> {
+        let r = lint_function(func, &mut AnalysisManager::new(), stage);
+        if r.has_errors() {
+            Err(format!("stage {stage}:\n{}", r.render_text(func)))
+        } else {
+            Ok(())
+        }
+    };
+    gate(&func, LintStage::Cfg)?;
+    let mut am = AnalysisManager::new();
+    let fold = !matches!(pipeline, Pipeline::Briggs | Pipeline::BriggsStar);
+    build_ssa_with(&mut func, SsaFlavor::Pruned, fold, &mut am);
+    gate(&func, LintStage::Ssa)?;
+    let trace = match pipeline {
+        Pipeline::Standard => destruct_standard_traced(&mut func, &mut am).1,
+        Pipeline::New => {
+            fcc_core::coalesce_ssa_traced(&mut func, &CoalesceOptions::default(), &mut am).1
+        }
+        Pipeline::Briggs | Pipeline::BriggsStar => {
+            fcc_regalloc::destruct_via_webs_traced(&mut func).1
+        }
+    };
+    let audit = audit_destruction(&trace);
+    if audit.iter().any(|d| d.is_error()) {
+        let rendered: Vec<String> = audit.iter().map(|d| d.render(&trace.pre)).collect();
+        return Err(format!("destruction audit:\n{}", rendered.join("\n")));
+    }
+    gate(&func, LintStage::Final)
+}
+
+/// [`certify_pipeline`] over the whole kernel suite. Returns the number
+/// of kernel × pipeline combinations certified; the table binaries call
+/// this once before timing and abort on `Err`.
+pub fn certify_kernels(pipelines: &[Pipeline]) -> Result<usize, String> {
+    let mut n = 0;
+    for k in fcc_workloads::kernels() {
+        let func = compile_kernel(k);
+        for &p in pipelines {
+            certify_pipeline(p, func.clone())
+                .map_err(|e| format!("{} / {}: {e}", k.name, p.label()))?;
+            n += 1;
+        }
+    }
+    Ok(n)
+}
+
+/// Run [`certify_kernels`] and exit the process with an error message on
+/// failure — the shared preamble of every evaluation binary.
+pub fn certify_or_die(pipelines: &[Pipeline]) {
+    match certify_kernels(pipelines) {
+        Ok(n) => eprintln!(
+            "; lint: certified {n} kernel x pipeline runs ({} rules + destruction audit)",
+            fcc_lint::default_rules().len()
+        ),
+        Err(e) => {
+            eprintln!("lint certification failed: {e}");
+            std::process::exit(1);
+        }
     }
 }
 

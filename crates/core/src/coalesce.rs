@@ -47,6 +47,7 @@ use fcc_analysis::{AnalysisManager, DomTree, Liveness, LoopNesting, UnionFind};
 use fcc_ir::{Block, ControlFlowGraph, Function, Inst, InstKind, Value};
 use fcc_ssa::edges::split_critical_edges_with;
 use fcc_ssa::parcopy::sequentialize;
+use fcc_ssa::trace::DestructionTrace;
 
 use crate::dforest::DominanceForest;
 use crate::mincut::min_cut;
@@ -202,6 +203,27 @@ pub fn coalesce_ssa_managed(
     opts: &CoalesceOptions,
     am: &mut AnalysisManager,
 ) -> CoalesceStats {
+    coalesce_ssa_managed_impl(func, opts, am, false).0
+}
+
+/// [`coalesce_ssa_managed`], additionally returning the
+/// [`DestructionTrace`] (pre-destruction snapshot, congruence-class
+/// map, and the `Waiting` array) for the `fcc-lint` soundness auditor.
+pub fn coalesce_ssa_traced(
+    func: &mut Function,
+    opts: &CoalesceOptions,
+    am: &mut AnalysisManager,
+) -> (CoalesceStats, DestructionTrace) {
+    let (stats, trace) = coalesce_ssa_managed_impl(func, opts, am, true);
+    (stats, trace.expect("trace requested"))
+}
+
+fn coalesce_ssa_managed_impl(
+    func: &mut Function,
+    opts: &CoalesceOptions,
+    am: &mut AnalysisManager,
+    want_trace: bool,
+) -> (CoalesceStats, Option<DestructionTrace>) {
     let stats = CoalesceStats {
         edges_split: split_critical_edges_with(func, am),
         ..Default::default()
@@ -217,7 +239,16 @@ pub fn coalesce_ssa_managed(
         SplitStrategy::EdgeCut => Some(am.loops(func)),
         SplitStrategy::RemoveMember => None,
     };
-    coalesce_prepared(func, &cfg, &dt, &live, loops.as_deref(), opts, stats)
+    coalesce_prepared_impl(
+        func,
+        &cfg,
+        &dt,
+        &live,
+        loops.as_deref(),
+        opts,
+        stats,
+        want_trace,
+    )
 }
 
 /// The conversion proper, with the supporting analyses supplied by the
@@ -237,8 +268,25 @@ pub fn coalesce_prepared(
     live: &Liveness,
     loops: Option<&LoopNesting>,
     opts: &CoalesceOptions,
-    mut stats: CoalesceStats,
+    stats: CoalesceStats,
 ) -> CoalesceStats {
+    coalesce_prepared_impl(func, cfg, dt, live, loops, opts, stats, false).0
+}
+
+#[allow(clippy::too_many_arguments)]
+fn coalesce_prepared_impl(
+    func: &mut Function,
+    cfg: &ControlFlowGraph,
+    dt: &DomTree,
+    live: &Liveness,
+    loops: Option<&LoopNesting>,
+    opts: &CoalesceOptions,
+    mut stats: CoalesceStats,
+    want_trace: bool,
+) -> (CoalesceStats, Option<DestructionTrace>) {
+    // Requirement: critical edges already split, so the snapshot and the
+    // final function agree on block structure.
+    let pre = want_trace.then(|| func.clone());
     let n = func.num_values();
 
     // Definition sites: block + instruction index, for forest building and
@@ -436,6 +484,12 @@ pub fn coalesce_prepared(
     // copy (swap / virtual-swap safety).
     let mut waiting_blocks: Vec<Block> = waiting.keys().copied().collect();
     waiting_blocks.sort_unstable();
+    let recorded_waiting = want_trace.then(|| {
+        waiting_blocks
+            .iter()
+            .map(|&b| (b, waiting[&b].clone()))
+            .collect::<Vec<_>>()
+    });
     let mut waiting_bytes = 0usize;
     for b in &waiting_blocks {
         waiting_bytes += waiting[b].capacity() * std::mem::size_of::<(Value, Value)>();
@@ -470,7 +524,12 @@ pub fn coalesce_prepared(
         + waiting_bytes
         + last_use_bytes
         + n * (std::mem::size_of::<Option<Block>>() + 4 + 2 + std::mem::size_of::<Value>());
-    stats
+    let trace = pre.map(|pre| DestructionTrace {
+        pre,
+        class_of: name,
+        waiting: recorded_waiting,
+    });
+    (stats, trace)
 }
 
 /// The paper's resolution: walk the forest once, evicting one member per

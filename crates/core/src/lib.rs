@@ -54,8 +54,8 @@ pub mod dforest;
 pub mod mincut;
 
 pub use coalesce::{
-    coalesce_prepared, coalesce_ssa, coalesce_ssa_managed, coalesce_ssa_with, CoalesceOptions,
-    CoalesceStats, SplitHeuristic, SplitStrategy,
+    coalesce_prepared, coalesce_ssa, coalesce_ssa_managed, coalesce_ssa_traced, coalesce_ssa_with,
+    CoalesceOptions, CoalesceStats, SplitHeuristic, SplitStrategy,
 };
 pub use dforest::{DfNode, DominanceForest};
 

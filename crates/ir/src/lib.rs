@@ -15,7 +15,9 @@
 //!   loads/stores on a flat memory, φ-nodes, and terminators;
 //! * [`builder::FunctionBuilder`] — ergonomic programmatic construction;
 //! * [`cfg::ControlFlowGraph`] — predecessors, postorder, critical edges;
-//! * [`verify::verify_function`] — structural invariants;
+//! * [`verify::verify_function`] — structural invariants, reported
+//!   through the unified [`diagnostic::Diagnostic`] model that
+//!   `fcc-ssa`'s SSA verifier and the `fcc-lint` rule registry share;
 //! * [`parse`]/[`print`] — a round-tripping textual format.
 //!
 //! ## Example
@@ -40,6 +42,7 @@
 
 pub mod builder;
 pub mod cfg;
+pub mod diagnostic;
 pub mod entity;
 pub mod function;
 pub mod instr;
@@ -49,6 +52,7 @@ pub mod verify;
 
 pub use builder::FunctionBuilder;
 pub use cfg::ControlFlowGraph;
+pub use diagnostic::{Diagnostic, Severity};
 pub use entity::{EntityMap, EntityRef, SecondaryMap};
 pub use function::{Block, Function, Inst, InstData, Value};
 pub use instr::{BinOp, InstKind, PhiArg, UnaryOp};

@@ -6,38 +6,53 @@
 //! instruction kind. SSA-specific properties (single assignment,
 //! strictness/regularity) are checked separately by `fcc-ssa`, which has
 //! the dominator machinery the check needs.
+//!
+//! The checks themselves live in [`structural_diagnostics`], which
+//! reports *every* violation as a [`Diagnostic`] under the `structure`
+//! rule — the form the `fcc-lint` rule registry consumes.
+//! [`verify_function`] is the thin historical wrapper: first
+//! error-severity diagnostic, wrapped as a [`VerifyError`].
 
 use std::fmt;
 
 use crate::cfg::ControlFlowGraph;
+use crate::diagnostic::Diagnostic;
 use crate::function::{Block, Function};
 use crate::instr::InstKind;
 
-/// An invariant violation found by [`verify_function`].
+/// Rule id of every structural finding.
+pub const RULE_STRUCTURE: &str = "structure";
+
+/// An invariant violation found by [`verify_function`] — a thin wrapper
+/// over the [`Diagnostic`] that describes it.
 #[derive(Clone, PartialEq, Eq, Debug)]
-pub struct VerifyError {
+pub struct VerifyError(pub Diagnostic);
+
+impl VerifyError {
     /// The block the violation was found in, if block-local.
-    pub block: Option<Block>,
+    pub fn block(&self) -> Option<Block> {
+        self.0.block
+    }
+
     /// Human-readable description of the violation.
-    pub message: String,
+    pub fn message(&self) -> &str {
+        &self.0.message
+    }
 }
 
 impl fmt::Display for VerifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self.block {
-            Some(b) => write!(f, "in {b}: {}", self.message),
-            None => write!(f, "{}", self.message),
+        match self.0.block {
+            Some(b) => write!(f, "in {b}: {}", self.0.message),
+            None => write!(f, "{}", self.0.message),
         }
     }
 }
 
 impl std::error::Error for VerifyError {}
 
-fn err(block: impl Into<Option<Block>>, message: impl Into<String>) -> VerifyError {
-    VerifyError {
-        block: block.into(),
-        message: message.into(),
-    }
+fn err(block: impl Into<Option<Block>>, message: impl Into<String>) -> Diagnostic {
+    Diagnostic::error(RULE_STRUCTURE, message).in_block(block.into())
 }
 
 /// Verify the structural invariants of `func`.
@@ -53,8 +68,23 @@ fn err(block: impl Into<Option<Block>>, message: impl Into<String>) -> VerifyErr
 /// * a branch target or value index is out of range;
 /// * an instruction's destination presence contradicts its kind.
 pub fn verify_function(func: &Function) -> Result<(), VerifyError> {
+    match structural_diagnostics(func).into_iter().next() {
+        Some(d) => Err(VerifyError(d)),
+        None => Ok(()),
+    }
+}
+
+/// Report every structural violation in `func` as a [`Diagnostic`].
+///
+/// All findings are error severity under the [`RULE_STRUCTURE`] rule.
+/// An empty result certifies the shape invariants that the dominator,
+/// liveness, and SSA machinery assume; downstream checks (SSA
+/// regularity, lint rules) are only meaningful once this is clean.
+pub fn structural_diagnostics(func: &Function) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
     if func.blocks().next().is_none() {
-        return Err(err(None, "function has no blocks"));
+        out.push(err(None, "function has no blocks"));
+        return out;
     }
     let cfg = ControlFlowGraph::compute(func);
     let num_values = func.num_values();
@@ -65,15 +95,18 @@ pub fn verify_function(func: &Function) -> Result<(), VerifyError> {
     // here assumes the entry strictly dominates the rest. Front ends that
     // need a loopable first block insert a fresh pre-header.
     if !cfg.preds(func.entry()).is_empty() {
-        return Err(err(func.entry(), "entry block must have no predecessors"));
+        out.push(err(func.entry(), "entry block must have no predecessors"));
     }
 
     for block in func.blocks() {
         let insts = func.block_insts(block);
         match insts.last() {
-            None => return Err(err(block, "block is empty")),
+            None => {
+                out.push(err(block, "block is empty"));
+                continue;
+            }
             Some(&last) if !func.inst(last).kind.is_terminator() => {
-                return Err(err(block, "block does not end with a terminator"))
+                out.push(err(block, "block does not end with a terminator"));
             }
             _ => {}
         }
@@ -84,14 +117,15 @@ pub fn verify_function(func: &Function) -> Result<(), VerifyError> {
             let is_last = pos + 1 == insts.len();
 
             if data.kind.is_terminator() && !is_last {
-                return Err(err(
-                    block,
-                    format!("terminator {inst} is not last in block"),
-                ));
+                out.push(
+                    err(block, format!("terminator {inst} is not last in block")).at_inst(inst),
+                );
             }
             if data.kind.is_phi() {
                 if seen_non_phi {
-                    return Err(err(block, format!("phi {inst} appears after non-phi code")));
+                    out.push(
+                        err(block, format!("phi {inst} appears after non-phi code")).at_inst(inst),
+                    );
                 }
             } else {
                 seen_non_phi = true;
@@ -106,14 +140,18 @@ pub fn verify_function(func: &Function) -> Result<(), VerifyError> {
                     | InstKind::Return { .. }
             );
             if needs_dst && data.dst.is_none() {
-                return Err(err(block, format!("{inst} must define a value")));
+                out.push(err(block, format!("{inst} must define a value")).at_inst(inst));
             }
             if !needs_dst && data.dst.is_some() {
-                return Err(err(block, format!("{inst} must not define a value")));
+                out.push(err(block, format!("{inst} must not define a value")).at_inst(inst));
             }
             if let Some(d) = data.dst {
                 if d.index() >= num_values {
-                    return Err(err(block, format!("{inst} defines out-of-range value {d}")));
+                    out.push(
+                        err(block, format!("{inst} defines out-of-range value {d}"))
+                            .at_inst(inst)
+                            .on_value(d),
+                    );
                 }
             }
 
@@ -125,24 +163,32 @@ pub fn verify_function(func: &Function) -> Result<(), VerifyError> {
                 }
             });
             if let Some(v) = bad_use {
-                return Err(err(block, format!("{inst} uses out-of-range value {v}")));
+                out.push(
+                    err(block, format!("{inst} uses out-of-range value {v}"))
+                        .at_inst(inst)
+                        .on_value(v),
+                );
             }
             for s in data.kind.successors() {
                 if s.index() >= num_blocks {
-                    return Err(err(block, format!("{inst} targets out-of-range block {s}")));
+                    out.push(
+                        err(block, format!("{inst} targets out-of-range block {s}")).at_inst(inst),
+                    );
                 }
             }
 
             match &data.kind {
                 InstKind::Param { index } => {
                     if block != func.entry() {
-                        return Err(err(block, format!("{inst}: param outside entry block")));
+                        out.push(
+                            err(block, format!("{inst}: param outside entry block")).at_inst(inst),
+                        );
                     }
                     if *index >= func.num_params {
-                        return Err(err(
-                            block,
-                            format!("{inst}: param index {index} out of range"),
-                        ));
+                        out.push(
+                            err(block, format!("{inst}: param index {index} out of range"))
+                                .at_inst(inst),
+                        );
                     }
                 }
                 InstKind::Phi { args } => {
@@ -157,22 +203,30 @@ pub fn verify_function(func: &Function) -> Result<(), VerifyError> {
                     keys.sort_unstable();
                     let dup = keys.windows(2).any(|w| w[0] == w[1]);
                     if dup {
-                        return Err(err(block, format!("{inst}: duplicate phi predecessor")));
-                    }
-                    if keys != preds {
-                        return Err(err(
-                            block,
-                            format!(
-                                "{inst}: phi predecessors {keys:?} do not match block predecessors {preds:?}"
-                            ),
-                        ));
+                        out.push(
+                            err(block, format!("{inst}: duplicate phi predecessor")).at_inst(inst),
+                        );
+                    } else if keys != preds {
+                        out.push(
+                            err(
+                                block,
+                                format!(
+                                    "{inst}: phi predecessors {keys:?} do not match block predecessors {preds:?}"
+                                ),
+                            )
+                            .at_inst(inst),
+                        );
                     }
                     for a in args {
                         if a.value.index() >= num_values {
-                            return Err(err(
-                                block,
-                                format!("{inst}: phi uses out-of-range value {}", a.value),
-                            ));
+                            out.push(
+                                err(
+                                    block,
+                                    format!("{inst}: phi uses out-of-range value {}", a.value),
+                                )
+                                .at_inst(inst)
+                                .on_value(a.value),
+                            );
                         }
                     }
                 }
@@ -180,7 +234,7 @@ pub fn verify_function(func: &Function) -> Result<(), VerifyError> {
             }
         }
     }
-    Ok(())
+    out
 }
 
 #[cfg(test)]
@@ -331,5 +385,24 @@ mod tests {
         );
         f.append_inst(b2, InstKind::Return { val: Some(x) }, None);
         verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn diagnostics_report_every_violation() {
+        // Two independent problems: a missing dst and an out-of-range use.
+        let (mut f, b0) = linear();
+        f.insert_before_terminator(b0, InstKind::Const { imm: 2 }, None);
+        let d = f.new_value();
+        f.insert_before_terminator(
+            b0,
+            InstKind::Copy {
+                src: Value::new(999),
+            },
+            Some(d),
+        );
+        let diags = structural_diagnostics(&f);
+        assert!(diags.len() >= 2, "{diags:?}");
+        assert!(diags.iter().all(|d| d.rule == RULE_STRUCTURE));
+        assert!(diags.iter().all(|d| d.is_error()));
     }
 }

@@ -1,0 +1,415 @@
+//! The coalescing soundness auditor.
+//!
+//! [`audit_destruction`] certifies a completed SSA-destruction run from
+//! its [`DestructionTrace`] alone. It recomputes the CFG, dominator
+//! tree and *dataflow* liveness of the pre-destruction snapshot from
+//! scratch — no analysis manager, no sparse shortcut, nothing the
+//! destructor itself used — and checks the two properties the paper's
+//! correctness argument rests on:
+//!
+//! 1. **Interference freedom** (Theorem 2.2, Lemma 2.1): no congruence
+//!    class merges two names that interfere. Interference is decided
+//!    from liveness and dominance only — `u` (whose definition
+//!    dominates `v`'s) interferes with `v` iff `u` is live-out of `v`'s
+//!    defining block or has a use strictly after `v`'s definition in
+//!    that block. Names with dominance-incomparable definitions cannot
+//!    interfere in strict SSA, and a copy at the last use does not
+//!    count (the strict `>`) — both exactly as the coalescer assumes.
+//!
+//! 2. **Copy exactness** (§3.6): the `Waiting` array holds precisely
+//!    the φ moves the class partition could not absorb — for every live
+//!    φ and argument edge whose destination and argument landed in
+//!    different classes, the move `class(dst) ← class(arg)` at the end
+//!    of the predecessor, and nothing it did not have to hold (extras
+//!    are warnings: correct but wasteful). Skipped when the trace
+//!    carries no `Waiting` array (Sreedhar Method I isolates instead of
+//!    absorbing).
+
+use std::collections::{HashMap, HashSet};
+
+use fcc_analysis::{DomTree, Liveness};
+use fcc_ir::{Block, ControlFlowGraph, Diagnostic, InstKind, Value};
+use fcc_ssa::parcopy::Move;
+use fcc_ssa::trace::DestructionTrace;
+
+/// Two names in one congruence class interfere. Always an error: the
+/// destructed program computes something else.
+pub const RULE_CLASS_INTERFERENCE: &str = "class-interference";
+/// A φ move the partition could not absorb is missing from `Waiting`.
+pub const RULE_COPY_MISSING: &str = "copy-missing";
+/// `Waiting` holds a copy no live φ edge requires. Correct but wasteful.
+pub const RULE_COPY_REDUNDANT: &str = "copy-redundant";
+
+/// Audit one destruction run. Returns all findings; error severity
+/// means the run was unsound (interfering class or missing copy),
+/// warnings mean it was wasteful (redundant copies).
+pub fn audit_destruction(trace: &DestructionTrace) -> Vec<Diagnostic> {
+    let func = &trace.pre;
+    let cfg = ControlFlowGraph::compute(func);
+    let dt = DomTree::compute(func, &cfg);
+    let live = Liveness::compute(func, &cfg);
+    let n = func.num_values();
+
+    // Definition sites and per-block last ordinary-use positions over
+    // reachable code. φ-argument uses are edge uses, visible to the
+    // interference test through live-out of the predecessor instead.
+    let mut def_site: Vec<Option<(Block, u32)>> = vec![None; n];
+    let mut last_use: HashMap<(Block, Value), u32> = HashMap::new();
+    let mut use_count: Vec<u32> = vec![0; n];
+    for b in func.blocks() {
+        if !cfg.is_reachable(b) {
+            continue;
+        }
+        for (pos, &inst) in func.block_insts(b).iter().enumerate() {
+            let data = func.inst(inst);
+            if let Some(d) = data.dst {
+                if def_site[d.index()].is_none() {
+                    def_site[d.index()] = Some((b, pos as u32));
+                }
+            }
+            data.kind.for_each_use(|v| {
+                use_count[v.index()] += 1;
+                let slot = last_use.entry((b, v)).or_insert(pos as u32);
+                *slot = (*slot).max(pos as u32);
+            });
+            if let InstKind::Phi { args } = &data.kind {
+                for a in args {
+                    use_count[a.value.index()] += 1;
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+
+    // ---- 1. Interference freedom of every congruence class ----
+    for (rep, members) in trace.classes() {
+        let sited: Vec<(Value, Block, u32)> = members
+            .iter()
+            .filter_map(|&m| def_site[m.index()].map(|(b, p)| (m, b, p)))
+            .collect();
+        for i in 0..sited.len() {
+            for j in (i + 1)..sited.len() {
+                let (a, ab, ap) = sited[i];
+                let (b, bb, bp) = sited[j];
+                // Order the pair by definition-site dominance; names with
+                // incomparable definitions cannot interfere in strict SSA.
+                let (parent, child, cb, cp) = if site_dominates((ab, ap), (bb, bp), &dt) {
+                    (a, b, bb, bp)
+                } else if site_dominates((bb, bp), (ab, ap), &dt) {
+                    (b, a, ab, ap)
+                } else {
+                    continue;
+                };
+                let interferes = live.is_live_out(parent, cb)
+                    || last_use.get(&(cb, parent)).is_some_and(|&u| u > cp);
+                if interferes {
+                    out.push(
+                        Diagnostic::error(
+                            RULE_CLASS_INTERFERENCE,
+                            format!(
+                                "congruence class {rep} merges interfering names: {parent} \
+                                 is live across the definition of {child} in {cb}"
+                            ),
+                        )
+                        .in_block(cb)
+                        .on_value(child),
+                    );
+                }
+            }
+        }
+    }
+
+    // ---- 2. Copy exactness of the Waiting array ----
+    if let Some(waiting) = &trace.waiting {
+        // Required: for every live φ and argument edge whose destination
+        // and argument classes differ, one move class(dst) <- class(arg)
+        // at the end of the predecessor (deduplicated per block, exactly
+        // as the coalescer builds Waiting).
+        let mut required: HashMap<Block, Vec<Move>> = HashMap::new();
+        for b in func.blocks() {
+            if !cfg.is_reachable(b) {
+                continue;
+            }
+            for phi in func.block_phis(b) {
+                let data = func.inst(phi);
+                let Some(dst) = data.dst else { continue };
+                if use_count[dst.index()] == 0 {
+                    continue; // dead φ: no moves required
+                }
+                let InstKind::Phi { args } = &data.kind else {
+                    continue;
+                };
+                let dn = trace.class(dst);
+                for a in args {
+                    let an = trace.class(a.value);
+                    if an != dn {
+                        let w = required.entry(a.pred).or_default();
+                        if !w.contains(&(dn, an)) {
+                            w.push((dn, an));
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut actual: HashMap<Block, HashSet<Move>> = HashMap::new();
+        for (b, moves) in waiting {
+            let set = actual.entry(*b).or_default();
+            for &(d, s) in moves {
+                if d != s {
+                    set.insert((d, s));
+                }
+            }
+        }
+
+        let mut blocks: Vec<Block> = required.keys().chain(actual.keys()).copied().collect();
+        blocks.sort_unstable();
+        blocks.dedup();
+        for b in blocks {
+            let req = required.get(&b);
+            let act = actual.get(&b);
+            if let Some(req) = req {
+                for &(d, s) in req {
+                    if !act.is_some_and(|a| a.contains(&(d, s))) {
+                        out.push(
+                            Diagnostic::error(
+                                RULE_COPY_MISSING,
+                                format!(
+                                    "required copy {d} <- {s} at the end of {b} is missing \
+                                     from the Waiting array"
+                                ),
+                            )
+                            .in_block(b)
+                            .on_value(d),
+                        );
+                    }
+                }
+            }
+            if let Some(act) = act {
+                let mut extras: Vec<Move> = act
+                    .iter()
+                    .filter(|m| !req.is_some_and(|r| r.contains(m)))
+                    .copied()
+                    .collect();
+                extras.sort_unstable();
+                for (d, s) in extras {
+                    out.push(
+                        Diagnostic::warning(
+                            RULE_COPY_REDUNDANT,
+                            format!(
+                                "Waiting copy {d} <- {s} at the end of {b} is not required \
+                                 by any live phi edge"
+                            ),
+                        )
+                        .in_block(b)
+                        .on_value(d),
+                    );
+                }
+            }
+        }
+    }
+
+    out
+}
+
+/// Does the definition at `a` strictly precede (dominate) the one at
+/// `b`? Same-block sites compare by instruction position.
+fn site_dominates(a: (Block, u32), b: (Block, u32), dt: &DomTree) -> bool {
+    if a.0 == b.0 {
+        a.1 < b.1
+    } else {
+        dt.strictly_dominates(a.0, b.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcc_analysis::AnalysisManager;
+    use fcc_core::{coalesce_ssa_traced, CoalesceOptions};
+    use fcc_ir::parse::parse_function;
+    use fcc_ssa::{build_ssa, destruct_sreedhar_i_traced, destruct_standard_traced, SsaFlavor};
+
+    /// The swap loop: after copy folding the two φ destinations are
+    /// mutually live and must stay in separate classes.
+    const SWAP: &str = "
+        function @swap(1) {
+        b0:
+            v0 = param 0
+            v1 = const 1
+            v2 = const 2
+            jump b1
+        b1:
+            v3 = lt v1, v0
+            branch v3, b2, b3
+        b2:
+            v4 = copy v1
+            v1 = copy v2
+            v2 = copy v4
+            jump b1
+        b3:
+            return v2
+        }";
+
+    const SUM: &str = "
+        function @sum(1) {
+        b0:
+            v0 = param 0
+            v1 = const 0
+            v2 = const 0
+            jump b1
+        b1:
+            v3 = lt v2, v0
+            branch v3, b2, b3
+        b2:
+            v4 = copy v1
+            v1 = add v4, v2
+            v5 = const 1
+            v2 = add v2, v5
+            jump b1
+        b3:
+            return v1
+        }";
+
+    fn has_errors(diags: &[Diagnostic]) -> bool {
+        diags.iter().any(|d| d.is_error())
+    }
+
+    #[test]
+    fn manually_merged_interfering_names_are_flagged() {
+        // v0 and v1 are simultaneously live; merging them is unsound.
+        let f = parse_function(
+            "function @bad(0) {
+             b0:
+                 v0 = const 1
+                 v1 = const 2
+                 v2 = add v0, v1
+                 return v2
+             }",
+        )
+        .unwrap();
+        let mut trace = fcc_ssa::trace::DestructionTrace::identity(f, None);
+        trace.class_of[1] = Value::new(0); // merge v1 into v0's class
+        let diags = audit_destruction(&trace);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == RULE_CLASS_INTERFERENCE && d.is_error()),
+            "{diags:?}"
+        );
+        // Acceptance criterion: the rule id shows up in both renderings.
+        let text = diags[0].render(&trace.pre);
+        assert!(text.contains("class-interference"), "{text}");
+        let json = diags[0].to_json(Some(&trace.pre));
+        assert!(json.contains("\"rule\":\"class-interference\""), "{json}");
+    }
+
+    #[test]
+    fn copy_at_last_use_does_not_interfere() {
+        // v1 = copy v0 where v0 dies at the copy: classic coalescable
+        // pair, must NOT be reported when merged.
+        let f = parse_function(
+            "function @ok(1) {
+             b0:
+                 v0 = param 0
+                 v1 = copy v0
+                 v2 = add v1, v1
+                 return v2
+             }",
+        )
+        .unwrap();
+        let mut trace = fcc_ssa::trace::DestructionTrace::identity(f, None);
+        trace.class_of[1] = Value::new(0);
+        let diags = audit_destruction(&trace);
+        assert!(!has_errors(&diags), "{diags:?}");
+    }
+
+    #[test]
+    fn coalesce_run_audits_clean_and_copy_exact() {
+        for src in [SWAP, SUM] {
+            let mut f = parse_function(src).unwrap();
+            build_ssa(&mut f, SsaFlavor::Pruned, true);
+            let mut am = AnalysisManager::new();
+            let (_, trace) = coalesce_ssa_traced(&mut f, &CoalesceOptions::default(), &mut am);
+            let diags = audit_destruction(&trace);
+            assert!(!has_errors(&diags), "{src}: {diags:?}");
+            // The coalescer's Waiting must be *exactly* the required
+            // copies: no redundancy warnings either.
+            assert!(diags.is_empty(), "{src}: {diags:?}");
+        }
+    }
+
+    #[test]
+    fn standard_destruction_audits_sound() {
+        for src in [SWAP, SUM] {
+            let mut f = parse_function(src).unwrap();
+            build_ssa(&mut f, SsaFlavor::Pruned, true);
+            let mut am = AnalysisManager::new();
+            let (_, trace) = destruct_standard_traced(&mut f, &mut am);
+            let diags = audit_destruction(&trace);
+            // Identity classes cannot interfere; Waiting may hold
+            // more copies than a coalescer would (that is the point of
+            // the paper), so only warnings are acceptable.
+            assert!(!has_errors(&diags), "{src}: {diags:?}");
+        }
+    }
+
+    #[test]
+    fn sreedhar_destruction_audits_sound() {
+        for src in [SWAP, SUM] {
+            let mut f = parse_function(src).unwrap();
+            build_ssa(&mut f, SsaFlavor::Pruned, true);
+            let (_, trace) = destruct_sreedhar_i_traced(&mut f);
+            let diags = audit_destruction(&trace);
+            assert!(!has_errors(&diags), "{src}: {diags:?}");
+        }
+    }
+
+    #[test]
+    fn webs_on_unfolded_ssa_audit_clean() {
+        let mut f = parse_function(SUM).unwrap();
+        build_ssa(&mut f, SsaFlavor::Pruned, false);
+        let (_, trace) = fcc_regalloc::destruct_via_webs_traced(&mut f);
+        let diags = audit_destruction(&trace);
+        assert!(!has_errors(&diags), "{diags:?}");
+    }
+
+    #[test]
+    fn webs_on_folded_ssa_are_caught_unsound() {
+        // With copy folding the swap's φ destinations interfere, and
+        // φ-web unioning merges them anyway — the exact failure mode
+        // the paper's algorithm exists to avoid. The auditor must see
+        // it.
+        let mut f = parse_function(SWAP).unwrap();
+        build_ssa(&mut f, SsaFlavor::Pruned, true);
+        let (_, trace) = fcc_regalloc::destruct_via_webs_traced(&mut f);
+        let diags = audit_destruction(&trace);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == RULE_CLASS_INTERFERENCE && d.is_error()),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn missing_waiting_copy_is_an_error() {
+        let mut f = parse_function(SUM).unwrap();
+        build_ssa(&mut f, SsaFlavor::Pruned, true);
+        let mut am = AnalysisManager::new();
+        let (_, mut trace) = coalesce_ssa_traced(&mut f, &CoalesceOptions::default(), &mut am);
+        if let Some(waiting) = &mut trace.waiting {
+            // Drop every recorded copy: anything required becomes missing.
+            let had: usize = waiting.iter().map(|(_, m)| m.len()).sum();
+            waiting.clear();
+            if had > 0 {
+                let diags = audit_destruction(&trace);
+                assert!(
+                    diags.iter().any(|d| d.rule == RULE_COPY_MISSING),
+                    "{diags:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! # fcc-lint — invariant-checking static analysis over the IR
+//!
+//! The paper's correctness argument rests on program invariants — strict
+//! / dominance-respecting SSA (Theorem 2.1), interference decidable from
+//! per-block liveness (Theorem 2.2), interference-free φ-congruence
+//! classes after coalescing — that the rest of the workspace mostly
+//! *assumes*. This crate turns each of them into an executable check:
+//!
+//! * a **rule registry** ([`default_rules`]) of analyses over a
+//!   [`Function`], each reporting findings through the unified
+//!   [`Diagnostic`] model of `fcc-ir` and pulling cached analyses from a
+//!   shared [`AnalysisManager`];
+//! * a **stage model** ([`LintStage`]): pre-SSA CFG code, SSA, and
+//!   destructed (post-SSA) code obey different subsets of the catalogue;
+//! * a **coalescing soundness auditor** ([`audit::audit_destruction`])
+//!   that recomputes interference from liveness alone — Theorem 2.2, no
+//!   interference graph — and certifies the congruence classes and
+//!   `Waiting`-array copies of any traced destruction run;
+//! * text and JSON rendering ([`LintReport`]) for the `fcc lint` CLI
+//!   subcommand and CI.
+//!
+//! The rule catalogue and the paper theorem/figure each rule enforces
+//! are documented in DESIGN.md ("The invariant catalogue").
+//!
+//! ## Example
+//!
+//! ```
+//! use fcc_analysis::AnalysisManager;
+//! use fcc_ir::parse::parse_function;
+//! use fcc_lint::{lint_function, LintStage};
+//!
+//! // v1's definition does not dominate its use in b3.
+//! let f = parse_function(
+//!     "function @bad(0) {
+//!      b0:
+//!          v0 = const 1
+//!          branch v0, b1, b2
+//!      b1:
+//!          v1 = const 2
+//!          jump b3
+//!      b2:
+//!          jump b3
+//!      b3:
+//!          return v1
+//!      }",
+//! ).unwrap();
+//! let report = lint_function(&f, &mut AnalysisManager::new(), LintStage::Ssa);
+//! assert!(report.has_errors());
+//! assert!(report.diagnostics.iter().any(|d| d.rule == "ssa-dominance"));
+//! ```
+
+pub mod audit;
+pub mod rules;
+
+pub use audit::{
+    audit_destruction, RULE_CLASS_INTERFERENCE, RULE_COPY_MISSING, RULE_COPY_REDUNDANT,
+};
+pub use rules::{default_rules, LintRule};
+
+use fcc_analysis::AnalysisManager;
+use fcc_ir::diagnostic::json_escape;
+use fcc_ir::{Diagnostic, Function, Severity};
+
+/// Which pipeline stage a function is at — different subsets of the rule
+/// catalogue apply.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LintStage {
+    /// Pre-SSA CFG code (front-end output): structure and definite
+    /// assignment, but names may be defined many times.
+    Cfg,
+    /// Regular SSA: the full catalogue.
+    Ssa,
+    /// After SSA destruction: structure and definite assignment again
+    /// (classes merged names, so dominance no longer applies), plus
+    /// no-φs.
+    Final,
+}
+
+impl std::fmt::Display for LintStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LintStage::Cfg => "cfg",
+            LintStage::Ssa => "ssa",
+            LintStage::Final => "final",
+        })
+    }
+}
+
+/// The outcome of linting one function at one stage.
+#[derive(Clone, Debug)]
+pub struct LintReport {
+    /// The stage the suite ran at.
+    pub stage: LintStage,
+    /// Every finding, in rule-registry order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.is_error()).count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    /// Whether any finding is error severity (the check failed).
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// Render as human-readable text, one finding per paragraph with the
+    /// offending instruction quoted from `func`, plus a summary line.
+    pub fn render_text(&self, func: &Function) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.render(func));
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{}: stage {}: {} error(s), {} warning(s), {} finding(s)",
+            func.name,
+            self.stage,
+            self.error_count(),
+            self.warning_count(),
+            self.diagnostics.len()
+        ));
+        out
+    }
+
+    /// Render as one JSON object:
+    /// `{"function", "stage", "errors", "warnings", "diagnostics": [...]}`.
+    pub fn render_json(&self, func: &Function) -> String {
+        let diags: Vec<String> = self
+            .diagnostics
+            .iter()
+            .map(|d| d.to_json(Some(func)))
+            .collect();
+        format!(
+            "{{\"function\":\"{}\",\"stage\":\"{}\",\"errors\":{},\"warnings\":{},\"diagnostics\":[{}]}}",
+            json_escape(&func.name),
+            self.stage,
+            self.error_count(),
+            self.warning_count(),
+            diags.join(",")
+        )
+    }
+}
+
+/// Run the default rule suite over `func` at `stage`.
+///
+/// The structural rule always runs first; if it reports errors the
+/// remaining rules are skipped — they assume a well-shaped function (the
+/// dominator tree of a terminator-less block is not meaningful).
+pub fn lint_function(func: &Function, am: &mut AnalysisManager, stage: LintStage) -> LintReport {
+    lint_with_rules(func, am, stage, &default_rules())
+}
+
+/// [`lint_function`] with an explicit rule list (the first structural
+/// rule still gates the rest).
+pub fn lint_with_rules(
+    func: &Function,
+    am: &mut AnalysisManager,
+    stage: LintStage,
+    rules: &[Box<dyn LintRule>],
+) -> LintReport {
+    let mut diagnostics = Vec::new();
+    let mut shape_ok = true;
+    for rule in rules {
+        if !rule.applies(stage) {
+            continue;
+        }
+        if rule.structural() {
+            let before = diagnostics.len();
+            rule.check(func, am, &mut diagnostics);
+            shape_ok &= diagnostics[before..].iter().all(|d| !d.is_error());
+        } else if shape_ok {
+            rule.check(func, am, &mut diagnostics);
+        }
+    }
+    LintReport { stage, diagnostics }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcc_ir::parse::parse_function;
+
+    #[test]
+    fn clean_ssa_gets_a_clean_report() {
+        let f = parse_function(
+            "function @ok(1) {
+             b0:
+                 v0 = param 0
+                 v1 = const 0
+                 jump b1
+             b1:
+                 v2 = phi [b0: v1], [b1: v3]
+                 v3 = add v2, v0
+                 v4 = lt v3, v0
+                 branch v4, b1, b2
+             b2:
+                 return v3
+             }",
+        )
+        .unwrap();
+        let r = lint_function(&f, &mut AnalysisManager::new(), LintStage::Ssa);
+        assert!(!r.has_errors(), "{}", r.render_text(&f));
+        // The loop-exit edge b1->b2 is not critical (b2 has one pred);
+        // the backedge b1->b1 is critical and carries a phi: a warning.
+        assert!(r.warning_count() >= 1, "{}", r.render_text(&f));
+    }
+
+    #[test]
+    fn structural_errors_gate_the_rest_of_the_suite() {
+        // No terminator: the SSA rules must not run (their analyses
+        // assume block shape), so the only findings are structural.
+        let mut f = fcc_ir::Function::new("noterm");
+        let b0 = f.add_block();
+        let v = f.new_value();
+        f.append_inst(b0, fcc_ir::InstKind::Const { imm: 1 }, Some(v));
+        let r = lint_function(&f, &mut AnalysisManager::new(), LintStage::Ssa);
+        assert!(r.has_errors());
+        assert!(r.diagnostics.iter().all(|d| d.rule == "structure"), "{r:?}");
+    }
+
+    #[test]
+    fn corrupted_dominance_reports_rule_id_in_text_and_json() {
+        // Acceptance-criteria shape: a use not dominated by its def.
+        let f = parse_function(
+            "function @bad(0) {
+             b0:
+                 v0 = const 1
+                 branch v0, b1, b2
+             b1:
+                 v1 = const 2
+                 jump b3
+             b2:
+                 jump b3
+             b3:
+                 return v1
+             }",
+        )
+        .unwrap();
+        let r = lint_function(&f, &mut AnalysisManager::new(), LintStage::Ssa);
+        assert!(r.has_errors());
+        let text = r.render_text(&f);
+        assert!(text.contains("error[ssa-dominance]"), "{text}");
+        let json = r.render_json(&f);
+        assert!(json.contains("\"rule\":\"ssa-dominance\""), "{json}");
+        assert!(json.contains("\"errors\":"), "{json}");
+    }
+
+    #[test]
+    fn final_stage_rejects_surviving_phis() {
+        let f = parse_function(
+            "function @leftover(0) {
+             b0:
+                 v0 = const 1
+                 branch v0, b1, b2
+             b1:
+                 v1 = const 2
+                 jump b3
+             b2:
+                 v2 = const 3
+                 jump b3
+             b3:
+                 v3 = phi [b1: v1], [b2: v2]
+                 return v3
+             }",
+        )
+        .unwrap();
+        let r = lint_function(&f, &mut AnalysisManager::new(), LintStage::Final);
+        assert!(r.has_errors());
+        assert!(
+            r.diagnostics.iter().any(|d| d.rule == "phi-free"),
+            "{}",
+            r.render_text(&f)
+        );
+    }
+
+    #[test]
+    fn json_report_is_parseable_shape() {
+        let f = parse_function("function @t(0) {\nb0:\n v0 = const 1\n return v0\n}").unwrap();
+        let r = lint_function(&f, &mut AnalysisManager::new(), LintStage::Ssa);
+        let j = r.render_json(&f);
+        assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
+        assert!(j.contains("\"function\":\"t\""), "{j}");
+        assert!(j.contains("\"diagnostics\":["), "{j}");
+    }
+}

@@ -177,6 +177,10 @@ impl Pass for SimplifyCfg {
     }
 }
 
+/// What [`PassManager::run`] reports: `(rounds to fixpoint, per-pass
+/// change counts)`.
+pub type RunSummary = (usize, Vec<(&'static str, usize)>);
+
 /// Runs a pass list repeatedly until no pass changes anything.
 #[derive(Default)]
 pub struct PassManager {
@@ -203,11 +207,7 @@ impl PassManager {
     /// Run to fixpoint against a shared analysis cache. After each pass
     /// the cache is invalidated according to the pass's [`PassEffect`].
     /// Returns `(rounds, per-pass change counts)`.
-    pub fn run(
-        &self,
-        func: &mut Function,
-        am: &mut AnalysisManager,
-    ) -> (usize, Vec<(&'static str, usize)>) {
+    pub fn run(&self, func: &mut Function, am: &mut AnalysisManager) -> RunSummary {
         let mut counts: Vec<(&'static str, usize)> =
             self.passes.iter().map(|p| (p.name(), 0)).collect();
         for round in 1..=self.max_rounds {
@@ -239,7 +239,97 @@ impl PassManager {
         let mut am = AnalysisManager::new();
         self.run(func, &mut am)
     }
+
+    /// [`Self::run`] in `--verify-each` mode: the `fcc-lint` rule suite
+    /// runs over the function before the first pass and again after
+    /// every pass that changed it, at `stage`. The first error-severity
+    /// diagnostic aborts the pipeline and names the offending pass (or
+    /// `"<input>"` when the function was broken on arrival).
+    ///
+    /// Each check uses a fresh analysis cache, deliberately: a pass that
+    /// lied about its [`PreservedAnalyses`] would otherwise hand the
+    /// linter the same stale analyses it handed the next pass, masking
+    /// the breakage the mode exists to catch.
+    pub fn run_verified(
+        &self,
+        func: &mut Function,
+        am: &mut AnalysisManager,
+        stage: fcc_lint::LintStage,
+    ) -> Result<RunSummary, PipelineViolation> {
+        let lint = |func: &Function, pass: &'static str, round: usize| {
+            let report = fcc_lint::lint_function(func, &mut AnalysisManager::new(), stage);
+            if report.has_errors() {
+                Err(PipelineViolation {
+                    pass,
+                    round,
+                    report,
+                })
+            } else {
+                Ok(())
+            }
+        };
+        lint(func, "<input>", 0)?;
+        let mut counts: Vec<(&'static str, usize)> =
+            self.passes.iter().map(|p| (p.name(), 0)).collect();
+        for round in 1..=self.max_rounds {
+            let mut changed = false;
+            for (i, p) in self.passes.iter().enumerate() {
+                let before = func.epoch();
+                let effect = p.run(func, am);
+                let preserved = if effect.changed {
+                    effect.preserved
+                } else {
+                    PreservedAnalyses::all()
+                };
+                am.invalidate(func, before, preserved);
+                if effect.changed {
+                    counts[i].1 += 1;
+                    changed = true;
+                    lint(func, p.name(), round)?;
+                }
+            }
+            if !changed {
+                return Ok((round, counts));
+            }
+        }
+        Ok((self.max_rounds, counts))
+    }
 }
+
+/// A `--verify-each` pipeline abort: `pass` left the function violating
+/// the lint suite in `round`.
+#[derive(Debug)]
+pub struct PipelineViolation {
+    /// The pass that broke the invariant, or `"<input>"` when the
+    /// function failed the suite before any pass ran.
+    pub pass: &'static str,
+    /// The 1-based fixpoint round (0 for `"<input>"`).
+    pub round: usize,
+    /// The failing lint report.
+    pub report: fcc_lint::LintReport,
+}
+
+impl std::fmt::Display for PipelineViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.pass == "<input>" {
+            write!(
+                f,
+                "function failed the lint suite before any pass ran ({} error(s))",
+                self.report.error_count()
+            )
+        } else {
+            write!(
+                f,
+                "pass '{}' broke a lint invariant in round {} ({} error(s))",
+                self.pass,
+                self.round,
+                self.report.error_count()
+            )
+        }
+    }
+}
+
+impl std::error::Error for PipelineViolation {}
 
 /// The standard SSA optimisation pipeline: fold → propagate → DCE →
 /// simplify, to fixpoint.
@@ -247,6 +337,22 @@ pub fn standard_pipeline() -> PassManager {
     PassManager::new()
         .with(ConstFold)
         .with(CopyProp)
+        .with(Dce)
+        .with(SimplifyCfg)
+}
+
+/// The standard pipeline minus copy propagation, for code headed into
+/// φ-web live-range identification (`fcc_regalloc::destruct_via_webs`,
+/// the Chaitin/Briggs comparator). That path is only sound while every
+/// φ web corresponds to one source variable, which holds exactly as
+/// long as no copy has been folded into a φ argument — `CopyProp` is
+/// standalone copy folding and re-creates the interfering webs the
+/// `--no-fold` flag exists to avoid, so it must stay out of this
+/// pipeline. The coalescing destruction paths don't need the
+/// restriction; use [`standard_pipeline`] there.
+pub fn copy_preserving_pipeline() -> PassManager {
+    PassManager::new()
+        .with(ConstFold)
         .with(Dce)
         .with(SimplifyCfg)
 }
@@ -292,6 +398,132 @@ mod tests {
         // Everything folds to `const 8; return`.
         assert_eq!(f.live_inst_count(), 2, "{f}");
         assert_eq!(f.blocks().count(), 1);
+    }
+
+    #[test]
+    fn verify_each_accepts_a_clean_pipeline() {
+        let mut f = parse_function(
+            "function @v(1) {
+             b0:
+                 v0 = param 0
+                 v1 = const 1
+                 v2 = add v0, v1
+                 v3 = copy v2
+                 return v3
+             }",
+        )
+        .unwrap();
+        let mut am = AnalysisManager::new();
+        let r = standard_pipeline().run_verified(&mut f, &mut am, fcc_lint::LintStage::Ssa);
+        assert!(r.is_ok(), "{}", r.unwrap_err());
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn verify_each_rejects_broken_input() {
+        // Use before any definition: the input itself fails the suite.
+        let mut f = parse_function(
+            "function @b(0) {
+             b0:
+                 v1 = add v0, v0
+                 return v1
+             }",
+        )
+        .unwrap();
+        let mut am = AnalysisManager::new();
+        let err = standard_pipeline()
+            .run_verified(&mut f, &mut am, fcc_lint::LintStage::Ssa)
+            .unwrap_err();
+        assert_eq!(err.pass, "<input>");
+        assert_eq!(err.round, 0);
+    }
+
+    /// A deliberately wrong "φ elimination": replaces every φ with its
+    /// first argument, which does not dominate the join. Seeds the
+    /// dominance violation `--verify-each` exists to attribute.
+    struct BogusPhiElim;
+    impl Pass for BogusPhiElim {
+        fn name(&self) -> &'static str {
+            "bogus-phi-elim"
+        }
+        fn run(&self, func: &mut Function, _am: &mut AnalysisManager) -> PassEffect {
+            use fcc_ir::InstKind;
+            let mut replaced = false;
+            let blocks: Vec<_> = func.blocks().collect();
+            for b in &blocks {
+                let phis: Vec<_> = func.block_phis(*b).collect();
+                for phi in phis {
+                    let data = func.inst(phi);
+                    let dst = data.dst.expect("phi defines");
+                    let InstKind::Phi { args } = &data.kind else {
+                        continue;
+                    };
+                    let rep = args[0].value;
+                    for &bb in &blocks {
+                        for i in func.block_insts(bb).to_vec() {
+                            let kind = &mut func.inst_mut(i).kind;
+                            kind.for_each_use_mut(|v| {
+                                if *v == dst {
+                                    *v = rep;
+                                }
+                            });
+                            if let InstKind::Phi { args } = kind {
+                                for a in args.iter_mut() {
+                                    if a.value == dst {
+                                        a.value = rep;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    func.remove_inst(*b, phi);
+                    replaced = true;
+                }
+            }
+            if replaced {
+                PassEffect::changed(PreservedAnalyses::none())
+            } else {
+                PassEffect::unchanged()
+            }
+        }
+    }
+
+    #[test]
+    fn verify_each_names_the_offending_pass() {
+        let mut f = parse_function(
+            "function @d(1) {
+             b0:
+                 v0 = param 0
+                 branch v0, b1, b2
+             b1:
+                 v1 = const 2
+                 jump b3
+             b2:
+                 v2 = const 3
+                 jump b3
+             b3:
+                 v3 = phi [b1: v1], [b2: v2]
+                 return v3
+             }",
+        )
+        .unwrap();
+        let mut am = AnalysisManager::new();
+        let err = PassManager::new()
+            .with(BogusPhiElim)
+            .with(Dce)
+            .run_verified(&mut f, &mut am, fcc_lint::LintStage::Ssa)
+            .unwrap_err();
+        assert_eq!(err.pass, "bogus-phi-elim");
+        assert_eq!(err.round, 1);
+        assert!(
+            err.report
+                .diagnostics
+                .iter()
+                .any(|d| d.rule == "ssa-dominance"),
+            "{:?}",
+            err.report
+        );
+        assert!(err.to_string().contains("bogus-phi-elim"));
     }
 
     #[test]

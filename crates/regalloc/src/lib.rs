@@ -53,4 +53,4 @@ pub use color::{
     allocate, allocate_managed, verify_coloring, AllocError, AllocOptions, Allocation,
 };
 pub use igraph::InterferenceGraph;
-pub use webs::{destruct_via_webs, WebStats};
+pub use webs::{destruct_via_webs, destruct_via_webs_traced, WebStats};

@@ -10,6 +10,7 @@
 
 use fcc_analysis::UnionFind;
 use fcc_ir::{Function, Inst, InstKind, Value};
+use fcc_ssa::trace::DestructionTrace;
 
 /// Counters from φ-web destruction.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -31,6 +32,25 @@ pub struct WebStats {
 /// members cannot interfere); for folded SSA use
 /// `fcc_core::coalesce_ssa`, which breaks interfering webs apart.
 pub fn destruct_via_webs(func: &mut Function) -> WebStats {
+    destruct_via_webs_impl(func, false).0
+}
+
+/// [`destruct_via_webs`], additionally returning the
+/// [`DestructionTrace`] (snapshot, web class map, and an empty
+/// `Waiting` array — web unioning inserts no copies) for the
+/// `fcc-lint` soundness auditor. On SSA built *with* copy folding the
+/// audit reports the interferences that make this path unsound there —
+/// the failure mode the paper's algorithm exists to avoid.
+pub fn destruct_via_webs_traced(func: &mut Function) -> (WebStats, DestructionTrace) {
+    let (stats, trace) = destruct_via_webs_impl(func, true);
+    (stats, trace.expect("trace requested"))
+}
+
+fn destruct_via_webs_impl(
+    func: &mut Function,
+    want_trace: bool,
+) -> (WebStats, Option<DestructionTrace>) {
+    let pre = want_trace.then(|| func.clone());
     let mut stats = WebStats::default();
     let n = func.num_values();
     let mut uf = UnionFind::new(n);
@@ -79,7 +99,12 @@ pub fn destruct_via_webs(func: &mut Function) -> WebStats {
         func.remove_inst(b, phi);
         stats.phis_removed += 1;
     }
-    stats
+    let trace = pre.map(|pre| DestructionTrace {
+        pre,
+        class_of: name,
+        waiting: Some(Vec::new()),
+    });
+    (stats, trace)
 }
 
 #[cfg(test)]

@@ -25,14 +25,34 @@ use fcc_ir::{Block, Function, Inst, InstKind, Value};
 
 use crate::edges::split_critical_edges;
 use crate::standard::DestructStats;
+use crate::trace::DestructionTrace;
 
 /// Destruct `func`'s φs via Method I CSSA conversion. Returns counters
 /// (`copies_inserted` counts the isolation copies).
 pub fn destruct_sreedhar_i(func: &mut Function) -> DestructStats {
+    destruct_sreedhar_i_impl(func, false).0
+}
+
+/// [`destruct_sreedhar_i`], additionally returning the
+/// [`DestructionTrace`] for the `fcc-lint` soundness auditor. Method I
+/// merges no pre-existing names (its webs are made of fresh isolation
+/// values), so the class map is the identity; its copies are isolation
+/// copies rather than a `Waiting` array, so the trace carries no copy
+/// list and the auditor's copy-exactness check does not apply.
+pub fn destruct_sreedhar_i_traced(func: &mut Function) -> (DestructStats, DestructionTrace) {
+    let (stats, trace) = destruct_sreedhar_i_impl(func, true);
+    (stats, trace.expect("trace requested"))
+}
+
+fn destruct_sreedhar_i_impl(
+    func: &mut Function,
+    want_trace: bool,
+) -> (DestructStats, Option<DestructionTrace>) {
     let mut stats = DestructStats {
         edges_split: split_critical_edges(func),
         ..Default::default()
     };
+    let pre = want_trace.then(|| func.clone());
 
     // Collect φs up front; the function is edited in place.
     let mut phis: Vec<(Block, Inst)> = Vec::new();
@@ -97,7 +117,7 @@ pub fn destruct_sreedhar_i(func: &mut Function) -> DestructStats {
         func.remove_inst(b, phi);
         stats.phis_removed += 1;
     }
-    stats
+    (stats, pre.map(|pre| DestructionTrace::identity(pre, None)))
 }
 
 #[cfg(test)]

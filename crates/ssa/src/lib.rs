@@ -47,10 +47,14 @@ pub mod cssa;
 pub mod edges;
 pub mod parcopy;
 pub mod standard;
+pub mod trace;
 pub mod verify;
 
 pub use construct::{build_ssa, build_ssa_with, SsaFlavor, SsaStats};
-pub use cssa::destruct_sreedhar_i;
+pub use cssa::{destruct_sreedhar_i, destruct_sreedhar_i_traced};
 pub use edges::{split_critical_edges, split_critical_edges_with};
-pub use standard::{destruct_standard, destruct_standard_with, DestructStats};
-pub use verify::{verify_ssa, verify_ssa_with};
+pub use standard::{
+    destruct_standard, destruct_standard_traced, destruct_standard_with, DestructStats,
+};
+pub use trace::DestructionTrace;
+pub use verify::{ssa_diagnostics, verify_ssa, verify_ssa_with};

@@ -245,6 +245,101 @@ mod tests {
         check(&[(0, 1), (0, 2)]);
     }
 
+    /// The paper's *virtual swap* (Figure 4): after coalescing, the
+    /// copy-chain `x' = x; x = y; y = x'` collapses so the φ moves on
+    /// the backedge become a genuine two-cycle between the merged
+    /// names. At the parallel-copy level that cycle looks exactly like
+    /// a swap and must be broken with one temporary — this is the move
+    /// set the coalescer hands to the sequentialiser for that loop.
+    #[test]
+    fn virtual_swap_after_coalescing_needs_one_temp() {
+        // Merged names: class(x) = 0, class(y) = 1. The backedge
+        // parallel copy is {0 <- 1, 1 <- 0}.
+        assert_eq!(check(&[(0, 1), (1, 0)]), 3);
+        // The same cycle extended with the loop counter's move riding
+        // along: independent moves must not pick up extra temps.
+        assert_eq!(check(&[(0, 1), (1, 0), (2, 3)]), 4);
+    }
+
+    /// The lost-copy shape: the φ destination is also the source of a
+    /// move on the same edge (`y = φ(...); ... y1 = y + 1` gives the
+    /// backedge moves `y <- y1` with `y` still feeding a later use
+    /// through another destination). Sequentialisation must read `y`
+    /// before overwriting it.
+    #[test]
+    fn lost_copy_shape_reads_before_overwriting() {
+        // 1 <- 0 (save the old value), 0 <- 2 (overwrite): the save
+        // must be emitted first; no temp needed.
+        assert_eq!(check(&[(1, 0), (0, 2)]), 2);
+        // With the reader in a cycle with the overwriter the temp comes
+        // back: 1 <- 0, 0 <- 1 plus an independent observer 2 <- 0.
+        assert_eq!(check(&[(1, 0), (0, 1), (2, 0)]), 3);
+    }
+
+    /// Random permutation instances, cross-checked parallel vs
+    /// sequential semantics. Permutations are the worst case for cycle
+    /// structure (every destination is also a source), and SplitMix64
+    /// keeps the sweep deterministic and offline.
+    #[test]
+    fn random_permutations_match_parallel_semantics() {
+        use fcc_workloads::SplitMix64;
+        let rounds = if cfg!(feature = "heavy") { 500 } else { 100 };
+        let mut rng = SplitMix64::seed_from_u64(0xC0A1E5CE);
+        for _ in 0..rounds {
+            let n = rng.gen_range(1..=9usize);
+            // Fisher-Yates shuffle of 0..n.
+            let mut perm: Vec<usize> = (0..n).collect();
+            for i in (1..n).rev() {
+                let j = rng.gen_range(0..=i);
+                perm.swap(i, j);
+            }
+            let copies: Vec<(usize, usize)> = (0..n).map(|i| (i, perm[i])).collect();
+            let emitted = check(&copies);
+            // A permutation with c non-trivial cycles covering m
+            // elements sequentialises into m + c moves (one temp save
+            // per cycle), never more.
+            let mut seen = vec![false; n];
+            let (mut m, mut c) = (0usize, 0usize);
+            for start in 0..n {
+                if seen[start] || perm[start] == start {
+                    continue;
+                }
+                c += 1;
+                let mut i = start;
+                while !seen[i] {
+                    seen[i] = true;
+                    m += 1;
+                    i = perm[i];
+                }
+            }
+            assert_eq!(emitted, m + c, "perm {perm:?}");
+        }
+    }
+
+    /// Random *functional* move sets (duplicate sources allowed),
+    /// cross-checked the same way — chains, fan-outs and cycles mixed.
+    #[test]
+    fn random_move_sets_match_parallel_semantics() {
+        use fcc_workloads::SplitMix64;
+        let rounds = if cfg!(feature = "heavy") { 1000 } else { 200 };
+        let mut rng = SplitMix64::seed_from_u64(0x5E9_0E17);
+        for _ in 0..rounds {
+            let universe = rng.gen_range(2..=8usize);
+            let k = rng.gen_range(1..=universe);
+            // k distinct destinations, arbitrary sources.
+            let mut dsts: Vec<usize> = (0..universe).collect();
+            for i in (1..universe).rev() {
+                let j = rng.gen_range(0..=i);
+                dsts.swap(i, j);
+            }
+            let copies: Vec<(usize, usize)> = dsts[..k]
+                .iter()
+                .map(|&d| (d, rng.gen_range(0..universe)))
+                .collect();
+            check(&copies);
+        }
+    }
+
     #[test]
     fn exhaustive_small_functions() {
         // Every parallel copy with dsts {0,1,2} and srcs drawn from 0..5.

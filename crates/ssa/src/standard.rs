@@ -18,6 +18,7 @@ use fcc_ir::{Block, Function, Inst, InstKind, Value};
 
 use crate::edges::split_critical_edges_with;
 use crate::parcopy::sequentialize;
+use crate::trace::DestructionTrace;
 
 /// Counters describing one destruction run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -44,10 +45,32 @@ pub fn destruct_standard(func: &mut Function) -> DestructStats {
 /// [`destruct_standard`], pulling the CFG from a shared
 /// [`AnalysisManager`].
 pub fn destruct_standard_with(func: &mut Function, am: &mut AnalysisManager) -> DestructStats {
+    destruct_standard_impl(func, am, false).0
+}
+
+/// [`destruct_standard_with`], additionally returning the
+/// [`DestructionTrace`] (pre-destruction snapshot, identity class map,
+/// and the full `Waiting` array) for the `fcc-lint` soundness auditor.
+pub fn destruct_standard_traced(
+    func: &mut Function,
+    am: &mut AnalysisManager,
+) -> (DestructStats, DestructionTrace) {
+    let (stats, trace) = destruct_standard_impl(func, am, true);
+    (stats, trace.expect("trace requested"))
+}
+
+fn destruct_standard_impl(
+    func: &mut Function,
+    am: &mut AnalysisManager,
+    want_trace: bool,
+) -> (DestructStats, Option<DestructionTrace>) {
     let mut stats = DestructStats {
         edges_split: split_critical_edges_with(func, am),
         ..Default::default()
     };
+    // Snapshot after splitting: the trace's Waiting blocks must exist in
+    // the function the classes refer to.
+    let pre = want_trace.then(|| func.clone());
 
     let cfg = am.cfg(func);
 
@@ -99,7 +122,12 @@ pub fn destruct_standard_with(func: &mut Function, am: &mut AnalysisManager) -> 
         func.remove_inst(b, phi);
         stats.phis_removed += 1;
     }
-    stats
+    let trace = pre.map(|pre| {
+        let mut recorded: Vec<(Block, Vec<(Value, Value)>)> = waiting.into_iter().collect();
+        recorded.sort_unstable_by_key(|&(b, _)| b);
+        DestructionTrace::identity(pre, Some(recorded))
+    });
+    (stats, trace)
 }
 
 #[cfg(test)]

@@ -1,0 +1,110 @@
+//! Evidence trail of one SSA destruction, for independent auditing.
+//!
+//! Every destruction path (the paper's coalescing algorithm, Standard
+//! φ-instantiation, Sreedhar Method I, φ-web unioning) ultimately does
+//! two things: it partitions SSA names into congruence classes that
+//! share one post-SSA name, and it materialises the φ moves that the
+//! partition could not absorb. A [`DestructionTrace`] records exactly
+//! that — the pre-destruction SSA snapshot, the class map, and the
+//! per-block `Waiting` parallel copies — so `fcc-lint`'s soundness
+//! auditor can *recompute* interference from liveness alone (Theorem
+//! 2.2) and certify the run after the fact, without trusting any data
+//! structure the destructor itself used.
+
+use fcc_ir::{Block, Function, Value};
+
+use crate::parcopy::Move;
+
+/// What one destruction run claimed, in checkable form.
+#[derive(Clone, Debug)]
+pub struct DestructionTrace {
+    /// The SSA function the classes refer to, snapshotted after
+    /// critical-edge splitting but before any renaming or copy
+    /// insertion.
+    pub pre: Function,
+    /// Congruence class of every pre-destruction value: `class_of[v]`
+    /// is the name `v` was rewritten to (identity for values left
+    /// alone). Length is `pre.num_values()`.
+    pub class_of: Vec<Value>,
+    /// The `Waiting` array (§3.6): per predecessor block, the parallel
+    /// copy inserted at its end, *before* sequentialisation, in the
+    /// class namespace. `None` for paths whose copies are not in
+    /// Waiting form (Sreedhar Method I isolates instead), which skips
+    /// the copy-exactness audit but not the interference audit.
+    pub waiting: Option<Vec<(Block, Vec<Move>)>>,
+}
+
+impl DestructionTrace {
+    /// A trace whose class map is the identity (no names merged) and
+    /// whose waiting copies are `waiting`.
+    pub fn identity(pre: Function, waiting: Option<Vec<(Block, Vec<Move>)>>) -> Self {
+        let n = pre.num_values();
+        DestructionTrace {
+            pre,
+            class_of: (0..n).map(Value::new).collect(),
+            waiting,
+        }
+    }
+
+    /// The class name of `v` (identity for values minted after the
+    /// snapshot, e.g. cycle temporaries).
+    pub fn class(&self, v: Value) -> Value {
+        self.class_of.get(v.index()).copied().unwrap_or(v)
+    }
+
+    /// The non-trivial congruence classes: representative → members,
+    /// only classes with at least two members, members sorted.
+    pub fn classes(&self) -> Vec<(Value, Vec<Value>)> {
+        let mut map: std::collections::HashMap<Value, Vec<Value>> =
+            std::collections::HashMap::new();
+        for (i, &rep) in self.class_of.iter().enumerate() {
+            map.entry(rep).or_default().push(Value::new(i));
+        }
+        let mut out: Vec<(Value, Vec<Value>)> = map
+            .into_iter()
+            .filter(|(_, members)| members.len() >= 2)
+            .collect();
+        for (_, members) in &mut out {
+            members.sort_unstable();
+        }
+        out.sort_unstable_by_key(|&(rep, _)| rep);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_trace_has_no_classes() {
+        let mut f = Function::new("t");
+        let b0 = f.add_block();
+        let v = f.new_value();
+        f.append_inst(b0, fcc_ir::InstKind::Const { imm: 1 }, Some(v));
+        f.append_inst(b0, fcc_ir::InstKind::Return { val: Some(v) }, None);
+        let t = DestructionTrace::identity(f, None);
+        assert!(t.classes().is_empty());
+        assert_eq!(t.class(Value::new(0)), Value::new(0));
+        // Out-of-range (post-snapshot temp) values map to themselves.
+        assert_eq!(t.class(Value::new(99)), Value::new(99));
+    }
+
+    #[test]
+    fn classes_groups_merged_names() {
+        let mut f = Function::new("t");
+        let b0 = f.add_block();
+        let vs: Vec<Value> = (0..4).map(|_| f.new_value()).collect();
+        for &v in &vs {
+            f.append_inst(b0, fcc_ir::InstKind::Const { imm: 0 }, Some(v));
+        }
+        f.append_inst(b0, fcc_ir::InstKind::Return { val: None }, None);
+        let mut t = DestructionTrace::identity(f, None);
+        t.class_of[2] = vs[0];
+        t.class_of[3] = vs[0];
+        let classes = t.classes();
+        assert_eq!(classes.len(), 1);
+        assert_eq!(classes[0].0, vs[0]);
+        assert_eq!(classes[0].1, vec![vs[0], vs[2], vs[3]]);
+    }
+}

@@ -11,32 +11,44 @@
 //! 3. every φ argument `[p: v]` is dominated by `v`'s definition at the
 //!    *end of `p`* — the paper's footnote 1: the move happens along the
 //!    incoming edge, which `v`'s definition block dominates.
+//!
+//! Findings are reported as [`Diagnostic`]s under three rule ids —
+//! [`RULE_SINGLE_DEF`], [`RULE_DOMINANCE`], [`RULE_PHI_EDGE`] — via
+//! [`ssa_diagnostics`]; [`verify_ssa`] is the thin historical wrapper
+//! returning the first violation as an [`SsaError`].
 
 use std::collections::HashMap;
 
 use fcc_analysis::AnalysisManager;
-use fcc_ir::{Block, Function, InstKind, Value};
+use fcc_ir::{Block, Diagnostic, Function, InstKind, Value};
 
-/// A violation of the regular-SSA property.
+/// Rule id: a value is defined more than once.
+pub const RULE_SINGLE_DEF: &str = "ssa-single-def";
+/// Rule id: an ordinary use is not dominated by its definition.
+pub const RULE_DOMINANCE: &str = "ssa-dominance";
+/// Rule id: a φ argument's definition does not dominate the incoming
+/// edge (the paper's footnote 1).
+pub const RULE_PHI_EDGE: &str = "phi-edge-dominance";
+
+/// A violation of the regular-SSA property — a thin wrapper over the
+/// [`Diagnostic`] that describes it.
 #[derive(Clone, PartialEq, Eq, Debug)]
-pub struct SsaError {
+pub struct SsaError(pub Diagnostic);
+
+impl SsaError {
     /// Description of the violation.
-    pub message: String,
+    pub fn message(&self) -> &str {
+        &self.0.message
+    }
 }
 
 impl std::fmt::Display for SsaError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}", self.message)
+        write!(f, "{}", self.0.message)
     }
 }
 
 impl std::error::Error for SsaError {}
-
-fn serr(message: impl Into<String>) -> SsaError {
-    SsaError {
-        message: message.into(),
-    }
-}
 
 /// Check that `func` is in regular SSA form.
 ///
@@ -51,8 +63,18 @@ pub fn verify_ssa(func: &Function) -> Result<(), SsaError> {
 /// [`AnalysisManager`] — free when the caller's pipeline already has
 /// them cached.
 pub fn verify_ssa_with(func: &Function, am: &mut AnalysisManager) -> Result<(), SsaError> {
+    match ssa_diagnostics(func, am).into_iter().next() {
+        Some(d) => Err(SsaError(d)),
+        None => Ok(()),
+    }
+}
+
+/// Report every regular-SSA violation in `func` as a [`Diagnostic`]
+/// (all error severity; see the module docs for the rule ids).
+pub fn ssa_diagnostics(func: &Function, am: &mut AnalysisManager) -> Vec<Diagnostic> {
     let cfg = am.cfg(func);
     let dt = am.domtree(func);
+    let mut out = Vec::new();
 
     // Definition site (block, position) of every value.
     let mut def_site: HashMap<Value, (Block, usize)> = HashMap::new();
@@ -63,7 +85,15 @@ pub fn verify_ssa_with(func: &Function, am: &mut AnalysisManager) -> Result<(), 
         for (pos, &inst) in func.block_insts(b).iter().enumerate() {
             if let Some(d) = func.inst(inst).dst {
                 if let Some((ob, _)) = def_site.insert(d, (b, pos)) {
-                    return Err(serr(format!("{d} defined more than once ({ob} and {b})")));
+                    out.push(
+                        Diagnostic::error(
+                            RULE_SINGLE_DEF,
+                            format!("{d} defined more than once ({ob} and {b})"),
+                        )
+                        .in_block(b)
+                        .at_inst(inst)
+                        .on_value(d),
+                    );
                 }
             }
         }
@@ -75,44 +105,62 @@ pub fn verify_ssa_with(func: &Function, am: &mut AnalysisManager) -> Result<(), 
         }
         for (pos, &inst) in func.block_insts(b).iter().enumerate() {
             let data = func.inst(inst);
-            let mut bad: Option<SsaError> = None;
-            data.kind.for_each_use(|v| {
-                if bad.is_some() {
-                    return;
-                }
-                match def_site.get(&v) {
-                    None => bad = Some(serr(format!("{v} used in {b} but never defined"))),
-                    Some(&(db, dpos)) => {
-                        let dominated = if db == b {
-                            dpos < pos
-                        } else {
-                            dt.strictly_dominates(db, b)
-                        };
-                        if !dominated {
-                            bad = Some(serr(format!(
-                                "use of {v} at {b}[{pos}] not dominated by its definition in {db}"
-                            )));
-                        }
+            data.kind.for_each_use(|v| match def_site.get(&v) {
+                None => out.push(
+                    Diagnostic::error(RULE_DOMINANCE, format!("{v} used in {b} but never defined"))
+                        .in_block(b)
+                        .at_inst(inst)
+                        .on_value(v),
+                ),
+                Some(&(db, dpos)) => {
+                    let dominated = if db == b {
+                        dpos < pos
+                    } else {
+                        dt.strictly_dominates(db, b)
+                    };
+                    if !dominated {
+                        out.push(
+                            Diagnostic::error(
+                                RULE_DOMINANCE,
+                                format!(
+                                    "use of {v} at {b}[{pos}] not dominated by its definition in {db}"
+                                ),
+                            )
+                            .in_block(b)
+                            .at_inst(inst)
+                            .on_value(v),
+                        );
                     }
                 }
             });
-            if let Some(e) = bad {
-                return Err(e);
-            }
             if let InstKind::Phi { args } = &data.kind {
                 for a in args {
                     match def_site.get(&a.value) {
-                        None => {
-                            return Err(serr(format!("phi arg {} in {b} never defined", a.value)))
-                        }
+                        None => out.push(
+                            Diagnostic::error(
+                                RULE_PHI_EDGE,
+                                format!("phi arg {} in {b} never defined", a.value),
+                            )
+                            .in_block(b)
+                            .at_inst(inst)
+                            .on_value(a.value),
+                        ),
                         Some(&(db, _)) => {
                             // The use happens at the end of the a.pred edge:
                             // db must dominate a.pred (reflexively).
                             if !dt.dominates(db, a.pred) {
-                                return Err(serr(format!(
-                                    "phi arg {} flowing {} -> {b} not dominated by its definition in {db}",
-                                    a.value, a.pred
-                                )));
+                                out.push(
+                                    Diagnostic::error(
+                                        RULE_PHI_EDGE,
+                                        format!(
+                                            "phi arg {} flowing {} -> {b} not dominated by its definition in {db}",
+                                            a.value, a.pred
+                                        ),
+                                    )
+                                    .in_block(b)
+                                    .at_inst(inst)
+                                    .on_value(a.value),
+                                );
                             }
                         }
                     }
@@ -120,7 +168,7 @@ pub fn verify_ssa_with(func: &Function, am: &mut AnalysisManager) -> Result<(), 
             }
         }
     }
-    Ok(())
+    out
 }
 
 #[cfg(test)]
@@ -162,6 +210,7 @@ mod tests {
         .unwrap();
         let e = verify_ssa(&f).unwrap_err();
         assert!(e.to_string().contains("more than once"), "{e}");
+        assert_eq!(e.0.rule, RULE_SINGLE_DEF);
     }
 
     #[test]
@@ -211,6 +260,7 @@ mod tests {
         .unwrap();
         let e = verify_ssa(&f).unwrap_err();
         assert!(e.to_string().contains("never defined"), "{e}");
+        assert_eq!(e.0.rule, RULE_DOMINANCE);
     }
 
     #[test]
@@ -257,6 +307,26 @@ mod tests {
              }",
         )
         .unwrap();
-        assert!(verify_ssa(&f).is_err());
+        let e = verify_ssa(&f).unwrap_err();
+        assert_eq!(e.0.rule, RULE_PHI_EDGE, "{e}");
+    }
+
+    #[test]
+    fn diagnostics_report_all_violations_with_locations() {
+        let f = parse_function(
+            "function @multi(0) {
+             b0:
+                 v0 = const 1
+                 v0 = const 2
+                 v1 = copy v9
+                 return v1
+             }",
+        )
+        .unwrap();
+        let diags = ssa_diagnostics(&f, &mut AnalysisManager::new());
+        assert!(diags.len() >= 2, "{diags:?}");
+        assert!(diags.iter().any(|d| d.rule == RULE_SINGLE_DEF));
+        assert!(diags.iter().any(|d| d.rule == RULE_DOMINANCE));
+        assert!(diags.iter().all(|d| d.block.is_some() && d.inst.is_some()));
     }
 }

@@ -1,0 +1,25 @@
+// Nested diamonds: every join point inserts phis whose operands come
+// from mutually exclusive paths, giving the coalescer interference-free
+// classes to merge and the dominance-forest rule non-trivial forests to
+// cross-check.
+fn diamond_join(a, b) {
+    let r = 0;
+    if a < b {
+        if a < 0 {
+            r = b - a;
+        } else {
+            r = b + a;
+        }
+    } else {
+        if b < 0 {
+            r = a - b;
+        } else {
+            r = a + b;
+        }
+    }
+    let s = r;
+    if s < 10 {
+        s = s * 2;
+    }
+    return s;
+}

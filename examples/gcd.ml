@@ -1,0 +1,13 @@
+// Euclid's algorithm by repeated subtraction: a while loop whose body
+// conditionally swaps its two live variables — a compact source of
+// copy-related phi webs for the coalescing soundness audit.
+fn gcd(a, b) {
+    while a != b {
+        if a > b {
+            a = a - b;
+        } else {
+            b = b - a;
+        }
+    }
+    return a;
+}

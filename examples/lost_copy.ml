@@ -1,0 +1,17 @@
+// The lost-copy problem: the loop variable's phi value is still needed
+// *after* the loop (the return reads the pre-increment value), so naive
+// copy placement on the critical backedge would clobber it. Destruction
+// must split the edge; the lint suite's critical-edge rule warns when
+// one survives into destruction.
+fn lost_copy(n) {
+    let x = 0;
+    let y = 0;
+    let i = 0;
+    while i < n {
+        y = x;
+        x = x + 3;
+        i = i + 1;
+    }
+    // y holds the value x had one iteration ago.
+    return x * 100 + y;
+}

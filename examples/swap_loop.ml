@@ -1,0 +1,17 @@
+// The paper's running example (Figures 3-4): a loop that rotates two
+// variables every iteration. With copy folding the rotation becomes a
+// *virtual swap* between the phi destinations, which the coalescer must
+// leave in separate congruence classes and the sequentialiser must break
+// with a temporary. `fcc lint examples/swap_loop.ml` audits exactly that.
+fn swap_loop(n) {
+    let a = 0;
+    let b = 1;
+    let i = 0;
+    while i < n {
+        let t = a;
+        a = b;
+        b = t;
+        i = i + 1;
+    }
+    return a * 1000 + b;
+}

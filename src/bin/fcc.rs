@@ -9,7 +9,11 @@
 //!
 //!   --pipeline P    new (default) | standard | briggs | briggs-star
 //!   --no-fold       do not fold copies during SSA construction
-//!   --opt           run the optimiser pipeline on the SSA
+//!   --opt           run the optimiser pipeline on the SSA (the briggs
+//!                   pipelines get the copy-preserving variant: copy
+//!                   propagation would re-fold copies into φ webs)
+//!   --verify-each   run the fcc-lint suite between phases; the first
+//!                   error aborts and names the offending phase/pass
 //!   --simplify      simplify the CFG after destruction
 //!   --alloc K       colour with K registers after destruction
 //!   --emit STAGE    print IR at: cfg | ssa | final (default: final)
@@ -20,12 +24,27 @@
 //!   --list-kernels  list bundled kernels and exit
 //! ```
 //!
+//! There is also a lint subcommand, which never prints IR — it drives
+//! the function through CFG → SSA → destruction, runs the stage-matched
+//! rule suite at each point plus the coalescing soundness audit, and
+//! exits 1 on any error-severity finding:
+//!
+//! ```text
+//! Usage: fcc lint <file.ml | kernel:NAME | -> [options]
+//!
+//!   --format F      text (default) | json
+//!   --pipeline P    new (default) | new-cut | standard | sreedhar | briggs | briggs-star
+//!   --no-fold       do not fold copies during SSA construction
+//!   --opt           run (and verify) the optimiser pipeline on the SSA
+//! ```
+//!
 //! Examples:
 //!
 //! ```text
 //! fcc kernel:saxpy --stats --run 64,3
 //! echo 'fn f(x){ return x*2; }' | fcc - --emit ssa
 //! fcc prog.ml --pipeline briggs-star --alloc 8 --run 10
+//! fcc lint kernel:saxpy --opt --format json
 //! ```
 
 use std::io::{Read, Write};
@@ -41,6 +60,7 @@ struct Options {
     pipeline: String,
     fold: bool,
     opt: bool,
+    verify_each: bool,
     simplify: bool,
     alloc: Option<usize>,
     emit: String,
@@ -51,8 +71,9 @@ struct Options {
 
 fn usage() -> &'static str {
     "usage: fcc <file.ml | kernel:NAME | -> [--pipeline new|new-cut|standard|sreedhar|briggs|briggs-star] \
-     [--no-fold] [--opt] [--simplify] [--alloc K] [--emit cfg|ssa|final] [--run a,b,...] \
-     [--stats] [--report] [--list-kernels]"
+     [--no-fold] [--opt] [--verify-each] [--simplify] [--alloc K] [--emit cfg|ssa|final] [--run a,b,...] \
+     [--stats] [--report] [--list-kernels]\n       \
+     fcc lint <file.ml | kernel:NAME | -> [--format text|json] [--pipeline P] [--no-fold] [--opt]"
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -62,6 +83,7 @@ fn parse_args() -> Result<Options, String> {
         pipeline: "new".into(),
         fold: true,
         opt: false,
+        verify_each: false,
         simplify: false,
         alloc: None,
         emit: "final".into(),
@@ -77,6 +99,7 @@ fn parse_args() -> Result<Options, String> {
             "--pipeline" => o.pipeline = need(&mut args, "--pipeline")?,
             "--no-fold" => o.fold = false,
             "--opt" => o.opt = true,
+            "--verify-each" => o.verify_each = true,
             "--simplify" => o.simplify = true,
             "--alloc" => {
                 o.alloc = Some(
@@ -142,11 +165,142 @@ fn load_source(input: &str) -> Result<String, String> {
 }
 
 fn main() -> ExitCode {
+    if std::env::args().nth(1).as_deref() == Some("lint") {
+        return match lint_main(std::env::args().skip(2).collect()) {
+            Ok(clean) => {
+                if clean {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("fcc lint: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     match real_main() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("fcc: {e}");
             ExitCode::FAILURE
+        }
+    }
+}
+
+/// `fcc lint`: drive the function through every stage, run the
+/// stage-matched rule suite at each, and audit the destruction run.
+/// Returns `Ok(false)` when any error-severity finding was reported.
+fn lint_main(args: Vec<String>) -> Result<bool, String> {
+    let mut input = String::new();
+    let mut format = "text".to_string();
+    let mut pipeline = "new".to_string();
+    let mut fold = true;
+    let mut opt = false;
+    let mut args = args.into_iter();
+    let need = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--format" => format = need(&mut args, "--format")?,
+            "--pipeline" => pipeline = need(&mut args, "--pipeline")?,
+            "--no-fold" => fold = false,
+            "--opt" => opt = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other if input.is_empty() && !other.starts_with('-') || other == "-" => {
+                input = other.to_string();
+            }
+            other => return Err(format!("unknown argument {other}\n{}", usage())),
+        }
+    }
+    if input.is_empty() {
+        return Err(usage().to_string());
+    }
+    if !matches!(format.as_str(), "text" | "json") {
+        return Err(format!("--format must be text or json, got {format}"));
+    }
+    if matches!(pipeline.as_str(), "briggs" | "briggs-star") && fold {
+        return Err(
+            "the briggs pipelines need --no-fold (phi webs must be interference-free)".into(),
+        );
+    }
+
+    let src = load_source(&input)?;
+    let mut func = fcc::frontend::compile(&src)?;
+    let mut am = AnalysisManager::new();
+    let mut reports: Vec<LintReport> = Vec::new();
+
+    reports.push(fcc::lint::lint_function(&func, &mut am, LintStage::Cfg));
+    build_ssa_with(&mut func, SsaFlavor::Pruned, fold, &mut am);
+    if opt {
+        // The briggs paths destruct by φ-web unioning, which copy
+        // propagation would silently unsound (it folds copies into φ
+        // args); keep copies alive for them.
+        let pm = if matches!(pipeline.as_str(), "briggs" | "briggs-star") {
+            copy_preserving_pipeline()
+        } else {
+            standard_pipeline()
+        };
+        match pm.run_verified(&mut func, &mut am, LintStage::Ssa) {
+            Ok(_) => {}
+            Err(v) => {
+                // Surface the offending pass and its report, then stop:
+                // later stages would lint a function already known bad.
+                eprintln!("fcc lint: {v}");
+                emit_reports(&func, &format, &reports, Some(&v.report));
+                return Ok(false);
+            }
+        }
+    }
+    reports.push(fcc::lint::lint_function(&func, &mut am, LintStage::Ssa));
+
+    let trace = match pipeline.as_str() {
+        "new" | "new-cut" => {
+            let opts = fcc::core::CoalesceOptions {
+                split_strategy: if pipeline == "new-cut" {
+                    fcc::core::SplitStrategy::EdgeCut
+                } else {
+                    fcc::core::SplitStrategy::RemoveMember
+                },
+                ..Default::default()
+            };
+            coalesce_ssa_traced(&mut func, &opts, &mut am).1
+        }
+        "standard" => destruct_standard_traced(&mut func, &mut am).1,
+        "sreedhar" => fcc::ssa::destruct_sreedhar_i_traced(&mut func).1,
+        "briggs" | "briggs-star" => destruct_via_webs_traced(&mut func).1,
+        other => return Err(format!("unknown pipeline {other}\n{}", usage())),
+    };
+
+    let mut am = AnalysisManager::new();
+    let mut fin = fcc::lint::lint_function(&func, &mut am, LintStage::Final);
+    fin.diagnostics.extend(audit_destruction(&trace));
+    reports.push(fin);
+
+    emit_reports(&func, &format, &reports, None);
+    Ok(reports.iter().all(|r| !r.has_errors()))
+}
+
+/// Print lint reports in the chosen format; `extra` is a failing
+/// mid-pipeline report from `--opt` verification, appended last.
+fn emit_reports(
+    func: &fcc::ir::Function,
+    format: &str,
+    reports: &[LintReport],
+    extra: Option<&LintReport>,
+) {
+    let all: Vec<&LintReport> = reports.iter().chain(extra).collect();
+    if format == "json" {
+        let objs: Vec<String> = all.iter().map(|r| r.render_json(func)).collect();
+        emit(format_args!("[{}]", objs.join(",")));
+    } else {
+        for r in all {
+            emit(r.render_text(func));
         }
     }
 }
@@ -172,7 +326,22 @@ fn real_main() -> Result<(), String> {
     phases.push(timer.finish_with(&am, &ssa_stats));
     if o.opt {
         let timer = PhaseTimer::start("optimise", &am);
-        let (rounds, _) = standard_pipeline().run(&mut func, &mut am);
+        // φ-web destruction (briggs pipelines) needs copies kept alive;
+        // copy propagation is standalone copy folding and would merge
+        // interfering webs (see fcc_opt::copy_preserving_pipeline).
+        let pm = if matches!(o.pipeline.as_str(), "briggs" | "briggs-star") {
+            copy_preserving_pipeline()
+        } else {
+            standard_pipeline()
+        };
+        let rounds = if o.verify_each {
+            let (rounds, _) = pm
+                .run_verified(&mut func, &mut am, LintStage::Ssa)
+                .map_err(|v| format!("--verify-each: {v}\n{}", v.report.render_text(&func)))?;
+            rounds
+        } else {
+            pm.run(&mut func, &mut am).0
+        };
         phases.push(timer.finish(&am));
         if o.stats {
             eprintln!("; optimiser: {rounds} rounds to fixpoint");
@@ -184,6 +353,7 @@ fn real_main() -> Result<(), String> {
         return Ok(());
     }
 
+    let mut trace: Option<DestructionTrace> = None;
     let copies = match o.pipeline.as_str() {
         "new" | "new-cut" => {
             let opts = fcc::core::CoalesceOptions {
@@ -195,7 +365,13 @@ fn real_main() -> Result<(), String> {
                 ..Default::default()
             };
             let timer = PhaseTimer::start("coalesce-new", &am);
-            let s = coalesce_ssa_managed(&mut func, &opts, &mut am);
+            let s = if o.verify_each {
+                let (s, t) = coalesce_ssa_traced(&mut func, &opts, &mut am);
+                trace = Some(t);
+                s
+            } else {
+                coalesce_ssa_managed(&mut func, &opts, &mut am)
+            };
             phases.push(timer.finish_with(&am, &s));
             if o.stats {
                 eprintln!(
@@ -211,7 +387,13 @@ fn real_main() -> Result<(), String> {
         }
         "standard" => {
             let timer = PhaseTimer::start("destruct-standard", &am);
-            let s = destruct_standard_with(&mut func, &mut am);
+            let s = if o.verify_each {
+                let (s, t) = destruct_standard_traced(&mut func, &mut am);
+                trace = Some(t);
+                s
+            } else {
+                destruct_standard_with(&mut func, &mut am)
+            };
             phases.push(timer.finish_with(&am, &s));
             if o.stats {
                 eprintln!(
@@ -223,7 +405,13 @@ fn real_main() -> Result<(), String> {
         }
         "sreedhar" => {
             let timer = PhaseTimer::start("sreedhar-i", &am);
-            let s = fcc::ssa::destruct_sreedhar_i(&mut func);
+            let s = if o.verify_each {
+                let (s, t) = fcc::ssa::destruct_sreedhar_i_traced(&mut func);
+                trace = Some(t);
+                s
+            } else {
+                fcc::ssa::destruct_sreedhar_i(&mut func)
+            };
             phases.push(timer.finish_with(&am, &s));
             if o.stats {
                 eprintln!("; sreedhar-i: {} isolation copies", s.copies_inserted);
@@ -238,7 +426,13 @@ fn real_main() -> Result<(), String> {
                 );
             }
             let timer = PhaseTimer::start("webs", &am);
-            let w = destruct_via_webs(&mut func);
+            let w = if o.verify_each {
+                let (w, t) = destruct_via_webs_traced(&mut func);
+                trace = Some(t);
+                w
+            } else {
+                destruct_via_webs(&mut func)
+            };
             phases.push(timer.finish_with(&am, &w));
             let mode = if o.pipeline == "briggs" {
                 GraphMode::Full
@@ -269,6 +463,26 @@ fn real_main() -> Result<(), String> {
         }
         other => return Err(format!("unknown pipeline {other}\n{}", usage())),
     };
+    if let Some(trace) = &trace {
+        // --verify-each: lint the destructed function and audit the
+        // run's congruence classes and Waiting copies independently.
+        let mut fresh = AnalysisManager::new();
+        let mut report = fcc::lint::lint_function(&func, &mut fresh, LintStage::Final);
+        report.diagnostics.extend(audit_destruction(trace));
+        if report.has_errors() {
+            return Err(format!(
+                "--verify-each: destruction pipeline '{}' failed the lint suite\n{}",
+                o.pipeline,
+                report.render_text(&func)
+            ));
+        }
+        if o.stats {
+            eprintln!(
+                "; verify-each: destruction audit clean ({} warning(s))",
+                report.warning_count()
+            );
+        }
+    }
     if o.simplify {
         let timer = PhaseTimer::start("simplify-cfg", &am);
         simplify_cfg_with(&mut func, &mut am);

@@ -18,6 +18,7 @@
 //! | [`regalloc`] | interference graphs, Briggs / Briggs\* coalescers, colouring allocator |
 //! | [`interp`] | φ-aware reference interpreter with dynamic-copy accounting |
 //! | [`opt`] | scalar optimiser: DCE, constant folding, copy propagation, CFG simplify |
+//! | [`lint`] | invariant-checking rule suite + coalescing soundness auditor (`fcc lint`, `--verify-each`) |
 //! | [`frontend`] | MiniLang: a small imperative language lowering to copy-rich CFGs |
 //! | [`workloads`] | the kernel suite (synthetic analogs of the paper's corpus) + program generator |
 //!
@@ -62,6 +63,7 @@ pub use fcc_core as core;
 pub use fcc_frontend as frontend;
 pub use fcc_interp as interp;
 pub use fcc_ir as ir;
+pub use fcc_lint as lint;
 pub use fcc_opt as opt;
 pub use fcc_regalloc as regalloc;
 pub use fcc_ssa as ssa;
@@ -72,17 +74,25 @@ pub mod prelude {
     pub use fcc_analysis::{AnalysisCounters, AnalysisManager, PreservedAnalyses};
     pub use fcc_bench::{measure, run_pipeline, Measurement, PhaseStats, Pipeline, PipelineReport};
     pub use fcc_core::{
-        coalesce_ssa, coalesce_ssa_managed, coalesce_ssa_with, CoalesceOptions, CoalesceStats,
+        coalesce_ssa, coalesce_ssa_managed, coalesce_ssa_traced, coalesce_ssa_with,
+        CoalesceOptions, CoalesceStats,
     };
     pub use fcc_interp::{run, run_with_memory, Outcome};
-    pub use fcc_ir::{Block, Function, FunctionBuilder, Inst, InstKind, Value};
-    pub use fcc_opt::{aggressive_pipeline, standard_pipeline, PassEffect};
+    pub use fcc_ir::{
+        Block, Diagnostic, Function, FunctionBuilder, Inst, InstKind, Severity, Value,
+    };
+    pub use fcc_lint::{audit_destruction, lint_function, LintReport, LintStage};
+    pub use fcc_opt::{
+        aggressive_pipeline, copy_preserving_pipeline, standard_pipeline, PassEffect,
+        PipelineViolation,
+    };
     pub use fcc_regalloc::{
         allocate, allocate_managed, coalesce_copies, coalesce_copies_managed, destruct_via_webs,
-        AllocOptions, BriggsOptions, GraphMode,
+        destruct_via_webs_traced, AllocOptions, BriggsOptions, GraphMode,
     };
     pub use fcc_ssa::{
-        build_ssa, build_ssa_with, destruct_standard, destruct_standard_with, split_critical_edges,
-        split_critical_edges_with, verify_ssa, SsaFlavor,
+        build_ssa, build_ssa_with, destruct_standard, destruct_standard_traced,
+        destruct_standard_with, split_critical_edges, split_critical_edges_with, verify_ssa,
+        DestructionTrace, SsaFlavor,
     };
 }

@@ -1,0 +1,72 @@
+//! Regression tests for a miscompile the lint auditor caught: running
+//! copy propagation between SSA construction and φ-web live-range
+//! identification (the Chaitin/Briggs destruction path).
+//!
+//! `destruct_via_webs` is only sound while every φ web corresponds to a
+//! single source variable — the reason the CLI insists on `--no-fold`
+//! for the briggs pipelines. But `CopyProp` is copy folding as a
+//! standalone pass: it rewrites φ arguments through copy chains, merging
+//! source variables into one web, and the web members then interfere.
+//! On the swap-loop program this produced `1001` where the reference
+//! answer alternates between `1` and `1000`. The fix routes the briggs
+//! paths through [`copy_preserving_pipeline`], which leaves `CopyProp`
+//! out; `audit_destruction` (rule `class-interference`) is the tripwire
+//! that found it.
+
+use fcc::prelude::*;
+
+const SWAP_LOOP: &str = "fn swap_loop(n) {
+    let a = 0; let b = 1; let i = 0;
+    while i < n { let t = a; a = b; b = t; i = i + 1; }
+    return a * 1000 + b;
+}";
+
+const LOST_COPY: &str = "fn lost_copy(n) {
+    let x = 0; let y = 0; let i = 0;
+    while i < n { y = x; x = x + 3; i = i + 1; }
+    return x * 100 + y;
+}";
+
+fn reference(src: &str, arg: i64) -> Option<i64> {
+    let func = fcc::frontend::compile(src).expect("compiles");
+    run(&func, &[arg]).expect("reference run").ret
+}
+
+/// Optimise no-fold SSA with `pm`, destruct via φ webs, and return the
+/// audit findings plus what the destructed code computes on `arg`.
+fn webs_after(pm: fcc::opt::PassManager, src: &str, arg: i64) -> (Vec<Diagnostic>, Option<i64>) {
+    let mut func = fcc::frontend::compile(src).expect("compiles");
+    let mut am = AnalysisManager::new();
+    build_ssa_with(&mut func, SsaFlavor::Pruned, false, &mut am);
+    pm.run(&mut func, &mut am);
+    let (_, trace) = destruct_via_webs_traced(&mut func);
+    let ret = run(&func, &[arg]).expect("destructed run").ret;
+    (audit_destruction(&trace), ret)
+}
+
+#[test]
+fn copyprop_before_phi_webs_is_a_miscompile_and_the_audit_flags_it() {
+    let (audit, ret) = webs_after(standard_pipeline(), SWAP_LOOP, 1);
+    assert!(
+        audit
+            .iter()
+            .any(|d| d.is_error() && d.rule == "class-interference"),
+        "the audit must flag the interfering web"
+    );
+    // The actual wrong answer the interference causes: the virtual swap
+    // collapses and both rotated variables end the loop equal.
+    assert_eq!(ret, Some(1001));
+    assert_eq!(reference(SWAP_LOOP, 1), Some(1000));
+}
+
+#[test]
+fn copy_preserving_pipeline_keeps_phi_webs_sound() {
+    for src in [SWAP_LOOP, LOST_COPY] {
+        for arg in [0, 1, 2, 3, 7, 10] {
+            let (audit, ret) = webs_after(copy_preserving_pipeline(), src, arg);
+            let errors: Vec<_> = audit.iter().filter(|d| d.is_error()).collect();
+            assert!(errors.is_empty(), "arg {arg}: audit errors: {errors:?}");
+            assert_eq!(ret, reference(src, arg), "arg {arg}");
+        }
+    }
+}
