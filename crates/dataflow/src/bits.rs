@@ -1,0 +1,309 @@
+//! Known-bits (definite-value) analysis.
+//!
+//! Tracks, per SSA name, which of the 64 bits are proven 0 and which
+//! are proven 1 — the "nullness-style" definite-value domain: a value
+//! is definitely zero when all bits are known 0, definitely nonzero
+//! when any bit is known 1. The lattice is finite (each bit goes
+//! unknown → known, or the whole fact starts at the contradictory ⊥),
+//! so no widening is needed.
+
+use fcc_ir::instr::{BinOp, UnaryOp};
+use fcc_ir::{InstKind, Value};
+
+use crate::lattice::Lattice;
+use crate::solver::{Feasible, Transfer};
+
+/// Bitwise knowledge about a 64-bit value. Invariant for reachable
+/// facts: `zeros & ones == 0`; ⊥ is the all-contradictory state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct KnownBits {
+    /// Mask of bits proven 0.
+    pub zeros: u64,
+    /// Mask of bits proven 1.
+    pub ones: u64,
+}
+
+impl KnownBits {
+    /// Every bit of `c` known.
+    pub fn constant(c: i64) -> KnownBits {
+        KnownBits {
+            zeros: !(c as u64),
+            ones: c as u64,
+        }
+    }
+
+    /// Whether this is the contradictory ⊥ element.
+    pub fn is_bottom(self) -> bool {
+        self.zeros & self.ones != 0
+    }
+
+    /// The fully-determined value, if every bit is known.
+    pub fn as_const(self) -> Option<i64> {
+        (!self.is_bottom() && self.zeros | self.ones == u64::MAX).then_some(self.ones as i64)
+    }
+
+    /// Mask of bits known either way.
+    pub fn known(self) -> u64 {
+        self.zeros | self.ones
+    }
+
+    /// Whether the value is provably nonzero (some bit is 1).
+    pub fn provably_nonzero(self) -> bool {
+        !self.is_bottom() && self.ones != 0
+    }
+
+    /// Swap the roles of 0 and 1: the knowledge about `!x`.
+    fn complement(self) -> KnownBits {
+        KnownBits {
+            zeros: self.ones,
+            ones: self.zeros,
+        }
+    }
+
+    /// Knowledge about `a + b + carry_in`, tracking the carry from the
+    /// low end until the first unknown bit kills it.
+    fn add(a: KnownBits, b: KnownBits, carry_in: bool) -> KnownBits {
+        let mut zeros = 0u64;
+        let mut ones = 0u64;
+        let mut carry = Some(carry_in);
+        for i in 0..64u32 {
+            let bit = 1u64 << i;
+            let abit = if a.ones & bit != 0 {
+                Some(true)
+            } else if a.zeros & bit != 0 {
+                Some(false)
+            } else {
+                None
+            };
+            let bbit = if b.ones & bit != 0 {
+                Some(true)
+            } else if b.zeros & bit != 0 {
+                Some(false)
+            } else {
+                None
+            };
+            match (abit, bbit, carry) {
+                (Some(x), Some(y), Some(c)) => {
+                    let sum = x as u8 + y as u8 + c as u8;
+                    if sum & 1 != 0 {
+                        ones |= bit;
+                    } else {
+                        zeros |= bit;
+                    }
+                    carry = Some(sum >= 2);
+                }
+                _ => break,
+            }
+        }
+        KnownBits { zeros, ones }
+    }
+}
+
+impl std::fmt::Display for KnownBits {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_bottom() {
+            write!(f, "bottom")
+        } else if let Some(c) = self.as_const() {
+            write!(f, "const {c:#x}")
+        } else {
+            write!(f, "zeros={:#x} ones={:#x}", self.zeros, self.ones)
+        }
+    }
+}
+
+impl Lattice for KnownBits {
+    fn bottom() -> Self {
+        KnownBits {
+            zeros: u64::MAX,
+            ones: u64::MAX,
+        }
+    }
+    fn top() -> Self {
+        KnownBits { zeros: 0, ones: 0 }
+    }
+    /// Keep only the knowledge both sides agree on. ⊥ claims
+    /// everything, so it is the identity.
+    fn join(&self, other: &Self) -> Self {
+        KnownBits {
+            zeros: self.zeros & other.zeros,
+            ones: self.ones & other.ones,
+        }
+    }
+    fn meet(&self, other: &Self) -> Self {
+        KnownBits {
+            zeros: self.zeros | other.zeros,
+            ones: self.ones | other.ones,
+        }
+    }
+    fn leq(&self, other: &Self) -> bool {
+        // More knowledge = lower in the lattice.
+        other.zeros & !self.zeros == 0 && other.ones & !self.ones == 0
+    }
+}
+
+/// The mask comparison results live in: bit 0 only.
+fn boolean() -> KnownBits {
+    KnownBits { zeros: !1, ones: 0 }
+}
+
+/// The known-bits analysis, for [`crate::solver::solve`].
+pub struct BitsAnalysis;
+
+impl Transfer for BitsAnalysis {
+    type Fact = KnownBits;
+
+    fn transfer(&self, kind: &InstKind, env: &mut dyn FnMut(Value) -> KnownBits) -> KnownBits {
+        match kind {
+            InstKind::Const { imm } => KnownBits::constant(*imm),
+            InstKind::Copy { src } => env(*src),
+            InstKind::Unary { op, a } => {
+                let a = env(*a);
+                if a.is_bottom() {
+                    return KnownBits::bottom();
+                }
+                match op {
+                    UnaryOp::Not => a.complement(),
+                    // -x = !x + 1.
+                    UnaryOp::Neg => KnownBits::add(a.complement(), KnownBits::constant(0), true),
+                }
+            }
+            InstKind::Binary { op, a, b } => {
+                let (a, b) = (env(*a), env(*b));
+                if a.is_bottom() || b.is_bottom() {
+                    return KnownBits::bottom();
+                }
+                if let (Some(x), Some(y)) = (a.as_const(), b.as_const()) {
+                    return KnownBits::constant(op.eval(x, y));
+                }
+                match op {
+                    BinOp::And => KnownBits {
+                        zeros: a.zeros | b.zeros,
+                        ones: a.ones & b.ones,
+                    },
+                    BinOp::Or => KnownBits {
+                        zeros: a.zeros & b.zeros,
+                        ones: a.ones | b.ones,
+                    },
+                    BinOp::Xor => {
+                        let known = a.known() & b.known();
+                        let val = (a.ones ^ b.ones) & known;
+                        KnownBits {
+                            zeros: known & !val,
+                            ones: val,
+                        }
+                    }
+                    BinOp::Add => KnownBits::add(a, b, false),
+                    // a - b = a + !b + 1.
+                    BinOp::Sub => KnownBits::add(a, b.complement(), true),
+                    BinOp::Shl => match b.as_const() {
+                        Some(k) => {
+                            let k = (k & 63) as u32;
+                            KnownBits {
+                                zeros: (a.zeros << k) | !(u64::MAX << k),
+                                ones: a.ones << k,
+                            }
+                        }
+                        None => KnownBits::top(),
+                    },
+                    BinOp::Shr => match b.as_const() {
+                        // Arithmetic shift: the vacated top bits copy
+                        // the sign bit, so they are known only when it
+                        // is.
+                        Some(k) => {
+                            let k = (k & 63) as u32;
+                            let sign_known_zero = a.zeros >> 63 != 0;
+                            let sign_known_one = a.ones >> 63 != 0;
+                            let vacated = if k == 0 { 0 } else { !(u64::MAX >> k) };
+                            let mut zeros = a.zeros >> k;
+                            let mut ones = a.ones >> k;
+                            if sign_known_zero {
+                                zeros |= vacated;
+                            } else if sign_known_one {
+                                ones |= vacated;
+                            } else {
+                                zeros &= !vacated;
+                                ones &= !vacated;
+                            }
+                            KnownBits { zeros, ones }
+                        }
+                        None => KnownBits::top(),
+                    },
+                    BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                        boolean()
+                    }
+                    _ => KnownBits::top(),
+                }
+            }
+            _ => KnownBits::top(),
+        }
+    }
+
+    fn branch(&self, cond: &KnownBits) -> Feasible {
+        if cond.is_bottom() {
+            Feasible::Neither
+        } else if cond.provably_nonzero() {
+            Feasible::ThenOnly
+        } else if cond.as_const() == Some(0) {
+            Feasible::ElseOnly
+        } else {
+            Feasible::Both
+        }
+    }
+
+    fn constraint(
+        &self,
+        op: BinOp,
+        _lhs: bool,
+        taken: bool,
+        other: &KnownBits,
+    ) -> Option<KnownBits> {
+        match (op, taken) {
+            (BinOp::Eq, true) | (BinOp::Ne, false) => Some(*other),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_round_trip() {
+        for c in [0i64, 1, -1, 42, i64::MIN, i64::MAX] {
+            assert_eq!(KnownBits::constant(c).as_const(), Some(c));
+        }
+    }
+
+    #[test]
+    fn masking_clears_high_bits() {
+        // x & 63 has bits 6..63 known zero whatever x is.
+        let x = KnownBits::top();
+        let m = KnownBits::constant(63);
+        let anded = KnownBits {
+            zeros: x.zeros | m.zeros,
+            ones: x.ones & m.ones,
+        };
+        assert_eq!(anded.zeros, !63u64);
+        assert_eq!(anded.ones, 0);
+    }
+
+    #[test]
+    fn add_tracks_low_carries() {
+        // (x & ~1) + 1 has bit 0 known 1.
+        let even = KnownBits { zeros: 1, ones: 0 };
+        let one = KnownBits::constant(1);
+        let sum = KnownBits::add(even, one, false);
+        assert_eq!(sum.ones & 1, 1);
+    }
+
+    #[test]
+    fn join_is_agreement() {
+        let a = KnownBits::constant(0b1100);
+        let b = KnownBits::constant(0b1010);
+        let j = a.join(&b);
+        assert_eq!(j.ones, 0b1000);
+        assert!(j.zeros & 0b0110 == 0b0000, "disagreeing bits unknown");
+        assert!(a.leq(&j) && b.leq(&j));
+    }
+}

@@ -1,0 +1,118 @@
+//! Sparse conditional constant propagation (SCCP).
+//!
+//! The classic Wegman–Zadeck three-level lattice: ⊥ ("unreached") —
+//! `Const(c)` — ⊤ ("varying"). Running it through the conditional
+//! solver gives full SCCP: constants discovered through φs whose other
+//! inputs arrive on provably-dead edges, and branch feasibility fed
+//! back into reachability.
+
+use fcc_ir::instr::BinOp;
+use fcc_ir::{InstKind, Value};
+
+use crate::lattice::Lattice;
+use crate::solver::{Feasible, Transfer};
+
+/// The flat constant lattice.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ConstLattice {
+    /// No execution reaches the definition.
+    Bottom,
+    /// Every execution produces exactly this value.
+    Const(i64),
+    /// Executions may produce differing values.
+    Top,
+}
+
+impl ConstLattice {
+    /// The proven constant, if any.
+    pub fn as_const(self) -> Option<i64> {
+        match self {
+            ConstLattice::Const(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+impl Lattice for ConstLattice {
+    fn bottom() -> Self {
+        ConstLattice::Bottom
+    }
+    fn top() -> Self {
+        ConstLattice::Top
+    }
+    fn join(&self, other: &Self) -> Self {
+        match (self, other) {
+            (ConstLattice::Bottom, x) | (x, ConstLattice::Bottom) => *x,
+            (ConstLattice::Const(a), ConstLattice::Const(b)) if a == b => *self,
+            _ => ConstLattice::Top,
+        }
+    }
+    fn meet(&self, other: &Self) -> Self {
+        match (self, other) {
+            (ConstLattice::Top, x) | (x, ConstLattice::Top) => *x,
+            (ConstLattice::Const(a), ConstLattice::Const(b)) if a == b => *self,
+            _ => ConstLattice::Bottom,
+        }
+    }
+    fn leq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (ConstLattice::Bottom, _) | (_, ConstLattice::Top) => true,
+            (ConstLattice::Const(a), ConstLattice::Const(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+/// The SCCP analysis, for [`crate::solver::solve`].
+pub struct ConstAnalysis;
+
+impl Transfer for ConstAnalysis {
+    type Fact = ConstLattice;
+
+    fn transfer(
+        &self,
+        kind: &InstKind,
+        env: &mut dyn FnMut(Value) -> ConstLattice,
+    ) -> ConstLattice {
+        use ConstLattice::*;
+        match kind {
+            InstKind::Const { imm } => Const(*imm),
+            InstKind::Copy { src } => env(*src),
+            InstKind::Unary { op, a } => match env(*a) {
+                Bottom => Bottom,
+                Const(x) => Const(op.eval(x)),
+                Top => Top,
+            },
+            InstKind::Binary { op, a, b } => match (env(*a), env(*b)) {
+                (Bottom, _) | (_, Bottom) => Bottom,
+                (Const(x), Const(y)) => Const(op.eval(x, y)),
+                _ => Top,
+            },
+            _ => Top,
+        }
+    }
+
+    fn branch(&self, cond: &ConstLattice) -> Feasible {
+        match cond {
+            ConstLattice::Bottom => Feasible::Neither,
+            ConstLattice::Const(0) => Feasible::ElseOnly,
+            ConstLattice::Const(_) => Feasible::ThenOnly,
+            ConstLattice::Top => Feasible::Both,
+        }
+    }
+
+    fn constraint(
+        &self,
+        op: BinOp,
+        _lhs: bool,
+        taken: bool,
+        other: &ConstLattice,
+    ) -> Option<ConstLattice> {
+        // Equality pins the value to the other side; nothing else is
+        // expressible in a flat lattice.
+        match (op, taken) {
+            (BinOp::Eq, true) | (BinOp::Ne, false) => Some(*other),
+            _ => None,
+        }
+    }
+}

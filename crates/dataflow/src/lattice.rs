@@ -1,0 +1,45 @@
+//! The abstract-domain contract every sparse analysis implements.
+//!
+//! A [`Lattice`] is a bounded join-semilattice with a meet: `bottom` is
+//! the optimistic "no evidence yet" element the solver starts from,
+//! `join` merges facts at φ-nodes, and `meet` intersects a fact with a
+//! branch-condition constraint. `widen` accelerates convergence on
+//! infinite-height domains (intervals); the default is plain `join`,
+//! which is exact for finite-height domains.
+
+/// A bounded lattice of dataflow facts.
+///
+/// Laws the solver relies on (checked by the property tests in
+/// `tests/properties.rs`):
+///
+/// * `join` is commutative, associative, and idempotent;
+/// * `bottom()` is the identity of `join`; `top()` absorbs it;
+/// * `leq(a, b)` iff `a.join(b) == b`;
+/// * `meet(a, b)` is a lower bound of both arguments;
+/// * `widen(old, next)` is an upper bound of `next`, and every chain
+///   `x₀, widen(x₀, x₁), widen(widen(x₀, x₁), x₂), …` stabilises.
+pub trait Lattice: Clone + PartialEq + std::fmt::Debug {
+    /// The least element: "this code has not been reached yet".
+    fn bottom() -> Self;
+
+    /// The greatest element: "any runtime value is possible".
+    fn top() -> Self;
+
+    /// Least upper bound — merging facts from multiple control paths.
+    fn join(&self, other: &Self) -> Self;
+
+    /// Greatest lower bound — intersecting a fact with a constraint
+    /// learned from a taken branch edge.
+    fn meet(&self, other: &Self) -> Self;
+
+    /// The partial order: is `self` at most as precise-or-lower than
+    /// `other`? Must agree with `join`: `a.leq(b) ⟺ a.join(b) == b`.
+    fn leq(&self, other: &Self) -> bool;
+
+    /// Widening for infinite-ascending-chain domains. `old` is the
+    /// current fact, `next` an upper bound of the incoming one; the
+    /// result must be an upper bound of both. Defaults to `join`.
+    fn widen(&self, next: &Self) -> Self {
+        self.join(next)
+    }
+}

@@ -41,11 +41,11 @@ impl VerifyError {
 }
 
 impl fmt::Display for VerifyError {
+    // One rendering path for every finding: the wrapper prints exactly
+    // what the underlying `Diagnostic` prints (`error[structure] in
+    // b0: ...`), so lint output and verifier errors read the same.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self.0.block {
-            Some(b) => write!(f, "in {b}: {}", self.0.message),
-            None => write!(f, "{}", self.0.message),
-        }
+        self.0.fmt(f)
     }
 }
 

@@ -6,10 +6,13 @@
 //! unified [`Diagnostic`] model; DESIGN.md maps every rule id to the
 //! theorem or figure it enforces.
 
+use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
 
 use fcc_analysis::{AnalysisManager, BitSet, UnionFind};
 use fcc_core::dforest::DominanceForest;
+use fcc_dataflow::FunctionAnalysis;
 use fcc_ir::{Block, Diagnostic, Function, InstKind, Value};
 
 use crate::LintStage;
@@ -36,8 +39,10 @@ pub trait LintRule {
     fn check(&self, func: &Function, am: &mut AnalysisManager, out: &mut Vec<Diagnostic>);
 }
 
-/// The default rule suite, in execution order.
+/// The default rule suite, in execution order. The four `range-*` rules
+/// share one cached `fcc-dataflow` fixpoint per function.
 pub fn default_rules() -> Vec<Box<dyn LintRule>> {
+    let cache = RangeFactsCache::new();
     vec![
         Box::new(StructureRule),
         Box::new(PhiFreeRule),
@@ -48,6 +53,10 @@ pub fn default_rules() -> Vec<Box<dyn LintRule>> {
         Box::new(ParallelCopyRule),
         Box::new(DominanceForestRule),
         Box::new(DefiniteInitRule),
+        Box::new(RangeSafetyRule::div_by_zero(&cache)),
+        Box::new(RangeSafetyRule::shift_bounds(&cache)),
+        Box::new(RangeSafetyRule::unreachable_branch(&cache)),
+        Box::new(RangeSafetyRule::dead_phi_input(&cache)),
     ]
 }
 
@@ -777,6 +786,102 @@ impl LintRule for DefiniteInitRule {
     }
 }
 
+// ---------------------------------------------------------------------
+// range-* (fcc-dataflow safety checkers)
+// ---------------------------------------------------------------------
+
+/// One sparse-dataflow fixpoint per linted function, shared by the four
+/// `range-*` rules: [`FunctionAnalysis::compute`] runs three solvers, so
+/// recomputing it per rule would quadruple the suite's dominant cost.
+/// Keyed on the function's name and mutation epoch; lint rules never
+/// mutate, so one key survives a whole suite run.
+type RangeFactsKey = (String, u64);
+
+struct RangeFactsCache(RefCell<Option<(RangeFactsKey, Rc<Vec<Diagnostic>>)>>);
+
+impl RangeFactsCache {
+    fn new() -> Rc<RangeFactsCache> {
+        Rc::new(RangeFactsCache(RefCell::new(None)))
+    }
+
+    /// The function's safety findings, computed once per (name, epoch).
+    fn diagnostics(&self, func: &Function, am: &mut AnalysisManager) -> Rc<Vec<Diagnostic>> {
+        let key = (func.name.clone(), func.epoch());
+        if let Some((k, diags)) = &*self.0.borrow() {
+            if *k == key {
+                return Rc::clone(diags);
+            }
+        }
+        let fa = FunctionAnalysis::compute(func, am);
+        let diags = Rc::new(fa.safety_diagnostics(func));
+        *self.0.borrow_mut() = Some((key, Rc::clone(&diags)));
+        diags
+    }
+}
+
+/// Rules `range-div-by-zero`, `range-shift-bounds`,
+/// `range-unreachable-branch` and `range-dead-phi-input`: the
+/// `fcc-dataflow` safety checkers (SCCP + value ranges + known bits)
+/// surfaced as stage-aware lint findings. All warning severity: the IR's
+/// total semantics execute the flagged code fine, but it almost surely
+/// diverges from source intent (a provably-zero divisor, a shift amount
+/// outside `[0, 63]`, a branch edge or φ input no execution can take).
+pub struct RangeSafetyRule {
+    id: &'static str,
+    description: &'static str,
+    cache: Rc<RangeFactsCache>,
+}
+
+impl RangeSafetyRule {
+    fn div_by_zero(cache: &Rc<RangeFactsCache>) -> RangeSafetyRule {
+        RangeSafetyRule {
+            id: fcc_dataflow::RULE_DIV_BY_ZERO,
+            description: "no division or remainder has a provably-zero divisor",
+            cache: Rc::clone(cache),
+        }
+    }
+    fn shift_bounds(cache: &Rc<RangeFactsCache>) -> RangeSafetyRule {
+        RangeSafetyRule {
+            id: fcc_dataflow::RULE_SHIFT_RANGE,
+            description: "no shift amount is provably outside [0, 63]",
+            cache: Rc::clone(cache),
+        }
+    }
+    fn unreachable_branch(cache: &Rc<RangeFactsCache>) -> RangeSafetyRule {
+        RangeSafetyRule {
+            id: fcc_dataflow::RULE_UNREACHABLE_BRANCH,
+            description: "no conditional branch has a provably-dead successor edge",
+            cache: Rc::clone(cache),
+        }
+    }
+    fn dead_phi_input(cache: &Rc<RangeFactsCache>) -> RangeSafetyRule {
+        RangeSafetyRule {
+            id: fcc_dataflow::RULE_DEAD_PHI_INPUT,
+            description: "no phi input arrives along a provably-dead edge from a live block",
+            cache: Rc::clone(cache),
+        }
+    }
+}
+
+impl LintRule for RangeSafetyRule {
+    fn id(&self) -> &'static str {
+        self.id
+    }
+    fn description(&self) -> &'static str {
+        self.description
+    }
+    fn applies(&self, stage: LintStage) -> bool {
+        // The sparse solvers key facts on SSA names (single defs); on
+        // pre-SSA or destructed code a name has many defs and the
+        // verdicts would be meaningless joins.
+        stage == LintStage::Ssa
+    }
+    fn check(&self, func: &Function, am: &mut AnalysisManager, out: &mut Vec<Diagnostic>) {
+        let diags = self.cache.diagnostics(func, am);
+        out.extend(diags.iter().filter(|d| d.rule == self.id).cloned());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1071,6 +1176,81 @@ mod tests {
         for rule in default_rules() {
             assert!(!rule.id().is_empty());
             assert!(!rule.description().is_empty());
+        }
+    }
+
+    #[test]
+    fn range_rules_flag_provable_hazards_as_warnings() {
+        // x % 8 under x ≥ 0 is in [0, 7]: `t < 0` takes its else edge
+        // only, and the divisor of the second div is provably zero.
+        let src = "function @hazard(1) {
+             b0:
+                 v0 = param 0
+                 v1 = const 0
+                 v2 = ge v0, v1
+                 branch v2, b1, b3
+             b1:
+                 v3 = const 8
+                 v4 = rem v0, v3
+                 v5 = lt v4, v1
+                 v6 = sub v3, v3
+                 v7 = div v0, v6
+                 branch v5, b2, b3
+             b2:
+                 v8 = const 111
+                 jump b3
+             b3:
+                 return v1
+             }";
+        let diags = lint(src, LintStage::Ssa);
+        for rule in [
+            fcc_dataflow::RULE_DIV_BY_ZERO,
+            fcc_dataflow::RULE_UNREACHABLE_BRANCH,
+        ] {
+            assert!(
+                diags
+                    .iter()
+                    .any(|d| d.rule == rule && d.severity == fcc_ir::Severity::Warning),
+                "{rule}: {diags:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn range_rules_stay_quiet_on_clean_code() {
+        let src = "function @clean(1) {
+             b0:
+                 v0 = param 0
+                 v1 = const 2
+                 v2 = div v0, v1
+                 v3 = const 63
+                 v4 = and v2, v3
+                 return v4
+             }";
+        let diags = lint(src, LintStage::Ssa);
+        assert!(
+            diags.iter().all(|d| !d.rule.starts_with("range-")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn range_rules_skip_non_ssa_stages() {
+        // Multiply-defined names: the sparse verdicts would be garbage,
+        // so the rules must not apply at the Cfg/Final stages.
+        let src = "function @multi(1) {
+             b0:
+                 v0 = param 0
+                 v1 = const 0
+                 v1 = div v0, v1
+                 return v1
+             }";
+        for stage in [LintStage::Cfg, LintStage::Final] {
+            let diags = lint(src, stage);
+            assert!(
+                diags.iter().all(|d| !d.rule.starts_with("range-")),
+                "{stage}: {diags:?}"
+            );
         }
     }
 }

@@ -95,6 +95,13 @@ fn fold_once(func: &mut Function, am: &mut AnalysisManager, stats: &mut FoldStat
         }
     }
 
+    // A folded φ leaves a const at the block head, and the φ pruning
+    // and collapsing below scan φs from the top — restore the φs-first
+    // invariant before they run, not just at the end.
+    if changed {
+        restore_phis_first(func);
+    }
+
     // Resolve constant branches.
     let blocks: Vec<Block> = func.blocks().collect();
     let mut resolved_any = false;
@@ -154,30 +161,35 @@ fn fold_once(func: &mut Function, am: &mut AnalysisManager, stats: &mut FoldStat
         }
     }
 
-    // Folding a φ rewrites it in place at the block head; if a later φ in
-    // the same block did not fold, a non-φ now sits above it. Restore the
-    // φs-first invariant (safe: the folded instruction cannot feed a φ
-    // argument of its own block, those are edge values).
+    // Collapsed φs became copies at the block head; restore the
+    // φs-first invariant once more (safe: the folded instruction cannot
+    // feed a φ argument of its own block, those are edge values).
     if changed {
-        for b in func.blocks().collect::<Vec<_>>() {
-            let insts: Vec<Inst> = func.block_insts(b).to_vec();
-            let first_nonphi = insts.iter().position(|&i| !func.inst(i).kind.is_phi());
-            let needs_fix = match first_nonphi {
-                Some(p) => insts[p..].iter().any(|&i| func.inst(i).kind.is_phi()),
-                None => false,
-            };
-            if needs_fix {
-                let (phis, rest): (Vec<Inst>, Vec<Inst>) =
-                    insts.into_iter().partition(|&i| func.inst(i).kind.is_phi());
-                func.retain_insts(b, |_, _| false);
-                for i in phis.into_iter().chain(rest) {
-                    func.relink_inst_at_end(b, i);
-                }
-            }
-        }
+        restore_phis_first(func);
     }
 
     changed
+}
+
+/// Re-link any block whose φs no longer lead it (a φ rewritten in place
+/// to `const`/`copy` leaves a non-φ above its sibling φs).
+pub(crate) fn restore_phis_first(func: &mut Function) {
+    for b in func.blocks().collect::<Vec<_>>() {
+        let insts: Vec<Inst> = func.block_insts(b).to_vec();
+        let first_nonphi = insts.iter().position(|&i| !func.inst(i).kind.is_phi());
+        let needs_fix = match first_nonphi {
+            Some(p) => insts[p..].iter().any(|&i| func.inst(i).kind.is_phi()),
+            None => false,
+        };
+        if needs_fix {
+            let (phis, rest): (Vec<Inst>, Vec<Inst>) =
+                insts.into_iter().partition(|&i| func.inst(i).kind.is_phi());
+            func.retain_insts(b, |_, _| false);
+            for i in phis.into_iter().chain(rest) {
+                func.relink_inst_at_end(b, i);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -11,6 +11,10 @@
 //! * [`copyprop::copy_propagate`] — standalone copy folding (SSA);
 //! * [`gvn::value_number`] — dominator-based global value numbering
 //!   (Briggs–Cooper–Simpson scoped-table DVNT);
+//! * [`range_fold::range_fold`] — analysis-guided folding on top of the
+//!   `fcc-dataflow` sparse engine: SCCP verdicts, value ranges, and
+//!   known bits prove constants and dead branches that syntactic
+//!   folding cannot see (SSA);
 //! * [`simplify_cfg::simplify_cfg`] — block merging / jump threading,
 //!   undoing the critical-edge splits once destruction no longer needs
 //!   them;
@@ -42,12 +46,14 @@ pub mod constfold;
 pub mod copyprop;
 pub mod dce;
 pub mod gvn;
+pub mod range_fold;
 pub mod simplify_cfg;
 
 pub use constfold::{const_fold, const_fold_with, FoldStats};
 pub use copyprop::copy_propagate;
 pub use dce::dead_code_elim;
 pub use gvn::{value_number, value_number_with, GvnStats};
+pub use range_fold::{range_fold, range_fold_with, RangeFoldStats};
 pub use simplify_cfg::{simplify_cfg, simplify_cfg_with};
 
 use fcc_analysis::{AnalysisManager, PreservedAnalyses};
@@ -162,6 +168,24 @@ impl Pass for Gvn {
     }
 }
 
+/// A [`Pass`] wrapper; see [`range_fold::range_fold`].
+pub struct RangeFold;
+impl Pass for RangeFold {
+    fn name(&self) -> &'static str {
+        "range-fold"
+    }
+    fn run(&self, func: &mut Function, am: &mut AnalysisManager) -> PassEffect {
+        let s = range_fold_with(func, am);
+        if s.folded + s.branches_resolved + s.phis_collapsed == 0 {
+            PassEffect::unchanged()
+        } else if s.branches_resolved + s.blocks_removed == 0 {
+            PassEffect::changed(PreservedAnalyses::cfg_core())
+        } else {
+            PassEffect::changed(PreservedAnalyses::none())
+        }
+    }
+}
+
 /// A [`Pass`] wrapper; see [`simplify_cfg::simplify_cfg`].
 pub struct SimplifyCfg;
 impl Pass for SimplifyCfg {
@@ -177,9 +201,70 @@ impl Pass for SimplifyCfg {
     }
 }
 
-/// What [`PassManager::run`] reports: `(rounds to fixpoint, per-pass
-/// change counts)`.
-pub type RunSummary = (usize, Vec<(&'static str, usize)>);
+/// Per-pass totals across one pipeline run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PassStat {
+    /// The pass name, as reported by [`Pass::name`].
+    pub name: &'static str,
+    /// Rounds in which the pass reported a change.
+    pub applications: usize,
+    /// Net live instructions removed while this pass ran — negative
+    /// when the pass grew the function (e.g. edge splitting).
+    pub insts_removed: i64,
+}
+
+/// What [`PassManager::run`] reports: rounds to fixpoint plus per-pass
+/// application counts and instruction deltas.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Full pipeline iterations until the confirming (no-change) round.
+    pub rounds: usize,
+    /// One entry per pipeline pass, in pipeline order.
+    pub passes: Vec<PassStat>,
+}
+
+impl RunSummary {
+    /// How many rounds the named pass changed the function.
+    pub fn applications(&self, name: &str) -> usize {
+        self.passes
+            .iter()
+            .find(|p| p.name == name)
+            .map_or(0, |p| p.applications)
+    }
+
+    /// Net live instructions the named pass removed.
+    pub fn insts_removed(&self, name: &str) -> i64 {
+        self.passes
+            .iter()
+            .find(|p| p.name == name)
+            .map_or(0, |p| p.insts_removed)
+    }
+
+    /// Net live instructions removed by the whole pipeline.
+    pub fn total_insts_removed(&self) -> i64 {
+        self.passes.iter().map(|p| p.insts_removed).sum()
+    }
+
+    /// A one-pass-per-line breakdown for `fcc --report`.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "optimiser: {} round(s), {} instruction(s) removed",
+            self.rounds,
+            self.total_insts_removed()
+        );
+        for p in &self.passes {
+            let _ = writeln!(
+                s,
+                "  {:<12} applied {}x, removed {} instruction(s)",
+                p.name, p.applications, p.insts_removed
+            );
+        }
+        s
+    }
+}
 
 /// Runs a pass list repeatedly until no pass changes anything.
 #[derive(Default)]
@@ -206,14 +291,13 @@ impl PassManager {
 
     /// Run to fixpoint against a shared analysis cache. After each pass
     /// the cache is invalidated according to the pass's [`PassEffect`].
-    /// Returns `(rounds, per-pass change counts)`.
     pub fn run(&self, func: &mut Function, am: &mut AnalysisManager) -> RunSummary {
-        let mut counts: Vec<(&'static str, usize)> =
-            self.passes.iter().map(|p| (p.name(), 0)).collect();
+        let mut passes = self.fresh_stats();
         for round in 1..=self.max_rounds {
             let mut changed = false;
             for (i, p) in self.passes.iter().enumerate() {
                 let before = func.epoch();
+                let live_before = func.live_inst_count() as i64;
                 let effect = p.run(func, am);
                 let preserved = if effect.changed {
                     effect.preserved
@@ -222,22 +306,40 @@ impl PassManager {
                 };
                 am.invalidate(func, before, preserved);
                 if effect.changed {
-                    counts[i].1 += 1;
+                    passes[i].applications += 1;
+                    passes[i].insts_removed += live_before - func.live_inst_count() as i64;
                     changed = true;
                 }
             }
             if !changed {
-                return (round, counts);
+                return RunSummary {
+                    rounds: round,
+                    passes,
+                };
             }
         }
-        (self.max_rounds, counts)
+        RunSummary {
+            rounds: self.max_rounds,
+            passes,
+        }
     }
 
     /// [`Self::run`] with a private, throwaway analysis cache — for
     /// callers that have no manager of their own.
-    pub fn run_standalone(&self, func: &mut Function) -> (usize, Vec<(&'static str, usize)>) {
+    pub fn run_standalone(&self, func: &mut Function) -> RunSummary {
         let mut am = AnalysisManager::new();
         self.run(func, &mut am)
+    }
+
+    fn fresh_stats(&self) -> Vec<PassStat> {
+        self.passes
+            .iter()
+            .map(|p| PassStat {
+                name: p.name(),
+                applications: 0,
+                insts_removed: 0,
+            })
+            .collect()
     }
 
     /// [`Self::run`] in `--verify-each` mode: the `fcc-lint` rule suite
@@ -269,12 +371,12 @@ impl PassManager {
             }
         };
         lint(func, "<input>", 0)?;
-        let mut counts: Vec<(&'static str, usize)> =
-            self.passes.iter().map(|p| (p.name(), 0)).collect();
+        let mut passes = self.fresh_stats();
         for round in 1..=self.max_rounds {
             let mut changed = false;
             for (i, p) in self.passes.iter().enumerate() {
                 let before = func.epoch();
+                let live_before = func.live_inst_count() as i64;
                 let effect = p.run(func, am);
                 let preserved = if effect.changed {
                     effect.preserved
@@ -283,16 +385,23 @@ impl PassManager {
                 };
                 am.invalidate(func, before, preserved);
                 if effect.changed {
-                    counts[i].1 += 1;
+                    passes[i].applications += 1;
+                    passes[i].insts_removed += live_before - func.live_inst_count() as i64;
                     changed = true;
                     lint(func, p.name(), round)?;
                 }
             }
             if !changed {
-                return Ok((round, counts));
+                return Ok(RunSummary {
+                    rounds: round,
+                    passes,
+                });
             }
         }
-        Ok((self.max_rounds, counts))
+        Ok(RunSummary {
+            rounds: self.max_rounds,
+            passes,
+        })
     }
 }
 
@@ -331,12 +440,13 @@ impl std::fmt::Display for PipelineViolation {
 
 impl std::error::Error for PipelineViolation {}
 
-/// The standard SSA optimisation pipeline: fold → propagate → DCE →
-/// simplify, to fixpoint.
+/// The standard SSA optimisation pipeline: fold → propagate →
+/// range-fold → DCE → simplify, to fixpoint.
 pub fn standard_pipeline() -> PassManager {
     PassManager::new()
         .with(ConstFold)
         .with(CopyProp)
+        .with(RangeFold)
         .with(Dce)
         .with(SimplifyCfg)
 }
@@ -353,6 +463,7 @@ pub fn standard_pipeline() -> PassManager {
 pub fn copy_preserving_pipeline() -> PassManager {
     PassManager::new()
         .with(ConstFold)
+        .with(RangeFold)
         .with(Dce)
         .with(SimplifyCfg)
 }
@@ -364,6 +475,7 @@ pub fn aggressive_pipeline() -> PassManager {
         .with(Gvn)
         .with(ConstFold)
         .with(CopyProp)
+        .with(RangeFold)
         .with(Dce)
         .with(SimplifyCfg)
 }
@@ -390,9 +502,10 @@ mod tests {
              }",
         )
         .unwrap();
-        let (rounds, counts) = standard_pipeline().run_standalone(&mut f);
-        assert!(rounds >= 2, "fixpoint requires a confirming round");
-        assert!(counts.iter().any(|&(n, c)| n == "constfold" && c > 0));
+        let summary = standard_pipeline().run_standalone(&mut f);
+        assert!(summary.rounds >= 2, "fixpoint requires a confirming round");
+        assert!(summary.applications("constfold") > 0);
+        assert!(summary.total_insts_removed() > 0);
         verify_function(&f).unwrap();
         assert_eq!(fcc_interp::run(&f, &[]).unwrap().ret, Some(8));
         // Everything folds to `const 8; return`.

@@ -43,8 +43,11 @@ impl SsaError {
 }
 
 impl std::fmt::Display for SsaError {
+    // One rendering path for every finding: print exactly what the
+    // underlying `Diagnostic` prints (`error[ssa-dominance] in b0:
+    // ...`), matching `VerifyError` and the lint report output.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}", self.0.message)
+        self.0.fmt(f)
     }
 }
 

@@ -1023,6 +1023,29 @@ fn smooth(n) {
 }
 "#,
     },
+    Kernel {
+        name: "clampx",
+        description:
+            "histogram with defensive range re-checks that only value-range analysis can remove",
+        args: &[200],
+        memory_words: 16,
+        source: r#"
+fn clampx(n) {
+    let s = 0;
+    for i = 0 to n {
+        let t = i % 8;
+        if t < 0 { t = t + 8; }
+        if t > 7 { t = 7; }
+        let w = t * 3 + 1;
+        if w > 100 { s = s - 1000000; } else { s = s + w; }
+        mem[t] = mem[t] + 1;
+    }
+    let m = 0;
+    for i = 0 to 8 { m = m + mem[i]; }
+    return s * 31 + m;
+}
+"#,
+    },
 ];
 
 #[cfg(test)]
@@ -1046,7 +1069,10 @@ mod tests {
         ] {
             assert!(kernel(name).is_some(), "missing kernel {name}");
         }
-        assert_eq!(kernels().len(), 30);
+        // Plus `clampx`, written for the value-range analysis: its
+        // defensive re-checks are dead only under interval reasoning.
+        assert!(kernel("clampx").is_some(), "missing kernel clampx");
+        assert_eq!(kernels().len(), 31);
     }
 
     #[test]

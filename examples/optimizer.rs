@@ -49,17 +49,20 @@ fn main() {
         func.phi_count()
     );
 
-    let (rounds, counts) = aggressive_pipeline().run(&mut func, &mut am);
+    let summary = aggressive_pipeline().run(&mut func, &mut am);
     verify_ssa(&func).expect("optimised SSA is valid");
     println!(
         "optimised SSA:        {:4} instructions, {:2} phis  ({} pipeline rounds)",
         func.live_inst_count(),
         func.phi_count(),
-        rounds
+        summary.rounds
     );
-    for (name, times) in counts {
-        if times > 0 {
-            println!("    {name:<12} changed the code in {times} round(s)");
+    for p in &summary.passes {
+        if p.applications > 0 {
+            println!(
+                "    {:<12} changed the code in {} round(s), removing {} instruction(s)",
+                p.name, p.applications, p.insts_removed
+            );
         }
     }
 

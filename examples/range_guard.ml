@@ -1,0 +1,17 @@
+// Branch-condition refinement: the loop guard pins i to [0, n), so
+// t = i % 8 stays in [0, 7] and the defensive `t < 0` re-check is
+// provably dead. `fcc analyze examples/range_guard.ml` reports the
+// refined ranges and a range-unreachable-branch warning; the range_fold
+// pass folds the guard away under --opt.
+fn range_guard(n) {
+    let s = 0;
+    for i = 0 to n {
+        let t = i % 8;
+        if t < 0 {
+            s = s - 1000000;
+        } else {
+            s = s + t;
+        }
+    }
+    return s;
+}

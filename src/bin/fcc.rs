@@ -36,6 +36,21 @@
 //!   --pipeline P    new (default) | new-cut | standard | sreedhar | briggs | briggs-star
 //!   --no-fold       do not fold copies during SSA construction
 //!   --opt           run (and verify) the optimiser pipeline on the SSA
+//!   --deny-warnings promote warning findings to the failing exit code
+//! ```
+//!
+//! And an analyze subcommand: the `fcc-dataflow` sparse abstract
+//! interpreter (SCCP, value ranges, known bits) over the SSA form,
+//! printing per-value ranges and the safety report. Exit code 1 iff any
+//! error-severity finding (with `--deny-warnings`, any finding at all):
+//!
+//! ```text
+//! Usage: fcc analyze <file.ml | kernel:NAME | -> [options]
+//!
+//!   --format F      text (default) | json
+//!   --no-fold       do not fold copies during SSA construction
+//!   --opt           run the optimiser pipeline before analysing
+//!   --deny-warnings promote warning findings to the failing exit code
 //! ```
 //!
 //! Examples:
@@ -45,6 +60,7 @@
 //! echo 'fn f(x){ return x*2; }' | fcc - --emit ssa
 //! fcc prog.ml --pipeline briggs-star --alloc 8 --run 10
 //! fcc lint kernel:saxpy --opt --format json
+//! fcc analyze prog.ml --format json --deny-warnings
 //! ```
 
 use std::io::{Read, Write};
@@ -73,7 +89,9 @@ fn usage() -> &'static str {
     "usage: fcc <file.ml | kernel:NAME | -> [--pipeline new|new-cut|standard|sreedhar|briggs|briggs-star] \
      [--no-fold] [--opt] [--verify-each] [--simplify] [--alloc K] [--emit cfg|ssa|final] [--run a,b,...] \
      [--stats] [--report] [--list-kernels]\n       \
-     fcc lint <file.ml | kernel:NAME | -> [--format text|json] [--pipeline P] [--no-fold] [--opt]"
+     fcc lint <file.ml | kernel:NAME | -> [--format text|json] [--pipeline P] [--no-fold] [--opt] \
+     [--deny-warnings]\n       \
+     fcc analyze <file.ml | kernel:NAME | -> [--format text|json] [--no-fold] [--opt] [--deny-warnings]"
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -165,8 +183,13 @@ fn load_source(input: &str) -> Result<String, String> {
 }
 
 fn main() -> ExitCode {
-    if std::env::args().nth(1).as_deref() == Some("lint") {
-        return match lint_main(std::env::args().skip(2).collect()) {
+    let sub = std::env::args().nth(1);
+    if let Some(name @ ("lint" | "analyze")) = sub.as_deref() {
+        let run = match name {
+            "lint" => lint_main,
+            _ => analyze_main,
+        };
+        return match run(std::env::args().skip(2).collect()) {
             Ok(clean) => {
                 if clean {
                     ExitCode::SUCCESS
@@ -175,7 +198,7 @@ fn main() -> ExitCode {
                 }
             }
             Err(e) => {
-                eprintln!("fcc lint: {e}");
+                eprintln!("fcc {name}: {e}");
                 ExitCode::FAILURE
             }
         };
@@ -198,6 +221,7 @@ fn lint_main(args: Vec<String>) -> Result<bool, String> {
     let mut pipeline = "new".to_string();
     let mut fold = true;
     let mut opt = false;
+    let mut deny_warnings = false;
     let mut args = args.into_iter();
     let need = |args: &mut dyn Iterator<Item = String>, flag: &str| {
         args.next().ok_or_else(|| format!("{flag} needs a value"))
@@ -208,6 +232,7 @@ fn lint_main(args: Vec<String>) -> Result<bool, String> {
             "--pipeline" => pipeline = need(&mut args, "--pipeline")?,
             "--no-fold" => fold = false,
             "--opt" => opt = true,
+            "--deny-warnings" => deny_warnings = true,
             "--help" | "-h" => {
                 println!("{}", usage());
                 std::process::exit(0);
@@ -283,7 +308,69 @@ fn lint_main(args: Vec<String>) -> Result<bool, String> {
     reports.push(fin);
 
     emit_reports(&func, &format, &reports, None);
-    Ok(reports.iter().all(|r| !r.has_errors()))
+    Ok(reports
+        .iter()
+        .all(|r| !r.has_errors() && (!deny_warnings || r.warning_count() == 0)))
+}
+
+/// `fcc analyze`: compile, build SSA (optionally optimise), run the
+/// `fcc-dataflow` sparse analyses, and print per-value ranges plus the
+/// safety report. Returns `Ok(false)` when the findings warrant a
+/// failing exit code.
+fn analyze_main(args: Vec<String>) -> Result<bool, String> {
+    let mut input = String::new();
+    let mut format = "text".to_string();
+    let mut fold = true;
+    let mut opt = false;
+    let mut deny_warnings = false;
+    let mut args = args.into_iter();
+    let need = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--format" => format = need(&mut args, "--format")?,
+            "--no-fold" => fold = false,
+            "--opt" => opt = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other if input.is_empty() && !other.starts_with('-') || other == "-" => {
+                input = other.to_string();
+            }
+            other => return Err(format!("unknown argument {other}\n{}", usage())),
+        }
+    }
+    if input.is_empty() {
+        return Err(usage().to_string());
+    }
+    if !matches!(format.as_str(), "text" | "json") {
+        return Err(format!("--format must be text or json, got {format}"));
+    }
+
+    let src = load_source(&input)?;
+    let mut func = fcc::frontend::compile(&src)?;
+    let mut am = AnalysisManager::new();
+    build_ssa_with(&mut func, SsaFlavor::Pruned, fold, &mut am);
+    if opt {
+        standard_pipeline().run(&mut func, &mut am);
+    }
+    verify_ssa(&func).map_err(|e| format!("internal: invalid SSA: {e}"))?;
+
+    let fa = FunctionAnalysis::compute(&func, &mut am);
+    let diags = fa.safety_diagnostics(&func);
+    if format == "json" {
+        emit(fa.render_json(&func, &diags));
+    } else {
+        emit(fa.render_text(&func, &diags).trim_end());
+    }
+    let failing = diags
+        .iter()
+        .filter(|d| d.is_error() || deny_warnings)
+        .count();
+    Ok(failing == 0)
 }
 
 /// Print lint reports in the chosen format; `extra` is a failing
@@ -324,6 +411,7 @@ fn real_main() -> Result<(), String> {
     let timer = PhaseTimer::start("build-ssa", &am);
     let ssa_stats = build_ssa_with(&mut func, SsaFlavor::Pruned, o.fold, &mut am);
     phases.push(timer.finish_with(&am, &ssa_stats));
+    let mut opt_summary: Option<fcc::opt::RunSummary> = None;
     if o.opt {
         let timer = PhaseTimer::start("optimise", &am);
         // φ-web destruction (briggs pipelines) needs copies kept alive;
@@ -334,18 +422,17 @@ fn real_main() -> Result<(), String> {
         } else {
             standard_pipeline()
         };
-        let rounds = if o.verify_each {
-            let (rounds, _) = pm
-                .run_verified(&mut func, &mut am, LintStage::Ssa)
-                .map_err(|v| format!("--verify-each: {v}\n{}", v.report.render_text(&func)))?;
-            rounds
+        let summary = if o.verify_each {
+            pm.run_verified(&mut func, &mut am, LintStage::Ssa)
+                .map_err(|v| format!("--verify-each: {v}\n{}", v.report.render_text(&func)))?
         } else {
-            pm.run(&mut func, &mut am).0
+            pm.run(&mut func, &mut am)
         };
         phases.push(timer.finish(&am));
         if o.stats {
-            eprintln!("; optimiser: {rounds} rounds to fixpoint");
+            eprintln!("; optimiser: {} rounds to fixpoint", summary.rounds);
         }
+        opt_summary = Some(summary);
     }
     verify_ssa(&func).map_err(|e| format!("internal: invalid SSA: {e}"))?;
     if o.emit == "ssa" {
@@ -530,6 +617,9 @@ fn real_main() -> Result<(), String> {
             am.peak_bytes(),
             render_phases(&phases)
         ));
+        if let Some(summary) = &opt_summary {
+            emit(summary.render().trim_end());
+        }
     }
 
     match o.run {

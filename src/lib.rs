@@ -13,6 +13,7 @@
 //! |---|---|
 //! | [`ir`] | entity-indexed IR, builder, verifier, textual format |
 //! | [`analysis`] | dominators (+O(1) queries), liveness, loops, bitsets, union-find |
+//! | [`dataflow`] | sparse abstract interpretation: SCCP, value ranges, known bits (`fcc analyze`) |
 //! | [`ssa`] | SSA construction (3 flavours, copy folding), parallel copies, Standard destruction |
 //! | [`core`] | **the paper's algorithm**: dominance forest + coalescing SSA destruction |
 //! | [`regalloc`] | interference graphs, Briggs / Briggs\* coalescers, colouring allocator |
@@ -60,6 +61,7 @@
 pub use fcc_analysis as analysis;
 pub use fcc_bench as bench;
 pub use fcc_core as core;
+pub use fcc_dataflow as dataflow;
 pub use fcc_frontend as frontend;
 pub use fcc_interp as interp;
 pub use fcc_ir as ir;
@@ -77,6 +79,7 @@ pub mod prelude {
         coalesce_ssa, coalesce_ssa_managed, coalesce_ssa_traced, coalesce_ssa_with,
         CoalesceOptions, CoalesceStats,
     };
+    pub use fcc_dataflow::{FunctionAnalysis, Interval, RangeAnalysis};
     pub use fcc_interp::{run, run_with_memory, Outcome};
     pub use fcc_ir::{
         Block, Diagnostic, Function, FunctionBuilder, Inst, InstKind, Severity, Value,

@@ -142,7 +142,33 @@ fn examples_directory_lints_clean() {
             fcc::frontend::compile(&src).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
         lint_everything(&func, &path.display().to_string());
     }
-    assert!(found >= 4, "expected the .ml example corpus, found {found}");
+    assert!(found >= 6, "expected the .ml example corpus, found {found}");
+}
+
+/// The two range-analysis showcase examples must keep producing exactly
+/// the warnings they were written to demonstrate: `range_guard.ml` has
+/// one provably-dead defensive re-check, `dead_branch.ml` has two.
+#[test]
+fn range_examples_pin_expected_warnings() {
+    for (file, rule, count) in [
+        ("range_guard.ml", "range-unreachable-branch", 1),
+        ("dead_branch.ml", "range-unreachable-branch", 2),
+    ] {
+        let path = format!("{}/examples/{file}", env!("CARGO_MANIFEST_DIR"));
+        let src = std::fs::read_to_string(&path).expect("readable example");
+        let mut func = fcc::frontend::compile(&src).unwrap_or_else(|e| panic!("{file}: {e}"));
+        let mut am = AnalysisManager::new();
+        build_ssa_with(&mut func, SsaFlavor::Pruned, true, &mut am);
+        let r = lint_function(&func, &mut am, LintStage::Ssa);
+        assert!(!r.has_errors(), "{file}:\n{}", r.render_text(&func));
+        let hits = r.diagnostics.iter().filter(|d| d.rule == rule).count();
+        assert_eq!(
+            hits,
+            count,
+            "{file}: expected {count} `{rule}` warning(s)\n{}",
+            r.render_text(&func)
+        );
+    }
 }
 
 #[test]
