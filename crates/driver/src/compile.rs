@@ -1,0 +1,528 @@
+//! Per-function pipeline execution and the parallel batch driver.
+//!
+//! [`compile_function`] is the single code path behind `fcc`: front-end
+//! CFG in, φ-free (optionally optimised, simplified, allocated) code
+//! out, with every phase instrumented as a [`PhaseRecord`]. The CLI
+//! calls it once for a single-function file and through
+//! [`compile_module`] for multi-function files, where the module's
+//! functions are sharded across a scoped thread pool.
+//!
+//! Parallelism never changes output. Each worker invocation builds its
+//! own [`AnalysisManager`] and pass manager (per-function analyses share
+//! no mutable state — the managers are keyed to one function's
+//! modification epoch), and [`compile_module`] merges results in module
+//! order, so `--jobs 1` and `--jobs 64` print byte-identical IR and
+//! diagnostics.
+
+use std::time::{Duration, Instant};
+
+use fcc_analysis::AnalysisManager;
+use fcc_core::{coalesce_ssa_managed, coalesce_ssa_traced, CoalesceOptions, SplitStrategy};
+use fcc_ir::{Function, Module};
+use fcc_lint::{audit_destruction, lint_function, LintStage};
+use fcc_opt::{copy_preserving_pipeline, simplify_cfg_with, standard_pipeline, RunSummary};
+use fcc_regalloc::{
+    allocate_managed, coalesce_copies_managed, destruct_via_webs, destruct_via_webs_traced,
+    AllocOptions, BriggsOptions, GraphMode,
+};
+use fcc_ssa::{
+    build_ssa_with, destruct_sreedhar_i, destruct_sreedhar_i_traced, destruct_standard_traced,
+    destruct_standard_with, verify_ssa, DestructionTrace, SsaFlavor,
+};
+
+use crate::pool::{par_map, BatchTiming};
+use crate::report::{merge_phases, PhaseRecord, PhaseTimer};
+
+/// The destruction pipeline to run, covering every algorithm the CLI
+/// exposes (a superset of the four benchmarked [`crate::Pipeline`]s).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PipelineSpec {
+    /// The paper's dominance-forest coalescer.
+    New,
+    /// Same, splitting congruence classes by edge cut.
+    NewCut,
+    /// Naive Briggs et al. φ instantiation (no coalescing).
+    Standard,
+    /// Sreedhar Method I (CSSA isolation copies).
+    Sreedhar,
+    /// φ-web unioning + iterated interference-graph coalescer.
+    Briggs,
+    /// Same, restricted to copy-related names.
+    BriggsStar,
+}
+
+impl PipelineSpec {
+    /// Parse the CLI spelling.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "new" => PipelineSpec::New,
+            "new-cut" => PipelineSpec::NewCut,
+            "standard" => PipelineSpec::Standard,
+            "sreedhar" => PipelineSpec::Sreedhar,
+            "briggs" => PipelineSpec::Briggs,
+            "briggs-star" => PipelineSpec::BriggsStar,
+            _ => return None,
+        })
+    }
+
+    /// The CLI spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            PipelineSpec::New => "new",
+            PipelineSpec::NewCut => "new-cut",
+            PipelineSpec::Standard => "standard",
+            PipelineSpec::Sreedhar => "sreedhar",
+            PipelineSpec::Briggs => "briggs",
+            PipelineSpec::BriggsStar => "briggs-star",
+        }
+    }
+
+    /// The briggs pipelines destruct by φ-web unioning, which requires
+    /// copies kept un-folded (webs must be interference-free).
+    pub fn needs_no_fold(self) -> bool {
+        matches!(self, PipelineSpec::Briggs | PipelineSpec::BriggsStar)
+    }
+}
+
+/// Everything [`compile_function`] needs to know, mirroring the CLI
+/// flags.
+#[derive(Clone, Debug)]
+pub struct CompileConfig {
+    /// Which destruction pipeline to run.
+    pub pipeline: PipelineSpec,
+    /// Fold copies while building SSA.
+    pub fold: bool,
+    /// Run the optimiser pipeline on the SSA (briggs pipelines get the
+    /// copy-preserving variant).
+    pub opt: bool,
+    /// Lint between phases and audit the destruction trace.
+    pub verify_each: bool,
+    /// Simplify the CFG after destruction.
+    pub simplify: bool,
+    /// Colour with this many registers after destruction.
+    pub alloc: Option<usize>,
+}
+
+impl Default for CompileConfig {
+    fn default() -> Self {
+        CompileConfig {
+            pipeline: PipelineSpec::New,
+            fold: true,
+            opt: false,
+            verify_each: false,
+            simplify: false,
+            alloc: None,
+        }
+    }
+}
+
+/// The result of compiling one function: rewritten code plus everything
+/// the CLI may print about it.
+#[derive(Clone, Debug)]
+pub struct FunctionOutcome {
+    /// The rewritten function.
+    pub func: Function,
+    /// Instrumented phases in execution order.
+    pub phases: Vec<PhaseRecord>,
+    /// Optimiser summary when [`CompileConfig::opt`] was set.
+    pub opt_summary: Option<RunSummary>,
+    /// The `--stats` commentary lines, in emission order (without the
+    /// leading `; `).
+    pub stat_lines: Vec<String>,
+    /// Peak bytes held by this function's analysis cache.
+    pub analysis_peak_bytes: usize,
+    /// SSA-build → rewrite wall time for this function.
+    pub compile_time: Duration,
+}
+
+/// Run the configured pipeline on one pre-SSA function.
+///
+/// This is `fcc`'s whole middle: SSA construction (with optional
+/// optimisation and `--verify-each` gating), destruction by the chosen
+/// algorithm, then optional CFG simplification and register allocation.
+///
+/// # Errors
+/// Any phase failure — invalid SSA, a failing `--verify-each` lint
+/// report, an unsatisfiable allocation — aborts with a message naming
+/// the phase.
+pub fn compile_function(
+    mut func: Function,
+    cfg: &CompileConfig,
+) -> Result<FunctionOutcome, String> {
+    if cfg.pipeline.needs_no_fold() && cfg.fold {
+        return Err(
+            "the briggs pipelines need --no-fold (phi webs must be interference-free)".into(),
+        );
+    }
+
+    // One manager serves every phase of this function; workers never
+    // share managers, so batch compilation has no cross-thread state.
+    let mut am = AnalysisManager::new();
+    let mut phases: Vec<PhaseRecord> = Vec::new();
+    let mut stat_lines: Vec<String> = Vec::new();
+
+    let t0 = Instant::now();
+    let timer = PhaseTimer::start("build-ssa", &am);
+    let ssa_stats = build_ssa_with(&mut func, SsaFlavor::Pruned, cfg.fold, &mut am);
+    phases.push(timer.finish_with(&am, &ssa_stats));
+
+    let mut opt_summary: Option<RunSummary> = None;
+    if cfg.opt {
+        let timer = PhaseTimer::start("optimise", &am);
+        // φ-web destruction (briggs pipelines) needs copies kept alive;
+        // copy propagation is standalone copy folding and would merge
+        // interfering webs (see fcc_opt::copy_preserving_pipeline).
+        let pm = if cfg.pipeline.needs_no_fold() {
+            copy_preserving_pipeline()
+        } else {
+            standard_pipeline()
+        };
+        let summary = if cfg.verify_each {
+            pm.run_verified(&mut func, &mut am, LintStage::Ssa)
+                .map_err(|v| format!("--verify-each: {v}\n{}", v.report.render_text(&func)))?
+        } else {
+            pm.run(&mut func, &mut am)
+        };
+        phases.push(timer.finish(&am));
+        stat_lines.push(format!("optimiser: {} rounds to fixpoint", summary.rounds));
+        opt_summary = Some(summary);
+    }
+    verify_ssa(&func).map_err(|e| format!("internal: invalid SSA: {e}"))?;
+
+    let mut trace: Option<DestructionTrace> = None;
+    match cfg.pipeline {
+        PipelineSpec::New | PipelineSpec::NewCut => {
+            let opts = CoalesceOptions {
+                split_strategy: if cfg.pipeline == PipelineSpec::NewCut {
+                    SplitStrategy::EdgeCut
+                } else {
+                    SplitStrategy::RemoveMember
+                },
+                ..Default::default()
+            };
+            let timer = PhaseTimer::start("coalesce-new", &am);
+            let s = if cfg.verify_each {
+                let (s, t) = coalesce_ssa_traced(&mut func, &opts, &mut am);
+                trace = Some(t);
+                s
+            } else {
+                coalesce_ssa_managed(&mut func, &opts, &mut am)
+            };
+            phases.push(timer.finish_with(&am, &s));
+            stat_lines.push(format!(
+                "new: {} copies, {} filter, {} forest splits, {} local splits, {} B peak",
+                s.copies_inserted, s.filter_copies, s.forest_splits, s.local_splits, s.peak_bytes
+            ));
+        }
+        PipelineSpec::Standard => {
+            let timer = PhaseTimer::start("destruct-standard", &am);
+            let s = if cfg.verify_each {
+                let (s, t) = destruct_standard_traced(&mut func, &mut am);
+                trace = Some(t);
+                s
+            } else {
+                destruct_standard_with(&mut func, &mut am)
+            };
+            phases.push(timer.finish_with(&am, &s));
+            stat_lines.push(format!(
+                "standard: {} copies, {} cycle temps",
+                s.copies_inserted, s.cycle_temps
+            ));
+        }
+        PipelineSpec::Sreedhar => {
+            let timer = PhaseTimer::start("sreedhar-i", &am);
+            let s = if cfg.verify_each {
+                let (s, t) = destruct_sreedhar_i_traced(&mut func);
+                trace = Some(t);
+                s
+            } else {
+                destruct_sreedhar_i(&mut func)
+            };
+            phases.push(timer.finish_with(&am, &s));
+            stat_lines.push(format!(
+                "sreedhar-i: {} isolation copies",
+                s.copies_inserted
+            ));
+        }
+        PipelineSpec::Briggs | PipelineSpec::BriggsStar => {
+            let timer = PhaseTimer::start("webs", &am);
+            let w = if cfg.verify_each {
+                let (w, t) = destruct_via_webs_traced(&mut func);
+                trace = Some(t);
+                w
+            } else {
+                destruct_via_webs(&mut func)
+            };
+            phases.push(timer.finish_with(&am, &w));
+            let mode = if cfg.pipeline == PipelineSpec::Briggs {
+                GraphMode::Full
+            } else {
+                GraphMode::Restricted
+            };
+            let timer = PhaseTimer::start("briggs-coalesce", &am);
+            let s = coalesce_copies_managed(
+                &mut func,
+                &BriggsOptions {
+                    mode,
+                    ..Default::default()
+                },
+                &mut am,
+            );
+            phases.push(timer.finish_with(&am, &s));
+            stat_lines.push(format!(
+                "{}: {} removed, {} remaining, {} passes, {} B peak matrix",
+                cfg.pipeline.label(),
+                s.copies_removed,
+                s.copies_remaining,
+                s.passes.len(),
+                s.peak_matrix_bytes()
+            ));
+        }
+    }
+
+    if let Some(trace) = &trace {
+        // --verify-each: lint the destructed function and audit the
+        // run's congruence classes and Waiting copies independently.
+        let mut fresh = AnalysisManager::new();
+        let mut report = lint_function(&func, &mut fresh, LintStage::Final);
+        report.diagnostics.extend(audit_destruction(trace));
+        if report.has_errors() {
+            return Err(format!(
+                "--verify-each: destruction pipeline '{}' failed the lint suite\n{}",
+                cfg.pipeline.label(),
+                report.render_text(&func)
+            ));
+        }
+        stat_lines.push(format!(
+            "verify-each: destruction audit clean ({} warning(s))",
+            report.warning_count()
+        ));
+    }
+    if cfg.simplify {
+        let timer = PhaseTimer::start("simplify-cfg", &am);
+        simplify_cfg_with(&mut func, &mut am);
+        phases.push(timer.finish(&am));
+    }
+    let compile_time = t0.elapsed();
+    stat_lines.push(format!(
+        "{} phis inserted, {} copies folded during SSA; {} static copies in output; \
+         compiled in {:.1} us",
+        ssa_stats.phis_inserted,
+        ssa_stats.copies_folded,
+        func.static_copy_count(),
+        compile_time.as_secs_f64() * 1e6
+    ));
+
+    if let Some(k) = cfg.alloc {
+        let timer = PhaseTimer::start("allocate", &am);
+        let alloc = allocate_managed(
+            &mut func,
+            &AllocOptions {
+                registers: k,
+                ..Default::default()
+            },
+            &mut am,
+        )
+        .map_err(|e| format!("allocation failed: {e}"))?;
+        phases.push(timer.finish(&am));
+        stat_lines.push(format!(
+            "allocated {k} registers, {} spilled in {} rounds",
+            alloc.spilled.len(),
+            alloc.rounds
+        ));
+    }
+
+    Ok(FunctionOutcome {
+        func,
+        phases,
+        opt_summary,
+        stat_lines,
+        analysis_peak_bytes: am.peak_bytes(),
+        compile_time,
+    })
+}
+
+/// One batch-compiled module: per-function outcomes in module order plus
+/// the pool timing.
+#[derive(Clone, Debug)]
+pub struct ModuleOutcome {
+    /// Outcomes, index-aligned with the input module's functions.
+    pub functions: Vec<FunctionOutcome>,
+    /// Wall/cpu timing of the batch.
+    pub timing: BatchTiming,
+}
+
+impl ModuleOutcome {
+    /// The rewritten functions reassembled as a module (names were
+    /// unique on input and compilation never renames).
+    pub fn into_module(self) -> Module {
+        Module::from_functions(self.functions.into_iter().map(|o| o.func).collect())
+            .expect("compilation preserves the input module's unique names")
+    }
+
+    /// Phase records summed by label across all functions.
+    pub fn merged_phases(&self) -> Vec<PhaseRecord> {
+        let per: Vec<Vec<PhaseRecord>> = self.functions.iter().map(|o| o.phases.clone()).collect();
+        merge_phases(&per)
+    }
+
+    /// Optimiser summaries merged by pass name: applications and
+    /// instruction deltas summed, rounds reported as the maximum.
+    pub fn merged_summary(&self) -> Option<RunSummary> {
+        let mut merged: Option<RunSummary> = None;
+        for o in &self.functions {
+            let Some(s) = &o.opt_summary else { continue };
+            let m = merged.get_or_insert(RunSummary {
+                rounds: 0,
+                passes: Vec::new(),
+            });
+            m.rounds = m.rounds.max(s.rounds);
+            for p in &s.passes {
+                match m.passes.iter_mut().find(|q| q.name == p.name) {
+                    Some(q) => {
+                        q.applications += p.applications;
+                        q.insts_removed += p.insts_removed;
+                    }
+                    None => m.passes.push(p.clone()),
+                }
+            }
+        }
+        merged
+    }
+
+    /// Peak analysis-cache bytes over the workers (they do not share a
+    /// cache, so the batch's footprint is the largest single one).
+    pub fn analysis_peak_bytes(&self) -> usize {
+        self.functions
+            .iter()
+            .map(|o| o.analysis_peak_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Compile every function of `module` on `jobs` worker threads
+/// (`0` = available parallelism) and merge outcomes in module order.
+///
+/// # Errors
+/// The first failing function (in module order, regardless of which
+/// worker hit it first) aborts the batch with its name prefixed.
+pub fn compile_module(
+    module: Module,
+    jobs: usize,
+    cfg: &CompileConfig,
+) -> Result<ModuleOutcome, String> {
+    let funcs = module.into_functions();
+    let (results, timing) = par_map(funcs.len(), jobs, |i| {
+        compile_function(funcs[i].clone(), cfg).map_err(|e| format!("@{}: {e}", funcs[i].name))
+    });
+    let mut outcomes = Vec::with_capacity(results.len());
+    for r in results {
+        outcomes.push(r?);
+    }
+    Ok(ModuleOutcome {
+        functions: outcomes,
+        timing,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn module_of(n: usize) -> Module {
+        let mut src = String::new();
+        for i in 0..n {
+            src.push_str(&format!(
+                "fn f{i}(n) {{ let s = {i}; for j = 0 to n {{ s = s + j * {}; }} return s; }}\n",
+                i + 1
+            ));
+        }
+        fcc_frontend::compile_module(&src).unwrap()
+    }
+
+    #[test]
+    fn parallel_output_matches_serial_byte_for_byte() {
+        let cfg = CompileConfig {
+            opt: true,
+            ..Default::default()
+        };
+        let serial = compile_module(module_of(12), 1, &cfg).unwrap();
+        let parallel = compile_module(module_of(12), 4, &cfg).unwrap();
+        assert_eq!(
+            serial.clone().into_module().to_string(),
+            parallel.clone().into_module().to_string()
+        );
+        assert_eq!(serial.merged_phases().len(), parallel.merged_phases().len());
+    }
+
+    #[test]
+    fn every_pipeline_spec_compiles_a_module() {
+        for spec in [
+            PipelineSpec::New,
+            PipelineSpec::NewCut,
+            PipelineSpec::Standard,
+            PipelineSpec::Sreedhar,
+            PipelineSpec::Briggs,
+            PipelineSpec::BriggsStar,
+        ] {
+            let cfg = CompileConfig {
+                pipeline: spec,
+                fold: !spec.needs_no_fold(),
+                verify_each: true,
+                ..Default::default()
+            };
+            let out = compile_module(module_of(3), 2, &cfg)
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.label()));
+            for o in &out.functions {
+                assert!(!o.func.has_phis(), "{}: phis left", spec.label());
+            }
+        }
+    }
+
+    #[test]
+    fn briggs_with_folding_is_rejected() {
+        let cfg = CompileConfig {
+            pipeline: PipelineSpec::Briggs,
+            fold: true,
+            ..Default::default()
+        };
+        let err = compile_module(module_of(1), 1, &cfg).unwrap_err();
+        assert!(err.contains("--no-fold"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn merged_summary_accumulates_pass_applications() {
+        let cfg = CompileConfig {
+            opt: true,
+            ..Default::default()
+        };
+        let out = compile_module(module_of(6), 3, &cfg).unwrap();
+        let merged = out.merged_summary().expect("opt ran");
+        assert!(!merged.passes.is_empty());
+        let per_fn: usize = out
+            .functions
+            .iter()
+            .filter_map(|o| o.opt_summary.as_ref())
+            .flat_map(|s| s.passes.iter().map(|p| p.applications))
+            .sum();
+        let total: usize = merged.passes.iter().map(|p| p.applications).sum();
+        assert_eq!(per_fn, total);
+    }
+
+    #[test]
+    fn pipeline_spec_parses_all_cli_spellings() {
+        for s in [
+            "new",
+            "new-cut",
+            "standard",
+            "sreedhar",
+            "briggs",
+            "briggs-star",
+        ] {
+            let spec = PipelineSpec::parse(s).unwrap();
+            assert_eq!(spec.label(), s);
+        }
+        assert!(PipelineSpec::parse("nope").is_none());
+    }
+}

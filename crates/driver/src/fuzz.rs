@@ -1,0 +1,310 @@
+//! `fcc fuzz` — differential fuzzing of the destruction pipelines.
+//!
+//! Thousands of seeded MiniLang programs per second are pushed through
+//! the three pipeline families (New with folding, Standard with folding,
+//! Briggs φ-webs without), each checked four ways:
+//!
+//! 1. **Differential interpreter oracle** — the rewritten code must
+//!    produce the reference CFG's exact return value and memory.
+//! 2. **Destruction audit** — `fcc_lint::audit_destruction` over the
+//!    recorded trace (congruence classes, Waiting-copy discipline).
+//! 3. **Structural verification** — no surviving φs, `verify_function`
+//!    clean.
+//! 4. **Panic containment** — a panicking phase counts as a failure for
+//!    that seed instead of killing the run.
+//!
+//! On failure the greedy AST shrinker (`fcc_workloads::shrink`) re-runs
+//! the same oracle on ever-smaller candidates and reports a minimal
+//! MiniLang repro, printable with [`fcc_frontend::to_source`].
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use fcc_analysis::AnalysisManager;
+use fcc_core::{coalesce_ssa_traced, CoalesceOptions};
+use fcc_frontend::{ast::Program, lower_program};
+use fcc_interp::run_with_memory;
+use fcc_ir::{verify::verify_function, Function};
+use fcc_lint::audit_destruction;
+use fcc_opt::{copy_preserving_pipeline, standard_pipeline};
+use fcc_regalloc::{coalesce_copies_managed, destruct_via_webs_traced, BriggsOptions, GraphMode};
+use fcc_ssa::{build_ssa_with, destruct_standard_traced, verify_ssa, SsaFlavor};
+use fcc_workloads::{generate, shrink, GenConfig};
+
+use crate::pool::{par_map, BatchTiming};
+
+/// Interpreter memory cells per run (matches the generated-program
+/// tests; generator addresses are masked well below this).
+const MEM: usize = 256;
+/// Interpreter fuel per run (generated programs terminate fast).
+const FUEL: u64 = 20_000_000;
+
+/// Fuzzing campaign parameters.
+#[derive(Clone, Debug)]
+pub struct FuzzConfig {
+    /// Number of seeds to check.
+    pub seeds: u64,
+    /// First seed (campaigns are deterministic in `start..start+seeds`).
+    pub start: u64,
+    /// Worker threads (`0` = available parallelism).
+    pub jobs: usize,
+    /// Run the optimiser between SSA construction and destruction.
+    pub opt: bool,
+    /// Program shape.
+    pub shape: GenConfig,
+    /// Max oracle evaluations the shrinker may spend per failure.
+    pub shrink_budget: usize,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            seeds: 1000,
+            start: 0,
+            jobs: 0,
+            opt: true,
+            shape: GenConfig::default(),
+            shrink_budget: 4000,
+        }
+    }
+}
+
+/// One failing seed, with its shrunk repro.
+#[derive(Clone, Debug)]
+pub struct FuzzFailure {
+    /// The failing seed.
+    pub seed: u64,
+    /// What the oracle saw (first check that failed).
+    pub detail: String,
+    /// The generated program as-is.
+    pub program: Program,
+    /// The shrunk repro (still failing).
+    pub shrunk: Program,
+    /// Oracle evaluations the shrinker spent.
+    pub shrink_evals: usize,
+    /// Whether shrinking reached a fixpoint within budget.
+    pub shrink_converged: bool,
+}
+
+/// A whole campaign's result.
+#[derive(Clone, Debug)]
+pub struct FuzzOutcome {
+    /// Seeds checked.
+    pub checked: u64,
+    /// Failures in seed order (empty on a clean run).
+    pub failures: Vec<FuzzFailure>,
+    /// Pool timing of the sweep (excludes shrinking).
+    pub timing: BatchTiming,
+}
+
+/// The differential oracle: `Ok(())` when every pipeline preserves the
+/// program, `Err(detail)` naming the first violated check.
+///
+/// The oracle is deliberately total: lowering failures and panics are
+/// reported as `Err`, a program whose *reference* execution traps is
+/// reported as `Ok` (nothing to differentiate against — the shrinker
+/// relies on this to reject candidates it broke itself, e.g. by
+/// rewriting a divisor to zero).
+pub fn check_program(prog: &Program, opt: bool) -> Result<(), String> {
+    let prog = prog.clone();
+    match catch_unwind(AssertUnwindSafe(move || check_program_inner(&prog, opt))) {
+        Ok(r) => r,
+        Err(e) => {
+            let msg = e
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| e.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            Err(format!("panicked: {msg}"))
+        }
+    }
+}
+
+fn oracle_args(prog: &Program) -> Vec<i64> {
+    // Small mixed-sign values, deterministic in the arity alone so the
+    // shrinker's candidates are judged by the same inputs.
+    (0..prog.params.len())
+        .map(|i| [5, -3, 9, 2, 7, -1][i % 6])
+        .collect()
+}
+
+fn run_f(f: &Function, args: &[i64]) -> Result<(Option<i64>, Vec<i64>), String> {
+    let out = run_with_memory(f, args, vec![0; MEM], FUEL).map_err(|e| e.to_string())?;
+    Ok((out.ret, out.memory))
+}
+
+fn check_program_inner(prog: &Program, opt: bool) -> Result<(), String> {
+    let base = match lower_program(prog) {
+        Ok(f) => f,
+        Err(e) => return Err(format!("lowering failed: {e}")),
+    };
+    verify_function(&base).map_err(|e| format!("front-end CFG invalid: {e}"))?;
+    let args = oracle_args(prog);
+    // A trapping or diverging reference leaves nothing to compare.
+    let Ok(reference) = run_f(&base, &args) else {
+        return Ok(());
+    };
+
+    let check = |label: &str, func: &Function| -> Result<(), String> {
+        if func.has_phis() {
+            return Err(format!("{label}: phis survived destruction"));
+        }
+        verify_function(func).map_err(|e| format!("{label}: invalid output: {e}"))?;
+        let got = run_f(func, &args).map_err(|e| format!("{label}: execution failed: {e}"))?;
+        if got != reference {
+            return Err(format!(
+                "{label}: behaviour changed (expected {:?}, got {:?})",
+                reference.0, got.0
+            ));
+        }
+        Ok(())
+    };
+    let audit = |label: &str, trace: &fcc_ssa::DestructionTrace| -> Result<(), String> {
+        let diags = audit_destruction(trace);
+        if let Some(d) = diags.iter().find(|d| d.is_error()) {
+            return Err(format!("{label}: audit: {}", d.render(&trace.pre)));
+        }
+        Ok(())
+    };
+
+    // Folded SSA, optionally optimised — shared by New and Standard.
+    let mut am = AnalysisManager::new();
+    let mut ssa = base.clone();
+    build_ssa_with(&mut ssa, SsaFlavor::Pruned, true, &mut am);
+    if opt {
+        standard_pipeline().run(&mut ssa, &mut am);
+    }
+    verify_ssa(&ssa).map_err(|e| format!("ssa: {e}"))?;
+
+    {
+        let mut f = ssa.clone();
+        let mut am = AnalysisManager::new();
+        let (_, trace) = coalesce_ssa_traced(&mut f, &CoalesceOptions::default(), &mut am);
+        audit("new", &trace)?;
+        check("new", &f)?;
+    }
+    {
+        let mut f = ssa.clone();
+        let mut am = AnalysisManager::new();
+        let (_, trace) = destruct_standard_traced(&mut f, &mut am);
+        audit("standard", &trace)?;
+        check("standard", &f)?;
+    }
+
+    // Unfolded SSA for the φ-web path (copy-preserving optimisation).
+    {
+        let mut am = AnalysisManager::new();
+        let mut f = base.clone();
+        build_ssa_with(&mut f, SsaFlavor::Pruned, false, &mut am);
+        if opt {
+            copy_preserving_pipeline().run(&mut f, &mut am);
+        }
+        verify_ssa(&f).map_err(|e| format!("briggs ssa: {e}"))?;
+        let (_, trace) = destruct_via_webs_traced(&mut f);
+        audit("briggs", &trace)?;
+        coalesce_copies_managed(
+            &mut f,
+            &BriggsOptions {
+                mode: GraphMode::Restricted,
+                ..Default::default()
+            },
+            &mut am,
+        );
+        check("briggs", &f)?;
+    }
+    Ok(())
+}
+
+/// Run a fuzzing campaign: sweep the seed range on the pool, then
+/// shrink every failure serially (deterministic order and results).
+pub fn fuzz(cfg: &FuzzConfig) -> FuzzOutcome {
+    // The oracle treats panics as findings; silence the default hook's
+    // backtrace spam for the duration (the shrinker may re-panic the
+    // same bug hundreds of times).
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let (results, timing) = par_map(cfg.seeds as usize, cfg.jobs, |i| {
+        let seed = cfg.start + i as u64;
+        let prog = generate(seed, &cfg.shape);
+        check_program(&prog, cfg.opt)
+            .err()
+            .map(|detail| (seed, prog, detail))
+    });
+
+    let failures = results
+        .into_iter()
+        .flatten()
+        .map(|(seed, program, detail)| {
+            // Dropping a `let` orphans its uses, and such a candidate
+            // fails to *lower* — a different finding than the one being
+            // shrunk. A candidate only counts when it fails in the same
+            // class (lowering vs. pipeline) as the original.
+            let is_lowering = |e: &str| e.starts_with("lowering failed");
+            let original_lowering = is_lowering(&detail);
+            let r = shrink(&program, cfg.shrink_budget, |p| {
+                matches!(check_program(p, cfg.opt),
+                         Err(e) if is_lowering(&e) == original_lowering)
+            });
+            FuzzFailure {
+                seed,
+                detail,
+                program,
+                shrunk: r.program,
+                shrink_evals: r.evals,
+                shrink_converged: r.converged,
+            }
+        })
+        .collect();
+    std::panic::set_hook(hook);
+
+    FuzzOutcome {
+        checked: cfg.seeds,
+        failures,
+        timing,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_seed_sweep_is_clean() {
+        let out = fuzz(&FuzzConfig {
+            seeds: 40,
+            jobs: 2,
+            ..Default::default()
+        });
+        assert_eq!(out.checked, 40);
+        assert!(
+            out.failures.is_empty(),
+            "unexpected failures: {:?}",
+            out.failures
+                .iter()
+                .map(|f| (f.seed, &f.detail))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn oracle_accepts_known_good_programs() {
+        for seed in [0, 1, 17, 99] {
+            let prog = generate(seed, &GenConfig::default());
+            check_program(&prog, true).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            check_program(&prog, false).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn oracle_flags_a_program_that_does_not_lower() {
+        use fcc_frontend::ast::{Expr, Stmt};
+        let prog = Program {
+            name: "bad".into(),
+            params: vec![],
+            body: vec![Stmt::Return {
+                value: Some(Expr::Var("undefined_variable".into())),
+            }],
+        };
+        let err = check_program(&prog, false).unwrap_err();
+        assert!(err.contains("lowering failed"), "got: {err}");
+    }
+}

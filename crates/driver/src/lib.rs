@@ -1,0 +1,49 @@
+//! # fcc-driver — batch compilation, instrumentation, and fuzzing
+//!
+//! The layer between the per-function compiler crates and their
+//! front-ends (`fcc`, the bench binaries):
+//!
+//! * [`pool`] — a std-only scoped work-stealing pool ([`par_map`]) with
+//!   wall-vs-cpu [`BatchTiming`];
+//! * [`report`] — the pipeline instrumentation layer ([`PhaseTimer`],
+//!   [`PhaseRecord`], [`PipelineReport`], [`run_pipeline`]) and the lint
+//!   certification gates, re-exported by `fcc-bench` for compatibility;
+//! * [`compile`] — [`compile_function`] (the one code path behind
+//!   `fcc`'s pipeline flags) and [`compile_module`], which shards a
+//!   [`fcc_ir::Module`]'s functions across the pool and merges outcomes
+//!   in module order;
+//! * [`fuzz`] — the `fcc fuzz` campaign driver: seeded program
+//!   generation, a differential interpreter + audit oracle, and greedy
+//!   shrinking of failures to minimal MiniLang repros.
+//!
+//! Determinism is the design invariant throughout: workers own their
+//! analysis state, results merge in input order, so any `--jobs` value
+//! produces byte-identical output.
+//!
+//! ## Example
+//!
+//! ```
+//! use fcc_driver::{compile_module, CompileConfig};
+//!
+//! let module = fcc_frontend::compile_module(
+//!     "fn a(x) { return x + 1; }\nfn b(x) { return x * 2; }",
+//! ).unwrap();
+//! let out = compile_module(module, 2, &CompileConfig::default()).unwrap();
+//! assert_eq!(out.functions.len(), 2);
+//! assert!(out.functions.iter().all(|o| !o.func.has_phis()));
+//! ```
+
+pub mod compile;
+pub mod fuzz;
+pub mod pool;
+pub mod report;
+
+pub use compile::{
+    compile_function, compile_module, CompileConfig, FunctionOutcome, ModuleOutcome, PipelineSpec,
+};
+pub use fuzz::{check_program, fuzz, FuzzConfig, FuzzFailure, FuzzOutcome};
+pub use pool::{par_map, resolve_jobs, BatchTiming};
+pub use report::{
+    certify_kernels, certify_or_die, certify_pipeline, merge_phases, render_phases, run_pipeline,
+    us, PhaseRecord, PhaseStats, PhaseTimer, Pipeline, PipelineReport, Table,
+};

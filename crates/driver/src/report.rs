@@ -1,0 +1,585 @@
+//! Pipeline instrumentation: phase timing, cache counters, lint gates.
+//!
+//! This layer started life in `fcc-bench`, but the batch driver needs it
+//! too — every worker compiles functions through the same instrumented
+//! pipelines the table binaries measure — so it lives here and
+//! `fcc-bench` re-exports it. The split keeps the dependency graph
+//! acyclic: bench depends on the driver (for the pool and these types),
+//! never the other way round.
+//!
+//! Timing follows the paper (§4.2): "the timer was started immediately
+//! before building SSA form, and its value is recorded immediately after
+//! the code is rewritten". Every pipeline shares one
+//! [`AnalysisManager`] across its phases, so the CFG computed while
+//! building SSA is a cache *hit* when the destruction phase asks for it
+//! again.
+
+use std::time::{Duration, Instant};
+
+use fcc_analysis::{AnalysisCounters, AnalysisManager};
+use fcc_core::{coalesce_ssa_managed, CoalesceOptions, CoalesceStats};
+use fcc_ir::Function;
+use fcc_regalloc::{
+    coalesce_copies_managed, destruct_via_webs, BriggsOptions, BriggsStats, GraphMode, WebStats,
+};
+use fcc_ssa::{
+    build_ssa_with, destruct_standard_traced, destruct_standard_with, DestructStats, SsaFlavor,
+    SsaStats,
+};
+use fcc_workloads::compile_kernel;
+
+// ---------------------------------------------------------------------------
+// PhaseStats — the one interface every per-algorithm stats struct speaks.
+// ---------------------------------------------------------------------------
+
+/// Common surface over the per-algorithm statistics structs
+/// ([`SsaStats`], [`DestructStats`], [`CoalesceStats`], [`WebStats`],
+/// [`BriggsStats`]), so the table binaries and the [`PipelineReport`]
+/// share one reporting path instead of near-duplicate formatting code.
+pub trait PhaseStats {
+    /// Short phase label for report rows.
+    fn label(&self) -> &'static str;
+    /// Wall-clock time the algorithm tracked itself; zero when the
+    /// struct carries no internal timer (the caller times around it).
+    fn wall_time(&self) -> Duration {
+        Duration::ZERO
+    }
+    /// Peak bytes of the algorithm's own data structures.
+    fn peak_bytes(&self) -> usize {
+        0
+    }
+    /// Copy instructions inserted by this phase.
+    fn copies_inserted(&self) -> usize {
+        0
+    }
+    /// Copy instructions removed (folded or coalesced away).
+    fn copies_removed(&self) -> usize {
+        0
+    }
+}
+
+impl PhaseStats for SsaStats {
+    fn label(&self) -> &'static str {
+        "build-ssa"
+    }
+    fn copies_removed(&self) -> usize {
+        self.copies_folded
+    }
+}
+
+impl PhaseStats for DestructStats {
+    fn label(&self) -> &'static str {
+        "destruct-standard"
+    }
+    fn copies_inserted(&self) -> usize {
+        self.copies_inserted
+    }
+}
+
+impl PhaseStats for CoalesceStats {
+    fn label(&self) -> &'static str {
+        "coalesce-new"
+    }
+    fn peak_bytes(&self) -> usize {
+        self.peak_bytes
+    }
+    fn copies_inserted(&self) -> usize {
+        self.copies_inserted
+    }
+}
+
+impl PhaseStats for WebStats {
+    fn label(&self) -> &'static str {
+        "webs"
+    }
+}
+
+impl PhaseStats for BriggsStats {
+    fn label(&self) -> &'static str {
+        "briggs-coalesce"
+    }
+    fn wall_time(&self) -> Duration {
+        self.total_time()
+    }
+    fn peak_bytes(&self) -> usize {
+        self.peak_bytes
+    }
+    fn copies_removed(&self) -> usize {
+        self.copies_removed
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PhaseTimer / PhaseRecord / PipelineReport — the instrumentation layer.
+// ---------------------------------------------------------------------------
+
+/// Wall-time + cache-counter bracket around one pipeline phase.
+///
+/// Snapshot the manager's counters with [`PhaseTimer::start`], run the
+/// phase, then [`PhaseTimer::finish`] (or [`PhaseTimer::finish_with`] to
+/// fold in a [`PhaseStats`]) to get the phase's [`PhaseRecord`].
+pub struct PhaseTimer {
+    label: &'static str,
+    start: Instant,
+    counters: AnalysisCounters,
+}
+
+impl PhaseTimer {
+    /// Start timing a phase named `label`.
+    pub fn start(label: &'static str, am: &AnalysisManager) -> Self {
+        PhaseTimer {
+            label,
+            start: Instant::now(),
+            counters: am.counters(),
+        }
+    }
+
+    /// Close the bracket; the record carries the elapsed time and the
+    /// cache hit/miss delta this phase caused.
+    pub fn finish(self, am: &AnalysisManager) -> PhaseRecord {
+        PhaseRecord {
+            label: self.label,
+            time: self.start.elapsed(),
+            peak_bytes: 0,
+            copies_inserted: 0,
+            copies_removed: 0,
+            counters: am.counters() - self.counters,
+        }
+    }
+
+    /// [`PhaseTimer::finish`], folding in the phase's own statistics.
+    pub fn finish_with(self, am: &AnalysisManager, stats: &dyn PhaseStats) -> PhaseRecord {
+        let mut rec = self.finish(am);
+        rec.peak_bytes = stats.peak_bytes();
+        rec.copies_inserted = stats.copies_inserted();
+        rec.copies_removed = stats.copies_removed();
+        rec
+    }
+}
+
+/// One instrumented pipeline phase.
+#[derive(Clone, Debug)]
+pub struct PhaseRecord {
+    /// Phase label (e.g. `build-ssa`, `coalesce-new`).
+    pub label: &'static str,
+    /// Wall-clock time of the phase.
+    pub time: Duration,
+    /// Peak bytes of the phase's own data structures.
+    pub peak_bytes: usize,
+    /// Copy instructions inserted by the phase.
+    pub copies_inserted: usize,
+    /// Copy instructions removed by the phase.
+    pub copies_removed: usize,
+    /// Analysis-cache hits/misses charged to this phase.
+    pub counters: AnalysisCounters,
+}
+
+/// Sum phase records by label, preserving first-appearance order — the
+/// shape a batch compilation reports: one row per phase kind with times,
+/// copy counts, and cache counters accumulated over every function.
+pub fn merge_phases(per_function: &[Vec<PhaseRecord>]) -> Vec<PhaseRecord> {
+    let mut merged: Vec<PhaseRecord> = Vec::new();
+    for phases in per_function {
+        for p in phases {
+            match merged.iter_mut().find(|m| m.label == p.label) {
+                Some(m) => {
+                    m.time += p.time;
+                    m.peak_bytes = m.peak_bytes.max(p.peak_bytes);
+                    m.copies_inserted += p.copies_inserted;
+                    m.copies_removed += p.copies_removed;
+                    m.counters += p.counters;
+                }
+                None => merged.push(p.clone()),
+            }
+        }
+    }
+    merged
+}
+
+/// Render per-phase records as a fixed-width table: wall time, peak
+/// bytes, copies in/out, and cache hit/miss counts, with a TOTAL row and
+/// a per-analysis hit/miss breakdown underneath.
+pub fn render_phases(phases: &[PhaseRecord]) -> String {
+    let mut t = Table::new(&[
+        "phase", "time(us)", "peak(B)", "copies+", "copies-", "hits", "misses",
+    ]);
+    let mut total = AnalysisCounters::default();
+    let mut time = Duration::ZERO;
+    for p in phases {
+        t.row(vec![
+            p.label.to_string(),
+            us(p.time),
+            p.peak_bytes.to_string(),
+            p.copies_inserted.to_string(),
+            p.copies_removed.to_string(),
+            p.counters.total_hits().to_string(),
+            p.counters.total_misses().to_string(),
+        ]);
+        total += p.counters;
+        time += p.time;
+    }
+    t.row(vec![
+        "TOTAL".to_string(),
+        us(time),
+        String::new(),
+        String::new(),
+        String::new(),
+        total.total_hits().to_string(),
+        total.total_misses().to_string(),
+    ]);
+    let mut out = t.render();
+    out.push_str("per-analysis hit/miss:");
+    for (name, hits, misses) in total.rows() {
+        out.push_str(&format!(" {name} {hits}/{misses}"));
+    }
+    out.push('\n');
+    out
+}
+
+/// The structured result of [`run_pipeline`]: the rewritten function
+/// plus the per-phase instrumentation.
+#[derive(Clone, Debug)]
+pub struct PipelineReport {
+    /// Which pipeline ran.
+    pub pipeline: Pipeline,
+    /// The rewritten (φ-free) function.
+    pub func: Function,
+    /// One record per phase, in execution order.
+    pub phases: Vec<PhaseRecord>,
+    /// Peak bytes of the algorithm's data structures plus the rewritten
+    /// function — the paper's Table 3 metric.
+    pub peak_bytes: usize,
+    /// Peak bytes held by the shared analysis cache.
+    pub analysis_peak_bytes: usize,
+}
+
+impl PipelineReport {
+    /// Total wall time across phases.
+    pub fn total_time(&self) -> Duration {
+        self.phases.iter().map(|p| p.time).sum()
+    }
+
+    /// Summed analysis-cache counters across phases.
+    pub fn counters(&self) -> AnalysisCounters {
+        let mut total = AnalysisCounters::default();
+        for p in &self.phases {
+            total += p.counters;
+        }
+        total
+    }
+
+    /// Total analysis-cache hits across phases.
+    pub fn cache_hits(&self) -> u64 {
+        self.counters().total_hits()
+    }
+
+    /// Total analysis-cache misses across phases.
+    pub fn cache_misses(&self) -> u64 {
+        self.counters().total_misses()
+    }
+
+    /// Render the per-phase table (see [`render_phases`]).
+    pub fn render(&self) -> String {
+        render_phases(&self.phases)
+    }
+}
+
+/// Which pipeline to measure.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Pipeline {
+    /// Naive φ instantiation (no coalescing).
+    Standard,
+    /// The paper's dominance-forest coalescer.
+    New,
+    /// Iterated interference-graph coalescer, full graph.
+    Briggs,
+    /// Iterated interference-graph coalescer, copy-related names only.
+    BriggsStar,
+}
+
+impl Pipeline {
+    /// Display name matching the paper's nomenclature.
+    pub fn label(self) -> &'static str {
+        match self {
+            Pipeline::Standard => "Standard",
+            Pipeline::New => "New",
+            Pipeline::Briggs => "Briggs",
+            Pipeline::BriggsStar => "Briggs*",
+        }
+    }
+}
+
+/// Run `pipeline` on the pre-SSA `func`, sharing one [`AnalysisManager`]
+/// across all phases, and return the instrumented [`PipelineReport`].
+/// Time the whole run yourself around this call if you want the paper's
+/// §4.2 end-to-end number (that avoids charging the instrumentation to
+/// any one phase).
+pub fn run_pipeline(pipeline: Pipeline, mut func: Function) -> PipelineReport {
+    let mut am = AnalysisManager::new();
+    let mut phases = Vec::new();
+    let peak_bytes = match pipeline {
+        Pipeline::Standard => {
+            let t = PhaseTimer::start("build-ssa", &am);
+            let s = build_ssa_with(&mut func, SsaFlavor::Pruned, true, &mut am);
+            phases.push(t.finish_with(&am, &s));
+            let t = PhaseTimer::start("destruct-standard", &am);
+            let s = destruct_standard_with(&mut func, &mut am);
+            phases.push(t.finish_with(&am, &s));
+            func.bytes()
+        }
+        Pipeline::New => {
+            let t = PhaseTimer::start("build-ssa", &am);
+            let s = build_ssa_with(&mut func, SsaFlavor::Pruned, true, &mut am);
+            phases.push(t.finish_with(&am, &s));
+            let t = PhaseTimer::start("coalesce-new", &am);
+            let s = coalesce_ssa_managed(&mut func, &CoalesceOptions::default(), &mut am);
+            phases.push(t.finish_with(&am, &s));
+            s.peak_bytes + func.bytes()
+        }
+        Pipeline::Briggs | Pipeline::BriggsStar => {
+            let t = PhaseTimer::start("build-ssa", &am);
+            let s = build_ssa_with(&mut func, SsaFlavor::Pruned, false, &mut am);
+            phases.push(t.finish_with(&am, &s));
+            let t = PhaseTimer::start("webs", &am);
+            let s = destruct_via_webs(&mut func);
+            phases.push(t.finish_with(&am, &s));
+            let mode = if pipeline == Pipeline::Briggs {
+                GraphMode::Full
+            } else {
+                GraphMode::Restricted
+            };
+            let t = PhaseTimer::start("briggs-coalesce", &am);
+            let s = coalesce_copies_managed(
+                &mut func,
+                &BriggsOptions {
+                    mode,
+                    ..Default::default()
+                },
+                &mut am,
+            );
+            phases.push(t.finish_with(&am, &s));
+            s.peak_bytes + func.bytes()
+        }
+    };
+    let analysis_peak_bytes = am.peak_bytes();
+    PipelineReport {
+        pipeline,
+        func,
+        phases,
+        peak_bytes,
+        analysis_peak_bytes,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lint certification — the fcc-lint gate in front of every evaluation run.
+// ---------------------------------------------------------------------------
+
+/// Drive `func` through `pipeline` with the `fcc-lint` rule suite at
+/// every stage boundary plus the destruction soundness audit, outside
+/// any timed region. Returns the first failing report as an error.
+///
+/// The evaluation binaries call this (via [`certify_kernels`]) before
+/// measuring: a table regenerated from an unsound run is worse than no
+/// table.
+pub fn certify_pipeline(pipeline: Pipeline, mut func: Function) -> Result<(), String> {
+    use fcc_lint::{audit_destruction, lint_function, LintStage};
+    let gate = |func: &Function, stage: LintStage| -> Result<(), String> {
+        let r = lint_function(func, &mut AnalysisManager::new(), stage);
+        if r.has_errors() {
+            Err(format!("stage {stage}:\n{}", r.render_text(func)))
+        } else {
+            Ok(())
+        }
+    };
+    gate(&func, LintStage::Cfg)?;
+    let mut am = AnalysisManager::new();
+    let fold = !matches!(pipeline, Pipeline::Briggs | Pipeline::BriggsStar);
+    build_ssa_with(&mut func, SsaFlavor::Pruned, fold, &mut am);
+    gate(&func, LintStage::Ssa)?;
+    let trace = match pipeline {
+        Pipeline::Standard => destruct_standard_traced(&mut func, &mut am).1,
+        Pipeline::New => {
+            fcc_core::coalesce_ssa_traced(&mut func, &CoalesceOptions::default(), &mut am).1
+        }
+        Pipeline::Briggs | Pipeline::BriggsStar => {
+            fcc_regalloc::destruct_via_webs_traced(&mut func).1
+        }
+    };
+    let audit = audit_destruction(&trace);
+    if audit.iter().any(|d| d.is_error()) {
+        let rendered: Vec<String> = audit.iter().map(|d| d.render(&trace.pre)).collect();
+        return Err(format!("destruction audit:\n{}", rendered.join("\n")));
+    }
+    gate(&func, LintStage::Final)
+}
+
+/// [`certify_pipeline`] over the whole kernel suite. Returns the number
+/// of kernel × pipeline combinations certified; the table binaries call
+/// this once before timing and abort on `Err`.
+pub fn certify_kernels(pipelines: &[Pipeline]) -> Result<usize, String> {
+    let mut n = 0;
+    for k in fcc_workloads::kernels() {
+        let func = compile_kernel(k);
+        for &p in pipelines {
+            certify_pipeline(p, func.clone())
+                .map_err(|e| format!("{} / {}: {e}", k.name, p.label()))?;
+            n += 1;
+        }
+    }
+    Ok(n)
+}
+
+/// Run [`certify_kernels`] and exit the process with an error message on
+/// failure — the shared preamble of every evaluation binary.
+pub fn certify_or_die(pipelines: &[Pipeline]) {
+    match certify_kernels(pipelines) {
+        Ok(n) => eprintln!(
+            "; lint: certified {n} kernel x pipeline runs ({} rules + destruction audit)",
+            fcc_lint::default_rules().len()
+        ),
+        Err(e) => {
+            eprintln!("lint certification failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table rendering + numeric helpers shared with the bench binaries.
+// ---------------------------------------------------------------------------
+
+/// Fixed-width table printer.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render with padded columns: first column left-aligned, the rest
+    /// right-aligned.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut width = vec![0usize; ncols];
+        for (i, h) in self.headers.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], width: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i == 0 {
+                    line.push_str(&format!("{:<w$}", c, w = width[i]));
+                } else {
+                    line.push_str(&format!("  {:>w$}", c, w = width[i]));
+                }
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &width));
+        let total: usize = width.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &width));
+        }
+        out
+    }
+}
+
+/// Format a duration in microseconds with 1 decimal.
+pub fn us(d: Duration) -> String {
+    format!("{:.1}", d.as_secs_f64() * 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcc_workloads::kernel;
+
+    #[test]
+    fn reports_show_cache_hits() {
+        // Sharing one manager across the build/destruct phases must
+        // produce structural cache hits on every pipeline (e.g. the
+        // domtree query re-using the CFG computed for liveness).
+        let k = kernel("saxpy").unwrap();
+        for p in [
+            Pipeline::Standard,
+            Pipeline::New,
+            Pipeline::Briggs,
+            Pipeline::BriggsStar,
+        ] {
+            let report = run_pipeline(p, compile_kernel(k));
+            assert!(
+                report.cache_hits() > 0,
+                "{} pipeline reported no analysis-cache hits",
+                p.label()
+            );
+            assert!(report.analysis_peak_bytes > 0);
+            let rendered = report.render();
+            assert!(rendered.contains("TOTAL"));
+            assert!(rendered.contains("per-analysis hit/miss:"));
+        }
+    }
+
+    #[test]
+    fn phase_records_cover_every_phase() {
+        let k = kernel("saxpy").unwrap();
+        let report = run_pipeline(Pipeline::BriggsStar, compile_kernel(k));
+        let labels: Vec<&str> = report.phases.iter().map(|p| p.label).collect();
+        assert_eq!(labels, ["build-ssa", "webs", "briggs-coalesce"]);
+        assert!(report.total_time() > Duration::ZERO);
+    }
+
+    #[test]
+    fn merge_phases_sums_by_label_in_first_appearance_order() {
+        let k = kernel("saxpy").unwrap();
+        let a = run_pipeline(Pipeline::New, compile_kernel(k));
+        let b = run_pipeline(Pipeline::New, compile_kernel(k));
+        let merged = merge_phases(&[a.phases.clone(), b.phases.clone()]);
+        let labels: Vec<&str> = merged.iter().map(|p| p.label).collect();
+        assert_eq!(labels, ["build-ssa", "coalesce-new"]);
+        assert_eq!(
+            merged[1].copies_inserted,
+            a.phases[1].copies_inserted + b.phases[1].copies_inserted
+        );
+        assert_eq!(merged[0].time, a.phases[0].time + b.phases[0].time);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["File", "A", "B"]);
+        t.row(vec!["x".into(), "1".into(), "22".into()]);
+        t.row(vec!["longer".into(), "333".into(), "4".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[2].starts_with("x     "));
+    }
+
+    #[test]
+    fn us_formats() {
+        assert_eq!(us(Duration::from_micros(1500)), "1500.0");
+    }
+}

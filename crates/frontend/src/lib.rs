@@ -23,10 +23,12 @@ pub mod ast;
 pub mod lexer;
 pub mod lower;
 pub mod parser;
+pub mod pretty;
 
 pub use ast::{Expr, Op, Program, Stmt, UnOp};
 pub use lower::{lower_program, lower_program_with, LowerError, LowerOptions};
-pub use parser::{parse_program, ParseError};
+pub use parser::{parse_module, parse_program, ParseError};
+pub use pretty::to_source;
 
 /// Parse and lower MiniLang source into an IR function in one step.
 ///
@@ -35,4 +37,19 @@ pub use parser::{parse_program, ParseError};
 pub fn compile(src: &str) -> Result<fcc_ir::Function, String> {
     let prog = parse_program(src).map_err(|e| e.to_string())?;
     lower_program(&prog).map_err(|e| e.to_string())
+}
+
+/// Parse a multi-function MiniLang file and lower every function,
+/// preserving source order.
+///
+/// # Errors
+/// Returns the first parse or lowering error message.
+pub fn compile_module(src: &str) -> Result<fcc_ir::Module, String> {
+    let programs = parse_module(src).map_err(|e| e.to_string())?;
+    let mut funcs = Vec::with_capacity(programs.len());
+    for prog in &programs {
+        funcs.push(lower_program(prog).map_err(|e| format!("in `{}`: {e}", prog.name))?);
+    }
+    // parse_module already rejects duplicate names, so this cannot fail.
+    fcc_ir::Module::from_functions(funcs).map_err(|name| format!("duplicate function `{name}`"))
 }

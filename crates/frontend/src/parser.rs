@@ -51,6 +51,42 @@ pub fn parse_program(src: &str) -> Result<Program, ParseError> {
     Ok(prog)
 }
 
+/// Parse a multi-function MiniLang file: one or more `fn` declarations.
+///
+/// Function names must be unique; the returned order is file order (the
+/// batch driver relies on it for deterministic output merging).
+///
+/// # Errors
+/// Returns a [`ParseError`] for the first malformed construct or a
+/// duplicated function name.
+///
+/// # Examples
+/// ```
+/// let fns = fcc_frontend::parse_module(
+///     "fn double(x) { return x * 2; }\nfn zero() { return 0; }",
+/// )?;
+/// assert_eq!(fns.len(), 2);
+/// assert_eq!(fns[1].name, "zero");
+/// # Ok::<(), fcc_frontend::ParseError>(())
+/// ```
+pub fn parse_module(src: &str) -> Result<Vec<Program>, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut programs = vec![p.program()?];
+    while p.peek().kind != TokenKind::Eof {
+        let line = p.peek().line;
+        let prog = p.program()?;
+        if programs.iter().any(|q: &Program| q.name == prog.name) {
+            return Err(ParseError {
+                line,
+                message: format!("duplicate function `{}`", prog.name),
+            });
+        }
+        programs.push(prog);
+    }
+    Ok(programs)
+}
+
 struct Parser {
     toks: Vec<Token>,
     pos: usize,
@@ -434,6 +470,39 @@ mod tests {
     fn rejects_trailing_garbage() {
         let e = parse_program("fn f() { return 0; } extra").unwrap_err();
         assert!(e.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn single_function_rejects_a_second_function() {
+        let e = parse_program("fn f() { return 0; } fn g() { return 1; }").unwrap_err();
+        assert!(e.to_string().contains("trailing"), "{e}");
+    }
+
+    #[test]
+    fn module_parses_many_functions_in_order() {
+        let fns = parse_module(
+            "fn a(x) { return x; }\nfn b() { return 1; }\nfn c(p, q) { return p + q; }",
+        )
+        .unwrap();
+        let names: Vec<&str> = fns.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+        assert_eq!(fns[2].params.len(), 2);
+    }
+
+    #[test]
+    fn module_rejects_duplicate_names() {
+        let e = parse_module("fn f() { return 0; }\nfn f() { return 1; }").unwrap_err();
+        assert!(e.to_string().contains("duplicate function `f`"), "{e}");
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn module_of_one_matches_parse_program() {
+        let src = "fn solo(n) { let s = n * 2; return s; }";
+        assert_eq!(
+            parse_module(src).unwrap(),
+            vec![parse_program(src).unwrap()]
+        );
     }
 
     #[test]

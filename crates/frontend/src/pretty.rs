@@ -1,0 +1,226 @@
+//! MiniLang source emission: [`Program`] → text that reparses.
+//!
+//! The fuzz shrinker works on ASTs but must hand the user a *file* — a
+//! minimal `.ml` repro that `fcc` (or `fcc lint`, `fcc analyze`) accepts
+//! directly. Binary sub-expressions are fully parenthesised, so the
+//! printed form is precedence-proof and `print → parse → print` is a
+//! fixpoint; negative literals print as `(0 - n)` because MiniLang has
+//! no negative literal tokens (only unary minus, a different AST).
+
+use std::fmt;
+
+use crate::ast::{Expr, Op, Program, Stmt, UnOp};
+
+/// Render a program as parseable MiniLang source.
+pub fn to_source(prog: &Program) -> String {
+    prog.to_string()
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn {}({}) {{", self.name, self.params.join(", "))?;
+        if self.body.is_empty() {
+            return write!(f, " }}");
+        }
+        writeln!(f)?;
+        for s in &self.body {
+            write_stmt(f, s, 1)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+fn indent(f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+    write!(f, "{:width$}", "", width = depth * 4)
+}
+
+fn write_body(f: &mut fmt::Formatter<'_>, body: &[Stmt], depth: usize) -> fmt::Result {
+    writeln!(f, "{{")?;
+    for s in body {
+        write_stmt(f, s, depth + 1)?;
+    }
+    indent(f, depth)?;
+    write!(f, "}}")
+}
+
+fn write_stmt(f: &mut fmt::Formatter<'_>, stmt: &Stmt, depth: usize) -> fmt::Result {
+    indent(f, depth)?;
+    match stmt {
+        Stmt::Let { name, value } => writeln!(f, "let {name} = {};", DisplayExpr(value)),
+        Stmt::Assign { name, value } => writeln!(f, "{name} = {};", DisplayExpr(value)),
+        Stmt::Store { addr, value } => {
+            writeln!(f, "mem[{}] = {};", DisplayExpr(addr), DisplayExpr(value))
+        }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            write!(f, "if {} ", DisplayExpr(cond))?;
+            write_body(f, then_body, depth)?;
+            if !else_body.is_empty() {
+                write!(f, " else ")?;
+                write_body(f, else_body, depth)?;
+            }
+            writeln!(f)
+        }
+        Stmt::While { cond, body } => {
+            write!(f, "while {} ", DisplayExpr(cond))?;
+            write_body(f, body, depth)?;
+            writeln!(f)
+        }
+        Stmt::For {
+            var,
+            from,
+            to,
+            body,
+        } => {
+            write!(
+                f,
+                "for {var} = {} to {} ",
+                DisplayExpr(from),
+                DisplayExpr(to)
+            )?;
+            write_body(f, body, depth)?;
+            writeln!(f)
+        }
+        Stmt::Return { value } => match value {
+            Some(e) => writeln!(f, "return {};", DisplayExpr(e)),
+            None => writeln!(f, "return;"),
+        },
+    }
+}
+
+/// Prints an expression with the top level unparenthesised and nested
+/// binaries fully parenthesised.
+struct DisplayExpr<'a>(&'a Expr);
+
+impl fmt::Display for DisplayExpr<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_expr(f, self.0, true)
+    }
+}
+
+fn write_expr(f: &mut fmt::Formatter<'_>, e: &Expr, top: bool) -> fmt::Result {
+    match e {
+        Expr::Num(n) => {
+            if *n < 0 {
+                // `-9` would reparse as Unary(Neg, 9); keep ASTs stable.
+                write!(f, "(0 - {})", n.unsigned_abs())
+            } else {
+                write!(f, "{n}")
+            }
+        }
+        Expr::Var(name) => write!(f, "{name}"),
+        Expr::Load(addr) => {
+            write!(f, "mem[")?;
+            write_expr(f, addr, true)?;
+            write!(f, "]")
+        }
+        Expr::Unary { op, expr } => {
+            let sym = match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "!",
+            };
+            // Parenthesise the operand: `- -x` must not lex as a token
+            // pair ambiguity and `-(a+b)` needs the parens anyway.
+            write!(f, "{sym}(")?;
+            write_expr(f, expr, true)?;
+            write!(f, ")")
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            if !top {
+                write!(f, "(")?;
+            }
+            write_expr(f, lhs, false)?;
+            write!(f, " {} ", op_symbol(*op))?;
+            write_expr(f, rhs, false)?;
+            if !top {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn op_symbol(op: Op) -> &'static str {
+    match op {
+        Op::Add => "+",
+        Op::Sub => "-",
+        Op::Mul => "*",
+        Op::Div => "/",
+        Op::Rem => "%",
+        Op::Eq => "==",
+        Op::Ne => "!=",
+        Op::Lt => "<",
+        Op::Le => "<=",
+        Op::Gt => ">",
+        Op::Ge => ">=",
+        Op::BitAnd => "&",
+        Op::BitOr => "|",
+        Op::BitXor => "^",
+        Op::Shl => "<<",
+        Op::Shr => ">>",
+        Op::AndAnd => "&&",
+        Op::OrOr => "||",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn print_parse_print_is_a_fixpoint() {
+        let src = "fn f(n, m) {
+            let s = 0;
+            for i = 0 to n {
+                if (i % 2) == 0 { s = s + (i * m); } else { s = s - 1; }
+                mem[i & 63] = s;
+            }
+            while s > 100 { s = s / 2; }
+            return s + mem[0];
+        }";
+        let p = parse_program(src).unwrap();
+        let printed = to_source(&p);
+        let reparsed = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("printed source failed to parse: {e}\n{printed}"));
+        assert_eq!(printed, to_source(&reparsed), "not a fixpoint:\n{printed}");
+    }
+
+    #[test]
+    fn fully_parenthesised_printing_preserves_the_ast() {
+        // Mixed precedence and unary operators: the reparsed AST must be
+        // structurally identical, not just behaviourally.
+        let src = "fn g(a, b) { return ((a + (b * 3)) < ((a << 1) | b)) && !(a == b); }";
+        let p = parse_program(src).unwrap();
+        let reparsed = parse_program(&to_source(&p)).unwrap();
+        assert_eq!(p, reparsed);
+    }
+
+    #[test]
+    fn negative_literals_reparse_to_equivalent_behaviour() {
+        let p = Program {
+            name: "neg".into(),
+            params: vec![],
+            body: vec![Stmt::Return {
+                value: Some(Expr::Num(-7)),
+            }],
+        };
+        let printed = to_source(&p);
+        let reparsed = parse_program(&printed).unwrap();
+        let f = crate::lower_program(&reparsed).unwrap();
+        assert_eq!(fcc_interp::run(&f, &[]).unwrap().ret, Some(-7));
+    }
+
+    #[test]
+    fn empty_body_prints_on_one_line() {
+        let p = Program {
+            name: "nop".into(),
+            params: vec!["x".into()],
+            body: vec![],
+        };
+        assert_eq!(to_source(&p), "fn nop(x) { }");
+    }
+}

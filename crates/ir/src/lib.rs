@@ -46,6 +46,7 @@ pub mod diagnostic;
 pub mod entity;
 pub mod function;
 pub mod instr;
+pub mod module;
 pub mod parse;
 pub mod print;
 pub mod verify;
@@ -56,3 +57,4 @@ pub use diagnostic::{Diagnostic, Severity};
 pub use entity::{EntityMap, EntityRef, SecondaryMap};
 pub use function::{Block, Function, Inst, InstData, Value};
 pub use instr::{BinOp, InstKind, PhiArg, UnaryOp};
+pub use module::Module;

@@ -12,6 +12,7 @@ use std::fmt;
 
 use crate::function::{Block, Function, Value};
 use crate::instr::{BinOp, InstKind, PhiArg, UnaryOp};
+use crate::module::Module;
 
 /// A parse failure, with a 1-based source line number.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -54,7 +55,47 @@ fn perr(line: usize, message: impl Into<String>) -> ParseError {
 /// # Ok::<(), fcc_ir::parse::ParseError>(())
 /// ```
 pub fn parse_function(text: &str) -> Result<Function, ParseError> {
-    Parser::new(text).parse()
+    let mut p = Parser::new(text);
+    p.reject_bad_tokens()?;
+    p.parse_one()
+}
+
+/// Parse a whole module: one or more functions, in file order.
+///
+/// The textual module format is the function format repeated (blank
+/// lines and comments between functions are ignored); it is what
+/// [`Module`]'s `Display` prints, and the two round-trip.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for the first malformed construct, an empty
+/// input, or a duplicated function name.
+///
+/// # Examples
+///
+/// ```
+/// let m = fcc_ir::parse::parse_module(
+///     "function @a(0) {\n b0:\n return\n }\n\nfunction @b(0) {\n b0:\n return\n }",
+/// )?;
+/// assert_eq!(m.len(), 2);
+/// assert_eq!(m.get("b").unwrap().name, "b");
+/// # Ok::<(), fcc_ir::parse::ParseError>(())
+/// ```
+pub fn parse_module(text: &str) -> Result<Module, ParseError> {
+    let mut p = Parser::new(text);
+    p.reject_bad_tokens()?;
+    let mut module = Module::new();
+    while let Some((ln, _)) = p.lines.get(p.pos) {
+        let header_line = *ln;
+        let func = p.parse_one()?;
+        module
+            .push(func)
+            .map_err(|name| perr(header_line, format!("duplicate function @{name}")))?;
+    }
+    if module.is_empty() {
+        return Err(perr(1, "expected at least one function"));
+    }
+    Ok(module)
 }
 
 struct Parser<'a> {
@@ -131,14 +172,20 @@ impl<'a> Parser<'a> {
         Parser { lines, pos: 0 }
     }
 
-    fn parse(mut self) -> Result<Function, ParseError> {
-        // Pre-tokenise errors were deferred; re-scan for them eagerly.
+    /// Pre-tokenise errors were deferred; re-scan for them eagerly.
+    fn reject_bad_tokens(&self) -> Result<(), ParseError> {
         for (ln, toks) in &self.lines {
             if toks.first() == Some(&Tok::Ident("\0bad")) {
                 return Err(perr(*ln, "unrecognised character"));
             }
         }
+        Ok(())
+    }
 
+    /// Parse one function starting at the current line, consuming up to
+    /// and including its closing `}` (so a module is parsed by calling
+    /// this in a loop).
+    fn parse_one(&mut self) -> Result<Function, ParseError> {
         // Header: function @name ( N ) {
         let (ln, header) = self.next_line("function header")?;
         let mut func = match header.as_slice() {
@@ -152,12 +199,16 @@ impl<'a> Parser<'a> {
             _ => return Err(perr(ln, "expected `function @name(N) {`")),
         };
 
-        // First pass over remaining lines: collect block labels. Labels
-        // must be strictly ascending but may have gaps (a pass may have
-        // dropped unreachable blocks); unlabeled indices become tombstone
-        // blocks outside the layout.
+        // First pass over this function's lines (up to its closing `}`,
+        // so a following function in the same module is not scanned):
+        // collect block labels. Labels must be strictly ascending but may
+        // have gaps (a pass may have dropped unreachable blocks);
+        // unlabeled indices become tombstone blocks outside the layout.
         let mut labels: Vec<usize> = Vec::new();
         for (ln, toks) in &self.lines[self.pos..] {
+            if toks.as_slice() == [Tok::Punct('}')] {
+                break;
+            }
             if let [Tok::Ident(id), Tok::Punct(':')] = toks.as_slice() {
                 let idx = parse_entity(id, 'b').ok_or_else(|| perr(*ln, "bad block label"))?;
                 if labels.last().is_some_and(|&prev| idx <= prev) {
@@ -494,6 +545,48 @@ mod tests {
         let f = parse_function("# header comment\nfunction @x(0) {\n\nb0:\n ; nothing\n return\n}")
             .unwrap();
         assert_eq!(f.blocks().count(), 1);
+    }
+
+    #[test]
+    fn parses_a_two_function_module() {
+        let m = parse_module(
+            "function @f(1) {\nb0:\n v0 = param 0\n return v0\n}\n\n\
+             ; a comment between functions\n\
+             function @g(0) {\nb0:\n v0 = const 3\n jump b1\nb1:\n return v0\n}",
+        )
+        .unwrap();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.functions()[0].name, "f");
+        assert_eq!(m.get("g").unwrap().blocks().count(), 2);
+        for f in &m {
+            verify_function(f).unwrap();
+        }
+    }
+
+    #[test]
+    fn module_functions_have_independent_block_label_spaces() {
+        // @g's labels must not leak into @f's label pre-scan: @f jumps to
+        // b1 which only exists in @g.
+        let e = parse_module(
+            "function @f(0) {\nb0:\n jump b1\n}\nfunction @g(0) {\nb0:\n jump b1\nb1:\n return\n}",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("undeclared block b1"), "{e}");
+    }
+
+    #[test]
+    fn module_rejects_duplicate_function_names() {
+        let e =
+            parse_module("function @f(0) {\nb0:\n return\n}\nfunction @f(0) {\nb0:\n return\n}")
+                .unwrap_err();
+        assert!(e.to_string().contains("duplicate function @f"), "{e}");
+        assert_eq!(e.line, 5, "error points at the second header");
+    }
+
+    #[test]
+    fn module_rejects_empty_input() {
+        let e = parse_module("; nothing here\n").unwrap_err();
+        assert!(e.to_string().contains("at least one function"), "{e}");
     }
 
     #[test]

@@ -1,0 +1,32 @@
+//! Controlled fault injection for testing the failure-handling stack.
+//!
+//! The fuzz harness (`fcc fuzz`) promises that when a pipeline
+//! miscompiles, the differential oracle catches it and the shrinker
+//! reduces it to a small repro. That promise is only testable against a
+//! *real* miscompile, so this module can re-open a bug this codebase
+//! actually had: skipping [`crate::constfold::restore_phis_first`] after
+//! folding leaves non-φ instructions above sibling φs, which later
+//! φ-scans (SSA destruction, verification) silently truncate.
+//!
+//! The switch is a process-global `AtomicBool` rather than only a cargo
+//! feature so the default test suite — which runs without features — can
+//! flip it on for a single test binary. Building with the
+//! `inject-phi-ordering-bug` feature sets the initial value.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static PHI_RESTORE_DISABLED: AtomicBool =
+    AtomicBool::new(cfg!(feature = "inject-phi-ordering-bug"));
+
+/// Enable or disable the injected φ-ordering bug for this process.
+///
+/// When set, `constfold`/`range_fold` skip restoring the φs-first block
+/// layout after rewriting φs, miscompiling some φ-heavy programs.
+pub fn disable_phi_restore(disabled: bool) {
+    PHI_RESTORE_DISABLED.store(disabled, Ordering::SeqCst);
+}
+
+/// Whether the φ-ordering restore is currently disabled.
+pub fn phi_restore_disabled() -> bool {
+    PHI_RESTORE_DISABLED.load(Ordering::SeqCst)
+}

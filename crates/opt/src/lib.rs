@@ -45,6 +45,7 @@
 pub mod constfold;
 pub mod copyprop;
 pub mod dce;
+pub mod fault;
 pub mod gvn;
 pub mod range_fold;
 pub mod simplify_cfg;

@@ -27,10 +27,12 @@
 pub mod generator;
 pub mod kernels;
 pub mod rng;
+pub mod shrink;
 
 pub use generator::{generate, GenConfig};
 pub use kernels::{kernel, kernels, Kernel};
 pub use rng::SplitMix64;
+pub use shrink::{shrink, statement_count, ShrinkResult};
 
 use fcc_interp::{run_with_memory, ExecError, Outcome};
 use fcc_ir::Function;

@@ -1,0 +1,597 @@
+//! Greedy test-case reduction for MiniLang programs.
+//!
+//! When the fuzzer finds a failing program it is usually dozens of
+//! statements of generated noise; [`shrink`] reduces it to something a
+//! human can read. The algorithm is classic greedy delta debugging over
+//! the AST: propose a simplification, keep it only if the caller's
+//! predicate says the program *still fails*, repeat to fixpoint.
+//!
+//! Reductions, tried in order of expected payoff:
+//!
+//! 1. **Drop a statement** — any single statement at any nesting depth.
+//! 2. **Unnest a body** — replace `if`/`while` with its body run once,
+//!    or a `for` with `let var = from;` followed by its body, so
+//!    variable definitions survive and the candidate still lowers.
+//! 3. **Simplify an expression** — replace a compound subexpression
+//!    with one of its own operands or with `0` (this is what unpins the
+//!    `let`s a giant `return` expression keeps alive).
+//! 4. **Shrink a constant** — rewrite a literal to `0`, `1`, or half
+//!    its value (loop bounds included, which shortens traces).
+//!
+//! Every accepted step strictly decreases a size measure (statement
+//! count weighted far above expression-node count, which is weighted
+//! above total constant bit-width), so the loop terminates even on a
+//! pathological predicate. The caller bounds total
+//! work with `budget`, the maximum number of predicate evaluations; the
+//! predicate should return `true` only for candidates exhibiting the
+//! original failure (a candidate that no longer compiles is simply a
+//! failed proposal, not progress).
+
+use fcc_frontend::ast::{Expr, Program, Stmt};
+
+/// Outcome of a [`shrink`] run.
+#[derive(Clone, Debug)]
+pub struct ShrinkResult {
+    /// The smallest failing program found.
+    pub program: Program,
+    /// Predicate evaluations spent.
+    pub evals: usize,
+    /// Whether reduction reached a fixpoint (false: budget ran out).
+    pub converged: bool,
+}
+
+/// Greedily reduce `prog` while `still_fails` keeps returning `true`.
+///
+/// `still_fails` is never called on `prog` itself — the caller asserts
+/// it fails — only on candidates. At most `budget` evaluations are made.
+pub fn shrink(
+    prog: &Program,
+    budget: usize,
+    mut still_fails: impl FnMut(&Program) -> bool,
+) -> ShrinkResult {
+    let mut best = prog.clone();
+    let mut best_size = size_of(&best);
+    let mut evals = 0usize;
+    loop {
+        let mut improved = false;
+        for candidate in candidates(&best) {
+            let cand_size = size_of(&candidate);
+            if cand_size >= best_size {
+                continue;
+            }
+            if evals >= budget {
+                return ShrinkResult {
+                    program: best,
+                    evals,
+                    converged: false,
+                };
+            }
+            evals += 1;
+            if still_fails(&candidate) {
+                best = candidate;
+                best_size = cand_size;
+                improved = true;
+                break; // restart candidate enumeration on the new best
+            }
+        }
+        if !improved {
+            return ShrinkResult {
+                program: best,
+                evals,
+                converged: true,
+            };
+        }
+    }
+}
+
+/// Number of statements in the program, at any nesting depth.
+pub fn statement_count(prog: &Program) -> usize {
+    fn count(body: &[Stmt]) -> usize {
+        body.iter()
+            .map(|s| {
+                1 + match s {
+                    Stmt::If {
+                        then_body,
+                        else_body,
+                        ..
+                    } => count(then_body) + count(else_body),
+                    Stmt::While { body, .. } | Stmt::For { body, .. } => count(body),
+                    _ => 0,
+                }
+            })
+            .sum()
+    }
+    count(&prog.body)
+}
+
+/// Size measure driving termination: statements dominate, expression
+/// nodes next (so operand hoisting counts as progress), constant
+/// bit-widths break the remaining ties.
+fn size_of(prog: &Program) -> u64 {
+    statement_count(prog) as u64 * 1_000_000 + expr_nodes(prog) * 100 + const_bits(prog)
+}
+
+/// Total expression nodes in the program.
+fn expr_nodes(prog: &Program) -> u64 {
+    fn expr(e: &Expr) -> u64 {
+        1 + match e {
+            Expr::Num(_) | Expr::Var(_) => 0,
+            Expr::Load(a) => expr(a),
+            Expr::Unary { expr: inner, .. } => expr(inner),
+            Expr::Binary { lhs, rhs, .. } => expr(lhs) + expr(rhs),
+        }
+    }
+    fn body(stmts: &[Stmt], acc: &mut u64) {
+        for s in stmts {
+            match s {
+                Stmt::Let { value, .. }
+                | Stmt::Assign { value, .. }
+                | Stmt::Return { value: Some(value) } => *acc += expr(value),
+                Stmt::Return { value: None } => {}
+                Stmt::Store { addr, value } => *acc += expr(addr) + expr(value),
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    *acc += expr(cond);
+                    body(then_body, acc);
+                    body(else_body, acc);
+                }
+                Stmt::While { cond, body: b } => {
+                    *acc += expr(cond);
+                    body(b, acc);
+                }
+                Stmt::For {
+                    from, to, body: b, ..
+                } => {
+                    *acc += expr(from) + expr(to);
+                    body(b, acc);
+                }
+            }
+        }
+    }
+    let mut acc = 0;
+    body(&prog.body, &mut acc);
+    acc
+}
+
+fn const_bits(prog: &Program) -> u64 {
+    fn expr(e: &Expr, acc: &mut u64) {
+        match e {
+            Expr::Num(n) => *acc += 64 - n.unsigned_abs().leading_zeros() as u64,
+            Expr::Var(_) => {}
+            Expr::Load(a) => expr(a, acc),
+            Expr::Unary { expr: inner, .. } => expr(inner, acc),
+            Expr::Binary { lhs, rhs, .. } => {
+                expr(lhs, acc);
+                expr(rhs, acc);
+            }
+        }
+    }
+    fn body(stmts: &[Stmt], acc: &mut u64) {
+        for s in stmts {
+            match s {
+                Stmt::Let { value, .. }
+                | Stmt::Assign { value, .. }
+                | Stmt::Return { value: Some(value) } => expr(value, acc),
+                Stmt::Return { value: None } => {}
+                Stmt::Store { addr, value } => {
+                    expr(addr, acc);
+                    expr(value, acc);
+                }
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    expr(cond, acc);
+                    body(then_body, acc);
+                    body(else_body, acc);
+                }
+                Stmt::While { cond, body: b } => {
+                    expr(cond, acc);
+                    body(b, acc);
+                }
+                Stmt::For {
+                    from, to, body: b, ..
+                } => {
+                    expr(from, acc);
+                    expr(to, acc);
+                    body(b, acc);
+                }
+            }
+        }
+    }
+    let mut acc = 0;
+    body(&prog.body, &mut acc);
+    acc
+}
+
+/// Enumerate all one-step simplifications of `prog`, cheapest-win first.
+fn candidates(prog: &Program) -> Vec<Program> {
+    let n = statement_count(prog);
+    let mut out = Vec::new();
+    for i in 0..n {
+        let mut cand = prog.clone();
+        let mut idx = i;
+        if drop_nth(&mut cand.body, &mut idx) {
+            out.push(cand);
+        }
+    }
+    for i in 0..n {
+        let mut cand = prog.clone();
+        let mut idx = i;
+        if unnest_nth(&mut cand.body, &mut idx) {
+            out.push(cand);
+        }
+    }
+    let compounds = count_compounds(&prog.body);
+    for i in 0..compounds {
+        for mode in [Simplify::Zero, Simplify::First, Simplify::Second] {
+            let mut cand = prog.clone();
+            let mut idx = i;
+            if simplify_nth_expr(&mut cand.body, &mut idx, mode) {
+                out.push(cand);
+            }
+        }
+    }
+    let consts = count_consts(&prog.body);
+    for i in 0..consts {
+        for replacement in [Replacement::Zero, Replacement::One, Replacement::Half] {
+            let mut cand = prog.clone();
+            let mut idx = i;
+            if shrink_nth_const(&mut cand.body, &mut idx, replacement) {
+                out.push(cand);
+            }
+        }
+    }
+    out
+}
+
+/// How to simplify a compound expression node.
+#[derive(Clone, Copy)]
+enum Simplify {
+    /// Replace the whole subtree with the literal `0`.
+    Zero,
+    /// Replace it with its (first) operand.
+    First,
+    /// Replace it with its second operand (binary nodes only).
+    Second,
+}
+
+/// Compound (non-leaf) expression nodes in the program, pre-order.
+fn count_compounds(body: &[Stmt]) -> usize {
+    fn expr(e: &Expr) -> usize {
+        match e {
+            Expr::Num(_) | Expr::Var(_) => 0,
+            Expr::Load(a) => 1 + expr(a),
+            Expr::Unary { expr: inner, .. } => 1 + expr(inner),
+            Expr::Binary { lhs, rhs, .. } => 1 + expr(lhs) + expr(rhs),
+        }
+    }
+    body.iter()
+        .map(|s| match s {
+            Stmt::Let { value, .. }
+            | Stmt::Assign { value, .. }
+            | Stmt::Return { value: Some(value) } => expr(value),
+            Stmt::Return { value: None } => 0,
+            Stmt::Store { addr, value } => expr(addr) + expr(value),
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => expr(cond) + count_compounds(then_body) + count_compounds(else_body),
+            Stmt::While { cond, body: b } => expr(cond) + count_compounds(b),
+            Stmt::For {
+                from, to, body: b, ..
+            } => expr(from) + expr(to) + count_compounds(b),
+        })
+        .sum()
+}
+
+/// Replace the `n`-th compound expression (pre-order) per `how`.
+fn simplify_nth_expr(body: &mut [Stmt], n: &mut usize, how: Simplify) -> bool {
+    fn expr(e: &mut Expr, n: &mut usize, how: Simplify) -> bool {
+        if matches!(e, Expr::Num(_) | Expr::Var(_)) {
+            return false;
+        }
+        if *n > 0 {
+            *n -= 1;
+            return match e {
+                Expr::Load(a) => expr(a, n, how),
+                Expr::Unary { expr: inner, .. } => expr(inner, n, how),
+                Expr::Binary { lhs, rhs, .. } => expr(lhs, n, how) || expr(rhs, n, how),
+                _ => unreachable!("leaves handled above"),
+            };
+        }
+        let replacement = match (&*e, how) {
+            (_, Simplify::Zero) => Expr::Num(0),
+            (Expr::Load(a), Simplify::First) => (**a).clone(),
+            (Expr::Unary { expr: inner, .. }, Simplify::First) => (**inner).clone(),
+            (Expr::Binary { lhs, .. }, Simplify::First) => (**lhs).clone(),
+            (Expr::Binary { rhs, .. }, Simplify::Second) => (**rhs).clone(),
+            _ => return false, // no second operand to hoist
+        };
+        *e = replacement;
+        true
+    }
+    for s in body {
+        let done = match s {
+            Stmt::Let { value, .. }
+            | Stmt::Assign { value, .. }
+            | Stmt::Return { value: Some(value) } => expr(value, n, how),
+            Stmt::Return { value: None } => false,
+            Stmt::Store { addr, value } => expr(addr, n, how) || expr(value, n, how),
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                expr(cond, n, how)
+                    || simplify_nth_expr(then_body, n, how)
+                    || simplify_nth_expr(else_body, n, how)
+            }
+            Stmt::While { cond, body: b } => expr(cond, n, how) || simplify_nth_expr(b, n, how),
+            Stmt::For {
+                from, to, body: b, ..
+            } => expr(from, n, how) || expr(to, n, how) || simplify_nth_expr(b, n, how),
+        };
+        if done {
+            return true;
+        }
+    }
+    false
+}
+
+/// Remove the `n`-th statement in pre-order. Returns true when applied;
+/// on return `false`, `n` holds the remaining offset.
+fn drop_nth(body: &mut Vec<Stmt>, n: &mut usize) -> bool {
+    let mut i = 0;
+    while i < body.len() {
+        if *n == 0 {
+            body.remove(i);
+            return true;
+        }
+        *n -= 1;
+        let done = match &mut body[i] {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => drop_nth(then_body, n) || drop_nth(else_body, n),
+            Stmt::While { body: b, .. } | Stmt::For { body: b, .. } => drop_nth(b, n),
+            _ => false,
+        };
+        if done {
+            return true;
+        }
+        i += 1;
+    }
+    false
+}
+
+/// Replace the `n`-th statement with its body: `if` → then-branch,
+/// `if/else` → both branches in order, `while` → body once, `for` →
+/// `let var = from;` then body once (keeps `var` defined).
+fn unnest_nth(body: &mut Vec<Stmt>, n: &mut usize) -> bool {
+    let mut i = 0;
+    while i < body.len() {
+        if *n == 0 {
+            let replacement: Vec<Stmt> = match body[i].clone() {
+                Stmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => then_body.into_iter().chain(else_body).collect(),
+                Stmt::While { body: b, .. } => b,
+                Stmt::For {
+                    var, from, body: b, ..
+                } => std::iter::once(Stmt::Let {
+                    name: var,
+                    value: from,
+                })
+                .chain(b)
+                .collect(),
+                _ => return false, // leaf statement: no body to unnest
+            };
+            body.splice(i..=i, replacement);
+            return true;
+        }
+        *n -= 1;
+        let done = match &mut body[i] {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => unnest_nth(then_body, n) || unnest_nth(else_body, n),
+            Stmt::While { body: b, .. } | Stmt::For { body: b, .. } => unnest_nth(b, n),
+            _ => false,
+        };
+        if done {
+            return true;
+        }
+        i += 1;
+    }
+    false
+}
+
+#[derive(Clone, Copy)]
+enum Replacement {
+    Zero,
+    One,
+    Half,
+}
+
+fn count_consts(body: &[Stmt]) -> usize {
+    fn expr(e: &Expr) -> usize {
+        match e {
+            Expr::Num(_) => 1,
+            Expr::Var(_) => 0,
+            Expr::Load(a) => expr(a),
+            Expr::Unary { expr: inner, .. } => expr(inner),
+            Expr::Binary { lhs, rhs, .. } => expr(lhs) + expr(rhs),
+        }
+    }
+    body.iter()
+        .map(|s| match s {
+            Stmt::Let { value, .. }
+            | Stmt::Assign { value, .. }
+            | Stmt::Return { value: Some(value) } => expr(value),
+            Stmt::Return { value: None } => 0,
+            Stmt::Store { addr, value } => expr(addr) + expr(value),
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => expr(cond) + count_consts(then_body) + count_consts(else_body),
+            Stmt::While { cond, body: b } => expr(cond) + count_consts(b),
+            Stmt::For {
+                from, to, body: b, ..
+            } => expr(from) + expr(to) + count_consts(b),
+        })
+        .sum()
+}
+
+fn shrink_nth_const(body: &mut [Stmt], n: &mut usize, how: Replacement) -> bool {
+    fn expr(e: &mut Expr, n: &mut usize, how: Replacement) -> bool {
+        match e {
+            Expr::Num(v) => {
+                if *n == 0 {
+                    *v = match how {
+                        Replacement::Zero => 0,
+                        Replacement::One => 1,
+                        Replacement::Half => *v / 2,
+                    };
+                    true
+                } else {
+                    *n -= 1;
+                    false
+                }
+            }
+            Expr::Var(_) => false,
+            Expr::Load(a) => expr(a, n, how),
+            Expr::Unary { expr: inner, .. } => expr(inner, n, how),
+            Expr::Binary { lhs, rhs, .. } => expr(lhs, n, how) || expr(rhs, n, how),
+        }
+    }
+    for s in body {
+        let done = match s {
+            Stmt::Let { value, .. }
+            | Stmt::Assign { value, .. }
+            | Stmt::Return { value: Some(value) } => expr(value, n, how),
+            Stmt::Return { value: None } => false,
+            Stmt::Store { addr, value } => expr(addr, n, how) || expr(value, n, how),
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                expr(cond, n, how)
+                    || shrink_nth_const(then_body, n, how)
+                    || shrink_nth_const(else_body, n, how)
+            }
+            Stmt::While { cond, body: b } => expr(cond, n, how) || shrink_nth_const(b, n, how),
+            Stmt::For {
+                from, to, body: b, ..
+            } => expr(from, n, how) || expr(to, n, how) || shrink_nth_const(b, n, how),
+        };
+        if done {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, GenConfig};
+
+    /// Predicate: the program still contains a `%` operator anywhere.
+    fn has_rem(prog: &Program) -> bool {
+        fn in_expr(e: &Expr) -> bool {
+            match e {
+                Expr::Num(_) | Expr::Var(_) => false,
+                Expr::Load(a) => in_expr(a),
+                Expr::Unary { expr, .. } => in_expr(expr),
+                Expr::Binary { op, lhs, rhs } => {
+                    *op == fcc_frontend::ast::Op::Rem || in_expr(lhs) || in_expr(rhs)
+                }
+            }
+        }
+        fn in_body(body: &[Stmt]) -> bool {
+            body.iter().any(|s| match s {
+                Stmt::Let { value, .. }
+                | Stmt::Assign { value, .. }
+                | Stmt::Return { value: Some(value) } => in_expr(value),
+                Stmt::Return { value: None } => false,
+                Stmt::Store { addr, value } => in_expr(addr) || in_expr(value),
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => in_expr(cond) || in_body(then_body) || in_body(else_body),
+                Stmt::While { cond, body } => in_expr(cond) || in_body(body),
+                Stmt::For { from, to, body, .. } => in_expr(from) || in_expr(to) || in_body(body),
+            })
+        }
+        in_body(&prog.body)
+    }
+
+    #[test]
+    fn shrinks_generated_program_to_the_predicate_core() {
+        let cfg = GenConfig {
+            stmts: 24,
+            ..GenConfig::default()
+        };
+        // Find a seed whose program contains `%` at all.
+        let (seed, prog) = (0..64u64)
+            .map(|s| (s, generate(s, &cfg)))
+            .find(|(_, p)| has_rem(p))
+            .expect("some generated program uses %");
+        let before = statement_count(&prog);
+        let result = shrink(&prog, 10_000, has_rem);
+        assert!(result.converged, "seed {seed} did not converge");
+        assert!(has_rem(&result.program), "shrinking lost the predicate");
+        let after = statement_count(&result.program);
+        assert!(
+            after <= 3 && after < before,
+            "seed {seed}: expected a tiny repro, got {after} statements (from {before})"
+        );
+    }
+
+    #[test]
+    fn budget_zero_returns_the_input() {
+        let prog = generate(1, &GenConfig::default());
+        let result = shrink(&prog, 0, |_| true);
+        assert_eq!(result.evals, 0);
+        assert_eq!(statement_count(&result.program), statement_count(&prog));
+    }
+
+    #[test]
+    fn predicate_false_everywhere_means_no_change() {
+        let prog = generate(2, &GenConfig::default());
+        let result = shrink(&prog, 10_000, |_| false);
+        assert!(result.converged);
+        assert_eq!(result.program, prog);
+    }
+
+    #[test]
+    fn shrunk_programs_still_compile() {
+        // The unnest rules must keep variables defined; verify the
+        // reduced program of every early seed still lowers.
+        let cfg = GenConfig::default();
+        for seed in 0..16u64 {
+            let prog = generate(seed, &cfg);
+            let result = shrink(&prog, 2_000, |p| {
+                fcc_frontend::lower_program(p).is_ok() && statement_count(p) > 0
+            });
+            let src = fcc_frontend::to_source(&result.program);
+            assert!(
+                fcc_frontend::compile(&src).is_ok(),
+                "seed {seed}: shrunk program no longer compiles:\n{src}"
+            );
+        }
+    }
+}

@@ -1,11 +1,13 @@
 //! `fcc` — the command-line driver.
 //!
-//! Compiles a MiniLang source file (or a named benchmark kernel) through
-//! a selectable SSA-destruction pipeline and prints the result, the
-//! statistics, or an execution.
+//! Compiles MiniLang source (one function or a whole multi-function
+//! module, or named benchmark kernels) through a selectable
+//! SSA-destruction pipeline and prints the result, the statistics, or an
+//! execution. Modules are batch-compiled on a worker pool (`--jobs`),
+//! with byte-identical output at any width.
 //!
 //! ```text
-//! Usage: fcc <file.ml | kernel:NAME | -> [options]
+//! Usage: fcc <file.ml | kernel:NAME | kernel:* | -> [options]
 //!
 //!   --pipeline P    new (default) | standard | briggs | briggs-star
 //!   --no-fold       do not fold copies during SSA construction
@@ -16,8 +18,12 @@
 //!                   error aborts and names the offending phase/pass
 //!   --simplify      simplify the CFG after destruction
 //!   --alloc K       colour with K registers after destruction
+//!   --jobs N        compile module functions on N threads (0 = auto,
+//!                   the default); output is independent of N
 //!   --emit STAGE    print IR at: cfg | ssa | final (default: final)
 //!   --run ARGS      execute the final code, ARGS comma-separated
+//!   --entry NAME    which function --run executes (default: the only
+//!                   one; required for multi-function modules)
 //!   --stats         print phase statistics
 //!   --report        print the per-phase pipeline report (time, peak
 //!                   bytes, analysis-cache hits/misses)
@@ -25,50 +31,74 @@
 //! ```
 //!
 //! There is also a lint subcommand, which never prints IR — it drives
-//! the function through CFG → SSA → destruction, runs the stage-matched
+//! each function through CFG → SSA → destruction, runs the stage-matched
 //! rule suite at each point plus the coalescing soundness audit, and
 //! exits 1 on any error-severity finding:
 //!
 //! ```text
-//! Usage: fcc lint <file.ml | kernel:NAME | -> [options]
+//! Usage: fcc lint <file.ml | kernel:NAME | kernel:* | -> [options]
 //!
 //!   --format F      text (default) | json
 //!   --pipeline P    new (default) | new-cut | standard | sreedhar | briggs | briggs-star
 //!   --no-fold       do not fold copies during SSA construction
 //!   --opt           run (and verify) the optimiser pipeline on the SSA
+//!   --jobs N        lint module functions on N threads (0 = auto)
 //!   --deny-warnings promote warning findings to the failing exit code
 //! ```
 //!
-//! And an analyze subcommand: the `fcc-dataflow` sparse abstract
+//! An analyze subcommand: the `fcc-dataflow` sparse abstract
 //! interpreter (SCCP, value ranges, known bits) over the SSA form,
 //! printing per-value ranges and the safety report. Exit code 1 iff any
 //! error-severity finding (with `--deny-warnings`, any finding at all):
 //!
 //! ```text
-//! Usage: fcc analyze <file.ml | kernel:NAME | -> [options]
+//! Usage: fcc analyze <file.ml | kernel:NAME | kernel:* | -> [options]
 //!
 //!   --format F      text (default) | json
 //!   --no-fold       do not fold copies during SSA construction
 //!   --opt           run the optimiser pipeline before analysing
+//!   --jobs N        analyse module functions on N threads (0 = auto)
 //!   --deny-warnings promote warning findings to the failing exit code
+//! ```
+//!
+//! And a fuzz subcommand: seeded generated programs through all three
+//! pipeline families with a differential interpreter oracle and the
+//! destruction soundness audit; failures are shrunk to a minimal
+//! MiniLang repro file. Exit code 1 on any failure:
+//!
+//! ```text
+//! Usage: fcc fuzz [options]
+//!
+//!   --seeds N        seeds to check (default 1000)
+//!   --start N        first seed (default 0)
+//!   --jobs N         worker threads (0 = auto, the default)
+//!   --no-opt         skip the optimiser between SSA and destruction
+//!   --shrink-budget N   max oracle evaluations per failure (default 4000)
+//!   --repro-dir DIR  where to write repro-<seed>.ml files (default .)
+//!   --inject-phi-bug re-open a known φ-ordering miscompile (testing
+//!                    the oracle and shrinker themselves)
 //! ```
 //!
 //! Examples:
 //!
 //! ```text
 //! fcc kernel:saxpy --stats --run 64,3
+//! fcc kernel:* --opt --jobs 4 --report
 //! echo 'fn f(x){ return x*2; }' | fcc - --emit ssa
 //! fcc prog.ml --pipeline briggs-star --alloc 8 --run 10
 //! fcc lint kernel:saxpy --opt --format json
 //! fcc analyze prog.ml --format json --deny-warnings
+//! fcc fuzz --seeds 500 --jobs 2
 //! ```
 
 use std::io::{Read, Write};
 use std::process::ExitCode;
-use std::time::Instant;
 
-use fcc::bench::{render_phases, PhaseRecord, PhaseTimer};
-use fcc::opt::simplify_cfg_with;
+use fcc::driver::{
+    compile_module, fuzz as run_fuzz, par_map, render_phases, CompileConfig, FuzzConfig,
+    PipelineSpec,
+};
+use fcc::ir::Module;
 use fcc::prelude::*;
 
 struct Options {
@@ -79,19 +109,24 @@ struct Options {
     verify_each: bool,
     simplify: bool,
     alloc: Option<usize>,
+    jobs: usize,
     emit: String,
     run: Option<Vec<i64>>,
+    entry: Option<String>,
     stats: bool,
     report: bool,
 }
 
 fn usage() -> &'static str {
-    "usage: fcc <file.ml | kernel:NAME | -> [--pipeline new|new-cut|standard|sreedhar|briggs|briggs-star] \
-     [--no-fold] [--opt] [--verify-each] [--simplify] [--alloc K] [--emit cfg|ssa|final] [--run a,b,...] \
-     [--stats] [--report] [--list-kernels]\n       \
-     fcc lint <file.ml | kernel:NAME | -> [--format text|json] [--pipeline P] [--no-fold] [--opt] \
-     [--deny-warnings]\n       \
-     fcc analyze <file.ml | kernel:NAME | -> [--format text|json] [--no-fold] [--opt] [--deny-warnings]"
+    "usage: fcc <file.ml | kernel:NAME | kernel:* | -> [--pipeline new|new-cut|standard|sreedhar|briggs|briggs-star] \
+     [--no-fold] [--opt] [--verify-each] [--simplify] [--alloc K] [--jobs N] [--emit cfg|ssa|final] \
+     [--run a,b,...] [--entry NAME] [--stats] [--report] [--list-kernels]\n       \
+     fcc lint <file.ml | kernel:NAME | kernel:* | -> [--format text|json] [--pipeline P] [--no-fold] \
+     [--opt] [--jobs N] [--deny-warnings]\n       \
+     fcc analyze <file.ml | kernel:NAME | kernel:* | -> [--format text|json] [--no-fold] [--opt] \
+     [--jobs N] [--deny-warnings]\n       \
+     fcc fuzz [--seeds N] [--start N] [--jobs N] [--no-opt] [--shrink-budget N] [--repro-dir DIR] \
+     [--inject-phi-bug]"
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -104,8 +139,10 @@ fn parse_args() -> Result<Options, String> {
         verify_each: false,
         simplify: false,
         alloc: None,
+        jobs: 0,
         emit: "final".into(),
         run: None,
+        entry: None,
         stats: false,
         report: false,
     };
@@ -126,6 +163,11 @@ fn parse_args() -> Result<Options, String> {
                         .map_err(|e| format!("--alloc: {e}"))?,
                 )
             }
+            "--jobs" => {
+                o.jobs = need(&mut args, "--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?
+            }
             "--emit" => o.emit = need(&mut args, "--emit")?,
             "--run" => {
                 let list = need(&mut args, "--run")?;
@@ -136,6 +178,7 @@ fn parse_args() -> Result<Options, String> {
                     .collect();
                 o.run = Some(vals.map_err(|e| format!("--run: {e}"))?);
             }
+            "--entry" => o.entry = Some(need(&mut args, "--entry")?),
             "--stats" => o.stats = true,
             "--report" => o.report = true,
             "--list-kernels" => {
@@ -168,6 +211,12 @@ fn emit(text: impl std::fmt::Display) {
 
 fn load_source(input: &str) -> Result<String, String> {
     if let Some(name) = input.strip_prefix("kernel:") {
+        if name == "*" {
+            // The whole suite as one module — the batch driver's
+            // standard workload.
+            let all: Vec<&str> = fcc::workloads::kernels().iter().map(|k| k.source).collect();
+            return Ok(all.join("\n\n"));
+        }
         let k = fcc::workloads::kernel(name)
             .ok_or_else(|| format!("unknown kernel {name:?}; try --list-kernels"))?;
         return Ok(k.source.to_string());
@@ -184,10 +233,11 @@ fn load_source(input: &str) -> Result<String, String> {
 
 fn main() -> ExitCode {
     let sub = std::env::args().nth(1);
-    if let Some(name @ ("lint" | "analyze")) = sub.as_deref() {
+    if let Some(name @ ("lint" | "analyze" | "fuzz")) = sub.as_deref() {
         let run = match name {
             "lint" => lint_main,
-            _ => analyze_main,
+            "analyze" => analyze_main,
+            _ => fuzz_main,
         };
         return match run(std::env::args().skip(2).collect()) {
             Ok(clean) => {
@@ -212,15 +262,17 @@ fn main() -> ExitCode {
     }
 }
 
-/// `fcc lint`: drive the function through every stage, run the
-/// stage-matched rule suite at each, and audit the destruction run.
-/// Returns `Ok(false)` when any error-severity finding was reported.
+/// `fcc lint`: drive every function through every stage on the worker
+/// pool, run the stage-matched rule suite at each, and audit the
+/// destruction run. Returns `Ok(false)` when any error-severity finding
+/// was reported.
 fn lint_main(args: Vec<String>) -> Result<bool, String> {
     let mut input = String::new();
     let mut format = "text".to_string();
     let mut pipeline = "new".to_string();
     let mut fold = true;
     let mut opt = false;
+    let mut jobs = 0usize;
     let mut deny_warnings = false;
     let mut args = args.into_iter();
     let need = |args: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -232,6 +284,11 @@ fn lint_main(args: Vec<String>) -> Result<bool, String> {
             "--pipeline" => pipeline = need(&mut args, "--pipeline")?,
             "--no-fold" => fold = false,
             "--opt" => opt = true,
+            "--jobs" => {
+                jobs = need(&mut args, "--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?
+            }
             "--deny-warnings" => deny_warnings = true,
             "--help" | "-h" => {
                 println!("{}", usage());
@@ -254,9 +311,64 @@ fn lint_main(args: Vec<String>) -> Result<bool, String> {
             "the briggs pipelines need --no-fold (phi webs must be interference-free)".into(),
         );
     }
+    if PipelineSpec::parse(&pipeline).is_none() {
+        return Err(format!("unknown pipeline {pipeline}\n{}", usage()));
+    }
 
     let src = load_source(&input)?;
-    let mut func = fcc::frontend::compile(&src)?;
+    let module = fcc::frontend::compile_module(&src)?;
+
+    // Each worker lints one function with its own managers; results are
+    // merged in module order, so the printed findings are independent of
+    // --jobs.
+    let funcs = module.into_functions();
+    let (results, _timing) = par_map(funcs.len(), jobs, |i| {
+        lint_one(funcs[i].clone(), &pipeline, fold, opt)
+    });
+
+    let mut clean = true;
+    let mut emitted: Vec<(Function, Vec<LintReport>, Option<LintReport>)> = Vec::new();
+    for r in results {
+        let (func, reports, extra) = r?;
+        clean &= extra.is_none()
+            && reports
+                .iter()
+                .all(|r| !r.has_errors() && (!deny_warnings || r.warning_count() == 0));
+        emitted.push((func, reports, extra));
+    }
+    if format == "json" {
+        let objs: Vec<String> = emitted
+            .iter()
+            .flat_map(|(func, reports, extra)| {
+                reports
+                    .iter()
+                    .chain(extra.iter())
+                    .map(|r| r.render_json(func))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        emit(format_args!("[{}]", objs.join(",")));
+    } else {
+        for (func, reports, extra) in &emitted {
+            for r in reports.iter().chain(extra.iter()) {
+                emit(r.render_text(func));
+            }
+        }
+    }
+    Ok(clean)
+}
+
+/// Lint one function through the chosen pipeline. Returns the function
+/// (as linted), the per-stage reports, and — when `--opt` verification
+/// fails mid-pipeline — the failing pass report (which also fails the
+/// run).
+#[allow(clippy::type_complexity)]
+fn lint_one(
+    mut func: Function,
+    pipeline: &str,
+    fold: bool,
+    opt: bool,
+) -> Result<(Function, Vec<LintReport>, Option<LintReport>), String> {
     let mut am = AnalysisManager::new();
     let mut reports: Vec<LintReport> = Vec::new();
 
@@ -266,7 +378,7 @@ fn lint_main(args: Vec<String>) -> Result<bool, String> {
         // The briggs paths destruct by φ-web unioning, which copy
         // propagation would silently unsound (it folds copies into φ
         // args); keep copies alive for them.
-        let pm = if matches!(pipeline.as_str(), "briggs" | "briggs-star") {
+        let pm = if matches!(pipeline, "briggs" | "briggs-star") {
             copy_preserving_pipeline()
         } else {
             standard_pipeline()
@@ -276,15 +388,14 @@ fn lint_main(args: Vec<String>) -> Result<bool, String> {
             Err(v) => {
                 // Surface the offending pass and its report, then stop:
                 // later stages would lint a function already known bad.
-                eprintln!("fcc lint: {v}");
-                emit_reports(&func, &format, &reports, Some(&v.report));
-                return Ok(false);
+                eprintln!("fcc lint: @{}: {v}", func.name);
+                return Ok((func, reports, Some(v.report)));
             }
         }
     }
     reports.push(fcc::lint::lint_function(&func, &mut am, LintStage::Ssa));
 
-    let trace = match pipeline.as_str() {
+    let trace = match pipeline {
         "new" | "new-cut" => {
             let opts = fcc::core::CoalesceOptions {
                 split_strategy: if pipeline == "new-cut" {
@@ -306,22 +417,19 @@ fn lint_main(args: Vec<String>) -> Result<bool, String> {
     let mut fin = fcc::lint::lint_function(&func, &mut am, LintStage::Final);
     fin.diagnostics.extend(audit_destruction(&trace));
     reports.push(fin);
-
-    emit_reports(&func, &format, &reports, None);
-    Ok(reports
-        .iter()
-        .all(|r| !r.has_errors() && (!deny_warnings || r.warning_count() == 0)))
+    Ok((func, reports, None))
 }
 
 /// `fcc analyze`: compile, build SSA (optionally optimise), run the
-/// `fcc-dataflow` sparse analyses, and print per-value ranges plus the
-/// safety report. Returns `Ok(false)` when the findings warrant a
-/// failing exit code.
+/// `fcc-dataflow` sparse analyses per function on the worker pool, and
+/// print per-value ranges plus the safety report. Returns `Ok(false)`
+/// when the findings warrant a failing exit code.
 fn analyze_main(args: Vec<String>) -> Result<bool, String> {
     let mut input = String::new();
     let mut format = "text".to_string();
     let mut fold = true;
     let mut opt = false;
+    let mut jobs = 0usize;
     let mut deny_warnings = false;
     let mut args = args.into_iter();
     let need = |args: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -332,6 +440,11 @@ fn analyze_main(args: Vec<String>) -> Result<bool, String> {
             "--format" => format = need(&mut args, "--format")?,
             "--no-fold" => fold = false,
             "--opt" => opt = true,
+            "--jobs" => {
+                jobs = need(&mut args, "--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?
+            }
             "--deny-warnings" => deny_warnings = true,
             "--help" | "-h" => {
                 println!("{}", usage());
@@ -351,262 +464,195 @@ fn analyze_main(args: Vec<String>) -> Result<bool, String> {
     }
 
     let src = load_source(&input)?;
-    let mut func = fcc::frontend::compile(&src)?;
-    let mut am = AnalysisManager::new();
-    build_ssa_with(&mut func, SsaFlavor::Pruned, fold, &mut am);
-    if opt {
-        standard_pipeline().run(&mut func, &mut am);
-    }
-    verify_ssa(&func).map_err(|e| format!("internal: invalid SSA: {e}"))?;
+    let module = fcc::frontend::compile_module(&src)?;
+    let single = module.len() == 1;
+    let funcs = module.into_functions();
+    let json = format == "json";
+    let (results, _timing) = par_map(funcs.len(), jobs, |i| {
+        let mut func = funcs[i].clone();
+        let mut am = AnalysisManager::new();
+        build_ssa_with(&mut func, SsaFlavor::Pruned, fold, &mut am);
+        if opt {
+            standard_pipeline().run(&mut func, &mut am);
+        }
+        verify_ssa(&func).map_err(|e| format!("internal: invalid SSA: {e}"))?;
+        let fa = FunctionAnalysis::compute(&func, &mut am);
+        let diags = fa.safety_diagnostics(&func);
+        let rendered = if json {
+            fa.render_json(&func, &diags)
+        } else {
+            fa.render_text(&func, &diags).trim_end().to_string()
+        };
+        let failing = diags
+            .iter()
+            .filter(|d| d.is_error() || deny_warnings)
+            .count();
+        Ok::<(String, bool), String>((rendered, failing == 0))
+    });
 
-    let fa = FunctionAnalysis::compute(&func, &mut am);
-    let diags = fa.safety_diagnostics(&func);
-    if format == "json" {
-        emit(fa.render_json(&func, &diags));
-    } else {
-        emit(fa.render_text(&func, &diags).trim_end());
+    let mut clean = true;
+    let mut rendered = Vec::with_capacity(results.len());
+    for r in results {
+        let (text, ok) = r?;
+        clean &= ok;
+        rendered.push(text);
     }
-    let failing = diags
-        .iter()
-        .filter(|d| d.is_error() || deny_warnings)
-        .count();
-    Ok(failing == 0)
-}
-
-/// Print lint reports in the chosen format; `extra` is a failing
-/// mid-pipeline report from `--opt` verification, appended last.
-fn emit_reports(
-    func: &fcc::ir::Function,
-    format: &str,
-    reports: &[LintReport],
-    extra: Option<&LintReport>,
-) {
-    let all: Vec<&LintReport> = reports.iter().chain(extra).collect();
-    if format == "json" {
-        let objs: Vec<String> = all.iter().map(|r| r.render_json(func)).collect();
-        emit(format_args!("[{}]", objs.join(",")));
+    if json && !single {
+        emit(format_args!("[{}]", rendered.join(",")));
     } else {
-        for r in all {
-            emit(r.render_text(func));
+        for text in rendered {
+            emit(text);
         }
     }
+    Ok(clean)
+}
+
+/// `fcc fuzz`: a deterministic differential-fuzzing campaign over
+/// generated programs. Returns `Ok(false)` (failing exit) when any seed
+/// fails its oracle; each failure's shrunk repro is written to disk.
+fn fuzz_main(args: Vec<String>) -> Result<bool, String> {
+    let mut cfg = FuzzConfig::default();
+    let mut repro_dir = ".".to_string();
+    let mut inject = false;
+    let mut args = args.into_iter();
+    let need = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    fn parse<T: std::str::FromStr>(v: String, flag: &str) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        v.parse().map_err(|e| format!("{flag}: {e}"))
+    }
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seeds" => cfg.seeds = parse(need(&mut args, "--seeds")?, "--seeds")?,
+            "--start" => cfg.start = parse(need(&mut args, "--start")?, "--start")?,
+            "--jobs" => cfg.jobs = parse(need(&mut args, "--jobs")?, "--jobs")?,
+            "--no-opt" => cfg.opt = false,
+            "--shrink-budget" => {
+                cfg.shrink_budget = parse(need(&mut args, "--shrink-budget")?, "--shrink-budget")?
+            }
+            "--repro-dir" => repro_dir = need(&mut args, "--repro-dir")?,
+            "--inject-phi-bug" => inject = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}\n{}", usage())),
+        }
+    }
+    if inject {
+        fcc::opt::fault::disable_phi_restore(true);
+    }
+
+    let out = run_fuzz(&cfg);
+    let rate = out.checked as f64 / out.timing.wall.as_secs_f64().max(1e-9);
+    eprintln!(
+        "; fuzz: {} seeds (start {}) through new/standard/briggs{} — {} failure(s); {}; {rate:.0} seeds/s",
+        out.checked,
+        cfg.start,
+        if cfg.opt { " with --opt" } else { "" },
+        out.failures.len(),
+        out.timing.render(),
+    );
+
+    for f in &out.failures {
+        let src = fcc::frontend::to_source(&f.shrunk);
+        let stmts = fcc::workloads::statement_count(&f.shrunk);
+        let path = format!("{repro_dir}/repro-{}.ml", f.seed);
+        eprintln!(
+            "seed {}: {} (shrunk to {stmts} statement(s) in {} oracle runs{})",
+            f.seed,
+            f.detail,
+            f.shrink_evals,
+            if f.shrink_converged {
+                ""
+            } else {
+                ", budget exhausted"
+            },
+        );
+        match std::fs::write(&path, format!("{src}\n")) {
+            Ok(()) => eprintln!("  repro written to {path}"),
+            Err(e) => eprintln!("  could not write {path}: {e}"),
+        }
+        emit(&src);
+    }
+    Ok(out.failures.is_empty())
 }
 
 fn real_main() -> Result<(), String> {
     let o = parse_args()?;
     let src = load_source(&o.input)?;
-    let mut func = fcc::frontend::compile(&src)?;
+    let module = fcc::frontend::compile_module(&src)?;
+    let single = module.len() == 1;
 
     if o.emit == "cfg" {
-        emit(&func);
+        emit(&module);
         return Ok(());
     }
-
-    // One manager serves every phase; --report shows what that sharing
-    // bought in analysis-cache hits.
-    let mut am = AnalysisManager::new();
-    let mut phases: Vec<PhaseRecord> = Vec::new();
-
-    let t0 = Instant::now();
-    let timer = PhaseTimer::start("build-ssa", &am);
-    let ssa_stats = build_ssa_with(&mut func, SsaFlavor::Pruned, o.fold, &mut am);
-    phases.push(timer.finish_with(&am, &ssa_stats));
-    let mut opt_summary: Option<fcc::opt::RunSummary> = None;
-    if o.opt {
-        let timer = PhaseTimer::start("optimise", &am);
-        // φ-web destruction (briggs pipelines) needs copies kept alive;
-        // copy propagation is standalone copy folding and would merge
-        // interfering webs (see fcc_opt::copy_preserving_pipeline).
-        let pm = if matches!(o.pipeline.as_str(), "briggs" | "briggs-star") {
-            copy_preserving_pipeline()
-        } else {
-            standard_pipeline()
-        };
-        let summary = if o.verify_each {
-            pm.run_verified(&mut func, &mut am, LintStage::Ssa)
-                .map_err(|v| format!("--verify-each: {v}\n{}", v.report.render_text(&func)))?
-        } else {
-            pm.run(&mut func, &mut am)
-        };
-        phases.push(timer.finish(&am));
-        if o.stats {
-            eprintln!("; optimiser: {} rounds to fixpoint", summary.rounds);
-        }
-        opt_summary = Some(summary);
-    }
-    verify_ssa(&func).map_err(|e| format!("internal: invalid SSA: {e}"))?;
-    if o.emit == "ssa" {
-        emit(&func);
-        return Ok(());
-    }
-
-    let mut trace: Option<DestructionTrace> = None;
-    let copies = match o.pipeline.as_str() {
-        "new" | "new-cut" => {
-            let opts = fcc::core::CoalesceOptions {
-                split_strategy: if o.pipeline == "new-cut" {
-                    fcc::core::SplitStrategy::EdgeCut
-                } else {
-                    fcc::core::SplitStrategy::RemoveMember
-                },
-                ..Default::default()
-            };
-            let timer = PhaseTimer::start("coalesce-new", &am);
-            let s = if o.verify_each {
-                let (s, t) = coalesce_ssa_traced(&mut func, &opts, &mut am);
-                trace = Some(t);
-                s
-            } else {
-                coalesce_ssa_managed(&mut func, &opts, &mut am)
-            };
-            phases.push(timer.finish_with(&am, &s));
-            if o.stats {
-                eprintln!(
-                    "; new: {} copies, {} filter, {} forest splits, {} local splits, {} B peak",
-                    s.copies_inserted,
-                    s.filter_copies,
-                    s.forest_splits,
-                    s.local_splits,
-                    s.peak_bytes
-                );
-            }
-            s.copies_inserted
-        }
-        "standard" => {
-            let timer = PhaseTimer::start("destruct-standard", &am);
-            let s = if o.verify_each {
-                let (s, t) = destruct_standard_traced(&mut func, &mut am);
-                trace = Some(t);
-                s
-            } else {
-                destruct_standard_with(&mut func, &mut am)
-            };
-            phases.push(timer.finish_with(&am, &s));
-            if o.stats {
-                eprintln!(
-                    "; standard: {} copies, {} cycle temps",
-                    s.copies_inserted, s.cycle_temps
-                );
-            }
-            s.copies_inserted
-        }
-        "sreedhar" => {
-            let timer = PhaseTimer::start("sreedhar-i", &am);
-            let s = if o.verify_each {
-                let (s, t) = fcc::ssa::destruct_sreedhar_i_traced(&mut func);
-                trace = Some(t);
-                s
-            } else {
-                fcc::ssa::destruct_sreedhar_i(&mut func)
-            };
-            phases.push(timer.finish_with(&am, &s));
-            if o.stats {
-                eprintln!("; sreedhar-i: {} isolation copies", s.copies_inserted);
-            }
-            s.copies_inserted
-        }
-        "briggs" | "briggs-star" => {
-            if o.fold {
-                return Err(
-                    "the briggs pipelines need --no-fold (phi webs must be interference-free)"
-                        .into(),
-                );
-            }
-            let timer = PhaseTimer::start("webs", &am);
-            let w = if o.verify_each {
-                let (w, t) = destruct_via_webs_traced(&mut func);
-                trace = Some(t);
-                w
-            } else {
-                destruct_via_webs(&mut func)
-            };
-            phases.push(timer.finish_with(&am, &w));
-            let mode = if o.pipeline == "briggs" {
-                GraphMode::Full
-            } else {
-                GraphMode::Restricted
-            };
-            let timer = PhaseTimer::start("briggs-coalesce", &am);
-            let s = coalesce_copies_managed(
-                &mut func,
-                &BriggsOptions {
-                    mode,
-                    ..Default::default()
-                },
-                &mut am,
-            );
-            phases.push(timer.finish_with(&am, &s));
-            if o.stats {
-                eprintln!(
-                    "; {}: {} removed, {} remaining, {} passes, {} B peak matrix",
-                    o.pipeline,
-                    s.copies_removed,
-                    s.copies_remaining,
-                    s.passes.len(),
-                    s.peak_matrix_bytes()
-                );
-            }
-            s.copies_remaining
-        }
-        other => return Err(format!("unknown pipeline {other}\n{}", usage())),
+    let Some(pipeline) = PipelineSpec::parse(&o.pipeline) else {
+        return Err(format!("unknown pipeline {}\n{}", o.pipeline, usage()));
     };
-    if let Some(trace) = &trace {
-        // --verify-each: lint the destructed function and audit the
-        // run's congruence classes and Waiting copies independently.
-        let mut fresh = AnalysisManager::new();
-        let mut report = fcc::lint::lint_function(&func, &mut fresh, LintStage::Final);
-        report.diagnostics.extend(audit_destruction(trace));
-        if report.has_errors() {
-            return Err(format!(
-                "--verify-each: destruction pipeline '{}' failed the lint suite\n{}",
-                o.pipeline,
-                report.render_text(&func)
-            ));
-        }
-        if o.stats {
-            eprintln!(
-                "; verify-each: destruction audit clean ({} warning(s))",
-                report.warning_count()
-            );
-        }
+    if !matches!(o.emit.as_str(), "ssa" | "final") {
+        return Err(format!("unknown emit stage {}\n{}", o.emit, usage()));
     }
-    if o.simplify {
-        let timer = PhaseTimer::start("simplify-cfg", &am);
-        simplify_cfg_with(&mut func, &mut am);
-        phases.push(timer.finish(&am));
+    let cfg = CompileConfig {
+        pipeline,
+        fold: o.fold,
+        opt: o.opt,
+        verify_each: o.verify_each,
+        simplify: o.simplify,
+        alloc: o.alloc,
+    };
+
+    if o.emit == "ssa" {
+        // Stop the pipeline at verified SSA, per function on the pool.
+        let funcs = module.into_functions();
+        let (results, _timing) = par_map(funcs.len(), o.jobs, |i| {
+            let mut func = funcs[i].clone();
+            let mut am = AnalysisManager::new();
+            build_ssa_with(&mut func, SsaFlavor::Pruned, cfg.fold, &mut am);
+            if cfg.opt {
+                let pm = if cfg.pipeline.needs_no_fold() {
+                    copy_preserving_pipeline()
+                } else {
+                    standard_pipeline()
+                };
+                if cfg.verify_each {
+                    pm.run_verified(&mut func, &mut am, LintStage::Ssa)
+                        .map_err(|v| {
+                            format!("--verify-each: {v}\n{}", v.report.render_text(&func))
+                        })?;
+                } else {
+                    pm.run(&mut func, &mut am);
+                }
+            }
+            verify_ssa(&func).map_err(|e| format!("internal: invalid SSA: {e}"))?;
+            Ok::<Function, String>(func)
+        });
+        let mut funcs = Vec::with_capacity(results.len());
+        for r in results {
+            funcs.push(r?);
+        }
+        emit(Module::from_functions(funcs).expect("names unchanged"));
+        return Ok(());
     }
-    let compile_time = t0.elapsed();
+
+    let outcome = compile_module(module, o.jobs, &cfg)?;
 
     if o.stats {
-        eprintln!(
-            "; {} phis inserted, {} copies folded during SSA; {} static copies in output; \
-             compiled in {:.1} us",
-            ssa_stats.phis_inserted,
-            ssa_stats.copies_folded,
-            func.static_copy_count(),
-            compile_time.as_secs_f64() * 1e6
-        );
-        let _ = copies;
-    }
-
-    if let Some(k) = o.alloc {
-        let timer = PhaseTimer::start("allocate", &am);
-        let alloc = allocate_managed(
-            &mut func,
-            &AllocOptions {
-                registers: k,
-                ..Default::default()
-            },
-            &mut am,
-        )
-        .map_err(|e| format!("allocation failed: {e}"))?;
-        phases.push(timer.finish(&am));
-        if o.stats {
-            eprintln!(
-                "; allocated {k} registers, {} spilled in {} rounds",
-                alloc.spilled.len(),
-                alloc.rounds
-            );
+        for f in &outcome.functions {
+            for line in &f.stat_lines {
+                if single {
+                    eprintln!("; {line}");
+                } else {
+                    eprintln!("; @{}: {line}", f.func.name);
+                }
+            }
+        }
+        if !single {
+            eprintln!("; batch: {}", outcome.timing.render());
         }
     }
 
@@ -614,17 +660,30 @@ fn real_main() -> Result<(), String> {
         emit(format_args!(
             "pipeline report ({}; analysis cache peak {} B):\n{}",
             o.pipeline,
-            am.peak_bytes(),
-            render_phases(&phases)
+            outcome.analysis_peak_bytes(),
+            render_phases(&outcome.merged_phases())
         ));
-        if let Some(summary) = &opt_summary {
+        if let Some(summary) = &outcome.merged_summary() {
             emit(summary.render().trim_end());
+        }
+        if !single {
+            emit(format_args!("batch: {}", outcome.timing.render()));
         }
     }
 
     match o.run {
         Some(args) => {
-            let out = run_with_memory(&func, &args, vec![0; 1 << 21], 1_000_000_000)
+            let final_module = outcome.into_module();
+            let func = match (&o.entry, final_module.len()) {
+                (Some(name), _) => final_module
+                    .get(name)
+                    .ok_or_else(|| format!("--entry: no function @{name} in the module"))?,
+                (None, 1) => &final_module.functions()[0],
+                (None, n) => {
+                    return Err(format!("--run on a {n}-function module needs --entry NAME"))
+                }
+            };
+            let out = run_with_memory(func, &args, vec![0; 1 << 21], 1_000_000_000)
                 .map_err(|e| format!("execution failed: {e}"))?;
             emit(format_args!("{:?}", out.ret));
             if o.stats {
@@ -634,7 +693,7 @@ fn real_main() -> Result<(), String> {
                 );
             }
         }
-        None => emit(&func),
+        None => emit(outcome.into_module()),
     }
     Ok(())
 }

@@ -16,6 +16,7 @@
 //! | [`dataflow`] | sparse abstract interpretation: SCCP, value ranges, known bits (`fcc analyze`) |
 //! | [`ssa`] | SSA construction (3 flavours, copy folding), parallel copies, Standard destruction |
 //! | [`core`] | **the paper's algorithm**: dominance forest + coalescing SSA destruction |
+//! | [`driver`] | batch compilation: work-stealing pool, instrumented pipelines, differential fuzzer (`fcc --jobs`, `fcc fuzz`) |
 //! | [`regalloc`] | interference graphs, Briggs / Briggs\* coalescers, colouring allocator |
 //! | [`interp`] | φ-aware reference interpreter with dynamic-copy accounting |
 //! | [`opt`] | scalar optimiser: DCE, constant folding, copy propagation, CFG simplify |
@@ -62,6 +63,7 @@ pub use fcc_analysis as analysis;
 pub use fcc_bench as bench;
 pub use fcc_core as core;
 pub use fcc_dataflow as dataflow;
+pub use fcc_driver as driver;
 pub use fcc_frontend as frontend;
 pub use fcc_interp as interp;
 pub use fcc_ir as ir;
@@ -80,9 +82,13 @@ pub mod prelude {
         CoalesceOptions, CoalesceStats,
     };
     pub use fcc_dataflow::{FunctionAnalysis, Interval, RangeAnalysis};
+    pub use fcc_driver::{
+        compile_function, compile_module, par_map, resolve_jobs, BatchTiming, CompileConfig,
+        FunctionOutcome, ModuleOutcome, PipelineSpec,
+    };
     pub use fcc_interp::{run, run_with_memory, Outcome};
     pub use fcc_ir::{
-        Block, Diagnostic, Function, FunctionBuilder, Inst, InstKind, Severity, Value,
+        Block, Diagnostic, Function, FunctionBuilder, Inst, InstKind, Module, Severity, Value,
     };
     pub use fcc_lint::{audit_destruction, lint_function, LintReport, LintStage};
     pub use fcc_opt::{

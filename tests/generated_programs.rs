@@ -174,6 +174,45 @@ fn seed_sweep_no_memory_pure_scalar() {
     }
 }
 
+/// The same seeds and interpreter oracle, but batch-compiled as one
+/// module through the parallel driver: the output must be independent
+/// of the job count and must still match the reference per function.
+#[test]
+fn seed_sweep_through_the_parallel_driver() {
+    let cfg = GenConfig::default();
+    let seeds: Vec<u64> = (0..32).collect();
+    let funcs: Vec<Function> = seeds
+        .iter()
+        .map(|&seed| {
+            let mut f = compile_seed(seed, &cfg);
+            f.name = format!("gen{seed}");
+            f
+        })
+        .collect();
+    let module = Module::from_functions(funcs.clone()).expect("unique names");
+    let ccfg = CompileConfig {
+        opt: true,
+        ..Default::default()
+    };
+    let serial = compile_module(module.clone(), 1, &ccfg).expect("serial batch compiles");
+    let wide = compile_module(module, 4, &ccfg).expect("parallel batch compiles");
+    assert_eq!(
+        serial.clone().into_module().to_string(),
+        wide.clone().into_module().to_string(),
+        "job count changed the batch output"
+    );
+    for ((&seed, base), out) in seeds.iter().zip(&funcs).zip(&serial.functions) {
+        let args = [seed as i64 % 17, (seed as i64 / 3) % 11];
+        let reference = run_f(base, &args);
+        assert!(!out.func.has_phis(), "seed {seed}: driver left phis");
+        assert_eq!(
+            reference,
+            run_f(&out.func, &args),
+            "seed {seed}: driver miscompiled"
+        );
+    }
+}
+
 /// Arbitrary seeds and shapes, drawn from a seeded meta-PRNG — a failure
 /// prints the case index, which reproduces the (seed, shape) pair
 /// deterministically. `--features heavy` widens the sweep.

@@ -50,3 +50,88 @@ fn reparsed_ssa_still_verifies() {
         verify_ssa(&g).unwrap_or_else(|e| panic!("{}: {e}", k.name));
     }
 }
+
+/// Destruction-stage output is dense with the sequentialized parallel
+/// copies the other stages never show (including the cycle-breaking
+/// temps the swap idioms force); it must round-trip like any other IR.
+#[test]
+fn destruction_stage_copies_roundtrip() {
+    for k in kernels() {
+        let mut ssa = compile_kernel(k);
+        build_ssa(&mut ssa, SsaFlavor::Pruned, true);
+
+        let mut std_f = ssa.clone();
+        let stats = destruct_standard(&mut std_f);
+        assert_roundtrip(&std_f, &format!("{} (standard destruction)", k.name));
+        if stats.cycle_temps > 0 {
+            // A parallel-copy cycle was broken here; the reparse must
+            // preserve the temp-chain exactly.
+            let g = parse_function(&std_f.to_string()).unwrap();
+            let reference = reference_run(&std_f, k).unwrap();
+            let out = reference_run(&g, k).unwrap();
+            assert_eq!(
+                reference.behavior(),
+                out.behavior(),
+                "{} cycle temps",
+                k.name
+            );
+        }
+
+        let mut cssa = ssa.clone();
+        fcc::ssa::destruct_sreedhar_i(&mut cssa);
+        assert_roundtrip(&cssa, &format!("{} (sreedhar isolation)", k.name));
+    }
+}
+
+/// Multi-function files: a module prints as its functions separated by
+/// blank lines and must round-trip through `parse_module` at the CFG
+/// stage and after destruction, in both the IR and MiniLang formats.
+#[test]
+fn multi_function_modules_roundtrip() {
+    use fcc::ir::parse::parse_module;
+
+    let names = ["saxpy", "tomcatv", "clampx"];
+    let funcs: Vec<Function> = names
+        .iter()
+        .map(|n| compile_kernel(fcc::workloads::kernel(n).unwrap()))
+        .collect();
+    let module = Module::from_functions(funcs).unwrap();
+    let printed = module.to_string();
+    let reparsed = parse_module(&printed).unwrap();
+    assert_eq!(printed, reparsed.to_string(), "cfg module not a fixpoint");
+    assert_eq!(reparsed.len(), 3);
+
+    // After batch destruction the module must still round-trip.
+    let out = compile_module(module, 2, &CompileConfig::default()).unwrap();
+    let compiled = out.into_module();
+    let printed = compiled.to_string();
+    let reparsed = parse_module(&printed).unwrap();
+    assert_eq!(
+        printed,
+        reparsed.to_string(),
+        "destructed module not a fixpoint"
+    );
+    for (f, n) in reparsed.functions().iter().zip(names) {
+        assert_eq!(f.name, n, "module order changed");
+        assert!(!f.has_phis());
+    }
+
+    // The MiniLang frontend accepts multi-function sources too, and the
+    // frontend printer round-trips them.
+    let src = "fn double(x) { return x * 2; }\n\nfn quad(x) { return x * 4; }\n";
+    let programs = fcc::frontend::parse_module(src).unwrap();
+    assert_eq!(programs.len(), 2);
+    let reprinted: Vec<String> = programs.iter().map(fcc::frontend::to_source).collect();
+    let reparsed = fcc::frontend::parse_module(&reprinted.join("\n\n")).unwrap();
+    assert_eq!(
+        reparsed
+            .iter()
+            .map(fcc::frontend::to_source)
+            .collect::<Vec<_>>(),
+        reprinted,
+        "frontend print/parse not a fixpoint"
+    );
+    let module = fcc::frontend::compile_module(src).unwrap();
+    assert_eq!(module.len(), 2);
+    assert!(module.get("quad").is_some());
+}
