@@ -1,0 +1,133 @@
+//! Process-global fault-injection registry.
+//!
+//! The fault-tolerance layer in `fcc-driver` is only trustworthy if every
+//! rung of its recovery ladder is exercised by a *real* injected fault, in
+//! the *real* code path — not by a mock. This module holds the armed
+//! injections; the instrumentation hooks (`PhaseTimer::start`, the pass
+//! manager, the dataflow solver) query it at their entry points. The
+//! registry lives here, in the lowest shared crate, because the solver in
+//! `fcc-dataflow` must be able to observe the spin injection and cannot
+//! depend on `fcc-opt` (which depends on it). `fcc_opt::fault` re-exports
+//! this surface and adds the `Function`-mutating corruption injection.
+//!
+//! All flags are process-global (the driver's worker pool spans threads),
+//! so tests that arm them must serialise on a lock and disarm on exit —
+//! see `tests/fault_tolerance.rs`. The fast path is a single relaxed
+//! atomic load: with nothing armed, [`maybe_panic`] and friends cost one
+//! branch.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Count of armed injections; zero means every query short-circuits.
+static ARMED: AtomicUsize = AtomicUsize::new(0);
+
+static PANIC_IN: Mutex<Option<String>> = Mutex::new(None);
+static SOLVER_SPIN: AtomicBool = AtomicBool::new(false);
+static VIOLATE_AFTER: Mutex<Option<String>> = Mutex::new(None);
+
+fn retarget(slot: &Mutex<Option<String>>, pass: Option<&str>) {
+    let mut guard = slot.lock().unwrap();
+    let was = guard.is_some();
+    *guard = pass.map(str::to_string);
+    match (was, pass.is_some()) {
+        (false, true) => {
+            ARMED.fetch_add(1, Ordering::SeqCst);
+        }
+        (true, false) => {
+            ARMED.fetch_sub(1, Ordering::SeqCst);
+        }
+        _ => {}
+    }
+}
+
+fn matches(slot: &Mutex<Option<String>>, label: &str) -> bool {
+    slot.lock().unwrap().as_deref() == Some(label)
+}
+
+/// Arm (or with `None` disarm) a panic at entry to the named pass/phase.
+pub fn inject_panic_in(pass: Option<&str>) {
+    retarget(&PANIC_IN, pass);
+}
+
+/// Arm or disarm an infinite busy-loop at entry to the dataflow solver.
+/// Only a fuel budget bounds it — that is the point.
+pub fn inject_solver_spin(on: bool) {
+    if SOLVER_SPIN.swap(on, Ordering::SeqCst) != on {
+        if on {
+            ARMED.fetch_add(1, Ordering::SeqCst);
+        } else {
+            ARMED.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Arm (or with `None` disarm) an IR corruption applied right after the
+/// named pass runs (the corruption itself lives in `fcc_opt::fault`,
+/// which can see `Function`).
+pub fn inject_verifier_violation_after(pass: Option<&str>) {
+    retarget(&VIOLATE_AFTER, pass);
+}
+
+/// Disarm everything. Test teardown convenience.
+pub fn clear_injections() {
+    inject_panic_in(None);
+    inject_solver_spin(false);
+    inject_verifier_violation_after(None);
+}
+
+/// True while any injection is armed (one relaxed load).
+pub fn any_armed() -> bool {
+    ARMED.load(Ordering::Relaxed) != 0
+}
+
+/// Hook: panic if a panic injection targets `label`.
+pub fn maybe_panic(label: &str) {
+    if any_armed() && matches(&PANIC_IN, label) {
+        panic!("injected panic in pass '{label}'");
+    }
+}
+
+/// Hook: should the dataflow solver spin forever?
+pub fn solver_spin() -> bool {
+    any_armed() && SOLVER_SPIN.load(Ordering::Relaxed)
+}
+
+/// Hook: is `label` the pass after which the IR should be corrupted?
+pub fn violation_target(label: &str) -> bool {
+    any_armed() && matches(&VIOLATE_AFTER, label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test exercises the whole registry: the flags are process-global
+    // and tests in one binary run concurrently.
+    #[test]
+    fn arming_and_disarming_round_trips() {
+        assert!(!any_armed());
+        assert!(!solver_spin());
+
+        inject_panic_in(Some("coalesce-new"));
+        assert!(any_armed());
+        maybe_panic("build-ssa"); // wrong pass: no panic
+        let r = std::panic::catch_unwind(|| maybe_panic("coalesce-new"));
+        let payload = r.expect_err("armed pass must panic");
+        let msg = payload.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("injected panic in pass 'coalesce-new'"));
+
+        inject_solver_spin(true);
+        inject_solver_spin(true); // idempotent
+        assert!(solver_spin());
+        inject_verifier_violation_after(Some("range-fold"));
+        assert!(violation_target("range-fold"));
+        assert!(!violation_target("const-fold"));
+
+        clear_injections();
+        assert!(!any_armed());
+        assert!(!solver_spin());
+        assert!(!violation_target("range-fold"));
+        maybe_panic("coalesce-new"); // disarmed: no panic
+    }
+}

@@ -1,0 +1,207 @@
+//! Fuel budgets: an externally enforced bound on iterative algorithms.
+//!
+//! The fixpoint loops in this workspace (the sparse dataflow solver, the
+//! dominance-forest walks, parallel-copy sequentialisation, the pass
+//! manager itself) are all proven to terminate — *when their transfer
+//! functions are correct*. A bug in any of them means a hang, which a
+//! batch driver cannot distinguish from a slow function. Fuel turns that
+//! hang into a structured, attributable error: the driver installs a
+//! [`Fuel`] budget for the current thread, the loops call [`checkpoint`]
+//! once per unit of work, and an exhausted budget unwinds with a typed
+//! [`FuelExhausted`] payload naming the pass that was running.
+//!
+//! Unwinding (rather than returning `Result` from every loop) is
+//! deliberate: the loops are called from dozens of infallible signatures
+//! (`Liveness::compute`-style), and the driver already catches panics
+//! per function — fuel exhaustion rides the same containment path, and
+//! [`FuelExhausted`] is recognised by its payload type when the panic is
+//! caught (`fcc_core::CompileError::from_panic`).
+//!
+//! The handle is a shared atomic counter, so the spent figure survives
+//! the unwind and clones of the handle observe one budget. With no fuel
+//! installed (the default), [`checkpoint`] still counts steps on the
+//! thread's implicit unlimited budget — a compile outside the driver
+//! behaves exactly as before.
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared step budget. Cloning shares the counter.
+#[derive(Clone, Debug)]
+pub struct Fuel {
+    inner: Arc<FuelInner>,
+}
+
+#[derive(Debug)]
+struct FuelInner {
+    spent: AtomicU64,
+    limit: u64,
+}
+
+impl Fuel {
+    /// A budget of `limit` steps; the checkpoint that crosses it panics
+    /// with [`FuelExhausted`].
+    pub fn limited(limit: u64) -> Fuel {
+        Fuel {
+            inner: Arc::new(FuelInner {
+                spent: AtomicU64::new(0),
+                limit,
+            }),
+        }
+    }
+
+    /// A counting-only budget that never exhausts.
+    pub fn unlimited() -> Fuel {
+        Fuel::limited(u64::MAX)
+    }
+
+    /// Steps charged so far.
+    pub fn spent(&self) -> u64 {
+        self.inner.spent.load(Ordering::Relaxed)
+    }
+
+    /// The installed limit (`u64::MAX` for unlimited).
+    pub fn limit(&self) -> u64 {
+        self.inner.limit
+    }
+
+    /// Charge `steps`; `Err(total)` once the budget is crossed.
+    fn charge(&self, steps: u64) -> Result<(), u64> {
+        let spent = self.inner.spent.fetch_add(steps, Ordering::Relaxed) + steps;
+        if spent > self.inner.limit {
+            Err(spent)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// The typed panic payload of an exhausted budget. Catchers downcast the
+/// payload to this type to tell a fuel stop from a genuine crash.
+#[derive(Clone, Debug)]
+pub struct FuelExhausted {
+    /// The pass/phase label current when the budget ran out (see
+    /// [`set_pass`]).
+    pub pass: String,
+    /// Steps charged when the checkpoint fired (≥ the limit).
+    pub spent: u64,
+}
+
+impl std::fmt::Display for FuelExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "fuel exhausted in pass '{}' after {} step(s)",
+            self.pass, self.spent
+        )
+    }
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<Fuel>> = const { RefCell::new(None) };
+    static PASS: Cell<&'static str> = const { Cell::new("<start>") };
+}
+
+/// Install `fuel` as this thread's budget for the duration of `f`
+/// (restored on return *and* on unwind, so nested scopes compose).
+pub fn with_fuel<R>(fuel: &Fuel, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Fuel>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0.take();
+            ACTIVE.with(|a| *a.borrow_mut() = prev);
+        }
+    }
+    let prev = ACTIVE.with(|a| a.borrow_mut().replace(fuel.clone()));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Record the pass/phase now running on this thread, for attribution of
+/// fuel stops and contained panics. Labels are the `&'static str` names
+/// the instrumentation layer already uses (`"build-ssa"`, `"range-fold"`,
+/// …).
+pub fn set_pass(label: &'static str) {
+    PASS.with(|p| p.set(label));
+}
+
+/// The label most recently passed to [`set_pass`] on this thread.
+pub fn current_pass() -> &'static str {
+    PASS.with(|p| p.get())
+}
+
+/// Charge `steps` against the thread's budget, if one is installed.
+///
+/// # Panics
+/// Unwinds with a [`FuelExhausted`] payload when the charge crosses the
+/// installed limit. Never panics without an installed (limited) budget.
+pub fn checkpoint(steps: u64) {
+    let over = ACTIVE.with(|a| match a.borrow().as_ref() {
+        Some(fuel) => fuel.charge(steps).err(),
+        None => None,
+    });
+    if let Some(spent) = over {
+        std::panic::panic_any(FuelExhausted {
+            pass: current_pass().to_string(),
+            spent,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn checkpoint_without_a_budget_is_free() {
+        checkpoint(1_000_000);
+    }
+
+    #[test]
+    fn exhaustion_unwinds_with_the_typed_payload() {
+        let fuel = Fuel::limited(10);
+        set_pass("unit-test");
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            with_fuel(&fuel, || {
+                for _ in 0..100 {
+                    checkpoint(1);
+                }
+            })
+        }));
+        let payload = r.expect_err("budget of 10 must not admit 100 steps");
+        let fe = payload
+            .downcast_ref::<FuelExhausted>()
+            .expect("payload is FuelExhausted");
+        assert_eq!(fe.pass, "unit-test");
+        assert!(fe.spent > 10);
+        assert_eq!(fuel.spent(), fe.spent, "the shared counter survives");
+        // The budget was uninstalled during the unwind.
+        checkpoint(1_000);
+    }
+
+    #[test]
+    fn unlimited_budget_counts_but_never_stops() {
+        let fuel = Fuel::unlimited();
+        with_fuel(&fuel, || {
+            for _ in 0..1000 {
+                checkpoint(3);
+            }
+        });
+        assert_eq!(fuel.spent(), 3000);
+    }
+
+    #[test]
+    fn nested_scopes_restore_the_outer_budget() {
+        let outer = Fuel::unlimited();
+        let inner = Fuel::unlimited();
+        with_fuel(&outer, || {
+            checkpoint(1);
+            with_fuel(&inner, || checkpoint(5));
+            checkpoint(1);
+        });
+        assert_eq!(outer.spent(), 2);
+        assert_eq!(inner.spent(), 5);
+    }
+}

@@ -17,7 +17,12 @@
 //!   "innermost loops first" coalescing heuristic;
 //! * [`manager::AnalysisManager`] — epoch-keyed caching of all of the
 //!   above, with [`manager::PreservedAnalyses`]-driven invalidation, so
-//!   pipelines recompute an analysis only when the function changed.
+//!   pipelines recompute an analysis only when the function changed;
+//! * [`fuel::Fuel`] — thread-installed step budgets that bound every
+//!   fixpoint loop in the workspace, unwinding with a typed
+//!   [`fuel::FuelExhausted`] payload the batch driver catches;
+//! * [`fault`] — the process-global fault-injection registry used to
+//!   exercise the driver's recovery ladder with real faults.
 //!
 //! ## Example
 //!
@@ -44,6 +49,8 @@
 pub mod bitmatrix;
 pub mod bitset;
 pub mod domtree;
+pub mod fault;
+pub mod fuel;
 pub mod liveness;
 pub mod loops;
 pub mod manager;
@@ -52,6 +59,7 @@ pub mod unionfind;
 pub use bitmatrix::TriangularBitMatrix;
 pub use bitset::BitSet;
 pub use domtree::{DomTree, DominanceFrontiers};
+pub use fuel::{Fuel, FuelExhausted};
 pub use liveness::Liveness;
 pub use loops::LoopNesting;
 pub use manager::{AnalysisCounters, AnalysisManager, HitMiss, PreservedAnalyses};

@@ -405,6 +405,7 @@ fn coalesce_prepared_impl(
     };
 
     for group in &groups {
+        fcc_analysis::fuel::checkpoint(1);
         let members: Vec<Value> = group
             .iter()
             .map(|&vi| Value::new(vi))
@@ -470,6 +471,7 @@ fn coalesce_prepared_impl(
     // Rewrite every instruction into the class namespace.
     let all_blocks: Vec<Block> = func.blocks().collect();
     for b in all_blocks {
+        fcc_analysis::fuel::checkpoint(1);
         let insts: Vec<Inst> = func.block_insts(b).to_vec();
         for inst in insts {
             let data = func.inst_mut(inst);
@@ -553,6 +555,7 @@ fn resolve_by_removal(
     // Nodes come out in a valid preorder, so ancestors are processed (and
     // possibly marked removed) before descendants.
     for idx in 0..nodes.len() {
+        fcc_analysis::fuel::checkpoint(1);
         let c = &nodes[idx];
         // Effective parent: nearest non-removed forest ancestor.
         let mut anc = c.parent;
@@ -613,6 +616,7 @@ fn resolve_by_cutting(
     let mut work: Vec<Vec<Value>> = vec![members.to_vec()];
 
     while let Some(class) = work.pop() {
+        fcc_analysis::fuel::checkpoint(1);
         if class.len() < 2 {
             done.push(class);
             continue;

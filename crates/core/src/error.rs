@@ -1,0 +1,138 @@
+//! The compile-error taxonomy the fault-tolerant driver reports.
+//!
+//! Three things can go wrong while compiling one function, and the
+//! degradation ladder treats them uniformly but reports them distinctly:
+//!
+//! * [`CompileError::Panic`] — a pass crashed. The panic was caught at
+//!   the per-function `catch_unwind` boundary; the offending pass comes
+//!   from the thread-local label maintained by
+//!   [`fcc_analysis::fuel::set_pass`] (the same label stream the
+//!   `--verify-each` machinery and the phase timers use).
+//! * [`CompileError::FuelExhausted`] — an iterative algorithm crossed
+//!   the installed [`fcc_analysis::Fuel`] budget. Recognised by
+//!   downcasting the caught panic payload to
+//!   [`fcc_analysis::FuelExhausted`], so a hang and a crash share one
+//!   containment path but never one diagnosis.
+//! * [`CompileError::Rejected`] — the compile returned an error of its
+//!   own accord: a verifier/lint violation (possibly attributed to a
+//!   pass by `PassManager::run_verified`), a failed destruction audit,
+//!   or an unsupported configuration.
+
+use fcc_analysis::FuelExhausted;
+
+/// Why one function failed to compile. See the module docs for the
+/// taxonomy.
+#[derive(Clone, Debug)]
+pub enum CompileError {
+    /// A pass panicked; `payload` is the stringified panic message.
+    Panic { pass: String, payload: String },
+    /// The fuel budget ran out; `spent` is the step count at the stop.
+    FuelExhausted { pass: String, spent: u64 },
+    /// The compile pipeline itself reported an error (verifier, lint,
+    /// audit, or configuration).
+    Rejected { detail: String },
+}
+
+impl CompileError {
+    /// Classify a payload caught by `catch_unwind`: a typed
+    /// [`FuelExhausted`] becomes [`CompileError::FuelExhausted`];
+    /// anything else becomes [`CompileError::Panic`] attributed to
+    /// `pass_hint` (the thread's current pass label at catch time).
+    pub fn from_panic(payload: Box<dyn std::any::Any + Send>, pass_hint: &str) -> CompileError {
+        match payload.downcast::<FuelExhausted>() {
+            Ok(fe) => CompileError::FuelExhausted {
+                pass: fe.pass.clone(),
+                spent: fe.spent,
+            },
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "opaque panic payload".to_string());
+                CompileError::Panic {
+                    pass: pass_hint.to_string(),
+                    payload: msg,
+                }
+            }
+        }
+    }
+
+    /// The offending pass, when the error carries one.
+    pub fn pass(&self) -> Option<&str> {
+        match self {
+            CompileError::Panic { pass, .. } | CompileError::FuelExhausted { pass, .. } => {
+                Some(pass)
+            }
+            CompileError::Rejected { .. } => None,
+        }
+    }
+
+    /// Short machine-readable class name (`panic` / `fuel` / `rejected`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CompileError::Panic { .. } => "panic",
+            CompileError::FuelExhausted { .. } => "fuel",
+            CompileError::Rejected { .. } => "rejected",
+        }
+    }
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Panic { pass, payload } => {
+                write!(f, "panic in pass '{pass}': {payload}")
+            }
+            CompileError::FuelExhausted { pass, spent } => {
+                write!(f, "fuel exhausted in pass '{pass}' after {spent} step(s)")
+            }
+            // Rejections carry pre-formatted pipeline diagnostics (lint
+            // reports span lines); pass them through verbatim.
+            CompileError::Rejected { detail } => f.write_str(detail),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn fuel_payloads_are_recognised_by_type() {
+        let fuel = fcc_analysis::Fuel::limited(1);
+        let payload = catch_unwind(AssertUnwindSafe(|| {
+            fcc_analysis::fuel::set_pass("range-fold");
+            fcc_analysis::fuel::with_fuel(&fuel, || fcc_analysis::fuel::checkpoint(5))
+        }))
+        .expect_err("must exhaust");
+        let e = CompileError::from_panic(payload, "whatever");
+        match &e {
+            CompileError::FuelExhausted { pass, spent } => {
+                assert_eq!(pass, "range-fold");
+                assert_eq!(*spent, 5);
+            }
+            other => panic!("expected FuelExhausted, got {other:?}"),
+        }
+        assert_eq!(e.kind(), "fuel");
+        assert_eq!(e.pass(), Some("range-fold"));
+        assert!(e.to_string().contains("'range-fold'"));
+    }
+
+    #[test]
+    fn str_and_string_panics_become_panic_errors() {
+        let payload = catch_unwind(|| panic!("plain literal")).expect_err("panics");
+        let e = CompileError::from_panic(payload, "coalesce-new");
+        assert_eq!(e.kind(), "panic");
+        assert_eq!(e.pass(), Some("coalesce-new"));
+        assert!(e.to_string().contains("coalesce-new"));
+        assert!(e.to_string().contains("plain literal"));
+
+        let formatted = catch_unwind(|| panic!("with {}", 42)).expect_err("panics");
+        let e = CompileError::from_panic(formatted, "webs");
+        assert!(e.to_string().contains("with 42"));
+    }
+}

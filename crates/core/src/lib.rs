@@ -51,6 +51,7 @@
 
 pub mod coalesce;
 pub mod dforest;
+pub mod error;
 pub mod mincut;
 
 pub use coalesce::{
@@ -58,6 +59,7 @@ pub use coalesce::{
     CoalesceOptions, CoalesceStats, SplitHeuristic, SplitStrategy,
 };
 pub use dforest::{DfNode, DominanceForest};
+pub use error::CompileError;
 
 #[cfg(test)]
 mod tests {

@@ -164,6 +164,14 @@ struct Solver<'a, T: Transfer> {
 /// Run `t` to fixpoint over the strict-SSA function `func`, pulling the
 /// CFG, dominator tree, and loop nesting from `am`.
 pub fn solve<T: Transfer>(func: &Function, am: &mut AnalysisManager, t: &T) -> Solution<T::Fact> {
+    // Fault-injection point: an armed solver-spin models a transfer
+    // function that never converges. Only the installed fuel budget
+    // bounds it — with unlimited fuel this genuinely hangs, which is
+    // exactly the failure mode the budget exists to contain.
+    while fcc_analysis::fault::solver_spin() {
+        fcc_analysis::fuel::checkpoint(1);
+        std::hint::spin_loop();
+    }
     let cfg = am.cfg(func);
     let dt = am.domtree(func);
     let loops = am.loops(func);
@@ -367,6 +375,7 @@ impl<T: Transfer> Solver<'_, T> {
     }
 
     fn process_inst(&mut self, b: Block, i: Inst) {
+        fcc_analysis::fuel::checkpoint(1);
         let func = self.func;
         let data = func.inst(i);
         match (&data.kind, data.dst) {

@@ -30,7 +30,7 @@ use fcc_ssa::{
     destruct_standard_with, verify_ssa, DestructionTrace, SsaFlavor,
 };
 
-use crate::pool::{par_map, BatchTiming};
+use crate::pool::BatchTiming;
 use crate::report::{merge_phases, PhaseRecord, PhaseTimer};
 
 /// The destruction pipeline to run, covering every algorithm the CLI
@@ -369,25 +369,7 @@ impl ModuleOutcome {
     /// Optimiser summaries merged by pass name: applications and
     /// instruction deltas summed, rounds reported as the maximum.
     pub fn merged_summary(&self) -> Option<RunSummary> {
-        let mut merged: Option<RunSummary> = None;
-        for o in &self.functions {
-            let Some(s) = &o.opt_summary else { continue };
-            let m = merged.get_or_insert(RunSummary {
-                rounds: 0,
-                passes: Vec::new(),
-            });
-            m.rounds = m.rounds.max(s.rounds);
-            for p in &s.passes {
-                match m.passes.iter_mut().find(|q| q.name == p.name) {
-                    Some(q) => {
-                        q.applications += p.applications;
-                        q.insts_removed += p.insts_removed;
-                    }
-                    None => m.passes.push(p.clone()),
-                }
-            }
-        }
-        merged
+        merge_summaries(self.functions.iter())
     }
 
     /// Peak analysis-cache bytes over the workers (they do not share a
@@ -401,8 +383,42 @@ impl ModuleOutcome {
     }
 }
 
+/// Merge optimiser summaries by pass name across function outcomes:
+/// applications and instruction deltas summed, rounds reported as the
+/// maximum. Shared by [`ModuleOutcome`] and
+/// [`crate::recover::BatchOutcome`].
+pub fn merge_summaries<'a>(
+    outcomes: impl Iterator<Item = &'a FunctionOutcome>,
+) -> Option<RunSummary> {
+    let mut merged: Option<RunSummary> = None;
+    for o in outcomes {
+        let Some(s) = &o.opt_summary else { continue };
+        let m = merged.get_or_insert(RunSummary {
+            rounds: 0,
+            passes: Vec::new(),
+        });
+        m.rounds = m.rounds.max(s.rounds);
+        for p in &s.passes {
+            match m.passes.iter_mut().find(|q| q.name == p.name) {
+                Some(q) => {
+                    q.applications += p.applications;
+                    q.insts_removed += p.insts_removed;
+                }
+                None => m.passes.push(p.clone()),
+            }
+        }
+    }
+    merged
+}
+
 /// Compile every function of `module` on `jobs` worker threads
 /// (`0` = available parallelism) and merge outcomes in module order.
+///
+/// Runs through the fault-tolerant path
+/// ([`crate::recover::compile_module_guarded`]) with the default
+/// [`crate::recover::FaultPolicy`] — abort on first failure, no fuel
+/// limit — so a panicking pass surfaces as this function's `Err`, not
+/// as a process abort.
 ///
 /// # Errors
 /// The first failing function (in module order, regardless of which
@@ -412,18 +428,13 @@ pub fn compile_module(
     jobs: usize,
     cfg: &CompileConfig,
 ) -> Result<ModuleOutcome, String> {
-    let funcs = module.into_functions();
-    let (results, timing) = par_map(funcs.len(), jobs, |i| {
-        compile_function(funcs[i].clone(), cfg).map_err(|e| format!("@{}: {e}", funcs[i].name))
-    });
-    let mut outcomes = Vec::with_capacity(results.len());
-    for r in results {
-        outcomes.push(r?);
-    }
-    Ok(ModuleOutcome {
-        functions: outcomes,
-        timing,
-    })
+    crate::recover::compile_module_guarded(
+        module,
+        jobs,
+        cfg,
+        &crate::recover::FaultPolicy::default(),
+    )
+    .into_module_outcome()
 }
 
 #[cfg(test)]

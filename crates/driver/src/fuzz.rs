@@ -10,16 +10,20 @@
 //!    recorded trace (congruence classes, Waiting-copy discipline).
 //! 3. **Structural verification** — no surviving φs, `verify_function`
 //!    clean.
-//! 4. **Panic containment** — a panicking phase counts as a failure for
-//!    that seed instead of killing the run.
+//! 4. **Failure containment** — each seed runs under the batch driver's
+//!    own [`crate::recover::contain`] boundary (`catch_unwind` plus an
+//!    optional [`FuzzConfig::fuel`] budget), so a panicking phase or a
+//!    non-terminating fixpoint loop counts as a failure for that seed
+//!    instead of killing the run. Fuzz and batch share one containment
+//!    mechanism.
 //!
 //! On failure the greedy AST shrinker (`fcc_workloads::shrink`) re-runs
 //! the same oracle on ever-smaller candidates and reports a minimal
-//! MiniLang repro, printable with [`fcc_frontend::to_source`].
+//! MiniLang repro, printable with [`fcc_frontend::to_source`]. A
+//! candidate only counts when it fails in the same [`failure_class`]
+//! (lowering / fuel exhaustion / pipeline) as the original finding.
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
-
-use fcc_analysis::AnalysisManager;
+use fcc_analysis::{fuel, AnalysisManager};
 use fcc_core::{coalesce_ssa_traced, CoalesceOptions};
 use fcc_frontend::{ast::Program, lower_program};
 use fcc_interp::run_with_memory;
@@ -53,6 +57,9 @@ pub struct FuzzConfig {
     pub shape: GenConfig,
     /// Max oracle evaluations the shrinker may spend per failure.
     pub shrink_budget: usize,
+    /// Per-seed fuel budget for the compile pipelines (`None` =
+    /// unlimited); exhaustion is its own shrinkable failure class.
+    pub fuel: Option<u64>,
 }
 
 impl Default for FuzzConfig {
@@ -64,6 +71,7 @@ impl Default for FuzzConfig {
             opt: true,
             shape: GenConfig::default(),
             shrink_budget: 4000,
+            fuel: None,
         }
     }
 }
@@ -105,17 +113,30 @@ pub struct FuzzOutcome {
 /// relies on this to reject candidates it broke itself, e.g. by
 /// rewriting a divisor to zero).
 pub fn check_program(prog: &Program, opt: bool) -> Result<(), String> {
+    check_program_with(prog, opt, None)
+}
+
+/// [`check_program`] with an explicit per-seed fuel budget, run under
+/// the batch driver's containment boundary ([`crate::recover::contain`])
+/// so panics and fuel stops are classified exactly as batch compilation
+/// classifies them.
+pub fn check_program_with(prog: &Program, opt: bool, fuel: Option<u64>) -> Result<(), String> {
     let prog = prog.clone();
-    match catch_unwind(AssertUnwindSafe(move || check_program_inner(&prog, opt))) {
-        Ok(r) => r,
-        Err(e) => {
-            let msg = e
-                .downcast_ref::<&str>()
-                .map(|s| s.to_string())
-                .or_else(|| e.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "non-string panic payload".into());
-            Err(format!("panicked: {msg}"))
-        }
+    let (result, _spent) = crate::recover::contain(fuel, move || check_program_inner(&prog, opt));
+    result.map_err(|e| e.to_string())
+}
+
+/// The shrinker's failure classes. Dropping a `let` orphans its uses and
+/// such a candidate fails to *lower*; likewise a candidate that merely
+/// runs out of fuel is a different finding than a miscompile. A shrink
+/// candidate only counts when its failure class matches the original's.
+pub fn failure_class(detail: &str) -> &'static str {
+    if detail.starts_with("lowering failed") {
+        "lowering"
+    } else if detail.starts_with("fuel exhausted") {
+        "fuel"
+    } else {
+        "pipeline"
     }
 }
 
@@ -167,8 +188,11 @@ fn check_program_inner(prog: &Program, opt: bool) -> Result<(), String> {
     };
 
     // Folded SSA, optionally optimised — shared by New and Standard.
+    // Pass labels keep panic / fuel attribution accurate here exactly as
+    // in batch compilation (the pass manager refines them per pass).
     let mut am = AnalysisManager::new();
     let mut ssa = base.clone();
+    fuel::set_pass("build-ssa");
     build_ssa_with(&mut ssa, SsaFlavor::Pruned, true, &mut am);
     if opt {
         standard_pipeline().run(&mut ssa, &mut am);
@@ -178,6 +202,7 @@ fn check_program_inner(prog: &Program, opt: bool) -> Result<(), String> {
     {
         let mut f = ssa.clone();
         let mut am = AnalysisManager::new();
+        fuel::set_pass("coalesce-new");
         let (_, trace) = coalesce_ssa_traced(&mut f, &CoalesceOptions::default(), &mut am);
         audit("new", &trace)?;
         check("new", &f)?;
@@ -185,6 +210,7 @@ fn check_program_inner(prog: &Program, opt: bool) -> Result<(), String> {
     {
         let mut f = ssa.clone();
         let mut am = AnalysisManager::new();
+        fuel::set_pass("destruct-standard");
         let (_, trace) = destruct_standard_traced(&mut f, &mut am);
         audit("standard", &trace)?;
         check("standard", &f)?;
@@ -194,13 +220,16 @@ fn check_program_inner(prog: &Program, opt: bool) -> Result<(), String> {
     {
         let mut am = AnalysisManager::new();
         let mut f = base.clone();
+        fuel::set_pass("build-ssa");
         build_ssa_with(&mut f, SsaFlavor::Pruned, false, &mut am);
         if opt {
             copy_preserving_pipeline().run(&mut f, &mut am);
         }
         verify_ssa(&f).map_err(|e| format!("briggs ssa: {e}"))?;
+        fuel::set_pass("webs");
         let (_, trace) = destruct_via_webs_traced(&mut f);
         audit("briggs", &trace)?;
+        fuel::set_pass("briggs-coalesce");
         coalesce_copies_managed(
             &mut f,
             &BriggsOptions {
@@ -225,7 +254,7 @@ pub fn fuzz(cfg: &FuzzConfig) -> FuzzOutcome {
     let (results, timing) = par_map(cfg.seeds as usize, cfg.jobs, |i| {
         let seed = cfg.start + i as u64;
         let prog = generate(seed, &cfg.shape);
-        check_program(&prog, cfg.opt)
+        check_program_with(&prog, cfg.opt, cfg.fuel)
             .err()
             .map(|detail| (seed, prog, detail))
     });
@@ -234,15 +263,10 @@ pub fn fuzz(cfg: &FuzzConfig) -> FuzzOutcome {
         .into_iter()
         .flatten()
         .map(|(seed, program, detail)| {
-            // Dropping a `let` orphans its uses, and such a candidate
-            // fails to *lower* — a different finding than the one being
-            // shrunk. A candidate only counts when it fails in the same
-            // class (lowering vs. pipeline) as the original.
-            let is_lowering = |e: &str| e.starts_with("lowering failed");
-            let original_lowering = is_lowering(&detail);
+            let class = failure_class(&detail);
             let r = shrink(&program, cfg.shrink_budget, |p| {
-                matches!(check_program(p, cfg.opt),
-                         Err(e) if is_lowering(&e) == original_lowering)
+                matches!(check_program_with(p, cfg.opt, cfg.fuel),
+                         Err(e) if failure_class(&e) == class)
             });
             FuzzFailure {
                 seed,

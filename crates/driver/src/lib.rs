@@ -14,11 +14,18 @@
 //!   in module order;
 //! * [`fuzz`] — the `fcc fuzz` campaign driver: seeded program
 //!   generation, a differential interpreter + audit oracle, and greedy
-//!   shrinking of failures to minimal MiniLang repros.
+//!   shrinking of failures to minimal MiniLang repros;
+//! * [`recover`] — the fault-tolerance layer: per-function panic
+//!   isolation ([`recover::contain`]), fuel enforcement, the
+//!   graceful-degradation ladder ([`compile_with_ladder`]), and the
+//!   total batch entry point [`compile_module_guarded`] whose
+//!   [`BatchOutcome`] reports every function as ok / recovered /
+//!   failed.
 //!
 //! Determinism is the design invariant throughout: workers own their
-//! analysis state, results merge in input order, so any `--jobs` value
-//! produces byte-identical output.
+//! analysis state, results merge in input order, and recovery decisions
+//! depend only on the owning function — so any `--jobs` value produces
+//! byte-identical output, even under partial failure.
 //!
 //! ## Example
 //!
@@ -36,13 +43,20 @@
 pub mod compile;
 pub mod fuzz;
 pub mod pool;
+pub mod recover;
 pub mod report;
 
 pub use compile::{
     compile_function, compile_module, CompileConfig, FunctionOutcome, ModuleOutcome, PipelineSpec,
 };
-pub use fuzz::{check_program, fuzz, FuzzConfig, FuzzFailure, FuzzOutcome};
+pub use fuzz::{
+    check_program, check_program_with, failure_class, fuzz, FuzzConfig, FuzzFailure, FuzzOutcome,
+};
 pub use pool::{par_map, resolve_jobs, BatchTiming};
+pub use recover::{
+    compile_function_guarded, compile_module_guarded, compile_with_ladder, BatchOutcome, FailMode,
+    FaultPolicy, FnStatus, FunctionReport,
+};
 pub use report::{
     certify_kernels, certify_or_die, certify_pipeline, merge_phases, render_phases, run_pipeline,
     us, PhaseRecord, PhaseStats, PhaseTimer, Pipeline, PipelineReport, Table,

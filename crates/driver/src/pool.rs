@@ -15,7 +15,7 @@
 //! call builds its own `AnalysisManager`), output is byte-identical for
 //! any `--jobs` value.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Wall-clock vs summed per-item time for one [`par_map`] batch.
@@ -81,7 +81,12 @@ pub fn resolve_jobs(requested: usize) -> usize {
 ///
 /// # Panics
 /// Propagates a panic from `f`: if any worker panics, the whole batch
-/// panics (after the scope joins the remaining workers).
+/// panics (after the scope joins the remaining workers). The panicking
+/// worker poisons the shared cursor on its way out, so surviving workers
+/// finish only the item already in hand instead of draining the rest of
+/// the batch before the panic surfaces. (The fault-tolerant driver never
+/// lets a panic reach this layer — it contains them per function — so
+/// poisoning matters for direct users of `par_map`.)
 pub fn par_map<T, F>(n: usize, jobs: usize, f: F) -> (Vec<T>, BatchTiming)
 where
     T: Send,
@@ -110,28 +115,44 @@ where
     }
 
     let cursor = AtomicUsize::new(0);
+    let poisoned = AtomicBool::new(false);
     let mut tagged: Vec<(usize, T, Duration)> = Vec::with_capacity(n);
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(jobs);
         for _ in 0..jobs {
             let cursor = &cursor;
+            let poisoned = &poisoned;
             let f = &f;
             handles.push(scope.spawn(move || {
+                // Set the poison flag if this worker unwinds out of `f`,
+                // telling its peers to stop pulling new items.
+                struct Poison<'a>(&'a AtomicBool);
+                impl Drop for Poison<'_> {
+                    fn drop(&mut self) {
+                        self.0.store(true, Ordering::Relaxed);
+                    }
+                }
                 let mut local: Vec<(usize, T, Duration)> = Vec::new();
                 loop {
+                    if poisoned.load(Ordering::Relaxed) {
+                        break;
+                    }
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
                     }
+                    let guard = Poison(poisoned);
                     let it = Instant::now();
                     let v = f(i);
+                    std::mem::forget(guard);
                     local.push((i, v, it.elapsed()));
                 }
                 local
             }));
         }
         // Join in spawn order; a worker panic surfaces here once every
-        // other worker has drained (the cursor is already past `n`).
+        // other worker has stopped (the cursor is poisoned, so at most
+        // one in-flight item per surviving worker completes first).
         let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
         for h in handles {
             match h.join() {
@@ -214,5 +235,37 @@ mod tests {
             })
         });
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn a_panicking_worker_poisons_the_cursor() {
+        use std::sync::atomic::AtomicUsize;
+        // One worker panics on its first item while the others are held
+        // at a barrier; once released they must see the poison flag and
+        // stop instead of draining the remaining ~10k items.
+        let started = AtomicUsize::new(0);
+        let barrier = std::sync::Barrier::new(4);
+        let n = 10_000;
+        let r = std::panic::catch_unwind(|| {
+            par_map(n, 4, |i| {
+                started.fetch_add(1, Ordering::SeqCst);
+                if i < 4 {
+                    barrier.wait();
+                    if i == 0 {
+                        panic!("boom");
+                    }
+                    // Give the panicking worker time to unwind and
+                    // poison before the survivors loop for more work.
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                i
+            })
+        });
+        assert!(r.is_err(), "the panic still propagates");
+        let pulled = started.load(Ordering::SeqCst);
+        assert!(
+            pulled < n / 2,
+            "poisoned cursor should stop the batch early, but {pulled}/{n} items ran"
+        );
     }
 }

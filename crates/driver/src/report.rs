@@ -126,7 +126,15 @@ pub struct PhaseTimer {
 
 impl PhaseTimer {
     /// Start timing a phase named `label`.
+    ///
+    /// Also registers `label` as the thread's current pass (for panic /
+    /// fuel-exhaustion attribution) and services the panic-injection
+    /// hook, making phase entry the single instrumentation point shared
+    /// by the report, the fault-tolerance layer, and the injection
+    /// matrix.
     pub fn start(label: &'static str, am: &AnalysisManager) -> Self {
+        fcc_analysis::fuel::set_pass(label);
+        fcc_analysis::fault::maybe_panic(label);
         PhaseTimer {
             label,
             start: Instant::now(),

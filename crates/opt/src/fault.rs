@@ -1,19 +1,86 @@
 //! Controlled fault injection for testing the failure-handling stack.
 //!
-//! The fuzz harness (`fcc fuzz`) promises that when a pipeline
-//! miscompiles, the differential oracle catches it and the shrinker
-//! reduces it to a small repro. That promise is only testable against a
-//! *real* miscompile, so this module can re-open a bug this codebase
-//! actually had: skipping [`crate::constfold::restore_phis_first`] after
-//! folding leaves non-φ instructions above sibling φs, which later
-//! φ-scans (SSA destruction, verification) silently truncate.
+//! This is the public face of the injection matrix that exercises the
+//! driver's degradation ladder, one injection per failure class:
 //!
-//! The switch is a process-global `AtomicBool` rather than only a cargo
-//! feature so the default test suite — which runs without features — can
-//! flip it on for a single test binary. Building with the
-//! `inject-phi-ordering-bug` feature sets the initial value.
+//! * **panic in a named pass** ([`inject_panic_in`]) — fired by the
+//!   pass manager and the driver's phase timers at entry to the pass;
+//! * **infinite loop in the solver** ([`inject_solver_spin`]) — the
+//!   `fcc-dataflow` worklist solver busy-loops until the fuel budget
+//!   stops it;
+//! * **verifier violation after a named pass**
+//!   ([`inject_verifier_violation_after`]) — [`maybe_corrupt`] plants a
+//!   use of a never-defined value right after the pass runs, which the
+//!   lint suite / SSA verifier must then report against that pass.
+//!
+//! The registry itself lives in [`fcc_analysis::fault`] (the solver
+//! cannot see this crate) and is re-exported here; only the
+//! `Function`-mutating corruption is implemented locally. All switches
+//! are process-global — tests that arm them serialise on a lock.
+//!
+//! Historically this module also carries the φ-ordering bug switch: the
+//! fuzz harness promises that when a pipeline miscompiles, the
+//! differential oracle catches it and the shrinker reduces it to a
+//! small repro. That promise is only testable against a *real*
+//! miscompile, so [`disable_phi_restore`] can re-open a bug this
+//! codebase actually had: skipping
+//! [`crate::constfold::restore_phis_first`] after folding leaves non-φ
+//! instructions above sibling φs, which later φ-scans (SSA destruction,
+//! verification) silently truncate.
+//!
+//! The switches are process-global `AtomicBool`s rather than only cargo
+//! features so the default test suite — which runs without features —
+//! can flip them on for a single test binary. Building with the
+//! `inject-phi-ordering-bug` feature sets the φ switch's initial value.
 
+use fcc_ir::{Function, InstKind};
 use std::sync::atomic::{AtomicBool, Ordering};
+
+pub use fcc_analysis::fault::{
+    any_armed, clear_injections, inject_panic_in, inject_solver_spin,
+    inject_verifier_violation_after, maybe_panic, solver_spin, violation_target,
+};
+
+/// Hook: if a verifier-violation injection targets `pass`, corrupt
+/// `func` so that any subsequent verification must fail. Returns whether
+/// a corruption was applied (the pass manager then treats the pass as
+/// having changed the function, so `--verify-each` lints immediately and
+/// attributes the breakage to `pass`).
+///
+/// The corruption is a use of a value that is never defined — invalid at
+/// every pipeline stage, and planted in a terminator operand (a return
+/// value or branch condition) so dead-code elimination cannot quietly
+/// delete it before a verifier looks.
+pub fn maybe_corrupt(pass: &str, func: &mut Function) -> bool {
+    if !violation_target(pass) {
+        return false;
+    }
+    let undef = func.new_value();
+    let blocks: Vec<_> = func.blocks().collect();
+    for &b in blocks.iter().rev() {
+        let Some(term) = func.terminator(b) else {
+            continue;
+        };
+        let mut has_use = false;
+        func.inst(term).kind.for_each_use(|_| has_use = true);
+        if has_use {
+            let mut first = true;
+            func.inst_mut(term).kind.for_each_use_mut(|v| {
+                if std::mem::take(&mut first) {
+                    *v = undef;
+                }
+            });
+            return true;
+        }
+    }
+    // Degenerate function whose terminators use no values: plant a copy
+    // from the undefined value instead (visible to the SSA verifier and
+    // the definite-init lint, though DCE could remove it).
+    let dst = func.new_value();
+    let entry = func.entry();
+    func.insert_before_terminator(entry, InstKind::Copy { src: undef }, Some(dst));
+    true
+}
 
 static PHI_RESTORE_DISABLED: AtomicBool =
     AtomicBool::new(cfg!(feature = "inject-phi-ordering-bug"));

@@ -299,14 +299,22 @@ impl PassManager {
             for (i, p) in self.passes.iter().enumerate() {
                 let before = func.epoch();
                 let live_before = func.live_inst_count() as i64;
+                fcc_analysis::fuel::set_pass(p.name());
+                fcc_analysis::fault::maybe_panic(p.name());
                 let effect = p.run(func, am);
-                let preserved = if effect.changed {
+                fcc_analysis::fuel::checkpoint(1);
+                let mut pass_changed = effect.changed;
+                let mut preserved = if pass_changed {
                     effect.preserved
                 } else {
                     PreservedAnalyses::all()
                 };
+                if fault::maybe_corrupt(p.name(), func) {
+                    pass_changed = true;
+                    preserved = PreservedAnalyses::none();
+                }
                 am.invalidate(func, before, preserved);
-                if effect.changed {
+                if pass_changed {
                     passes[i].applications += 1;
                     passes[i].insts_removed += live_before - func.live_inst_count() as i64;
                     changed = true;
@@ -371,6 +379,7 @@ impl PassManager {
                 Ok(())
             }
         };
+        fcc_analysis::fuel::set_pass("<input>");
         lint(func, "<input>", 0)?;
         let mut passes = self.fresh_stats();
         for round in 1..=self.max_rounds {
@@ -378,14 +387,22 @@ impl PassManager {
             for (i, p) in self.passes.iter().enumerate() {
                 let before = func.epoch();
                 let live_before = func.live_inst_count() as i64;
+                fcc_analysis::fuel::set_pass(p.name());
+                fcc_analysis::fault::maybe_panic(p.name());
                 let effect = p.run(func, am);
-                let preserved = if effect.changed {
+                fcc_analysis::fuel::checkpoint(1);
+                let mut pass_changed = effect.changed;
+                let mut preserved = if pass_changed {
                     effect.preserved
                 } else {
                     PreservedAnalyses::all()
                 };
+                if fault::maybe_corrupt(p.name(), func) {
+                    pass_changed = true;
+                    preserved = PreservedAnalyses::none();
+                }
                 am.invalidate(func, before, preserved);
-                if effect.changed {
+                if pass_changed {
                     passes[i].applications += 1;
                     passes[i].insts_removed += live_before - func.live_inst_count() as i64;
                     changed = true;

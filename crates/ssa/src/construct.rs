@@ -157,6 +157,7 @@ pub fn build_ssa_with(
             on_work[b] = true;
         }
         while let Some(d) = work.pop() {
+            fcc_analysis::fuel::checkpoint(1);
             for &join in dfs.frontier(d) {
                 if has_phi[join] {
                     continue;
@@ -227,6 +228,7 @@ impl Renamer<'_> {
         }
         let mut work = vec![Action::Visit(entry)];
         while let Some(action) = work.pop() {
+            fcc_analysis::fuel::checkpoint(1);
             match action {
                 Action::Visit(b) => {
                     let pops = self.visit_block(b);

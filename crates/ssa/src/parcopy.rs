@@ -93,6 +93,7 @@ pub fn sequentialize(copies: &[Move], mut fresh: impl FnMut() -> Value) -> Vec<M
                        loc: &mut HashMap<Value, Value>,
                        done: &mut std::collections::HashSet<Value>| {
         while let Some(b) = ready.pop() {
+            fcc_analysis::fuel::checkpoint(1);
             let a = pred[&b];
             let c = loc[&a];
             emitted.push((b, c));
@@ -111,6 +112,7 @@ pub fn sequentialize(copies: &[Move], mut fresh: impl FnMut() -> Value) -> Vec<M
         drain_ready(&mut ready, &mut emitted, &mut loc, &mut done);
         todo.pop()
     } {
+        fcc_analysis::fuel::checkpoint(1);
         if done.contains(&b) {
             continue;
         }

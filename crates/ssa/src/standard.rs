@@ -86,6 +86,7 @@ fn destruct_standard_impl(
             continue;
         }
         for phi in func.block_phis(b) {
+            fcc_analysis::fuel::checkpoint(1);
             let data = func.inst(phi);
             let dst = data.dst.expect("phi defines a value");
             if let InstKind::Phi { args } = &data.kind {
@@ -102,6 +103,7 @@ fn destruct_standard_impl(
     let mut blocks: Vec<Block> = waiting.keys().copied().collect();
     blocks.sort_unstable();
     for b in blocks {
+        fcc_analysis::fuel::checkpoint(1);
         let copies = &waiting[&b];
         let mut temps = 0usize;
         let seq = {

@@ -7,7 +7,7 @@
 //! with byte-identical output at any width.
 //!
 //! ```text
-//! Usage: fcc <file.ml | kernel:NAME | kernel:* | -> [options]
+//! Usage: fcc [build] <file.ml | kernel:NAME | kernel:* | -> [options]
 //!
 //!   --pipeline P    new (default) | standard | briggs | briggs-star
 //!   --no-fold       do not fold copies during SSA construction
@@ -20,13 +20,32 @@
 //!   --alloc K       colour with K registers after destruction
 //!   --jobs N        compile module functions on N threads (0 = auto,
 //!                   the default); output is independent of N
+//!   --fail-mode M   abort (default) | skip | degrade — what to do when
+//!                   a function's compile fails (panic, fuel stop, or
+//!                   verifier rejection): abort the batch naming the
+//!                   offending pass, quarantine the function, or retry
+//!                   it down the degradation ladder (new → standard →
+//!                   bare SSA destruction, recovery rungs fully
+//!                   verified); functions still failing are quarantined,
+//!                   shrunk to .ml repros, and fail the exit code
+//!   --fuel N        per-attempt step budget for the iterative
+//!                   algorithms; exhaustion is a recoverable failure
+//!                   naming the spinning pass
+//!   --repro-dir DIR where quarantined functions' shrunk repros are
+//!                   written (default .)
 //!   --emit STAGE    print IR at: cfg | ssa | final (default: final)
 //!   --run ARGS      execute the final code, ARGS comma-separated
 //!   --entry NAME    which function --run executes (default: the only
 //!                   one; required for multi-function modules)
 //!   --stats         print phase statistics
 //!   --report        print the per-phase pipeline report (time, peak
-//!                   bytes, analysis-cache hits/misses)
+//!                   bytes, analysis-cache hits/misses) and the
+//!                   per-function outcome table (ok/recovered/failed,
+//!                   attempts, fuel spent)
+//!   --format F      text (default) | json — outcome-table format
+//!   --inject-panic PASS        (testing) panic at entry to PASS
+//!   --inject-solver-spin       (testing) make the dataflow solver spin
+//!   --inject-verifier-violation PASS  (testing) corrupt the IR after PASS
 //!   --list-kernels  list bundled kernels and exit
 //! ```
 //!
@@ -74,9 +93,13 @@
 //!   --jobs N         worker threads (0 = auto, the default)
 //!   --no-opt         skip the optimiser between SSA and destruction
 //!   --shrink-budget N   max oracle evaluations per failure (default 4000)
+//!   --fuel N         per-seed step budget; exhaustion is its own
+//!                    shrinkable failure class
 //!   --repro-dir DIR  where to write repro-<seed>.ml files (default .)
 //!   --inject-phi-bug re-open a known φ-ordering miscompile (testing
 //!                    the oracle and shrinker themselves)
+//!   --inject-solver-spin  make the dataflow solver spin (with --fuel:
+//!                    exercises the fuel failure class end to end)
 //! ```
 //!
 //! Examples:
@@ -95,8 +118,8 @@ use std::io::{Read, Write};
 use std::process::ExitCode;
 
 use fcc::driver::{
-    compile_module, fuzz as run_fuzz, par_map, render_phases, CompileConfig, FuzzConfig,
-    PipelineSpec,
+    compile_module_guarded, fuzz as run_fuzz, par_map, render_phases, CompileConfig, FailMode,
+    FaultPolicy, FnStatus, FuzzConfig, PipelineSpec,
 };
 use fcc::ir::Module;
 use fcc::prelude::*;
@@ -110,27 +133,36 @@ struct Options {
     simplify: bool,
     alloc: Option<usize>,
     jobs: usize,
+    fail_mode: FailMode,
+    fuel: Option<u64>,
+    repro_dir: String,
     emit: String,
     run: Option<Vec<i64>>,
     entry: Option<String>,
     stats: bool,
     report: bool,
+    format: String,
+    inject_panic: Option<String>,
+    inject_spin: bool,
+    inject_violation: Option<String>,
 }
 
 fn usage() -> &'static str {
-    "usage: fcc <file.ml | kernel:NAME | kernel:* | -> [--pipeline new|new-cut|standard|sreedhar|briggs|briggs-star] \
-     [--no-fold] [--opt] [--verify-each] [--simplify] [--alloc K] [--jobs N] [--emit cfg|ssa|final] \
-     [--run a,b,...] [--entry NAME] [--stats] [--report] [--list-kernels]\n       \
+    "usage: fcc [build] <file.ml | kernel:NAME | kernel:* | -> [--pipeline new|new-cut|standard|sreedhar|briggs|briggs-star] \
+     [--no-fold] [--opt] [--verify-each] [--simplify] [--alloc K] [--jobs N] \
+     [--fail-mode abort|skip|degrade] [--fuel N] [--repro-dir DIR] [--emit cfg|ssa|final] \
+     [--run a,b,...] [--entry NAME] [--stats] [--report] [--format text|json] [--list-kernels] \
+     [--inject-panic PASS] [--inject-solver-spin] [--inject-verifier-violation PASS]\n       \
      fcc lint <file.ml | kernel:NAME | kernel:* | -> [--format text|json] [--pipeline P] [--no-fold] \
      [--opt] [--jobs N] [--deny-warnings]\n       \
      fcc analyze <file.ml | kernel:NAME | kernel:* | -> [--format text|json] [--no-fold] [--opt] \
      [--jobs N] [--deny-warnings]\n       \
-     fcc fuzz [--seeds N] [--start N] [--jobs N] [--no-opt] [--shrink-budget N] [--repro-dir DIR] \
-     [--inject-phi-bug]"
+     fcc fuzz [--seeds N] [--start N] [--jobs N] [--no-opt] [--shrink-budget N] [--fuel N] \
+     [--repro-dir DIR] [--inject-phi-bug] [--inject-solver-spin]"
 }
 
-fn parse_args() -> Result<Options, String> {
-    let mut args = std::env::args().skip(1);
+fn parse_args(raw: Vec<String>) -> Result<Options, String> {
+    let mut args = raw.into_iter();
     let mut o = Options {
         input: String::new(),
         pipeline: "new".into(),
@@ -140,11 +172,18 @@ fn parse_args() -> Result<Options, String> {
         simplify: false,
         alloc: None,
         jobs: 0,
+        fail_mode: FailMode::Abort,
+        fuel: None,
+        repro_dir: ".".into(),
         emit: "final".into(),
         run: None,
         entry: None,
         stats: false,
         report: false,
+        format: "text".into(),
+        inject_panic: None,
+        inject_spin: false,
+        inject_violation: None,
     };
     let need = |args: &mut dyn Iterator<Item = String>, flag: &str| {
         args.next().ok_or_else(|| format!("{flag} needs a value"))
@@ -167,6 +206,26 @@ fn parse_args() -> Result<Options, String> {
                 o.jobs = need(&mut args, "--jobs")?
                     .parse()
                     .map_err(|e| format!("--jobs: {e}"))?
+            }
+            "--fail-mode" => {
+                let m = need(&mut args, "--fail-mode")?;
+                o.fail_mode = FailMode::parse(&m).ok_or_else(|| {
+                    format!("--fail-mode must be abort, skip, or degrade, got {m}")
+                })?
+            }
+            "--fuel" => {
+                o.fuel = Some(
+                    need(&mut args, "--fuel")?
+                        .parse()
+                        .map_err(|e| format!("--fuel: {e}"))?,
+                )
+            }
+            "--repro-dir" => o.repro_dir = need(&mut args, "--repro-dir")?,
+            "--format" => o.format = need(&mut args, "--format")?,
+            "--inject-panic" => o.inject_panic = Some(need(&mut args, "--inject-panic")?),
+            "--inject-solver-spin" => o.inject_spin = true,
+            "--inject-verifier-violation" => {
+                o.inject_violation = Some(need(&mut args, "--inject-verifier-violation")?)
             }
             "--emit" => o.emit = need(&mut args, "--emit")?,
             "--run" => {
@@ -253,7 +312,13 @@ fn main() -> ExitCode {
             }
         };
     }
-    match real_main() {
+    // "build" is an optional explicit subcommand for the default action.
+    let skip = if sub.as_deref() == Some("build") {
+        2
+    } else {
+        1
+    };
+    match real_main(std::env::args().skip(skip).collect()) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("fcc: {e}");
@@ -533,8 +598,10 @@ fn fuzz_main(args: Vec<String>) -> Result<bool, String> {
             "--shrink-budget" => {
                 cfg.shrink_budget = parse(need(&mut args, "--shrink-budget")?, "--shrink-budget")?
             }
+            "--fuel" => cfg.fuel = Some(parse(need(&mut args, "--fuel")?, "--fuel")?),
             "--repro-dir" => repro_dir = need(&mut args, "--repro-dir")?,
             "--inject-phi-bug" => inject = true,
+            "--inject-solver-spin" => fcc::opt::fault::inject_solver_spin(true),
             "--help" | "-h" => {
                 println!("{}", usage());
                 std::process::exit(0);
@@ -581,8 +648,21 @@ fn fuzz_main(args: Vec<String>) -> Result<bool, String> {
     Ok(out.failures.is_empty())
 }
 
-fn real_main() -> Result<(), String> {
-    let o = parse_args()?;
+fn real_main(raw: Vec<String>) -> Result<(), String> {
+    let o = parse_args(raw)?;
+    if !matches!(o.format.as_str(), "text" | "json") {
+        return Err(format!("--format must be text or json, got {}", o.format));
+    }
+    // Arm any requested fault injections before anything compiles.
+    if o.inject_panic.is_some() {
+        fcc::opt::fault::inject_panic_in(o.inject_panic.as_deref());
+    }
+    if o.inject_spin {
+        fcc::opt::fault::inject_solver_spin(true);
+    }
+    if o.inject_violation.is_some() {
+        fcc::opt::fault::inject_verifier_violation_after(o.inject_violation.as_deref());
+    }
     let src = load_source(&o.input)?;
     let module = fcc::frontend::compile_module(&src)?;
     let single = module.len() == 1;
@@ -639,41 +719,76 @@ fn real_main() -> Result<(), String> {
         return Ok(());
     }
 
-    let outcome = compile_module(module, o.jobs, &cfg)?;
+    let policy = FaultPolicy {
+        mode: o.fail_mode,
+        fuel: o.fuel,
+    };
+    let batch = compile_module_guarded(module, o.jobs, &cfg, &policy);
+    if o.fail_mode == FailMode::Abort {
+        if let Some((name, e)) = batch.first_error() {
+            return Err(format!("@{name}: {e}"));
+        }
+    }
+    let (ok_n, recovered_n, failed_n) = batch.counts();
 
     if o.stats {
-        for f in &outcome.functions {
-            for line in &f.stat_lines {
-                if single {
-                    eprintln!("; {line}");
-                } else {
-                    eprintln!("; @{}: {line}", f.func.name);
+        for f in &batch.functions {
+            match &f.outcome {
+                Some(out) => {
+                    for line in &out.stat_lines {
+                        if single {
+                            eprintln!("; {line}");
+                        } else {
+                            eprintln!("; @{}: {line}", f.name);
+                        }
+                    }
                 }
+                None => eprintln!(
+                    "; @{}: quarantined ({} attempt(s))",
+                    f.name,
+                    f.attempts.len()
+                ),
+            }
+            if let FnStatus::Recovered { attempts } = f.status {
+                eprintln!("; @{}: recovered on attempt {attempts}", f.name);
             }
         }
         if !single {
-            eprintln!("; batch: {}", outcome.timing.render());
+            eprintln!("; batch: {}", batch.timing.render());
         }
     }
 
     if o.report {
-        emit(format_args!(
-            "pipeline report ({}; analysis cache peak {} B):\n{}",
-            o.pipeline,
-            outcome.analysis_peak_bytes(),
-            render_phases(&outcome.merged_phases())
-        ));
-        if let Some(summary) = &outcome.merged_summary() {
-            emit(summary.render().trim_end());
+        if o.format == "json" {
+            emit(batch.outcome_table_json(o.fail_mode).trim_end());
+        } else {
+            emit(format_args!(
+                "pipeline report ({}; analysis cache peak {} B):\n{}",
+                o.pipeline,
+                batch.analysis_peak_bytes(),
+                render_phases(&batch.merged_phases())
+            ));
+            if let Some(summary) = &batch.merged_summary() {
+                emit(summary.render().trim_end());
+            }
+            emit(format_args!(
+                "outcomes ({}):\n{}",
+                o.fail_mode.label(),
+                batch.outcome_table_text().trim_end()
+            ));
+            if !single {
+                emit(format_args!("batch: {}", batch.timing.render()));
+            }
         }
-        if !single {
-            emit(format_args!("batch: {}", outcome.timing.render()));
-        }
+    }
+
+    if failed_n > 0 {
+        quarantine_repros(&batch, &src, &cfg, &policy, &o.repro_dir);
     }
 
     match o.run {
         Some(args) => {
-            let final_module = outcome.into_module();
+            let final_module = batch.into_surviving_module();
             let func = match (&o.entry, final_module.len()) {
                 (Some(name), _) => final_module
                     .get(name)
@@ -693,7 +808,62 @@ fn real_main() -> Result<(), String> {
                 );
             }
         }
-        None => emit(outcome.into_module()),
+        None => emit(batch.into_surviving_module()),
+    }
+    if failed_n > 0 {
+        return Err(format!(
+            "{failed_n} function(s) failed every rung ({ok_n} ok, {recovered_n} recovered); repros in {}",
+            o.repro_dir
+        ));
     }
     Ok(())
+}
+
+/// Shrink each quarantined function to a minimal `.ml` repro (via the
+/// fuzz shrinker) and write it to `repro_dir`. Best-effort: failures to
+/// parse or write are reported on stderr, never fatal.
+fn quarantine_repros(
+    batch: &fcc::driver::BatchOutcome,
+    src: &str,
+    cfg: &CompileConfig,
+    policy: &FaultPolicy,
+    repro_dir: &str,
+) {
+    let programs = match fcc::frontend::parse_module(src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("; quarantine: could not re-parse source for repros: {e}");
+            return;
+        }
+    };
+    for f in batch
+        .functions
+        .iter()
+        .filter(|f| f.status == FnStatus::Failed)
+    {
+        let last = f
+            .attempts
+            .last()
+            .map(|a| format!("[{}] {}", a.rung, a.error))
+            .unwrap_or_default();
+        eprintln!("; @{}: failed every rung: {last}", f.name);
+        let Some(prog) = programs.iter().find(|p| p.name == f.name) else {
+            continue;
+        };
+        let still_fails = |p: &fcc::frontend::Program| match fcc::frontend::lower_program(p) {
+            Ok(func) => {
+                fcc::driver::compile_with_ladder(&func, cfg, policy).status == FnStatus::Failed
+            }
+            Err(_) => false,
+        };
+        let shrunk = fcc::workloads::shrink(prog, 600, still_fails);
+        let path = format!("{}/repro-{}.ml", repro_dir, f.name);
+        match std::fs::write(&path, fcc::frontend::to_source(&shrunk.program)) {
+            Ok(()) => eprintln!(
+                ";   repro written to {path} ({} statement(s))",
+                fcc::workloads::statement_count(&shrunk.program)
+            ),
+            Err(e) => eprintln!(";   could not write {path}: {e}"),
+        }
+    }
 }

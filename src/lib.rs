@@ -16,7 +16,7 @@
 //! | [`dataflow`] | sparse abstract interpretation: SCCP, value ranges, known bits (`fcc analyze`) |
 //! | [`ssa`] | SSA construction (3 flavours, copy folding), parallel copies, Standard destruction |
 //! | [`core`] | **the paper's algorithm**: dominance forest + coalescing SSA destruction |
-//! | [`driver`] | batch compilation: work-stealing pool, instrumented pipelines, differential fuzzer (`fcc --jobs`, `fcc fuzz`) |
+//! | [`driver`] | batch compilation: work-stealing pool, instrumented pipelines, differential fuzzer, fault-tolerant degradation ladder (`fcc --jobs`, `fcc fuzz`, `--fail-mode`) |
 //! | [`regalloc`] | interference graphs, Briggs / Briggs\* coalescers, colouring allocator |
 //! | [`interp`] | φ-aware reference interpreter with dynamic-copy accounting |
 //! | [`opt`] | scalar optimiser: DCE, constant folding, copy propagation, CFG simplify |
@@ -75,7 +75,9 @@ pub use fcc_workloads as workloads;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use fcc_analysis::{AnalysisCounters, AnalysisManager, PreservedAnalyses};
+    pub use fcc_analysis::{
+        AnalysisCounters, AnalysisManager, Fuel, FuelExhausted, PreservedAnalyses,
+    };
     pub use fcc_bench::{measure, run_pipeline, Measurement, PhaseStats, Pipeline, PipelineReport};
     pub use fcc_core::{
         coalesce_ssa, coalesce_ssa_managed, coalesce_ssa_traced, coalesce_ssa_with,
@@ -83,8 +85,10 @@ pub mod prelude {
     };
     pub use fcc_dataflow::{FunctionAnalysis, Interval, RangeAnalysis};
     pub use fcc_driver::{
-        compile_function, compile_module, par_map, resolve_jobs, BatchTiming, CompileConfig,
-        FunctionOutcome, ModuleOutcome, PipelineSpec,
+        compile_function, compile_function_guarded, compile_module, compile_module_guarded,
+        compile_with_ladder, par_map, resolve_jobs, BatchOutcome, BatchTiming, CompileConfig,
+        FailMode, FaultPolicy, FnStatus, FunctionOutcome, FunctionReport, ModuleOutcome,
+        PipelineSpec,
     };
     pub use fcc_interp::{run, run_with_memory, Outcome};
     pub use fcc_ir::{
