@@ -19,7 +19,7 @@ use std::time::Instant;
 use fcc_analysis::AnalysisManager;
 use fcc_bench::Table;
 use fcc_core::{coalesce_prepared, CoalesceOptions, CoalesceStats};
-use fcc_driver::{compile_module, resolve_jobs, CompileConfig};
+use fcc_driver::{compile_module, resolve_jobs, CompileRequest};
 use fcc_ir::{InstKind, Module};
 use fcc_regalloc::{coalesce_copies, destruct_via_webs, BriggsOptions, GraphMode};
 use fcc_ssa::{build_ssa, split_critical_edges_with, SsaFlavor};
@@ -180,13 +180,11 @@ fn batch_scaling(max_jobs: usize) {
         })
         .collect();
     let module = Module::from_functions(funcs).expect("unique names");
-    let cfg = CompileConfig {
-        opt: true,
-        ..Default::default()
-    };
+    let req = CompileRequest::new().opt(true);
 
-    let serial = compile_module(module.clone(), 1, &cfg).expect("serial batch compiles");
-    let serial_text = serial.clone().into_module().to_string();
+    let serial =
+        compile_module(module.clone(), &req.clone().jobs(1)).expect("serial batch compiles");
+    let serial_text = serial.clone().into_surviving_module().to_string();
     let serial_wall = serial.timing.wall;
 
     let mut table = Table::new(&["jobs", "wall(ms)", "speedup", "utilization", "identical"]);
@@ -199,8 +197,9 @@ fn batch_scaling(max_jobs: usize) {
     ]);
     let mut jobs = 2;
     while jobs <= max_jobs {
-        let out = compile_module(module.clone(), jobs, &cfg).expect("parallel batch compiles");
-        let text = out.clone().into_module().to_string();
+        let out = compile_module(module.clone(), &req.clone().jobs(jobs))
+            .expect("parallel batch compiles");
+        let text = out.clone().into_surviving_module().to_string();
         table.row(vec![
             jobs.to_string(),
             format!("{:.1}", out.timing.wall.as_secs_f64() * 1e3),

@@ -14,6 +14,8 @@
 //! order, so `--jobs 1` and `--jobs 64` print byte-identical IR and
 //! diagnostics.
 
+use std::fmt;
+use std::str::FromStr;
 use std::time::{Duration, Instant};
 
 use fcc_analysis::AnalysisManager;
@@ -32,6 +34,7 @@ use fcc_ssa::{
 
 use crate::pool::BatchTiming;
 use crate::report::{merge_phases, PhaseRecord, PhaseTimer};
+use crate::request::{CompileRequest, RequestError};
 
 /// The destruction pipeline to run, covering every algorithm the CLI
 /// exposes (a superset of the four benchmarked [`crate::Pipeline`]s).
@@ -52,20 +55,27 @@ pub enum PipelineSpec {
 }
 
 impl PipelineSpec {
+    /// Every pipeline, in the CLI's listing order.
+    pub const ALL: [PipelineSpec; 6] = [
+        PipelineSpec::New,
+        PipelineSpec::NewCut,
+        PipelineSpec::Standard,
+        PipelineSpec::Sreedhar,
+        PipelineSpec::Briggs,
+        PipelineSpec::BriggsStar,
+    ];
+
     /// Parse the CLI spelling.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the `FromStr` impl: `s.parse::<PipelineSpec>()`"
+    )]
     pub fn parse(s: &str) -> Option<Self> {
-        Some(match s {
-            "new" => PipelineSpec::New,
-            "new-cut" => PipelineSpec::NewCut,
-            "standard" => PipelineSpec::Standard,
-            "sreedhar" => PipelineSpec::Sreedhar,
-            "briggs" => PipelineSpec::Briggs,
-            "briggs-star" => PipelineSpec::BriggsStar,
-            _ => return None,
-        })
+        s.parse().ok()
     }
 
-    /// The CLI spelling.
+    /// The canonical spelling, shared by the CLI, the serve protocol,
+    /// and the cache key (also what [`Display`](fmt::Display) prints).
     pub fn label(self) -> &'static str {
         match self {
             PipelineSpec::New => "new",
@@ -84,8 +94,29 @@ impl PipelineSpec {
     }
 }
 
+impl fmt::Display for PipelineSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for PipelineSpec {
+    type Err = RequestError;
+
+    fn from_str(s: &str) -> Result<Self, RequestError> {
+        Self::ALL
+            .into_iter()
+            .find(|p| p.label() == s)
+            .ok_or_else(|| RequestError::UnknownPipeline(s.to_string()))
+    }
+}
+
 /// Everything [`compile_function`] needs to know, mirroring the CLI
 /// flags.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `CompileRequest`, which also carries fail mode, fuel, jobs, and report format"
+)]
 #[derive(Clone, Debug)]
 pub struct CompileConfig {
     /// Which destruction pipeline to run.
@@ -103,6 +134,7 @@ pub struct CompileConfig {
     pub alloc: Option<usize>,
 }
 
+#[allow(deprecated)]
 impl Default for CompileConfig {
     fn default() -> Self {
         CompileConfig {
@@ -116,6 +148,23 @@ impl Default for CompileConfig {
     }
 }
 
+#[allow(deprecated)]
+impl CompileConfig {
+    /// Lift the legacy config into a [`CompileRequest`] (abort on
+    /// failure, no fuel limit, automatic job width, text reports).
+    pub fn to_request(&self) -> CompileRequest {
+        CompileRequest {
+            pipeline: self.pipeline,
+            fold: self.fold,
+            opt: self.opt,
+            verify_each: self.verify_each,
+            simplify: self.simplify,
+            alloc: self.alloc,
+            ..CompileRequest::default()
+        }
+    }
+}
+
 /// The result of compiling one function: rewritten code plus everything
 /// the CLI may print about it.
 #[derive(Clone, Debug)]
@@ -124,7 +173,7 @@ pub struct FunctionOutcome {
     pub func: Function,
     /// Instrumented phases in execution order.
     pub phases: Vec<PhaseRecord>,
-    /// Optimiser summary when [`CompileConfig::opt`] was set.
+    /// Optimiser summary when [`CompileRequest::opt`] was set.
     pub opt_summary: Option<RunSummary>,
     /// The `--stats` commentary lines, in emission order (without the
     /// leading `; `).
@@ -144,16 +193,14 @@ pub struct FunctionOutcome {
 /// # Errors
 /// Any phase failure — invalid SSA, a failing `--verify-each` lint
 /// report, an unsatisfiable allocation — aborts with a message naming
-/// the phase.
+/// the phase. Precondition violations are caught up front by
+/// [`CompileRequest::validate`] (the serve daemon rejects them at the
+/// protocol boundary without ever reaching this function).
 pub fn compile_function(
     mut func: Function,
-    cfg: &CompileConfig,
+    cfg: &CompileRequest,
 ) -> Result<FunctionOutcome, String> {
-    if cfg.pipeline.needs_no_fold() && cfg.fold {
-        return Err(
-            "the briggs pipelines need --no-fold (phi webs must be interference-free)".into(),
-        );
-    }
+    cfg.validate().map_err(|e| e.to_string())?;
 
     // One manager serves every phase of this function; workers never
     // share managers, so batch compilation has no cross-thread state.
@@ -414,32 +461,29 @@ pub fn merge_summaries<'a>(
 /// Compile every function of `module` on `jobs` worker threads
 /// (`0` = available parallelism) and merge outcomes in module order.
 ///
-/// Runs through the fault-tolerant path
-/// ([`crate::recover::compile_module_guarded`]) with the default
-/// [`crate::recover::FaultPolicy`] — abort on first failure, no fuel
-/// limit — so a panicking pass surfaces as this function's `Err`, not
-/// as a process abort.
-///
 /// # Errors
 /// The first failing function (in module order, regardless of which
 /// worker hit it first) aborts the batch with its name prefixed.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `compile_module(module, &CompileRequest)`; abort-on-first-error is `fail_mode: FailMode::Abort` plus `BatchOutcome::into_module_outcome`"
+)]
+#[allow(deprecated)]
 pub fn compile_module(
     module: Module,
     jobs: usize,
     cfg: &CompileConfig,
 ) -> Result<ModuleOutcome, String> {
-    crate::recover::compile_module_guarded(
-        module,
-        jobs,
-        cfg,
-        &crate::recover::FaultPolicy::default(),
-    )
-    .into_module_outcome()
+    let req = cfg.to_request().jobs(jobs);
+    crate::request::compile_module(module, &req)
+        .map_err(|e| e.to_string())?
+        .into_module_outcome()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::request::compile_module as compile_module_req;
 
     fn module_of(n: usize) -> Module {
         let mut src = String::new();
@@ -454,12 +498,15 @@ mod tests {
 
     #[test]
     fn parallel_output_matches_serial_byte_for_byte() {
-        let cfg = CompileConfig {
-            opt: true,
-            ..Default::default()
-        };
-        let serial = compile_module(module_of(12), 1, &cfg).unwrap();
-        let parallel = compile_module(module_of(12), 4, &cfg).unwrap();
+        let req = CompileRequest::new().opt(true);
+        let serial = compile_module_req(module_of(12), &req.clone().jobs(1))
+            .unwrap()
+            .into_module_outcome()
+            .unwrap();
+        let parallel = compile_module_req(module_of(12), &req.jobs(4))
+            .unwrap()
+            .into_module_outcome()
+            .unwrap();
         assert_eq!(
             serial.clone().into_module().to_string(),
             parallel.clone().into_module().to_string()
@@ -469,30 +516,24 @@ mod tests {
 
     #[test]
     fn every_pipeline_spec_compiles_a_module() {
-        for spec in [
-            PipelineSpec::New,
-            PipelineSpec::NewCut,
-            PipelineSpec::Standard,
-            PipelineSpec::Sreedhar,
-            PipelineSpec::Briggs,
-            PipelineSpec::BriggsStar,
-        ] {
-            let cfg = CompileConfig {
-                pipeline: spec,
-                fold: !spec.needs_no_fold(),
-                verify_each: true,
-                ..Default::default()
-            };
-            let out = compile_module(module_of(3), 2, &cfg)
-                .unwrap_or_else(|e| panic!("{}: {e}", spec.label()));
+        for spec in PipelineSpec::ALL {
+            let req = CompileRequest::new()
+                .pipeline(spec)
+                .fold(!spec.needs_no_fold())
+                .verify_each(true)
+                .jobs(2);
+            let out = compile_module_req(module_of(3), &req)
+                .map(|b| b.into_module_outcome().expect("no failures"))
+                .unwrap_or_else(|e| panic!("{spec}: {e}"));
             for o in &out.functions {
-                assert!(!o.func.has_phis(), "{}: phis left", spec.label());
+                assert!(!o.func.has_phis(), "{spec}: phis left");
             }
         }
     }
 
     #[test]
-    fn briggs_with_folding_is_rejected() {
+    #[allow(deprecated)]
+    fn deprecated_shim_still_rejects_briggs_with_folding() {
         let cfg = CompileConfig {
             pipeline: PipelineSpec::Briggs,
             fold: true,
@@ -504,11 +545,11 @@ mod tests {
 
     #[test]
     fn merged_summary_accumulates_pass_applications() {
-        let cfg = CompileConfig {
-            opt: true,
-            ..Default::default()
-        };
-        let out = compile_module(module_of(6), 3, &cfg).unwrap();
+        let req = CompileRequest::new().opt(true).jobs(3);
+        let out = compile_module_req(module_of(6), &req)
+            .unwrap()
+            .into_module_outcome()
+            .unwrap();
         let merged = out.merged_summary().expect("opt ran");
         assert!(!merged.passes.is_empty());
         let per_fn: usize = out
@@ -531,9 +572,9 @@ mod tests {
             "briggs",
             "briggs-star",
         ] {
-            let spec = PipelineSpec::parse(s).unwrap();
-            assert_eq!(spec.label(), s);
+            let spec: PipelineSpec = s.parse().unwrap();
+            assert_eq!(spec.to_string(), s);
         }
-        assert!(PipelineSpec::parse("nope").is_none());
+        assert!("nope".parse::<PipelineSpec>().is_err());
     }
 }

@@ -8,19 +8,21 @@
 //! * [`report`] — the pipeline instrumentation layer ([`PhaseTimer`],
 //!   [`PhaseRecord`], [`PipelineReport`], [`run_pipeline`]) and the lint
 //!   certification gates, re-exported by `fcc-bench` for compatibility;
-//! * [`compile`] — [`compile_function`] (the one code path behind
-//!   `fcc`'s pipeline flags) and [`compile_module`], which shards a
-//!   [`fcc_ir::Module`]'s functions across the pool and merges outcomes
-//!   in module order;
+//! * [`request`] — [`CompileRequest`], the one description of a
+//!   compilation (pipeline knobs, fail mode, fuel, jobs, report format)
+//!   shared by the library API, the CLI, the serve protocol, and the
+//!   serve cache key, plus the unified batch entry point
+//!   [`compile_module`]`(module, &req)`;
+//! * [`compile`] — [`compile_function`], the one code path behind
+//!   `fcc`'s pipeline flags;
 //! * [`fuzz`] — the `fcc fuzz` campaign driver: seeded program
 //!   generation, a differential interpreter + audit oracle, and greedy
 //!   shrinking of failures to minimal MiniLang repros;
 //! * [`recover`] — the fault-tolerance layer: per-function panic
-//!   isolation ([`recover::contain`]), fuel enforcement, the
-//!   graceful-degradation ladder ([`compile_with_ladder`]), and the
-//!   total batch entry point [`compile_module_guarded`] whose
-//!   [`BatchOutcome`] reports every function as ok / recovered /
-//!   failed.
+//!   isolation ([`recover::contain`]), fuel enforcement, and the
+//!   graceful-degradation ladder ([`run_ladder`]) whose per-function
+//!   [`FunctionReport`]s the batch entry point aggregates into a
+//!   [`BatchOutcome`] (every function ok / recovered / failed).
 //!
 //! Determinism is the design invariant throughout: workers own their
 //! analysis state, results merge in input order, and recovery decisions
@@ -30,13 +32,14 @@
 //! ## Example
 //!
 //! ```
-//! use fcc_driver::{compile_module, CompileConfig};
+//! use fcc_driver::{compile_module, CompileRequest};
 //!
 //! let module = fcc_frontend::compile_module(
 //!     "fn a(x) { return x + 1; }\nfn b(x) { return x * 2; }",
 //! ).unwrap();
-//! let out = compile_module(module, 2, &CompileConfig::default()).unwrap();
-//! assert_eq!(out.functions.len(), 2);
+//! let batch = compile_module(module, &CompileRequest::new().jobs(2)).unwrap();
+//! assert_eq!(batch.counts(), (2, 0, 0));
+//! let out = batch.into_module_outcome().unwrap();
 //! assert!(out.functions.iter().all(|o| !o.func.has_phis()));
 //! ```
 
@@ -45,19 +48,28 @@ pub mod fuzz;
 pub mod pool;
 pub mod recover;
 pub mod report;
+pub mod request;
 
-pub use compile::{
-    compile_function, compile_module, CompileConfig, FunctionOutcome, ModuleOutcome, PipelineSpec,
-};
+pub use compile::{compile_function, FunctionOutcome, ModuleOutcome, PipelineSpec};
 pub use fuzz::{
     check_program, check_program_with, failure_class, fuzz, FuzzConfig, FuzzFailure, FuzzOutcome,
 };
 pub use pool::{par_map, resolve_jobs, BatchTiming};
 pub use recover::{
-    compile_function_guarded, compile_module_guarded, compile_with_ladder, BatchOutcome, FailMode,
-    FaultPolicy, FnStatus, FunctionReport,
+    compile_function_guarded, run_ladder, BatchOutcome, FailMode, FnStatus, FunctionReport,
 };
 pub use report::{
     certify_kernels, certify_or_die, certify_pipeline, merge_phases, render_phases, run_pipeline,
     us, PhaseRecord, PhaseStats, PhaseTimer, Pipeline, PipelineReport, Table,
 };
+pub use request::{
+    compile_function_report, compile_module, CompileRequest, ReportFormat, RequestError,
+};
+
+// Legacy surface, kept for one release: the config/policy pair and the
+// three batch entry points it parameterised all delegate to
+// `CompileRequest` now.
+#[allow(deprecated)]
+pub use compile::CompileConfig;
+#[allow(deprecated)]
+pub use recover::{compile_module_guarded, compile_with_ladder, FaultPolicy};

@@ -8,8 +8,8 @@
 //! the pass that was running (the same thread-local label stream the
 //! phase timers and `--verify-each` maintain), never as a dead batch.
 //!
-//! On failure, [`compile_with_ladder`] retries the function down a
-//! degradation ladder:
+//! On failure, [`run_ladder`] retries the function down a degradation
+//! ladder:
 //!
 //! 1. the requested configuration;
 //! 2. the `standard` destruction pipeline (naive φ instantiation — no
@@ -39,17 +39,20 @@ use fcc_analysis::fuel::{self, Fuel};
 use fcc_core::CompileError;
 use fcc_ir::{Function, Module};
 
-use crate::compile::{
-    compile_function, CompileConfig, FunctionOutcome, ModuleOutcome, PipelineSpec,
-};
+use crate::compile::{compile_function, FunctionOutcome, ModuleOutcome, PipelineSpec};
 use crate::pool::{par_map, BatchTiming};
 use crate::report::Table;
+use crate::request::{CompileRequest, RequestError};
+
+#[allow(deprecated)]
+use crate::compile::CompileConfig;
 
 /// What the batch does with a function whose compile fails.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum FailMode {
     /// Report the first failure and abort the batch (the pre-existing
     /// `compile_module` contract).
+    #[default]
     Abort,
     /// Quarantine the function (drop it from the output module) and keep
     /// going.
@@ -61,16 +64,17 @@ pub enum FailMode {
 
 impl FailMode {
     /// Parse the CLI spelling.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the `FromStr` impl: `s.parse::<FailMode>()`"
+    )]
     pub fn parse(s: &str) -> Option<Self> {
-        Some(match s {
-            "abort" => FailMode::Abort,
-            "skip" => FailMode::Skip,
-            "degrade" => FailMode::Degrade,
-            _ => return None,
-        })
+        s.parse().ok()
     }
 
-    /// The CLI spelling.
+    /// The canonical spelling, shared by the CLI, the serve protocol,
+    /// and the cache key (also what [`Display`](std::fmt::Display)
+    /// prints).
     pub fn label(self) -> &'static str {
         match self {
             FailMode::Abort => "abort",
@@ -80,23 +84,35 @@ impl FailMode {
     }
 }
 
+impl std::fmt::Display for FailMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for FailMode {
+    type Err = RequestError;
+
+    fn from_str(s: &str) -> Result<Self, RequestError> {
+        [FailMode::Abort, FailMode::Skip, FailMode::Degrade]
+            .into_iter()
+            .find(|m| m.label() == s)
+            .ok_or_else(|| RequestError::UnknownFailMode(s.to_string()))
+    }
+}
+
 /// The batch's failure-handling policy: what to do on failure and how
 /// many fuel steps each compile attempt may spend.
-#[derive(Clone, Copy, Debug)]
+#[deprecated(
+    since = "0.2.0",
+    note = "use `CompileRequest`, whose `fail_mode` and `fuel` fields replace this struct"
+)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct FaultPolicy {
     /// Failure disposition.
     pub mode: FailMode,
     /// Per-attempt step budget; `None` = unlimited (counting only).
     pub fuel: Option<u64>,
-}
-
-impl Default for FaultPolicy {
-    fn default() -> Self {
-        FaultPolicy {
-            mode: FailMode::Abort,
-            fuel: None,
-        }
-    }
 }
 
 thread_local! {
@@ -162,10 +178,10 @@ pub fn contain<T>(
 /// [`compile_function`] under [`contain`]: one attempt, isolated.
 pub fn compile_function_guarded(
     func: Function,
-    cfg: &CompileConfig,
+    req: &CompileRequest,
     fuel_limit: Option<u64>,
 ) -> (Result<FunctionOutcome, CompileError>, u64) {
-    contain(fuel_limit, move || compile_function(func, cfg))
+    contain(fuel_limit, move || compile_function(func, req))
 }
 
 /// One failed rung of the ladder.
@@ -215,7 +231,7 @@ pub struct FunctionReport {
     pub outcome: Option<FunctionOutcome>,
 }
 
-fn same_rung(a: &CompileConfig, b: &CompileConfig) -> bool {
+fn same_rung(a: &CompileRequest, b: &CompileRequest) -> bool {
     a.pipeline == b.pipeline
         && a.fold == b.fold
         && a.opt == b.opt
@@ -223,27 +239,27 @@ fn same_rung(a: &CompileConfig, b: &CompileConfig) -> bool {
         && a.simplify == b.simplify
 }
 
-/// The rung sequence for `cfg` under `mode`. Rung 0 is always the
-/// requested configuration; `Degrade` appends the `standard` pipeline
-/// and then bare SSA destruction, both with `--verify-each` forced on
-/// (recovered output is only trusted once the lint suite and the
-/// destruction audit have passed). Rungs identical to an earlier one
-/// are dropped.
-pub fn ladder(cfg: &CompileConfig, mode: FailMode) -> Vec<(String, CompileConfig)> {
-    let mut rungs: Vec<(String, CompileConfig)> =
-        vec![(cfg.pipeline.label().to_string(), cfg.clone())];
-    if mode == FailMode::Degrade {
-        let mut standard = cfg.clone();
-        standard.pipeline = PipelineSpec::Standard;
-        standard.verify_each = true;
-        let bare = CompileConfig {
-            pipeline: PipelineSpec::Standard,
-            fold: false,
-            opt: false,
-            verify_each: true,
-            simplify: false,
-            alloc: cfg.alloc,
-        };
+/// The rung sequence for `req` (per its `fail_mode`). Rung 0 is always
+/// the requested configuration; `Degrade` appends the `standard`
+/// pipeline and then bare SSA destruction, both with `--verify-each`
+/// forced on (recovered output is only trusted once the lint suite and
+/// the destruction audit have passed). Rungs identical to an earlier
+/// one are dropped.
+pub fn ladder(req: &CompileRequest) -> Vec<(String, CompileRequest)> {
+    let mut rungs: Vec<(String, CompileRequest)> =
+        vec![(req.pipeline.label().to_string(), req.clone())];
+    if req.fail_mode == FailMode::Degrade {
+        let standard = req
+            .clone()
+            .pipeline(PipelineSpec::Standard)
+            .verify_each(true);
+        let bare = req
+            .clone()
+            .pipeline(PipelineSpec::Standard)
+            .fold(false)
+            .opt(false)
+            .verify_each(true)
+            .simplify(false);
         for (label, rung) in [("standard", standard), ("bare", bare)] {
             if !rungs.iter().any(|(_, r)| same_rung(r, &rung)) {
                 rungs.push((label.to_string(), rung));
@@ -254,17 +270,17 @@ pub fn ladder(cfg: &CompileConfig, mode: FailMode) -> Vec<(String, CompileConfig
 }
 
 /// Compile `func` down the ladder until a rung succeeds. Every attempt
-/// is contained and gets a fresh fuel budget of `policy.fuel` steps.
-pub fn compile_with_ladder(
-    func: &Function,
-    cfg: &CompileConfig,
-    policy: &FaultPolicy,
-) -> FunctionReport {
-    let rungs = ladder(cfg, policy.mode);
+/// is contained and gets a fresh fuel budget of `req.fuel` steps.
+///
+/// This is the per-function engine behind the unified
+/// [`crate::request::compile_module`] entry point; the serve daemon also
+/// calls it for cache misses.
+pub fn run_ladder(func: &Function, req: &CompileRequest) -> FunctionReport {
+    let rungs = ladder(req);
     let mut attempts: Vec<Attempt> = Vec::new();
     let mut fuel_spent = 0u64;
     for (tried, (label, rung)) in rungs.iter().enumerate() {
-        let (result, spent) = compile_function_guarded(func.clone(), rung, policy.fuel);
+        let (result, spent) = compile_function_guarded(func.clone(), rung, req.fuel);
         fuel_spent += spent;
         match result {
             Ok(outcome) => {
@@ -296,6 +312,21 @@ pub fn compile_with_ladder(
         fuel_spent,
         outcome: None,
     }
+}
+
+/// Compile `func` down the ladder under a legacy config + policy pair.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `compile_function_report(func, &CompileRequest)`; the fail mode and fuel are request fields now"
+)]
+#[allow(deprecated)]
+pub fn compile_with_ladder(
+    func: &Function,
+    cfg: &CompileConfig,
+    policy: &FaultPolicy,
+) -> FunctionReport {
+    let req = cfg.to_request().fail_mode(policy.mode).fuel(policy.fuel);
+    run_ladder(func, &req)
 }
 
 /// One fault-tolerant batch: a report per function, in module order.
@@ -471,20 +502,29 @@ impl BatchOutcome {
     }
 }
 
-/// Compile every function of `module` under the fault policy: each on
-/// its own containment boundary, retried down the ladder per
-/// `policy.mode`. Never fails — failure is data in the returned
-/// [`BatchOutcome`].
+/// Compile every function of `module` under a legacy config + policy
+/// pair. Never fails — failure is data in the returned [`BatchOutcome`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `compile_module(module, &CompileRequest)`; fail mode, fuel, and jobs are request fields now"
+)]
+#[allow(deprecated)]
 pub fn compile_module_guarded(
     module: Module,
     jobs: usize,
     cfg: &CompileConfig,
     policy: &FaultPolicy,
 ) -> BatchOutcome {
+    let req = cfg
+        .to_request()
+        .fail_mode(policy.mode)
+        .fuel(policy.fuel)
+        .jobs(jobs);
+    // A legacy config cannot express an invalid request beyond the
+    // briggs/fold precondition, which run_ladder re-reports per
+    // function, so validation cannot fire here.
     let funcs = module.into_functions();
-    let (functions, timing) = par_map(funcs.len(), jobs, |i| {
-        compile_with_ladder(&funcs[i], cfg, policy)
-    });
+    let (functions, timing) = par_map(funcs.len(), jobs, |i| run_ladder(&funcs[i], &req));
     BatchOutcome { functions, timing }
 }
 
@@ -517,24 +557,22 @@ mod tests {
     fn the_ladder_deduplicates_rungs() {
         // Requesting `standard` already matches rung 1 except for
         // verify_each; a fully-bare request collapses rung 2 too.
-        let bare = CompileConfig {
-            pipeline: PipelineSpec::Standard,
-            fold: false,
-            opt: false,
-            verify_each: true,
-            simplify: false,
-            alloc: None,
-        };
-        let rungs = ladder(&bare, FailMode::Degrade);
+        let bare = CompileRequest::new()
+            .pipeline(PipelineSpec::Standard)
+            .fold(false)
+            .verify_each(true)
+            .fail_mode(FailMode::Degrade);
+        let rungs = ladder(&bare);
         assert_eq!(rungs.len(), 1, "bare request has nowhere to degrade to");
-        let rungs = ladder(&CompileConfig::default(), FailMode::Degrade);
+        let degrade = CompileRequest::new().fail_mode(FailMode::Degrade);
+        let rungs = ladder(&degrade);
         assert_eq!(rungs.len(), 3);
         assert_eq!(rungs[0].0, "new");
         assert_eq!(rungs[1].0, "standard");
         assert_eq!(rungs[2].0, "bare");
         assert!(rungs[1].1.verify_each && rungs[2].1.verify_each);
         assert_eq!(
-            ladder(&CompileConfig::default(), FailMode::Abort).len(),
+            ladder(&CompileRequest::new()).len(),
             1,
             "abort and skip never degrade"
         );

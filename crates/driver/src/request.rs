@@ -1,0 +1,395 @@
+//! `CompileRequest` — the one description of a compilation.
+//!
+//! Before this module, "how to compile" was scattered across four
+//! surfaces that could drift apart: [`CompileConfig`] (the per-function
+//! pipeline knobs), [`FaultPolicy`] (failure disposition + fuel), the
+//! `--jobs` width passed positionally, and the report `--format` string
+//! parsed ad hoc by the CLI. [`CompileRequest`] collapses them into one
+//! builder-style value that is simultaneously:
+//!
+//! * the **library entry point** — [`compile_module`]`(module, &req)`
+//!   replaces the `compile_module` / `compile_module_guarded` /
+//!   `compile_with_ladder` trio, with guarded/ladder behaviour selected
+//!   by [`CompileRequest::fail_mode`], not by which function you call;
+//! * the **CLI flag target** — every `fcc build` flag maps to one field;
+//! * the **protocol body** — `fcc serve` deserialises request objects
+//!   field-for-field into this struct;
+//! * the **cache-key input** — [`CompileRequest::cache_signature`] is
+//!   the canonical spelling hashed into the serve daemon's
+//!   content-addressed function cache (only fields that can change the
+//!   output participate; `jobs` and `format` are display concerns).
+//!
+//! Preconditions are data, not stringly errors: [`CompileRequest::validate`]
+//! returns a typed [`RequestError`], so the serve daemon can reject a
+//! bad request as a 4xx-style protocol error before any worker spawns.
+//!
+//! Everything parses and prints through one shared [`FromStr`]/
+//! [`Display`] pair per enum ([`PipelineSpec`], [`FailMode`],
+//! [`ReportFormat`]) — the CLI, the wire protocol, and the cache key
+//! cannot disagree about spellings.
+
+use std::fmt;
+use std::str::FromStr;
+
+use fcc_ir::{Function, Module};
+
+use crate::compile::PipelineSpec;
+use crate::pool::par_map;
+use crate::recover::{BatchOutcome, FailMode, FunctionReport};
+
+/// Where a report is rendered: the CLI `--format` flag, the serve
+/// protocol's `format` field, and the outcome-table renderers all speak
+/// this enum.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ReportFormat {
+    /// Fixed-width tables for humans.
+    #[default]
+    Text,
+    /// A JSON document for tooling.
+    Json,
+}
+
+impl ReportFormat {
+    /// The canonical spelling (also what [`Display`] prints).
+    pub fn label(self) -> &'static str {
+        match self {
+            ReportFormat::Text => "text",
+            ReportFormat::Json => "json",
+        }
+    }
+}
+
+impl fmt::Display for ReportFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for ReportFormat {
+    type Err = RequestError;
+
+    fn from_str(s: &str) -> Result<Self, RequestError> {
+        match s {
+            "text" => Ok(ReportFormat::Text),
+            "json" => Ok(ReportFormat::Json),
+            other => Err(RequestError::UnknownFormat(other.to_string())),
+        }
+    }
+}
+
+/// A request that cannot be compiled as written. The typed counterpart
+/// of the stringly precondition errors the entry points used to return:
+/// the serve daemon maps each variant to a 4xx-style protocol error
+/// (`kind` = [`RequestError::kind`]) before spawning any worker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RequestError {
+    /// `--pipeline` value not in the canonical set.
+    UnknownPipeline(String),
+    /// `--fail-mode` value not in the canonical set.
+    UnknownFailMode(String),
+    /// `--format` value not in the canonical set.
+    UnknownFormat(String),
+    /// The briggs pipelines destruct by φ-web unioning, which requires
+    /// copies kept un-folded (webs must be interference-free).
+    BriggsNeedsNoFold(PipelineSpec),
+    /// `--alloc 0` can never colour anything.
+    ZeroRegisters,
+}
+
+impl RequestError {
+    /// Stable machine-readable discriminant (the protocol's error
+    /// `kind`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RequestError::UnknownPipeline(_) => "unknown-pipeline",
+            RequestError::UnknownFailMode(_) => "unknown-fail-mode",
+            RequestError::UnknownFormat(_) => "unknown-format",
+            RequestError::BriggsNeedsNoFold(_) => "briggs-needs-no-fold",
+            RequestError::ZeroRegisters => "zero-registers",
+        }
+    }
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestError::UnknownPipeline(s) => write!(
+                f,
+                "unknown pipeline {s:?} (expected new, new-cut, standard, sreedhar, briggs, or briggs-star)"
+            ),
+            RequestError::UnknownFailMode(s) => write!(
+                f,
+                "unknown fail mode {s:?} (expected abort, skip, or degrade)"
+            ),
+            RequestError::UnknownFormat(s) => {
+                write!(f, "unknown report format {s:?} (expected text or json)")
+            }
+            RequestError::BriggsNeedsNoFold(p) => write!(
+                f,
+                "the {p} pipeline needs --no-fold (phi webs must be interference-free)"
+            ),
+            RequestError::ZeroRegisters => write!(f, "--alloc needs at least one register"),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+/// Everything a compilation needs to know, in one place.
+///
+/// Construct with the builder methods and finish with
+/// [`CompileRequest::validate`] (the batch entry point validates again,
+/// so a hand-assembled struct literal is also safe):
+///
+/// ```
+/// use fcc_driver::{compile_module, CompileRequest, FailMode};
+///
+/// let req = CompileRequest::new()
+///     .opt(true)
+///     .fail_mode(FailMode::Degrade)
+///     .jobs(2);
+/// let module = fcc_frontend::compile_module("fn a(x) { return x + 1; }").unwrap();
+/// let batch = compile_module(module, &req).unwrap();
+/// assert_eq!(batch.counts(), (1, 0, 0));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompileRequest {
+    /// Which destruction pipeline to run.
+    pub pipeline: PipelineSpec,
+    /// Fold copies while building SSA.
+    pub fold: bool,
+    /// Run the optimiser pipeline on the SSA (briggs pipelines get the
+    /// copy-preserving variant).
+    pub opt: bool,
+    /// Lint between phases and audit the destruction trace.
+    pub verify_each: bool,
+    /// Simplify the CFG after destruction.
+    pub simplify: bool,
+    /// Colour with this many registers after destruction.
+    pub alloc: Option<usize>,
+    /// What to do when a function's compile fails.
+    pub fail_mode: FailMode,
+    /// Per-attempt fuel budget; `None` = unlimited (counting only).
+    pub fuel: Option<u64>,
+    /// Worker threads for batch compilation (`0` = available
+    /// parallelism). Never affects output, only wall time.
+    pub jobs: usize,
+    /// How reports are rendered. Never affects compiled output.
+    pub format: ReportFormat,
+}
+
+impl Default for CompileRequest {
+    fn default() -> Self {
+        CompileRequest {
+            pipeline: PipelineSpec::New,
+            fold: true,
+            opt: false,
+            verify_each: false,
+            simplify: false,
+            alloc: None,
+            fail_mode: FailMode::Abort,
+            fuel: None,
+            jobs: 0,
+            format: ReportFormat::Text,
+        }
+    }
+}
+
+impl CompileRequest {
+    /// The default request: `new` pipeline, folding on, everything else
+    /// off, abort on failure.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the destruction pipeline.
+    pub fn pipeline(mut self, p: PipelineSpec) -> Self {
+        self.pipeline = p;
+        self
+    }
+
+    /// Fold copies during SSA construction (`--no-fold` = `fold(false)`).
+    pub fn fold(mut self, on: bool) -> Self {
+        self.fold = on;
+        self
+    }
+
+    /// Run the optimiser pipeline.
+    pub fn opt(mut self, on: bool) -> Self {
+        self.opt = on;
+        self
+    }
+
+    /// Lint between phases and audit destruction.
+    pub fn verify_each(mut self, on: bool) -> Self {
+        self.verify_each = on;
+        self
+    }
+
+    /// Simplify the CFG after destruction.
+    pub fn simplify(mut self, on: bool) -> Self {
+        self.simplify = on;
+        self
+    }
+
+    /// Colour with `k` registers after destruction.
+    pub fn alloc(mut self, k: Option<usize>) -> Self {
+        self.alloc = k;
+        self
+    }
+
+    /// Failure disposition (abort / skip / degrade).
+    pub fn fail_mode(mut self, m: FailMode) -> Self {
+        self.fail_mode = m;
+        self
+    }
+
+    /// Per-attempt fuel budget.
+    pub fn fuel(mut self, fuel: Option<u64>) -> Self {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Worker threads (`0` = available parallelism).
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Report rendering format.
+    pub fn format(mut self, f: ReportFormat) -> Self {
+        self.format = f;
+        self
+    }
+
+    /// Check the request's preconditions, returning the first violation
+    /// as a typed error.
+    ///
+    /// This is where the briggs-needs-`--no-fold` rule lives now: the
+    /// serve daemon rejects an invalid request at the protocol boundary,
+    /// and the batch entry point re-checks before any worker spawns.
+    pub fn validate(&self) -> Result<(), RequestError> {
+        if self.pipeline.needs_no_fold() && self.fold {
+            return Err(RequestError::BriggsNeedsNoFold(self.pipeline));
+        }
+        if self.alloc == Some(0) {
+            return Err(RequestError::ZeroRegisters);
+        }
+        Ok(())
+    }
+
+    /// The canonical cache-key spelling of every field that can change
+    /// compiled output. `jobs` and `format` are deliberately absent
+    /// (parallelism and rendering never change bytes); a schema revision
+    /// is prepended by the cache itself so key layout changes invalidate
+    /// cleanly.
+    pub fn cache_signature(&self) -> String {
+        format!(
+            "pipeline={} fold={} opt={} verify={} simplify={} alloc={} fail={} fuel={}",
+            self.pipeline,
+            self.fold,
+            self.opt,
+            self.verify_each,
+            self.simplify,
+            match self.alloc {
+                Some(k) => k.to_string(),
+                None => "-".to_string(),
+            },
+            self.fail_mode,
+            match self.fuel {
+                Some(n) => n.to_string(),
+                None => "-".to_string(),
+            },
+        )
+    }
+}
+
+/// Compile one function per the request: a contained, ladder-retried
+/// attempt sequence whose shape depends only on the function and the
+/// request (never on sibling functions or worker scheduling).
+///
+/// This is the per-function unit behind [`compile_module`]; the serve
+/// daemon also calls it directly for cache misses.
+pub fn compile_function_report(func: &Function, req: &CompileRequest) -> FunctionReport {
+    crate::recover::run_ladder(func, req)
+}
+
+/// Compile every function of `module` per the request — **the** batch
+/// entry point.
+///
+/// Failure handling is selected by [`CompileRequest::fail_mode`], not by
+/// which function you call:
+///
+/// * [`FailMode::Abort`] — the returned [`BatchOutcome`] still records
+///   every function; callers that want the old abort-on-first-error
+///   contract check [`BatchOutcome::first_error`] (the deprecated
+///   `compile_module(module, jobs, cfg)` shim does exactly that);
+/// * [`FailMode::Skip`] — failed functions are quarantined;
+/// * [`FailMode::Degrade`] — failed functions retry down the
+///   degradation ladder before quarantine.
+///
+/// # Errors
+/// Only [`CompileRequest::validate`] failures — compilation itself is
+/// total; per-function failure is data in the outcome.
+pub fn compile_module(module: Module, req: &CompileRequest) -> Result<BatchOutcome, RequestError> {
+    req.validate()?;
+    let funcs = module.into_functions();
+    let (functions, timing) = par_map(funcs.len(), req.jobs, |i| {
+        compile_function_report(&funcs[i], req)
+    });
+    Ok(BatchOutcome { functions, timing })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_rejects_briggs_with_folding_typed() {
+        let req = CompileRequest::new().pipeline(PipelineSpec::Briggs);
+        let err = req.validate().unwrap_err();
+        assert_eq!(err.kind(), "briggs-needs-no-fold");
+        assert!(err.to_string().contains("--no-fold"));
+        assert!(req.fold(false).validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_zero_registers() {
+        let err = CompileRequest::new().alloc(Some(0)).validate().unwrap_err();
+        assert_eq!(err, RequestError::ZeroRegisters);
+    }
+
+    #[test]
+    fn cache_signature_ignores_jobs_and_format() {
+        let a = CompileRequest::new().jobs(1).format(ReportFormat::Text);
+        let b = CompileRequest::new().jobs(8).format(ReportFormat::Json);
+        assert_eq!(a.cache_signature(), b.cache_signature());
+        let c = CompileRequest::new().opt(true);
+        assert_ne!(a.cache_signature(), c.cache_signature());
+    }
+
+    #[test]
+    fn entry_point_validates_before_spawning() {
+        let module = fcc_frontend::compile_module("fn a(x) { return x; }").unwrap();
+        let req = CompileRequest::new().pipeline(PipelineSpec::Briggs);
+        assert_eq!(
+            compile_module(module, &req).unwrap_err().kind(),
+            "briggs-needs-no-fold"
+        );
+    }
+
+    #[test]
+    fn fail_mode_selects_the_ladder() {
+        // One batch entry point, three behaviours: the briggs check above
+        // covers abort; here degrade recovers a function that the
+        // requested pipeline cannot compile (injection-free: fuel 1 makes
+        // every rung's first checkpoint trip, so all rungs fail).
+        let module = fcc_frontend::compile_module("fn a(x) { return x + 1; }").unwrap();
+        let req = CompileRequest::new()
+            .fail_mode(FailMode::Degrade)
+            .fuel(Some(1));
+        let batch = compile_module(module, &req).unwrap();
+        assert_eq!(batch.counts(), (0, 0, 1));
+        assert_eq!(batch.functions[0].attempts.len(), 3, "all rungs tried");
+    }
+}

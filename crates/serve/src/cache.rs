@@ -1,0 +1,386 @@
+//! The content-addressed incremental function cache.
+//!
+//! The unit of caching is one *function*, not one module: a daemon
+//! serving edit-compile loops sees mostly-unchanged modules, and
+//! per-function keys mean only the edited functions recompile. The key
+//! is the hash of everything that can change a function's compiled
+//! output — and nothing else:
+//!
+//! ```text
+//! key = fnv64( "schema=" CACHE_SCHEMA
+//!              ";" CompileRequest::cache_signature()   (pipeline, fold,
+//!                  opt, verify, simplify, alloc, fail mode, fuel)
+//!              ";fn=" canonical function text )
+//! ```
+//!
+//! The canonical function text is the *lowered pre-SSA IR* printed by
+//! `fcc_ir`'s `Display` — not the MiniLang source — so whitespace,
+//! comments, and the source language drop out of the key.
+//! [`CACHE_SCHEMA`] folds the crate version in: any release may change
+//! codegen, so cached artifacts never survive an upgrade. `jobs` and the
+//! report format are deliberately absent (they never change bytes), which
+//! is what keeps cached replies byte-identical at any `--jobs` width.
+//!
+//! Values are whole [`FunctionReport`]s — compiled output, phase
+//! records, stat lines, attempt history — so a hit replays the original
+//! compile exactly. Failed compiles are cached too: failure is
+//! deterministic data here, and re-running a known-failing function on
+//! every resubmit would let one bad function starve the batch.
+//!
+//! Eviction is LRU under a byte budget ([`FnCache::with_budget`]):
+//! inserting past the budget evicts least-recently-used entries until
+//! the new entry fits. Hash collisions are handled by storing the full
+//! canonical key in the entry and comparing on probe — a mismatch is a
+//! miss (and the insert replaces the colliding entry), never a wrong
+//! answer.
+
+use std::collections::HashMap;
+
+use fcc_driver::{compile_function_report, par_map, BatchTiming, CompileRequest, FunctionReport};
+use fcc_ir::Module;
+
+/// Cache-key schema revision: the crate version plus a manual rev for
+/// key-layout changes within a release. Part of every key, so bumping
+/// either invalidates the whole cache.
+pub const CACHE_SCHEMA: &str = concat!(env!("CARGO_PKG_VERSION"), "/1");
+
+/// 64-bit FNV-1a. Stable across platforms and releases (unlike
+/// `DefaultHasher`, which documents no such guarantee), which matters
+/// because [`CACHE_SCHEMA`] — not hasher drift — must be the only thing
+/// that invalidates a cache.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Build the canonical cache key for one function under one request.
+pub fn cache_key(canonical_fn_text: &str, req: &CompileRequest) -> String {
+    format!(
+        "schema={CACHE_SCHEMA};{};fn={canonical_fn_text}",
+        req.cache_signature()
+    )
+}
+
+/// Hit/miss/eviction counters, cumulative over the cache's lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Probes answered from the cache.
+    pub hits: u64,
+    /// Probes that had to compile.
+    pub misses: u64,
+    /// Entries evicted to fit the byte budget.
+    pub evictions: u64,
+    /// Entries replaced because a different key hashed to the same slot.
+    pub collisions: u64,
+    /// Entries inserted (including replacements).
+    pub insertions: u64,
+}
+
+impl CacheStats {
+    /// Hits over probes, 0.0 for an unprobed cache.
+    pub fn hit_rate(&self) -> f64 {
+        let probes = self.hits + self.misses;
+        if probes == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / probes as f64
+    }
+}
+
+struct Entry {
+    /// Full canonical key, compared on probe to rule out collisions.
+    key: String,
+    report: FunctionReport,
+    bytes: usize,
+    last_used: u64,
+}
+
+/// The LRU byte-budgeted function cache.
+pub struct FnCache {
+    entries: HashMap<u64, Entry>,
+    budget: usize,
+    held_bytes: usize,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl FnCache {
+    /// An empty cache holding at most `budget` (approximate) bytes.
+    pub fn with_budget(budget: usize) -> Self {
+        FnCache {
+            entries: HashMap::new(),
+            budget,
+            held_bytes: 0,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Approximate bytes currently held.
+    pub fn held_bytes(&self) -> usize {
+        self.held_bytes
+    }
+
+    /// Live entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Probe for `key`, counting a hit or miss and refreshing recency.
+    pub fn get(&mut self, key: &str) -> Option<FunctionReport> {
+        self.tick += 1;
+        let hash = fnv64(key.as_bytes());
+        match self.entries.get_mut(&hash) {
+            Some(e) if e.key == key => {
+                e.last_used = self.tick;
+                self.stats.hits += 1;
+                Some(e.report.clone())
+            }
+            _ => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a compiled report under `key`, evicting LRU entries as
+    /// needed to respect the byte budget. An entry larger than the whole
+    /// budget is not cached at all.
+    pub fn insert(&mut self, key: &str, report: &FunctionReport) {
+        self.tick += 1;
+        let bytes = approx_report_bytes(key, report);
+        if bytes > self.budget {
+            return;
+        }
+        let hash = fnv64(key.as_bytes());
+        if let Some(old) = self.entries.remove(&hash) {
+            self.held_bytes -= old.bytes;
+            if old.key != key {
+                self.stats.collisions += 1;
+            }
+        }
+        while self.held_bytes + bytes > self.budget {
+            // O(n) LRU scan: the daemon's entry counts are small
+            // (thousands), and eviction only runs when the budget is
+            // actually exceeded.
+            let Some((&lru, _)) = self.entries.iter().min_by_key(|(_, e)| e.last_used) else {
+                break;
+            };
+            let evicted = self.entries.remove(&lru).expect("lru key just found");
+            self.held_bytes -= evicted.bytes;
+            self.stats.evictions += 1;
+        }
+        self.held_bytes += bytes;
+        self.stats.insertions += 1;
+        self.entries.insert(
+            hash,
+            Entry {
+                key: key.to_string(),
+                report: report.clone(),
+                bytes,
+                last_used: self.tick,
+            },
+        );
+    }
+}
+
+/// Approximate the resident size of one cached entry: the canonical key,
+/// the rewritten function's text, the stat lines and attempt details,
+/// plus a fixed per-entry overhead for the structs themselves. An
+/// estimate is fine — the budget bounds growth, it does not meter an
+/// allocator.
+fn approx_report_bytes(key: &str, report: &FunctionReport) -> usize {
+    let mut bytes = 128 + key.len() + report.name.len();
+    if let Some(out) = &report.outcome {
+        bytes += out.func.to_string().len();
+        bytes += out.stat_lines.iter().map(String::len).sum::<usize>();
+        bytes += out.phases.len() * 96;
+    }
+    for a in &report.attempts {
+        bytes += 64 + a.rung.len();
+    }
+    bytes
+}
+
+/// One cached batch compilation: per-function reports in module order
+/// plus how the cache answered.
+pub struct CachedBatch {
+    /// Reports, index-aligned with the input module's functions.
+    pub functions: Vec<FunctionReport>,
+    /// Pool timing over the miss set (zero work on a full hit).
+    pub timing: BatchTiming,
+    /// Functions answered from the cache.
+    pub hits: usize,
+    /// Functions compiled this call.
+    pub misses: usize,
+}
+
+/// Compile `module` per `req`, answering unchanged functions from the
+/// cache and compiling only the misses (sharded across the worker pool,
+/// merged back in module order).
+///
+/// Determinism: a hit replays the report the miss path produced, the
+/// miss path depends only on (function, request), and merging is by
+/// module index — so the assembled batch is byte-identical whether the
+/// cache was cold, warm, or partially warm, at any `req.jobs` width.
+pub fn compile_module_cached(
+    module: Module,
+    req: &CompileRequest,
+    cache: &mut FnCache,
+) -> CachedBatch {
+    let funcs = module.into_functions();
+    let keys: Vec<String> = funcs
+        .iter()
+        .map(|f| cache_key(&f.to_string(), req))
+        .collect();
+
+    let mut slots: Vec<Option<FunctionReport>> = Vec::with_capacity(funcs.len());
+    let mut miss_idx: Vec<usize> = Vec::new();
+    for (i, key) in keys.iter().enumerate() {
+        let cached = cache.get(key);
+        if cached.is_none() {
+            miss_idx.push(i);
+        }
+        slots.push(cached);
+    }
+
+    let (compiled, timing) = par_map(miss_idx.len(), req.jobs, |j| {
+        compile_function_report(&funcs[miss_idx[j]], req)
+    });
+    let (hits, misses) = (funcs.len() - miss_idx.len(), miss_idx.len());
+    for (j, report) in compiled.into_iter().enumerate() {
+        let i = miss_idx[j];
+        cache.insert(&keys[i], &report);
+        slots[i] = Some(report);
+    }
+
+    CachedBatch {
+        functions: slots
+            .into_iter()
+            .map(|s| s.expect("every slot is a hit or a compiled miss"))
+            .collect(),
+        timing,
+        hits,
+        misses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcc_driver::FnStatus;
+
+    fn module(n: usize, salt: usize) -> Module {
+        let mut src = String::new();
+        for i in 0..n {
+            src.push_str(&format!(
+                "fn f{i}(n) {{ let s = {}; for j = 0 to n {{ s = s + j; }} return s; }}\n",
+                i + salt
+            ));
+        }
+        fcc_frontend::compile_module(&src).unwrap()
+    }
+
+    #[test]
+    fn second_submission_is_all_hits_and_identical() {
+        let req = CompileRequest::new().opt(true);
+        let mut cache = FnCache::with_budget(64 << 20);
+        let cold = compile_module_cached(module(8, 0), &req, &mut cache);
+        assert_eq!((cold.hits, cold.misses), (0, 8));
+        let warm = compile_module_cached(module(8, 0), &req, &mut cache);
+        assert_eq!((warm.hits, warm.misses), (8, 0));
+        for (a, b) in cold.functions.iter().zip(&warm.functions) {
+            assert_eq!(a.status, b.status);
+            let (ao, bo) = (a.outcome.as_ref().unwrap(), b.outcome.as_ref().unwrap());
+            assert_eq!(ao.func.to_string(), bo.func.to_string());
+            assert_eq!(ao.stat_lines, bo.stat_lines);
+        }
+        assert_eq!(cache.stats().hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn editing_one_function_recompiles_only_it() {
+        let req = CompileRequest::new();
+        let mut cache = FnCache::with_budget(64 << 20);
+        compile_module_cached(module(8, 0), &req, &mut cache);
+        // Salt shifts every constant, but only f0's salt survives below.
+        let mut src = String::new();
+        src.push_str("fn f0(n) { let s = 999; for j = 0 to n { s = s + j; } return s; }\n");
+        for i in 1..8 {
+            src.push_str(&format!(
+                "fn f{i}(n) {{ let s = {i}; for j = 0 to n {{ s = s + j; }} return s; }}\n"
+            ));
+        }
+        let edited = fcc_frontend::compile_module(&src).unwrap();
+        let out = compile_module_cached(edited, &req, &mut cache);
+        assert_eq!((out.hits, out.misses), (7, 1));
+    }
+
+    #[test]
+    fn the_request_is_part_of_the_key() {
+        let mut cache = FnCache::with_budget(64 << 20);
+        compile_module_cached(module(2, 0), &CompileRequest::new(), &mut cache);
+        let out = compile_module_cached(module(2, 0), &CompileRequest::new().opt(true), &mut cache);
+        assert_eq!((out.hits, out.misses), (0, 2), "opt flag changes the key");
+        // ... but jobs does not.
+        let out = compile_module_cached(
+            module(2, 0),
+            &CompileRequest::new().opt(true).jobs(8),
+            &mut cache,
+        );
+        assert_eq!((out.hits, out.misses), (2, 0), "jobs is not key material");
+    }
+
+    #[test]
+    fn lru_eviction_respects_the_byte_budget() {
+        let req = CompileRequest::new();
+        // Size the budget from a real entry so the test tracks the
+        // estimator: room for roughly two of the eight functions.
+        let probe = compile_function_report(&module(1, 0).into_functions()[0], &req);
+        let one = approx_report_bytes(&cache_key("k", &req), &probe);
+        let mut cache = FnCache::with_budget(one * 5 / 2);
+        compile_module_cached(module(8, 0), &req, &mut cache);
+        let s = cache.stats();
+        assert!(s.evictions >= 6, "evictions={}", s.evictions);
+        assert!(cache.held_bytes() <= cache.budget());
+        assert!(cache.len() <= 2);
+    }
+
+    #[test]
+    fn failed_compiles_are_cached_too() {
+        // fuel=1 fails every function deterministically.
+        let req = CompileRequest::new().fuel(Some(1));
+        let mut cache = FnCache::with_budget(64 << 20);
+        let cold = compile_module_cached(module(2, 0), &req, &mut cache);
+        assert!(cold.functions.iter().all(|f| f.status == FnStatus::Failed));
+        let warm = compile_module_cached(module(2, 0), &req, &mut cache);
+        assert_eq!((warm.hits, warm.misses), (2, 0));
+        assert!(warm.functions.iter().all(|f| f.status == FnStatus::Failed));
+    }
+
+    #[test]
+    fn fnv64_matches_the_reference_vectors() {
+        assert_eq!(fnv64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+    }
+}

@@ -1,0 +1,345 @@
+//! The long-running compile service behind `fcc serve`.
+//!
+//! [`Daemon`] owns the state a service accumulates across requests: the
+//! daemon-default [`CompileRequest`] (what `fcc serve --opt --jobs 8`
+//! sets; per-request `request` objects override field-by-field) and the
+//! content-addressed [`FnCache`]. [`Daemon::handle_line`] maps one
+//! request line to one response line and never panics the process —
+//! per-function faults are already contained by the driver's ladder, and
+//! every protocol-level failure renders as an error response.
+//!
+//! [`serve_loop`] is the transport: any `BufRead`/`Write` pair, which is
+//! stdin/stdout under `fcc serve` and an in-memory buffer in the tests
+//! and the load generator — the protocol tests exercise the *exact*
+//! production byte path without spawning a process.
+
+use std::io::{self, BufRead, Write};
+
+use fcc_driver::{BatchOutcome, CompileRequest, FailMode};
+use fcc_ir::Module;
+
+use crate::cache::{compile_module_cached, FnCache};
+use crate::json::Json;
+use crate::protocol::{
+    error_response, parse_request, CompileBody, Lang, Request, ResponseBuilder, ServeError, Verb,
+};
+
+/// How a daemon starts: the default request and the cache budget.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Defaults applied to every compile (overridable per request).
+    pub defaults: CompileRequest,
+    /// Function-cache byte budget.
+    pub cache_budget: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            defaults: CompileRequest::new(),
+            cache_budget: 256 << 20,
+        }
+    }
+}
+
+/// The compile service's state machine: one instance per process,
+/// handling requests strictly in arrival order.
+pub struct Daemon {
+    defaults: CompileRequest,
+    cache: FnCache,
+    /// Compile requests answered (including failed compiles).
+    compiles: u64,
+    /// Requests answered with an error response.
+    errors: u64,
+}
+
+impl Daemon {
+    /// A fresh daemon with a cold cache.
+    pub fn new(opts: ServeOptions) -> Self {
+        Daemon {
+            defaults: opts.defaults,
+            cache: FnCache::with_budget(opts.cache_budget),
+            compiles: 0,
+            errors: 0,
+        }
+    }
+
+    /// The function cache (the load generator reads its counters).
+    pub fn cache(&self) -> &FnCache {
+        &self.cache
+    }
+
+    /// Answer one request line with one response line; the flag asks the
+    /// caller to stop reading (a `shutdown` verb was acknowledged).
+    pub fn handle_line(&mut self, line: &str) -> (String, bool) {
+        let request = match parse_request(line, &self.defaults) {
+            Ok(r) => r,
+            Err(e) => {
+                self.errors += 1;
+                // A malformed line has no trustworthy id to echo.
+                let id = json_id_of(line).unwrap_or(Json::Null);
+                return (error_response(&id, &e), false);
+            }
+        };
+        let Request { id, verb, compile } = request;
+        match verb {
+            Verb::Ping => (
+                ResponseBuilder::new(&id, true).str("verb", "ping").finish(),
+                false,
+            ),
+            Verb::Shutdown => (
+                ResponseBuilder::new(&id, true)
+                    .str("verb", "shutdown")
+                    .finish(),
+                true,
+            ),
+            Verb::Stats => (self.stats_response(&id), false),
+            Verb::Compile => {
+                let body = compile.expect("parse_request pairs Compile with a body");
+                match self.handle_compile(&id, &body) {
+                    Ok(resp) => (resp, false),
+                    Err(e) => {
+                        self.errors += 1;
+                        (error_response(&id, &e), false)
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle_compile(&mut self, id: &Json, body: &CompileBody) -> Result<String, ServeError> {
+        let module = parse_source(&body.source, body.lang)?;
+        self.compiles += 1;
+        let cached = compile_module_cached(module, &body.req, &mut self.cache);
+        let (hits, misses) = (cached.hits, cached.misses);
+        let batch = BatchOutcome {
+            functions: cached.functions,
+            timing: cached.timing,
+        };
+
+        if body.req.fail_mode == FailMode::Abort {
+            if let Some((name, e)) = batch.first_error() {
+                return Err(ServeError::compile_failed(format!("@{name}: {e}")));
+            }
+        }
+
+        let (ok, recovered, failed) = batch.counts();
+        let mut functions = String::from("[");
+        for (i, f) in batch.functions.iter().enumerate() {
+            if i > 0 {
+                functions.push(',');
+            }
+            let tried = f.attempts.len() + usize::from(f.outcome.is_some());
+            functions.push_str(&format!(
+                "{{\"name\":\"{}\",\"status\":\"{}\",\"attempts\":{tried}}}",
+                crate::json::escape(&f.name),
+                f.status.label()
+            ));
+        }
+        functions.push(']');
+        let counts = format!("{{\"ok\":{ok},\"recovered\":{recovered},\"failed\":{failed}}}");
+
+        // Everything appended up to here is replay-stable: statuses,
+        // counts, and output depend only on the request sequence, never
+        // on wall time or scheduling. The opt-in sections below are not.
+        let mut resp = ResponseBuilder::new(id, true)
+            .str("verb", "compile")
+            .raw("functions", &functions)
+            .raw("counts", &counts);
+
+        let report = body.want_report.then(|| match body.req.format {
+            fcc_driver::ReportFormat::Text => batch.outcome_table_text(),
+            fcc_driver::ReportFormat::Json => batch.outcome_table_json(body.req.fail_mode),
+        });
+        let wall_ms = batch.timing.wall.as_secs_f64() * 1e3;
+        let output = batch.into_surviving_module().to_string();
+        resp = resp.str("output", &output);
+        if let Some(report) = report {
+            resp = resp.str("report", &report);
+        }
+        if body.want_cache {
+            resp = resp.raw("cache", &format!("{{\"hits\":{hits},\"misses\":{misses}}}"));
+        }
+        if body.want_timing {
+            resp = resp.raw("timing", &format!("{{\"wall_ms\":{wall_ms:.3}}}"));
+        }
+        Ok(resp.finish())
+    }
+
+    fn stats_response(&self, id: &Json) -> String {
+        let s = self.cache.stats();
+        let cache = format!(
+            "{{\"hits\":{},\"misses\":{},\"evictions\":{},\"collisions\":{},\"insertions\":{},\"entries\":{},\"bytes\":{},\"budget\":{}}}",
+            s.hits,
+            s.misses,
+            s.evictions,
+            s.collisions,
+            s.insertions,
+            self.cache.len(),
+            self.cache.held_bytes(),
+            self.cache.budget()
+        );
+        ResponseBuilder::new(id, true)
+            .str("verb", "stats")
+            .raw("cache", &cache)
+            .num("compiles", self.compiles)
+            .num("errors", self.errors)
+            .finish()
+    }
+}
+
+/// Parse the module text per its declared language.
+fn parse_source(source: &str, lang: Lang) -> Result<Module, ServeError> {
+    match lang {
+        Lang::MiniLang => fcc_frontend::compile_module(source).map_err(ServeError::parse_error),
+        Lang::Ir => {
+            fcc_ir::parse::parse_module(source).map_err(|e| ServeError::parse_error(e.to_string()))
+        }
+    }
+}
+
+/// Best-effort id recovery from a line that failed request validation
+/// (but did parse as a JSON object).
+fn json_id_of(line: &str) -> Option<Json> {
+    crate::json::parse(line).ok()?.get("id").cloned()
+}
+
+/// Run the daemon over a transport until EOF or a `shutdown` verb.
+/// Blank lines are ignored; every other line gets exactly one response
+/// line, flushed immediately (clients block on the reply).
+pub fn serve_loop(
+    reader: impl BufRead,
+    mut writer: impl Write,
+    opts: ServeOptions,
+) -> io::Result<()> {
+    let mut daemon = Daemon::new(opts);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, shutdown) = daemon.handle_line(&line);
+        writeln!(writer, "{response}")?;
+        writer.flush()?;
+        if shutdown {
+            break;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn daemon() -> Daemon {
+        Daemon::new(ServeOptions::default())
+    }
+
+    fn compile_line(source: &str) -> String {
+        format!(
+            "{{\"v\":1,\"id\":1,\"verb\":\"compile\",\"source\":\"{}\"}}",
+            json::escape(source)
+        )
+    }
+
+    #[test]
+    fn compile_ping_stats_shutdown_round_trip() {
+        let mut d = daemon();
+        let (resp, stop) = d.handle_line(&compile_line("fn f(x) { return x + 1; }"));
+        assert!(!stop);
+        let doc = json::parse(&resp).unwrap();
+        assert_eq!(doc.get("ok").unwrap().as_bool(), Some(true));
+        let counts = doc.get("counts").unwrap();
+        assert_eq!(counts.get("ok").unwrap().as_u64(), Some(1));
+        assert!(doc
+            .get("output")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("function @f"));
+        assert!(doc.get("cache").is_none(), "cache counters are opt-in");
+        assert!(doc.get("timing").is_none(), "timing is opt-in");
+
+        let (resp, _) = d.handle_line(r#"{"v":1,"verb":"ping"}"#);
+        assert!(resp.contains("\"ok\":true"));
+
+        let (resp, _) = d.handle_line(r#"{"v":1,"verb":"stats"}"#);
+        let doc = json::parse(&resp).unwrap();
+        let cache = doc.get("cache").unwrap();
+        assert_eq!(cache.get("misses").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("compiles").unwrap().as_u64(), Some(1));
+
+        let (resp, stop) = d.handle_line(r#"{"v":1,"id":"bye","verb":"shutdown"}"#);
+        assert!(stop);
+        assert!(resp.contains("\"id\":\"bye\""));
+    }
+
+    #[test]
+    fn warm_responses_are_byte_identical_to_cold() {
+        let mut d = daemon();
+        let line = compile_line("fn f(x) { return x + 1; }\nfn g(y) { return y * 2; }");
+        let (cold, _) = d.handle_line(&line);
+        let (warm, _) = d.handle_line(&line);
+        assert_eq!(cold, warm);
+        let s = d.cache().stats();
+        assert_eq!((s.hits, s.misses), (2, 2));
+    }
+
+    #[test]
+    fn abort_mode_maps_failures_to_500() {
+        let mut d = daemon();
+        let line = format!(
+            "{{\"v\":1,\"verb\":\"compile\",\"source\":\"{}\",\"request\":{{\"fuel\":1}}}}",
+            json::escape("fn f(x) { return x + 1; }")
+        );
+        let (resp, stop) = d.handle_line(&line);
+        assert!(!stop, "a failed compile does not kill the daemon");
+        let doc = json::parse(&resp).unwrap();
+        assert_eq!(doc.get("ok").unwrap().as_bool(), Some(false));
+        let err = doc.get("error").unwrap();
+        assert_eq!(err.get("code").unwrap().as_u64(), Some(500));
+        assert_eq!(err.get("kind").unwrap().as_str(), Some("compile-failed"));
+    }
+
+    #[test]
+    fn parse_errors_are_422_and_echo_the_id() {
+        let mut d = daemon();
+        let (resp, _) = d.handle_line(r#"{"v":1,"id":9,"verb":"compile","source":"fn oops"}"#);
+        let doc = json::parse(&resp).unwrap();
+        assert_eq!(doc.get("id").unwrap().as_u64(), Some(9));
+        let err = doc.get("error").unwrap();
+        assert_eq!(err.get("code").unwrap().as_u64(), Some(422));
+        assert_eq!(err.get("kind").unwrap().as_str(), Some("parse-error"));
+    }
+
+    #[test]
+    fn serve_loop_speaks_jsonl_end_to_end() {
+        let input = format!(
+            "{}\n\n{}\n{}\n",
+            compile_line("fn f(x) { return x; }"),
+            r#"{"v":1,"verb":"stats"}"#,
+            r#"{"v":1,"verb":"shutdown"}"#
+        );
+        let mut out = Vec::new();
+        serve_loop(input.as_bytes(), &mut out, ServeOptions::default()).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "blank line ignored, three replies");
+        assert!(lines.iter().all(|l| json::parse(l).is_ok()));
+    }
+
+    #[test]
+    fn ir_lang_parses_the_textual_format() {
+        let mut d = daemon();
+        let func = fcc_frontend::compile("fn f(x) { return x + 1; }").unwrap();
+        let line = format!(
+            "{{\"v\":1,\"verb\":\"compile\",\"lang\":\"ir\",\"source\":\"{}\"}}",
+            json::escape(&func.to_string())
+        );
+        let (resp, _) = d.handle_line(&line);
+        let doc = json::parse(&resp).unwrap();
+        assert_eq!(doc.get("ok").unwrap().as_bool(), Some(true), "{resp}");
+    }
+}

@@ -1,0 +1,37 @@
+//! # fcc-serve — the compile service
+//!
+//! A long-running daemon (`fcc serve`) that speaks a versioned JSONL
+//! protocol over stdin/stdout and keeps a **content-addressed
+//! incremental function cache** between requests, so an edit-compile
+//! loop recompiles only the functions that changed. Four pieces:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`json`] | dependency-free JSON reader/writer (the workspace has no serde) |
+//! | [`protocol`] | request parsing, error taxonomy, response rendering |
+//! | [`cache`] | FNV-1a content-addressed [`FnCache`] with LRU byte-budget eviction |
+//! | [`daemon`] | the [`Daemon`] state machine and the [`serve_loop`] transport |
+//! | [`bench`] | the `fcc bench-serve` load generator (`BENCH_serve.json`) |
+//!
+//! The service compiles through the driver's unified
+//! [`CompileRequest`](fcc_driver::CompileRequest) entry point: the same
+//! struct is the protocol body (field-for-field), the library call, and
+//! the cache-key input, so the wire format cannot drift from the CLI.
+//!
+//! Responses are **replay-stable by default**: resubmitting a module
+//! yields byte-identical response lines whether every function hit the
+//! cache or none did, at any `jobs` width (wall times and cumulative
+//! counters are opt-in fields and a separate `stats` verb). DESIGN.md
+//! §11 specifies the grammar, the cache-key definition, and the
+//! determinism argument.
+
+pub mod bench;
+pub mod cache;
+pub mod daemon;
+pub mod json;
+pub mod protocol;
+
+pub use bench::{run as run_bench, BenchConfig, BenchReport};
+pub use cache::{cache_key, compile_module_cached, CacheStats, CachedBatch, FnCache, CACHE_SCHEMA};
+pub use daemon::{serve_loop, Daemon, ServeOptions};
+pub use protocol::{parse_request, Request, ServeError, Verb, PROTOCOL_VERSION};

@@ -1,0 +1,482 @@
+//! The versioned JSONL request/response protocol.
+//!
+//! One request per line, one response per line, over stdin/stdout. Every
+//! request names the protocol version; every response echoes the
+//! request's `id` so clients can pipeline. The grammar (DESIGN.md §11
+//! has the full reference):
+//!
+//! ```text
+//! request  = { "v": 1, "id"?: <any>, "verb": "compile" | "stats"
+//!                                          | "ping" | "shutdown",
+//!              -- compile only:
+//!              "source": string, "lang"?: "minilang" | "ir",
+//!              "request"?: { pipeline?, fold?, opt?, verify_each?,
+//!                            simplify?, alloc?, fail_mode?, fuel?,
+//!                            jobs?, format? },
+//!              "report"?: bool, "cache"?: bool, "timing"?: bool }
+//! response = { "v": 1, "id": <echo>, "ok": true, ... }
+//!          | { "v": 1, "id": <echo>, "ok": false,
+//!              "error": { "code": int, "kind": string, "message": string } }
+//! ```
+//!
+//! Error codes follow HTTP's split: `400` the line could not be
+//! understood (bad JSON, wrong types, unknown verb/field, unsupported
+//! version), `422` the line was understood but cannot be compiled as
+//! written (source parse errors, and every typed
+//! [`RequestError`] from [`CompileRequest::validate`] — the
+//! briggs-needs-`--no-fold` precondition arrives here as
+//! `kind: "briggs-needs-no-fold"`), `500` compilation itself failed
+//! under `fail_mode: "abort"`. The daemon answers *every* line — a
+//! protocol error is a response, never a dead process.
+//!
+//! **Determinism:** the default compile response carries only
+//! replay-stable fields (function statuses, counts, output text). Wall
+//! times and cumulative cache counters vary run to run, so they are
+//! opt-in (`"timing": true`, `"cache": true`) and the `stats` verb —
+//! which is what lets the CI replay harness require *byte-identical*
+//! response streams from a cold and a warm daemon.
+
+use std::fmt::Write as _;
+
+use fcc_driver::{CompileRequest, RequestError};
+
+use crate::json::{self, escape, Json};
+
+/// The protocol version this build speaks. A request naming any other
+/// version is rejected with `kind: "unsupported-version"` (and the
+/// response says which versions are supported).
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// A protocol-level failure: everything the daemon can say "no" with.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeError {
+    /// HTTP-style class: 400 unintelligible, 422 invalid, 500 failed.
+    pub code: u16,
+    /// Stable machine-readable discriminant.
+    pub kind: String,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ServeError {
+    fn new(code: u16, kind: &str, message: impl Into<String>) -> Self {
+        ServeError {
+            code,
+            kind: kind.to_string(),
+            message: message.into(),
+        }
+    }
+
+    /// The line is not a JSON object.
+    pub fn malformed(detail: impl Into<String>) -> Self {
+        Self::new(400, "malformed-json", detail)
+    }
+
+    /// The line is JSON but not a well-formed request.
+    pub fn bad_request(detail: impl Into<String>) -> Self {
+        Self::new(400, "bad-request", detail)
+    }
+
+    /// The request names a protocol version this build does not speak.
+    pub fn unsupported_version(got: &Json) -> Self {
+        Self::new(
+            400,
+            "unsupported-version",
+            format!(
+                "protocol version {got} is not supported (this daemon speaks {PROTOCOL_VERSION})"
+            ),
+        )
+    }
+
+    /// The request's `verb` is not in the protocol.
+    pub fn unknown_verb(verb: &str) -> Self {
+        Self::new(
+            400,
+            "unknown-verb",
+            format!("unknown verb {verb:?} (expected compile, stats, ping, or shutdown)"),
+        )
+    }
+
+    /// The source text does not parse.
+    pub fn parse_error(detail: impl Into<String>) -> Self {
+        Self::new(422, "parse-error", detail)
+    }
+
+    /// The compile request fails [`CompileRequest::validate`].
+    pub fn invalid_request(e: &RequestError) -> Self {
+        Self::new(422, e.kind(), e.to_string())
+    }
+
+    /// A function failed and `fail_mode` is `abort`.
+    pub fn compile_failed(detail: impl Into<String>) -> Self {
+        Self::new(500, "compile-failed", detail)
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}: {}", self.code, self.kind, self.message)
+    }
+}
+
+/// What a request asks the daemon to do.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verb {
+    /// Compile a module; the payload is in [`Request::compile`].
+    Compile,
+    /// Report cumulative cache and request counters.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Answer, then exit the serve loop.
+    Shutdown,
+}
+
+/// The source language of a compile request.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Lang {
+    /// MiniLang source, lowered through the frontend.
+    #[default]
+    MiniLang,
+    /// The IR's textual format, parsed directly.
+    Ir,
+}
+
+/// The compile-specific half of a request.
+#[derive(Clone, Debug)]
+pub struct CompileBody {
+    /// The module text.
+    pub source: String,
+    /// How to read it.
+    pub lang: Lang,
+    /// The full compile configuration (daemon defaults + overrides).
+    pub req: CompileRequest,
+    /// Include the rendered outcome report in the response.
+    pub want_report: bool,
+    /// Include this request's cache hit/miss counts in the response.
+    pub want_cache: bool,
+    /// Include wall-time in the response (never replay-stable).
+    pub want_timing: bool,
+}
+
+/// One parsed, version-checked protocol request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// The request's `id`, echoed verbatim in the response.
+    pub id: Json,
+    /// What to do.
+    pub verb: Verb,
+    /// Present iff `verb` is [`Verb::Compile`].
+    pub compile: Option<CompileBody>,
+}
+
+/// The fields a request line may carry at the top level, per verb.
+const TOP_FIELDS: &[&str] = &[
+    "v", "id", "verb", "source", "lang", "request", "report", "cache", "timing",
+];
+
+/// Parse and validate one request line. `defaults` seeds the
+/// [`CompileRequest`]; the line's `request` object overrides
+/// field-by-field, so a daemon started with `--opt` compiles `opt`
+/// unless a request says otherwise.
+pub fn parse_request(line: &str, defaults: &CompileRequest) -> Result<Request, ServeError> {
+    let doc = json::parse(line).map_err(|e| ServeError::malformed(e.to_string()))?;
+    let Json::Obj(members) = &doc else {
+        return Err(ServeError::bad_request("request must be a JSON object"));
+    };
+    for (key, _) in members {
+        if !TOP_FIELDS.contains(&key.as_str()) {
+            return Err(ServeError::bad_request(format!(
+                "unknown request field {key:?}"
+            )));
+        }
+    }
+
+    let v = doc
+        .get("v")
+        .ok_or_else(|| ServeError::bad_request("missing protocol version field \"v\""))?;
+    if v.as_u64() != Some(PROTOCOL_VERSION) {
+        return Err(ServeError::unsupported_version(v));
+    }
+
+    let id = doc.get("id").cloned().unwrap_or(Json::Null);
+    let verb_str = doc
+        .get("verb")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServeError::bad_request("missing or non-string \"verb\""))?;
+    let verb = match verb_str {
+        "compile" => Verb::Compile,
+        "stats" => Verb::Stats,
+        "ping" => Verb::Ping,
+        "shutdown" => Verb::Shutdown,
+        other => return Err(ServeError::unknown_verb(other)),
+    };
+
+    if verb != Verb::Compile {
+        for key in ["source", "lang", "request", "report", "cache", "timing"] {
+            if doc.get(key).is_some() {
+                return Err(ServeError::bad_request(format!(
+                    "field {key:?} is only valid with verb \"compile\""
+                )));
+            }
+        }
+        return Ok(Request {
+            id,
+            verb,
+            compile: None,
+        });
+    }
+
+    let source = doc
+        .get("source")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServeError::bad_request("compile needs a string \"source\""))?
+        .to_string();
+    let lang = match doc.get("lang") {
+        None => Lang::MiniLang,
+        Some(Json::Str(s)) if s == "minilang" => Lang::MiniLang,
+        Some(Json::Str(s)) if s == "ir" => Lang::Ir,
+        Some(other) => {
+            return Err(ServeError::bad_request(format!(
+                "unknown lang {other} (expected \"minilang\" or \"ir\")"
+            )))
+        }
+    };
+    let req = match doc.get("request") {
+        None => defaults.clone(),
+        Some(obj) => apply_overrides(defaults.clone(), obj)?,
+    };
+    req.validate()
+        .map_err(|e| ServeError::invalid_request(&e))?;
+
+    let flag = |key: &str| -> Result<bool, ServeError> {
+        match doc.get(key) {
+            None => Ok(false),
+            Some(Json::Bool(b)) => Ok(*b),
+            Some(other) => Err(ServeError::bad_request(format!(
+                "field {key:?} must be a bool, got {other}"
+            ))),
+        }
+    };
+
+    Ok(Request {
+        id,
+        verb,
+        compile: Some(CompileBody {
+            source,
+            lang,
+            req,
+            want_report: flag("report")?,
+            want_cache: flag("cache")?,
+            want_timing: flag("timing")?,
+        }),
+    })
+}
+
+/// Overlay a request object's fields onto the daemon defaults. Spellings
+/// go through the same `FromStr` impls as the CLI flags, so the wire
+/// protocol cannot drift from `fcc build`.
+fn apply_overrides(mut req: CompileRequest, obj: &Json) -> Result<CompileRequest, ServeError> {
+    let Json::Obj(members) = obj else {
+        return Err(ServeError::bad_request("\"request\" must be a JSON object"));
+    };
+    for (key, value) in members {
+        match key.as_str() {
+            "pipeline" => {
+                let s = expect_str(key, value)?;
+                req.pipeline = s.parse().map_err(|e| ServeError::invalid_request(&e))?;
+            }
+            "fail_mode" => {
+                let s = expect_str(key, value)?;
+                req.fail_mode = s.parse().map_err(|e| ServeError::invalid_request(&e))?;
+            }
+            "format" => {
+                let s = expect_str(key, value)?;
+                req.format = s.parse().map_err(|e| ServeError::invalid_request(&e))?;
+            }
+            "fold" => req.fold = expect_bool(key, value)?,
+            "opt" => req.opt = expect_bool(key, value)?,
+            "verify_each" => req.verify_each = expect_bool(key, value)?,
+            "simplify" => req.simplify = expect_bool(key, value)?,
+            "alloc" => {
+                req.alloc = match value {
+                    Json::Null => None,
+                    v => Some(expect_u64(key, v)? as usize),
+                }
+            }
+            "fuel" => {
+                req.fuel = match value {
+                    Json::Null => None,
+                    v => Some(expect_u64(key, v)?),
+                }
+            }
+            "jobs" => req.jobs = expect_u64(key, value)? as usize,
+            other => {
+                return Err(ServeError::bad_request(format!(
+                    "unknown compile-request field {other:?}"
+                )))
+            }
+        }
+    }
+    Ok(req)
+}
+
+fn expect_str<'j>(key: &str, v: &'j Json) -> Result<&'j str, ServeError> {
+    v.as_str()
+        .ok_or_else(|| ServeError::bad_request(format!("field {key:?} must be a string, got {v}")))
+}
+
+fn expect_bool(key: &str, v: &Json) -> Result<bool, ServeError> {
+    v.as_bool()
+        .ok_or_else(|| ServeError::bad_request(format!("field {key:?} must be a bool, got {v}")))
+}
+
+fn expect_u64(key: &str, v: &Json) -> Result<u64, ServeError> {
+    v.as_u64().ok_or_else(|| {
+        ServeError::bad_request(format!(
+            "field {key:?} must be a non-negative integer, got {v}"
+        ))
+    })
+}
+
+/// A response line under construction: members render in insertion
+/// order, starting with the fixed `v` / `id` / `ok` prefix.
+pub struct ResponseBuilder {
+    buf: String,
+}
+
+impl ResponseBuilder {
+    /// Start a response echoing `id`.
+    pub fn new(id: &Json, ok: bool) -> Self {
+        let mut buf = String::with_capacity(256);
+        let _ = write!(buf, "{{\"v\":{PROTOCOL_VERSION},\"id\":{id},\"ok\":{ok}");
+        ResponseBuilder { buf }
+    }
+
+    /// Append a pre-rendered JSON value under `key`.
+    pub fn raw(mut self, key: &str, json: &str) -> Self {
+        let _ = write!(self.buf, ",\"{}\":{json}", escape(key));
+        self
+    }
+
+    /// Append a string member.
+    pub fn str(self, key: &str, value: &str) -> Self {
+        let quoted = format!("\"{}\"", escape(value));
+        self.raw(key, &quoted)
+    }
+
+    /// Append an integer member.
+    pub fn num(self, key: &str, value: u64) -> Self {
+        self.raw(key, &value.to_string())
+    }
+
+    /// Close the object; the result is one response line (no newline).
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Render the error response for `err`.
+pub fn error_response(id: &Json, err: &ServeError) -> String {
+    let body = format!(
+        "{{\"code\":{},\"kind\":\"{}\",\"message\":\"{}\"}}",
+        err.code,
+        escape(&err.kind),
+        escape(&err.message)
+    );
+    ResponseBuilder::new(id, false).raw("error", &body).finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcc_driver::{FailMode, PipelineSpec};
+
+    #[test]
+    fn parses_a_minimal_compile_request() {
+        let req = parse_request(
+            r#"{"v":1,"id":7,"verb":"compile","source":"fn f(x){ return x; }"}"#,
+            &CompileRequest::new(),
+        )
+        .unwrap();
+        assert_eq!(req.id, Json::Num(7.0));
+        assert_eq!(req.verb, Verb::Compile);
+        let body = req.compile.unwrap();
+        assert_eq!(body.lang, Lang::MiniLang);
+        assert_eq!(body.req, CompileRequest::new());
+        assert!(!body.want_report && !body.want_cache);
+    }
+
+    #[test]
+    fn overrides_share_the_cli_spellings() {
+        let req = parse_request(
+            r#"{"v":1,"verb":"compile","source":"","request":{"pipeline":"briggs","fold":false,"fail_mode":"degrade","fuel":100,"jobs":4}}"#,
+            &CompileRequest::new(),
+        )
+        .unwrap();
+        let body = req.compile.unwrap();
+        assert_eq!(body.req.pipeline, PipelineSpec::Briggs);
+        assert!(!body.req.fold);
+        assert_eq!(body.req.fail_mode, FailMode::Degrade);
+        assert_eq!(body.req.fuel, Some(100));
+        assert_eq!(body.req.jobs, 4);
+    }
+
+    #[test]
+    fn version_and_verb_are_enforced() {
+        let defaults = CompileRequest::new();
+        let e = parse_request(r#"{"verb":"ping"}"#, &defaults).unwrap_err();
+        assert_eq!((e.code, e.kind.as_str()), (400, "bad-request"));
+        let e = parse_request(r#"{"v":2,"verb":"ping"}"#, &defaults).unwrap_err();
+        assert_eq!(e.kind, "unsupported-version");
+        let e = parse_request(r#"{"v":1,"verb":"dance"}"#, &defaults).unwrap_err();
+        assert_eq!(e.kind, "unknown-verb");
+        let e = parse_request("{nope", &defaults).unwrap_err();
+        assert_eq!(e.kind, "malformed-json");
+    }
+
+    #[test]
+    fn validation_errors_surface_as_422_with_typed_kinds() {
+        let e = parse_request(
+            r#"{"v":1,"verb":"compile","source":"","request":{"pipeline":"briggs"}}"#,
+            &CompileRequest::new(),
+        )
+        .unwrap_err();
+        assert_eq!((e.code, e.kind.as_str()), (422, "briggs-needs-no-fold"));
+        assert!(e.message.contains("--no-fold"));
+        let e = parse_request(
+            r#"{"v":1,"verb":"compile","source":"","request":{"pipeline":"fancy"}}"#,
+            &CompileRequest::new(),
+        )
+        .unwrap_err();
+        assert_eq!((e.code, e.kind.as_str()), (422, "unknown-pipeline"));
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected_not_ignored() {
+        let e = parse_request(
+            r#"{"v":1,"verb":"compile","source":"","request":{"optimize":true}}"#,
+            &CompileRequest::new(),
+        )
+        .unwrap_err();
+        assert!(e.message.contains("optimize"));
+        let e = parse_request(
+            r#"{"v":1,"verb":"stats","source":"x"}"#,
+            &CompileRequest::new(),
+        )
+        .unwrap_err();
+        assert!(e.message.contains("only valid with verb"));
+    }
+
+    #[test]
+    fn responses_echo_ids_and_render_errors() {
+        let id = Json::Str("req-1".to_string());
+        let line = error_response(&id, &ServeError::parse_error("bad token"));
+        let doc = json::parse(&line).unwrap();
+        assert_eq!(doc.get("id").unwrap().as_str(), Some("req-1"));
+        assert_eq!(doc.get("ok").unwrap().as_bool(), Some(false));
+        let err = doc.get("error").unwrap();
+        assert_eq!(err.get("kind").unwrap().as_str(), Some("parse-error"));
+    }
+}

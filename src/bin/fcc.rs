@@ -102,6 +102,40 @@
 //!                    exercises the fuel failure class end to end)
 //! ```
 //!
+//! A serve subcommand: the long-running compile service. One JSONL
+//! request per stdin line, one response per stdout line, with a
+//! content-addressed function cache between requests so resubmitting a
+//! module recompiles only the functions that changed (DESIGN.md §11 has
+//! the protocol reference):
+//!
+//! ```text
+//! Usage: fcc serve [options]
+//!
+//!   --pipeline / --no-fold / --opt / --verify-each / --simplify /
+//!   --alloc / --fail-mode / --fuel / --jobs / --format
+//!                   daemon-default compile request; each request line's
+//!                   "request" object overrides field-by-field
+//!   --cache-budget BYTES   function-cache byte budget (default 256 MiB)
+//! ```
+//!
+//! And a bench-serve subcommand: the serve load generator. Replays a
+//! seeded stream of mixed-size modules (with a configurable resubmission
+//! ratio) against an in-process daemon and reports functions/sec,
+//! p50/p99 latency, and cache hit rate:
+//!
+//! ```text
+//! Usage: fcc bench-serve [options]
+//!
+//!   --modules N      distinct modules in the pool (default 200)
+//!   --requests N     compile requests to replay (default 1000)
+//!   --resubmit R     resubmission probability in [0,1] (default 0.75)
+//!   --max-fns N      max functions per module (default 12)
+//!   --seed S         RNG seed (default 42)
+//!   --jobs N         worker threads per compile (0 = auto)
+//!   --cache-budget BYTES   daemon cache budget (default 256 MiB)
+//!   --out FILE       write the JSON report here (default: stdout)
+//! ```
+//!
 //! Examples:
 //!
 //! ```text
@@ -112,15 +146,14 @@
 //! fcc lint kernel:saxpy --opt --format json
 //! fcc analyze prog.ml --format json --deny-warnings
 //! fcc fuzz --seeds 500 --jobs 2
+//! echo '{"v":1,"verb":"compile","source":"fn f(x){ return x; }"}' | fcc serve
+//! fcc bench-serve --requests 2000 --out BENCH_serve.json
 //! ```
 
 use std::io::{Read, Write};
 use std::process::ExitCode;
 
-use fcc::driver::{
-    compile_module_guarded, fuzz as run_fuzz, par_map, render_phases, CompileConfig, FailMode,
-    FaultPolicy, FnStatus, FuzzConfig, PipelineSpec,
-};
+use fcc::driver::{fuzz as run_fuzz, par_map, render_phases, FuzzConfig};
 use fcc::ir::Module;
 use fcc::prelude::*;
 
@@ -158,7 +191,10 @@ fn usage() -> &'static str {
      fcc analyze <file.ml | kernel:NAME | kernel:* | -> [--format text|json] [--no-fold] [--opt] \
      [--jobs N] [--deny-warnings]\n       \
      fcc fuzz [--seeds N] [--start N] [--jobs N] [--no-opt] [--shrink-budget N] [--fuel N] \
-     [--repro-dir DIR] [--inject-phi-bug] [--inject-solver-spin]"
+     [--repro-dir DIR] [--inject-phi-bug] [--inject-solver-spin]\n       \
+     fcc serve [build options as daemon defaults] [--cache-budget BYTES]\n       \
+     fcc bench-serve [--modules N] [--requests N] [--resubmit R] [--max-fns N] [--seed S] \
+     [--jobs N] [--cache-budget BYTES] [--out FILE]"
 }
 
 fn parse_args(raw: Vec<String>) -> Result<Options, String> {
@@ -209,9 +245,7 @@ fn parse_args(raw: Vec<String>) -> Result<Options, String> {
             }
             "--fail-mode" => {
                 let m = need(&mut args, "--fail-mode")?;
-                o.fail_mode = FailMode::parse(&m).ok_or_else(|| {
-                    format!("--fail-mode must be abort, skip, or degrade, got {m}")
-                })?
+                o.fail_mode = m.parse().map_err(|e: RequestError| e.to_string())?
             }
             "--fuel" => {
                 o.fuel = Some(
@@ -292,11 +326,13 @@ fn load_source(input: &str) -> Result<String, String> {
 
 fn main() -> ExitCode {
     let sub = std::env::args().nth(1);
-    if let Some(name @ ("lint" | "analyze" | "fuzz")) = sub.as_deref() {
+    if let Some(name @ ("lint" | "analyze" | "fuzz" | "serve" | "bench-serve")) = sub.as_deref() {
         let run = match name {
             "lint" => lint_main,
             "analyze" => analyze_main,
-            _ => fuzz_main,
+            "fuzz" => fuzz_main,
+            "serve" => serve_main,
+            _ => bench_serve_main,
         };
         return match run(std::env::args().skip(2).collect()) {
             Ok(clean) => {
@@ -371,14 +407,14 @@ fn lint_main(args: Vec<String>) -> Result<bool, String> {
     if !matches!(format.as_str(), "text" | "json") {
         return Err(format!("--format must be text or json, got {format}"));
     }
-    if matches!(pipeline.as_str(), "briggs" | "briggs-star") && fold {
-        return Err(
-            "the briggs pipelines need --no-fold (phi webs must be interference-free)".into(),
-        );
-    }
-    if PipelineSpec::parse(&pipeline).is_none() {
-        return Err(format!("unknown pipeline {pipeline}\n{}", usage()));
-    }
+    // Same spelling + precondition rules as `fcc build` and the serve
+    // protocol: parse through the shared FromStr, validate typed.
+    let spec: PipelineSpec = pipeline.parse().map_err(|e: RequestError| e.to_string())?;
+    CompileRequest::new()
+        .pipeline(spec)
+        .fold(fold)
+        .validate()
+        .map_err(|e| e.to_string())?;
 
     let src = load_source(&input)?;
     let module = fcc::frontend::compile_module(&src)?;
@@ -648,6 +684,133 @@ fn fuzz_main(args: Vec<String>) -> Result<bool, String> {
     Ok(out.failures.is_empty())
 }
 
+/// `fcc serve`: run the compile service over stdin/stdout until EOF or a
+/// `shutdown` request. The build flags set the daemon-default
+/// [`CompileRequest`]; request lines override field-by-field.
+fn serve_main(args: Vec<String>) -> Result<bool, String> {
+    let mut req = CompileRequest::new();
+    let mut cache_budget: usize = 256 << 20;
+    let mut args = args.into_iter();
+    let need = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--pipeline" => {
+                req.pipeline = need(&mut args, "--pipeline")?
+                    .parse()
+                    .map_err(|e: RequestError| e.to_string())?
+            }
+            "--no-fold" => req.fold = false,
+            "--opt" => req.opt = true,
+            "--verify-each" => req.verify_each = true,
+            "--simplify" => req.simplify = true,
+            "--alloc" => {
+                req.alloc = Some(
+                    need(&mut args, "--alloc")?
+                        .parse()
+                        .map_err(|e| format!("--alloc: {e}"))?,
+                )
+            }
+            "--fail-mode" => {
+                req.fail_mode = need(&mut args, "--fail-mode")?
+                    .parse()
+                    .map_err(|e: RequestError| e.to_string())?
+            }
+            "--fuel" => {
+                req.fuel = Some(
+                    need(&mut args, "--fuel")?
+                        .parse()
+                        .map_err(|e| format!("--fuel: {e}"))?,
+                )
+            }
+            "--jobs" => {
+                req.jobs = need(&mut args, "--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?
+            }
+            "--format" => {
+                req.format = need(&mut args, "--format")?
+                    .parse()
+                    .map_err(|e: RequestError| e.to_string())?
+            }
+            "--cache-budget" => {
+                cache_budget = need(&mut args, "--cache-budget")?
+                    .parse()
+                    .map_err(|e| format!("--cache-budget: {e}"))?
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}\n{}", usage())),
+        }
+    }
+    req.validate().map_err(|e| e.to_string())?;
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    fcc::serve::serve_loop(
+        stdin.lock(),
+        stdout.lock(),
+        fcc::serve::ServeOptions {
+            defaults: req,
+            cache_budget,
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    Ok(true)
+}
+
+/// `fcc bench-serve`: the serve load generator. Prints the human summary
+/// to stderr and the JSON report to `--out` (or stdout).
+fn bench_serve_main(args: Vec<String>) -> Result<bool, String> {
+    let mut cfg = fcc::serve::BenchConfig::default();
+    let mut out_path: Option<String> = None;
+    let mut args = args.into_iter();
+    let need = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    fn parse<T: std::str::FromStr>(v: String, flag: &str) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        v.parse().map_err(|e| format!("{flag}: {e}"))
+    }
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--modules" => cfg.modules = parse(need(&mut args, "--modules")?, "--modules")?,
+            "--requests" => cfg.requests = parse(need(&mut args, "--requests")?, "--requests")?,
+            "--resubmit" => cfg.resubmit = parse(need(&mut args, "--resubmit")?, "--resubmit")?,
+            "--max-fns" => cfg.max_fns = parse(need(&mut args, "--max-fns")?, "--max-fns")?,
+            "--seed" => cfg.seed = parse(need(&mut args, "--seed")?, "--seed")?,
+            "--jobs" => cfg.jobs = parse(need(&mut args, "--jobs")?, "--jobs")?,
+            "--cache-budget" => {
+                cfg.cache_budget = parse(need(&mut args, "--cache-budget")?, "--cache-budget")?
+            }
+            "--out" => out_path = Some(need(&mut args, "--out")?),
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}\n{}", usage())),
+        }
+    }
+    if !(0.0..=1.0).contains(&cfg.resubmit) {
+        return Err(format!("--resubmit must be in [0,1], got {}", cfg.resubmit));
+    }
+    if cfg.modules == 0 || cfg.requests == 0 {
+        return Err("--modules and --requests must be positive".into());
+    }
+    let report = fcc::serve::run_bench(&cfg);
+    eprintln!("; bench-serve: {}", report.summary());
+    let json = report.to_json();
+    match out_path {
+        Some(path) => std::fs::write(&path, &json).map_err(|e| format!("{path}: {e}"))?,
+        None => emit(json.trim_end()),
+    }
+    Ok(report.ok_responses == cfg.requests)
+}
+
 fn real_main(raw: Vec<String>) -> Result<(), String> {
     let o = parse_args(raw)?;
     if !matches!(o.format.as_str(), "text" | "json") {
@@ -671,20 +834,24 @@ fn real_main(raw: Vec<String>) -> Result<(), String> {
         emit(&module);
         return Ok(());
     }
-    let Some(pipeline) = PipelineSpec::parse(&o.pipeline) else {
-        return Err(format!("unknown pipeline {}\n{}", o.pipeline, usage()));
-    };
+    let pipeline: PipelineSpec = o
+        .pipeline
+        .parse()
+        .map_err(|e: RequestError| e.to_string())?;
     if !matches!(o.emit.as_str(), "ssa" | "final") {
         return Err(format!("unknown emit stage {}\n{}", o.emit, usage()));
     }
-    let cfg = CompileConfig {
-        pipeline,
-        fold: o.fold,
-        opt: o.opt,
-        verify_each: o.verify_each,
-        simplify: o.simplify,
-        alloc: o.alloc,
-    };
+    let req = CompileRequest::new()
+        .pipeline(pipeline)
+        .fold(o.fold)
+        .opt(o.opt)
+        .verify_each(o.verify_each)
+        .simplify(o.simplify)
+        .alloc(o.alloc)
+        .fail_mode(o.fail_mode)
+        .fuel(o.fuel)
+        .jobs(o.jobs)
+        .format(o.format.parse().map_err(|e: RequestError| e.to_string())?);
 
     if o.emit == "ssa" {
         // Stop the pipeline at verified SSA, per function on the pool.
@@ -692,14 +859,14 @@ fn real_main(raw: Vec<String>) -> Result<(), String> {
         let (results, _timing) = par_map(funcs.len(), o.jobs, |i| {
             let mut func = funcs[i].clone();
             let mut am = AnalysisManager::new();
-            build_ssa_with(&mut func, SsaFlavor::Pruned, cfg.fold, &mut am);
-            if cfg.opt {
-                let pm = if cfg.pipeline.needs_no_fold() {
+            build_ssa_with(&mut func, SsaFlavor::Pruned, req.fold, &mut am);
+            if req.opt {
+                let pm = if req.pipeline.needs_no_fold() {
                     copy_preserving_pipeline()
                 } else {
                     standard_pipeline()
                 };
-                if cfg.verify_each {
+                if req.verify_each {
                     pm.run_verified(&mut func, &mut am, LintStage::Ssa)
                         .map_err(|v| {
                             format!("--verify-each: {v}\n{}", v.report.render_text(&func))
@@ -719,11 +886,7 @@ fn real_main(raw: Vec<String>) -> Result<(), String> {
         return Ok(());
     }
 
-    let policy = FaultPolicy {
-        mode: o.fail_mode,
-        fuel: o.fuel,
-    };
-    let batch = compile_module_guarded(module, o.jobs, &cfg, &policy);
+    let batch = compile_module(module, &req).map_err(|e| e.to_string())?;
     if o.fail_mode == FailMode::Abort {
         if let Some((name, e)) = batch.first_error() {
             return Err(format!("@{name}: {e}"));
@@ -783,7 +946,7 @@ fn real_main(raw: Vec<String>) -> Result<(), String> {
     }
 
     if failed_n > 0 {
-        quarantine_repros(&batch, &src, &cfg, &policy, &o.repro_dir);
+        quarantine_repros(&batch, &src, &req, &o.repro_dir);
     }
 
     match o.run {
@@ -825,8 +988,7 @@ fn real_main(raw: Vec<String>) -> Result<(), String> {
 fn quarantine_repros(
     batch: &fcc::driver::BatchOutcome,
     src: &str,
-    cfg: &CompileConfig,
-    policy: &FaultPolicy,
+    req: &CompileRequest,
     repro_dir: &str,
 ) {
     let programs = match fcc::frontend::parse_module(src) {
@@ -851,9 +1013,7 @@ fn quarantine_repros(
             continue;
         };
         let still_fails = |p: &fcc::frontend::Program| match fcc::frontend::lower_program(p) {
-            Ok(func) => {
-                fcc::driver::compile_with_ladder(&func, cfg, policy).status == FnStatus::Failed
-            }
+            Ok(func) => compile_function_report(&func, req).status == FnStatus::Failed,
             Err(_) => false,
         };
         let shrunk = fcc::workloads::shrink(prog, 600, still_fails);

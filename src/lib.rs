@@ -16,7 +16,8 @@
 //! | [`dataflow`] | sparse abstract interpretation: SCCP, value ranges, known bits (`fcc analyze`) |
 //! | [`ssa`] | SSA construction (3 flavours, copy folding), parallel copies, Standard destruction |
 //! | [`core`] | **the paper's algorithm**: dominance forest + coalescing SSA destruction |
-//! | [`driver`] | batch compilation: work-stealing pool, instrumented pipelines, differential fuzzer, fault-tolerant degradation ladder (`fcc --jobs`, `fcc fuzz`, `--fail-mode`) |
+//! | [`driver`] | batch compilation: work-stealing pool, instrumented pipelines, differential fuzzer, fault-tolerant degradation ladder, the unified `CompileRequest` entry point (`fcc --jobs`, `fcc fuzz`, `--fail-mode`) |
+//! | [`serve`] | the compile service: JSONL daemon, content-addressed incremental function cache, load generator (`fcc serve`, `fcc bench-serve`) |
 //! | [`regalloc`] | interference graphs, Briggs / Briggs\* coalescers, colouring allocator |
 //! | [`interp`] | φ-aware reference interpreter with dynamic-copy accounting |
 //! | [`opt`] | scalar optimiser: DCE, constant folding, copy propagation, CFG simplify |
@@ -70,6 +71,7 @@ pub use fcc_ir as ir;
 pub use fcc_lint as lint;
 pub use fcc_opt as opt;
 pub use fcc_regalloc as regalloc;
+pub use fcc_serve as serve;
 pub use fcc_ssa as ssa;
 pub use fcc_workloads as workloads;
 
@@ -85,10 +87,9 @@ pub mod prelude {
     };
     pub use fcc_dataflow::{FunctionAnalysis, Interval, RangeAnalysis};
     pub use fcc_driver::{
-        compile_function, compile_function_guarded, compile_module, compile_module_guarded,
-        compile_with_ladder, par_map, resolve_jobs, BatchOutcome, BatchTiming, CompileConfig,
-        FailMode, FaultPolicy, FnStatus, FunctionOutcome, FunctionReport, ModuleOutcome,
-        PipelineSpec,
+        compile_function, compile_function_guarded, compile_function_report, compile_module,
+        par_map, resolve_jobs, BatchOutcome, BatchTiming, CompileRequest, FailMode, FnStatus,
+        FunctionOutcome, FunctionReport, ModuleOutcome, PipelineSpec, ReportFormat, RequestError,
     };
     pub use fcc_interp::{run, run_with_memory, Outcome};
     pub use fcc_ir::{

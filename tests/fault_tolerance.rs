@@ -1,5 +1,7 @@
 //! Integration tests for the fault-tolerance layer: panic isolation,
-//! fuel budgets, and the graceful-degradation ladder.
+//! fuel budgets, and the graceful-degradation ladder — through the
+//! unified `CompileRequest` entry point (`fail_mode` selects the
+//! abort/skip/degrade behaviour that used to take three functions).
 //!
 //! The fault-injection switches are process-global, so every test takes
 //! `arm()` — a mutex guard that clears all injections when it drops,
@@ -7,8 +9,8 @@
 
 use fcc::core::CompileError;
 use fcc::driver::{
-    compile_module, compile_module_guarded, compile_with_ladder, failure_class, fuzz,
-    CompileConfig, FailMode, FaultPolicy, FnStatus, FuzzConfig, PipelineSpec,
+    compile_function_report, compile_module, failure_class, fuzz, CompileRequest, FailMode,
+    FnStatus, FuzzConfig, PipelineSpec,
 };
 use fcc::ir::verify::verify_function;
 use fcc::ir::Module;
@@ -42,18 +44,11 @@ fn module() -> Module {
 fn injected_panic_recovers_to_standard_at_every_jobs_width() {
     let _armed = arm();
     fcc::opt::fault::inject_panic_in(Some("coalesce-new"));
-    let cfg = CompileConfig {
-        opt: true,
-        ..Default::default()
-    };
-    let policy = FaultPolicy {
-        mode: FailMode::Degrade,
-        fuel: None,
-    };
+    let req = CompileRequest::new().opt(true).fail_mode(FailMode::Degrade);
 
     let mut rendered = Vec::new();
     for jobs in [1, 2, 8] {
-        let batch = compile_module_guarded(module(), jobs, &cfg, &policy);
+        let batch = compile_module(module(), &req.clone().jobs(jobs)).expect("valid request");
         let (ok, recovered, failed) = batch.counts();
         assert_eq!((ok, failed), (0, 0), "jobs={jobs}");
         assert_eq!(recovered, batch.functions.len(), "jobs={jobs}");
@@ -80,31 +75,33 @@ fn injected_panic_recovers_to_standard_at_every_jobs_width() {
     // And the recovered module is byte-identical to an honest compile on
     // the rung the ladder landed on (standard, verify forced).
     fcc::opt::fault::clear_injections();
-    let standard = CompileConfig {
-        pipeline: PipelineSpec::Standard,
-        opt: true,
-        verify_each: true,
-        ..Default::default()
-    };
-    let plain = compile_module(module(), 2, &standard).expect("standard compiles");
-    assert_eq!(rendered[0], plain.into_module().to_string());
+    let standard = CompileRequest::new()
+        .pipeline(PipelineSpec::Standard)
+        .opt(true)
+        .verify_each(true)
+        .jobs(2);
+    let plain = compile_module(module(), &standard).expect("standard compiles");
+    assert_eq!(
+        rendered[0],
+        plain
+            .into_module_outcome()
+            .expect("no failures")
+            .into_module()
+            .to_string()
+    );
 }
 
 #[test]
 fn solver_spin_trips_fuel_exhaustion_naming_the_pass() {
     let _armed = arm();
     fcc::opt::fault::inject_solver_spin(true);
-    let cfg = CompileConfig {
-        opt: true,
-        ..Default::default()
-    };
-    let policy = FaultPolicy {
-        mode: FailMode::Degrade,
-        fuel: Some(200_000),
-    };
+    let req = CompileRequest::new()
+        .opt(true)
+        .fail_mode(FailMode::Degrade)
+        .fuel(Some(200_000));
 
     let func = compile_kernel(&kernels()[0]);
-    let report = compile_with_ladder(&func, &cfg, &policy);
+    let report = compile_function_report(&func, &req);
 
     // Rung 0 (new) and rung 1 (standard, verify forced — its lint also
     // runs the solver) both burn their budget inside the spinning solver;
@@ -129,18 +126,13 @@ fn solver_spin_trips_fuel_exhaustion_naming_the_pass() {
 fn verifier_violation_after_pass_is_rejected_and_recovers() {
     let _armed = arm();
     fcc::opt::fault::inject_verifier_violation_after(Some("range-fold"));
-    let cfg = CompileConfig {
-        opt: true,
-        verify_each: true,
-        ..Default::default()
-    };
-    let policy = FaultPolicy {
-        mode: FailMode::Degrade,
-        fuel: None,
-    };
+    let req = CompileRequest::new()
+        .opt(true)
+        .verify_each(true)
+        .fail_mode(FailMode::Degrade);
 
     let func = compile_kernel(&kernels()[1]);
-    let report = compile_with_ladder(&func, &cfg, &policy);
+    let report = compile_function_report(&func, &req);
 
     // Both optimising rungs run range-fold, get corrupted after it, and
     // are rejected by --verify-each; the bare rung runs no passes.
@@ -159,7 +151,9 @@ fn verifier_violation_after_pass_is_rejected_and_recovers() {
 fn abort_mode_names_the_offending_function_and_pass() {
     let _armed = arm();
     fcc::opt::fault::inject_panic_in(Some("coalesce-new"));
-    let err = compile_module(module(), 2, &CompileConfig::default())
+    let batch = compile_module(module(), &CompileRequest::new().jobs(2)).expect("request is valid");
+    let err = batch
+        .into_module_outcome()
         .expect_err("abort surfaces the panic");
     assert!(err.contains("coalesce-new"), "{err}");
     assert!(err.contains("panic"), "{err}");
@@ -170,14 +164,11 @@ fn abort_mode_names_the_offending_function_and_pass() {
 fn skip_mode_quarantines_deterministically() {
     let _armed = arm();
     fcc::opt::fault::inject_panic_in(Some("coalesce-new"));
-    let policy = FaultPolicy {
-        mode: FailMode::Skip,
-        fuel: None,
-    };
+    let req = CompileRequest::new().fail_mode(FailMode::Skip);
 
     let mut outputs = Vec::new();
     for jobs in [1, 4] {
-        let batch = compile_module_guarded(module(), jobs, &CompileConfig::default(), &policy);
+        let batch = compile_module(module(), &req.clone().jobs(jobs)).expect("valid request");
         assert!(batch.functions.iter().all(|f| f.status == FnStatus::Failed));
         assert_eq!(batch.failed_names().len(), batch.functions.len());
         assert!(batch.first_error().is_some());

@@ -190,12 +190,15 @@ fn seed_sweep_through_the_parallel_driver() {
         })
         .collect();
     let module = Module::from_functions(funcs.clone()).expect("unique names");
-    let ccfg = CompileConfig {
-        opt: true,
-        ..Default::default()
-    };
-    let serial = compile_module(module.clone(), 1, &ccfg).expect("serial batch compiles");
-    let wide = compile_module(module, 4, &ccfg).expect("parallel batch compiles");
+    let req = CompileRequest::new().opt(true);
+    let serial = compile_module(module.clone(), &req.clone().jobs(1))
+        .expect("request is valid")
+        .into_module_outcome()
+        .expect("serial batch compiles");
+    let wide = compile_module(module, &req.clone().jobs(4))
+        .expect("request is valid")
+        .into_module_outcome()
+        .expect("parallel batch compiles");
     assert_eq!(
         serial.clone().into_module().to_string(),
         wide.clone().into_module().to_string(),

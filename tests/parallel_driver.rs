@@ -26,15 +26,13 @@ fn generated_module(n: u64) -> Module {
 #[test]
 fn job_width_never_changes_compiled_output() {
     let module = generated_module(64);
-    let cfg = CompileConfig {
-        opt: true,
-        verify_each: true,
-        ..Default::default()
-    };
+    let req = CompileRequest::new().opt(true).verify_each(true);
     let outcomes: Vec<ModuleOutcome> = [1usize, 2, 8]
         .into_iter()
         .map(|jobs| {
-            let out = compile_module(module.clone(), jobs, &cfg)
+            let out = compile_module(module.clone(), &req.clone().jobs(jobs))
+                .unwrap_or_else(|e| panic!("--jobs {jobs}: {e}"))
+                .into_module_outcome()
                 .unwrap_or_else(|e| panic!("--jobs {jobs}: {e}"));
             assert_eq!(out.timing.jobs, jobs.clamp(1, 64));
             out
@@ -110,7 +108,10 @@ fn job_width_never_changes_lint_reports() {
 #[test]
 fn pool_timing_accounts_for_every_function() {
     let module = generated_module(16);
-    let out = compile_module(module, 4, &CompileConfig::default()).unwrap();
+    let out = compile_module(module, &CompileRequest::new().jobs(4))
+        .unwrap()
+        .into_module_outcome()
+        .unwrap();
     // cpu is the sum of per-function work; it can't be less than the
     // slowest single function, and utilization is a sane fraction.
     let max_fn = out.functions.iter().map(|f| f.compile_time).max().unwrap();

@@ -102,7 +102,10 @@ fn multi_function_modules_roundtrip() {
     assert_eq!(reparsed.len(), 3);
 
     // After batch destruction the module must still round-trip.
-    let out = compile_module(module, 2, &CompileConfig::default()).unwrap();
+    let out = compile_module(module, &CompileRequest::new().jobs(2))
+        .unwrap()
+        .into_module_outcome()
+        .unwrap();
     let compiled = out.into_module();
     let printed = compiled.to_string();
     let reparsed = parse_module(&printed).unwrap();
