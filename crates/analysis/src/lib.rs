@@ -15,6 +15,9 @@
 //!   live-out of their predecessor, never live-in at the φ's block;
 //! * [`loops::LoopNesting`] — natural-loop depths for the Briggs
 //!   "innermost loops first" coalescing heuristic;
+//! * [`pressure::Pressure`] — per-point register pressure via the shared
+//!   [`pressure::for_each_point`] walk: per-block maxima and the
+//!   function-level MaxLive that certifies colourability under SSA;
 //! * [`manager::AnalysisManager`] — epoch-keyed caching of all of the
 //!   above, with [`manager::PreservedAnalyses`]-driven invalidation, so
 //!   pipelines recompute an analysis only when the function changed;
@@ -54,6 +57,7 @@ pub mod fuel;
 pub mod liveness;
 pub mod loops;
 pub mod manager;
+pub mod pressure;
 pub mod unionfind;
 
 pub use bitmatrix::TriangularBitMatrix;
@@ -63,4 +67,5 @@ pub use fuel::{Fuel, FuelExhausted};
 pub use liveness::Liveness;
 pub use loops::LoopNesting;
 pub use manager::{AnalysisCounters, AnalysisManager, HitMiss, PreservedAnalyses};
+pub use pressure::Pressure;
 pub use unionfind::UnionFind;

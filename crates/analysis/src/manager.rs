@@ -29,6 +29,7 @@ use fcc_ir::{ControlFlowGraph, Function};
 use crate::domtree::DomTree;
 use crate::liveness::Liveness;
 use crate::loops::LoopNesting;
+use crate::pressure::Pressure;
 
 /// Bitmask of analyses a pass left valid. Combine with `|`.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -42,6 +43,7 @@ impl PreservedAnalyses {
     const LIVENESS: u8 = 1 << 2;
     const LIVENESS_SSA: u8 = 1 << 3;
     const LOOPS: u8 = 1 << 4;
+    const PRESSURE: u8 = 1 << 5;
 
     /// Nothing survives: the pass restructured control flow.
     pub const fn none() -> Self {
@@ -51,13 +53,19 @@ impl PreservedAnalyses {
     /// Everything survives: the pass did not change the function.
     pub const fn all() -> Self {
         PreservedAnalyses {
-            bits: Self::CFG | Self::DOMTREE | Self::LIVENESS | Self::LIVENESS_SSA | Self::LOOPS,
+            bits: Self::CFG
+                | Self::DOMTREE
+                | Self::LIVENESS
+                | Self::LIVENESS_SSA
+                | Self::LOOPS
+                | Self::PRESSURE,
         }
     }
 
     /// The pass rewrote instructions but kept every block and edge: the
     /// CFG-derived structures (CFG, dominator tree, loop nesting) stand,
-    /// while both liveness variants are dropped.
+    /// while both liveness variants — and pressure, which derives from
+    /// liveness — are dropped.
     pub const fn cfg_core() -> Self {
         PreservedAnalyses {
             bits: Self::CFG | Self::DOMTREE | Self::LOOPS,
@@ -110,6 +118,7 @@ pub struct AnalysisCounters {
     pub liveness: HitMiss,
     pub liveness_ssa: HitMiss,
     pub loops: HitMiss,
+    pub pressure: HitMiss,
 }
 
 impl AnalysisCounters {
@@ -120,6 +129,7 @@ impl AnalysisCounters {
             + self.liveness.hits
             + self.liveness_ssa.hits
             + self.loops.hits
+            + self.pressure.hits
     }
 
     /// Total cache misses (= full recomputations) across all kinds.
@@ -129,16 +139,18 @@ impl AnalysisCounters {
             + self.liveness.misses
             + self.liveness_ssa.misses
             + self.loops.misses
+            + self.pressure.misses
     }
 
     /// `(label, hits, misses)` per analysis kind, for table printers.
-    pub fn rows(&self) -> [(&'static str, u64, u64); 5] {
+    pub fn rows(&self) -> [(&'static str, u64, u64); 6] {
         [
             ("cfg", self.cfg.hits, self.cfg.misses),
             ("domtree", self.domtree.hits, self.domtree.misses),
             ("liveness", self.liveness.hits, self.liveness.misses),
             ("live-ssa", self.liveness_ssa.hits, self.liveness_ssa.misses),
             ("loops", self.loops.hits, self.loops.misses),
+            ("pressure", self.pressure.hits, self.pressure.misses),
         ]
     }
 }
@@ -152,6 +164,7 @@ impl std::ops::Sub for AnalysisCounters {
             liveness: self.liveness - rhs.liveness,
             liveness_ssa: self.liveness_ssa - rhs.liveness_ssa,
             loops: self.loops - rhs.loops,
+            pressure: self.pressure - rhs.pressure,
         }
     }
 }
@@ -163,6 +176,7 @@ impl std::ops::AddAssign for AnalysisCounters {
         self.liveness += rhs.liveness;
         self.liveness_ssa += rhs.liveness_ssa;
         self.loops += rhs.loops;
+        self.pressure += rhs.pressure;
     }
 }
 
@@ -227,6 +241,7 @@ pub struct AnalysisManager {
     liveness: Slot<Liveness>,
     liveness_ssa: Slot<Liveness>,
     loops: Slot<LoopNesting>,
+    pressure: Slot<Pressure>,
     counters: AnalysisCounters,
     peak_bytes: usize,
 }
@@ -310,6 +325,26 @@ impl AnalysisManager {
         rc
     }
 
+    /// Per-point register pressure from sparse SSA liveness (computes
+    /// and caches CFG + SSA liveness on the way). Requires strict SSA;
+    /// for post-destruction code compute [`Pressure`] directly from the
+    /// dataflow [`Self::liveness`].
+    pub fn pressure(&mut self, func: &Function) -> Rc<Pressure> {
+        let epoch = func.epoch();
+        if let Some(hit) = self.pressure.get(epoch) {
+            self.counters.pressure.hits += 1;
+            return hit;
+        }
+        let cfg = self.cfg(func);
+        let live = self.liveness_ssa(func);
+        self.counters.pressure.misses += 1;
+        let rc = self
+            .pressure
+            .put(epoch, Pressure::compute(func, &cfg, &live));
+        self.note_bytes();
+        rc
+    }
+
     /// Apply a pass's preservation promise after it mutated `func`:
     /// preserved analyses are re-stamped to the new epoch, the rest are
     /// dropped. Call with the *post-pass* function; `valid_at` is the
@@ -345,6 +380,11 @@ impl AnalysisManager {
         } else {
             self.loops.clear();
         }
+        if preserved.has(PreservedAnalyses::PRESSURE) {
+            self.pressure.restamp(valid_at, epoch);
+        } else {
+            self.pressure.clear();
+        }
     }
 
     /// Drop every cached analysis (counters and peak survive).
@@ -354,6 +394,7 @@ impl AnalysisManager {
         self.liveness.clear();
         self.liveness_ssa.clear();
         self.loops.clear();
+        self.pressure.clear();
     }
 
     /// Cumulative hit/miss counters.
@@ -384,6 +425,9 @@ impl AnalysisManager {
         if let Some((_, l)) = &self.loops.entry {
             total += l.bytes();
         }
+        if let Some((_, p)) = &self.pressure.entry {
+            total += p.bytes();
+        }
         total
     }
 
@@ -412,6 +456,11 @@ impl AnalysisManager {
     /// The cached loop nesting, if valid for `func`'s current epoch.
     pub fn cached_loops(&self, func: &Function) -> Option<Rc<LoopNesting>> {
         self.loops.get(func.epoch())
+    }
+
+    /// The cached pressure, if valid for `func`'s current epoch.
+    pub fn cached_pressure(&self, func: &Function) -> Option<Rc<Pressure>> {
+        self.pressure.get(func.epoch())
     }
 
     fn note_bytes(&mut self) {

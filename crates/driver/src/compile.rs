@@ -182,6 +182,10 @@ pub struct FunctionOutcome {
     pub analysis_peak_bytes: usize,
     /// SSA-build → rewrite wall time for this function.
     pub compile_time: Duration,
+    /// Function-level MaxLive measured on the optimised SSA form, just
+    /// before destruction — the certified register demand (see
+    /// `fcc-pressure`).
+    pub maxlive: u32,
 }
 
 /// Run the configured pipeline on one pre-SSA function.
@@ -235,6 +239,7 @@ pub fn compile_function(
         opt_summary = Some(summary);
     }
     verify_ssa(&func).map_err(|e| format!("internal: invalid SSA: {e}"))?;
+    let maxlive = am.pressure(&func).maxlive();
 
     let mut trace: Option<DestructionTrace> = None;
     match cfg.pipeline {
@@ -386,6 +391,7 @@ pub fn compile_function(
         stat_lines,
         analysis_peak_bytes: am.peak_bytes(),
         compile_time,
+        maxlive,
     })
 }
 

@@ -428,16 +428,28 @@ impl BatchOutcome {
 
     /// The per-function outcome table (`--report`, text form).
     pub fn outcome_table_text(&self) -> String {
-        let mut t = Table::new(&["function", "status", "attempts", "fuel", "last error"]);
+        let mut t = Table::new(&[
+            "function",
+            "status",
+            "maxlive",
+            "attempts",
+            "fuel",
+            "last error",
+        ]);
         for f in &self.functions {
             let tried = f.attempts.len() + usize::from(f.outcome.is_some());
             let last = match f.attempts.last() {
                 Some(a) => format!("[{}] {}", a.rung, first_line(&a.error.to_string())),
                 None => "-".to_string(),
             };
+            let maxlive = match &f.outcome {
+                Some(o) => o.maxlive.to_string(),
+                None => "-".to_string(),
+            };
             t.row(vec![
                 format!("@{}", f.name),
                 f.status.label().to_string(),
+                maxlive,
                 tried.to_string(),
                 f.fuel_spent.to_string(),
                 last,
@@ -469,8 +481,12 @@ impl BatchOutcome {
         out.push_str("  \"functions\": [\n");
         for (i, f) in self.functions.iter().enumerate() {
             let tried = f.attempts.len() + usize::from(f.outcome.is_some());
+            let maxlive = match &f.outcome {
+                Some(o) => o.maxlive.to_string(),
+                None => "null".to_string(),
+            };
             out.push_str(&format!(
-                "    {{\"name\": \"{}\", \"status\": \"{}\", \"attempts\": {}, \"fuel_spent\": {}, \"errors\": [",
+                "    {{\"name\": \"{}\", \"status\": \"{}\", \"maxlive\": {maxlive}, \"attempts\": {}, \"fuel_spent\": {}, \"errors\": [",
                 json_escape(&f.name),
                 f.status.label(),
                 tried,

@@ -50,11 +50,13 @@
 //! ```
 
 pub mod audit;
+pub mod pressure;
 pub mod rules;
 
 pub use audit::{
     audit_destruction, RULE_CLASS_INTERFERENCE, RULE_COPY_MISSING, RULE_COPY_REDUNDANT,
 };
+pub use pressure::{pressure_rules, RULE_COALESCE_RAISES_MAXLIVE, RULE_PRESSURE_EXCEEDS_K};
 pub use rules::{default_rules, LintRule};
 
 use fcc_analysis::AnalysisManager;

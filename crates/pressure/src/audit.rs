@@ -1,0 +1,118 @@
+//! Allocation feasibility auditor.
+//!
+//! In the spirit of `fcc_lint::audit_destruction`: given an allocator's
+//! coloring and a register target `k`, recompute liveness from scratch
+//! (the φ-aware dataflow flavour, so post-destruction non-SSA code is
+//! fine) and re-derive, from the program text alone, that the allocation
+//! is feasible — no trust in the allocator's own interference graph,
+//! worklists, or bookkeeping:
+//!
+//! * [`RULE_ALLOC_PRESSURE`]: no program point may have more than `k`
+//!   values live (pressure itself proves infeasibility for `k`);
+//! * [`RULE_ALLOC_CLASH`]: no two values live at the same point may
+//!   share a register — the per-point form of "no interfering values
+//!   share a color", which covers def-vs-live-after because a
+//!   definition's destination is in the point's set (dead definitions
+//!   via their dedicated point);
+//! * [`RULE_ALLOC_UNCOLORED`]: every value live anywhere must have a
+//!   register;
+//! * [`RULE_ALLOC_RANGE`]: every assigned register must be `< k`.
+//!
+//! Each violation is reported once (deduplicated by value or pair), in
+//! deterministic program order.
+
+use std::collections::{HashMap, HashSet};
+
+use fcc_analysis::liveness::Liveness;
+use fcc_analysis::pressure::{for_each_point, Point};
+use fcc_ir::{ControlFlowGraph, Diagnostic, Function, Value};
+
+/// A program point holds more than `k` live values.
+pub const RULE_ALLOC_PRESSURE: &str = "alloc-pressure-exceeds-k";
+/// Two values live at the same point share a register.
+pub const RULE_ALLOC_CLASH: &str = "alloc-register-clash";
+/// A live value has no register assigned.
+pub const RULE_ALLOC_UNCOLORED: &str = "alloc-uncolored-value";
+/// An assigned register is outside `0..k`.
+pub const RULE_ALLOC_RANGE: &str = "alloc-register-range";
+
+/// Audit `coloring` against target `k`. Returns an empty vector iff the
+/// allocation is feasible: every point fits in `k` registers and no two
+/// co-live values share one.
+pub fn audit_allocation(
+    func: &Function,
+    coloring: &HashMap<Value, u32>,
+    k: u32,
+) -> Vec<Diagnostic> {
+    let cfg = ControlFlowGraph::compute(func);
+    let live = Liveness::compute(func, &cfg);
+
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut over_blocks: HashSet<usize> = HashSet::new();
+    let mut clashes: HashSet<(usize, usize)> = HashSet::new();
+    let mut uncolored: HashSet<usize> = HashSet::new();
+    let mut out_of_range: HashSet<usize> = HashSet::new();
+    let mut by_color: HashMap<u32, Value> = HashMap::new();
+
+    for_each_point(func, &cfg, &live, |point, set| {
+        let b = point.block();
+        let count = set.count() as u32;
+        if count > k && over_blocks.insert(b.index()) {
+            let mut d = Diagnostic::error(
+                RULE_ALLOC_PRESSURE,
+                format!("{count} values live at one point but only {k} registers"),
+            )
+            .in_block(b);
+            if let Point::Before(_, i) | Point::DeadDef(_, i) = point {
+                d = d.at_inst(i);
+            }
+            diags.push(d);
+        }
+        by_color.clear();
+        for vi in set.iter() {
+            let v = Value::new(vi);
+            match coloring.get(&v) {
+                None => {
+                    if uncolored.insert(vi) {
+                        diags.push(
+                            Diagnostic::error(
+                                RULE_ALLOC_UNCOLORED,
+                                format!("{v} is live but has no register"),
+                            )
+                            .in_block(b)
+                            .on_value(v),
+                        );
+                    }
+                }
+                Some(&c) => {
+                    if c >= k && out_of_range.insert(vi) {
+                        diags.push(
+                            Diagnostic::error(
+                                RULE_ALLOC_RANGE,
+                                format!("{v} assigned r{c}, outside the {k}-register target"),
+                            )
+                            .in_block(b)
+                            .on_value(v),
+                        );
+                    }
+                    if let Some(&other) = by_color.get(&c) {
+                        let key = (other.index().min(vi), other.index().max(vi));
+                        if clashes.insert(key) {
+                            diags.push(
+                                Diagnostic::error(
+                                    RULE_ALLOC_CLASH,
+                                    format!("{other} and {v} are both live here but share r{c}"),
+                                )
+                                .in_block(b)
+                                .on_value(v),
+                            );
+                        }
+                    } else {
+                        by_color.insert(c, v);
+                    }
+                }
+            }
+        }
+    });
+    diags
+}

@@ -82,6 +82,17 @@ pub struct Allocation {
     pub copies_coalesced: usize,
 }
 
+impl Allocation {
+    /// Number of distinct registers the coloring actually uses — the
+    /// figure the feasibility auditor compares against a k target.
+    pub fn registers_used(&self) -> u32 {
+        let mut regs: Vec<u32> = self.coloring.values().copied().collect();
+        regs.sort_unstable();
+        regs.dedup();
+        regs.len() as u32
+    }
+}
+
 /// Allocation failure.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum AllocError {

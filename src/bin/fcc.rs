@@ -80,6 +80,26 @@
 //!   --deny-warnings promote warning findings to the failing exit code
 //! ```
 //!
+//! A pressure subcommand: static register-pressure report per function —
+//! MaxLive (per block and per function), the chordality certificate
+//! proving MaxLive equals the chromatic number of the SSA interference
+//! graph, loop-weighted spill-cost totals, and the stage-aware
+//! `pressure-*` lint rules against a k-register target (the post-
+//! destruction form is measured too, so the coalescing-aware rule sees
+//! the code the allocator will). Exit code 1 iff any error-severity
+//! finding (with `--deny-warnings`, any finding at all):
+//!
+//! ```text
+//! Usage: fcc pressure <file.ml | kernel:NAME | kernel:* | -> [options]
+//!
+//!   --format F      text (default) | json
+//!   --k N           register target for the pressure-* rules (default 8)
+//!   --no-fold       do not fold copies during SSA construction
+//!   --opt           run the optimiser pipeline before measuring
+//!   --jobs N        process module functions on N threads (0 = auto)
+//!   --deny-warnings promote warning findings to the failing exit code
+//! ```
+//!
 //! And a fuzz subcommand: seeded generated programs through all three
 //! pipeline families with a differential interpreter oracle and the
 //! destruction soundness audit; failures are shrunk to a minimal
@@ -145,6 +165,7 @@
 //! fcc prog.ml --pipeline briggs-star --alloc 8 --run 10
 //! fcc lint kernel:saxpy --opt --format json
 //! fcc analyze prog.ml --format json --deny-warnings
+//! fcc pressure kernel:* --opt --k 8 --format json
 //! fcc fuzz --seeds 500 --jobs 2
 //! echo '{"v":1,"verb":"compile","source":"fn f(x){ return x; }"}' | fcc serve
 //! fcc bench-serve --requests 2000 --out BENCH_serve.json
@@ -190,6 +211,8 @@ fn usage() -> &'static str {
      [--opt] [--jobs N] [--deny-warnings]\n       \
      fcc analyze <file.ml | kernel:NAME | kernel:* | -> [--format text|json] [--no-fold] [--opt] \
      [--jobs N] [--deny-warnings]\n       \
+     fcc pressure <file.ml | kernel:NAME | kernel:* | -> [--format text|json] [--k N] [--no-fold] \
+     [--opt] [--jobs N] [--deny-warnings]\n       \
      fcc fuzz [--seeds N] [--start N] [--jobs N] [--no-opt] [--shrink-budget N] [--fuel N] \
      [--repro-dir DIR] [--inject-phi-bug] [--inject-solver-spin]\n       \
      fcc serve [build options as daemon defaults] [--cache-budget BYTES]\n       \
@@ -326,10 +349,13 @@ fn load_source(input: &str) -> Result<String, String> {
 
 fn main() -> ExitCode {
     let sub = std::env::args().nth(1);
-    if let Some(name @ ("lint" | "analyze" | "fuzz" | "serve" | "bench-serve")) = sub.as_deref() {
+    if let Some(name @ ("lint" | "analyze" | "pressure" | "fuzz" | "serve" | "bench-serve")) =
+        sub.as_deref()
+    {
         let run = match name {
             "lint" => lint_main,
             "analyze" => analyze_main,
+            "pressure" => pressure_main,
             "fuzz" => fuzz_main,
             "serve" => serve_main,
             _ => bench_serve_main,
@@ -611,6 +637,190 @@ fn analyze_main(args: Vec<String>) -> Result<bool, String> {
 /// `fcc fuzz`: a deterministic differential-fuzzing campaign over
 /// generated programs. Returns `Ok(false)` (failing exit) when any seed
 /// fails its oracle; each failure's shrunk repro is written to disk.
+fn pressure_main(args: Vec<String>) -> Result<bool, String> {
+    let mut input = String::new();
+    let mut format = "text".to_string();
+    let mut fold = true;
+    let mut opt = false;
+    let mut jobs = 0usize;
+    let mut k = 8u32;
+    let mut deny_warnings = false;
+    let mut args = args.into_iter();
+    let need = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--format" => format = need(&mut args, "--format")?,
+            "--no-fold" => fold = false,
+            "--opt" => opt = true,
+            "--jobs" => {
+                jobs = need(&mut args, "--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?
+            }
+            "--k" => {
+                k = need(&mut args, "--k")?
+                    .parse()
+                    .map_err(|e| format!("--k: {e}"))?
+            }
+            "--deny-warnings" => deny_warnings = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other if input.is_empty() && !other.starts_with('-') || other == "-" => {
+                input = other.to_string();
+            }
+            other => return Err(format!("unknown argument {other}\n{}", usage())),
+        }
+    }
+    if input.is_empty() {
+        return Err(usage().to_string());
+    }
+    if !matches!(format.as_str(), "text" | "json") {
+        return Err(format!("--format must be text or json, got {format}"));
+    }
+    if k == 0 {
+        return Err("--k must be at least 1".to_string());
+    }
+
+    let src = load_source(&input)?;
+    let module = fcc::frontend::compile_module(&src)?;
+    let single = module.len() == 1;
+    let funcs = module.into_functions();
+    let json = format == "json";
+    let (results, _timing) = par_map(funcs.len(), jobs, |i| {
+        pressure_one(funcs[i].clone(), fold, opt, k, json)
+    });
+
+    let mut clean = true;
+    let mut rendered = Vec::with_capacity(results.len());
+    for r in results {
+        let (text, errors, warnings) = r?;
+        clean &= errors == 0 && (!deny_warnings || warnings == 0);
+        rendered.push(text);
+    }
+    if json && !single {
+        emit(format_args!("[{}]", rendered.join(",")));
+    } else {
+        for text in rendered {
+            emit(text);
+        }
+    }
+    Ok(clean)
+}
+
+/// One function's pressure report: SSA MaxLive with chordality
+/// certificate and spill costs, the SSA-stage pressure rules, then the
+/// same function destructed by the paper's coalescer for the
+/// final-stage rule and the post-destruction MaxLive. Returns
+/// (rendered, errors, warnings).
+fn pressure_one(
+    mut func: Function,
+    fold: bool,
+    opt: bool,
+    k: u32,
+    json: bool,
+) -> Result<(String, usize, usize), String> {
+    let mut am = AnalysisManager::new();
+    build_ssa_with(&mut func, SsaFlavor::Pruned, fold, &mut am);
+    if opt {
+        standard_pipeline().run(&mut func, &mut am);
+    }
+    verify_ssa(&func).map_err(|e| format!("internal: invalid SSA: {e}"))?;
+    let summary = fcc::pressure::summarize(&func, &mut am)
+        .map_err(|e| format!("@{}: chordality certification failed: {e}", func.name))?;
+    let rules = pressure_rules(k);
+    let ssa_report = lint_with_rules(&func, &mut am, LintStage::Ssa, &rules);
+    let mut diags: Vec<String> = ssa_report
+        .diagnostics
+        .iter()
+        .map(|d| {
+            if json {
+                d.to_json(Some(&func))
+            } else {
+                d.render(&func)
+            }
+        })
+        .collect();
+
+    coalesce_ssa_managed(&mut func, &CoalesceOptions::default(), &mut am);
+    let final_report = lint_with_rules(&func, &mut am, LintStage::Final, &rules);
+    diags.extend(final_report.diagnostics.iter().map(|d| {
+        if json {
+            d.to_json(Some(&func))
+        } else {
+            d.render(&func)
+        }
+    }));
+    let cfg = am.cfg(&func);
+    let live = am.liveness(&func);
+    let final_maxlive = fcc::analysis::Pressure::compute(&func, &cfg, &live).maxlive();
+
+    let errors = ssa_report.error_count() + final_report.error_count();
+    let warnings = ssa_report.warning_count() + final_report.warning_count();
+    let rendered = if json {
+        let blocks: Vec<String> = summary
+            .block_max
+            .iter()
+            .map(|(b, m)| format!("{{\"block\":\"{b}\",\"maxlive\":{m}}}"))
+            .collect();
+        format!(
+            "{{\"function\":\"{}\",\"k\":{k},\"maxlive\":{},\"max_block\":{},\"points\":{},\
+             \"edges\":{},\"omega\":{},\"chi\":{},\"spill_total\":{:.0},\"final_maxlive\":{},\
+             \"errors\":{errors},\"warnings\":{warnings},\"blocks\":[{}],\"diagnostics\":[{}]}}",
+            fcc::ir::diagnostic::json_escape(&summary.name),
+            summary.maxlive,
+            match summary.max_block {
+                Some(b) => format!("\"{b}\""),
+                None => "null".to_string(),
+            },
+            summary.points,
+            summary.edges,
+            summary.omega,
+            summary.colors,
+            summary.spill_total,
+            final_maxlive,
+            blocks.join(","),
+            diags.join(",")
+        )
+    } else {
+        let blocks: Vec<String> = summary
+            .block_max
+            .iter()
+            .map(|(b, m)| format!("{b}={m}"))
+            .collect();
+        let mut out = format!(
+            "@{}: maxlive {} ({}), certified omega {} = chi {}, {} points, {} edges, \
+             spill cost {:.0}, final maxlive {}\n  blocks: {}",
+            summary.name,
+            summary.maxlive,
+            match summary.max_block {
+                Some(b) => b.to_string(),
+                None => "-".to_string(),
+            },
+            summary.omega,
+            summary.colors,
+            summary.points,
+            summary.edges,
+            summary.spill_total,
+            final_maxlive,
+            blocks.join(" ")
+        );
+        for d in &diags {
+            out.push('\n');
+            out.push_str(d);
+        }
+        out.push_str(&format!(
+            "\n@{}: pressure vs k={k}: {errors} error(s), {warnings} warning(s)",
+            summary.name
+        ));
+        out
+    };
+    Ok((rendered, errors, warnings))
+}
+
 fn fuzz_main(args: Vec<String>) -> Result<bool, String> {
     let mut cfg = FuzzConfig::default();
     let mut repro_dir = ".".to_string();

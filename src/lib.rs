@@ -19,6 +19,7 @@
 //! | [`driver`] | batch compilation: work-stealing pool, instrumented pipelines, differential fuzzer, fault-tolerant degradation ladder, the unified `CompileRequest` entry point (`fcc --jobs`, `fcc fuzz`, `--fail-mode`) |
 //! | [`serve`] | the compile service: JSONL daemon, content-addressed incremental function cache, load generator (`fcc serve`, `fcc bench-serve`) |
 //! | [`regalloc`] | interference graphs, Briggs / Briggs\* coalescers, colouring allocator |
+//! | [`pressure`] | register pressure: MaxLive, chordality certificates (MaxLive = χ), spill costs, k-feasibility audit (`fcc pressure`) |
 //! | [`interp`] | φ-aware reference interpreter with dynamic-copy accounting |
 //! | [`opt`] | scalar optimiser: DCE, constant folding, copy propagation, CFG simplify |
 //! | [`lint`] | invariant-checking rule suite + coalescing soundness auditor (`fcc lint`, `--verify-each`) |
@@ -70,6 +71,7 @@ pub use fcc_interp as interp;
 pub use fcc_ir as ir;
 pub use fcc_lint as lint;
 pub use fcc_opt as opt;
+pub use fcc_pressure as pressure;
 pub use fcc_regalloc as regalloc;
 pub use fcc_serve as serve;
 pub use fcc_ssa as ssa;
@@ -95,10 +97,16 @@ pub mod prelude {
     pub use fcc_ir::{
         Block, Diagnostic, Function, FunctionBuilder, Inst, InstKind, Module, Severity, Value,
     };
-    pub use fcc_lint::{audit_destruction, lint_function, LintReport, LintStage};
+    pub use fcc_lint::{
+        audit_destruction, lint_function, lint_with_rules, pressure_rules, LintReport, LintStage,
+    };
     pub use fcc_opt::{
         aggressive_pipeline, copy_preserving_pipeline, standard_pipeline, PassEffect,
         PipelineViolation,
+    };
+    pub use fcc_pressure::{
+        audit_allocation, certify, summarize, ChordalityCertificate, InterferenceRelation,
+        PressureSummary, SpillCosts,
     };
     pub use fcc_regalloc::{
         allocate, allocate_managed, coalesce_copies, coalesce_copies_managed, destruct_via_webs,

@@ -1,0 +1,203 @@
+//! The pressure layer over the whole kernel suite: pinned MaxLive and
+//! spill-cost totals for every bundled kernel, the chordality certifier
+//! accepting everywhere with ω = χ = MaxLive, the k-feasibility auditor
+//! accepting real allocator output and rejecting corrupted colourings,
+//! and the `maxlive` column in the batch report tables.
+
+use fcc::prelude::*;
+use fcc::pressure::{
+    audit_allocation, RULE_ALLOC_CLASH, RULE_ALLOC_PRESSURE, RULE_ALLOC_RANGE, RULE_ALLOC_UNCOLORED,
+};
+
+/// MaxLive and loop-weighted spill-cost total per kernel, measured on
+/// optimised pruned SSA (copy folding on, standard pipeline). Regenerate
+/// with `cargo run -p fcc-bench --bin pressure` when the optimiser or
+/// the kernels intentionally change.
+const PINNED: &[(&str, u32, &str)] = &[
+    ("saxpy", 6, "741"),
+    ("tomcatv", 22, "340026"),
+    ("blts", 8, "8153"),
+    ("buts", 8, "8636"),
+    ("getbx", 7, "1165"),
+    ("twldrv", 10, "12076"),
+    ("smoothx", 8, "9330"),
+    ("rhs", 10, "17883"),
+    ("parmvrx", 8, "11209"),
+    ("initx", 5, "1678"),
+    ("fieldx", 8, "962910"),
+    ("parmovx", 6, "6360"),
+    ("radfgx", 6, "10762"),
+    ("radbgx", 6, "10892"),
+    ("parmvex", 8, "6948"),
+    ("jacld", 11, "12981"),
+    ("fpppp", 8, "1743"),
+    ("advbndx", 7, "16015"),
+    ("deseco", 8, "1603"),
+    ("zeroin", 11, "1758"),
+    ("fmin", 8, "961"),
+    ("spline", 9, "1979"),
+    ("seval", 9, "3959"),
+    ("quanc8", 11, "1665"),
+    ("rkf45", 12, "2162"),
+    ("decomp", 12, "61372"),
+    ("solve", 7, "12708"),
+    ("urand", 9, "1021"),
+    ("svd", 12, "1262825"),
+    ("smooth", 8, "143233"),
+    ("clampx", 6, "547"),
+];
+
+/// The measurement path shared with `fcc pressure --opt` and the bench
+/// table: optimised pruned SSA, summarised through the manager cache.
+fn summarize_kernel(k: &fcc::workloads::Kernel) -> (Function, AnalysisManager, PressureSummary) {
+    let mut func = fcc::workloads::compile_kernel(k);
+    let mut am = AnalysisManager::new();
+    build_ssa_with(&mut func, SsaFlavor::Pruned, true, &mut am);
+    fcc::opt::standard_pipeline().run(&mut func, &mut am);
+    verify_ssa(&func).expect("optimised kernel stays valid SSA");
+    let s = summarize(&func, &mut am)
+        .unwrap_or_else(|e| panic!("{}: certification failed: {e}", k.name));
+    (func, am, s)
+}
+
+#[test]
+fn pinned_maxlive_and_spill_costs_over_the_suite() {
+    let kernels = fcc::workloads::kernels();
+    assert_eq!(kernels.len(), PINNED.len(), "pin table out of date");
+    for (k, &(name, maxlive, spill)) in kernels.iter().zip(PINNED) {
+        assert_eq!(k.name, name, "kernel order changed");
+        let (_, _, s) = summarize_kernel(k);
+        assert_eq!(s.maxlive, maxlive, "{name}: MaxLive drifted");
+        assert_eq!(
+            format!("{:.0}", s.spill_total),
+            spill,
+            "{name}: spill-cost total drifted"
+        );
+        // The certificate must agree exactly: the interference graph is
+        // chordal, so MaxLive registers are necessary and sufficient.
+        assert_eq!(s.omega, s.maxlive, "{name}: clique witness");
+        assert_eq!(s.colors, s.maxlive, "{name}: greedy colouring");
+    }
+}
+
+#[test]
+fn auditor_accepts_every_allocator_output_that_fits() {
+    for k in fcc::workloads::kernels() {
+        let mut base = fcc::workloads::compile_kernel(k);
+        let mut am = AnalysisManager::new();
+        build_ssa_with(&mut base, SsaFlavor::Pruned, true, &mut am);
+        coalesce_ssa_managed(&mut base, &CoalesceOptions::default(), &mut am);
+        assert!(!base.has_phis());
+        for registers in [4usize, 8, 16] {
+            let mut func = base.clone();
+            let alloc = match allocate(
+                &mut func,
+                &AllocOptions {
+                    registers,
+                    ..Default::default()
+                },
+            ) {
+                Ok(a) => a,
+                Err(e) => panic!("{} (k={registers}): allocation failed: {e:?}", k.name),
+            };
+            let kk = registers as u32;
+            assert!(
+                alloc.registers_used() <= kk,
+                "{} (k={registers}): allocator used {} registers",
+                k.name,
+                alloc.registers_used()
+            );
+            let diags = audit_allocation(&func, &alloc.coloring, kk);
+            assert!(
+                diags.is_empty(),
+                "{} (k={registers}): auditor rejected real allocator output:\n{:#?}",
+                k.name,
+                diags
+            );
+        }
+    }
+}
+
+#[test]
+fn auditor_rejects_corrupted_allocations() {
+    let k = fcc::workloads::kernel("saxpy").unwrap();
+    let mut func = fcc::workloads::compile_kernel(k);
+    let mut am = AnalysisManager::new();
+    build_ssa_with(&mut func, SsaFlavor::Pruned, true, &mut am);
+    coalesce_ssa_managed(&mut func, &CoalesceOptions::default(), &mut am);
+    let alloc = allocate(
+        &mut func,
+        &AllocOptions {
+            registers: 8,
+            ..Default::default()
+        },
+    )
+    .expect("saxpy allocates in 8 registers");
+    assert!(audit_allocation(&func, &alloc.coloring, 8).is_empty());
+
+    // Everyone in register 0: values live together now clash.
+    let mut clashed = alloc.coloring.clone();
+    for c in clashed.values_mut() {
+        *c = 0;
+    }
+    let diags = audit_allocation(&func, &clashed, 8);
+    assert!(
+        diags.iter().any(|d| d.rule == RULE_ALLOC_CLASH),
+        "flattened colouring not flagged: {diags:#?}"
+    );
+
+    // One value banished to a register beyond the target.
+    let victim = *alloc.coloring.keys().min_by_key(|v| v.index()).unwrap();
+    let mut ranged = alloc.coloring.clone();
+    ranged.insert(victim, 99);
+    let diags = audit_allocation(&func, &ranged, 8);
+    assert!(
+        diags.iter().any(|d| d.rule == RULE_ALLOC_RANGE),
+        "out-of-range register not flagged: {diags:#?}"
+    );
+
+    // One live value with no register at all.
+    let mut missing = alloc.coloring.clone();
+    missing.remove(&victim);
+    let diags = audit_allocation(&func, &missing, 8);
+    assert!(
+        diags.iter().any(|d| d.rule == RULE_ALLOC_UNCOLORED),
+        "uncoloured value not flagged: {diags:#?}"
+    );
+
+    // A 6-pressure function audited against k = 4: infeasible from
+    // liveness alone, before any colour is even inspected.
+    let diags = audit_allocation(&func, &alloc.coloring, 4);
+    assert!(
+        diags.iter().any(|d| d.rule == RULE_ALLOC_PRESSURE),
+        "over-pressure point not flagged: {diags:#?}"
+    );
+}
+
+#[test]
+fn report_tables_carry_the_maxlive_column() {
+    let funcs: Vec<Function> = fcc::workloads::kernels()
+        .iter()
+        .take(3)
+        .map(fcc::workloads::compile_kernel)
+        .collect();
+    let module = fcc::ir::Module::from_functions(funcs).unwrap();
+    let outcome = fcc::driver::compile_module(module, &CompileRequest::new()).unwrap();
+
+    let text = outcome.outcome_table_text();
+    let header = text.lines().next().unwrap();
+    assert!(header.contains("maxlive"), "text header: {header}");
+    // Every kernel compiles, so every row must carry a number, not "-".
+    let saxpy_row = text
+        .lines()
+        .find(|l| l.starts_with("@saxpy"))
+        .expect("saxpy row present");
+    assert!(
+        saxpy_row.split_whitespace().any(|c| c == "6"),
+        "saxpy maxlive missing from: {saxpy_row}"
+    );
+
+    let json = outcome.outcome_table_json(FailMode::Abort);
+    assert!(json.contains("\"maxlive\": 6"), "json: {json}");
+    assert!(!json.contains("\"maxlive\": null"), "json: {json}");
+}
