@@ -128,13 +128,18 @@ pub fn check_program_with(prog: &Program, opt: bool, fuel: Option<u64>) -> Resul
 
 /// The shrinker's failure classes. Dropping a `let` orphans its uses and
 /// such a candidate fails to *lower*; likewise a candidate that merely
-/// runs out of fuel is a different finding than a miscompile. A shrink
-/// candidate only counts when its failure class matches the original's.
+/// runs out of fuel is a different finding than a miscompile, and a
+/// pipeline whose output traps out-of-bounds where the reference ran
+/// clean ("memory") is a different finding than a wrong return value. A
+/// shrink candidate only counts when its failure class matches the
+/// original's.
 pub fn failure_class(detail: &str) -> &'static str {
     if detail.starts_with("lowering failed") {
         "lowering"
     } else if detail.starts_with("fuel exhausted") {
         "fuel"
+    } else if detail.contains("out-of-bounds memory access") {
+        "memory"
     } else {
         "pipeline"
     }

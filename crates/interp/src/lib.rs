@@ -13,9 +13,21 @@
 //!    counts them during execution.
 //!
 //! Semantics: all values are `i64`; division is total (x/0 = 0); memory is
-//! a caller-provided flat array (out-of-range loads read 0, out-of-range
-//! stores are dropped). Execution is bounded by a fuel budget so that a
+//! a caller-provided flat array of words, zero-initialised by [`run`] and
+//! [`run_with`]. Execution is bounded by a fuel budget so that a
 //! miscompiled loop cannot hang the test suite.
+//!
+//! ## Out-of-bounds memory semantics
+//!
+//! This paragraph is the **single normative definition** of out-of-bounds
+//! behaviour for the whole workspace; the `mem-oob-access` lint in
+//! `fcc-alias` mirrors it exactly and nothing else redefines it. A `load`
+//! or `store` whose address `a` satisfies `a < 0 || a as usize >=
+//! memory.len()` **traps**: execution stops immediately with
+//! [`ExecError::OutOfBounds`] carrying the offending address, and no
+//! partial memory image or return value is observable. Addresses are
+//! never wrapped, clamped, or grown; in-bounds accesses read and write
+//! `memory[a as usize]` directly.
 
 use std::fmt;
 
@@ -33,6 +45,14 @@ pub enum ExecError {
     PhiMissingEdge(Block, Block),
     /// `param i` requested an argument that was not supplied.
     MissingArgument(usize),
+    /// A `load` or `store` addressed a word outside `[0, words)` — see
+    /// the module docs for the normative out-of-bounds rule.
+    OutOfBounds {
+        /// The offending address.
+        addr: i64,
+        /// The memory size in words at the time of the access.
+        words: usize,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -44,6 +64,12 @@ impl fmt::Display for ExecError {
                 write!(f, "phi in {b} has no argument for edge from {p}")
             }
             ExecError::MissingArgument(i) => write!(f, "missing argument {i}"),
+            ExecError::OutOfBounds { addr, words } => {
+                write!(
+                    f,
+                    "out-of-bounds memory access: address {addr} outside [0, {words})"
+                )
+            }
         }
     }
 }
@@ -179,18 +205,23 @@ pub fn run_with_memory(
                 }
                 InstKind::Load { addr } => {
                     let a = read(&regs, *addr);
-                    let v = if a >= 0 && (a as usize) < memory.len() {
-                        memory[a as usize]
-                    } else {
-                        0
-                    };
-                    regs[data.dst.unwrap().index()] = v;
+                    if a < 0 || a as usize >= memory.len() {
+                        return Err(ExecError::OutOfBounds {
+                            addr: a,
+                            words: memory.len(),
+                        });
+                    }
+                    regs[data.dst.unwrap().index()] = memory[a as usize];
                 }
                 InstKind::Store { addr, val } => {
                     let a = read(&regs, *addr);
-                    if a >= 0 && (a as usize) < memory.len() {
-                        memory[a as usize] = read(&regs, *val);
+                    if a < 0 || a as usize >= memory.len() {
+                        return Err(ExecError::OutOfBounds {
+                            addr: a,
+                            words: memory.len(),
+                        });
                     }
+                    memory[a as usize] = read(&regs, *val);
                 }
                 InstKind::Branch {
                     cond,
@@ -344,7 +375,8 @@ mod tests {
     }
 
     #[test]
-    fn out_of_range_memory_is_benign() {
+    fn out_of_range_memory_traps() {
+        // Negative address: traps on the store, before the load runs.
         let f = parse_function(
             "function @oob(0) {
              b0:
@@ -356,9 +388,26 @@ mod tests {
              }",
         )
         .unwrap();
-        let out = run(&f, &[]).unwrap();
-        assert_eq!(out.ret, Some(0));
-        assert!(out.memory.iter().all(|&w| w == 0));
+        let err = run(&f, &[]).unwrap_err();
+        assert_eq!(err, ExecError::OutOfBounds { addr: -3, words: 4096 });
+        assert!(err.to_string().contains("out-of-bounds"), "{err}");
+
+        // One-past-the-end load traps too; the last word is fine.
+        let g = parse_function(
+            "function @edge(1) {
+             b0:
+                 v0 = param 0
+                 v1 = load v0
+                 return v1
+             }",
+        )
+        .unwrap();
+        let err = run_with_memory(&g, &[8], vec![0; 8], 1000).unwrap_err();
+        assert_eq!(err, ExecError::OutOfBounds { addr: 8, words: 8 });
+        assert_eq!(
+            run_with_memory(&g, &[7], vec![0; 8], 1000).unwrap().ret,
+            Some(0)
+        );
     }
 
     #[test]

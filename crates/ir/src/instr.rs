@@ -228,9 +228,11 @@ pub enum InstKind {
     Unary { op: UnaryOp, a: Value },
     /// Binary operation.
     Binary { op: BinOp, a: Value, b: Value },
-    /// Read `mem[addr]` (flat i64-addressed memory; out-of-range reads 0).
+    /// Read `mem[addr]` (flat i64-addressed memory; an out-of-range
+    /// address traps — see the `fcc-interp` module docs for the
+    /// normative rule).
     Load { addr: Value },
-    /// Write `mem[addr] = val` (out-of-range writes are dropped).
+    /// Write `mem[addr] = val` (out-of-range traps, like `Load`).
     Store { addr: Value, val: Value },
     /// SSA φ-node. Must appear at the head of its block.
     Phi { args: Vec<PhiArg> },

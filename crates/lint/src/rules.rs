@@ -40,9 +40,11 @@ pub trait LintRule {
 }
 
 /// The default rule suite, in execution order. The four `range-*` rules
-/// share one cached `fcc-dataflow` fixpoint per function.
+/// share one cached `fcc-dataflow` fixpoint per function, and the four
+/// `mem-*` rules share one cached `fcc-alias` sweep.
 pub fn default_rules() -> Vec<Box<dyn LintRule>> {
     let cache = RangeFactsCache::new();
+    let mem_cache = MemFactsCache::new();
     vec![
         Box::new(StructureRule),
         Box::new(PhiFreeRule),
@@ -57,6 +59,10 @@ pub fn default_rules() -> Vec<Box<dyn LintRule>> {
         Box::new(RangeSafetyRule::shift_bounds(&cache)),
         Box::new(RangeSafetyRule::unreachable_branch(&cache)),
         Box::new(RangeSafetyRule::dead_phi_input(&cache)),
+        Box::new(MemSafetyRule::oob_access(&mem_cache)),
+        Box::new(MemSafetyRule::uninit_load(&mem_cache)),
+        Box::new(MemSafetyRule::dead_store(&mem_cache)),
+        Box::new(MemSafetyRule::overlapping_store(&mem_cache)),
     ]
 }
 
@@ -874,6 +880,100 @@ impl LintRule for RangeSafetyRule {
         // The sparse solvers key facts on SSA names (single defs); on
         // pre-SSA or destructed code a name has many defs and the
         // verdicts would be meaningless joins.
+        stage == LintStage::Ssa
+    }
+    fn check(&self, func: &Function, am: &mut AnalysisManager, out: &mut Vec<Diagnostic>) {
+        let diags = self.cache.diagnostics(func, am);
+        out.extend(diags.iter().filter(|d| d.rule == self.id).cloned());
+    }
+}
+
+// ---------------------------------------------------------------------
+// mem-* (fcc-alias memory checkers)
+// ---------------------------------------------------------------------
+
+/// One `fcc-alias` sweep per linted function, shared by the four `mem-*`
+/// rules — same memoisation discipline as [`RangeFactsCache`]. The
+/// memory bound is unknown at lint time, so the findings are the
+/// size-independent subset (`mem-oob-access` still proves negative
+/// addresses; `fcc analyze --memory-words` adds the upper bound).
+struct MemFactsCache(RefCell<Option<(RangeFactsKey, Rc<Vec<Diagnostic>>)>>);
+
+impl MemFactsCache {
+    fn new() -> Rc<MemFactsCache> {
+        Rc::new(MemFactsCache(RefCell::new(None)))
+    }
+
+    fn diagnostics(&self, func: &Function, am: &mut AnalysisManager) -> Rc<Vec<Diagnostic>> {
+        let key = (func.name.clone(), func.epoch());
+        if let Some((k, diags)) = &*self.0.borrow() {
+            if *k == key {
+                return Rc::clone(diags);
+            }
+        }
+        let fa = FunctionAnalysis::compute(func, am);
+        let diags = Rc::new(fcc_alias::memory_diagnostics(func, &fa, None));
+        *self.0.borrow_mut() = Some((key, Rc::clone(&diags)));
+        diags
+    }
+}
+
+/// Rules `mem-oob-access`, `mem-uninit-load`, `mem-dead-store` and
+/// `mem-overlapping-store`: the `fcc-alias` memory checkers surfaced as
+/// stage-aware lint findings. All warning severity, like the `range-*`
+/// family — the flagged access runs (or traps, per the interpreter's
+/// normative out-of-bounds rule) under the IR semantics, but almost
+/// surely diverges from source intent.
+pub struct MemSafetyRule {
+    id: &'static str,
+    description: &'static str,
+    cache: Rc<MemFactsCache>,
+}
+
+impl MemSafetyRule {
+    fn oob_access(cache: &Rc<MemFactsCache>) -> MemSafetyRule {
+        MemSafetyRule {
+            id: fcc_alias::RULE_MEM_OOB,
+            description: "no load or store address is provably outside memory (every \
+                          execution would trap)",
+            cache: Rc::clone(cache),
+        }
+    }
+    fn uninit_load(cache: &Rc<MemFactsCache>) -> MemSafetyRule {
+        MemSafetyRule {
+            id: fcc_alias::RULE_MEM_UNINIT,
+            description: "no load reads a fixed word that no reachable store may write",
+            cache: Rc::clone(cache),
+        }
+    }
+    fn dead_store(cache: &Rc<MemFactsCache>) -> MemSafetyRule {
+        MemSafetyRule {
+            id: fcc_alias::RULE_MEM_DEAD_STORE,
+            description: "no store is overwritten by a must-alias store before any \
+                          possible read",
+            cache: Rc::clone(cache),
+        }
+    }
+    fn overlapping_store(cache: &Rc<MemFactsCache>) -> MemSafetyRule {
+        MemSafetyRule {
+            id: fcc_alias::RULE_MEM_OVERLAP,
+            description: "no two adjacent stores write partially-overlapping small \
+                          address windows without being provably equal",
+            cache: Rc::clone(cache),
+        }
+    }
+}
+
+impl LintRule for MemSafetyRule {
+    fn id(&self) -> &'static str {
+        self.id
+    }
+    fn description(&self) -> &'static str {
+        self.description
+    }
+    fn applies(&self, stage: LintStage) -> bool {
+        // Alias verdicts come from the same sparse SSA fixpoints as the
+        // range-* rules, with the same staging constraint.
         stage == LintStage::Ssa
     }
     fn check(&self, func: &Function, am: &mut AnalysisManager, out: &mut Vec<Diagnostic>) {

@@ -15,6 +15,9 @@
 //!   `fcc-dataflow` sparse engine: SCCP verdicts, value ranges, and
 //!   known bits prove constants and dead branches that syntactic
 //!   folding cannot see (SSA);
+//! * [`memopt`] — store-to-load forwarding, redundant-load
+//!   elimination, and dead-store elimination, gated on the `fcc-alias`
+//!   verdicts (SSA);
 //! * [`simplify_cfg::simplify_cfg`] — block merging / jump threading,
 //!   undoing the critical-edge splits once destruction no longer needs
 //!   them;
@@ -47,6 +50,7 @@ pub mod copyprop;
 pub mod dce;
 pub mod fault;
 pub mod gvn;
+pub mod memopt;
 pub mod range_fold;
 pub mod simplify_cfg;
 
@@ -54,6 +58,10 @@ pub use constfold::{const_fold, const_fold_with, FoldStats};
 pub use copyprop::copy_propagate;
 pub use dce::dead_code_elim;
 pub use gvn::{value_number, value_number_with, GvnStats};
+pub use memopt::{
+    dead_store_elim, dead_store_elim_with, redundant_load_elim, redundant_load_elim_with,
+    store_forward, store_forward_web_safe_with, store_forward_with,
+};
 pub use range_fold::{range_fold, range_fold_with, RangeFoldStats};
 pub use simplify_cfg::{simplify_cfg, simplify_cfg_with};
 
@@ -183,6 +191,70 @@ impl Pass for RangeFold {
             PassEffect::changed(PreservedAnalyses::cfg_core())
         } else {
             PassEffect::changed(PreservedAnalyses::none())
+        }
+    }
+}
+
+/// A [`Pass`] wrapper; see [`memopt::store_forward`]. The default is
+/// unrestricted; [`StoreForward::web_safe`] refuses to forward
+/// φ-involved values (see [`memopt::store_forward_web_safe_with`]) and
+/// is what [`copy_preserving_pipeline`] registers.
+#[derive(Default)]
+pub struct StoreForward {
+    web_safe: bool,
+}
+impl StoreForward {
+    /// The φ-web-preserving variant for code headed into
+    /// `destruct_via_webs`.
+    pub fn web_safe() -> StoreForward {
+        StoreForward { web_safe: true }
+    }
+}
+impl Pass for StoreForward {
+    fn name(&self) -> &'static str {
+        "store-forward"
+    }
+    fn run(&self, func: &mut Function, am: &mut AnalysisManager) -> PassEffect {
+        let n = if self.web_safe {
+            memopt::store_forward_web_safe_with(func, am)
+        } else {
+            store_forward_with(func, am)
+        };
+        if n > 0 {
+            // Loads become copies in place: every block and edge stays.
+            PassEffect::changed(PreservedAnalyses::cfg_core())
+        } else {
+            PassEffect::unchanged()
+        }
+    }
+}
+
+/// A [`Pass`] wrapper; see [`memopt::redundant_load_elim`].
+pub struct RedundantLoadElim;
+impl Pass for RedundantLoadElim {
+    fn name(&self) -> &'static str {
+        "redundant-load-elim"
+    }
+    fn run(&self, func: &mut Function, am: &mut AnalysisManager) -> PassEffect {
+        if redundant_load_elim_with(func, am) > 0 {
+            PassEffect::changed(PreservedAnalyses::cfg_core())
+        } else {
+            PassEffect::unchanged()
+        }
+    }
+}
+
+/// A [`Pass`] wrapper; see [`memopt::dead_store_elim`].
+pub struct DeadStoreElim;
+impl Pass for DeadStoreElim {
+    fn name(&self) -> &'static str {
+        "dead-store-elim"
+    }
+    fn run(&self, func: &mut Function, am: &mut AnalysisManager) -> PassEffect {
+        if dead_store_elim_with(func, am) > 0 {
+            PassEffect::changed(PreservedAnalyses::cfg_core())
+        } else {
+            PassEffect::unchanged()
         }
     }
 }
@@ -459,12 +531,16 @@ impl std::fmt::Display for PipelineViolation {
 impl std::error::Error for PipelineViolation {}
 
 /// The standard SSA optimisation pipeline: fold → propagate →
-/// range-fold → DCE → simplify, to fixpoint.
+/// range-fold → memory (forward → load-elim → dead-store) → DCE →
+/// simplify, to fixpoint.
 pub fn standard_pipeline() -> PassManager {
     PassManager::new()
         .with(ConstFold)
         .with(CopyProp)
         .with(RangeFold)
+        .with(StoreForward::default())
+        .with(RedundantLoadElim)
+        .with(DeadStoreElim)
         .with(Dce)
         .with(SimplifyCfg)
 }
@@ -478,10 +554,18 @@ pub fn standard_pipeline() -> PassManager {
 /// `--no-fold` flag exists to avoid, so it must stay out of this
 /// pipeline. The coalescing destruction paths don't need the
 /// restriction; use [`standard_pipeline`] there.
+///
+/// The memory passes stay in: they *introduce* plain copies (of a
+/// stored or previously-loaded value) but never fold one away, and
+/// φ-web unioning follows φ arguments only, so a fresh copy cannot
+/// merge two source variables' webs.
 pub fn copy_preserving_pipeline() -> PassManager {
     PassManager::new()
         .with(ConstFold)
         .with(RangeFold)
+        .with(StoreForward::web_safe())
+        .with(RedundantLoadElim)
+        .with(DeadStoreElim)
         .with(Dce)
         .with(SimplifyCfg)
 }
@@ -494,6 +578,9 @@ pub fn aggressive_pipeline() -> PassManager {
         .with(ConstFold)
         .with(CopyProp)
         .with(RangeFold)
+        .with(StoreForward::default())
+        .with(RedundantLoadElim)
+        .with(DeadStoreElim)
         .with(Dce)
         .with(SimplifyCfg)
 }

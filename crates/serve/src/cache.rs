@@ -41,8 +41,10 @@ use fcc_ir::Module;
 
 /// Cache-key schema revision: the crate version plus a manual rev for
 /// key-layout changes within a release. Part of every key, so bumping
-/// either invalidates the whole cache.
-pub const CACHE_SCHEMA: &str = concat!(env!("CARGO_PKG_VERSION"), "/1");
+/// either invalidates the whole cache. Rev 2: the optimiser pipelines
+/// gained the alias-gated memory passes, changing compiled output for
+/// unchanged sources.
+pub const CACHE_SCHEMA: &str = concat!(env!("CARGO_PKG_VERSION"), "/2");
 
 /// 64-bit FNV-1a. Stable across platforms and releases (unlike
 /// `DefaultHasher`, which documents no such guarantee), which matters

@@ -74,8 +74,7 @@ pub fn generate(seed: u64, cfg: &GenConfig) -> Program {
         g.mutable.push(format!("v{i}"));
     }
     for _ in 0..cfg.stmts {
-        let s = g.stmt(0);
-        body.push(s);
+        g.emit(0, &mut body);
     }
     // Return a hash of everything that is in scope, so no computation is
     // trivially dead.
@@ -189,6 +188,109 @@ impl Gen<'_> {
         }
     }
 
+    /// Emit one statement — or, now and then, a short memory idiom the
+    /// alias analysis has verdicts about: store/load chains through a
+    /// constant or a named in-bounds address (must-alias), double
+    /// stores to one word (dead-store fodder), and store pairs into the
+    /// same window at a small offset (may-alias). Single `mem[...]`
+    /// accesses still come from [`Self::stmt`]/[`Self::expr`].
+    fn emit(&mut self, depth: usize, out: &mut Vec<Stmt>) {
+        if self.cfg.memory_ops && depth < self.cfg.max_depth && self.rng.gen_range(0..8) == 0 {
+            self.memory_chain(out);
+        } else {
+            let s = self.stmt(depth);
+            out.push(s);
+        }
+    }
+
+    fn memory_chain(&mut self, out: &mut Vec<Stmt>) {
+        match self.rng.gen_range(0..4) {
+            0 => {
+                // mem[K] = e; let t = mem[K];  (constant must-alias chain)
+                let k = self.rng.gen_range(0i64..64);
+                let value = self.expr(1);
+                out.push(Stmt::Store {
+                    addr: Expr::Num(k),
+                    value,
+                });
+                let name = fresh_name(&mut self.counter);
+                out.push(Stmt::Let {
+                    name: name.clone(),
+                    value: Expr::Load(Box::new(Expr::Num(k))),
+                });
+                self.readable.push(name.clone());
+                self.mutable.push(name);
+            }
+            1 => {
+                // mem[K] = e1; mem[K] = e2;  (dead-store fodder)
+                let k = self.rng.gen_range(0i64..64);
+                let v1 = self.expr(1);
+                let v2 = self.expr(1);
+                out.push(Stmt::Store {
+                    addr: Expr::Num(k),
+                    value: v1,
+                });
+                out.push(Stmt::Store {
+                    addr: Expr::Num(k),
+                    value: v2,
+                });
+            }
+            2 => {
+                // let a = e & 63; mem[a] = e1; let t = mem[a];
+                // The address variable is reused, so both accesses are
+                // the same SSA value: a must-alias chain the interval
+                // abstraction alone could not prove.
+                let a = fresh_name(&mut self.counter);
+                out.push(Stmt::Let {
+                    name: a.clone(),
+                    value: self.bounded_addr(),
+                });
+                self.readable.push(a.clone());
+                let value = self.expr(1);
+                out.push(Stmt::Store {
+                    addr: Expr::Var(a.clone()),
+                    value,
+                });
+                let name = fresh_name(&mut self.counter);
+                out.push(Stmt::Let {
+                    name: name.clone(),
+                    value: Expr::Load(Box::new(Expr::Var(a))),
+                });
+                self.readable.push(name.clone());
+                self.mutable.push(name);
+            }
+            _ => {
+                // let a = e & 63; mem[a] = e1; mem[(a + d) & 63] = e2;
+                // A may-alias (d = 0: must-alias at runtime) store pair.
+                let a = fresh_name(&mut self.counter);
+                out.push(Stmt::Let {
+                    name: a.clone(),
+                    value: self.bounded_addr(),
+                });
+                self.readable.push(a.clone());
+                let v1 = self.expr(1);
+                out.push(Stmt::Store {
+                    addr: Expr::Var(a.clone()),
+                    value: v1,
+                });
+                let d = self.rng.gen_range(0..3i64);
+                let v2 = self.expr(1);
+                out.push(Stmt::Store {
+                    addr: Expr::Binary {
+                        op: Op::BitAnd,
+                        lhs: Box::new(Expr::Binary {
+                            op: Op::Add,
+                            lhs: Box::new(Expr::Var(a)),
+                            rhs: Box::new(Expr::Num(d)),
+                        }),
+                        rhs: Box::new(Expr::Num(63)),
+                    },
+                    value: v2,
+                });
+            }
+        }
+    }
+
     fn stmt(&mut self, depth: usize) -> Stmt {
         let choice = if depth >= self.cfg.max_depth {
             self.rng.gen_range(0..4)
@@ -253,7 +355,10 @@ impl Gen<'_> {
         let n = self.rng.gen_range(1..=3);
         let before_r = self.readable.len();
         let before_m = self.mutable.len();
-        let body = (0..n).map(|_| self.stmt(depth)).collect();
+        let mut body = Vec::new();
+        for _ in 0..n {
+            self.emit(depth, &mut body);
+        }
         // Names first defined inside this body would not be strict on
         // sibling paths: forget them on exit.
         self.readable.truncate(before_r);

@@ -1046,6 +1046,75 @@ fn clampx(n) {
 }
 "#,
     },
+    Kernel {
+        name: "spillx",
+        description:
+            "accumulator naively spilled and reloaded through a scratch word each iteration; \
+             written for the memory passes — the first spill of every round is dead and the \
+             reload forwards from the second",
+        args: &[48],
+        memory_words: 64,
+        source: r#"
+fn spillx(n) {
+    let s = 0;
+    for i = 0 to n {
+        mem[32] = s;
+        mem[32] = s + i;
+        s = mem[32];
+    }
+    return s;
+}
+"#,
+    },
+    Kernel {
+        name: "scratchx",
+        description:
+            "blocked reduction that stages each partial sum through a scratch word before \
+             folding it back in; store-to-load forwarding bypasses the staging traffic",
+        args: &[40],
+        memory_words: 64,
+        source: r#"
+fn scratchx(n) {
+    for i = 0 to n {
+        mem[i & 31] = 3 * i + 1;
+    }
+    let s = 0;
+    for i = 0 to n {
+        let a = i & 31;
+        let t = mem[a] + s;
+        mem[63] = t;
+        s = mem[63] + (t - s);
+    }
+    return s;
+}
+"#,
+    },
+    Kernel {
+        name: "stencilx",
+        description:
+            "1-D three-point stencil that reloads its centre point and spills the relaxed \
+             value through a scratch word; redundant-load elimination and forwarding drop \
+             both extra accesses",
+        args: &[32],
+        memory_words: 80,
+        source: r#"
+fn stencilx(n) {
+    for i = 0 to n {
+        mem[i & 63] = 2 * i - n;
+    }
+    let s = 0;
+    for i = 1 to 63 {
+        let l = mem[i - 1];
+        let c = mem[i];
+        let r = mem[i + 1];
+        let v = l + 2 * c + r - mem[i];
+        mem[64] = v;
+        s = s + mem[64];
+    }
+    return s;
+}
+"#,
+    },
 ];
 
 #[cfg(test)]
@@ -1072,7 +1141,13 @@ mod tests {
         // Plus `clampx`, written for the value-range analysis: its
         // defensive re-checks are dead only under interval reasoning.
         assert!(kernel("clampx").is_some(), "missing kernel clampx");
-        assert_eq!(kernels().len(), 31);
+        // Plus the memory showcases, written for the alias-gated
+        // passes: their staging traffic is removable only under
+        // must/disjoint address reasoning.
+        for name in ["spillx", "scratchx", "stencilx"] {
+            assert!(kernel(name).is_some(), "missing kernel {name}");
+        }
+        assert_eq!(kernels().len(), 34);
     }
 
     #[test]

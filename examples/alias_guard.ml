@@ -1,0 +1,19 @@
+// Address abstraction at work. The masked windows [0, 31] and
+// [32, 63] are provably disjoint, so under --opt store-to-load
+// forwarding replaces `mem[lo]` with the just-stored value straight
+// across the `mem[hi]` store. And on the guarded path the address
+// `0 - x` is provably negative (the branch refines x to [1, +inf)),
+// so every execution of that store would trap:
+// `fcc analyze examples/alias_guard.ml` reports one mem-oob-access
+// warning without executing anything.
+fn alias_guard(x) {
+    let lo = x & 31;
+    let hi = (x & 31) + 32;
+    mem[lo] = x;
+    mem[hi] = x + 1;
+    let a = mem[lo];
+    if 0 < x {
+        mem[0 - x] = 1;
+    }
+    return a + mem[hi];
+}

@@ -1,0 +1,13 @@
+// Last-store-wins on a constant word: the first store to mem[5] is
+// overwritten by a must-alias store before any possible read, and
+// mem[9] is a word no reachable store may write — it can only observe
+// the initial zero image. `fcc analyze examples/dead_store.ml` warns
+// mem-dead-store and mem-uninit-load; under --opt dead-store
+// elimination deletes the first store and store-to-load forwarding
+// turns the final load into a copy of b.
+fn dead_store(a, b) {
+    mem[5] = a;
+    mem[5] = b;
+    let keep = mem[9];
+    return mem[5] + keep;
+}

@@ -67,7 +67,9 @@
 //!
 //! An analyze subcommand: the `fcc-dataflow` sparse abstract
 //! interpreter (SCCP, value ranges, known bits) over the SSA form,
-//! printing per-value ranges and the safety report. Exit code 1 iff any
+//! printing per-value ranges and the safety report — including the
+//! `fcc-alias` memory findings (`mem-oob-access`, `mem-uninit-load`,
+//! `mem-dead-store`, `mem-overlapping-store`). Exit code 1 iff any
 //! error-severity finding (with `--deny-warnings`, any finding at all):
 //!
 //! ```text
@@ -77,6 +79,8 @@
 //!   --no-fold       do not fold copies during SSA construction
 //!   --opt           run the optimiser pipeline before analysing
 //!   --jobs N        analyse module functions on N threads (0 = auto)
+//!   --memory-words N  memory size for the out-of-bounds upper bound
+//!                   (without it only negative addresses are provable)
 //!   --deny-warnings promote warning findings to the failing exit code
 //! ```
 //!
@@ -210,7 +214,7 @@ fn usage() -> &'static str {
      fcc lint <file.ml | kernel:NAME | kernel:* | -> [--format text|json] [--pipeline P] [--no-fold] \
      [--opt] [--jobs N] [--deny-warnings]\n       \
      fcc analyze <file.ml | kernel:NAME | kernel:* | -> [--format text|json] [--no-fold] [--opt] \
-     [--jobs N] [--deny-warnings]\n       \
+     [--jobs N] [--memory-words N] [--deny-warnings]\n       \
      fcc pressure <file.ml | kernel:NAME | kernel:* | -> [--format text|json] [--k N] [--no-fold] \
      [--opt] [--jobs N] [--deny-warnings]\n       \
      fcc fuzz [--seeds N] [--start N] [--jobs N] [--no-opt] [--shrink-budget N] [--fuel N] \
@@ -558,6 +562,7 @@ fn analyze_main(args: Vec<String>) -> Result<bool, String> {
     let mut opt = false;
     let mut jobs = 0usize;
     let mut deny_warnings = false;
+    let mut memory_words: Option<i64> = None;
     let mut args = args.into_iter();
     let need = |args: &mut dyn Iterator<Item = String>, flag: &str| {
         args.next().ok_or_else(|| format!("{flag} needs a value"))
@@ -571,6 +576,13 @@ fn analyze_main(args: Vec<String>) -> Result<bool, String> {
                 jobs = need(&mut args, "--jobs")?
                     .parse()
                     .map_err(|e| format!("--jobs: {e}"))?
+            }
+            "--memory-words" => {
+                memory_words = Some(
+                    need(&mut args, "--memory-words")?
+                        .parse()
+                        .map_err(|e| format!("--memory-words: {e}"))?,
+                )
             }
             "--deny-warnings" => deny_warnings = true,
             "--help" | "-h" => {
@@ -604,7 +616,8 @@ fn analyze_main(args: Vec<String>) -> Result<bool, String> {
         }
         verify_ssa(&func).map_err(|e| format!("internal: invalid SSA: {e}"))?;
         let fa = FunctionAnalysis::compute(&func, &mut am);
-        let diags = fa.safety_diagnostics(&func);
+        let mut diags = fa.safety_diagnostics(&func);
+        diags.extend(fcc::alias::memory_diagnostics(&func, &fa, memory_words));
         let rendered = if json {
             fa.render_json(&func, &diags)
         } else {

@@ -14,6 +14,7 @@
 //! | [`ir`] | entity-indexed IR, builder, verifier, textual format |
 //! | [`analysis`] | dominators (+O(1) queries), liveness, loops, bitsets, union-find |
 //! | [`dataflow`] | sparse abstract interpretation: SCCP, value ranges, known bits (`fcc analyze`) |
+//! | [`alias`] | memory/alias analysis on those fixpoints: alias verdicts, memory-state lattice, `mem-*` checkers |
 //! | [`ssa`] | SSA construction (3 flavours, copy folding), parallel copies, Standard destruction |
 //! | [`core`] | **the paper's algorithm**: dominance forest + coalescing SSA destruction |
 //! | [`driver`] | batch compilation: work-stealing pool, instrumented pipelines, differential fuzzer, fault-tolerant degradation ladder, the unified `CompileRequest` entry point (`fcc --jobs`, `fcc fuzz`, `--fail-mode`) |
@@ -61,6 +62,7 @@
 //! binaries that regenerate every table of the paper's evaluation, and
 //! DESIGN.md / EXPERIMENTS.md for the reproduction notes.
 
+pub use fcc_alias as alias;
 pub use fcc_analysis as analysis;
 pub use fcc_bench as bench;
 pub use fcc_core as core;
@@ -79,6 +81,7 @@ pub use fcc_workloads as workloads;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use fcc_alias::{alias_verdict, memory_diagnostics, solve_memory, AliasVerdict};
     pub use fcc_analysis::{
         AnalysisCounters, AnalysisManager, Fuel, FuelExhausted, PreservedAnalyses,
     };

@@ -1,0 +1,121 @@
+//! Property test for the alias analysis' `Disjoint` verdicts: two
+//! neighbouring memory operations whose addresses the analysis calls
+//! provably disjoint must commute — reordering them is observationally
+//! invisible (same return value, same final memory image).
+//!
+//! This is the soundness contract every memory transform leans on: a
+//! wrong `Disjoint` (addresses that can in fact collide) would let
+//! store-to-load forwarding carry a value across a clobbering store.
+//! Here the verdict is exercised directly: for 400 generated memory
+//! programs, every same-block pair of consecutive memory operations
+//! (no other access between them, at least one a store) with a
+//! `Disjoint` verdict is reordered — the earlier access is delayed to
+//! just after the later one — and the program re-executed against the
+//! unmodified oracle. One behavioural difference means an unsound
+//! verdict.
+
+use fcc::alias::{alias_verdict, AliasVerdict};
+use fcc::interp::run_with_memory;
+use fcc::prelude::*;
+use fcc::workloads::{generate, GenConfig};
+
+const SEEDS: u64 = 400;
+const MEM: usize = 256;
+const FUEL: u64 = 2_000_000;
+
+fn behavior(f: &Function, args: &[i64]) -> Option<(Option<i64>, Vec<i64>)> {
+    run_with_memory(f, args, vec![0; MEM], FUEL)
+        .ok()
+        .map(|o| (o.ret, o.memory))
+}
+
+fn addr_of(kind: &InstKind) -> Option<Value> {
+    match kind {
+        InstKind::Load { addr } => Some(*addr),
+        InstKind::Store { addr, .. } => Some(*addr),
+        _ => None,
+    }
+}
+
+#[test]
+fn disjoint_accesses_commute() {
+    let cfg = GenConfig::default();
+    let mut pairs_reordered = 0usize;
+    let mut programs_with_pairs = 0usize;
+    for seed in 0..SEEDS {
+        let prog = generate(seed, &cfg);
+        let mut func = fcc::frontend::lower_program(&prog).expect("generated programs lower");
+        let args = [seed as i64 % 17, (seed as i64 / 3) % 11];
+        let mut am = AnalysisManager::new();
+        build_ssa_with(&mut func, SsaFlavor::Pruned, true, &mut am);
+        // Programs that trap or exhaust fuel have no oracle to compare
+        // against (a reorder may legitimately change which trap fires).
+        let Some(oracle) = behavior(&func, &args) else { continue };
+        let fa = FunctionAnalysis::compute(&func, &mut am);
+
+        // Consecutive same-block memory pairs: positions (p1, p2) with
+        // no other access between, at least one store, a Disjoint
+        // verdict, and no use of the first access' destination anywhere
+        // in (p1, p2] — delaying it past p2 must not cross a use.
+        let mut eligible: Vec<(Block, usize, usize)> = Vec::new();
+        for b in func.blocks() {
+            let insts = func.block_insts(b);
+            let mut prev: Option<usize> = None;
+            for (pos, &i) in insts.iter().enumerate() {
+                if addr_of(&func.inst(i).kind).is_none() {
+                    continue;
+                }
+                if let Some(p1) = prev {
+                    let (d1, d2) = (func.inst(insts[p1]), func.inst(i));
+                    let a1 = addr_of(&d1.kind).unwrap();
+                    let a2 = addr_of(&d2.kind).unwrap();
+                    let both_loads = matches!(d1.kind, InstKind::Load { .. })
+                        && matches!(d2.kind, InstKind::Load { .. });
+                    let mut dst_used = false;
+                    if let Some(dst) = d1.dst {
+                        for &j in &insts[p1 + 1..=pos] {
+                            func.inst(j).for_each_use(|v| dst_used |= v == dst);
+                        }
+                    }
+                    if !both_loads
+                        && !dst_used
+                        && alias_verdict(&fa, a1, a2) == AliasVerdict::Disjoint
+                    {
+                        eligible.push((b, p1, pos));
+                    }
+                }
+                prev = Some(pos);
+            }
+        }
+        if eligible.is_empty() {
+            continue;
+        }
+        programs_with_pairs += 1;
+
+        for (b, p1, p2) in eligible {
+            // Delay the first access to just after the second: remove it
+            // and reinsert an identical instruction (same kind, same
+            // destination value) one slot past the second access.
+            let mut reordered = func.clone();
+            let m1 = reordered.block_insts(b)[p1];
+            let data = reordered.inst(m1).clone();
+            reordered.remove_inst(b, m1);
+            reordered.insert_inst_at(b, p2, data.kind, data.dst);
+            verify_ssa(&reordered)
+                .unwrap_or_else(|e| panic!("seed {seed}: reorder broke SSA: {e}"));
+            let got = behavior(&reordered, &args);
+            assert_eq!(
+                Some(&oracle),
+                got.as_ref(),
+                "seed {seed}: reordering Disjoint accesses changed behaviour — unsound verdict"
+            );
+            pairs_reordered += 1;
+        }
+    }
+    // The test must have teeth: the generator's memory chains produce
+    // plenty of provably-disjoint neighbours across 400 seeds.
+    assert!(
+        programs_with_pairs >= 20 && pairs_reordered >= 50,
+        "too few disjoint pairs exercised: {pairs_reordered} reorders in {programs_with_pairs} programs"
+    );
+}

@@ -6,13 +6,15 @@
 
 use fcc::prelude::*;
 
-/// Compile, build pruned SSA, and run all three sparse solvers.
+/// Compile, build pruned SSA, and run the sparse solvers plus the
+/// memory/alias diagnostics — the same set `fcc analyze` surfaces.
 fn analyze(func: &Function) -> (Function, FunctionAnalysis, Vec<Diagnostic>) {
     let mut f = func.clone();
     let mut am = AnalysisManager::new();
     build_ssa_with(&mut f, SsaFlavor::Pruned, true, &mut am);
     let fa = FunctionAnalysis::compute(&f, &mut am);
-    let diags = fa.safety_diagnostics(&f);
+    let mut diags = fa.safety_diagnostics(&f);
+    diags.extend(fcc::alias::memory_diagnostics(&f, &fa, None));
     (f, fa, diags)
 }
 
@@ -60,6 +62,43 @@ fn examples_analyze_nonempty() {
         assert_summary_nonempty(&path.display().to_string(), &f, &fa, &diags);
     }
     assert!(found >= 6, "expected the .ml example corpus, found {found}");
+}
+
+/// The two memory showcase examples carry pinned `mem-*` warnings, and
+/// nothing else in the corpus does: the lints fire exactly where the
+/// examples document they should.
+#[test]
+fn example_memory_warnings_are_pinned() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/examples");
+    let expect = |name: &str| -> &'static [&'static str] {
+        match name {
+            "alias_guard.ml" => &["mem-oob-access"],
+            "dead_store.ml" => &["mem-dead-store", "mem-uninit-load"],
+            _ => &[],
+        }
+    };
+    let mut entries: Vec<_> = std::fs::read_dir(dir)
+        .expect("examples/ exists")
+        .map(|e| e.expect("readable entry").path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.extension().and_then(|e| e.to_str()) != Some("ml") {
+            continue;
+        }
+        let name = path.file_name().unwrap().to_str().unwrap().to_string();
+        let src = std::fs::read_to_string(&path).expect("readable example");
+        let func =
+            fcc::frontend::compile(&src).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let (_, _, diags) = analyze(&func);
+        let mut mem_rules: Vec<&str> = diags
+            .iter()
+            .filter(|d| d.rule.starts_with("mem-"))
+            .map(|d| d.rule)
+            .collect();
+        mem_rules.sort_unstable();
+        assert_eq!(mem_rules, expect(&name), "{name}: mem-* findings drifted");
+    }
 }
 
 #[test]

@@ -1,0 +1,96 @@
+//! The memory passes over the kernel suite: pinned instruction deltas
+//! for the showcase kernels, a no-regression guarantee for the rest,
+//! and interpreter-oracle parity (return value *and* final memory
+//! image) for every kernel the optimiser touches.
+//!
+//! The showcase kernels (`spillx`, `scratchx`, `stencilx`) were written
+//! for the alias-gated passes: their staging traffic through scratch
+//! words is removable only under must/disjoint address reasoning.
+//! Regenerate the pin table by hand from this test's failure output
+//! when the pipeline or the kernels intentionally change.
+
+use fcc::interp::run_with_memory;
+use fcc::prelude::*;
+use fcc::workloads::{compile_kernel, kernels};
+
+const FUEL: u64 = 100_000_000;
+
+/// Static Load/Store count over the whole function.
+fn mem_ops(f: &Function) -> usize {
+    f.blocks()
+        .flat_map(|b| f.block_insts(b).iter())
+        .filter(|&&i| matches!(f.inst(i).kind, InstKind::Load { .. } | InstKind::Store { .. }))
+        .count()
+}
+
+/// (memory ops before, after, store-forward / redundant-load-elim /
+/// dead-store-elim applications) for one kernel under the standard
+/// pipeline on folded pruned SSA — the same path `fcc --opt` takes.
+fn measure(k: &fcc::workloads::Kernel) -> (Function, Function, usize, usize, [usize; 3]) {
+    let mut f = compile_kernel(k);
+    let mut am = AnalysisManager::new();
+    build_ssa_with(&mut f, SsaFlavor::Pruned, true, &mut am);
+    let pre = f.clone();
+    let before = mem_ops(&f);
+    let summary = standard_pipeline().run(&mut f, &mut am);
+    verify_ssa(&f).unwrap_or_else(|e| panic!("{}: invalid SSA after opt: {e}", k.name));
+    let apps = [
+        summary.applications("store-forward"),
+        summary.applications("redundant-load-elim"),
+        summary.applications("dead-store-elim"),
+    ];
+    let after = mem_ops(&f);
+    (pre, f, before, after, apps)
+}
+
+/// Memory-instruction deltas the showcase kernels are pinned to:
+/// (name, ops before, ops after, store-forwards, redundant loads
+/// eliminated, dead stores eliminated).
+const PINNED: &[(&str, usize, usize, usize, usize, usize)] = &[
+    ("spillx", 3, 1, 1, 0, 1),
+    ("scratchx", 4, 3, 1, 0, 0),
+    ("stencilx", 7, 5, 1, 1, 0),
+];
+
+#[test]
+fn pinned_showcase_deltas() {
+    for &(name, before, after, sf, rle, dse) in PINNED {
+        let k = fcc::workloads::kernel(name).unwrap();
+        let (_, _, b, a, apps) = measure(k);
+        assert_eq!(
+            (b, a, apps[0], apps[1], apps[2]),
+            (before, after, sf, rle, dse),
+            "{name}: memory delta drifted"
+        );
+        assert!(b > a, "{name}: showcase kernel lost its delta");
+    }
+}
+
+#[test]
+fn suite_deltas_accounted_and_oracle_clean() {
+    // Every kernel: the passes never *add* memory traffic, any delta is
+    // explained by pass applications, and behaviour — return value and
+    // the final memory image — matches the unoptimised oracle.
+    let mut touched = 0usize;
+    for k in kernels() {
+        let (pre, post, before, after, apps) = measure(k);
+        assert!(after <= before, "{}: optimiser added memory ops", k.name);
+        if after < before {
+            touched += 1;
+            assert!(
+                apps.iter().any(|&a| a > 0),
+                "{}: delta with no memory-pass application",
+                k.name
+            );
+        }
+        let oracle = run_with_memory(&pre, k.args, vec![0; k.memory_words], FUEL)
+            .unwrap_or_else(|e| panic!("{}: oracle run failed: {e:?}", k.name));
+        let opt = run_with_memory(&post, k.args, vec![0; k.memory_words], FUEL)
+            .unwrap_or_else(|e| panic!("{}: optimised run failed: {e:?}", k.name));
+        assert_eq!(oracle.ret, opt.ret, "{}: return value changed", k.name);
+        assert_eq!(oracle.memory, opt.memory, "{}: memory image changed", k.name);
+    }
+    // The acceptance bar: forwarding + elimination pay off on at least
+    // three kernels of the suite.
+    assert!(touched >= 3, "only {touched} kernels benefit from the memory passes");
+}

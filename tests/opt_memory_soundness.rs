@@ -1,0 +1,135 @@
+//! Regression tests pinning the scalar passes' memory discipline: none
+//! of GVN, copy propagation, DCE, or range folding may treat a `Load`
+//! as a pure expression or move an access across a `Store`.
+//!
+//! Each test is a program that *would* miscompile if the pass under
+//! test broke the rule — two lexically identical loads bracketing a
+//! store, a store whose result no register reads, a load from a word
+//! whose initial image is known — and checks both the structural
+//! invariant (the access survives in the optimised SSA) and the
+//! observable one (return value and final memory image match the
+//! unoptimised oracle). The shape follows `opt_webs_soundness.rs`: pin
+//! the hazard, not just the absence of a crash.
+
+use fcc::interp::run_with_memory;
+use fcc::opt::{CopyProp, Dce, Gvn, PassManager, RangeFold};
+use fcc::prelude::*;
+
+const MEM: usize = 16;
+const FUEL: u64 = 100_000;
+
+fn behavior(f: &Function, args: &[i64]) -> (Option<i64>, Vec<i64>) {
+    let out = run_with_memory(f, args, vec![0; MEM], FUEL).expect("runs");
+    (out.ret, out.memory)
+}
+
+/// Optimise folded pruned SSA with `pm`; return (optimised function,
+/// oracle behaviour of the unoptimised code).
+fn optimized(pm: PassManager, src: &str, args: &[i64]) -> (Function, (Option<i64>, Vec<i64>)) {
+    let mut func = fcc::frontend::compile(src).expect("compiles");
+    let mut am = AnalysisManager::new();
+    build_ssa_with(&mut func, SsaFlavor::Pruned, true, &mut am);
+    let oracle = behavior(&func, args);
+    pm.run(&mut func, &mut am);
+    verify_ssa(&func).expect("optimised SSA stays valid");
+    (func, oracle)
+}
+
+fn count_kind(f: &Function, loads: bool) -> usize {
+    f.blocks()
+        .flat_map(|b| f.block_insts(b).iter())
+        .filter(|&&i| match f.inst(i).kind {
+            InstKind::Load { .. } => loads,
+            InstKind::Store { .. } => !loads,
+            _ => false,
+        })
+        .count()
+}
+
+#[test]
+fn gvn_never_merges_loads_across_a_store() {
+    // x and y are lexically identical loads, but the intervening store
+    // must-aliases the address: x sees the initial zero image, y sees
+    // the stored value. Merging y into x would return 0 instead of 7.
+    let src = "fn f(a) {
+        let x = mem[3];
+        mem[3] = a;
+        let y = mem[3];
+        return x * 100 + y;
+    }";
+    let (f, oracle) = optimized(PassManager::new().with(Gvn), src, &[7]);
+    assert_eq!(oracle, behavior(&f, &[7]), "GVN changed behaviour");
+    assert_eq!(oracle.0, Some(7), "oracle: x=0 (initial image), y=7");
+    assert_eq!(count_kind(&f, true), 2, "GVN merged loads across the store");
+}
+
+#[test]
+fn dce_keeps_stores_as_roots() {
+    // The store's destination word is never reloaded into a register:
+    // only the final memory image observes it. DCE deleting it would
+    // pass every return-value check and still be wrong.
+    let src = "fn f(a) {
+        mem[2] = a * 3;
+        return a;
+    }";
+    let (f, oracle) = optimized(PassManager::new().with(Dce), src, &[5]);
+    assert_eq!(oracle, behavior(&f, &[5]), "DCE changed behaviour");
+    assert_eq!(oracle.1[2], 15, "oracle stores 15 into word 2");
+    assert_eq!(count_kind(&f, false), 1, "DCE deleted the observable store");
+}
+
+#[test]
+fn copyprop_never_rematerializes_a_load_past_a_store() {
+    // y copies a load result, then the word is overwritten. Propagating
+    // the *SSA name* through the copy is sound; re-evaluating the load
+    // at y's use site would read the new value. The behaviour check
+    // distinguishes the two.
+    let src = "fn f(a) {
+        mem[1] = a;
+        let x = mem[1];
+        let y = x;
+        mem[1] = a + 9;
+        return y;
+    }";
+    let (f, oracle) = optimized(PassManager::new().with(CopyProp), src, &[4]);
+    assert_eq!(oracle, behavior(&f, &[4]), "CopyProp changed behaviour");
+    assert_eq!(oracle.0, Some(4), "y must see the first store, not the second");
+}
+
+#[test]
+fn range_fold_never_folds_a_load_to_a_constant() {
+    // Word 0 holds 5 at the load. If the interval analysis modelled
+    // memory as the initial zero image (or any constant), RangeFold
+    // would fold the load and return the wrong constant.
+    let src = "fn f() {
+        mem[0] = 5;
+        let x = mem[0];
+        return x;
+    }";
+    let (f, oracle) = optimized(PassManager::new().with(RangeFold), src, &[]);
+    assert_eq!(oracle, behavior(&f, &[]), "RangeFold changed behaviour");
+    assert_eq!(oracle.0, Some(5));
+    assert_eq!(count_kind(&f, true), 1, "RangeFold folded the load away");
+}
+
+#[test]
+fn full_pipelines_preserve_memory_behavior_on_the_hazard_programs() {
+    let programs: &[(&str, &[i64])] = &[
+        (
+            "fn f(a) { let x = mem[3]; mem[3] = a; let y = mem[3]; return x * 100 + y; }",
+            &[7],
+        ),
+        ("fn f(a) { mem[2] = a * 3; return a; }", &[5]),
+        (
+            "fn f(a) { mem[1] = a; let x = mem[1]; let y = x; mem[1] = a + 9; return y; }",
+            &[4],
+        ),
+        ("fn f() { mem[0] = 5; let x = mem[0]; return x; }", &[]),
+    ];
+    for &(src, args) in programs {
+        for pm in [standard_pipeline(), aggressive_pipeline(), copy_preserving_pipeline()] {
+            let (f, oracle) = optimized(pm, src, args);
+            assert_eq!(oracle, behavior(&f, args), "{src}");
+        }
+    }
+}

@@ -45,6 +45,9 @@ const PINNED: &[(&str, u32, &str)] = &[
     ("svd", 12, "1262825"),
     ("smooth", 8, "143233"),
     ("clampx", 6, "547"),
+    ("spillx", 4, "186"),
+    ("scratchx", 5, "548"),
+    ("stencilx", 6, "698"),
 ];
 
 /// The measurement path shared with `fcc pressure --opt` and the bench
