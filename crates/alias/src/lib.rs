@@ -386,9 +386,11 @@ pub fn memory_diagnostics(
                 // mem-overlapping-store: the previous store in this
                 // block writes a different small bounded window that
                 // partially overlaps this one.
-                if let Some(&p) = insts[..pos].iter().rev().find(|&&p| {
-                    matches!(func.inst(p).kind, InstKind::Store { .. })
-                }) {
+                if let Some(&p) = insts[..pos]
+                    .iter()
+                    .rev()
+                    .find(|&&p| matches!(func.inst(p).kind, InstKind::Store { .. }))
+                {
                     let InstKind::Store { addr: a1, .. } = func.inst(p).kind else {
                         unreachable!()
                     };
@@ -480,7 +482,10 @@ mod tests {
             alias_verdict(&fa, Value::new(0), Value::new(2)),
             AliasVerdict::Disjoint
         );
-        assert_eq!(alias_verdict_const(&fa, Value::new(0), 5), AliasVerdict::Must);
+        assert_eq!(
+            alias_verdict_const(&fa, Value::new(0), 5),
+            AliasVerdict::Must
+        );
         assert_eq!(
             alias_verdict_const(&fa, Value::new(0), 6),
             AliasVerdict::Disjoint

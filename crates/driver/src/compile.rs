@@ -23,9 +23,10 @@ use fcc_core::{coalesce_ssa_managed, coalesce_ssa_traced, CoalesceOptions, Split
 use fcc_ir::{Function, Module};
 use fcc_lint::{audit_destruction, lint_function, LintStage};
 use fcc_opt::{copy_preserving_pipeline, simplify_cfg_with, standard_pipeline, RunSummary};
+use fcc_pressure::audit_allocation;
 use fcc_regalloc::{
     allocate_managed, coalesce_copies_managed, destruct_via_webs, destruct_via_webs_traced,
-    AllocOptions, BriggsOptions, GraphMode,
+    spill_to_k, AllocOptions, BriggsOptions, GraphMode, SpillStrategy,
 };
 use fcc_ssa::{
     build_ssa_with, destruct_sreedhar_i, destruct_sreedhar_i_traced, destruct_standard_traced,
@@ -165,6 +166,29 @@ impl CompileConfig {
     }
 }
 
+/// What the k-register path did to one function: the SSA-level spiller's
+/// work plus the allocator's residual spills, as the bench tables and the
+/// CLI `--stats` lines report them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpillSummary {
+    /// The hard register bound compiled against.
+    pub k: u32,
+    /// `spill` instructions the SSA-level spiller inserted.
+    pub ssa_spills: usize,
+    /// `reload` instructions the SSA-level spiller inserted.
+    pub ssa_reloads: usize,
+    /// MaxLive before any spilling.
+    pub maxlive_before: u32,
+    /// MaxLive after the SSA-level spiller (φ-parallelism and operand
+    /// pins can keep this above `k`; the allocator's residual spilling
+    /// closes the gap and the auditor certifies the final result).
+    pub maxlive_after: u32,
+    /// Values the allocator spilled residually after destruction.
+    pub residual_spills: usize,
+    /// Total spill slots in the final program (SSA + residual).
+    pub slots: u32,
+}
+
 /// The result of compiling one function: rewritten code plus everything
 /// the CLI may print about it.
 #[derive(Clone, Debug)]
@@ -186,6 +210,8 @@ pub struct FunctionOutcome {
     /// before destruction — the certified register demand (see
     /// `fcc-pressure`).
     pub maxlive: u32,
+    /// Spill accounting when [`CompileRequest::k_registers`] was set.
+    pub spill: Option<SpillSummary>,
 }
 
 /// Run the configured pipeline on one pre-SSA function.
@@ -240,6 +266,30 @@ pub fn compile_function(
     }
     verify_ssa(&func).map_err(|e| format!("internal: invalid SSA: {e}"))?;
     let maxlive = am.pressure(&func).maxlive();
+
+    // The k-register path spills on strict SSA, before destruction:
+    // reloads define fresh names, so the program stays strict SSA (and
+    // therefore chordal) and the downstream pipeline is unchanged.
+    let mut spill_summary: Option<SpillSummary> = None;
+    if let Some(kr) = cfg.k_registers {
+        let timer = PhaseTimer::start("spill", &am);
+        let s = spill_to_k(&mut func, kr, SpillStrategy::CostGuided);
+        phases.push(timer.finish(&am));
+        verify_ssa(&func).map_err(|e| format!("internal: spilling broke SSA: {e}"))?;
+        stat_lines.push(format!(
+            "spill: k={kr}, {} spills, {} reloads, {} slots, maxlive {} -> {} in {} round(s)",
+            s.spills, s.reloads, s.slots, s.maxlive_before, s.maxlive_after, s.rounds
+        ));
+        spill_summary = Some(SpillSummary {
+            k: kr,
+            ssa_spills: s.spills,
+            ssa_reloads: s.reloads,
+            maxlive_before: s.maxlive_before,
+            maxlive_after: s.maxlive_after,
+            residual_spills: 0,
+            slots: s.slots,
+        });
+    }
 
     let mut trace: Option<DestructionTrace> = None;
     match cfg.pipeline {
@@ -345,6 +395,15 @@ pub fn compile_function(
                 report.render_text(&func)
             ));
         }
+        if cfg.deny_warnings && report.warning_count() > 0 {
+            return Err(format!(
+                "--verify-each: destruction pipeline '{}' emitted {} warning(s) \
+                 under --deny-warnings\n{}",
+                cfg.pipeline.label(),
+                report.warning_count(),
+                report.render_text(&func)
+            ));
+        }
         stat_lines.push(format!(
             "verify-each: destruction audit clean ({} warning(s))",
             report.warning_count()
@@ -365,7 +424,8 @@ pub fn compile_function(
         compile_time.as_secs_f64() * 1e6
     ));
 
-    if let Some(k) = cfg.alloc {
+    let alloc_k = cfg.k_registers.map(|k| k as usize).or(cfg.alloc);
+    if let Some(k) = alloc_k {
         let timer = PhaseTimer::start("allocate", &am);
         let alloc = allocate_managed(
             &mut func,
@@ -382,6 +442,26 @@ pub fn compile_function(
             alloc.spilled.len(),
             alloc.rounds
         ));
+        if let Some(summary) = spill_summary.as_mut() {
+            summary.residual_spills = alloc.spilled.len();
+            summary.slots = func.spill_slot_count();
+            // Certify the hard bound from the program text alone: the
+            // auditor recomputes liveness and checks every point fits in
+            // k registers with no clashes, and the spill code obeys the
+            // one-slot-one-value discipline.
+            let diags = audit_allocation(&func, &alloc.coloring, summary.k, summary.slots);
+            if !diags.is_empty() {
+                return Err(format!(
+                    "internal: k={k} allocation failed its audit with {} violation(s); first: {}",
+                    diags.len(),
+                    diags[0]
+                ));
+            }
+            stat_lines.push(format!(
+                "audit: allocation certified for k={k} ({} slot(s))",
+                summary.slots
+            ));
+        }
     }
 
     Ok(FunctionOutcome {
@@ -392,6 +472,7 @@ pub fn compile_function(
         analysis_peak_bytes: am.peak_bytes(),
         compile_time,
         maxlive,
+        spill: spill_summary,
     })
 }
 
@@ -566,6 +647,30 @@ mod tests {
             .sum();
         let total: usize = merged.passes.iter().map(|p| p.applications).sum();
         assert_eq!(per_fn, total);
+    }
+
+    #[test]
+    fn k_registers_spills_allocates_and_audits() {
+        let module = module_of(4);
+        for k in [4u32, 8] {
+            let req = CompileRequest::new().opt(true).k_registers(Some(k));
+            let out = compile_module_req(module.clone(), &req)
+                .unwrap()
+                .into_module_outcome()
+                .unwrap_or_else(|e| panic!("k={k}: {e}"));
+            for o in &out.functions {
+                let s = o.spill.expect("spill summary present");
+                assert_eq!(s.k, k);
+                assert_eq!(s.slots, o.func.spill_slot_count());
+                assert!(
+                    o.stat_lines
+                        .iter()
+                        .any(|l| l.contains("audit: allocation certified")),
+                    "k={k}: audit line missing: {:?}",
+                    o.stat_lines
+                );
+            }
+        }
     }
 
     #[test]

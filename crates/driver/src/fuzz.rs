@@ -16,6 +16,13 @@
 //!    non-terminating fixpoint loop counts as a failure for that seed
 //!    instead of killing the run. Fuzz and batch share one containment
 //!    mechanism.
+//! 5. **k-register dimension** — every seed is additionally compiled at
+//!    k ∈ {4, 8, 16}: the family's SSA is spilled to MaxLive ≤ k
+//!    (cost-guided), destructed by the family's own pipeline, allocated
+//!    with a hard bound of k registers, certified by
+//!    [`fcc_pressure::audit_allocation`], and the final (possibly
+//!    residually spilled) code re-run against the same interpreter
+//!    oracle. These findings shrink in their own `"spill"` class.
 //!
 //! On failure the greedy AST shrinker (`fcc_workloads::shrink`) re-runs
 //! the same oracle on ever-smaller candidates and reports a minimal
@@ -30,7 +37,11 @@ use fcc_interp::run_with_memory;
 use fcc_ir::{verify::verify_function, Function};
 use fcc_lint::audit_destruction;
 use fcc_opt::{copy_preserving_pipeline, standard_pipeline};
-use fcc_regalloc::{coalesce_copies_managed, destruct_via_webs_traced, BriggsOptions, GraphMode};
+use fcc_pressure::audit_allocation;
+use fcc_regalloc::{
+    allocate_managed, coalesce_copies_managed, destruct_via_webs_traced, spill_to_k, AllocOptions,
+    BriggsOptions, GraphMode, SpillStrategy,
+};
 use fcc_ssa::{build_ssa_with, destruct_standard_traced, verify_ssa, SsaFlavor};
 use fcc_workloads::{generate, shrink, GenConfig};
 
@@ -41,6 +52,10 @@ use crate::pool::{par_map, BatchTiming};
 const MEM: usize = 256;
 /// Interpreter fuel per run (generated programs terminate fast).
 const FUEL: u64 = 20_000_000;
+/// Register bounds for the k-constrained dimension: tight enough to
+/// force spilling on most seeds (k = 4), a realistic machine width
+/// (k = 8), and a bound most seeds fit without spilling (k = 16).
+const K_SWEEP: [u32; 3] = [4, 8, 16];
 
 /// Fuzzing campaign parameters.
 #[derive(Clone, Debug)]
@@ -130,14 +145,20 @@ pub fn check_program_with(prog: &Program, opt: bool, fuel: Option<u64>) -> Resul
 /// such a candidate fails to *lower*; likewise a candidate that merely
 /// runs out of fuel is a different finding than a miscompile, and a
 /// pipeline whose output traps out-of-bounds where the reference ran
-/// clean ("memory") is a different finding than a wrong return value. A
-/// shrink candidate only counts when its failure class matches the
-/// original's.
+/// clean ("memory") is a different finding than a wrong return value,
+/// and anything the k-register dimension flags — broken spill code, an
+/// audit violation, a post-allocation miscompile — is a "spill" finding
+/// distinct from the unconstrained pipelines. A shrink candidate only
+/// counts when its failure class matches the original's.
 pub fn failure_class(detail: &str) -> &'static str {
     if detail.starts_with("lowering failed") {
         "lowering"
     } else if detail.starts_with("fuel exhausted") {
         "fuel"
+    } else if detail.starts_with("spill ") {
+        // Checked before "memory": an out-of-bounds trap introduced by
+        // the spill path is a spill-dimension finding.
+        "spill"
     } else if detail.contains("out-of-bounds memory access") {
         "memory"
     } else {
@@ -222,7 +243,7 @@ fn check_program_inner(prog: &Program, opt: bool) -> Result<(), String> {
     }
 
     // Unfolded SSA for the φ-web path (copy-preserving optimisation).
-    {
+    let briggs_ssa = {
         let mut am = AnalysisManager::new();
         let mut f = base.clone();
         fuel::set_pass("build-ssa");
@@ -231,6 +252,11 @@ fn check_program_inner(prog: &Program, opt: bool) -> Result<(), String> {
             copy_preserving_pipeline().run(&mut f, &mut am);
         }
         verify_ssa(&f).map_err(|e| format!("briggs ssa: {e}"))?;
+        f
+    };
+    {
+        let mut f = briggs_ssa.clone();
+        let mut am = AnalysisManager::new();
         fuel::set_pass("webs");
         let (_, trace) = destruct_via_webs_traced(&mut f);
         audit("briggs", &trace)?;
@@ -244,6 +270,66 @@ fn check_program_inner(prog: &Program, opt: bool) -> Result<(), String> {
             &mut am,
         );
         check("briggs", &f)?;
+    }
+
+    // The k-register dimension: spill each family's SSA down to k,
+    // destruct with that family's pipeline, allocate under a hard bound
+    // of k registers, certify the result with the allocation auditor,
+    // and re-run the residually-spilled code against the reference.
+    for k in K_SWEEP {
+        for family in ["new", "standard", "briggs"] {
+            let label = format!("spill {family} k={k}");
+            let src = if family == "briggs" {
+                &briggs_ssa
+            } else {
+                &ssa
+            };
+            let mut f = src.clone();
+            let mut am = AnalysisManager::new();
+            fuel::set_pass("spill");
+            spill_to_k(&mut f, k, SpillStrategy::CostGuided);
+            verify_ssa(&f).map_err(|e| format!("{label}: spilling broke SSA: {e}"))?;
+            match family {
+                "new" => {
+                    fuel::set_pass("coalesce-new");
+                    coalesce_ssa_traced(&mut f, &CoalesceOptions::default(), &mut am);
+                }
+                "standard" => {
+                    fuel::set_pass("destruct-standard");
+                    destruct_standard_traced(&mut f, &mut am);
+                }
+                _ => {
+                    fuel::set_pass("webs");
+                    destruct_via_webs_traced(&mut f);
+                    fuel::set_pass("briggs-coalesce");
+                    coalesce_copies_managed(
+                        &mut f,
+                        &BriggsOptions {
+                            mode: GraphMode::Restricted,
+                            ..Default::default()
+                        },
+                        &mut am,
+                    );
+                }
+            }
+            fuel::set_pass("allocate");
+            let alloc = allocate_managed(
+                &mut f,
+                &AllocOptions {
+                    registers: k as usize,
+                    ..Default::default()
+                },
+                &mut am,
+            )
+            .map_err(|e| format!("{label}: allocation failed: {e}"))?;
+            let diags = audit_allocation(&f, &alloc.coloring, k, f.spill_slot_count());
+            if let Some(d) = diags.first() {
+                return Err(format!("{label}: audit: {d}"));
+            }
+            // The final run covers the whole path: SSA spill code,
+            // destruction copies, and the allocator's residual spills.
+            check(&label, &f)?;
+        }
     }
     Ok(())
 }
@@ -321,6 +407,25 @@ mod tests {
             check_program(&prog, true).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             check_program(&prog, false).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
+    }
+
+    #[test]
+    fn spill_findings_have_their_own_class() {
+        assert_eq!(
+            failure_class("spill new k=4: audit: alloc-over-k ..."),
+            "spill"
+        );
+        // Even a trap introduced by the spill path stays in the spill
+        // class, so the shrinker cannot drift into a "memory" repro.
+        assert_eq!(
+            failure_class("spill briggs k=8: execution failed: out-of-bounds memory access"),
+            "spill"
+        );
+        assert_eq!(
+            failure_class("new: execution failed: out-of-bounds memory access"),
+            "memory"
+        );
+        assert_eq!(failure_class("fuel exhausted in allocate"), "fuel");
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub mod recover;
 pub mod report;
 pub mod request;
 
-pub use compile::{compile_function, FunctionOutcome, ModuleOutcome, PipelineSpec};
+pub use compile::{compile_function, FunctionOutcome, ModuleOutcome, PipelineSpec, SpillSummary};
 pub use fuzz::{
     check_program, check_program_with, failure_class, fuzz, FuzzConfig, FuzzFailure, FuzzOutcome,
 };

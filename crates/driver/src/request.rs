@@ -94,6 +94,12 @@ pub enum RequestError {
     BriggsNeedsNoFold(PipelineSpec),
     /// `--alloc 0` can never colour anything.
     ZeroRegisters,
+    /// `--k-registers` below 2: a binary instruction needs two operand
+    /// registers at once even after maximal spilling.
+    KRegistersTooFew(u32),
+    /// `--k-registers` and `--alloc` both given; the k-constrained path
+    /// subsumes plain allocation.
+    KRegistersWithAlloc,
 }
 
 impl RequestError {
@@ -106,6 +112,8 @@ impl RequestError {
             RequestError::UnknownFormat(_) => "unknown-format",
             RequestError::BriggsNeedsNoFold(_) => "briggs-needs-no-fold",
             RequestError::ZeroRegisters => "zero-registers",
+            RequestError::KRegistersTooFew(_) => "k-registers-too-few",
+            RequestError::KRegistersWithAlloc => "k-registers-with-alloc",
         }
     }
 }
@@ -129,6 +137,15 @@ impl fmt::Display for RequestError {
                 "the {p} pipeline needs --no-fold (phi webs must be interference-free)"
             ),
             RequestError::ZeroRegisters => write!(f, "--alloc needs at least one register"),
+            RequestError::KRegistersTooFew(k) => write!(
+                f,
+                "--k-registers {k} is too few: a binary op needs two operand registers \
+                 even after maximal spilling"
+            ),
+            RequestError::KRegistersWithAlloc => write!(
+                f,
+                "--k-registers already allocates with a hard bound; drop --alloc"
+            ),
         }
     }
 }
@@ -167,6 +184,10 @@ pub struct CompileRequest {
     pub simplify: bool,
     /// Colour with this many registers after destruction.
     pub alloc: Option<usize>,
+    /// Compile under a hard k-register bound: spill the SSA form down to
+    /// pressure ≤ k (cost-guided), destruct, allocate with exactly `k`
+    /// colours, and certify the result with the feasibility auditor.
+    pub k_registers: Option<u32>,
     /// What to do when a function's compile fails.
     pub fail_mode: FailMode,
     /// Per-attempt fuel budget; `None` = unlimited (counting only).
@@ -176,6 +197,10 @@ pub struct CompileRequest {
     pub jobs: usize,
     /// How reports are rendered. Never affects compiled output.
     pub format: ReportFormat,
+    /// Treat `--verify-each` lint warnings as compile failures. Never
+    /// affects compiled output (warnings don't change code, they gate
+    /// it), so it stays out of the cache signature like `jobs`/`format`.
+    pub deny_warnings: bool,
 }
 
 impl Default for CompileRequest {
@@ -187,10 +212,12 @@ impl Default for CompileRequest {
             verify_each: false,
             simplify: false,
             alloc: None,
+            k_registers: None,
             fail_mode: FailMode::Abort,
             fuel: None,
             jobs: 0,
             format: ReportFormat::Text,
+            deny_warnings: false,
         }
     }
 }
@@ -238,6 +265,12 @@ impl CompileRequest {
         self
     }
 
+    /// Compile under a hard k-register bound (spill → allocate → audit).
+    pub fn k_registers(mut self, k: Option<u32>) -> Self {
+        self.k_registers = k;
+        self
+    }
+
     /// Failure disposition (abort / skip / degrade).
     pub fn fail_mode(mut self, m: FailMode) -> Self {
         self.fail_mode = m;
@@ -262,6 +295,12 @@ impl CompileRequest {
         self
     }
 
+    /// Promote `--verify-each` lint warnings to compile failures.
+    pub fn deny_warnings(mut self, on: bool) -> Self {
+        self.deny_warnings = on;
+        self
+    }
+
     /// Check the request's preconditions, returning the first violation
     /// as a typed error.
     ///
@@ -275,6 +314,14 @@ impl CompileRequest {
         if self.alloc == Some(0) {
             return Err(RequestError::ZeroRegisters);
         }
+        if let Some(k) = self.k_registers {
+            if k < 2 {
+                return Err(RequestError::KRegistersTooFew(k));
+            }
+            if self.alloc.is_some() {
+                return Err(RequestError::KRegistersWithAlloc);
+            }
+        }
         Ok(())
     }
 
@@ -285,13 +332,17 @@ impl CompileRequest {
     /// cleanly.
     pub fn cache_signature(&self) -> String {
         format!(
-            "pipeline={} fold={} opt={} verify={} simplify={} alloc={} fail={} fuel={}",
+            "pipeline={} fold={} opt={} verify={} simplify={} alloc={} k={} fail={} fuel={}",
             self.pipeline,
             self.fold,
             self.opt,
             self.verify_each,
             self.simplify,
             match self.alloc {
+                Some(k) => k.to_string(),
+                None => "-".to_string(),
+            },
+            match self.k_registers {
                 Some(k) => k.to_string(),
                 None => "-".to_string(),
             },
@@ -357,6 +408,34 @@ mod tests {
     fn validate_rejects_zero_registers() {
         let err = CompileRequest::new().alloc(Some(0)).validate().unwrap_err();
         assert_eq!(err, RequestError::ZeroRegisters);
+    }
+
+    #[test]
+    fn validate_rejects_bad_k_registers() {
+        let err = CompileRequest::new()
+            .k_registers(Some(1))
+            .validate()
+            .unwrap_err();
+        assert_eq!(err.kind(), "k-registers-too-few");
+        let err = CompileRequest::new()
+            .k_registers(Some(4))
+            .alloc(Some(8))
+            .validate()
+            .unwrap_err();
+        assert_eq!(err, RequestError::KRegistersWithAlloc);
+        assert!(CompileRequest::new()
+            .k_registers(Some(2))
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn cache_signature_covers_k_registers() {
+        let plain = CompileRequest::new();
+        let k4 = CompileRequest::new().k_registers(Some(4));
+        let k8 = CompileRequest::new().k_registers(Some(8));
+        assert_ne!(plain.cache_signature(), k4.cache_signature());
+        assert_ne!(k4.cache_signature(), k8.cache_signature());
     }
 
     #[test]

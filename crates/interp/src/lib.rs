@@ -144,6 +144,11 @@ pub fn run_with_memory(
     fuel: u64,
 ) -> Result<Outcome, ExecError> {
     let mut regs: Vec<i64> = vec![0; func.num_values()];
+    // Spill slots are a separate zero-initialised storage space, disjoint
+    // from `memory` and excluded from `Outcome::behavior()`: spilling is a
+    // register-allocation artefact and must never change what a program
+    // observably computes. Sized by pre-scan, so slot accesses never trap.
+    let mut slots: Vec<i64> = vec![0; func.spill_slot_count() as usize];
     let mut dynamic_copies = 0u64;
     let mut executed = 0u64;
     let mut remaining = fuel;
@@ -222,6 +227,12 @@ pub fn run_with_memory(
                         });
                     }
                     memory[a as usize] = read(&regs, *val);
+                }
+                InstKind::Spill { slot, val } => {
+                    slots[*slot as usize] = read(&regs, *val);
+                }
+                InstKind::Reload { slot } => {
+                    regs[data.dst.unwrap().index()] = slots[*slot as usize];
                 }
                 InstKind::Branch {
                     cond,
@@ -389,7 +400,13 @@ mod tests {
         )
         .unwrap();
         let err = run(&f, &[]).unwrap_err();
-        assert_eq!(err, ExecError::OutOfBounds { addr: -3, words: 4096 });
+        assert_eq!(
+            err,
+            ExecError::OutOfBounds {
+                addr: -3,
+                words: 4096
+            }
+        );
         assert!(err.to_string().contains("out-of-bounds"), "{err}");
 
         // One-past-the-end load traps too; the last word is fine.
@@ -408,6 +425,41 @@ mod tests {
             run_with_memory(&g, &[7], vec![0; 8], 1000).unwrap().ret,
             Some(0)
         );
+    }
+
+    #[test]
+    fn spill_slots_are_disjoint_from_memory() {
+        // Slot 5 and memory address 5 must not alias: the spill writes the
+        // slot space, the load still sees the store's value.
+        let out = go(
+            "function @slots(1) {
+             b0:
+                 v0 = param 0
+                 v1 = const 5
+                 store v1, v0
+                 spill 5, v1
+                 v2 = reload 5
+                 v3 = load v2
+                 v4 = add v3, v2
+                 return v4
+             }",
+            &[40],
+        );
+        assert_eq!(out.ret, Some(45));
+        assert_eq!(out.memory[5], 40, "spill must not touch memory");
+    }
+
+    #[test]
+    fn reload_of_unspilled_slot_reads_zero() {
+        let out = go(
+            "function @z(0) {
+             b0:
+                 v0 = reload 9
+                 return v0
+             }",
+            &[],
+        );
+        assert_eq!(out.ret, Some(0), "slots are zero-initialised");
     }
 
     #[test]

@@ -386,6 +386,24 @@ impl Function {
         self.phi_count() > 0
     }
 
+    /// One past the highest spill-slot index named by any `spill`/`reload`
+    /// instruction in layout order, or 0 when the function spills nothing.
+    /// The interpreter sizes its slot storage from this, and the register
+    /// allocator numbers fresh residual slots starting here.
+    pub fn spill_slot_count(&self) -> u32 {
+        let mut count = 0u32;
+        for &b in &self.layout {
+            for &i in &self.blocks[b].insts {
+                if let crate::instr::InstKind::Spill { slot, .. }
+                | crate::instr::InstKind::Reload { slot } = self.insts[i].kind
+                {
+                    count = count.max(slot + 1);
+                }
+            }
+        }
+        count
+    }
+
     // ----- CFG edits ------------------------------------------------------
 
     /// Split the edge `pred → succ`: create a fresh block containing only a

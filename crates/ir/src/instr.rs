@@ -234,6 +234,16 @@ pub enum InstKind {
     Load { addr: Value },
     /// Write `mem[addr] = val` (out-of-range traps, like `Load`).
     Store { addr: Value, val: Value },
+    /// Save `val` into spill slot `slot`. Spill slots are a flat,
+    /// zero-initialised storage space **disjoint from the `Load`/`Store`
+    /// memory** — they model stack slots materialised by the register
+    /// allocator, never trap, and are invisible to program `behavior()`.
+    Spill { slot: u32, val: Value },
+    /// Read spill slot `slot` back into a register. Defines a destination
+    /// like any other value-producing instruction; the spiller always
+    /// creates a *fresh* SSA name per reload so spilled code stays
+    /// strict-SSA (and therefore chordal).
+    Reload { slot: u32 },
     /// SSA φ-node. Must appear at the head of its block.
     Phi { args: Vec<PhiArg> },
     /// Two-way conditional branch on `cond != 0`. Terminator.
@@ -298,6 +308,8 @@ impl InstKind {
                 f(*addr);
                 f(*val);
             }
+            InstKind::Spill { val, .. } => f(*val),
+            InstKind::Reload { .. } => {}
             InstKind::Branch { cond, .. } => f(*cond),
             InstKind::Jump { .. } => {}
             InstKind::Return { val } => {
@@ -324,6 +336,8 @@ impl InstKind {
                 f(addr);
                 f(val);
             }
+            InstKind::Spill { val, .. } => f(val),
+            InstKind::Reload { .. } => {}
             InstKind::Branch { cond, .. } => f(cond),
             InstKind::Jump { .. } => {}
             InstKind::Return { val } => {

@@ -350,6 +350,21 @@ fn parse_inst(
             },
             _ => return Err(perr(ln, "store expects `addr, val`")),
         },
+        "spill" => match args {
+            [Tok::Num(n), Tok::Punct(','), v] if *n >= 0 && *n <= u32::MAX as i64 => {
+                InstKind::Spill {
+                    slot: *n as u32,
+                    val: parse_value(ln, v, max_value)?,
+                }
+            }
+            _ => return Err(perr(ln, "spill expects `slot, val`")),
+        },
+        "reload" => match args {
+            [Tok::Num(n)] if *n >= 0 && *n <= u32::MAX as i64 => {
+                InstKind::Reload { slot: *n as u32 }
+            }
+            _ => return Err(perr(ln, "reload expects a non-negative slot index")),
+        },
         "branch" => match args {
             [c, Tok::Punct(','), t, Tok::Punct(','), e] => InstKind::Branch {
                 cond: parse_value(ln, c, max_value)?,
@@ -423,6 +438,7 @@ fn parse_inst(
     let needs_dst = !matches!(
         kind,
         InstKind::Store { .. }
+            | InstKind::Spill { .. }
             | InstKind::Branch { .. }
             | InstKind::Jump { .. }
             | InstKind::Return { .. }
@@ -587,6 +603,35 @@ mod tests {
     fn module_rejects_empty_input() {
         let e = parse_module("; nothing here\n").unwrap_err();
         assert!(e.to_string().contains("at least one function"), "{e}");
+    }
+
+    #[test]
+    fn spill_and_reload_roundtrip() {
+        let f = parse_function(
+            "function @sp(1) {\nb0:\n v0 = param 0\n spill 3, v0\n v1 = reload 3\n return v1\n}",
+        )
+        .unwrap();
+        verify_function(&f).unwrap();
+        assert_eq!(f.spill_slot_count(), 4);
+        let printed = f.to_string();
+        assert!(printed.contains("spill 3, v0"), "{printed}");
+        assert!(printed.contains("v1 = reload 3"), "{printed}");
+        assert_eq!(parse_function(&printed).unwrap().to_string(), printed);
+    }
+
+    #[test]
+    fn spill_destination_rules() {
+        let e = parse_function(
+            "function @x(1) {\nb0:\n v0 = param 0\n v1 = spill 0, v0\n return v0\n}",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("cannot have"), "{e}");
+        let e2 = parse_function("function @x(0) {\nb0:\n reload 0\n return\n}").unwrap_err();
+        assert!(e2.to_string().contains("destination"), "{e2}");
+        let e3 =
+            parse_function("function @x(1) {\nb0:\n v0 = param 0\n spill -1, v0\n return v0\n}")
+                .unwrap_err();
+        assert!(e3.to_string().contains("spill expects"), "{e3}");
     }
 
     #[test]

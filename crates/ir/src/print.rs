@@ -63,6 +63,8 @@ impl fmt::Display for DisplayInst<'_> {
             InstKind::Binary { op, a, b } => write!(f, "{} {a}, {b}", op.mnemonic()),
             InstKind::Load { addr } => write!(f, "load {addr}"),
             InstKind::Store { addr, val } => write!(f, "store {addr}, {val}"),
+            InstKind::Spill { slot, val } => write!(f, "spill {slot}, {val}"),
+            InstKind::Reload { slot } => write!(f, "reload {slot}"),
             InstKind::Phi { args } => {
                 write!(f, "phi")?;
                 for (i, a) in args.iter().enumerate() {

@@ -135,6 +135,7 @@ pub fn structural_diagnostics(func: &Function) -> Vec<Diagnostic> {
             let needs_dst = !matches!(
                 data.kind,
                 InstKind::Store { .. }
+                    | InstKind::Spill { .. }
                     | InstKind::Branch { .. }
                     | InstKind::Jump { .. }
                     | InstKind::Return { .. }

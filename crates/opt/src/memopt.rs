@@ -121,9 +121,7 @@ fn store_forward_filtered(func: &mut Function, am: &mut AnalysisManager, web_saf
                             alias_verdict_const(&fa, *addr, k) == AliasVerdict::Disjoint
                         }),
                     }
-                    window.retain(|&(a, _)| {
-                        alias_verdict(&fa, a, *addr) == AliasVerdict::Disjoint
-                    });
+                    window.retain(|&(a, _)| alias_verdict(&fa, a, *addr) == AliasVerdict::Disjoint);
                     window.push((*addr, *val));
                 }
                 InstKind::Load { addr } => {
@@ -132,9 +130,7 @@ fn store_forward_filtered(func: &mut Function, am: &mut AnalysisManager, web_saf
                         .rev()
                         .find(|&&(a, _)| alias_verdict(&fa, a, *addr) == AliasVerdict::Must)
                         .map(|&(_, v)| v)
-                        .or_else(|| {
-                            fa.constant_of(*addr).and_then(|k| known.get(&k).copied())
-                        });
+                        .or_else(|| fa.constant_of(*addr).and_then(|k| known.get(&k).copied()));
                     if let Some(v) = hit {
                         if forwardable(v) {
                             rewrites.push((i, v));
@@ -185,9 +181,7 @@ pub fn redundant_load_elim_with(func: &mut Function, am: &mut AnalysisManager) -
                     }
                 }
                 InstKind::Store { addr, val } => {
-                    fresh.retain(|&(a, _)| {
-                        alias_verdict(&fa, a, *addr) == AliasVerdict::Disjoint
-                    });
+                    fresh.retain(|&(a, _)| alias_verdict(&fa, a, *addr) == AliasVerdict::Disjoint);
                     // The store itself publishes a fresh fact: a later
                     // load of a must-alias address is handled by
                     // store-forwarding, so no entry is needed here.
@@ -282,11 +276,7 @@ mod tests {
         );
         assert_eq!(store_forward(&mut f), 2, "{f}");
         verify_function(&f).unwrap();
-        assert_eq!(
-            fcc_interp::run(&f, &[7, 9]).unwrap().ret,
-            Some(16),
-            "{f}"
-        );
+        assert_eq!(fcc_interp::run(&f, &[7, 9]).unwrap().ret, Some(16), "{f}");
     }
 
     #[test]

@@ -31,7 +31,8 @@ pub mod interference;
 pub mod spill;
 
 pub use audit::{
-    audit_allocation, RULE_ALLOC_CLASH, RULE_ALLOC_PRESSURE, RULE_ALLOC_RANGE, RULE_ALLOC_UNCOLORED,
+    audit_allocation, RULE_ALLOC_CLASH, RULE_ALLOC_PRESSURE, RULE_ALLOC_RANGE,
+    RULE_ALLOC_SLOT_CLASH, RULE_ALLOC_SLOT_RANGE, RULE_ALLOC_SLOT_UNINIT, RULE_ALLOC_UNCOLORED,
 };
 pub use chordal::{
     certify, find_chordless_cycle, verify_peo, ChordalityCertificate, ChordalityError,

@@ -12,15 +12,16 @@
 //! * **select** — pop nodes, giving each the lowest colour unused by its
 //!   already-coloured neighbours; a node with no free colour becomes an
 //!   actual spill.
-//! * **spill** — spilled values are rewritten through a dedicated region
-//!   of the flat memory (`spill_base`): a store after each definition, a
-//!   load into a fresh temporary before each use. The allocator then
-//!   retries on the rewritten program.
+//! * **spill** — spilled values are rewritten through dedicated spill
+//!   slots (disjoint from program memory): a `spill` after each
+//!   definition, a `reload` into a fresh temporary before each use. The
+//!   allocator then retries on the rewritten program. Slot numbering
+//!   continues past any slots an earlier SSA-level spilling pass used.
 //!
 //! Spill costs follow the classical `(defs + uses) · 10^depth / degree`
 //! estimate.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use fcc_analysis::AnalysisManager;
 use fcc_ir::{Block, Function, Inst, InstKind, Value};
@@ -46,10 +47,6 @@ pub enum AllocCoalesce {
 pub struct AllocOptions {
     /// Number of machine registers (colours) available.
     pub registers: usize,
-    /// First memory word of the spill area. Must be beyond any address
-    /// the program itself touches, and within the interpreter's memory if
-    /// the result is to be executed.
-    pub spill_base: i64,
     /// Safety bound on build/spill rounds.
     pub max_rounds: usize,
     /// In-allocator copy coalescing policy.
@@ -60,7 +57,6 @@ impl Default for AllocOptions {
     fn default() -> Self {
         AllocOptions {
             registers: 8,
-            spill_base: 1 << 20,
             max_rounds: 16,
             coalesce: AllocCoalesce::None,
         }
@@ -72,10 +68,13 @@ impl Default for AllocOptions {
 pub struct Allocation {
     /// Colour (register number) per value that occurs in the function.
     pub coloring: HashMap<Value, u32>,
-    /// Values spilled to memory across all rounds.
+    /// Values spilled to slots across all rounds.
     pub spilled: Vec<Value>,
-    /// Spill slots consumed.
+    /// Spill slots consumed by the allocator itself (slots an earlier
+    /// SSA-level spilling pass used are not counted here).
     pub spill_slots: usize,
+    /// Slot index per value the allocator spilled.
+    pub slot_of: HashMap<Value, u32>,
     /// Build/colour rounds performed.
     pub rounds: usize,
     /// Copies removed by in-allocator conservative coalescing.
@@ -98,10 +97,10 @@ impl Allocation {
 pub enum AllocError {
     /// Even after `max_rounds` of spilling the graph would not colour.
     DidNotConverge,
-    /// Fewer than two registers requested. Spill code itself needs an
-    /// address register and a value register live at once, so K < 2 can
-    /// spill forever (each round's fresh temporaries re-spill), growing
-    /// the program instead of converging.
+    /// Fewer than two registers requested. A binary instruction needs two
+    /// operand registers at once even after maximal spilling, so K < 2
+    /// can spill forever (each round's fresh temporaries re-spill),
+    /// growing the program instead of converging.
     TooFewRegisters,
 }
 
@@ -112,7 +111,7 @@ impl std::fmt::Display for AllocError {
             AllocError::TooFewRegisters => {
                 write!(
                     f,
-                    "at least 2 registers are required (spill code needs addr + value)"
+                    "at least 2 registers are required (a binary op needs two operands live)"
                 )
             }
         }
@@ -153,7 +152,16 @@ pub fn allocate_managed(
     }
     let mut spilled_all: Vec<Value> = Vec::new();
     let mut spill_slots = 0usize;
+    let mut slot_of: HashMap<Value, u32> = HashMap::new();
+    // Never reuse a slot an earlier spilling pass (or a previous round)
+    // already claimed.
+    let slot_base = func.spill_slot_count();
     let mut copies_coalesced = 0usize;
+    // Values whose live range is already minimal — reload temporaries and
+    // once-spilled originals (def → spill, reload → use). Spilling one
+    // again reproduces the identical one-instruction range, so the
+    // retry loop would livelock; select diverts their spills instead.
+    let mut no_respill: HashSet<Value> = HashSet::new();
 
     if opts.coalesce == AllocCoalesce::Conservative {
         copies_coalesced = conservative_coalesce(func, opts.registers, am);
@@ -262,17 +270,52 @@ pub fn allocate_managed(
                 coloring,
                 spilled: spilled_all,
                 spill_slots,
+                slot_of,
                 rounds: round,
                 copies_coalesced,
             });
         }
 
-        // ---- spill rewrite ----
+        // A minimal-range value that failed to colour marks a point that
+        // is genuinely over k; the value actually worth spilling there is
+        // a live-through neighbour whose range a spill can still break.
+        // Divert to the cheapest such neighbour.
+        let mut chosen: HashSet<Value> = to_spill.iter().copied().collect();
+        let mut final_spill: Vec<Value> = Vec::new();
         for v in to_spill {
-            let slot_addr = opts.spill_base + spill_slots as i64;
+            if !no_respill.contains(&v) {
+                final_spill.push(v);
+                continue;
+            }
+            let alt = ig
+                .neighbors(v)
+                .into_iter()
+                .filter(|nb| !no_respill.contains(nb) && !chosen.contains(nb))
+                .min_by(|&a, &b| {
+                    let ca = cost[a.index()] / (ig.degree(a).max(1) as f64);
+                    let cb = cost[b.index()] / (ig.degree(b).max(1) as f64);
+                    ca.partial_cmp(&cb).unwrap().then(a.cmp(&b))
+                });
+            if let Some(a) = alt {
+                chosen.insert(a);
+                final_spill.push(a);
+            }
+        }
+        if final_spill.is_empty() {
+            // Nothing spillable remains around the failing points: the
+            // graph is identical next round, so retrying cannot help.
+            return Err(AllocError::DidNotConverge);
+        }
+
+        // ---- spill rewrite ----
+        final_spill.sort();
+        for v in final_spill {
+            let slot = slot_base + spill_slots as u32;
             spill_slots += 1;
             spilled_all.push(v);
-            rewrite_spill(func, v, slot_addr);
+            slot_of.insert(v, slot);
+            no_respill.insert(v);
+            rewrite_spill(func, v, slot, &mut no_respill);
         }
     }
     Err(AllocError::DidNotConverge)
@@ -359,27 +402,22 @@ fn conservative_coalesce(func: &mut Function, k: usize, am: &mut AnalysisManager
     }
 }
 
-/// Rewrite `v` through memory at `slot_addr`: store after each def, load
-/// into a fresh temporary before each use.
-fn rewrite_spill(func: &mut Function, v: Value, slot_addr: i64) {
+/// Rewrite `v` through spill slot `slot`: a `spill` after each def, a
+/// `reload` into a fresh temporary before each use. Every temporary is
+/// recorded in `temps` — its range is one instruction, so a later round
+/// must never choose it as a spill victim.
+fn rewrite_spill(func: &mut Function, v: Value, slot: u32, temps: &mut HashSet<Value>) {
     let blocks: Vec<Block> = func.blocks().collect();
     for b in blocks {
         let insts: Vec<Inst> = func.block_insts(b).to_vec();
         for inst in insts {
-            // Replace uses first: load into a fresh temp before the inst.
+            // Replace uses first: reload into a fresh temp before the inst.
             let mut uses_v = false;
             func.inst(inst).kind.for_each_use(|u| uses_v |= u == v);
             if uses_v {
-                let addr = func.new_value();
                 let tmp = func.new_value();
-                insert_before(
-                    func,
-                    b,
-                    inst,
-                    InstKind::Const { imm: slot_addr },
-                    Some(addr),
-                );
-                insert_before(func, b, inst, InstKind::Load { addr }, Some(tmp));
+                temps.insert(tmp);
+                insert_before(func, b, inst, InstKind::Reload { slot }, Some(tmp));
                 func.inst_mut(inst).kind.for_each_use_mut(|u| {
                     if *u == v {
                         *u = tmp;
@@ -387,17 +425,8 @@ fn rewrite_spill(func: &mut Function, v: Value, slot_addr: i64) {
                 });
             }
             if func.inst(inst).dst == Some(v) {
-                // Store right after the definition.
-                let addr = func.new_value();
-                insert_after(
-                    func,
-                    b,
-                    inst,
-                    InstKind::Const { imm: slot_addr },
-                    Some(addr),
-                );
-                let store = InstKind::Store { addr, val: v };
-                insert_after_nth(func, b, inst, 1, store, None);
+                // Save right after the definition.
+                insert_after(func, b, inst, InstKind::Spill { slot, val: v }, None);
             }
         }
     }
@@ -419,22 +448,6 @@ fn insert_after(func: &mut Function, b: Block, after: Inst, kind: InstKind, dst:
         .position(|&i| i == after)
         .expect("inst in block");
     func.insert_inst_at(b, pos + 1, kind, dst);
-}
-
-fn insert_after_nth(
-    func: &mut Function,
-    b: Block,
-    after: Inst,
-    extra: usize,
-    kind: InstKind,
-    dst: Option<Value>,
-) {
-    let pos = func
-        .block_insts(b)
-        .iter()
-        .position(|&i| i == after)
-        .expect("inst in block");
-    func.insert_inst_at(b, pos + 1 + extra, kind, dst);
 }
 
 /// Check that `coloring` is a proper colouring of `func`'s interference

@@ -44,6 +44,7 @@
 pub mod briggs;
 pub mod color;
 pub mod igraph;
+pub mod spill;
 pub mod webs;
 
 pub use briggs::{
@@ -53,4 +54,5 @@ pub use color::{
     allocate, allocate_managed, verify_coloring, AllocError, AllocOptions, Allocation,
 };
 pub use igraph::InterferenceGraph;
+pub use spill::{spill_to_k, weighted_spill_traffic, SpillStats, SpillStrategy};
 pub use webs::{destruct_via_webs, destruct_via_webs_traced, WebStats};

@@ -44,7 +44,7 @@ use fcc_ir::Module;
 /// either invalidates the whole cache. Rev 2: the optimiser pipelines
 /// gained the alias-gated memory passes, changing compiled output for
 /// unchanged sources.
-pub const CACHE_SCHEMA: &str = concat!(env!("CARGO_PKG_VERSION"), "/2");
+pub const CACHE_SCHEMA: &str = concat!(env!("CARGO_PKG_VERSION"), "/3");
 
 /// 64-bit FNV-1a. Stable across platforms and releases (unlike
 /// `DefaultHasher`, which documents no such guarantee), which matters

@@ -304,6 +304,12 @@ fn apply_overrides(mut req: CompileRequest, obj: &Json) -> Result<CompileRequest
                     v => Some(expect_u64(key, v)? as usize),
                 }
             }
+            "k_registers" => {
+                req.k_registers = match value {
+                    Json::Null => None,
+                    v => Some(expect_u64(key, v)? as u32),
+                }
+            }
             "fuel" => {
                 req.fuel = match value {
                     Json::Null => None,
@@ -421,6 +427,22 @@ mod tests {
         assert_eq!(body.req.fail_mode, FailMode::Degrade);
         assert_eq!(body.req.fuel, Some(100));
         assert_eq!(body.req.jobs, 4);
+    }
+
+    #[test]
+    fn k_registers_rides_the_wire_and_validates() {
+        let req = parse_request(
+            r#"{"v":1,"verb":"compile","source":"","request":{"k_registers":4}}"#,
+            &CompileRequest::new(),
+        )
+        .unwrap();
+        assert_eq!(req.compile.unwrap().req.k_registers, Some(4));
+        let e = parse_request(
+            r#"{"v":1,"verb":"compile","source":"","request":{"k_registers":1}}"#,
+            &CompileRequest::new(),
+        )
+        .unwrap_err();
+        assert_eq!((e.code, e.kind.as_str()), (422, "k-registers-too-few"));
     }
 
     #[test]

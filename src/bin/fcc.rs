@@ -16,8 +16,15 @@
 //!                   propagation would re-fold copies into φ webs)
 //!   --verify-each   run the fcc-lint suite between phases; the first
 //!                   error aborts and names the offending phase/pass
+//!   --deny-warnings promote --verify-each lint warnings to compile
+//!                   failures (never changes compiled output)
 //!   --simplify      simplify the CFG after destruction
 //!   --alloc K       colour with K registers after destruction
+//!   --k-registers K compile under a hard K-register bound: spill the
+//!                   SSA form down to pressure <= K (cost-guided, loop-
+//!                   depth-weighted victims), destruct, allocate with
+//!                   exactly K colours, and certify the result with the
+//!                   feasibility auditor (implies allocation; K >= 2)
 //!   --jobs N        compile module functions on N threads (0 = auto,
 //!                   the default); output is independent of N
 //!   --fail-mode M   abort (default) | skip | degrade — what to do when
@@ -98,6 +105,9 @@
 //!
 //!   --format F      text (default) | json
 //!   --k N           register target for the pressure-* rules (default 8)
+//!   --spill         also run both SSA-level spillers (spill-everywhere
+//!                   and cost-guided) against the k target and report
+//!                   spill/reload counts and the post-spill MaxLive
 //!   --no-fold       do not fold copies during SSA construction
 //!   --opt           run the optimiser pipeline before measuring
 //!   --jobs N        process module functions on N threads (0 = auto)
@@ -190,6 +200,7 @@ struct Options {
     verify_each: bool,
     simplify: bool,
     alloc: Option<usize>,
+    k_registers: Option<u32>,
     jobs: usize,
     fail_mode: FailMode,
     fuel: Option<u64>,
@@ -200,6 +211,7 @@ struct Options {
     stats: bool,
     report: bool,
     format: String,
+    deny_warnings: bool,
     inject_panic: Option<String>,
     inject_spin: bool,
     inject_violation: Option<String>,
@@ -207,16 +219,16 @@ struct Options {
 
 fn usage() -> &'static str {
     "usage: fcc [build] <file.ml | kernel:NAME | kernel:* | -> [--pipeline new|new-cut|standard|sreedhar|briggs|briggs-star] \
-     [--no-fold] [--opt] [--verify-each] [--simplify] [--alloc K] [--jobs N] \
+     [--no-fold] [--opt] [--verify-each] [--simplify] [--alloc K] [--k-registers K] [--jobs N] \
      [--fail-mode abort|skip|degrade] [--fuel N] [--repro-dir DIR] [--emit cfg|ssa|final] \
-     [--run a,b,...] [--entry NAME] [--stats] [--report] [--format text|json] [--list-kernels] \
-     [--inject-panic PASS] [--inject-solver-spin] [--inject-verifier-violation PASS]\n       \
+     [--run a,b,...] [--entry NAME] [--stats] [--report] [--format text|json] [--deny-warnings] \
+     [--list-kernels] [--inject-panic PASS] [--inject-solver-spin] [--inject-verifier-violation PASS]\n       \
      fcc lint <file.ml | kernel:NAME | kernel:* | -> [--format text|json] [--pipeline P] [--no-fold] \
      [--opt] [--jobs N] [--deny-warnings]\n       \
      fcc analyze <file.ml | kernel:NAME | kernel:* | -> [--format text|json] [--no-fold] [--opt] \
      [--jobs N] [--memory-words N] [--deny-warnings]\n       \
-     fcc pressure <file.ml | kernel:NAME | kernel:* | -> [--format text|json] [--k N] [--no-fold] \
-     [--opt] [--jobs N] [--deny-warnings]\n       \
+     fcc pressure <file.ml | kernel:NAME | kernel:* | -> [--format text|json] [--k N] [--spill] \
+     [--no-fold] [--opt] [--jobs N] [--deny-warnings]\n       \
      fcc fuzz [--seeds N] [--start N] [--jobs N] [--no-opt] [--shrink-budget N] [--fuel N] \
      [--repro-dir DIR] [--inject-phi-bug] [--inject-solver-spin]\n       \
      fcc serve [build options as daemon defaults] [--cache-budget BYTES]\n       \
@@ -234,6 +246,7 @@ fn parse_args(raw: Vec<String>) -> Result<Options, String> {
         verify_each: false,
         simplify: false,
         alloc: None,
+        k_registers: None,
         jobs: 0,
         fail_mode: FailMode::Abort,
         fuel: None,
@@ -244,6 +257,7 @@ fn parse_args(raw: Vec<String>) -> Result<Options, String> {
         stats: false,
         report: false,
         format: "text".into(),
+        deny_warnings: false,
         inject_panic: None,
         inject_spin: false,
         inject_violation: None,
@@ -263,6 +277,13 @@ fn parse_args(raw: Vec<String>) -> Result<Options, String> {
                     need(&mut args, "--alloc")?
                         .parse()
                         .map_err(|e| format!("--alloc: {e}"))?,
+                )
+            }
+            "--k-registers" => {
+                o.k_registers = Some(
+                    need(&mut args, "--k-registers")?
+                        .parse()
+                        .map_err(|e| format!("--k-registers: {e}"))?,
                 )
             }
             "--jobs" => {
@@ -300,6 +321,7 @@ fn parse_args(raw: Vec<String>) -> Result<Options, String> {
             }
             "--entry" => o.entry = Some(need(&mut args, "--entry")?),
             "--stats" => o.stats = true,
+            "--deny-warnings" => o.deny_warnings = true,
             "--report" => o.report = true,
             "--list-kernels" => {
                 for k in fcc::workloads::kernels() {
@@ -657,6 +679,7 @@ fn pressure_main(args: Vec<String>) -> Result<bool, String> {
     let mut opt = false;
     let mut jobs = 0usize;
     let mut k = 8u32;
+    let mut spill = false;
     let mut deny_warnings = false;
     let mut args = args.into_iter();
     let need = |args: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -677,6 +700,7 @@ fn pressure_main(args: Vec<String>) -> Result<bool, String> {
                     .parse()
                     .map_err(|e| format!("--k: {e}"))?
             }
+            "--spill" => spill = true,
             "--deny-warnings" => deny_warnings = true,
             "--help" | "-h" => {
                 println!("{}", usage());
@@ -697,6 +721,9 @@ fn pressure_main(args: Vec<String>) -> Result<bool, String> {
     if k == 0 {
         return Err("--k must be at least 1".to_string());
     }
+    if spill && k < 2 {
+        return Err("--spill needs --k of at least 2".to_string());
+    }
 
     let src = load_source(&input)?;
     let module = fcc::frontend::compile_module(&src)?;
@@ -704,7 +731,7 @@ fn pressure_main(args: Vec<String>) -> Result<bool, String> {
     let funcs = module.into_functions();
     let json = format == "json";
     let (results, _timing) = par_map(funcs.len(), jobs, |i| {
-        pressure_one(funcs[i].clone(), fold, opt, k, json)
+        pressure_one(funcs[i].clone(), fold, opt, k, spill, json)
     });
 
     let mut clean = true;
@@ -734,6 +761,7 @@ fn pressure_one(
     fold: bool,
     opt: bool,
     k: u32,
+    spill: bool,
     json: bool,
 ) -> Result<(String, usize, usize), String> {
     let mut am = AnalysisManager::new();
@@ -744,6 +772,14 @@ fn pressure_one(
     verify_ssa(&func).map_err(|e| format!("internal: invalid SSA: {e}"))?;
     let summary = fcc::pressure::summarize(&func, &mut am)
         .map_err(|e| format!("@{}: chordality certification failed: {e}", func.name))?;
+    // --spill: both SSA-level spillers against the same k target, on
+    // clones (the report below measures the unspilled function).
+    let spill_stats: Option<[(SpillStrategy, SpillStats); 2]> = spill.then(|| {
+        [SpillStrategy::Everywhere, SpillStrategy::CostGuided].map(|strategy| {
+            let mut clone = func.clone();
+            (strategy, spill_to_k(&mut clone, k, strategy))
+        })
+    });
     let rules = pressure_rules(k);
     let ssa_report = lint_with_rules(&func, &mut am, LintStage::Ssa, &rules);
     let mut diags: Vec<String> = ssa_report
@@ -773,6 +809,27 @@ fn pressure_one(
 
     let errors = ssa_report.error_count() + final_report.error_count();
     let warnings = ssa_report.warning_count() + final_report.warning_count();
+    let spill_member = spill_stats
+        .as_ref()
+        .map(|stats| {
+            let objs: Vec<String> = stats
+                .iter()
+                .map(|(strategy, s)| {
+                    format!(
+                        "\"{}\":{{\"spills\":{},\"reloads\":{},\"slots\":{},\
+                         \"maxlive_after\":{},\"rounds\":{}}}",
+                        strategy.label().replace('-', "_"),
+                        s.spills,
+                        s.reloads,
+                        s.slots,
+                        s.maxlive_after,
+                        s.rounds
+                    )
+                })
+                .collect();
+            format!("\"spill\":{{{}}},", objs.join(","))
+        })
+        .unwrap_or_default();
     let rendered = if json {
         let blocks: Vec<String> = summary
             .block_max
@@ -782,7 +839,7 @@ fn pressure_one(
         format!(
             "{{\"function\":\"{}\",\"k\":{k},\"maxlive\":{},\"max_block\":{},\"points\":{},\
              \"edges\":{},\"omega\":{},\"chi\":{},\"spill_total\":{:.0},\"final_maxlive\":{},\
-             \"errors\":{errors},\"warnings\":{warnings},\"blocks\":[{}],\"diagnostics\":[{}]}}",
+             {spill_member}\"errors\":{errors},\"warnings\":{warnings},\"blocks\":[{}],\"diagnostics\":[{}]}}",
             fcc::ir::diagnostic::json_escape(&summary.name),
             summary.maxlive,
             match summary.max_block {
@@ -821,6 +878,21 @@ fn pressure_one(
             final_maxlive,
             blocks.join(" ")
         );
+        if let Some(stats) = &spill_stats {
+            for (strategy, s) in stats {
+                out.push_str(&format!(
+                    "\n  spill {} (k={k}): {} spills, {} reloads, {} slots, \
+                     maxlive {} -> {} in {} round(s)",
+                    strategy.label(),
+                    s.spills,
+                    s.reloads,
+                    s.slots,
+                    s.maxlive_before,
+                    s.maxlive_after,
+                    s.rounds
+                ));
+            }
+        }
         for d in &diags {
             out.push('\n');
             out.push_str(d);
@@ -933,6 +1005,13 @@ fn serve_main(args: Vec<String>) -> Result<bool, String> {
                     need(&mut args, "--alloc")?
                         .parse()
                         .map_err(|e| format!("--alloc: {e}"))?,
+                )
+            }
+            "--k-registers" => {
+                req.k_registers = Some(
+                    need(&mut args, "--k-registers")?
+                        .parse()
+                        .map_err(|e| format!("--k-registers: {e}"))?,
                 )
             }
             "--fail-mode" => {
@@ -1071,10 +1150,12 @@ fn real_main(raw: Vec<String>) -> Result<(), String> {
         .verify_each(o.verify_each)
         .simplify(o.simplify)
         .alloc(o.alloc)
+        .k_registers(o.k_registers)
         .fail_mode(o.fail_mode)
         .fuel(o.fuel)
         .jobs(o.jobs)
-        .format(o.format.parse().map_err(|e: RequestError| e.to_string())?);
+        .format(o.format.parse().map_err(|e: RequestError| e.to_string())?)
+        .deny_warnings(o.deny_warnings);
 
     if o.emit == "ssa" {
         // Stop the pipeline at verified SSA, per function on the pool.

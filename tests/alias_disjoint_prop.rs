@@ -50,7 +50,9 @@ fn disjoint_accesses_commute() {
         build_ssa_with(&mut func, SsaFlavor::Pruned, true, &mut am);
         // Programs that trap or exhaust fuel have no oracle to compare
         // against (a reorder may legitimately change which trap fires).
-        let Some(oracle) = behavior(&func, &args) else { continue };
+        let Some(oracle) = behavior(&func, &args) else {
+            continue;
+        };
         let fa = FunctionAnalysis::compute(&func, &mut am);
 
         // Consecutive same-block memory pairs: positions (p1, p2) with

@@ -19,7 +19,12 @@ const FUEL: u64 = 100_000_000;
 fn mem_ops(f: &Function) -> usize {
     f.blocks()
         .flat_map(|b| f.block_insts(b).iter())
-        .filter(|&&i| matches!(f.inst(i).kind, InstKind::Load { .. } | InstKind::Store { .. }))
+        .filter(|&&i| {
+            matches!(
+                f.inst(i).kind,
+                InstKind::Load { .. } | InstKind::Store { .. }
+            )
+        })
         .count()
 }
 
@@ -88,9 +93,16 @@ fn suite_deltas_accounted_and_oracle_clean() {
         let opt = run_with_memory(&post, k.args, vec![0; k.memory_words], FUEL)
             .unwrap_or_else(|e| panic!("{}: optimised run failed: {e:?}", k.name));
         assert_eq!(oracle.ret, opt.ret, "{}: return value changed", k.name);
-        assert_eq!(oracle.memory, opt.memory, "{}: memory image changed", k.name);
+        assert_eq!(
+            oracle.memory, opt.memory,
+            "{}: memory image changed",
+            k.name
+        );
     }
     // The acceptance bar: forwarding + elimination pay off on at least
     // three kernels of the suite.
-    assert!(touched >= 3, "only {touched} kernels benefit from the memory passes");
+    assert!(
+        touched >= 3,
+        "only {touched} kernels benefit from the memory passes"
+    );
 }

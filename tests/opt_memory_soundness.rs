@@ -93,7 +93,11 @@ fn copyprop_never_rematerializes_a_load_past_a_store() {
     }";
     let (f, oracle) = optimized(PassManager::new().with(CopyProp), src, &[4]);
     assert_eq!(oracle, behavior(&f, &[4]), "CopyProp changed behaviour");
-    assert_eq!(oracle.0, Some(4), "y must see the first store, not the second");
+    assert_eq!(
+        oracle.0,
+        Some(4),
+        "y must see the first store, not the second"
+    );
 }
 
 #[test]
@@ -127,7 +131,11 @@ fn full_pipelines_preserve_memory_behavior_on_the_hazard_programs() {
         ("fn f() { mem[0] = 5; let x = mem[0]; return x; }", &[]),
     ];
     for &(src, args) in programs {
-        for pm in [standard_pipeline(), aggressive_pipeline(), copy_preserving_pipeline()] {
+        for pm in [
+            standard_pipeline(),
+            aggressive_pipeline(),
+            copy_preserving_pipeline(),
+        ] {
             let (f, oracle) = optimized(pm, src, args);
             assert_eq!(oracle, behavior(&f, args), "{src}");
         }

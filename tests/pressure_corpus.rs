@@ -6,7 +6,8 @@
 
 use fcc::prelude::*;
 use fcc::pressure::{
-    audit_allocation, RULE_ALLOC_CLASH, RULE_ALLOC_PRESSURE, RULE_ALLOC_RANGE, RULE_ALLOC_UNCOLORED,
+    audit_allocation, RULE_ALLOC_CLASH, RULE_ALLOC_PRESSURE, RULE_ALLOC_RANGE,
+    RULE_ALLOC_SLOT_CLASH, RULE_ALLOC_SLOT_RANGE, RULE_ALLOC_SLOT_UNINIT, RULE_ALLOC_UNCOLORED,
 };
 
 /// MaxLive and loop-weighted spill-cost total per kernel, measured on
@@ -110,7 +111,7 @@ fn auditor_accepts_every_allocator_output_that_fits() {
                 k.name,
                 alloc.registers_used()
             );
-            let diags = audit_allocation(&func, &alloc.coloring, kk);
+            let diags = audit_allocation(&func, &alloc.coloring, kk, func.spill_slot_count());
             assert!(
                 diags.is_empty(),
                 "{} (k={registers}): auditor rejected real allocator output:\n{:#?}",
@@ -136,14 +137,14 @@ fn auditor_rejects_corrupted_allocations() {
         },
     )
     .expect("saxpy allocates in 8 registers");
-    assert!(audit_allocation(&func, &alloc.coloring, 8).is_empty());
+    assert!(audit_allocation(&func, &alloc.coloring, 8, func.spill_slot_count()).is_empty());
 
     // Everyone in register 0: values live together now clash.
     let mut clashed = alloc.coloring.clone();
     for c in clashed.values_mut() {
         *c = 0;
     }
-    let diags = audit_allocation(&func, &clashed, 8);
+    let diags = audit_allocation(&func, &clashed, 8, func.spill_slot_count());
     assert!(
         diags.iter().any(|d| d.rule == RULE_ALLOC_CLASH),
         "flattened colouring not flagged: {diags:#?}"
@@ -153,7 +154,7 @@ fn auditor_rejects_corrupted_allocations() {
     let victim = *alloc.coloring.keys().min_by_key(|v| v.index()).unwrap();
     let mut ranged = alloc.coloring.clone();
     ranged.insert(victim, 99);
-    let diags = audit_allocation(&func, &ranged, 8);
+    let diags = audit_allocation(&func, &ranged, 8, func.spill_slot_count());
     assert!(
         diags.iter().any(|d| d.rule == RULE_ALLOC_RANGE),
         "out-of-range register not flagged: {diags:#?}"
@@ -162,7 +163,7 @@ fn auditor_rejects_corrupted_allocations() {
     // One live value with no register at all.
     let mut missing = alloc.coloring.clone();
     missing.remove(&victim);
-    let diags = audit_allocation(&func, &missing, 8);
+    let diags = audit_allocation(&func, &missing, 8, func.spill_slot_count());
     assert!(
         diags.iter().any(|d| d.rule == RULE_ALLOC_UNCOLORED),
         "uncoloured value not flagged: {diags:#?}"
@@ -170,10 +171,197 @@ fn auditor_rejects_corrupted_allocations() {
 
     // A 6-pressure function audited against k = 4: infeasible from
     // liveness alone, before any colour is even inspected.
-    let diags = audit_allocation(&func, &alloc.coloring, 4);
+    let diags = audit_allocation(&func, &alloc.coloring, 4, func.spill_slot_count());
     assert!(
         diags.iter().any(|d| d.rule == RULE_ALLOC_PRESSURE),
         "over-pressure point not flagged: {diags:#?}"
+    );
+}
+
+/// The slot rules from the same auditor: slot indices must fit the
+/// claimed budget, no two values may share a slot, and every reload must
+/// be covered by a spill on every path. Corrupted spill code is text;
+/// these corruptions are handwritten programs, not allocator mutations.
+#[test]
+fn auditor_rejects_corrupted_spill_code() {
+    use fcc::ir::parse::parse_function;
+    use std::collections::HashMap;
+
+    let audit = |text: &str, slots: u32| {
+        let func = parse_function(text).unwrap();
+        let coloring: HashMap<fcc::ir::Value, u32> = (0..func.num_values())
+            .map(|i| (fcc::ir::Value::new(i), i as u32))
+            .collect();
+        audit_allocation(&func, &coloring, 16, slots)
+    };
+
+    // Honest spill code: one value, one slot, reload dominated by spill.
+    let diags = audit(
+        "function @clean(0) {
+         b0:
+             v0 = const 7
+             spill 0, v0
+             v1 = reload 0
+             return v1
+         }",
+        1,
+    );
+    assert!(diags.is_empty(), "honest spill code rejected: {diags:#?}");
+
+    // A reload naming a slot past the claimed spill area.
+    let diags = audit(
+        "function @ranged(0) {
+         b0:
+             v0 = const 7
+             spill 0, v0
+             v1 = reload 3
+             return v1
+         }",
+        1,
+    );
+    assert!(
+        diags.iter().any(|d| d.rule == RULE_ALLOC_SLOT_RANGE),
+        "out-of-range slot not flagged: {diags:#?}"
+    );
+
+    // Two different values funnelled into one slot.
+    let diags = audit(
+        "function @clash(0) {
+         b0:
+             v0 = const 7
+             spill 0, v0
+             v1 = const 9
+             spill 0, v1
+             v2 = reload 0
+             return v2
+         }",
+        1,
+    );
+    assert!(
+        diags.iter().any(|d| d.rule == RULE_ALLOC_SLOT_CLASH),
+        "shared slot not flagged: {diags:#?}"
+    );
+
+    // The spill covers only one arm of the diamond; the reload can
+    // execute with the slot never written.
+    let diags = audit(
+        "function @uninit(1) {
+         b0:
+             v0 = param 0
+             v1 = const 5
+             branch v0, b1, b2
+         b1:
+             spill 0, v1
+             jump b3
+         b2:
+             jump b3
+         b3:
+             v2 = reload 0
+             return v2
+         }",
+        1,
+    );
+    assert!(
+        diags.iter().any(|d| d.rule == RULE_ALLOC_SLOT_UNINIT),
+        "uncovered reload not flagged: {diags:#?}"
+    );
+
+    // Same diamond with both arms spilling: the meet keeps the slot.
+    let diags = audit(
+        "function @covered(1) {
+         b0:
+             v0 = param 0
+             v1 = const 5
+             branch v0, b1, b2
+         b1:
+             spill 0, v1
+             jump b3
+         b2:
+             spill 0, v1
+             jump b3
+         b3:
+             v2 = reload 0
+             return v2
+         }",
+        1,
+    );
+    assert!(
+        diags.is_empty(),
+        "fully covered diamond rejected: {diags:#?}"
+    );
+}
+
+/// The Chaitin copy-rule exemption: a copy's source and destination may
+/// share a register while both live *because* they hold the same value —
+/// but only where the auditor's own available-copies analysis proves the
+/// equality still stands.
+#[test]
+fn clash_rule_honours_copy_equality_and_nothing_more() {
+    use fcc::ir::parse::parse_function;
+    use std::collections::HashMap;
+
+    let audit = |text: &str, colors: &[(usize, u32)]| {
+        let func = parse_function(text).unwrap();
+        let coloring: HashMap<fcc::ir::Value, u32> = colors
+            .iter()
+            .map(|&(i, c)| (fcc::ir::Value::new(i), c))
+            .collect();
+        audit_allocation(&func, &coloring, 16, func.spill_slot_count())
+    };
+
+    // v1 = copy v0 and both stay live: sharing r0 is a genuine equality.
+    let diags = audit(
+        "function @share(1) {
+         b0:
+             v0 = param 0
+             v1 = copy v0
+             v2 = add v0, v1
+             return v2
+         }",
+        &[(0, 0), (1, 0), (2, 1)],
+    );
+    assert!(diags.is_empty(), "equal copy pair rejected: {diags:#?}");
+
+    // The source is redefined while the destination lives on: the
+    // equality is dead, the shared register is a real clash.
+    let diags = audit(
+        "function @clobber(1) {
+         b0:
+             v0 = param 0
+             v1 = copy v0
+             v0 = const 9
+             v2 = add v0, v1
+             return v2
+         }",
+        &[(0, 0), (1, 0), (2, 1)],
+    );
+    assert!(
+        diags.iter().any(|d| d.rule == RULE_ALLOC_CLASH),
+        "clobbered copy equality not flagged: {diags:#?}"
+    );
+
+    // The copy covers only one arm of a diamond: at the join the meet
+    // (intersection) discards the equality, so sharing is a clash.
+    let diags = audit(
+        "function @onepath(1) {
+         b0:
+             v0 = param 0
+             v1 = const 5
+             branch v0, b1, b2
+         b1:
+             v1 = copy v0
+             jump b3
+         b2:
+             jump b3
+         b3:
+             v2 = add v0, v1
+             return v2
+         }",
+        &[(0, 0), (1, 0), (2, 1)],
+    );
+    assert!(
+        diags.iter().any(|d| d.rule == RULE_ALLOC_CLASH),
+        "one-path copy equality not flagged at the join: {diags:#?}"
     );
 }
 

@@ -69,15 +69,18 @@ fn bad_spellings_are_typed_errors_naming_the_input() {
 #[test]
 fn cache_signature_covers_output_affecting_fields_only() {
     let base = CompileRequest::new();
-    // jobs and format never change compiled bytes → same signature.
+    // jobs, format, and deny-warnings never change compiled bytes →
+    // same signature.
     assert_eq!(
         base.clone()
             .jobs(1)
             .format(ReportFormat::Text)
+            .deny_warnings(false)
             .cache_signature(),
         base.clone()
             .jobs(8)
             .format(ReportFormat::Json)
+            .deny_warnings(true)
             .cache_signature()
     );
     // Every output-affecting field must move the signature.
@@ -88,6 +91,7 @@ fn cache_signature_covers_output_affecting_fields_only() {
         base.clone().verify_each(true),
         base.clone().simplify(true),
         base.clone().alloc(Some(8)),
+        base.clone().k_registers(Some(8)),
         base.clone().fail_mode(FailMode::Degrade),
         base.clone().fuel(Some(1000)),
     ];
@@ -109,7 +113,7 @@ fn signatures_are_stable_across_processes() {
     // invalidates every cache, so pin the exact format.
     assert_eq!(
         CompileRequest::new().cache_signature(),
-        "pipeline=new fold=true opt=false verify=false simplify=false alloc=- fail=abort fuel=-"
+        "pipeline=new fold=true opt=false verify=false simplify=false alloc=- k=- fail=abort fuel=-"
     );
     assert_eq!(
         CompileRequest::new()
@@ -120,7 +124,7 @@ fn signatures_are_stable_across_processes() {
             .fail_mode(FailMode::Degrade)
             .fuel(Some(500))
             .cache_signature(),
-        "pipeline=briggs-star fold=false opt=true verify=false simplify=false alloc=16 fail=degrade fuel=500"
+        "pipeline=briggs-star fold=false opt=true verify=false simplify=false alloc=16 k=- fail=degrade fuel=500"
     );
 }
 
