@@ -26,6 +26,7 @@
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// A shared step budget. Cloning shares the counter.
 #[derive(Clone, Debug)]
@@ -98,9 +99,73 @@ impl std::fmt::Display for FuelExhausted {
     }
 }
 
+/// A wall-clock deadline, installed alongside fuel and enforced by the
+/// same [`checkpoint`] calls. The absolute instant is fixed when the
+/// *request* arrives (not per function), so every function compiled for
+/// one request shares one clock.
+///
+/// `budget_ms` is carried only for reporting: the unwound payload (and
+/// the error it becomes) names the configured budget, never the elapsed
+/// time, so the rendered error text is a pure function of the request.
+#[derive(Clone, Copy, Debug)]
+pub struct Deadline {
+    at: Instant,
+    budget_ms: u64,
+}
+
+impl Deadline {
+    /// A deadline `budget_ms` milliseconds from now.
+    pub fn after_ms(budget_ms: u64) -> Deadline {
+        Deadline {
+            at: Instant::now() + Duration::from_millis(budget_ms),
+            budget_ms,
+        }
+    }
+
+    /// The configured budget in milliseconds (for reporting).
+    pub fn budget_ms(&self) -> u64 {
+        self.budget_ms
+    }
+
+    /// Has the wall clock passed the deadline?
+    pub fn expired(&self) -> bool {
+        Instant::now() >= self.at
+    }
+}
+
+/// The typed panic payload of a missed wall-clock deadline. Like
+/// [`FuelExhausted`], catchers recognise it by downcast; unlike fuel it
+/// reports the configured budget (`budget_ms`), not a measured duration,
+/// so the payload renders identically however late the stop fired.
+#[derive(Clone, Debug)]
+pub struct DeadlineExceeded {
+    /// The pass/phase label current when the deadline fired.
+    pub pass: String,
+    /// The configured wall-clock budget in milliseconds.
+    pub budget_ms: u64,
+}
+
+impl std::fmt::Display for DeadlineExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "deadline exceeded in pass '{}' (budget {}ms)",
+            self.pass, self.budget_ms
+        )
+    }
+}
+
+/// How many [`checkpoint`] calls ride between wall-clock reads. The
+/// first checkpoint after [`with_deadline`] installs always checks, so a
+/// deadline already in the past stops the compile at its first unit of
+/// work regardless of stride.
+const DEADLINE_STRIDE: u32 = 64;
+
 thread_local! {
     static ACTIVE: RefCell<Option<Fuel>> = const { RefCell::new(None) };
     static PASS: Cell<&'static str> = const { Cell::new("<start>") };
+    static DEADLINE: Cell<Option<Deadline>> = const { Cell::new(None) };
+    static DEADLINE_SKIP: Cell<u32> = const { Cell::new(0) };
 }
 
 /// Install `fuel` as this thread's budget for the duration of `f`
@@ -118,6 +183,24 @@ pub fn with_fuel<R>(fuel: &Fuel, f: impl FnOnce() -> R) -> R {
     f()
 }
 
+/// Install `deadline` as this thread's wall-clock bound for the duration
+/// of `f` (restored on return *and* on unwind). With `None` this is a
+/// plain call — the common no-deadline path stays free.
+pub fn with_deadline<R>(deadline: Option<Deadline>, f: impl FnOnce() -> R) -> R {
+    let Some(deadline) = deadline else { return f() };
+    struct Restore(Option<Deadline>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            DEADLINE.with(|d| d.set(self.0));
+        }
+    }
+    let prev = DEADLINE.with(|d| d.replace(Some(deadline)));
+    // Force the very first checkpoint to consult the clock.
+    DEADLINE_SKIP.with(|s| s.set(0));
+    let _restore = Restore(prev);
+    f()
+}
+
 /// Record the pass/phase now running on this thread, for attribution of
 /// fuel stops and contained panics. Labels are the `&'static str` names
 /// the instrumentation layer already uses (`"build-ssa"`, `"range-fold"`,
@@ -131,11 +214,15 @@ pub fn current_pass() -> &'static str {
     PASS.with(|p| p.get())
 }
 
-/// Charge `steps` against the thread's budget, if one is installed.
+/// Charge `steps` against the thread's budget, if one is installed, and
+/// (every [`DEADLINE_STRIDE`] calls) compare the wall clock against the
+/// thread's installed [`Deadline`], if any.
 ///
 /// # Panics
 /// Unwinds with a [`FuelExhausted`] payload when the charge crosses the
-/// installed limit. Never panics without an installed (limited) budget.
+/// installed limit, or with a [`DeadlineExceeded`] payload when the
+/// installed deadline has passed. Never panics without an installed
+/// bound.
 pub fn checkpoint(steps: u64) {
     let over = ACTIVE.with(|a| match a.borrow().as_ref() {
         Some(fuel) => fuel.charge(steps).err(),
@@ -146,6 +233,24 @@ pub fn checkpoint(steps: u64) {
             pass: current_pass().to_string(),
             spent,
         });
+    }
+    if let Some(deadline) = DEADLINE.with(|d| d.get()) {
+        let due = DEADLINE_SKIP.with(|s| {
+            let left = s.get();
+            if left == 0 {
+                s.set(DEADLINE_STRIDE);
+                true
+            } else {
+                s.set(left - 1);
+                false
+            }
+        });
+        if due && deadline.expired() {
+            std::panic::panic_any(DeadlineExceeded {
+                pass: current_pass().to_string(),
+                budget_ms: deadline.budget_ms(),
+            });
+        }
     }
 }
 
@@ -190,6 +295,38 @@ mod tests {
             }
         });
         assert_eq!(fuel.spent(), 3000);
+    }
+
+    #[test]
+    fn expired_deadline_stops_the_first_checkpoint() {
+        set_pass("deadline-test");
+        let dead = Deadline::after_ms(0);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            with_deadline(Some(dead), || checkpoint(1))
+        }));
+        let payload = r.expect_err("a 0ms deadline must stop the first checkpoint");
+        let de = payload
+            .downcast_ref::<DeadlineExceeded>()
+            .expect("payload is DeadlineExceeded");
+        assert_eq!(de.pass, "deadline-test");
+        assert_eq!(de.budget_ms, 0);
+        assert!(de.to_string().contains("budget 0ms"));
+        // The deadline was uninstalled during the unwind.
+        checkpoint(1_000);
+    }
+
+    #[test]
+    fn generous_deadline_never_fires() {
+        with_deadline(Some(Deadline::after_ms(3_600_000)), || {
+            for _ in 0..1000 {
+                checkpoint(1);
+            }
+        });
+    }
+
+    #[test]
+    fn no_deadline_is_a_plain_call() {
+        assert_eq!(with_deadline(None, || 7), 7);
     }
 
     #[test]

@@ -63,7 +63,7 @@ pub mod unionfind;
 pub use bitmatrix::TriangularBitMatrix;
 pub use bitset::BitSet;
 pub use domtree::{DomTree, DominanceFrontiers};
-pub use fuel::{Fuel, FuelExhausted};
+pub use fuel::{Deadline, DeadlineExceeded, Fuel, FuelExhausted};
 pub use liveness::Liveness;
 pub use loops::LoopNesting;
 pub use manager::{AnalysisCounters, AnalysisManager, HitMiss, PreservedAnalyses};

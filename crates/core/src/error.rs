@@ -13,12 +13,20 @@
 //!   downcasting the caught panic payload to
 //!   [`fcc_analysis::FuelExhausted`], so a hang and a crash share one
 //!   containment path but never one diagnosis.
+//! * [`CompileError::DeadlineExceeded`] — the request's wall-clock
+//!   deadline passed while this function was compiling. Recognised by
+//!   downcasting to [`fcc_analysis::DeadlineExceeded`] (installed by
+//!   `fcc_analysis::fuel::with_deadline`, checked at the same
+//!   checkpoints as fuel). Unlike fuel this is *not* a deterministic
+//!   property of the function — the same input may or may not miss a
+//!   deadline depending on machine load — so callers must never cache a
+//!   deadline-failed result.
 //! * [`CompileError::Rejected`] — the compile returned an error of its
 //!   own accord: a verifier/lint violation (possibly attributed to a
 //!   pass by `PassManager::run_verified`), a failed destruction audit,
 //!   or an unsupported configuration.
 
-use fcc_analysis::FuelExhausted;
+use fcc_analysis::{DeadlineExceeded, FuelExhausted};
 
 /// Why one function failed to compile. See the module docs for the
 /// taxonomy.
@@ -28,6 +36,10 @@ pub enum CompileError {
     Panic { pass: String, payload: String },
     /// The fuel budget ran out; `spent` is the step count at the stop.
     FuelExhausted { pass: String, spent: u64 },
+    /// The request's wall-clock deadline passed mid-compile;
+    /// `budget_ms` is the configured budget (never a measurement, so
+    /// the rendered error is deterministic for a given request).
+    DeadlineExceeded { pass: String, budget_ms: u64 },
     /// The compile pipeline itself reported an error (verifier, lint,
     /// audit, or configuration).
     Rejected { detail: String },
@@ -39,6 +51,15 @@ impl CompileError {
     /// anything else becomes [`CompileError::Panic`] attributed to
     /// `pass_hint` (the thread's current pass label at catch time).
     pub fn from_panic(payload: Box<dyn std::any::Any + Send>, pass_hint: &str) -> CompileError {
+        let payload = match payload.downcast::<DeadlineExceeded>() {
+            Ok(de) => {
+                return CompileError::DeadlineExceeded {
+                    pass: de.pass.clone(),
+                    budget_ms: de.budget_ms,
+                }
+            }
+            Err(payload) => payload,
+        };
         match payload.downcast::<FuelExhausted>() {
             Ok(fe) => CompileError::FuelExhausted {
                 pass: fe.pass.clone(),
@@ -61,20 +82,29 @@ impl CompileError {
     /// The offending pass, when the error carries one.
     pub fn pass(&self) -> Option<&str> {
         match self {
-            CompileError::Panic { pass, .. } | CompileError::FuelExhausted { pass, .. } => {
-                Some(pass)
-            }
+            CompileError::Panic { pass, .. }
+            | CompileError::FuelExhausted { pass, .. }
+            | CompileError::DeadlineExceeded { pass, .. } => Some(pass),
             CompileError::Rejected { .. } => None,
         }
     }
 
-    /// Short machine-readable class name (`panic` / `fuel` / `rejected`).
+    /// Short machine-readable class name
+    /// (`panic` / `fuel` / `deadline` / `rejected`).
     pub fn kind(&self) -> &'static str {
         match self {
             CompileError::Panic { .. } => "panic",
             CompileError::FuelExhausted { .. } => "fuel",
+            CompileError::DeadlineExceeded { .. } => "deadline",
             CompileError::Rejected { .. } => "rejected",
         }
+    }
+
+    /// Is this a missed wall-clock deadline? Deadline failures are the
+    /// one error class that is *not* a deterministic function of the
+    /// input, so caches must skip results carrying one.
+    pub fn is_deadline(&self) -> bool {
+        matches!(self, CompileError::DeadlineExceeded { .. })
     }
 }
 
@@ -86,6 +116,12 @@ impl std::fmt::Display for CompileError {
             }
             CompileError::FuelExhausted { pass, spent } => {
                 write!(f, "fuel exhausted in pass '{pass}' after {spent} step(s)")
+            }
+            CompileError::DeadlineExceeded { pass, budget_ms } => {
+                write!(
+                    f,
+                    "deadline exceeded in pass '{pass}' (budget {budget_ms}ms)"
+                )
             }
             // Rejections carry pre-formatted pipeline diagnostics (lint
             // reports span lines); pass them through verbatim.
@@ -120,6 +156,32 @@ mod tests {
         assert_eq!(e.kind(), "fuel");
         assert_eq!(e.pass(), Some("range-fold"));
         assert!(e.to_string().contains("'range-fold'"));
+    }
+
+    #[test]
+    fn deadline_payloads_are_recognised_by_type() {
+        let payload = catch_unwind(AssertUnwindSafe(|| {
+            fcc_analysis::fuel::set_pass("coalesce-new");
+            fcc_analysis::fuel::with_deadline(Some(fcc_analysis::Deadline::after_ms(0)), || {
+                fcc_analysis::fuel::checkpoint(1)
+            })
+        }))
+        .expect_err("an expired deadline must unwind");
+        let e = CompileError::from_panic(payload, "whatever");
+        match &e {
+            CompileError::DeadlineExceeded { pass, budget_ms } => {
+                assert_eq!(pass, "coalesce-new");
+                assert_eq!(*budget_ms, 0);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert_eq!(e.kind(), "deadline");
+        assert!(e.is_deadline());
+        assert_eq!(e.pass(), Some("coalesce-new"));
+        assert_eq!(
+            e.to_string(),
+            "deadline exceeded in pass 'coalesce-new' (budget 0ms)"
+        );
     }
 
     #[test]

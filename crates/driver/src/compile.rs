@@ -112,60 +112,6 @@ impl FromStr for PipelineSpec {
     }
 }
 
-/// Everything [`compile_function`] needs to know, mirroring the CLI
-/// flags.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `CompileRequest`, which also carries fail mode, fuel, jobs, and report format"
-)]
-#[derive(Clone, Debug)]
-pub struct CompileConfig {
-    /// Which destruction pipeline to run.
-    pub pipeline: PipelineSpec,
-    /// Fold copies while building SSA.
-    pub fold: bool,
-    /// Run the optimiser pipeline on the SSA (briggs pipelines get the
-    /// copy-preserving variant).
-    pub opt: bool,
-    /// Lint between phases and audit the destruction trace.
-    pub verify_each: bool,
-    /// Simplify the CFG after destruction.
-    pub simplify: bool,
-    /// Colour with this many registers after destruction.
-    pub alloc: Option<usize>,
-}
-
-#[allow(deprecated)]
-impl Default for CompileConfig {
-    fn default() -> Self {
-        CompileConfig {
-            pipeline: PipelineSpec::New,
-            fold: true,
-            opt: false,
-            verify_each: false,
-            simplify: false,
-            alloc: None,
-        }
-    }
-}
-
-#[allow(deprecated)]
-impl CompileConfig {
-    /// Lift the legacy config into a [`CompileRequest`] (abort on
-    /// failure, no fuel limit, automatic job width, text reports).
-    pub fn to_request(&self) -> CompileRequest {
-        CompileRequest {
-            pipeline: self.pipeline,
-            fold: self.fold,
-            opt: self.opt,
-            verify_each: self.verify_each,
-            simplify: self.simplify,
-            alloc: self.alloc,
-            ..CompileRequest::default()
-        }
-    }
-}
-
 /// What the k-register path did to one function: the SSA-level spiller's
 /// work plus the allocator's residual spills, as the bench tables and the
 /// CLI `--stats` lines report them.
@@ -545,28 +491,6 @@ pub fn merge_summaries<'a>(
     merged
 }
 
-/// Compile every function of `module` on `jobs` worker threads
-/// (`0` = available parallelism) and merge outcomes in module order.
-///
-/// # Errors
-/// The first failing function (in module order, regardless of which
-/// worker hit it first) aborts the batch with its name prefixed.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `compile_module(module, &CompileRequest)`; abort-on-first-error is `fail_mode: FailMode::Abort` plus `BatchOutcome::into_module_outcome`"
-)]
-#[allow(deprecated)]
-pub fn compile_module(
-    module: Module,
-    jobs: usize,
-    cfg: &CompileConfig,
-) -> Result<ModuleOutcome, String> {
-    let req = cfg.to_request().jobs(jobs);
-    crate::request::compile_module(module, &req)
-        .map_err(|e| e.to_string())?
-        .into_module_outcome()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -616,18 +540,6 @@ mod tests {
                 assert!(!o.func.has_phis(), "{spec}: phis left");
             }
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_still_rejects_briggs_with_folding() {
-        let cfg = CompileConfig {
-            pipeline: PipelineSpec::Briggs,
-            fold: true,
-            ..Default::default()
-        };
-        let err = compile_module(module_of(1), 1, &cfg).unwrap_err();
-        assert!(err.contains("--no-fold"), "unexpected error: {err}");
     }
 
     #[test]

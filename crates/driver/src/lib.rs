@@ -56,20 +56,18 @@ pub use fuzz::{
 };
 pub use pool::{par_map, resolve_jobs, BatchTiming};
 pub use recover::{
-    compile_function_guarded, run_ladder, BatchOutcome, FailMode, FnStatus, FunctionReport,
+    compile_function_guarded, run_ladder, Attempt, BatchOutcome, FailMode, FnStatus, FunctionReport,
 };
 pub use report::{
     certify_kernels, certify_or_die, certify_pipeline, merge_phases, render_phases, run_pipeline,
     us, PhaseRecord, PhaseStats, PhaseTimer, Pipeline, PipelineReport, Table,
 };
 pub use request::{
-    compile_function_report, compile_module, CompileRequest, ReportFormat, RequestError,
+    compile_function_report, compile_module, request_deadline, CompileRequest, ReportFormat,
+    RequestError,
 };
 
-// Legacy surface, kept for one release: the config/policy pair and the
-// three batch entry points it parameterised all delegate to
-// `CompileRequest` now.
-#[allow(deprecated)]
-pub use compile::CompileConfig;
-#[allow(deprecated)]
-pub use recover::{compile_module_guarded, compile_with_ladder, FaultPolicy};
+// Deadline plumbing, re-exported so transport layers (fcc-serve) can
+// install a request's wall-clock bound around per-function compiles
+// without depending on fcc-analysis directly.
+pub use fcc_analysis::{fuel::with_deadline, Deadline};

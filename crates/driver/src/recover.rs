@@ -40,12 +40,9 @@ use fcc_core::CompileError;
 use fcc_ir::{Function, Module};
 
 use crate::compile::{compile_function, FunctionOutcome, ModuleOutcome, PipelineSpec};
-use crate::pool::{par_map, BatchTiming};
+use crate::pool::BatchTiming;
 use crate::report::Table;
 use crate::request::{CompileRequest, RequestError};
-
-#[allow(deprecated)]
-use crate::compile::CompileConfig;
 
 /// What the batch does with a function whose compile fails.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
@@ -63,15 +60,6 @@ pub enum FailMode {
 }
 
 impl FailMode {
-    /// Parse the CLI spelling.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use the `FromStr` impl: `s.parse::<FailMode>()`"
-    )]
-    pub fn parse(s: &str) -> Option<Self> {
-        s.parse().ok()
-    }
-
     /// The canonical spelling, shared by the CLI, the serve protocol,
     /// and the cache key (also what [`Display`](std::fmt::Display)
     /// prints).
@@ -99,20 +87,6 @@ impl std::str::FromStr for FailMode {
             .find(|m| m.label() == s)
             .ok_or_else(|| RequestError::UnknownFailMode(s.to_string()))
     }
-}
-
-/// The batch's failure-handling policy: what to do on failure and how
-/// many fuel steps each compile attempt may spend.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `CompileRequest`, whose `fail_mode` and `fuel` fields replace this struct"
-)]
-#[derive(Clone, Copy, Debug, Default)]
-pub struct FaultPolicy {
-    /// Failure disposition.
-    pub mode: FailMode,
-    /// Per-attempt step budget; `None` = unlimited (counting only).
-    pub fuel: Option<u64>,
 }
 
 thread_local! {
@@ -231,6 +205,17 @@ pub struct FunctionReport {
     pub outcome: Option<FunctionOutcome>,
 }
 
+impl FunctionReport {
+    /// Did any attempt die to the request's wall-clock deadline? Such a
+    /// report is a statement about machine load, not about the function
+    /// — caches must never store it, and the serve daemon turns it into
+    /// a request-level `deadline-exceeded` error rather than a
+    /// per-function quarantine.
+    pub fn hit_deadline(&self) -> bool {
+        self.attempts.iter().any(|a| a.error.is_deadline())
+    }
+}
+
 fn same_rung(a: &CompileRequest, b: &CompileRequest) -> bool {
     a.pipeline == b.pipeline
         && a.fold == b.fold
@@ -299,10 +284,19 @@ pub fn run_ladder(func: &Function, req: &CompileRequest) -> FunctionReport {
                     outcome: Some(outcome),
                 };
             }
-            Err(error) => attempts.push(Attempt {
-                rung: label.clone(),
-                error,
-            }),
+            Err(error) => {
+                // A missed deadline ends the ladder: the clock that
+                // killed this rung has already expired, so lower rungs
+                // can only burn more wall time past the budget.
+                let stop = error.is_deadline();
+                attempts.push(Attempt {
+                    rung: label.clone(),
+                    error,
+                });
+                if stop {
+                    break;
+                }
+            }
         }
     }
     FunctionReport {
@@ -312,21 +306,6 @@ pub fn run_ladder(func: &Function, req: &CompileRequest) -> FunctionReport {
         fuel_spent,
         outcome: None,
     }
-}
-
-/// Compile `func` down the ladder under a legacy config + policy pair.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `compile_function_report(func, &CompileRequest)`; the fail mode and fuel are request fields now"
-)]
-#[allow(deprecated)]
-pub fn compile_with_ladder(
-    func: &Function,
-    cfg: &CompileConfig,
-    policy: &FaultPolicy,
-) -> FunctionReport {
-    let req = cfg.to_request().fail_mode(policy.mode).fuel(policy.fuel);
-    run_ladder(func, &req)
 }
 
 /// One fault-tolerant batch: a report per function, in module order.
@@ -518,32 +497,6 @@ impl BatchOutcome {
     }
 }
 
-/// Compile every function of `module` under a legacy config + policy
-/// pair. Never fails — failure is data in the returned [`BatchOutcome`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use `compile_module(module, &CompileRequest)`; fail mode, fuel, and jobs are request fields now"
-)]
-#[allow(deprecated)]
-pub fn compile_module_guarded(
-    module: Module,
-    jobs: usize,
-    cfg: &CompileConfig,
-    policy: &FaultPolicy,
-) -> BatchOutcome {
-    let req = cfg
-        .to_request()
-        .fail_mode(policy.mode)
-        .fuel(policy.fuel)
-        .jobs(jobs);
-    // A legacy config cannot express an invalid request beyond the
-    // briggs/fold precondition, which run_ladder re-reports per
-    // function, so validation cannot fire here.
-    let funcs = module.into_functions();
-    let (functions, timing) = par_map(funcs.len(), jobs, |i| run_ladder(&funcs[i], &req));
-    BatchOutcome { functions, timing }
-}
-
 fn first_line(s: &str) -> &str {
     s.lines().next().unwrap_or(s)
 }
@@ -616,6 +569,25 @@ mod tests {
         });
         assert!(matches!(r, Err(CompileError::FuelExhausted { .. })));
         assert!(spent > 3, "the spent counter survives the unwind");
+    }
+
+    #[test]
+    fn a_missed_deadline_ends_the_ladder_without_retries() {
+        let module = fcc_frontend::compile_module("fn a(x) { return x + 1; }").unwrap();
+        let func = &module.into_functions()[0];
+        let req = CompileRequest::new()
+            .fail_mode(FailMode::Degrade)
+            .deadline_ms(Some(0));
+        let deadline = crate::request::request_deadline(&req);
+        let report = fuel::with_deadline(deadline, || run_ladder(func, &req));
+        assert_eq!(report.status, FnStatus::Failed);
+        assert_eq!(
+            report.attempts.len(),
+            1,
+            "degrade must not retry past an expired clock"
+        );
+        assert!(report.hit_deadline());
+        assert_eq!(report.attempts[0].error.kind(), "deadline");
     }
 
     #[test]

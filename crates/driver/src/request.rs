@@ -1,14 +1,15 @@
 //! `CompileRequest` — the one description of a compilation.
 //!
 //! Before this module, "how to compile" was scattered across four
-//! surfaces that could drift apart: [`CompileConfig`] (the per-function
-//! pipeline knobs), [`FaultPolicy`] (failure disposition + fuel), the
+//! surfaces that could drift apart: `CompileConfig` (the per-function
+//! pipeline knobs), `FaultPolicy` (failure disposition + fuel), the
 //! `--jobs` width passed positionally, and the report `--format` string
-//! parsed ad hoc by the CLI. [`CompileRequest`] collapses them into one
-//! builder-style value that is simultaneously:
+//! parsed ad hoc by the CLI — all four deleted now that every caller
+//! speaks [`CompileRequest`], one builder-style value that is
+//! simultaneously:
 //!
 //! * the **library entry point** — [`compile_module`]`(module, &req)`
-//!   replaces the `compile_module` / `compile_module_guarded` /
+//!   replaces the old `compile_module` / `compile_module_guarded` /
 //!   `compile_with_ladder` trio, with guarded/ladder behaviour selected
 //!   by [`CompileRequest::fail_mode`], not by which function you call;
 //! * the **CLI flag target** — every `fcc build` flag maps to one field;
@@ -192,6 +193,15 @@ pub struct CompileRequest {
     pub fail_mode: FailMode,
     /// Per-attempt fuel budget; `None` = unlimited (counting only).
     pub fuel: Option<u64>,
+    /// Wall-clock deadline for the whole request in milliseconds;
+    /// `None` = no deadline. Enforced at the same checkpoints as fuel
+    /// (every function of the batch shares one absolute deadline fixed
+    /// when the batch starts). Deliberately **outside** the cache
+    /// signature: whether a compile beats the clock depends on machine
+    /// load, not on the input, so a deadline can never select a
+    /// different cached answer — and deadline-failed results are never
+    /// cached at all (see [`FunctionReport::hit_deadline`]).
+    pub deadline_ms: Option<u64>,
     /// Worker threads for batch compilation (`0` = available
     /// parallelism). Never affects output, only wall time.
     pub jobs: usize,
@@ -215,6 +225,7 @@ impl Default for CompileRequest {
             k_registers: None,
             fail_mode: FailMode::Abort,
             fuel: None,
+            deadline_ms: None,
             jobs: 0,
             format: ReportFormat::Text,
             deny_warnings: false,
@@ -283,6 +294,12 @@ impl CompileRequest {
         self
     }
 
+    /// Wall-clock deadline for the whole request, in milliseconds.
+    pub fn deadline_ms(mut self, ms: Option<u64>) -> Self {
+        self.deadline_ms = ms;
+        self
+    }
+
     /// Worker threads (`0` = available parallelism).
     pub fn jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs;
@@ -327,9 +344,12 @@ impl CompileRequest {
 
     /// The canonical cache-key spelling of every field that can change
     /// compiled output. `jobs` and `format` are deliberately absent
-    /// (parallelism and rendering never change bytes); a schema revision
-    /// is prepended by the cache itself so key layout changes invalidate
-    /// cleanly.
+    /// (parallelism and rendering never change bytes), and so is
+    /// `deadline_ms` — a deadline changes *whether* a result is
+    /// produced in time, never *which* result, and results that missed
+    /// the deadline are excluded from caching rather than keyed; a
+    /// schema revision is prepended by the cache itself so key layout
+    /// changes invalidate cleanly.
     pub fn cache_signature(&self) -> String {
         format!(
             "pipeline={} fold={} opt={} verify={} simplify={} alloc={} k={} fail={} fuel={}",
@@ -360,9 +380,20 @@ impl CompileRequest {
 /// request (never on sibling functions or worker scheduling).
 ///
 /// This is the per-function unit behind [`compile_module`]; the serve
-/// daemon also calls it directly for cache misses.
+/// daemon also calls it directly for cache misses. Deadline enforcement
+/// is the *caller's* concern — batch entry points fix one absolute
+/// [`fcc_analysis::Deadline`] per request (see [`request_deadline`]) and
+/// install it around this call on each worker thread.
 pub fn compile_function_report(func: &Function, req: &CompileRequest) -> FunctionReport {
     crate::recover::run_ladder(func, req)
+}
+
+/// Fix the request's wall-clock deadline as an absolute instant, *now*.
+/// Call once when the batch starts and install the result around every
+/// per-function compile with [`fcc_analysis::fuel::with_deadline`], so
+/// all functions of a request race the same clock.
+pub fn request_deadline(req: &CompileRequest) -> Option<fcc_analysis::Deadline> {
+    req.deadline_ms.map(fcc_analysis::Deadline::after_ms)
 }
 
 /// Compile every function of `module` per the request — **the** batch
@@ -372,9 +403,8 @@ pub fn compile_function_report(func: &Function, req: &CompileRequest) -> Functio
 /// which function you call:
 ///
 /// * [`FailMode::Abort`] — the returned [`BatchOutcome`] still records
-///   every function; callers that want the old abort-on-first-error
-///   contract check [`BatchOutcome::first_error`] (the deprecated
-///   `compile_module(module, jobs, cfg)` shim does exactly that);
+///   every function; callers that want abort-on-first-error check
+///   [`BatchOutcome::first_error`];
 /// * [`FailMode::Skip`] — failed functions are quarantined;
 /// * [`FailMode::Degrade`] — failed functions retry down the
 ///   degradation ladder before quarantine.
@@ -384,9 +414,10 @@ pub fn compile_function_report(func: &Function, req: &CompileRequest) -> Functio
 /// total; per-function failure is data in the outcome.
 pub fn compile_module(module: Module, req: &CompileRequest) -> Result<BatchOutcome, RequestError> {
     req.validate()?;
+    let deadline = request_deadline(req);
     let funcs = module.into_functions();
     let (functions, timing) = par_map(funcs.len(), req.jobs, |i| {
-        compile_function_report(&funcs[i], req)
+        fcc_analysis::fuel::with_deadline(deadline, || compile_function_report(&funcs[i], req))
     });
     Ok(BatchOutcome { functions, timing })
 }
@@ -455,6 +486,30 @@ mod tests {
             compile_module(module, &req).unwrap_err().kind(),
             "briggs-needs-no-fold"
         );
+    }
+
+    #[test]
+    fn cache_signature_ignores_the_deadline() {
+        let a = CompileRequest::new();
+        let b = CompileRequest::new().deadline_ms(Some(1));
+        assert_eq!(a.cache_signature(), b.cache_signature());
+    }
+
+    #[test]
+    fn an_expired_deadline_fails_the_batch_with_a_typed_error() {
+        let module =
+            fcc_frontend::compile_module("fn a(x) { return x + 1; } fn b(y) { return y * 2; }")
+                .unwrap();
+        let req = CompileRequest::new().deadline_ms(Some(0));
+        let batch = compile_module(module, &req).unwrap();
+        assert_eq!(batch.counts(), (0, 0, 2));
+        for f in &batch.functions {
+            assert!(f.hit_deadline());
+            assert_eq!(f.attempts.len(), 1);
+        }
+        let (_, err) = batch.first_error().unwrap();
+        assert_eq!(err.kind(), "deadline");
+        assert!(err.to_string().contains("budget 0ms"));
     }
 
     #[test]

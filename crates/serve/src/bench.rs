@@ -117,7 +117,9 @@ pub fn run(cfg: &BenchConfig) -> BenchReport {
     let mut daemon = Daemon::new(ServeOptions {
         defaults,
         cache_budget: cfg.cache_budget,
-    });
+        ..ServeOptions::default()
+    })
+    .expect("memory-only daemon cannot fail to open");
 
     let mut sent: Vec<usize> = Vec::new();
     let mut next_fresh = 0usize;

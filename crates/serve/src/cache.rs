@@ -33,11 +33,31 @@
 //! canonical key in the entry and comparing on probe — a mismatch is a
 //! miss (and the insert replaces the colliding entry), never a wrong
 //! answer.
+//!
+//! With a [`crate::disk::DiskCache`] attached ([`FnCache::attach_disk`],
+//! the `--cache-dir` flag), the disk mirrors memory: every insert writes
+//! through, every eviction removes its entry file, so the one byte
+//! budget bounds disk occupancy too. Startup warms memory from disk
+//! (validating and quarantining as it goes); disk faults degrade
+//! durability, never correctness — a failed write is a skipped write,
+//! a corrupt read is a miss.
+//!
+//! Two result classes are never cached: entries larger than the whole
+//! budget, and reports that missed their wall-clock deadline. A
+//! deadline miss is a property of machine load, not of the input, so
+//! caching it would let one slow moment poison every future resubmit.
 
 use std::collections::HashMap;
+use std::io;
+use std::path::Path;
 
-use fcc_driver::{compile_function_report, par_map, BatchTiming, CompileRequest, FunctionReport};
+use fcc_driver::{
+    compile_function_report, par_map, request_deadline, with_deadline, BatchTiming, CompileRequest,
+    FunctionReport,
+};
 use fcc_ir::Module;
+
+use crate::disk::{DiskCache, DiskStats};
 
 /// Cache-key schema revision: the crate version plus a manual rev for
 /// key-layout changes within a release. Part of every key, so bumping
@@ -101,13 +121,14 @@ struct Entry {
     last_used: u64,
 }
 
-/// The LRU byte-budgeted function cache.
+/// The LRU byte-budgeted function cache, optionally mirrored to disk.
 pub struct FnCache {
     entries: HashMap<u64, Entry>,
     budget: usize,
     held_bytes: usize,
     tick: u64,
     stats: CacheStats,
+    disk: Option<DiskCache>,
 }
 
 impl FnCache {
@@ -119,7 +140,44 @@ impl FnCache {
             held_bytes: 0,
             tick: 0,
             stats: CacheStats::default(),
+            disk: None,
         }
+    }
+
+    /// Attach (and warm from) the persistent store at `dir`. Valid
+    /// entries load into memory in the store's recency order — oldest
+    /// first, so re-inserting reconstructs the LRU ranking — evicting
+    /// (and deleting from disk) whatever exceeds the budget. Corrupt
+    /// entries were already quarantined by the load. From here on every
+    /// insert writes through and every eviction removes its file.
+    pub fn attach_disk(&mut self, dir: &Path) -> io::Result<()> {
+        let mut disk = DiskCache::open(dir)?;
+        let warmed = disk.load_all();
+        self.disk = Some(disk);
+        for (key, report) in &warmed {
+            self.insert_impl(key, report, false);
+        }
+        Ok(())
+    }
+
+    /// Disk-layer counters (all zero when no store is attached).
+    pub fn disk_stats(&self) -> DiskStats {
+        self.disk.as_ref().map(DiskCache::stats).unwrap_or_default()
+    }
+
+    /// Flush the advisory LRU-order index to the attached store, if
+    /// any. Called on graceful shutdown; skipping it (crash) only costs
+    /// warm-order fidelity on the next start, never correctness.
+    pub fn flush_disk_index(&mut self) {
+        let Some(disk) = &mut self.disk else { return };
+        let mut order: Vec<(u64, u64)> = self
+            .entries
+            .iter()
+            .map(|(&hash, e)| (e.last_used, hash))
+            .collect();
+        order.sort_unstable();
+        let hashes: Vec<u64> = order.into_iter().map(|(_, hash)| hash).collect();
+        disk.flush_index(&hashes);
     }
 
     /// The configured byte budget.
@@ -166,8 +224,13 @@ impl FnCache {
 
     /// Insert a compiled report under `key`, evicting LRU entries as
     /// needed to respect the byte budget. An entry larger than the whole
-    /// budget is not cached at all.
+    /// budget is not cached at all. With a store attached the insert
+    /// writes through and evictions remove their entry files.
     pub fn insert(&mut self, key: &str, report: &FunctionReport) {
+        self.insert_impl(key, report, true);
+    }
+
+    fn insert_impl(&mut self, key: &str, report: &FunctionReport, write_through: bool) {
         self.tick += 1;
         let bytes = approx_report_bytes(key, report);
         if bytes > self.budget {
@@ -178,6 +241,8 @@ impl FnCache {
             self.held_bytes -= old.bytes;
             if old.key != key {
                 self.stats.collisions += 1;
+                // The replacement below rewrites the same `{hash}.fnc`
+                // file, so no separate disk removal is needed.
             }
         }
         while self.held_bytes + bytes > self.budget {
@@ -190,9 +255,36 @@ impl FnCache {
             let evicted = self.entries.remove(&lru).expect("lru key just found");
             self.held_bytes -= evicted.bytes;
             self.stats.evictions += 1;
+            if let Some(disk) = &mut self.disk {
+                disk.remove(lru);
+            }
+        }
+        if write_through {
+            if let Some(disk) = &mut self.disk {
+                disk.store(key, report);
+            }
         }
         self.held_bytes += bytes;
         self.stats.insertions += 1;
+        self.entries.insert(
+            hash,
+            Entry {
+                key: key.to_string(),
+                report: report.clone(),
+                bytes,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    /// Test-only: plant an entry at an arbitrary slot, bypassing the
+    /// hash. Lets tests exercise the full-key collision path without
+    /// having to mine a real 64-bit FNV collision.
+    #[cfg(test)]
+    fn plant_at(&mut self, hash: u64, key: &str, report: &FunctionReport) {
+        self.tick += 1;
+        let bytes = approx_report_bytes(key, report);
+        self.held_bytes += bytes;
         self.entries.insert(
             hash,
             Entry {
@@ -244,6 +336,11 @@ pub struct CachedBatch {
 /// miss path depends only on (function, request), and merging is by
 /// module index — so the assembled batch is byte-identical whether the
 /// cache was cold, warm, or partially warm, at any `req.jobs` width.
+///
+/// The request's wall-clock deadline (if any) is fixed once here and
+/// installed on every worker, so all functions in the batch race the
+/// same absolute instant. Reports that missed the deadline are *not*
+/// cached: a timeout reflects machine load, not the input.
 pub fn compile_module_cached(
     module: Module,
     req: &CompileRequest,
@@ -265,13 +362,18 @@ pub fn compile_module_cached(
         slots.push(cached);
     }
 
+    let deadline = request_deadline(req);
     let (compiled, timing) = par_map(miss_idx.len(), req.jobs, |j| {
-        compile_function_report(&funcs[miss_idx[j]], req)
+        with_deadline(deadline, || {
+            compile_function_report(&funcs[miss_idx[j]], req)
+        })
     });
     let (hits, misses) = (funcs.len() - miss_idx.len(), miss_idx.len());
     for (j, report) in compiled.into_iter().enumerate() {
         let i = miss_idx[j];
-        cache.insert(&keys[i], &report);
+        if !report.hit_deadline() {
+            cache.insert(&keys[i], &report);
+        }
         slots[i] = Some(report);
     }
 
@@ -377,6 +479,142 @@ mod tests {
         let warm = compile_module_cached(module(2, 0), &req, &mut cache);
         assert_eq!((warm.hits, warm.misses), (2, 0));
         assert!(warm.functions.iter().all(|f| f.status == FnStatus::Failed));
+    }
+
+    #[test]
+    fn a_zero_budget_cache_caches_nothing_and_never_panics() {
+        let req = CompileRequest::new();
+        let mut cache = FnCache::with_budget(0);
+        let cold = compile_module_cached(module(3, 0), &req, &mut cache);
+        assert_eq!((cold.hits, cold.misses), (0, 3));
+        let still_cold = compile_module_cached(module(3, 0), &req, &mut cache);
+        assert_eq!((still_cold.hits, still_cold.misses), (0, 3));
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.held_bytes(), 0);
+        assert_eq!(cache.stats().insertions, 0);
+        assert_eq!(cache.stats().evictions, 0, "nothing in, nothing to evict");
+    }
+
+    #[test]
+    fn a_single_oversized_entry_is_skipped_without_evicting_anyone() {
+        let req = CompileRequest::new();
+        let func = &module(1, 0).into_functions()[0];
+        let key = cache_key(&func.to_string(), &req);
+        let report = compile_function_report(func, &req);
+        let one = approx_report_bytes(&key, &report);
+        let mut cache = FnCache::with_budget(one - 1);
+        cache.insert(&key, &report);
+        assert_eq!(cache.len(), 0, "an entry bigger than the budget is skipped");
+        assert_eq!(cache.stats().insertions, 0);
+        assert!(cache.get(&key).is_none());
+        // A resident smaller entry must survive the oversized attempt.
+        let small_key = "k";
+        let mut small = report.clone();
+        small.outcome = None; // drops the function text from the estimate
+        cache.insert(small_key, &small);
+        assert_eq!(cache.len(), 1);
+        cache.insert(&key, &report);
+        assert_eq!(cache.stats().evictions, 0, "a skipped insert evicts nobody");
+        assert!(cache.get(small_key).is_some());
+    }
+
+    #[test]
+    fn recency_refresh_governs_eviction_order() {
+        let req = CompileRequest::new();
+        let funcs = module(3, 0).into_functions();
+        let reports: Vec<_> = funcs
+            .iter()
+            .map(|f| compile_function_report(f, &req))
+            .collect();
+        let keys: Vec<_> = funcs
+            .iter()
+            .map(|f| cache_key(&f.to_string(), &req))
+            .collect();
+        let one = approx_report_bytes(&keys[0], &reports[0]);
+        let mut cache = FnCache::with_budget(one * 5 / 2); // room for two
+        cache.insert(&keys[0], &reports[0]);
+        cache.insert(&keys[1], &reports[1]);
+        assert!(cache.get(&keys[0]).is_some(), "refresh key 0's recency");
+        cache.insert(&keys[2], &reports[2]);
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.get(&keys[0]).is_some(), "refreshed entry survived");
+        assert!(cache.get(&keys[1]).is_none(), "LRU entry was the victim");
+        assert!(cache.get(&keys[2]).is_some());
+    }
+
+    #[test]
+    fn a_full_key_collision_is_a_miss_then_a_counted_replacement() {
+        let req = CompileRequest::new();
+        let func = &module(1, 0).into_functions()[0];
+        let key = cache_key(&func.to_string(), &req);
+        let report = compile_function_report(func, &req);
+        let mut cache = FnCache::with_budget(64 << 20);
+        // Plant a different key at exactly the slot `key` hashes to,
+        // simulating a 64-bit FNV collision.
+        cache.plant_at(fnv64(key.as_bytes()), "an impostor key", &report);
+        assert!(
+            cache.get(&key).is_none(),
+            "full-key compare turns the collision into a miss, not a wrong answer"
+        );
+        cache.insert(&key, &report);
+        let s = cache.stats();
+        assert_eq!(s.collisions, 1, "the replacement is counted");
+        assert_eq!(s.evictions, 0, "replacement is not eviction");
+        assert_eq!(cache.len(), 1, "the impostor is gone");
+        assert!(cache.get(&key).is_some());
+    }
+
+    #[test]
+    fn deadline_misses_are_never_cached() {
+        let req = CompileRequest::new().deadline_ms(Some(0));
+        let mut cache = FnCache::with_budget(64 << 20);
+        let out = compile_module_cached(module(2, 0), &req, &mut cache);
+        assert!(out.functions.iter().all(FunctionReport::hit_deadline));
+        assert_eq!(cache.len(), 0, "timeouts reflect load, not input");
+        assert_eq!(cache.stats().insertions, 0);
+        // The same module under a generous deadline compiles and caches.
+        let req = CompileRequest::new().deadline_ms(Some(60_000));
+        let out = compile_module_cached(module(2, 0), &req, &mut cache);
+        assert_eq!((out.hits, out.misses), (0, 2));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn an_attached_disk_mirrors_memory_across_restarts() {
+        let dir = std::env::temp_dir().join(format!("fcc-cache-mirror-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let req = CompileRequest::new();
+
+        let mut cache = FnCache::with_budget(64 << 20);
+        cache.attach_disk(&dir).unwrap();
+        let cold = compile_module_cached(module(4, 0), &req, &mut cache);
+        assert_eq!((cold.hits, cold.misses), (0, 4));
+        assert_eq!(cache.disk_stats().writes, 4);
+        cache.flush_disk_index();
+
+        // A fresh process: memory is empty, disk warms it.
+        let mut revived = FnCache::with_budget(64 << 20);
+        revived.attach_disk(&dir).unwrap();
+        assert_eq!(revived.disk_stats().warmed, 4);
+        assert_eq!(revived.len(), 4);
+        let warm = compile_module_cached(module(4, 0), &req, &mut revived);
+        assert_eq!((warm.hits, warm.misses), (4, 0));
+        for (a, b) in cold.functions.iter().zip(&warm.functions) {
+            let (ao, bo) = (a.outcome.as_ref().unwrap(), b.outcome.as_ref().unwrap());
+            assert_eq!(ao.func.to_string(), bo.func.to_string());
+            assert_eq!(ao.stat_lines, bo.stat_lines);
+            assert_eq!(ao.maxlive, bo.maxlive);
+        }
+
+        // Eviction in a budget-constrained revival deletes entry files:
+        // the disk can never outgrow the memory budget.
+        let probe = compile_function_report(&module(1, 0).into_functions()[0], &req);
+        let one = approx_report_bytes(&cache_key("k", &req), &probe);
+        let mut tight = FnCache::with_budget(one * 5 / 2);
+        tight.attach_disk(&dir).unwrap();
+        assert!(tight.len() <= 2);
+        assert!(tight.disk_stats().removals >= 2);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

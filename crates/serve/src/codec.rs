@@ -1,0 +1,348 @@
+//! The on-disk serialization of a cached [`FunctionReport`].
+//!
+//! The workspace has no serde, so persistence reuses the two codecs it
+//! already trusts: the serve crate's JSON reader/writer for structure,
+//! and the IR's own `Display`/`parse` pair for the compiled function
+//! (the formats round-trip by contract — the frontend, the fuzzer, and
+//! the `lang: "ir"` protocol path all rely on it).
+//!
+//! **What is persisted is exactly what a response can observe.** A
+//! serve response renders a cached report's name, status, attempt
+//! history, fuel figure, output text, stat lines, and maxlive — those
+//! round-trip bit-for-bit, which is what makes a warm-from-disk
+//! response byte-identical to the cold compile that produced it. Phase
+//! timings, the optimiser summary, and the per-function wall clock are
+//! *measurements*, not results: no replay-stable response field reads
+//! them, so a decoded report carries them empty rather than lying about
+//! timings that never happened. (The byte estimator sees the decoded
+//! shape, so a warmed entry meters slightly smaller — the budget is an
+//! estimate either way.)
+//!
+//! `u64` counters are encoded as decimal *strings*: the JSON module's
+//! numbers are `f64`, and a fuel figure above 2⁵³ would round — a
+//! silent way to break byte-identity that costs nothing to rule out.
+
+use std::time::Duration;
+
+use fcc_core::CompileError;
+use fcc_driver::{Attempt, FnStatus, FunctionOutcome, FunctionReport, SpillSummary};
+
+use crate::json::{escape, parse, Json};
+
+/// Render `report` as one self-contained JSON document.
+pub fn encode_report(report: &FunctionReport) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str(&format!("{{\"name\":\"{}\"", escape(&report.name)));
+    let (status, tried) = match report.status {
+        FnStatus::Ok => ("ok", 0),
+        FnStatus::Recovered { attempts } => ("recovered", attempts),
+        FnStatus::Failed => ("failed", 0),
+    };
+    out.push_str(&format!(",\"status\":\"{status}\",\"tried\":{tried}"));
+    out.push_str(&format!(",\"fuel_spent\":\"{}\"", report.fuel_spent));
+    out.push_str(",\"attempts\":[");
+    for (i, a) in report.attempts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rung\":\"{}\",\"error\":{}}}",
+            escape(&a.rung),
+            encode_error(&a.error)
+        ));
+    }
+    out.push(']');
+    match &report.outcome {
+        None => out.push_str(",\"outcome\":null"),
+        Some(o) => {
+            out.push_str(&format!(
+                ",\"outcome\":{{\"func\":\"{}\",\"maxlive\":{},\"analysis_peak_bytes\":{}",
+                escape(&o.func.to_string()),
+                o.maxlive,
+                o.analysis_peak_bytes
+            ));
+            out.push_str(",\"stat_lines\":[");
+            for (i, s) in o.stat_lines.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\"", escape(s)));
+            }
+            out.push(']');
+            match &o.spill {
+                None => out.push_str(",\"spill\":null}"),
+                Some(s) => out.push_str(&format!(
+                    ",\"spill\":{{\"k\":{},\"ssa_spills\":{},\"ssa_reloads\":{},\
+                     \"maxlive_before\":{},\"maxlive_after\":{},\"residual_spills\":{},\
+                     \"slots\":{}}}}}",
+                    s.k,
+                    s.ssa_spills,
+                    s.ssa_reloads,
+                    s.maxlive_before,
+                    s.maxlive_after,
+                    s.residual_spills,
+                    s.slots
+                )),
+            }
+        }
+    }
+    out.push('}');
+    out
+}
+
+fn encode_error(e: &CompileError) -> String {
+    match e {
+        CompileError::Panic { pass, payload } => format!(
+            "{{\"kind\":\"panic\",\"pass\":\"{}\",\"payload\":\"{}\"}}",
+            escape(pass),
+            escape(payload)
+        ),
+        CompileError::FuelExhausted { pass, spent } => format!(
+            "{{\"kind\":\"fuel\",\"pass\":\"{}\",\"spent\":\"{spent}\"}}",
+            escape(pass)
+        ),
+        CompileError::DeadlineExceeded { pass, budget_ms } => format!(
+            "{{\"kind\":\"deadline\",\"pass\":\"{}\",\"budget_ms\":\"{budget_ms}\"}}",
+            escape(pass)
+        ),
+        CompileError::Rejected { detail } => {
+            format!(
+                "{{\"kind\":\"rejected\",\"detail\":\"{}\"}}",
+                escape(detail)
+            )
+        }
+    }
+}
+
+/// Parse a document produced by [`encode_report`]. Every malformation is
+/// an `Err` string (the store turns it into a quarantine) — this
+/// function must never panic on attacker-shaped bytes.
+pub fn decode_report(text: &str) -> Result<FunctionReport, String> {
+    let doc = parse(text).map_err(|e| format!("payload is not JSON: {e}"))?;
+    let name = need_str(&doc, "name")?.to_string();
+    let tried = need_u64_field(&doc, "tried")? as usize;
+    let status = match need_str(&doc, "status")? {
+        "ok" => FnStatus::Ok,
+        "recovered" => FnStatus::Recovered { attempts: tried },
+        "failed" => FnStatus::Failed,
+        other => return Err(format!("unknown status {other:?}")),
+    };
+    let fuel_spent = need_u64_str(&doc, "fuel_spent")?;
+    let Some(Json::Arr(raw_attempts)) = doc.get("attempts") else {
+        return Err("missing or non-array \"attempts\"".to_string());
+    };
+    let mut attempts = Vec::with_capacity(raw_attempts.len());
+    for a in raw_attempts {
+        let rung = need_str(a, "rung")?.to_string();
+        let error = decode_error(a.get("error").ok_or("attempt missing \"error\"")?)?;
+        attempts.push(Attempt { rung, error });
+    }
+    let outcome = match doc.get("outcome") {
+        Some(Json::Null) => None,
+        Some(o @ Json::Obj(_)) => Some(decode_outcome(o)?),
+        _ => return Err("missing or malformed \"outcome\"".to_string()),
+    };
+    Ok(FunctionReport {
+        name,
+        status,
+        attempts,
+        fuel_spent,
+        outcome,
+    })
+}
+
+fn decode_outcome(o: &Json) -> Result<FunctionOutcome, String> {
+    let func_text = need_str(o, "func")?;
+    let func = fcc_ir::parse::parse_function(func_text)
+        .map_err(|e| format!("stored function text does not parse: {e}"))?;
+    let maxlive = need_u64_field(o, "maxlive")? as u32;
+    let analysis_peak_bytes = need_u64_field(o, "analysis_peak_bytes")? as usize;
+    let Some(Json::Arr(raw_lines)) = o.get("stat_lines") else {
+        return Err("missing or non-array \"stat_lines\"".to_string());
+    };
+    let mut stat_lines = Vec::with_capacity(raw_lines.len());
+    for l in raw_lines {
+        match l {
+            Json::Str(s) => stat_lines.push(s.clone()),
+            other => return Err(format!("stat line is not a string: {other}")),
+        }
+    }
+    let spill = match o.get("spill") {
+        Some(Json::Null) => None,
+        Some(s @ Json::Obj(_)) => Some(SpillSummary {
+            k: need_u64_field(s, "k")? as u32,
+            ssa_spills: need_u64_field(s, "ssa_spills")? as usize,
+            ssa_reloads: need_u64_field(s, "ssa_reloads")? as usize,
+            maxlive_before: need_u64_field(s, "maxlive_before")? as u32,
+            maxlive_after: need_u64_field(s, "maxlive_after")? as u32,
+            residual_spills: need_u64_field(s, "residual_spills")? as usize,
+            slots: need_u64_field(s, "slots")? as u32,
+        }),
+        _ => return Err("missing or malformed \"spill\"".to_string()),
+    };
+    Ok(FunctionOutcome {
+        func,
+        phases: Vec::new(),
+        opt_summary: None,
+        stat_lines,
+        analysis_peak_bytes,
+        compile_time: Duration::ZERO,
+        maxlive,
+        spill,
+    })
+}
+
+fn decode_error(e: &Json) -> Result<CompileError, String> {
+    match need_str(e, "kind")? {
+        "panic" => Ok(CompileError::Panic {
+            pass: need_str(e, "pass")?.to_string(),
+            payload: need_str(e, "payload")?.to_string(),
+        }),
+        "fuel" => Ok(CompileError::FuelExhausted {
+            pass: need_str(e, "pass")?.to_string(),
+            spent: need_u64_str(e, "spent")?,
+        }),
+        "deadline" => Ok(CompileError::DeadlineExceeded {
+            pass: need_str(e, "pass")?.to_string(),
+            budget_ms: need_u64_str(e, "budget_ms")?,
+        }),
+        "rejected" => Ok(CompileError::Rejected {
+            detail: need_str(e, "detail")?.to_string(),
+        }),
+        other => Err(format!("unknown error kind {other:?}")),
+    }
+}
+
+fn need_str<'j>(doc: &'j Json, key: &str) -> Result<&'j str, String> {
+    doc.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("missing or non-string {key:?}"))
+}
+
+fn need_u64_field(doc: &Json, key: &str) -> Result<u64, String> {
+    doc.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing or non-integer {key:?}"))
+}
+
+fn need_u64_str(doc: &Json, key: &str) -> Result<u64, String> {
+    need_str(doc, key)?
+        .parse()
+        .map_err(|e| format!("field {key:?} is not a u64: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcc_driver::{compile_function_report, CompileRequest, FailMode};
+
+    fn report_of(src: &str, req: &CompileRequest) -> FunctionReport {
+        let module = fcc_frontend::compile_module(src).unwrap();
+        compile_function_report(&module.into_functions()[0], req)
+    }
+
+    /// The response-observable projection of a report: everything a
+    /// serve response can render from it.
+    fn observable(r: &FunctionReport) -> String {
+        let mut s = format!("{} {:?} fuel={}", r.name, r.status, r.fuel_spent);
+        for a in &r.attempts {
+            s.push_str(&format!(
+                " [{}:{}:{:?}:{}]",
+                a.rung,
+                a.error.kind(),
+                a.error.pass(),
+                a.error
+            ));
+        }
+        if let Some(o) = &r.outcome {
+            s.push_str(&format!(
+                "\n{}\nmaxlive={} stats={:?} spill={:?}",
+                o.func, o.maxlive, o.stat_lines, o.spill
+            ));
+        }
+        s
+    }
+
+    #[test]
+    fn ok_reports_round_trip_observably() {
+        let req = CompileRequest::new().opt(true);
+        let r = report_of(
+            "fn f(n) { let s = 0; for i = 0 to n { s = s + i; } return s; }",
+            &req,
+        );
+        let decoded = decode_report(&encode_report(&r)).unwrap();
+        assert_eq!(observable(&r), observable(&decoded));
+        // Encoding is deterministic (the store checksums these bytes).
+        assert_eq!(encode_report(&r), encode_report(&decoded));
+    }
+
+    #[test]
+    fn failed_and_recovered_reports_round_trip() {
+        // fuel=1 fails every rung; degrade records all three attempts.
+        let req = CompileRequest::new()
+            .fail_mode(FailMode::Degrade)
+            .fuel(Some(1));
+        let r = report_of("fn g(x) { return x * 3; }", &req);
+        assert!(!r.attempts.is_empty());
+        let decoded = decode_report(&encode_report(&r)).unwrap();
+        assert_eq!(observable(&r), observable(&decoded));
+    }
+
+    #[test]
+    fn k_register_spill_summaries_survive() {
+        let req = CompileRequest::new().k_registers(Some(4));
+        let r = report_of(
+            "fn h(a, b, c, d, e) { let x = a * b + c; let y = d * e + a; let z = x * y; return z + x + y + b; }",
+            &req,
+        );
+        let decoded = decode_report(&encode_report(&r)).unwrap();
+        assert_eq!(observable(&r), observable(&decoded));
+        assert_eq!(
+            r.outcome.as_ref().unwrap().spill.is_some(),
+            decoded.outcome.as_ref().unwrap().spill.is_some()
+        );
+    }
+
+    #[test]
+    fn every_error_kind_round_trips() {
+        let errors = [
+            CompileError::Panic {
+                pass: "webs".into(),
+                payload: "index \"out\" of bounds\n".into(),
+            },
+            CompileError::FuelExhausted {
+                pass: "range-fold".into(),
+                spent: u64::MAX,
+            },
+            CompileError::DeadlineExceeded {
+                pass: "coalesce-new".into(),
+                budget_ms: 250,
+            },
+            CompileError::Rejected {
+                detail: "lint: multi-line\ndiagnostic".into(),
+            },
+        ];
+        for e in errors {
+            let doc = parse(&encode_error(&e)).unwrap();
+            let back = decode_error(&doc).unwrap();
+            assert_eq!(e.kind(), back.kind());
+            assert_eq!(e.pass(), back.pass());
+            assert_eq!(e.to_string(), back.to_string());
+        }
+    }
+
+    #[test]
+    fn garbage_decodes_to_errors_never_panics() {
+        for bad in [
+            "",
+            "not json",
+            "{}",
+            r#"{"name":"f"}"#,
+            r#"{"name":"f","status":"weird","tried":0,"fuel_spent":"1","attempts":[],"outcome":null}"#,
+            r#"{"name":"f","status":"ok","tried":0,"fuel_spent":"x","attempts":[],"outcome":null}"#,
+            r#"{"name":"f","status":"ok","tried":0,"fuel_spent":"1","attempts":[],"outcome":{"func":"junk","maxlive":0,"analysis_peak_bytes":0,"stat_lines":[],"spill":null}}"#,
+        ] {
+            assert!(decode_report(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+}

@@ -12,22 +12,30 @@
 //!              "source": string, "lang"?: "minilang" | "ir",
 //!              "request"?: { pipeline?, fold?, opt?, verify_each?,
 //!                            simplify?, alloc?, fail_mode?, fuel?,
-//!                            jobs?, format? },
+//!                            deadline_ms?, jobs?, format? },
 //!              "report"?: bool, "cache"?: bool, "timing"?: bool }
 //! response = { "v": 1, "id": <echo>, "ok": true, ... }
 //!          | { "v": 1, "id": <echo>, "ok": false,
-//!              "error": { "code": int, "kind": string, "message": string } }
+//!              "error": { "code": int, "kind": string, "message": string,
+//!                         -- 503 only:
+//!                         "retry_after_ms"?: int } }
 //! ```
 //!
 //! Error codes follow HTTP's split: `400` the line could not be
 //! understood (bad JSON, wrong types, unknown verb/field, unsupported
-//! version), `422` the line was understood but cannot be compiled as
-//! written (source parse errors, and every typed
+//! version, or a line longer than the transport's `--max-line-bytes`
+//! cap — `kind: "line-too-long"`), `422` the line was understood but
+//! cannot be compiled as written (source parse errors, and every typed
 //! [`RequestError`] from [`CompileRequest::validate`] — the
 //! briggs-needs-`--no-fold` precondition arrives here as
 //! `kind: "briggs-needs-no-fold"`), `500` compilation itself failed
-//! under `fail_mode: "abort"`. The daemon answers *every* line — a
-//! protocol error is a response, never a dead process.
+//! under `fail_mode: "abort"`, `503` the daemon's admission queue is
+//! full (`kind: "overloaded"`, with a `retry_after_ms` hint), `504` a
+//! function blew the request's wall-clock `deadline_ms`
+//! (`kind: "deadline-exceeded"`; the message names the configured
+//! budget, never the elapsed time, so the response is replay-stable).
+//! The daemon answers *every* line — a protocol error is a response,
+//! never a dead process.
 //!
 //! **Determinism:** the default compile response carries only
 //! replay-stable fields (function statuses, counts, output text). Wall
@@ -50,12 +58,17 @@ pub const PROTOCOL_VERSION: u64 = 1;
 /// A protocol-level failure: everything the daemon can say "no" with.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ServeError {
-    /// HTTP-style class: 400 unintelligible, 422 invalid, 500 failed.
+    /// HTTP-style class: 400 unintelligible, 422 invalid, 500 failed,
+    /// 503 overloaded, 504 deadline exceeded.
     pub code: u16,
     /// Stable machine-readable discriminant.
     pub kind: String,
     /// Human-readable detail.
     pub message: String,
+    /// `Some` only for 503: how long the client should back off. Part
+    /// of the error struct (not the message) so clients can read it
+    /// without parsing prose.
+    pub retry_after_ms: Option<u64>,
 }
 
 impl ServeError {
@@ -64,6 +77,7 @@ impl ServeError {
             code,
             kind: kind.to_string(),
             message: message.into(),
+            retry_after_ms: None,
         }
     }
 
@@ -110,6 +124,35 @@ impl ServeError {
     /// A function failed and `fail_mode` is `abort`.
     pub fn compile_failed(detail: impl Into<String>) -> Self {
         Self::new(500, "compile-failed", detail)
+    }
+
+    /// The line exceeded the transport's byte cap before a newline.
+    pub fn line_too_long(cap: usize) -> Self {
+        Self::new(
+            400,
+            "line-too-long",
+            format!("request line exceeds the {cap}-byte transport cap"),
+        )
+    }
+
+    /// The admission queue is full; the client should retry later. The
+    /// hint is derived from the queue depth at shed time, so under a
+    /// fixed request sequence it is deterministic.
+    pub fn overloaded(retry_after_ms: u64) -> Self {
+        let mut e = Self::new(
+            503,
+            "overloaded",
+            format!("compile queue is full, retry in {retry_after_ms}ms"),
+        );
+        e.retry_after_ms = Some(retry_after_ms);
+        e
+    }
+
+    /// A function blew the request's wall-clock budget. The message
+    /// carries the *configured* budget — never the elapsed time — so
+    /// identical requests render identical 504s.
+    pub fn deadline_exceeded(detail: impl Into<String>) -> Self {
+        Self::new(504, "deadline-exceeded", detail)
     }
 }
 
@@ -316,6 +359,12 @@ fn apply_overrides(mut req: CompileRequest, obj: &Json) -> Result<CompileRequest
                     v => Some(expect_u64(key, v)?),
                 }
             }
+            "deadline_ms" => {
+                req.deadline_ms = match value {
+                    Json::Null => None,
+                    v => Some(expect_u64(key, v)?),
+                }
+            }
             "jobs" => req.jobs = expect_u64(key, value)? as usize,
             other => {
                 return Err(ServeError::bad_request(format!(
@@ -385,12 +434,16 @@ impl ResponseBuilder {
 
 /// Render the error response for `err`.
 pub fn error_response(id: &Json, err: &ServeError) -> String {
-    let body = format!(
-        "{{\"code\":{},\"kind\":\"{}\",\"message\":\"{}\"}}",
+    let mut body = format!(
+        "{{\"code\":{},\"kind\":\"{}\",\"message\":\"{}\"",
         err.code,
         escape(&err.kind),
         escape(&err.message)
     );
+    if let Some(ms) = err.retry_after_ms {
+        let _ = write!(body, ",\"retry_after_ms\":{ms}");
+    }
+    body.push('}');
     ResponseBuilder::new(id, false).raw("error", &body).finish()
 }
 
@@ -489,6 +542,47 @@ mod tests {
         )
         .unwrap_err();
         assert!(e.message.contains("only valid with verb"));
+    }
+
+    #[test]
+    fn deadline_ms_rides_the_wire_and_is_nullable() {
+        let req = parse_request(
+            r#"{"v":1,"verb":"compile","source":"","request":{"deadline_ms":250}}"#,
+            &CompileRequest::new(),
+        )
+        .unwrap();
+        assert_eq!(req.compile.unwrap().req.deadline_ms, Some(250));
+        // null clears a daemon-level default.
+        let defaults = CompileRequest::new().deadline_ms(Some(5));
+        let req = parse_request(
+            r#"{"v":1,"verb":"compile","source":"","request":{"deadline_ms":null}}"#,
+            &defaults,
+        )
+        .unwrap();
+        assert_eq!(req.compile.unwrap().req.deadline_ms, None);
+    }
+
+    #[test]
+    fn overload_and_deadline_errors_carry_their_contracts() {
+        let e = ServeError::overloaded(300);
+        assert_eq!((e.code, e.kind.as_str()), (503, "overloaded"));
+        let line = error_response(&Json::Null, &e);
+        let doc = json::parse(&line).unwrap();
+        let err = doc.get("error").unwrap();
+        assert_eq!(err.get("retry_after_ms").unwrap().as_u64(), Some(300));
+
+        let e = ServeError::deadline_exceeded("budget 10ms");
+        assert_eq!((e.code, e.kind.as_str()), (504, "deadline-exceeded"));
+        assert!(e.retry_after_ms.is_none());
+        let line = error_response(&Json::Null, &e);
+        assert!(
+            !line.contains("retry_after_ms"),
+            "retry hint is 503-only: {line}"
+        );
+
+        let e = ServeError::line_too_long(1024);
+        assert_eq!((e.code, e.kind.as_str()), (400, "line-too-long"));
+        assert!(e.message.contains("1024"));
     }
 
     #[test]

@@ -1,0 +1,231 @@
+//! The Unix-domain-socket transport: `fcc serve --socket PATH`.
+//!
+//! One listener, one connection thread per client, one shared
+//! [`Daemon`] behind a mutex. The division of labour keeps the hot
+//! invariant — *the response stream is a pure function of the request
+//! stream* — intact under concurrency:
+//!
+//! * **Parsing and admission happen off-lock.** Each connection thread
+//!   parses its own lines (against the daemon's immutable defaults) and
+//!   asks the shared [`Gate`] for an admission ticket before touching
+//!   the daemon, so a full queue sheds with `503 overloaded` without
+//!   ever blocking on a compile in progress.
+//! * **Compiles happen on-lock.** Admitted requests take the daemon
+//!   mutex and run exactly the same [`Daemon::handle_request`] path the
+//!   stdio transport uses — which is why a request sequence sent over
+//!   the socket yields byte-identical responses to the same sequence
+//!   over stdin (`tests/serve_durable.rs` pins this).
+//!
+//! Shutdown is graceful: a `shutdown` verb (on any connection) is
+//! answered, the stop flag is raised, and a self-connection unblocks
+//! `accept`. The thread scope then joins every live connection —
+//! in-flight requests finish and their responses flush — before the
+//! advisory cache index is written and the socket file removed. A
+//! crash skips all of that, and the store is designed to not care.
+
+use std::io::{self, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+use fcc_driver::CompileRequest;
+
+use crate::daemon::{json_id_of, read_capped_line, Daemon, Gate, ReadLine, ServeOptions};
+use crate::json::Json;
+use crate::protocol::{error_response, parse_request, ServeError, Verb};
+
+/// Serve connections on the Unix socket at `path` until a `shutdown`
+/// verb arrives on any connection. A stale socket file from a previous
+/// run is removed before binding; the live one is removed on exit.
+pub fn serve_socket(path: &Path, opts: ServeOptions) -> io::Result<()> {
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    let daemon = Mutex::new(Daemon::new(opts)?);
+    let (defaults, gate, cap) = {
+        let d = daemon.lock().expect("fresh daemon mutex");
+        (d.defaults().clone(), d.gate(), d.max_line_bytes())
+    };
+    let stop = AtomicBool::new(false);
+
+    thread::scope(|scope| {
+        for conn in listener.incoming() {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            let (daemon, defaults, gate, stop) = (&daemon, &defaults, &gate, &stop);
+            scope.spawn(move || {
+                let _ = handle_conn(stream, daemon, defaults, gate, stop, path, cap);
+            });
+        }
+        // Scope exit joins every connection thread: in-flight requests
+        // finish and flush before we continue below.
+    });
+
+    daemon
+        .into_inner()
+        .unwrap_or_else(|e| e.into_inner())
+        .finish();
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}
+
+/// Service one client connection until it disconnects, the daemon stops,
+/// or this client asks for shutdown.
+fn handle_conn(
+    stream: UnixStream,
+    daemon: &Mutex<Daemon>,
+    defaults: &CompileRequest,
+    gate: &Arc<Gate>,
+    stop: &AtomicBool,
+    sock_path: &Path,
+    cap: usize,
+) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let line = match read_capped_line(&mut reader, cap)? {
+            ReadLine::Eof => return Ok(()),
+            ReadLine::TooLong => {
+                gate.count_error();
+                let resp = error_response(&Json::Null, &ServeError::line_too_long(cap));
+                writeln!(writer, "{resp}")?;
+                writer.flush()?;
+                continue;
+            }
+            ReadLine::Line(line) => line,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+
+        // Parse and admit without the daemon lock: a queue-full 503 and
+        // a malformed-line 400 must not wait behind a compile.
+        let request = match parse_request(&line, defaults) {
+            Ok(r) => r,
+            Err(e) => {
+                gate.count_error();
+                let id = json_id_of(&line).unwrap_or(Json::Null);
+                writeln!(writer, "{}", error_response(&id, &e))?;
+                writer.flush()?;
+                continue;
+            }
+        };
+
+        let (response, shutdown) = if request.verb == Verb::Compile {
+            match gate.try_admit() {
+                Err(retry_after_ms) => (
+                    error_response(&request.id, &ServeError::overloaded(retry_after_ms)),
+                    false,
+                ),
+                Ok(_ticket) => {
+                    // Ticket held until the response is written below.
+                    let mut d = daemon.lock().unwrap_or_else(|e| e.into_inner());
+                    d.handle_request(request)
+                }
+            }
+        } else {
+            let mut d = daemon.lock().unwrap_or_else(|e| e.into_inner());
+            d.handle_request(request)
+        };
+        writeln!(writer, "{response}")?;
+        writer.flush()?;
+        if shutdown {
+            stop.store(true, Ordering::SeqCst);
+            // Unblock the accept loop so the listener can exit.
+            let _ = UnixStream::connect(sock_path);
+            return Ok(());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use std::io::BufRead;
+
+    fn sock_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("fcc-sock-{tag}-{}.sock", std::process::id()))
+    }
+
+    fn connect_with_retry(path: &Path) -> UnixStream {
+        for _ in 0..200 {
+            if let Ok(s) = UnixStream::connect(path) {
+                return s;
+            }
+            thread::sleep(std::time::Duration::from_millis(5));
+        }
+        panic!("socket {path:?} never came up");
+    }
+
+    fn send_lines(stream: &mut UnixStream, lines: &[&str]) -> Vec<String> {
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut out = Vec::new();
+        for line in lines {
+            writeln!(stream, "{line}").unwrap();
+            stream.flush().unwrap();
+            let mut resp = String::new();
+            reader.read_line(&mut resp).unwrap();
+            out.push(resp.trim_end().to_string());
+        }
+        out
+    }
+
+    #[test]
+    fn socket_round_trip_with_concurrent_clients_and_shutdown() {
+        let path = sock_path("roundtrip");
+        let opts = ServeOptions::default();
+        let server = {
+            let path = path.clone();
+            thread::spawn(move || serve_socket(&path, opts))
+        };
+
+        let compile = format!(
+            "{{\"v\":1,\"id\":1,\"verb\":\"compile\",\"source\":\"{}\"}}",
+            json::escape("fn f(x) { return x + 1; }")
+        );
+        let mut a = connect_with_retry(&path);
+        let mut b = connect_with_retry(&path);
+        let ra = send_lines(&mut a, &[&compile]);
+        let rb = send_lines(&mut b, &[&compile]);
+        assert_eq!(ra, rb, "two clients, same request, same bytes");
+        let doc = json::parse(&ra[0]).unwrap();
+        assert_eq!(doc.get("ok").unwrap().as_bool(), Some(true));
+
+        let stats = send_lines(&mut a, &[r#"{"v":1,"verb":"stats"}"#]);
+        let doc = json::parse(&stats[0]).unwrap();
+        assert_eq!(doc.get("compiles").unwrap().as_u64(), Some(2));
+        let cache = doc.get("cache").unwrap();
+        assert_eq!(cache.get("hits").unwrap().as_u64(), Some(1));
+
+        let bye = send_lines(&mut a, &[r#"{"v":1,"id":"bye","verb":"shutdown"}"#]);
+        assert!(bye[0].contains("\"id\":\"bye\""));
+        drop(a);
+        drop(b);
+        server.join().unwrap().unwrap();
+        assert!(!path.exists(), "the socket file is removed on exit");
+    }
+
+    #[test]
+    fn stale_socket_files_are_replaced_on_bind() {
+        let path = sock_path("stale");
+        std::fs::write(&path, b"stale").unwrap();
+        let opts = ServeOptions::default();
+        let server = {
+            let path = path.clone();
+            thread::spawn(move || serve_socket(&path, opts))
+        };
+        let mut c = connect_with_retry(&path);
+        let resp = send_lines(&mut c, &[r#"{"v":1,"verb":"ping"}"#]);
+        assert!(resp[0].contains("\"ok\":true"));
+        send_lines(&mut c, &[r#"{"v":1,"verb":"shutdown"}"#]);
+        drop(c);
+        server.join().unwrap().unwrap();
+    }
+}

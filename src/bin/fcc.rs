@@ -137,10 +137,11 @@
 //! ```
 //!
 //! A serve subcommand: the long-running compile service. One JSONL
-//! request per stdin line, one response per stdout line, with a
-//! content-addressed function cache between requests so resubmitting a
-//! module recompiles only the functions that changed (DESIGN.md §11 has
-//! the protocol reference):
+//! request per stdin line, one response per stdout line (or per
+//! connection line with `--socket`), with a content-addressed function
+//! cache between requests so resubmitting a module recompiles only the
+//! functions that changed (DESIGN.md §11 has the protocol reference,
+//! §15 the durability design):
 //!
 //! ```text
 //! Usage: fcc serve [options]
@@ -149,7 +150,24 @@
 //!   --alloc / --fail-mode / --fuel / --jobs / --format
 //!                   daemon-default compile request; each request line's
 //!                   "request" object overrides field-by-field
+//!   --deadline-ms N  default per-request wall-clock budget; overruns
+//!                    answer 504 deadline-exceeded (overridable per
+//!                    request, nullable with "deadline_ms": null)
 //!   --cache-budget BYTES   function-cache byte budget (default 256 MiB)
+//!   --cache-dir DIR  crash-safe persistent cache: entries survive
+//!                    restarts, corrupt files are quarantined to
+//!                    DIR/quarantine and re-compiled, the memory budget
+//!                    bounds disk occupancy
+//!   --socket PATH    listen on a Unix domain socket instead of stdio;
+//!                    concurrent connections share one daemon and one
+//!                    cache, responses stay byte-identical to stdio
+//!   --max-queue N    compile requests admitted concurrently before
+//!                    shedding with 503 overloaded (default 64; 0 sheds
+//!                    every compile)
+//!   --max-line-bytes N   request-line cap; longer lines answer
+//!                    400 line-too-long (default 16 MiB)
+//!   --inject-disk-fault torn-write|short-write|enospc|bit-flip
+//!                    arm the disk-fault shim (the CI durability matrix)
 //! ```
 //!
 //! And a bench-serve subcommand: the serve load generator. Replays a
@@ -231,7 +249,9 @@ fn usage() -> &'static str {
      [--no-fold] [--opt] [--jobs N] [--deny-warnings]\n       \
      fcc fuzz [--seeds N] [--start N] [--jobs N] [--no-opt] [--shrink-budget N] [--fuel N] \
      [--repro-dir DIR] [--inject-phi-bug] [--inject-solver-spin]\n       \
-     fcc serve [build options as daemon defaults] [--cache-budget BYTES]\n       \
+     fcc serve [build options as daemon defaults] [--deadline-ms N] [--cache-budget BYTES] \
+     [--cache-dir DIR] [--socket PATH] [--max-queue N] [--max-line-bytes N] \
+     [--inject-disk-fault torn-write|short-write|enospc|bit-flip]\n       \
      fcc bench-serve [--modules N] [--requests N] [--resubmit R] [--max-fns N] [--seed S] \
      [--jobs N] [--cache-budget BYTES] [--out FILE]"
 }
@@ -979,12 +999,16 @@ fn fuzz_main(args: Vec<String>) -> Result<bool, String> {
     Ok(out.failures.is_empty())
 }
 
-/// `fcc serve`: run the compile service over stdin/stdout until EOF or a
-/// `shutdown` request. The build flags set the daemon-default
-/// [`CompileRequest`]; request lines override field-by-field.
+/// `fcc serve`: run the compile service over stdin/stdout (default) or a
+/// Unix socket (`--socket PATH`) until EOF or a `shutdown` request. The
+/// build flags set the daemon-default [`CompileRequest`]; request lines
+/// override field-by-field. `--cache-dir` makes the function cache
+/// survive restarts; `--inject-disk-fault` arms the disk-fault shim for
+/// the durability test matrix.
 fn serve_main(args: Vec<String>) -> Result<bool, String> {
     let mut req = CompileRequest::new();
-    let mut cache_budget: usize = 256 << 20;
+    let mut opts = fcc::serve::ServeOptions::default();
+    let mut socket: Option<std::path::PathBuf> = None;
     let mut args = args.into_iter();
     let need = |args: &mut dyn Iterator<Item = String>, flag: &str| {
         args.next().ok_or_else(|| format!("{flag} needs a value"))
@@ -1036,10 +1060,36 @@ fn serve_main(args: Vec<String>) -> Result<bool, String> {
                     .parse()
                     .map_err(|e: RequestError| e.to_string())?
             }
+            "--deadline-ms" => {
+                req.deadline_ms = Some(
+                    need(&mut args, "--deadline-ms")?
+                        .parse()
+                        .map_err(|e| format!("--deadline-ms: {e}"))?,
+                )
+            }
             "--cache-budget" => {
-                cache_budget = need(&mut args, "--cache-budget")?
+                opts.cache_budget = need(&mut args, "--cache-budget")?
                     .parse()
                     .map_err(|e| format!("--cache-budget: {e}"))?
+            }
+            "--cache-dir" => {
+                opts.cache_dir = Some(std::path::PathBuf::from(need(&mut args, "--cache-dir")?))
+            }
+            "--socket" => socket = Some(std::path::PathBuf::from(need(&mut args, "--socket")?)),
+            "--max-queue" => {
+                opts.max_queue = need(&mut args, "--max-queue")?
+                    .parse()
+                    .map_err(|e| format!("--max-queue: {e}"))?
+            }
+            "--max-line-bytes" => {
+                opts.max_line_bytes = need(&mut args, "--max-line-bytes")?
+                    .parse()
+                    .map_err(|e| format!("--max-line-bytes: {e}"))?
+            }
+            "--inject-disk-fault" => {
+                let fault: fcc::serve::DiskFault =
+                    need(&mut args, "--inject-disk-fault")?.parse()?;
+                fcc::serve::fsio::inject(fault);
             }
             "--help" | "-h" => {
                 println!("{}", usage());
@@ -1049,17 +1099,15 @@ fn serve_main(args: Vec<String>) -> Result<bool, String> {
         }
     }
     req.validate().map_err(|e| e.to_string())?;
-    let stdin = std::io::stdin();
-    let stdout = std::io::stdout();
-    fcc::serve::serve_loop(
-        stdin.lock(),
-        stdout.lock(),
-        fcc::serve::ServeOptions {
-            defaults: req,
-            cache_budget,
-        },
-    )
-    .map_err(|e| e.to_string())?;
+    opts.defaults = req;
+    match socket {
+        Some(path) => fcc::serve::serve_socket(&path, opts).map_err(|e| e.to_string())?,
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            fcc::serve::serve_loop(stdin.lock(), stdout.lock(), opts).map_err(|e| e.to_string())?
+        }
+    }
     Ok(true)
 }
 

@@ -13,7 +13,7 @@ use fcc::workloads::{generate, GenConfig};
 use std::sync::{Mutex, MutexGuard};
 
 fn daemon() -> Daemon {
-    Daemon::new(ServeOptions::default())
+    Daemon::new(ServeOptions::default()).expect("memory-only daemon")
 }
 
 /// Parse a response line (every daemon reply must be valid JSON).
@@ -251,7 +251,9 @@ fn a_tiny_byte_budget_forces_eviction_but_not_wrong_answers() {
     let mut d = Daemon::new(ServeOptions {
         defaults: fcc::driver::CompileRequest::new(),
         cache_budget: budget,
-    });
+        ..ServeOptions::default()
+    })
+    .expect("memory-only daemon");
     let src = module_64();
     let line = compile_line(&src, "");
     let (cold, _) = d.handle_line(&line);
@@ -269,6 +271,149 @@ fn a_tiny_byte_budget_forces_eviction_but_not_wrong_answers() {
         "{stats}"
     );
     assert!(cache.get("bytes").unwrap().as_u64().unwrap() <= budget as u64);
+}
+
+#[test]
+fn the_stats_verb_shape_is_pinned() {
+    // The CI durability harness scrapes these fields; adding is fine,
+    // renaming or dropping any of them is a breaking change.
+    let mut d = daemon();
+    d.handle_line(&compile_line("fn f(x) { return x; }", ""));
+    let (stats, _) = d.handle_line(r#"{"v":1,"verb":"stats"}"#);
+    let doc = parse(&stats);
+    assert_eq!(doc.get("verb").unwrap().as_str(), Some("stats"));
+    let cache = doc.get("cache").unwrap();
+    for key in [
+        "hits",
+        "misses",
+        "evictions",
+        "collisions",
+        "insertions",
+        "entries",
+        "bytes",
+        "budget",
+    ] {
+        assert!(cache.get(key).is_some(), "cache.{key} missing: {stats}");
+    }
+    let disk = doc.get("disk").unwrap();
+    for key in [
+        "warmed",
+        "quarantined",
+        "writes",
+        "write_errors",
+        "removals",
+    ] {
+        assert!(disk.get(key).is_some(), "disk.{key} missing: {stats}");
+    }
+    assert_eq!(doc.get("compiles").unwrap().as_u64(), Some(1));
+    assert_eq!(doc.get("errors").unwrap().as_u64(), Some(0));
+    assert_eq!(doc.get("shed").unwrap().as_u64(), Some(0));
+    assert_eq!(doc.get("deadline_exceeded").unwrap().as_u64(), Some(0));
+    assert_eq!(doc.get("in_flight").unwrap().as_u64(), Some(0));
+    assert_eq!(doc.get("queued").unwrap().as_u64(), Some(0));
+    assert!(doc.get("uptime_ms").is_some());
+}
+
+#[test]
+fn an_expired_deadline_is_a_deterministic_504() {
+    let mut d = daemon();
+    let line = compile_line(
+        "fn f(x) { return x + 1; }\nfn g(y) { return y; }",
+        ",\"request\":{\"deadline_ms\":0}",
+    );
+    let (first, stop) = d.handle_line(&line);
+    assert!(!stop, "a 504 never kills the daemon");
+    let (second, _) = d.handle_line(&line);
+    assert_eq!(first, second, "504s render the budget, never elapsed time");
+    let doc = parse(&first);
+    let err = doc.get("error").unwrap();
+    assert_eq!(err.get("code").unwrap().as_u64(), Some(504));
+    assert_eq!(err.get("kind").unwrap().as_str(), Some("deadline-exceeded"));
+    assert!(err
+        .get("message")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("budget 0ms"));
+    let (stats, _) = d.handle_line(r#"{"v":1,"verb":"stats"}"#);
+    let doc = parse(&stats);
+    assert_eq!(doc.get("deadline_exceeded").unwrap().as_u64(), Some(2));
+    // The same module with the deadline lifted compiles cleanly: the
+    // timeouts left nothing poisoned in the cache.
+    let clean = compile_line(
+        "fn f(x) { return x + 1; }\nfn g(y) { return y; }",
+        ",\"request\":{\"deadline_ms\":null},\"cache\":true",
+    );
+    let (resp, _) = d.handle_line(&clean);
+    let doc = parse(&resp);
+    assert_eq!(doc.get("ok").unwrap().as_bool(), Some(true));
+    assert_eq!(
+        doc.get("cache").unwrap().get("misses").unwrap().as_u64(),
+        Some(2),
+        "deadline-failed attempts were never cached"
+    );
+}
+
+#[test]
+fn a_full_admission_queue_sheds_with_a_typed_503() {
+    let mut d = Daemon::new(ServeOptions {
+        max_queue: 0,
+        ..ServeOptions::default()
+    })
+    .expect("memory-only daemon");
+    let line = compile_line("fn f(x) { return x; }", "");
+    let (first, stop) = d.handle_line(&line);
+    assert!(!stop);
+    let (second, _) = d.handle_line(&line);
+    assert_eq!(first, second, "shedding is deterministic");
+    let doc = parse(&first);
+    let err = doc.get("error").unwrap();
+    assert_eq!(err.get("code").unwrap().as_u64(), Some(503));
+    assert_eq!(err.get("kind").unwrap().as_str(), Some("overloaded"));
+    assert_eq!(err.get("retry_after_ms").unwrap().as_u64(), Some(100));
+    // ping/stats/shutdown are control plane: never shed.
+    let (resp, _) = d.handle_line(r#"{"v":1,"verb":"ping"}"#);
+    assert_eq!(parse(&resp).get("ok").unwrap().as_bool(), Some(true));
+    let (stats, _) = d.handle_line(r#"{"v":1,"verb":"stats"}"#);
+    let doc = parse(&stats);
+    assert_eq!(doc.get("shed").unwrap().as_u64(), Some(2));
+    assert_eq!(doc.get("compiles").unwrap().as_u64(), Some(0));
+}
+
+#[test]
+fn oversized_lines_get_400_without_buffering_the_flood() {
+    let opts = ServeOptions {
+        max_line_bytes: 256,
+        ..ServeOptions::default()
+    };
+    let giant = compile_line(
+        &format!("fn f(x) {{ return x + {}; }}", "9".repeat(1 << 16)),
+        "",
+    );
+    let ok_line = compile_line("fn f(x) { return x; }", "");
+    let input = format!(
+        "{giant}\n{ok_line}\n{}\n{}\n",
+        r#"{"v":1,"verb":"stats"}"#, r#"{"v":1,"verb":"shutdown"}"#
+    );
+    let mut out = Vec::new();
+    serve_loop(input.as_bytes(), &mut out, opts).unwrap();
+    let text = String::from_utf8(out).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 4);
+    let err = parse(lines[0]);
+    let e = err.get("error").unwrap();
+    assert_eq!(e.get("code").unwrap().as_u64(), Some(400));
+    assert_eq!(e.get("kind").unwrap().as_str(), Some("line-too-long"));
+    assert_eq!(
+        parse(lines[1]).get("ok").unwrap().as_bool(),
+        Some(true),
+        "the daemon reads cleanly past the flood"
+    );
+    assert_eq!(
+        parse(lines[2]).get("errors").unwrap().as_u64(),
+        Some(1),
+        "the oversized line is counted"
+    );
 }
 
 #[test]
